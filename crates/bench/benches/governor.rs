@@ -1,0 +1,41 @@
+//! Criterion benches: the end-to-end governance loop — the cost a
+//! periodic `govern` pass adds per alert of history, and its stages in
+//! isolation (lint, detect, QoA).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use alertops_core::{AlertGovernor, GovernorConfig};
+use alertops_sim::scenarios;
+
+fn bench_governor(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let governor = AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default())
+        .with_sops(
+            out.catalog
+                .strategies()
+                .iter()
+                .filter_map(|s| out.catalog.sop(s.id()).cloned()),
+        )
+        .with_dependency_graph(out.topology.dependency_graph());
+
+    let mut group = c.benchmark_group("governor");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(out.alerts.len() as u64));
+    group.bench_function("lint_catalog", |b| {
+        b.iter(|| black_box(governor.lint()));
+    });
+    group.bench_function("detect_all_anti_patterns", |b| {
+        b.iter(|| black_box(governor.detect(&out.alerts, &out.incidents)));
+    });
+    group.bench_function("qoa_score_catalog", |b| {
+        b.iter(|| black_box(governor.qoa(&out.alerts, &out.incidents)));
+    });
+    group.bench_function("govern_full_loop", |b| {
+        b.iter(|| black_box(governor.govern(&out.alerts, &out.incidents)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_governor);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches: the simulation substrate itself — topology and
+//! catalog generation, telemetry sampling, and scenario end-to-end cost.
+//! These bound how large an experiment the harness can regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alertops_model::{MetricKind, MicroserviceId, SimTime};
+use alertops_sim::telemetry::Telemetry;
+use alertops_sim::{
+    scenarios, FaultPlan, StrategyCatalog, StrategyCatalogConfig, Topology, TopologyConfig,
+};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("topology_generate_192ms", |b| {
+        b.iter(|| black_box(Topology::generate(&TopologyConfig::default())));
+    });
+    group.bench_function("catalog_generate_2010", |b| {
+        let topology = Topology::generate(&TopologyConfig::default());
+        b.iter(|| {
+            black_box(StrategyCatalog::generate(
+                &topology,
+                &StrategyCatalogConfig::default(),
+            ))
+        });
+    });
+    group.bench_function("telemetry_metric_10k_samples", |b| {
+        let topology = Topology::generate(&TopologyConfig::default());
+        let faults = FaultPlan::new();
+        let telemetry = Telemetry::new(&topology, &faults, 1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000u64 {
+                acc += telemetry.metric(
+                    MicroserviceId(i % 192),
+                    MetricKind::CpuUtilization,
+                    SimTime::from_secs(i * 60),
+                );
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("scenario_quickstart_end_to_end", |b| {
+        b.iter(|| black_box(scenarios::quickstart(7).run()));
+    });
+    group.bench_function("scenario_mini_study_end_to_end", |b| {
+        b.iter(|| black_box(scenarios::mini_study(7).run()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 4 — answers to Q1 "Overall Helpfulness" regarding OCEs' working
+//! experience: all OCEs with more than three years of experience rate
+//! SOPs as of limited help (they are 71.4% of all "Limited" answers).
+//!
+//! Run with: `cargo run -p alertops-bench --bin fig4`
+
+use alertops_bench::{compare, header, pct};
+use alertops_survey::{fig4, render_bar, Helpfulness, SurveyDataset};
+
+fn main() {
+    let survey = SurveyDataset::paper();
+    header("Fig. 4: Q1 'Overall Helpfulness' by working experience");
+    let rows = fig4(&survey);
+    for row in &rows {
+        println!("{}", render_bar(row, 30));
+    }
+
+    header("shape checks");
+    let seniors = &rows[0]; // ">3 years"
+    let senior_limited = seniors
+        .segments
+        .iter()
+        .find(|(l, _)| l == "Limited")
+        .map_or(0, |&(_, c)| c);
+    compare(
+        "all >3yr OCEs say Limited",
+        "10 of 10",
+        &format!("{senior_limited} of {}", seniors.total()),
+    );
+    let limited_total: usize = rows
+        .iter()
+        .flat_map(|r| &r.segments)
+        .filter(|(l, _)| l == "Limited")
+        .map(|&(_, c)| c)
+        .sum();
+    compare(
+        "seniors' share of Limited answers",
+        "71.4%",
+        &pct(senior_limited as f64 / limited_total as f64),
+    );
+    let helpful_total: usize = rows
+        .iter()
+        .flat_map(|r| &r.segments)
+        .filter(|(l, _)| l == "Helpful")
+        .map(|&(_, c)| c)
+        .sum();
+    compare(
+        "Q1 helpful / limited totals",
+        "4 / 14",
+        &format!("{helpful_total} / {limited_total}"),
+    );
+    assert_eq!(senior_limited, 10);
+    assert_eq!(limited_total, 14);
+    let _ = Helpfulness::ALL; // keep the survey vocabulary in scope
+}

@@ -1,0 +1,28 @@
+//! Fig. 5 — the example Standard Operation Procedure for the alert
+//! `nginx_cpu_usage_over_80`, rendered from the structured [`Sop`] type.
+//!
+//! Run with: `cargo run -p alertops-bench --bin fig5`
+
+use alertops_bench::header;
+use alertops_model::{Sop, StrategyId};
+
+fn main() {
+    header("Fig. 5: an example Standard Operation Procedure");
+    let sop = Sop::builder("nginx_cpu_usage_over_80", StrategyId(12))
+        .description("CPU usage of nginx instance is higher than 80%")
+        .generation_rule(
+            "Continuously check the CPU usage of nginx instance, generate the alert when \
+             usage is higher than 80%.",
+        )
+        .potential_impact("Affects the forwarding of all requests.")
+        .possible_cause("The workload is too high.")
+        .possible_cause("A runaway worker process is spinning.")
+        .step("execute command `top -bn1` in the instance")
+        .step("compare worker count against the deployment manifest")
+        .step("if the load is organic, scale out the nginx tier; otherwise restart the runaway worker")
+        .build()
+        .expect("the Fig. 5 SOP is structurally valid");
+    println!("\n{sop}");
+    println!("completeness score: {:.2}", sop.completeness());
+    assert!((sop.completeness() - 1.0).abs() < f64::EPSILON);
+}

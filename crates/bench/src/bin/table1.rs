@@ -1,0 +1,44 @@
+//! Table I — the terminology adopted in the paper, mapped to the types
+//! of this reproduction.
+//!
+//! Run with: `cargo run -p alertops-bench --bin table1`
+
+fn main() {
+    alertops_bench::header("Table I: terminology → alertops types");
+    let rows = [
+        (
+            "Anomaly",
+            "A deviation from the normal state of the cloud system, which will possibly trigger an alert.",
+            "alertops_sim::FaultEvent",
+        ),
+        (
+            "Alert",
+            "A notification sent to On-Call Engineers (OCEs), of the form defined by the alert strategy, of a specific anomaly of the cloud system.",
+            "alertops_model::Alert",
+        ),
+        (
+            "Incident",
+            "Any unplanned interruption or performance degradation of a service or product, which can lead to service shortages at all service levels.",
+            "alertops_model::Incident",
+        ),
+        (
+            "Alert Strategy",
+            "The policy of alert generation, including when to generate an alert, what attributes and descriptions an alert should have, and to whom the alert should be sent.",
+            "alertops_model::AlertStrategy",
+        ),
+        (
+            "SOP",
+            "A predefined Standard Operating Procedure to inspect the state of the cloud system and mitigate the system abnormality upon receiving an alert.",
+            "alertops_model::Sop",
+        ),
+        (
+            "Alert Governance",
+            "The unified management of alert strategies and SOPs.",
+            "alertops_core::AlertGovernor",
+        ),
+    ];
+    for (term, definition, ty) in rows {
+        println!("\n{term}  →  {ty}");
+        println!("  {definition}");
+    }
+}

@@ -1,0 +1,343 @@
+//! The alert governor: detect → derive reactions → react → evaluate.
+
+use std::collections::HashMap;
+
+use alertops_detect::{AntiPattern, AntiPatternReport, DetectionInput};
+use alertops_model::{Alert, AlertStrategy, DependencyGraph, Incident, Sop, StrategyId};
+use alertops_qoa::QoaScorer;
+use alertops_react::blocking::{AlertBlocker, BlockRule};
+use alertops_react::correlation::AlertCorrelator;
+use alertops_react::{AggregationConfig, ReactionPipeline};
+
+use crate::guidelines::{GuidelineContext, GuidelineLinter};
+use crate::reports::GovernanceReport;
+
+/// Configuration for [`AlertGovernor`].
+#[derive(Debug, Clone, Default)]
+pub struct GovernorConfig {
+    /// Aggregation settings for the reaction pipeline (R2).
+    pub aggregation: AggregationConfig,
+    /// Context for the preventative-guideline linter.
+    pub guideline_context: GuidelineContext,
+}
+
+/// The unified governance engine over one strategy catalog.
+///
+/// See the [crate-level example](crate) for basic usage; the typical
+/// production loop is:
+///
+/// 1. [`lint`](Self::lint) new/changed strategies before rollout (Avoid);
+/// 2. periodically [`govern`](Self::govern) the recent alert history —
+///    anti-patterns are detected, blocking rules derived from the A4/A5
+///    findings, the reaction pipeline evaluated, and strategies ranked
+///    by QoA (React + Detect);
+/// 3. fix the worst strategies and repeat.
+#[derive(Debug)]
+pub struct AlertGovernor {
+    strategies: Vec<AlertStrategy>,
+    sops: HashMap<StrategyId, Sop>,
+    graph: Option<DependencyGraph>,
+    config: GovernorConfig,
+}
+
+impl AlertGovernor {
+    /// Creates a governor over a strategy catalog.
+    #[must_use]
+    pub fn new(strategies: Vec<AlertStrategy>, config: GovernorConfig) -> Self {
+        Self {
+            strategies,
+            sops: HashMap::new(),
+            graph: None,
+            config,
+        }
+    }
+
+    /// Registers SOPs (keyed by their strategy).
+    #[must_use]
+    pub fn with_sops(mut self, sops: impl IntoIterator<Item = Sop>) -> Self {
+        for sop in sops {
+            self.sops.insert(sop.strategy(), sop);
+        }
+        self
+    }
+
+    /// Attaches the microservice dependency graph (enables A6 detection
+    /// and topology correlation).
+    #[must_use]
+    pub fn with_dependency_graph(mut self, graph: DependencyGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The governed strategies.
+    #[must_use]
+    pub fn strategies(&self) -> &[AlertStrategy] {
+        &self.strategies
+    }
+
+    /// The SOP of one strategy, if registered.
+    #[must_use]
+    pub fn sop(&self, id: StrategyId) -> Option<&Sop> {
+        self.sops.get(&id)
+    }
+
+    /// Stage 1 (Avoid): lints every strategy against the preventative
+    /// guidelines.
+    #[must_use]
+    pub fn lint(&self) -> Vec<crate::GuidelineViolation> {
+        GuidelineLinter::new().lint_catalog(
+            self.strategies.iter().map(|s| (s, self.sops.get(&s.id()))),
+            &self.config.guideline_context,
+        )
+    }
+
+    /// Stage 3 (Detect): runs the six anti-pattern detectors over the
+    /// history.
+    #[must_use]
+    pub fn detect(&self, alerts: &[Alert], incidents: &[Incident]) -> AntiPatternReport {
+        let mut input = DetectionInput::new(&self.strategies)
+            .with_alerts(alerts)
+            .with_incidents(incidents);
+        if let Some(graph) = &self.graph {
+            input = input.with_graph(graph);
+        }
+        AntiPatternReport::run_default(&input)
+    }
+
+    /// Derives R1 blocking rules from transient/toggling (A4) and
+    /// repeating (A5) findings — the paper's reaction to noise.
+    #[must_use]
+    pub fn derive_blocker(&self, report: &AntiPatternReport) -> AlertBlocker {
+        let mut blocker = AlertBlocker::new();
+        for pattern in [AntiPattern::TransientToggling, AntiPattern::Repeating] {
+            if let Some(findings) = report.findings.get(&pattern) {
+                for finding in findings {
+                    blocker.add_rule(BlockRule::for_strategy(
+                        format!("{} per {}", finding.strategy, pattern.code()),
+                        finding.strategy,
+                    ));
+                }
+            }
+        }
+        blocker
+    }
+
+    /// Stage 2 (React): runs the reaction pipeline with the given
+    /// blocker.
+    #[must_use]
+    pub fn react(&self, alerts: &[Alert], blocker: AlertBlocker) -> alertops_react::PipelineReport {
+        let mut correlator = AlertCorrelator::new();
+        if let Some(graph) = &self.graph {
+            correlator = correlator.with_topology(graph.clone());
+        }
+        ReactionPipeline::new()
+            .with_blocker(blocker)
+            .with_aggregation(self.config.aggregation.clone())
+            .with_correlator(correlator)
+            .run(alerts)
+    }
+
+    /// Evidence-based QoA scores for every strategy, worst overall
+    /// first.
+    #[must_use]
+    pub fn qoa(&self, alerts: &[Alert], incidents: &[Incident]) -> Vec<alertops_qoa::QoaReport> {
+        let mut by_strategy: HashMap<StrategyId, Vec<&Alert>> = HashMap::new();
+        for alert in alerts {
+            by_strategy.entry(alert.strategy()).or_default().push(alert);
+        }
+        let scorer = QoaScorer::new();
+        let mut reports: Vec<alertops_qoa::QoaReport> = self
+            .strategies
+            .iter()
+            .map(|strategy| {
+                scorer.score(
+                    strategy,
+                    self.sops.get(&strategy.id()),
+                    by_strategy
+                        .get(&strategy.id())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                    incidents,
+                )
+            })
+            .collect();
+        reports.sort_by(|a, b| {
+            a.scores
+                .overall()
+                .partial_cmp(&b.scores.overall())
+                .expect("scores are finite")
+                .then(a.strategy.cmp(&b.strategy))
+        });
+        reports
+    }
+
+    /// The full Fig. 6 loop: lint, detect, derive blocking, react, and
+    /// rank by QoA.
+    #[must_use]
+    pub fn govern(&self, alerts: &[Alert], incidents: &[Incident]) -> GovernanceReport {
+        let violations = self.lint();
+        let anti_patterns = self.detect(alerts, incidents);
+        let blocker = self.derive_blocker(&anti_patterns);
+        let derived_rules = blocker.rules().len();
+        let pipeline = self.react(alerts, blocker);
+        let qoa = self.qoa(alerts, incidents);
+        GovernanceReport {
+            guideline_violations: violations,
+            anti_patterns,
+            derived_blocking_rules: derived_rules,
+            pipeline,
+            qoa_worst_first: qoa,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{
+        AlertId, Clearance, LogRule, MetricKind, MetricRule, Severity, SimDuration, SimTime,
+        StrategyKind, ThresholdOp,
+    };
+
+    fn noisy_strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("haproxy process number warning")
+            .severity(Severity::Warning)
+            .kind(StrategyKind::Metric(MetricRule {
+                metric: MetricKind::CpuUtilization,
+                op: ThresholdOp::Above,
+                threshold: 45.0,
+                consecutive_samples: 1,
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn clean_strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("Failed to commit changes, storage backend down")
+            .severity(Severity::Critical)
+            .service(alertops_model::ServiceId(5))
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "ERROR".into(),
+                min_count: 5,
+                window: SimDuration::from_mins(2),
+            }))
+            .cooldown(SimDuration::from_mins(30))
+            .notify("oce@example.com")
+            .build()
+            .unwrap()
+    }
+
+    /// A burst of transient alerts from the noisy strategy plus a couple
+    /// of real ones.
+    fn history() -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for i in 0..12u64 {
+            let mut a = Alert::builder(AlertId(i), StrategyId(1))
+                .title("haproxy process number warning")
+                .raised_at(SimTime::from_secs(i * 300))
+                .build();
+            a.clear(SimTime::from_secs(i * 300 + 30), Clearance::Auto)
+                .unwrap();
+            alerts.push(a);
+        }
+        for i in 12..14u64 {
+            alerts.push(
+                Alert::builder(AlertId(i), StrategyId(2))
+                    .title("Failed to commit changes, storage backend down")
+                    .raised_at(SimTime::from_secs(i * 300))
+                    .build(),
+            );
+        }
+        alerts.sort_by_key(Alert::raised_at);
+        alerts
+    }
+
+    /// An incident on the clean strategy's service covering its alerts,
+    /// so the Critical severity is evidence-backed.
+    fn incidents() -> Vec<alertops_model::Incident> {
+        let mut inc = alertops_model::Incident::new(
+            alertops_model::IncidentId(0),
+            alertops_model::ServiceId(5),
+            Severity::Critical,
+            SimTime::from_secs(3_000),
+        );
+        inc.mitigate(SimTime::from_secs(8_000));
+        vec![inc]
+    }
+
+    fn governor() -> AlertGovernor {
+        AlertGovernor::new(
+            vec![noisy_strategy(1), clean_strategy(2)],
+            GovernorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn detect_finds_the_noise() {
+        let report = governor().detect(&history(), &[]);
+        let flagged = report.flagged(AntiPattern::TransientToggling);
+        assert!(flagged.contains(&StrategyId(1)));
+        assert!(!flagged.contains(&StrategyId(2)));
+    }
+
+    #[test]
+    fn derived_blocker_targets_flagged_strategies_only() {
+        let gov = governor();
+        let report = gov.detect(&history(), &[]);
+        let blocker = gov.derive_blocker(&report);
+        assert!(!blocker.rules().is_empty());
+        let alerts = history();
+        let outcome = blocker.apply(&alerts);
+        assert!(outcome
+            .blocked
+            .iter()
+            .all(|a| a.strategy() == StrategyId(1)));
+        assert!(outcome.passed.iter().any(|a| a.strategy() == StrategyId(2)));
+    }
+
+    #[test]
+    fn govern_runs_the_full_loop() {
+        let report = governor().govern(&history(), &incidents());
+        assert!(report.anti_patterns.finding_count() >= 1);
+        assert!(report.derived_blocking_rules >= 1);
+        assert!(report.pipeline.reduction > 0.5);
+        assert_eq!(report.qoa_worst_first.len(), 2);
+        // The noisy strategy ranks worse than the clean one.
+        assert_eq!(report.qoa_worst_first[0].strategy, StrategyId(1));
+        // The noisy strategy also violates guidelines (single-sample
+        // metric, no cooldown, no notify target, no SOP).
+        assert!(report
+            .guideline_violations
+            .iter()
+            .any(|v| v.strategy == StrategyId(1)));
+        let text = report.to_string();
+        assert!(text.contains("Governance report"));
+    }
+
+    #[test]
+    fn qoa_ranking_is_ascending_overall() {
+        let reports = governor().qoa(&history(), &incidents());
+        for w in reports.windows(2) {
+            assert!(w[0].scores.overall() <= w[1].scores.overall());
+        }
+    }
+
+    #[test]
+    fn sops_improve_lint_results() {
+        let base = governor();
+        let violations_without = base.lint().len();
+        let sop = Sop::builder("clean", StrategyId(2))
+            .description("d")
+            .generation_rule("g")
+            .potential_impact("i")
+            .possible_cause("c")
+            .step("s")
+            .build()
+            .unwrap();
+        let with_sop = governor().with_sops([sop]);
+        let violations_with = with_sop.lint().len();
+        assert!(violations_with < violations_without);
+    }
+}

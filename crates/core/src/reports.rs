@@ -1,0 +1,90 @@
+//! The combined governance report.
+
+use std::fmt;
+
+use alertops_detect::AntiPatternReport;
+use alertops_qoa::QoaReport;
+use alertops_react::PipelineReport;
+
+use crate::guidelines::GuidelineViolation;
+
+/// Everything one [`govern`](crate::AlertGovernor::govern) pass produces.
+#[derive(Debug, Clone)]
+pub struct GovernanceReport {
+    /// Configuration-time guideline violations (Avoid stage).
+    pub guideline_violations: Vec<GuidelineViolation>,
+    /// Detected anti-patterns (Detect stage).
+    pub anti_patterns: AntiPatternReport,
+    /// Number of R1 blocking rules auto-derived from A4/A5 findings.
+    pub derived_blocking_rules: usize,
+    /// Reaction-pipeline outcome (React stage).
+    pub pipeline: PipelineReport,
+    /// Per-strategy QoA, worst overall quality first.
+    pub qoa_worst_first: Vec<QoaReport>,
+}
+
+impl GovernanceReport {
+    /// The `n` lowest-QoA strategies — the review shortlist.
+    #[must_use]
+    pub fn review_shortlist(&self, n: usize) -> &[QoaReport] {
+        &self.qoa_worst_first[..n.min(self.qoa_worst_first.len())]
+    }
+}
+
+impl fmt::Display for GovernanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Governance report")?;
+        writeln!(
+            f,
+            "  guideline violations : {}",
+            self.guideline_violations.len()
+        )?;
+        write!(f, "  {}", self.anti_patterns)?;
+        writeln!(
+            f,
+            "  derived blocking rules: {}",
+            self.derived_blocking_rules
+        )?;
+        for stage in &self.pipeline.stages {
+            writeln!(f, "  pipeline {:<12}: {}", stage.stage, stage.remaining)?;
+        }
+        writeln!(
+            f,
+            "  volume reduction      : {:.1}%",
+            self.pipeline.reduction * 100.0
+        )?;
+        if let Some(worst) = self.qoa_worst_first.first() {
+            writeln!(
+                f,
+                "  worst QoA strategy    : {} (overall {:.2})",
+                worst.strategy,
+                worst.scores.overall()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortlist_is_bounded() {
+        let report = GovernanceReport {
+            guideline_violations: Vec::new(),
+            anti_patterns: AntiPatternReport::default(),
+            derived_blocking_rules: 0,
+            pipeline: PipelineReport {
+                stages: Vec::new(),
+                triage: Vec::new(),
+                reduction: 0.0,
+            },
+            qoa_worst_first: Vec::new(),
+        };
+        assert!(report.review_shortlist(5).is_empty());
+        let text = report.to_string();
+        assert!(text.contains("Governance report"));
+        assert!(text.contains("volume reduction"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Streaming governance: the Fig. 6 loop run incrementally.
+//!
+//! A production deployment does not re-scan two years of alerts on every
+//! pass — it ingests the stream window by window, keeps a bounded rolling
+//! history, and reacts to *deltas*: strategies newly flagged since the
+//! last window, flags that cleared (the strategy was fixed or its noise
+//! subsided), and storm onsets. [`StreamingGovernor`] wraps an
+//! [`AlertGovernor`] with exactly that state.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use alertops_detect::storm::detect_storms;
+use alertops_detect::{AntiPattern, StormConfig, StrategyFinding};
+use alertops_model::{Alert, AlertId, Incident, StrategyId};
+
+use crate::governor::AlertGovernor;
+
+/// Configuration for [`StreamingGovernor`].
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// How many ingested windows of history the detectors see. Evidence
+    /// older than this slides out of scope (bounded memory, and stale
+    /// noise stops tainting fixed strategies).
+    pub history_windows: usize,
+    /// Storm detection configuration for the onset flag.
+    pub storm: StormConfig,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        Self {
+            history_windows: 24,
+            storm: StormConfig::default(),
+        }
+    }
+}
+
+/// What changed in the governance picture after one ingested window.
+#[derive(Debug, Clone)]
+pub struct WindowDelta {
+    /// 0-based index of the ingested window.
+    pub window_index: u64,
+    /// Alerts ingested in this window.
+    pub alert_count: usize,
+    /// Findings whose `(pattern, strategy)` was not flagged after the
+    /// previous window — the items to page a strategy owner about.
+    pub new_findings: Vec<StrategyFinding>,
+    /// `(pattern, strategy)` pairs flagged after the previous window but
+    /// clear now — fixes taking effect (or evidence sliding out).
+    pub resolved: Vec<(AntiPattern, StrategyId)>,
+    /// Whether any region is inside a storm given the current history.
+    pub storm_active: bool,
+    /// The reaction pipeline's triage list for this window's alerts,
+    /// using blocking rules derived from the *current* findings.
+    pub triage: Vec<AlertId>,
+}
+
+/// Incremental governance over an alert stream.
+///
+/// # Example
+///
+/// ```
+/// use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
+/// use alertops_model::{Alert, AlertId, LogRule, SimDuration, SimTime, StrategyId, StrategyKind};
+///
+/// # fn main() -> Result<(), alertops_model::ModelError> {
+/// let strategy = alertops_model::AlertStrategy::builder(StrategyId(0))
+///     .title_template("Instance x is abnormal")
+///     .kind(StrategyKind::Log(LogRule {
+///         keyword: "E".into(),
+///         min_count: 1,
+///         window: SimDuration::from_mins(5),
+///     }))
+///     .build()?;
+/// let governor = AlertGovernor::new(vec![strategy], GovernorConfig::default());
+/// let mut streaming = StreamingGovernor::new(governor, StreamingConfig::default());
+/// let window: Vec<Alert> = (0..3)
+///     .map(|i| Alert::builder(AlertId(i), StrategyId(0)).raised_at(SimTime::from_secs(i * 60)).build())
+///     .collect();
+/// let delta = streaming.ingest(&window, &[]);
+/// assert_eq!(delta.window_index, 0);
+/// assert_eq!(delta.alert_count, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingGovernor {
+    governor: AlertGovernor,
+    config: StreamingConfig,
+    history: VecDeque<Vec<Alert>>,
+    incidents: Vec<Incident>,
+    previous_flags: BTreeSet<(AntiPattern, StrategyId)>,
+    windows_ingested: u64,
+}
+
+impl StreamingGovernor {
+    /// Wraps a governor for streaming use.
+    #[must_use]
+    pub fn new(governor: AlertGovernor, config: StreamingConfig) -> Self {
+        Self {
+            governor,
+            config,
+            history: VecDeque::new(),
+            incidents: Vec::new(),
+            previous_flags: BTreeSet::new(),
+            windows_ingested: 0,
+        }
+    }
+
+    /// The wrapped governor.
+    #[must_use]
+    pub fn governor(&self) -> &AlertGovernor {
+        &self.governor
+    }
+
+    /// Number of windows ingested so far.
+    #[must_use]
+    pub fn windows_ingested(&self) -> u64 {
+        self.windows_ingested
+    }
+
+    /// Alerts currently inside the rolling history.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history.iter().map(Vec::len).sum()
+    }
+
+    /// Ingests one window of (time-sorted) alerts plus any incidents
+    /// declared during it, re-runs detection over the rolling history,
+    /// and returns the delta.
+    pub fn ingest(&mut self, window: &[Alert], incidents: &[Incident]) -> WindowDelta {
+        self.history.push_back(window.to_vec());
+        while self.history.len() > self.config.history_windows {
+            self.history.pop_front();
+        }
+        self.incidents.extend(incidents.iter().cloned());
+
+        // Flatten the rolling history for detection (ids stay unique —
+        // the caller owns id assignment).
+        let mut scope: Vec<Alert> = self.history.iter().flatten().cloned().collect();
+        scope.sort_by_key(|a| (a.raised_at(), a.id()));
+
+        // Prune incidents that can no longer intersect the rolling
+        // history — without this the incident list grows for the
+        // lifetime of the stream. Open incidents are always kept.
+        if let Some(oldest) = scope.first().map(Alert::raised_at) {
+            self.incidents.retain(|inc| {
+                inc.is_open()
+                    || match inc.status() {
+                        alertops_model::IncidentStatus::Mitigated { at } => at >= oldest,
+                        alertops_model::IncidentStatus::Open => true,
+                    }
+            });
+        }
+
+        let report = self.governor.detect(&scope, &self.incidents);
+        let current_flags: BTreeSet<(AntiPattern, StrategyId)> = report
+            .findings
+            .iter()
+            .flat_map(|(&pattern, findings)| findings.iter().map(move |f| (pattern, f.strategy)))
+            .collect();
+
+        let new_findings: Vec<StrategyFinding> = report
+            .findings
+            .values()
+            .flatten()
+            .filter(|f| !self.previous_flags.contains(&(f.pattern, f.strategy)))
+            .cloned()
+            .collect();
+        let resolved: Vec<(AntiPattern, StrategyId)> = self
+            .previous_flags
+            .difference(&current_flags)
+            .copied()
+            .collect();
+
+        let storm_active = detect_storms(&scope, &self.config.storm)
+            .iter()
+            .any(|s| window.iter().any(|a| s.hours.contains(&a.hour_bucket())));
+
+        let blocker = self.governor.derive_blocker(&report);
+        let pipeline = self.governor.react(window, blocker);
+
+        self.previous_flags = current_flags;
+        let delta = WindowDelta {
+            window_index: self.windows_ingested,
+            alert_count: window.len(),
+            new_findings,
+            resolved,
+            storm_active,
+            triage: pipeline.triage,
+        };
+        self.windows_ingested += 1;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::GovernorConfig;
+    use alertops_model::{AlertStrategy, Clearance, LogRule, SimDuration, SimTime, StrategyKind};
+
+    fn noisy_strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("haproxy process number warning")
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "WARN".into(),
+                min_count: 1,
+                window: SimDuration::from_mins(5),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    /// `n` transient alerts of `strategy` inside hour `hour`.
+    fn transient_window(start_id: u64, strategy: u64, hour: u64, n: usize) -> Vec<Alert> {
+        let spacing = (3_500 / n.max(1)) as u64;
+        (0..n as u64)
+            .map(|i| {
+                let t = SimTime::from_secs(hour * 3_600 + i * spacing.max(1));
+                let mut a = Alert::builder(AlertId(start_id + i), StrategyId(strategy))
+                    .title("haproxy process number warning")
+                    .raised_at(t)
+                    .build();
+                a.clear(t + SimDuration::from_secs(30), Clearance::Auto)
+                    .unwrap();
+                a
+            })
+            .collect()
+    }
+
+    fn streaming(history_windows: usize) -> StreamingGovernor {
+        let governor = AlertGovernor::new(
+            vec![noisy_strategy(1), noisy_strategy(2)],
+            GovernorConfig::default(),
+        );
+        StreamingGovernor::new(
+            governor,
+            StreamingConfig {
+                history_windows,
+                ..StreamingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn findings_appear_once_then_stay_quiet() {
+        let mut s = streaming(24);
+        // Hour 0: enough transients to trip A4 on strategy 1.
+        let d0 = s.ingest(&transient_window(0, 1, 0, 8), &[]);
+        assert_eq!(d0.window_index, 0);
+        assert!(
+            d0.new_findings.iter().any(|f| f.strategy == StrategyId(1)),
+            "A4 should fire on the first window: {:?}",
+            d0.new_findings
+        );
+        // Hour 1: same behaviour continues — no *new* findings.
+        let d1 = s.ingest(&transient_window(100, 1, 1, 8), &[]);
+        assert!(
+            d1.new_findings.is_empty(),
+            "already-known findings must not repeat: {:?}",
+            d1.new_findings
+        );
+        assert!(d1.resolved.is_empty());
+    }
+
+    #[test]
+    fn fixed_strategy_resolves_when_evidence_slides_out() {
+        let mut s = streaming(2); // short memory
+        s.ingest(&transient_window(0, 1, 0, 8), &[]);
+        // Two quiet windows push the noisy evidence out of history.
+        let quiet: Vec<Alert> = Vec::new();
+        s.ingest(&quiet, &[]);
+        let d = s.ingest(&quiet, &[]);
+        assert!(
+            d.resolved
+                .iter()
+                .any(|&(_, strategy)| strategy == StrategyId(1)),
+            "flag should resolve once evidence leaves scope: {:?}",
+            d.resolved
+        );
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = streaming(3);
+        for hour in 0..10u64 {
+            s.ingest(&transient_window(hour * 100, 1, hour, 5), &[]);
+        }
+        assert_eq!(s.windows_ingested(), 10);
+        assert_eq!(s.history_len(), 15, "3 windows × 5 alerts");
+    }
+
+    #[test]
+    fn triage_covers_only_the_current_window() {
+        let mut s = streaming(24);
+        let window = transient_window(0, 2, 0, 6);
+        let delta = s.ingest(&window, &[]);
+        for id in &delta.triage {
+            assert!(window.iter().any(|a| a.id() == *id));
+        }
+    }
+
+    #[test]
+    fn storm_flag_follows_volume() {
+        let mut s = streaming(24);
+        let calm = s.ingest(&transient_window(0, 1, 0, 10), &[]);
+        assert!(!calm.storm_active);
+        // 150 alerts in one hour: above the 100/region/hour bar.
+        let stormy = s.ingest(&transient_window(1_000, 2, 1, 150), &[]);
+        assert!(stormy.storm_active);
+    }
+
+    #[test]
+    fn mitigated_incidents_are_pruned_with_history() {
+        use alertops_model::{Incident, IncidentId, ServiceId, Severity};
+        let mut s = streaming(2);
+        let mut old_incident = Incident::new(
+            IncidentId(0),
+            ServiceId(0),
+            Severity::Critical,
+            SimTime::from_secs(0),
+        );
+        old_incident.mitigate(SimTime::from_secs(600));
+        s.ingest(&transient_window(0, 1, 0, 4), &[old_incident]);
+        // Two later windows slide hour 0 out of history; the mitigated
+        // incident must go with it.
+        s.ingest(&transient_window(100, 1, 5, 4), &[]);
+        s.ingest(&transient_window(200, 1, 6, 4), &[]);
+        assert!(s.incidents.is_empty(), "stale incident retained");
+        // An open incident survives any amount of sliding.
+        let open = Incident::new(
+            IncidentId(1),
+            ServiceId(0),
+            Severity::Critical,
+            SimTime::from_secs(0),
+        );
+        s.ingest(&transient_window(300, 1, 7, 4), &[open]);
+        s.ingest(&transient_window(400, 1, 9, 4), &[]);
+        assert_eq!(s.incidents.len(), 1);
+    }
+
+    #[test]
+    fn empty_window_is_fine() {
+        let mut s = streaming(4);
+        let d = s.ingest(&[], &[]);
+        assert_eq!(d.alert_count, 0);
+        assert!(d.triage.is_empty());
+        assert!(!d.storm_active);
+    }
+}

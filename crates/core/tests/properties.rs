@@ -1,0 +1,124 @@
+//! Property-based tests over the governance layer.
+
+use proptest::prelude::*;
+
+use alertops_core::{GuidelineContext, GuidelineLinter};
+use alertops_model::{
+    AlertStrategy, LogRule, MetricKind, MetricRule, MicroserviceId, ProbeRule, Severity,
+    SimDuration, StrategyId, StrategyKind, ThresholdOp,
+};
+
+/// Arbitrary (structurally valid) strategy.
+fn arb_strategy() -> impl Strategy<Value = AlertStrategy> {
+    (
+        0u64..50,                       // id
+        "[A-Za-z][A-Za-z0-9 _-]{0,40}", // title
+        0u8..4,                         // severity rank
+        0u64..20,                       // microservice
+        0usize..3,                      // kind selector
+        1u32..6,                        // consecutive samples / min count
+        0u64..60,                       // cooldown minutes
+        prop::bool::ANY,                // has notify target
+    )
+        .prop_map(|(id, title, sev, ms, kind_ix, count, cooldown, notify)| {
+            let kind = match kind_ix {
+                0 => StrategyKind::Probe(ProbeRule {
+                    no_response_timeout: SimDuration::from_secs(10 + u64::from(count) * 30),
+                }),
+                1 => StrategyKind::Log(LogRule {
+                    keyword: "ERROR".into(),
+                    min_count: count,
+                    window: SimDuration::from_mins(2),
+                }),
+                _ => StrategyKind::Metric(MetricRule {
+                    metric: MetricKind::ALL[(id % 8) as usize],
+                    op: ThresholdOp::Above,
+                    threshold: 50.0 + count as f64,
+                    consecutive_samples: count,
+                }),
+            };
+            let mut builder = AlertStrategy::builder(StrategyId(id))
+                .title_template(title)
+                .severity(Severity::from_rank(sev).unwrap())
+                .microservice(MicroserviceId(ms))
+                .kind(kind)
+                .cooldown(SimDuration::from_mins(cooldown));
+            if notify {
+                builder = builder.notify("oce@example.com");
+            }
+            builder.build().expect("generated strategy is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn linter_is_deterministic_and_well_formed(strategy in arb_strategy()) {
+        let linter = GuidelineLinter::new();
+        let context = GuidelineContext::default();
+        let a = linter.lint(&strategy, None, &context);
+        let b = linter.lint(&strategy, None, &context);
+        prop_assert_eq!(&a, &b);
+        for violation in &a {
+            prop_assert_eq!(violation.strategy, strategy.id());
+            prop_assert!(!violation.message.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_context_only_adds_target_violations(
+        strategy in arb_strategy(),
+    ) {
+        let linter = GuidelineLinter::new();
+        let without = linter.lint(&strategy, None, &GuidelineContext::default());
+        let context = GuidelineContext {
+            fault_tolerant: (0..20).map(MicroserviceId).collect(),
+        };
+        let with = linter.lint(&strategy, None, &context);
+        // The shielded-host knowledge can only ADD Target findings; the
+        // Timing and Presentation verdicts must be unchanged.
+        let non_target = |vs: &[alertops_core::GuidelineViolation]| {
+            vs.iter()
+                .filter(|v| v.aspect != alertops_core::GuidelineAspect::Target)
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(non_target(&without), non_target(&with));
+        prop_assert!(with.len() >= without.len());
+    }
+
+    #[test]
+    fn canonical_good_strategy_stays_clean_under_any_context(
+        shielded in prop::collection::btree_set((0u64..20).prop_map(MicroserviceId), 0..20),
+    ) {
+        // A strategy written to the guidelines must never be flagged,
+        // whatever fault-tolerance knowledge arrives — it monitors a
+        // service-quality metric, debounces, cools down, names things.
+        let strategy = AlertStrategy::builder(StrategyId(1))
+            .title_template("request latency of payment gateway is higher than 800ms, checkouts failing")
+            .severity(Severity::Major)
+            .microservice(MicroserviceId(3))
+            .kind(StrategyKind::Metric(MetricRule {
+                metric: MetricKind::Latency,
+                op: ThresholdOp::Above,
+                threshold: 800.0,
+                consecutive_samples: 3,
+            }))
+            .cooldown(SimDuration::from_mins(30))
+            .notify("oce@example.com")
+            .build()
+            .unwrap();
+        let sop = alertops_model::Sop::builder("latency", StrategyId(1))
+            .description("d")
+            .generation_rule("g")
+            .potential_impact("i")
+            .possible_cause("c")
+            .step("s")
+            .build()
+            .unwrap();
+        let context = GuidelineContext { fault_tolerant: shielded };
+        let violations = GuidelineLinter::new().lint(&strategy, Some(&sop), &context);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+}

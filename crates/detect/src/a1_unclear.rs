@@ -1,0 +1,154 @@
+//! A1 — unclear name or description.
+//!
+//! "Typical unclear alert names describe the system state in a very
+//! general way with vague words, e.g. *Elastic Computing Service is
+//! abnormal*" (§III-A1). The detector scores every strategy's title
+//! template with [`TitleScorer`] and flags those below an
+//! informativeness threshold.
+
+use alertops_text::TitleScorer;
+
+use crate::input::DetectionInput;
+use crate::types::{AntiPattern, Detector, StrategyFinding};
+
+/// Detector for unclear titles. This detector needs no alert history —
+/// the title is a static property of the strategy.
+#[derive(Debug, Clone)]
+pub struct UnclearTitleDetector {
+    scorer: TitleScorer,
+    /// Titles scoring strictly below this are flagged.
+    threshold: f64,
+}
+
+impl UnclearTitleDetector {
+    /// Creates a detector with the given informativeness threshold
+    /// (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            scorer: TitleScorer::new(),
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The active threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Default for UnclearTitleDetector {
+    /// Threshold 0.45: the paper's example vague titles score ≤ 0.4 with
+    /// the standard lexicon while its clear samples score ≥ 0.5.
+    fn default() -> Self {
+        Self::new(0.45)
+    }
+}
+
+impl Detector for UnclearTitleDetector {
+    fn pattern(&self) -> AntiPattern {
+        AntiPattern::UnclearTitle
+    }
+
+    fn detect(&self, input: &DetectionInput<'_>) -> Vec<StrategyFinding> {
+        let mut findings: Vec<StrategyFinding> = input
+            .strategies()
+            .iter()
+            .filter_map(|strategy| {
+                let report = self.scorer.report(strategy.title_template());
+                (report.score < self.threshold).then(|| StrategyFinding {
+                    strategy: strategy.id(),
+                    pattern: AntiPattern::UnclearTitle,
+                    // Higher score = worse: invert informativeness.
+                    score: 1.0 - report.score,
+                    evidence: format!(
+                        "title {:?} scored {:.2} (vague {}/{} tokens, manifestation: {}, concrete subject: {})",
+                        strategy.title_template(),
+                        report.score,
+                        report.vague_count,
+                        report.token_count,
+                        report.has_manifestation,
+                        report.has_concrete_subject,
+                    ),
+                })
+            })
+            .collect();
+        findings.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{AlertStrategy, LogRule, SimDuration, StrategyId, StrategyKind};
+
+    fn strategy(id: u64, title: &str) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template(title)
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "E".into(),
+                min_count: 1,
+                window: SimDuration::from_mins(1),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flags_paper_vague_examples_only() {
+        let strategies = [
+            strategy(0, "Elastic Computing Service is abnormal"),
+            strategy(1, "Instance x is abnormal"),
+            strategy(2, "Component y encounters exceptions"),
+            strategy(3, "Computing cluster has risks"),
+            strategy(4, "Failed to allocate new blocks, disk full"),
+            strategy(5, "CPU usage of nginx instance is higher than 80%"),
+        ];
+        let input = DetectionInput::new(&strategies);
+        let findings = UnclearTitleDetector::default().detect(&input);
+        let flagged: Vec<u64> = {
+            let mut v: Vec<u64> = findings.iter().map(|f| f.strategy.0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(flagged, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn findings_sorted_by_descending_badness() {
+        let strategies = [
+            strategy(0, "Instance x is abnormal"),
+            strategy(1, "database replicator has risks sometimes maybe"),
+        ];
+        let input = DetectionInput::new(&strategies);
+        let findings = UnclearTitleDetector::default().detect(&input);
+        for w in findings.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn threshold_zero_flags_nothing() {
+        let strategies = [strategy(0, "Instance x is abnormal")];
+        let input = DetectionInput::new(&strategies);
+        let findings = UnclearTitleDetector::new(0.0).detect(&input);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn evidence_mentions_title() {
+        let strategies = [strategy(0, "Instance x is abnormal")];
+        let input = DetectionInput::new(&strategies);
+        let findings = UnclearTitleDetector::default().detect(&input);
+        assert!(findings[0].evidence.contains("Instance x is abnormal"));
+        assert_eq!(findings[0].pattern, AntiPattern::UnclearTitle);
+    }
+
+    #[test]
+    fn threshold_is_clamped() {
+        assert_eq!(UnclearTitleDetector::new(7.0).threshold(), 1.0);
+        assert_eq!(UnclearTitleDetector::new(-1.0).threshold(), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! A5 — repeating alerts.
+//!
+//! "Repeating alerts means that alerts from the same alert strategy
+//! appear repeatedly. Sometimes the repeated alerts may last for several
+//! hours. This is usually due to the inappropriate frequency of alert
+//! generation" (§III-A2). In the paper's Fig. 3 storm, a single
+//! WARNING-level strategy ("haproxy process number warning") produced
+//! ≈30% of the 2751 alerts, hour after hour.
+//!
+//! The detector flags strategies by hourly volume: a strategy repeats if
+//! its alert count reaches `hourly_threshold` in at least
+//! `min_repeat_hours` (possibly non-consecutive) hours.
+
+use std::collections::HashMap;
+
+use crate::input::DetectionInput;
+use crate::types::{AntiPattern, Detector, StrategyFinding};
+
+/// Detector for repeating alerts.
+#[derive(Debug, Clone)]
+pub struct RepeatingDetector {
+    /// Alerts per hour from one strategy that count as "repeating".
+    pub hourly_threshold: usize,
+    /// How many such hours are required to flag the strategy.
+    pub min_repeat_hours: usize,
+    /// Distinct active hours for the sustained-repetition signature.
+    pub min_active_hours: usize,
+    /// Minimum total alerts for the sustained-repetition signature.
+    pub min_sustained_total: usize,
+    /// Span (in hours) within which the sustained signature must occur.
+    pub sustained_span_hours: u64,
+}
+
+impl Default for RepeatingDetector {
+    fn default() -> Self {
+        Self {
+            hourly_threshold: 18,
+            min_repeat_hours: 2,
+            min_active_hours: 12,
+            min_sustained_total: 24,
+            sustained_span_hours: 24,
+        }
+    }
+}
+
+impl Detector for RepeatingDetector {
+    fn pattern(&self) -> AntiPattern {
+        AntiPattern::Repeating
+    }
+
+    fn detect(&self, input: &DetectionInput<'_>) -> Vec<StrategyFinding> {
+        let mut findings = Vec::new();
+        for strategy in input.strategies() {
+            let total = input.alert_count_of(strategy.id());
+            if total < self.hourly_threshold && total < self.min_sustained_total {
+                continue;
+            }
+            let mut per_hour: HashMap<u64, usize> = HashMap::new();
+            for alert in input.alerts_of(strategy.id()) {
+                *per_hour.entry(alert.hour_bucket()).or_insert(0) += 1;
+            }
+            let repeat_hours = per_hour
+                .values()
+                .filter(|&&c| c >= self.hourly_threshold)
+                .count();
+            let peak = per_hour.values().copied().max().unwrap_or(0);
+            let burst = repeat_hours >= self.min_repeat_hours;
+            // Sustained: sliding 24h span over the sorted hour buckets.
+            let sustained = {
+                let mut hours: Vec<(u64, usize)> = per_hour.iter().map(|(&h, &c)| (h, c)).collect();
+                hours.sort_unstable();
+                let mut best = false;
+                let mut lo = 0;
+                let mut span_alerts = 0usize;
+                for hi in 0..hours.len() {
+                    span_alerts += hours[hi].1;
+                    while hours[hi].0 - hours[lo].0 >= self.sustained_span_hours {
+                        span_alerts -= hours[lo].1;
+                        lo += 1;
+                    }
+                    if hi - lo + 1 >= self.min_active_hours
+                        && span_alerts >= self.min_sustained_total
+                    {
+                        best = true;
+                        break;
+                    }
+                }
+                best
+            };
+            if burst || sustained {
+                findings.push(StrategyFinding {
+                    strategy: strategy.id(),
+                    pattern: AntiPattern::Repeating,
+                    score: peak as f64 + repeat_hours as f64 + per_hour.len() as f64 * 0.1,
+                    evidence: if burst {
+                        format!(
+                            "reached ≥{}/hour in {} hours (peak {}/hour, {} total alerts)",
+                            self.hourly_threshold, repeat_hours, peak, total,
+                        )
+                    } else {
+                        format!(
+                            "fired in {} distinct hours ({} total alerts, peak {}/hour)",
+                            per_hour.len(),
+                            total,
+                            peak,
+                        )
+                    },
+                });
+            }
+        }
+        findings.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.strategy.cmp(&b.strategy))
+        });
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{
+        Alert, AlertId, AlertStrategy, LogRule, SimDuration, SimTime, StrategyId, StrategyKind,
+    };
+
+    fn strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("haproxy process number warning")
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "WARN".into(),
+                min_count: 1,
+                window: SimDuration::from_mins(5),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    /// `n` alerts of `strategy` inside hour `hour`.
+    fn hour_of_alerts(start_id: u64, strategy: u64, hour: u64, n: usize) -> Vec<Alert> {
+        (0..n)
+            .map(|i| {
+                Alert::builder(AlertId(start_id + i as u64), StrategyId(strategy))
+                    .raised_at(SimTime::from_secs(
+                        hour * 3_600 + (i as u64 * 3_600 / n as u64),
+                    ))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flags_strategy_repeating_across_hours() {
+        let strategies = [strategy(1)];
+        let mut alerts = hour_of_alerts(0, 1, 7, 22);
+        alerts.extend(hour_of_alerts(100, 1, 8, 19));
+        alerts.extend(hour_of_alerts(200, 1, 9, 18));
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let findings = RepeatingDetector::default().detect(&input);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].evidence.contains("3 hours"));
+        assert!(findings[0].evidence.contains("peak 22/hour"));
+    }
+
+    #[test]
+    fn one_busy_hour_is_not_repeating_by_default() {
+        let strategies = [strategy(1)];
+        let alerts = hour_of_alerts(0, 1, 7, 30);
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let findings = RepeatingDetector::default().detect(&input);
+        assert!(findings.is_empty(), "needs min_repeat_hours hours");
+        // But with min_repeat_hours = 1 it is flagged.
+        let findings = RepeatingDetector {
+            min_repeat_hours: 1,
+            ..RepeatingDetector::default()
+        }
+        .detect(&input);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn sparse_strategies_not_flagged() {
+        let strategies = [strategy(1)];
+        // 20 alerts in 20 hours: many hours but below the sustained total.
+        let alerts: Vec<Alert> = (0..20)
+            .map(|i| {
+                Alert::builder(AlertId(i), StrategyId(1))
+                    .raised_at(SimTime::from_hours(i)) // 1 per hour
+                    .build()
+            })
+            .collect();
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let findings = RepeatingDetector::default().detect(&input);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn sustained_low_rate_repetition_is_flagged() {
+        let strategies = [strategy(1)];
+        // 2 alerts per hour across 15 hours = 30 alerts: never bursts,
+        // but repeats for hours.
+        let mut alerts = Vec::new();
+        for h in 0..15u64 {
+            alerts.extend(hour_of_alerts(h * 10, 1, h, 2));
+        }
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let findings = RepeatingDetector::default().detect(&input);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].evidence.contains("distinct hours"));
+    }
+
+    #[test]
+    fn the_same_volume_spread_over_weeks_is_not_repeating() {
+        let strategies = [strategy(1)];
+        // 30 alerts across 15 *days* (2 per day): background, not
+        // repetition — no 24h span concentrates the activity.
+        let mut alerts = Vec::new();
+        for d in 0..15u64 {
+            alerts.extend(hour_of_alerts(d * 10, 1, d * 24, 1));
+            alerts.extend(hour_of_alerts(d * 10 + 5, 1, d * 24 + 9, 1));
+        }
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let findings = RepeatingDetector::default().detect(&input);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn heavier_repeaters_rank_first() {
+        let strategies = [strategy(1), strategy(2)];
+        let mut alerts = hour_of_alerts(0, 1, 7, 30);
+        alerts.extend(hour_of_alerts(100, 1, 8, 30));
+        alerts.extend(hour_of_alerts(200, 2, 7, 19));
+        alerts.extend(hour_of_alerts(300, 2, 8, 19));
+        alerts.sort_by_key(Alert::raised_at);
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let findings = RepeatingDetector::default().detect(&input);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].strategy, StrategyId(1));
+    }
+
+    #[test]
+    fn no_alerts_no_findings() {
+        let strategies = [strategy(1)];
+        let input = DetectionInput::new(&strategies);
+        assert!(RepeatingDetector::default().detect(&input).is_empty());
+    }
+}

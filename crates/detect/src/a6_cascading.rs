@@ -1,0 +1,376 @@
+//! A6 — cascading alerts.
+//!
+//! "When a service enters an anomalous state, other services that rely
+//! on it will probably suffer from anomalous states as well. … Although
+//! the alerts are different, they are implicitly related because they
+//! originate from the cascading effect of one single failure"
+//! (§III-A2). The paper's Table II example: a Block Storage "disk full"
+//! alert followed within minutes by two Database "failed to commit
+//! changes" alerts.
+//!
+//! The detector replays exactly the inference an experienced OCE makes:
+//! alert *b* is **derived from** alert *a* when (1) *b* occurred within a
+//! time window after *a*, and (2) *b*'s microservice transitively
+//! depends on *a*'s. Derivation edges are grouped into connected
+//! components; components spanning at least `min_group` alerts and two
+//! microservices are reported as cascades, rooted at their earliest
+//! bottom-most alert.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{AlertId, SimDuration, TimeRange};
+
+use crate::input::DetectionInput;
+
+/// One detected cascade: a set of causally-linked alerts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeGroup {
+    /// The inferred root-cause alert (earliest alert on the most
+    /// depended-upon microservice of the group).
+    pub root: AlertId,
+    /// All member alerts, in raise order (includes the root).
+    pub members: Vec<AlertId>,
+    /// The time span from first to last member.
+    pub window: TimeRange,
+}
+
+impl CascadeGroup {
+    /// Number of member alerts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never true for detector output).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The alerts that are *not* the root — the ones alert correlation
+    /// (R3) would suppress so the OCE diagnoses only the source.
+    #[must_use]
+    pub fn derived(&self) -> Vec<AlertId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.root)
+            .collect()
+    }
+}
+
+/// Detector for cascading alerts. Requires the dependency graph; without
+/// one, [`detect_groups`](Self::detect_groups) returns nothing.
+#[derive(Debug, Clone)]
+pub struct CascadingDetector {
+    /// Maximum delay between a cause alert and a derived alert.
+    pub window: SimDuration,
+    /// Minimum component size to report.
+    pub min_group: usize,
+}
+
+impl Default for CascadingDetector {
+    fn default() -> Self {
+        Self {
+            window: SimDuration::from_mins(10),
+            min_group: 3,
+        }
+    }
+}
+
+impl CascadingDetector {
+    /// Finds cascade groups in the input's alert stream.
+    ///
+    /// Runtime is `O(n · w)` where `w` is the number of alerts inside
+    /// the time window — the stream is scanned once with a sliding
+    /// window, and dependency checks only run within it.
+    #[must_use]
+    pub fn detect_groups(&self, input: &DetectionInput<'_>) -> Vec<CascadeGroup> {
+        let Some(graph) = input.graph() else {
+            return Vec::new();
+        };
+        let alerts = input.alerts();
+        let n = alerts.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Precompute each microservice's dependency closure once; the
+        // sliding window below would otherwise run a BFS per alert pair.
+        type ClosureCache = std::collections::HashMap<
+            alertops_model::MicroserviceId,
+            std::collections::BTreeSet<alertops_model::MicroserviceId>,
+        >;
+        let mut closures: ClosureCache = ClosureCache::new();
+        let mut depends =
+            |a: alertops_model::MicroserviceId, b: alertops_model::MicroserviceId| -> bool {
+                closures
+                    .entry(a)
+                    .or_insert_with(|| graph.dependency_closure(a))
+                    .contains(&b)
+            };
+        // Union-find over alert indices.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut lo = 0usize;
+        for hi in 0..n {
+            while alerts[hi]
+                .raised_at()
+                .duration_since(alerts[lo].raised_at())
+                > self.window
+            {
+                lo += 1;
+            }
+            for earlier in lo..hi {
+                let (a, b) = (&alerts[earlier], &alerts[hi]);
+                if a.microservice() == b.microservice() {
+                    continue; // same box: repeating, not cascading
+                }
+                // b derived from a: b's microservice calls a's
+                // (failure flows from callee up to caller).
+                if depends(b.microservice(), a.microservice()) {
+                    let (ra, rb) = (find(&mut parent, earlier), find(&mut parent, hi));
+                    if ra != rb {
+                        parent[rb] = ra;
+                    }
+                }
+            }
+        }
+
+        // Collect components.
+        let mut components: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            components.entry(root).or_default().push(i);
+        }
+
+        let mut groups = Vec::new();
+        for (_, mut ixs) in components {
+            if ixs.len() < self.min_group {
+                continue;
+            }
+            ixs.sort_unstable();
+            let distinct_ms: std::collections::BTreeSet<_> =
+                ixs.iter().map(|&i| alerts[i].microservice()).collect();
+            if distinct_ms.len() < 2 {
+                continue;
+            }
+            // Root: the earliest alert on a microservice that no other
+            // group member's microservice is below — i.e. the bottom of
+            // the dependency chain within the group.
+            let root_ix = ixs
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let ms = alerts[i].microservice();
+                    !ixs.iter().any(|&j| depends(ms, alerts[j].microservice()))
+                })
+                .min_by_key(|&i| alerts[i].raised_at())
+                .unwrap_or(ixs[0]);
+            let first = alerts[ixs[0]].raised_at();
+            let last = alerts[*ixs.last().expect("nonempty")].raised_at();
+            groups.push(CascadeGroup {
+                root: alerts[root_ix].id(),
+                members: ixs.iter().map(|&i| alerts[i].id()).collect(),
+                window: TimeRange::new(first, last.saturating_add(SimDuration::from_secs(1))),
+            });
+        }
+        groups.sort_by_key(|g| g.window.start());
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::DetectionInput;
+    use alertops_model::{
+        Alert, AlertStrategy, DependencyGraph, LogRule, MicroserviceId, SimTime, StrategyId,
+        StrategyKind,
+    };
+
+    fn strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("t")
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "E".into(),
+                min_count: 1,
+                window: SimDuration::from_mins(1),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn alert(id: u64, ms: u64, t_secs: u64) -> Alert {
+        Alert::builder(AlertId(id), StrategyId(id))
+            .microservice(MicroserviceId(ms))
+            .raised_at(SimTime::from_secs(t_secs))
+            .build()
+    }
+
+    /// db-commit (2) and db-sync (3) call storage (1).
+    fn graph() -> DependencyGraph {
+        [
+            (MicroserviceId(2), MicroserviceId(1)),
+            (MicroserviceId(3), MicroserviceId(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn table2_shape_cascade_is_detected() {
+        // Storage alert at 06:36, two database alerts at 06:38 — the
+        // paper's Table II.
+        let strategies = [strategy(0), strategy(1), strategy(2)];
+        let t0 = 6 * 3_600 + 36 * 60;
+        let alerts = [
+            alert(0, 1, t0),
+            alert(1, 2, t0 + 120),
+            alert(2, 3, t0 + 120),
+        ];
+        let g = graph();
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        let groups = CascadingDetector::default().detect_groups(&input);
+        assert_eq!(groups.len(), 1);
+        let group = &groups[0];
+        assert_eq!(group.root, AlertId(0), "root should be the storage alert");
+        assert_eq!(group.len(), 3);
+        assert_eq!(group.derived(), vec![AlertId(1), AlertId(2)]);
+    }
+
+    #[test]
+    fn unrelated_alerts_do_not_group() {
+        let strategies = [strategy(0), strategy(1), strategy(2)];
+        // Microservices 5, 6, 7 share no dependency edges.
+        let alerts = [alert(0, 5, 100), alert(1, 6, 160), alert(2, 7, 200)];
+        let g = graph();
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        assert!(CascadingDetector::default()
+            .detect_groups(&input)
+            .is_empty());
+    }
+
+    #[test]
+    fn window_limits_grouping() {
+        let strategies = [strategy(0), strategy(1), strategy(2)];
+        // Dependent alerts arrive 2 hours later: outside the window.
+        let alerts = [alert(0, 1, 0), alert(1, 2, 7_200), alert(2, 3, 7_260)];
+        let g = graph();
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        assert!(CascadingDetector::default()
+            .detect_groups(&input)
+            .is_empty());
+    }
+
+    #[test]
+    fn min_group_size_is_enforced() {
+        let strategies = [strategy(0), strategy(1)];
+        let alerts = [alert(0, 1, 0), alert(1, 2, 60)];
+        let g = graph();
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        assert!(
+            CascadingDetector::default()
+                .detect_groups(&input)
+                .is_empty(),
+            "2 alerts < min_group 3"
+        );
+        let loose = CascadingDetector {
+            min_group: 2,
+            ..CascadingDetector::default()
+        };
+        assert_eq!(loose.detect_groups(&input).len(), 1);
+    }
+
+    #[test]
+    fn same_microservice_repeats_do_not_cascade() {
+        let strategies = [strategy(0), strategy(1), strategy(2)];
+        let alerts = [alert(0, 1, 0), alert(1, 1, 30), alert(2, 1, 60)];
+        let g = graph();
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        assert!(CascadingDetector::default()
+            .detect_groups(&input)
+            .is_empty());
+    }
+
+    #[test]
+    fn no_graph_no_findings() {
+        let strategies = [strategy(0)];
+        let alerts = [alert(0, 1, 0)];
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        assert!(CascadingDetector::default()
+            .detect_groups(&input)
+            .is_empty());
+    }
+
+    #[test]
+    fn transitive_dependencies_cascade_too() {
+        // 4 → 2 → 1: alert on 1, then on 2, then on 4.
+        let strategies = [strategy(0), strategy(1), strategy(2)];
+        let g: DependencyGraph = [
+            (MicroserviceId(2), MicroserviceId(1)),
+            (MicroserviceId(4), MicroserviceId(2)),
+        ]
+        .into_iter()
+        .collect();
+        let alerts = [alert(0, 1, 0), alert(1, 2, 60), alert(2, 4, 120)];
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        let groups = CascadingDetector::default().detect_groups(&input);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].root, AlertId(0));
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn two_separate_cascades_stay_separate() {
+        let strategies: Vec<AlertStrategy> = (0..6).map(strategy).collect();
+        let g: DependencyGraph = [
+            (MicroserviceId(2), MicroserviceId(1)),
+            (MicroserviceId(3), MicroserviceId(1)),
+            (MicroserviceId(12), MicroserviceId(11)),
+            (MicroserviceId(13), MicroserviceId(11)),
+        ]
+        .into_iter()
+        .collect();
+        let alerts = [
+            alert(0, 1, 0),
+            alert(1, 2, 60),
+            alert(2, 3, 90),
+            // Second cascade 5 hours later.
+            alert(3, 11, 18_000),
+            alert(4, 12, 18_060),
+            alert(5, 13, 18_090),
+        ];
+        let input = DetectionInput::new(&strategies)
+            .with_alerts(&alerts)
+            .with_graph(&g);
+        let groups = CascadingDetector::default().detect_groups(&input);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].root, AlertId(0));
+        assert_eq!(groups[1].root, AlertId(3));
+    }
+}

@@ -1,0 +1,197 @@
+//! The OCE adjudication protocol and inter-rater agreement.
+//!
+//! "We ask two experienced OCEs to mark whether they think the candidate
+//! ineffective pattern in alerts is an anti-pattern. If they both agree,
+//! we include it as an anti-pattern. If disagreements occur, another
+//! experienced OCE is invited to examine the pattern" (§III-A). The
+//! protocol is implemented verbatim, along with Cohen's κ for reporting
+//! the two primary raters' agreement.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of adjudicating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Decision {
+    /// Both primary raters (or the tie-breaker) confirmed it.
+    Confirmed,
+    /// Rejected by both primary raters (or the tie-breaker).
+    Rejected,
+}
+
+/// Adjudicates one candidate from two primary votes and a lazily
+/// obtained tie-breaker.
+///
+/// The tie-breaker closure is only invoked when the primary raters
+/// disagree — mirroring "another experienced OCE is invited".
+///
+/// # Example
+///
+/// ```
+/// use alertops_detect::adjudication::{adjudicate, Decision};
+///
+/// assert_eq!(adjudicate(true, true, || panic!("not needed")), Decision::Confirmed);
+/// assert_eq!(adjudicate(false, false, || panic!("not needed")), Decision::Rejected);
+/// assert_eq!(adjudicate(true, false, || true), Decision::Confirmed);
+/// assert_eq!(adjudicate(false, true, || false), Decision::Rejected);
+/// ```
+pub fn adjudicate(first: bool, second: bool, tie_breaker: impl FnOnce() -> bool) -> Decision {
+    let verdict = if first == second {
+        first
+    } else {
+        tie_breaker()
+    };
+    if verdict {
+        Decision::Confirmed
+    } else {
+        Decision::Rejected
+    }
+}
+
+/// Cohen's κ between two binary raters over the same candidates.
+///
+/// Returns `None` for empty input. κ = 1 means perfect agreement, 0
+/// chance-level, negative worse than chance. When both raters are
+/// constant and identical, agreement is perfect but chance agreement is
+/// also 1; the conventional value 1.0 is returned.
+#[must_use]
+pub fn cohens_kappa(first: &[bool], second: &[bool]) -> Option<f64> {
+    assert_eq!(first.len(), second.len(), "rater vectors differ in length");
+    let n = first.len();
+    if n == 0 {
+        return None;
+    }
+    let nf = n as f64;
+    let observed = first.iter().zip(second).filter(|(a, b)| a == b).count() as f64 / nf;
+    let p_first = first.iter().filter(|&&v| v).count() as f64 / nf;
+    let p_second = second.iter().filter(|&&v| v).count() as f64 / nf;
+    let chance = p_first * p_second + (1.0 - p_first) * (1.0 - p_second);
+    if (1.0 - chance).abs() < 1e-12 {
+        // Degenerate: constant raters. Perfect observed agreement → 1.
+        return Some(if (observed - 1.0).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        });
+    }
+    Some((observed - chance) / (1.0 - chance))
+}
+
+/// Batch-adjudicates candidates and summarizes the outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdjudicationSummary {
+    /// Total candidates examined.
+    pub total: usize,
+    /// Candidates confirmed as anti-patterns.
+    pub confirmed: usize,
+    /// Candidates where the primary raters disagreed (tie-breaker used).
+    pub disagreements: usize,
+    /// Cohen's κ of the two primary raters (`None` for empty input).
+    pub kappa: Option<f64>,
+}
+
+/// Runs the two-rater + tie-breaker protocol over a batch. `votes` holds
+/// `(first, second, tie_breaker)` triples; the tie-breaker value is only
+/// consulted on disagreement.
+#[must_use]
+pub fn adjudicate_batch(votes: &[(bool, bool, bool)]) -> AdjudicationSummary {
+    let first: Vec<bool> = votes.iter().map(|v| v.0).collect();
+    let second: Vec<bool> = votes.iter().map(|v| v.1).collect();
+    let mut confirmed = 0;
+    let mut disagreements = 0;
+    for &(a, b, tie) in votes {
+        if a != b {
+            disagreements += 1;
+        }
+        if adjudicate(a, b, || tie) == Decision::Confirmed {
+            confirmed += 1;
+        }
+    }
+    AdjudicationSummary {
+        total: votes.len(),
+        confirmed,
+        disagreements,
+        kappa: cohens_kappa(&first, &second),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_breaker_only_called_on_disagreement() {
+        let mut called = false;
+        let _ = adjudicate(true, true, || {
+            called = true;
+            true
+        });
+        assert!(!called);
+        let _ = adjudicate(true, false, || {
+            called = true;
+            false
+        });
+        assert!(called);
+    }
+
+    #[test]
+    fn paper_candidate_flow() {
+        // The paper: 5 individual candidates → 4 anti-patterns, 2
+        // collective candidates → 2 anti-patterns. One individual
+        // candidate is rejected.
+        let votes = [
+            (true, true, false),
+            (true, true, false),
+            (true, false, true), // disagreement, tie-breaker confirms
+            (true, true, false),
+            (false, false, true), // rejected outright
+            // collective:
+            (true, true, false),
+            (true, true, false),
+        ];
+        let summary = adjudicate_batch(&votes);
+        assert_eq!(summary.total, 7);
+        assert_eq!(summary.confirmed, 6);
+        assert_eq!(summary.disagreements, 1);
+    }
+
+    #[test]
+    fn kappa_perfect_agreement() {
+        let a = [true, false, true, false];
+        assert!((cohens_kappa(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_chance_level_is_zero() {
+        // Independent raters each saying yes half the time, agreement
+        // exactly at chance: p_o = 0.5, p_e = 0.5 → κ = 0.
+        let first = [true, true, false, false];
+        let second = [true, false, true, false];
+        assert!(cohens_kappa(&first, &second).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_disagreement_is_negative() {
+        let first = [true, false, true, false];
+        let second = [false, true, false, true];
+        assert!(cohens_kappa(&first, &second).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn kappa_degenerate_constant_raters() {
+        let first = [true, true, true];
+        let second = [true, true, true];
+        assert_eq!(cohens_kappa(&first, &second), Some(1.0));
+    }
+
+    #[test]
+    fn kappa_empty_is_none() {
+        assert_eq!(cohens_kappa(&[], &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn kappa_rejects_mismatched_lengths() {
+        let _ = cohens_kappa(&[true], &[]);
+    }
+}

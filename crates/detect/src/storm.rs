@@ -1,0 +1,211 @@
+//! Alert-storm detection.
+//!
+//! "In this study, if the number of alerts from a region exceeds 100 in
+//! an hour, we count it as an alert storm. Consecutive hours of alert
+//! storm will be merged into one" (§III-A2). Both rules are implemented
+//! verbatim.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{Alert, RegionId, TimeRange};
+
+/// Configuration for [`detect_storms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Alerts per region-hour above which the hour is a storm hour
+    /// (the paper: 100; strict `>` comparison).
+    pub hourly_threshold: usize,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        Self {
+            hourly_threshold: 100,
+        }
+    }
+}
+
+/// One detected alert storm: a maximal run of consecutive storm hours in
+/// one region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertStorm {
+    /// The affected region.
+    pub region: RegionId,
+    /// The merged `[first storm hour, last storm hour + 1)` span.
+    pub window: TimeRange,
+    /// Hour buckets belonging to the storm, ascending and consecutive.
+    pub hours: Vec<u64>,
+    /// Total alerts across the storm hours.
+    pub total_alerts: usize,
+    /// The peak single-hour alert count.
+    pub peak_hourly: usize,
+}
+
+impl AlertStorm {
+    /// Storm length in hours.
+    #[must_use]
+    pub fn duration_hours(&self) -> usize {
+        self.hours.len()
+    }
+}
+
+/// Detects alert storms in a stream: groups alerts per `(region, hour)`,
+/// keeps hours whose count exceeds the threshold, and merges consecutive
+/// storm hours per region. Returned storms are sorted by start time then
+/// region.
+#[must_use]
+pub fn detect_storms(alerts: &[Alert], config: &StormConfig) -> Vec<AlertStorm> {
+    // (region, hour) → count.
+    let mut counts: BTreeMap<(RegionId, u64), usize> = BTreeMap::new();
+    for alert in alerts {
+        *counts
+            .entry((alert.location().region().clone(), alert.hour_bucket()))
+            .or_insert(0) += 1;
+    }
+
+    // Per region, the sorted list of storm hours (BTreeMap keys are
+    // already sorted by (region, hour)).
+    let mut storms = Vec::new();
+    let mut current: Option<AlertStorm> = None;
+    for ((region, hour), count) in counts {
+        if count <= config.hourly_threshold {
+            continue;
+        }
+        match current.take() {
+            Some(mut storm)
+                if storm.region == region && storm.hours.last() == Some(&(hour - 1)) =>
+            {
+                storm.hours.push(hour);
+                storm.total_alerts += count;
+                storm.peak_hourly = storm.peak_hourly.max(count);
+                storm.window = storm.window.merge(&TimeRange::hour(hour));
+                current = Some(storm);
+            }
+            other => {
+                if let Some(done) = other {
+                    storms.push(done);
+                }
+                current = Some(AlertStorm {
+                    region,
+                    window: TimeRange::hour(hour),
+                    hours: vec![hour],
+                    total_alerts: count,
+                    peak_hourly: count,
+                });
+            }
+        }
+    }
+    if let Some(done) = current {
+        storms.push(done);
+    }
+    storms.sort_by(|a, b| {
+        a.window
+            .start()
+            .cmp(&b.window.start())
+            .then_with(|| a.region.cmp(&b.region))
+    });
+    storms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{AlertId, Location, SimTime, StrategyId};
+
+    /// `n` alerts in `region` during hour `hour`.
+    fn burst(region: &str, hour: u64, n: usize, start_id: u64) -> Vec<Alert> {
+        (0..n)
+            .map(|i| {
+                Alert::builder(AlertId(start_id + i as u64), StrategyId(0))
+                    .location(Location::new(region, "dc-1"))
+                    .raised_at(SimTime::from_secs(hour * 3_600 + i as u64 % 3_600))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_is_strictly_greater() {
+        let config = StormConfig::default();
+        let exactly_100 = burst("r1", 5, 100, 0);
+        assert!(detect_storms(&exactly_100, &config).is_empty());
+        let over = burst("r1", 5, 101, 0);
+        let storms = detect_storms(&over, &config);
+        assert_eq!(storms.len(), 1);
+        assert_eq!(storms[0].total_alerts, 101);
+    }
+
+    #[test]
+    fn consecutive_hours_merge() {
+        let mut alerts = burst("r1", 7, 150, 0);
+        alerts.extend(burst("r1", 8, 200, 1_000));
+        alerts.extend(burst("r1", 9, 120, 2_000));
+        let storms = detect_storms(&alerts, &StormConfig::default());
+        assert_eq!(storms.len(), 1);
+        let storm = &storms[0];
+        assert_eq!(storm.hours, vec![7, 8, 9]);
+        assert_eq!(storm.duration_hours(), 3);
+        assert_eq!(storm.total_alerts, 470);
+        assert_eq!(storm.peak_hourly, 200);
+        assert_eq!(storm.window.start(), SimTime::from_hours(7));
+        assert_eq!(storm.window.end(), SimTime::from_hours(10));
+    }
+
+    #[test]
+    fn gap_splits_storms() {
+        let mut alerts = burst("r1", 7, 150, 0);
+        alerts.extend(burst("r1", 9, 150, 1_000)); // hour 8 calm
+        let storms = detect_storms(&alerts, &StormConfig::default());
+        assert_eq!(storms.len(), 2);
+        assert_eq!(storms[0].hours, vec![7]);
+        assert_eq!(storms[1].hours, vec![9]);
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut alerts = burst("r1", 7, 150, 0);
+        alerts.extend(burst("r2", 8, 150, 1_000));
+        let storms = detect_storms(&alerts, &StormConfig::default());
+        assert_eq!(storms.len(), 2);
+        assert_eq!(storms[0].region, RegionId::new("r1"));
+        assert_eq!(storms[1].region, RegionId::new("r2"));
+    }
+
+    #[test]
+    fn same_hour_different_regions_do_not_merge() {
+        let mut alerts = burst("r1", 7, 150, 0);
+        alerts.extend(burst("r2", 7, 150, 1_000));
+        let storms = detect_storms(&alerts, &StormConfig::default());
+        assert_eq!(storms.len(), 2);
+    }
+
+    #[test]
+    fn sub_threshold_traffic_is_ignored_entirely() {
+        let mut alerts = Vec::new();
+        for hour in 0..48 {
+            alerts.extend(burst("r1", hour, 20, hour * 100));
+        }
+        assert!(detect_storms(&alerts, &StormConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(detect_storms(&[], &StormConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn storms_are_disjoint_and_ordered() {
+        let mut alerts = Vec::new();
+        for &h in &[3u64, 4, 10, 20, 21, 22] {
+            alerts.extend(burst("r1", h, 150, h * 1_000));
+        }
+        let storms = detect_storms(&alerts, &StormConfig::default());
+        assert_eq!(storms.len(), 3);
+        for pair in storms.windows(2) {
+            assert!(!pair[0].window.overlaps(&pair[1].window));
+            assert!(pair[0].window.end() <= pair[1].window.start());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end: detectors must recover the anti-patterns the simulator
+//! injected, from nothing but the alert stream, the catalog, the
+//! incidents and the dependency graph — mirroring how the paper mined
+//! candidates from production data.
+
+use std::collections::BTreeSet;
+
+use alertops_detect::{candidates, evaluate_sets, AntiPattern, AntiPatternReport, DetectionInput};
+use alertops_model::StrategyId;
+use alertops_sim::scenarios;
+
+fn injected(
+    out: &alertops_sim::SimOutput,
+    f: impl Fn(&alertops_sim::InjectedProfile) -> bool,
+) -> BTreeSet<StrategyId> {
+    out.catalog
+        .strategies()
+        .iter()
+        .map(alertops_model::AlertStrategy::id)
+        .filter(|&id| f(&out.catalog.profile(id)))
+        .collect()
+}
+
+#[test]
+fn detectors_recover_injected_anti_patterns() {
+    let out = scenarios::mini_study(11).run();
+    let graph = out.topology.dependency_graph();
+    let input = DetectionInput::new(out.catalog.strategies())
+        .with_alerts(&out.alerts)
+        .with_incidents(&out.incidents)
+        .with_graph(&graph);
+    let report = AntiPatternReport::run_default(&input);
+
+    // A1: title-based detection is near-exact (it sees the same text the
+    // injector wrote).
+    let a1 = evaluate_sets(
+        &report.flagged(AntiPattern::UnclearTitle),
+        &injected(&out, |p| p.vague_title),
+    );
+    assert!(a1.recall > 0.9, "A1 recall {:.2}", a1.recall);
+    assert!(a1.precision > 0.9, "A1 precision {:.2}", a1.precision);
+
+    // A4: transient/toggling behaviour is a statistical signature;
+    // evidence-based recall is necessarily partial (quiet strategies
+    // never produce alerts to judge).
+    let a4 = evaluate_sets(
+        &report.flagged(AntiPattern::TransientToggling),
+        &injected(&out, |p| p.oversensitive),
+    );
+    assert!(a4.precision > 0.7, "A4 precision {:.2}", a4.precision);
+    assert!(a4.recall > 0.4, "A4 recall {:.2}", a4.recall);
+
+    // A5: chatty strategies fire hour after hour.
+    let a5 = evaluate_sets(
+        &report.flagged(AntiPattern::Repeating),
+        &injected(&out, |p| p.chatty),
+    );
+    assert!(a5.recall > 0.6, "A5 recall {:.2}", a5.recall);
+}
+
+#[test]
+fn individual_candidate_mining_is_enriched_with_injected_strategies() {
+    let out = scenarios::mini_study(11).run();
+    let top30 = candidates::individual_candidates(&out.alerts, 0.3);
+    let candidate_ids: BTreeSet<StrategyId> = top30.iter().map(|c| c.strategy).collect();
+    // Fraction of candidates that carry an injected anti-pattern must
+    // exceed the base rate of injected strategies among all strategies
+    // with alerts — the paper's mining premise.
+    let flagged_in_candidates = candidate_ids
+        .iter()
+        .filter(|&&id| out.catalog.profile(id).any())
+        .count() as f64
+        / candidate_ids.len().max(1) as f64;
+    let all_with_alerts: BTreeSet<StrategyId> = out
+        .alerts
+        .iter()
+        .map(alertops_model::Alert::strategy)
+        .collect();
+    let base_rate = all_with_alerts
+        .iter()
+        .filter(|&&id| out.catalog.profile(id).any())
+        .count() as f64
+        / all_with_alerts.len().max(1) as f64;
+    assert!(
+        flagged_in_candidates > base_rate,
+        "top-30% not enriched: {flagged_in_candidates:.2} vs base {base_rate:.2}"
+    );
+}
+
+#[test]
+fn collective_candidates_and_storms_appear_in_study() {
+    let out = scenarios::mini_study(11).run();
+    let collective = candidates::collective_candidates(&out.alerts, 200);
+    let storms = alertops_detect::storm::detect_storms(
+        &out.alerts,
+        &alertops_detect::StormConfig::default(),
+    );
+    assert!(!storms.is_empty(), "study produced no storms");
+    // Collective candidates (threshold 200) are a subset of storm hours
+    // (threshold 100).
+    for candidate in &collective {
+        assert!(
+            storms
+                .iter()
+                .any(|s| s.region == candidate.region && s.hours.contains(&candidate.hour)),
+            "candidate region-hour not inside any storm"
+        );
+    }
+}
+
+#[test]
+fn cascades_detected_in_signal_scenario() {
+    let out = scenarios::quickstart(11).run();
+    let graph = out.topology.dependency_graph();
+    let input = DetectionInput::new(out.catalog.strategies())
+        .with_alerts(&out.alerts)
+        .with_incidents(&out.incidents)
+        .with_graph(&graph);
+    let report = AntiPatternReport::run_default(&input);
+    // quickstart injects one cascade; detection should find at least one
+    // multi-microservice group.
+    assert!(
+        !report.cascades.is_empty(),
+        "no cascade groups found despite injected cascade"
+    );
+    for group in &report.cascades {
+        assert!(group.len() >= 3);
+        assert!(group.members.contains(&group.root));
+    }
+}

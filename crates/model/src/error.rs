@@ -1,0 +1,64 @@
+//! Error type for model construction and state transitions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::AlertId;
+
+/// Errors produced when constructing or mutating model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A required builder field was not provided.
+    MissingField(&'static str),
+    /// A title or name was empty or whitespace-only.
+    EmptyTitle,
+    /// A severity string could not be parsed.
+    UnknownSeverity(String),
+    /// Attempted to clear an alert that was already cleared.
+    AlreadyCleared(AlertId),
+    /// Attempted to clear an alert before its raise time.
+    ClearanceBeforeRaise(AlertId),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingField(field) => write!(f, "required field `{field}` was not set"),
+            ModelError::EmptyTitle => write!(f, "title must not be empty"),
+            ModelError::UnknownSeverity(s) => write!(f, "unknown severity `{s}`"),
+            ModelError::AlreadyCleared(id) => write!(f, "{id} was already cleared"),
+            ModelError::ClearanceBeforeRaise(id) => {
+                write!(f, "{id} cannot be cleared before it was raised")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        assert_eq!(
+            ModelError::MissingField("kind").to_string(),
+            "required field `kind` was not set"
+        );
+        assert_eq!(
+            ModelError::UnknownSeverity("fatal".into()).to_string(),
+            "unknown severity `fatal`"
+        );
+        assert!(ModelError::AlreadyCleared(AlertId(3))
+            .to_string()
+            .contains("alert-3"));
+    }
+}

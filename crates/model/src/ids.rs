@@ -1,0 +1,169 @@
+//! Newtype identifiers for the entities of the alert-governance domain.
+//!
+//! Using distinct id types (rather than bare `u64`/`String`) statically
+//! prevents mixing, e.g., a strategy id with an alert id (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! numeric_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw numeric value of this id.
+            #[must_use]
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(value: u64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+    };
+}
+
+numeric_id!(
+    /// Identifier of a single [`Alert`](crate::Alert) instance.
+    AlertId,
+    "alert"
+);
+numeric_id!(
+    /// Identifier of an [`AlertStrategy`](crate::AlertStrategy).
+    ///
+    /// An alert always corresponds to exactly one alert strategy; the
+    /// paper does not discriminate "anti-pattern of alerts" and
+    /// "anti-pattern of alert strategies" for this reason.
+    StrategyId,
+    "strategy"
+);
+numeric_id!(
+    /// Identifier of a cloud *service* (the paper's system has 11).
+    ServiceId,
+    "service"
+);
+numeric_id!(
+    /// Identifier of a cloud *microservice* (the paper's system has 192).
+    MicroserviceId,
+    "microservice"
+);
+numeric_id!(
+    /// Identifier of an [`Incident`](crate::Incident).
+    IncidentId,
+    "incident"
+);
+numeric_id!(
+    /// Identifier of an on-call engineer ([`Oce`](crate::Oce)).
+    OceId,
+    "oce"
+);
+
+/// Identifier of a cloud region, e.g. `"region-x"`.
+///
+/// Regions are the grouping key for collective anti-pattern mining: the
+/// paper counts alerts *per hour per region* when selecting candidates of
+/// collective anti-patterns and when detecting alert storms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RegionId(pub String);
+
+impl RegionId {
+    /// Creates a region id from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// Returns the region name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for RegionId {
+    fn from(value: &str) -> Self {
+        Self(value.to_owned())
+    }
+}
+
+impl From<String> for RegionId {
+    fn from(value: String) -> Self {
+        Self(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_ids_display_with_prefix() {
+        assert_eq!(AlertId(42).to_string(), "alert-42");
+        assert_eq!(StrategyId(7).to_string(), "strategy-7");
+        assert_eq!(ServiceId(0).to_string(), "service-0");
+        assert_eq!(MicroserviceId(3).to_string(), "microservice-3");
+        assert_eq!(IncidentId(9).to_string(), "incident-9");
+        assert_eq!(OceId(1).to_string(), "oce-1");
+    }
+
+    #[test]
+    fn numeric_ids_roundtrip_u64() {
+        let id = AlertId::from(99u64);
+        assert_eq!(u64::from(id), 99);
+        assert_eq!(id.value(), 99);
+    }
+
+    #[test]
+    fn numeric_ids_order_by_value() {
+        assert!(AlertId(1) < AlertId(2));
+        assert!(StrategyId(10) > StrategyId(2));
+    }
+
+    #[test]
+    fn region_id_from_str_and_display() {
+        let region = RegionId::new("region-x");
+        assert_eq!(region.as_str(), "region-x");
+        assert_eq!(region.to_string(), "region-x");
+        assert_eq!(RegionId::from("region-x"), region);
+        assert_eq!(RegionId::from(String::from("region-x")), region);
+    }
+
+    #[test]
+    fn ids_serde_roundtrip_as_transparent() {
+        let json = serde_json::to_string(&AlertId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: AlertId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, AlertId(5));
+
+        let json = serde_json::to_string(&RegionId::new("r1")).unwrap();
+        assert_eq!(json, "\"r1\"");
+    }
+}

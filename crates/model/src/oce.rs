@@ -1,0 +1,131 @@
+//! On-call engineers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::OceId;
+
+/// Working-experience bands, matching the demographics of the paper's
+/// survey (18 OCEs: 10 with >3 years, 3 with 2–3, 2 with 1–2, 3 with <1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ExperienceBand {
+    /// Less than one year of working experience.
+    UnderOneYear,
+    /// One to two years.
+    OneToTwoYears,
+    /// Two to three years.
+    TwoToThreeYears,
+    /// More than three years.
+    OverThreeYears,
+}
+
+impl ExperienceBand {
+    /// All bands, ascending.
+    pub const ALL: [ExperienceBand; 4] = [
+        ExperienceBand::UnderOneYear,
+        ExperienceBand::OneToTwoYears,
+        ExperienceBand::TwoToThreeYears,
+        ExperienceBand::OverThreeYears,
+    ];
+
+    /// A diagnosis-speed multiplier: experienced OCEs process alerts
+    /// faster. Used by the simulator's processing-time model.
+    #[must_use]
+    pub const fn speed_factor(self) -> f64 {
+        match self {
+            ExperienceBand::UnderOneYear => 1.8,
+            ExperienceBand::OneToTwoYears => 1.4,
+            ExperienceBand::TwoToThreeYears => 1.15,
+            ExperienceBand::OverThreeYears => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for ExperienceBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExperienceBand::UnderOneYear => "<1 year",
+            ExperienceBand::OneToTwoYears => "1-2 years",
+            ExperienceBand::TwoToThreeYears => "2-3 years",
+            ExperienceBand::OverThreeYears => ">3 years",
+        })
+    }
+}
+
+/// An on-call engineer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Oce {
+    id: OceId,
+    name: String,
+    experience: ExperienceBand,
+}
+
+impl Oce {
+    /// Creates an OCE.
+    pub fn new(id: OceId, name: impl Into<String>, experience: ExperienceBand) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            experience,
+        }
+    }
+
+    /// The OCE id.
+    #[must_use]
+    pub fn id(&self) -> OceId {
+        self.id
+    }
+
+    /// The OCE's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The OCE's experience band.
+    #[must_use]
+    pub fn experience(&self) -> ExperienceBand {
+        self.experience
+    }
+}
+
+impl fmt::Display for Oce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.id, self.experience)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_order_by_experience() {
+        for w in ExperienceBand::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn speed_factor_decreases_with_experience() {
+        let factors: Vec<f64> = ExperienceBand::ALL
+            .iter()
+            .map(|b| b.speed_factor())
+            .collect();
+        for w in factors.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert_eq!(ExperienceBand::OverThreeYears.speed_factor(), 1.0);
+    }
+
+    #[test]
+    fn oce_accessors_and_display() {
+        let oce = Oce::new(OceId(3), "dana", ExperienceBand::OverThreeYears);
+        assert_eq!(oce.id(), OceId(3));
+        assert_eq!(oce.name(), "dana");
+        assert_eq!(oce.experience(), ExperienceBand::OverThreeYears);
+        assert_eq!(oce.to_string(), "dana (oce-3, >3 years)");
+    }
+}

@@ -1,0 +1,262 @@
+//! Standard Operating Procedures (SOPs).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, StrategyId};
+
+/// A predefined Standard Operating Procedure: what an OCE does upon
+/// receiving an alert.
+///
+/// Structure follows the paper's Fig. 5 example
+/// (`nginx_cpu_usage_over_80`): alert name, description, generation rule,
+/// potential impact, possible causes, and steps to diagnose.
+///
+/// # Example
+///
+/// ```
+/// use alertops_model::{Sop, StrategyId};
+///
+/// # fn main() -> Result<(), alertops_model::ModelError> {
+/// let sop = Sop::builder("nginx_cpu_usage_over_80", StrategyId(12))
+///     .description("CPU usage of nginx instance is higher than 80%")
+///     .generation_rule(
+///         "Continuously check the CPU usage of nginx instance, generate \
+///          the alert when usage is higher than 80%.",
+///     )
+///     .potential_impact("Affects the forwarding of all requests.")
+///     .possible_cause("The workload is too high.")
+///     .step("execute command `top -bn1` in the instance")
+///     .step("identify the busiest process and compare with the deploy manifest")
+///     .build()?;
+/// assert_eq!(sop.steps().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sop {
+    alert_name: String,
+    strategy: StrategyId,
+    description: String,
+    generation_rule: String,
+    potential_impact: String,
+    possible_causes: Vec<String>,
+    steps: Vec<String>,
+}
+
+impl Sop {
+    /// Starts building a SOP for the alert named `alert_name`, produced by
+    /// `strategy`.
+    #[must_use]
+    pub fn builder(alert_name: impl Into<String>, strategy: StrategyId) -> SopBuilder {
+        SopBuilder {
+            sop: Sop {
+                alert_name: alert_name.into(),
+                strategy,
+                description: String::new(),
+                generation_rule: String::new(),
+                potential_impact: String::new(),
+                possible_causes: Vec::new(),
+                steps: Vec::new(),
+            },
+        }
+    }
+
+    /// The alert name the OCE looks up to find this SOP.
+    #[must_use]
+    pub fn alert_name(&self) -> &str {
+        &self.alert_name
+    }
+
+    /// The strategy this SOP belongs to.
+    #[must_use]
+    pub fn strategy(&self) -> StrategyId {
+        self.strategy
+    }
+
+    /// Human-readable description of the alert condition.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Description of the generation rule (the alert strategy).
+    #[must_use]
+    pub fn generation_rule(&self) -> &str {
+        &self.generation_rule
+    }
+
+    /// The potential impact on the cloud system.
+    #[must_use]
+    pub fn potential_impact(&self) -> &str {
+        &self.potential_impact
+    }
+
+    /// Possible root causes, most likely first.
+    #[must_use]
+    pub fn possible_causes(&self) -> &[String] {
+        &self.possible_causes
+    }
+
+    /// The diagnosis steps, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+
+    /// A crude completeness score in `[0, 1]`: fraction of the six SOP
+    /// sections that are non-empty.
+    ///
+    /// The paper's survey found 77.8% of OCEs consider current SOPs of
+    /// limited help; incomplete SOPs lower the QoA *handleability*
+    /// criterion, and this score is the feature that captures it.
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        let sections = [
+            !self.alert_name.trim().is_empty(),
+            !self.description.trim().is_empty(),
+            !self.generation_rule.trim().is_empty(),
+            !self.potential_impact.trim().is_empty(),
+            !self.possible_causes.is_empty(),
+            !self.steps.is_empty(),
+        ];
+        sections.iter().filter(|&&s| s).count() as f64 / sections.len() as f64
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SOP for alert {}", self.alert_name)?;
+        writeln!(f, "  Description:       {}", self.description)?;
+        writeln!(f, "  Generation Rule:   {}", self.generation_rule)?;
+        writeln!(f, "  Potential Impact:  {}", self.potential_impact)?;
+        writeln!(f, "  Possible Causes:")?;
+        for (i, cause) in self.possible_causes.iter().enumerate() {
+            writeln!(f, "    {}) {cause}", (b'a' + i as u8) as char)?;
+        }
+        writeln!(f, "  Steps to Diagnose:")?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "    Step {}: {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Sop`]; see [`Sop::builder`].
+#[derive(Debug, Clone)]
+pub struct SopBuilder {
+    sop: Sop,
+}
+
+impl SopBuilder {
+    /// Sets the description section.
+    #[must_use]
+    pub fn description(mut self, text: impl Into<String>) -> Self {
+        self.sop.description = text.into();
+        self
+    }
+
+    /// Sets the generation-rule section.
+    #[must_use]
+    pub fn generation_rule(mut self, text: impl Into<String>) -> Self {
+        self.sop.generation_rule = text.into();
+        self
+    }
+
+    /// Sets the potential-impact section.
+    #[must_use]
+    pub fn potential_impact(mut self, text: impl Into<String>) -> Self {
+        self.sop.potential_impact = text.into();
+        self
+    }
+
+    /// Appends a possible cause.
+    #[must_use]
+    pub fn possible_cause(mut self, text: impl Into<String>) -> Self {
+        self.sop.possible_causes.push(text.into());
+        self
+    }
+
+    /// Appends a diagnosis step.
+    #[must_use]
+    pub fn step(mut self, text: impl Into<String>) -> Self {
+        self.sop.steps.push(text.into());
+        self
+    }
+
+    /// Builds the SOP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyTitle`] if the alert name is blank. All
+    /// other sections may legitimately be empty — that is exactly the
+    /// low-quality SOP the handleability criterion penalizes.
+    pub fn build(self) -> Result<Sop, ModelError> {
+        if self.sop.alert_name.trim().is_empty() {
+            return Err(ModelError::EmptyTitle);
+        }
+        Ok(self.sop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_sop() -> Sop {
+        Sop::builder("nginx_cpu_usage_over_80", StrategyId(1))
+            .description("CPU usage of nginx instance is higher than 80%")
+            .generation_rule("Check CPU usage; alert when > 80%.")
+            .potential_impact("Affects the forwarding of all requests.")
+            .possible_cause("The workload is too high.")
+            .possible_cause("A runaway worker process.")
+            .step("execute command top -bn1 in the instance")
+            .step("check nginx worker count")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_blank_name() {
+        assert!(Sop::builder("  ", StrategyId(1)).build().is_err());
+    }
+
+    #[test]
+    fn completeness_full() {
+        assert!((full_sop().completeness() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn completeness_partial() {
+        let sop = Sop::builder("x", StrategyId(1)).build().unwrap();
+        // Only the name section is filled: 1/6.
+        assert!((sop.completeness() - 1.0 / 6.0).abs() < 1e-12);
+        let sop = Sop::builder("x", StrategyId(1))
+            .description("d")
+            .step("s")
+            .build()
+            .unwrap();
+        assert!((sop.completeness() - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mirrors_fig5_layout() {
+        let text = full_sop().to_string();
+        assert!(text.starts_with("SOP for alert nginx_cpu_usage_over_80"));
+        assert!(text.contains("a) The workload is too high."));
+        assert!(text.contains("b) A runaway worker process."));
+        assert!(text.contains("Step 1: execute command top -bn1 in the instance"));
+        assert!(text.contains("Step 2: check nginx worker count"));
+    }
+
+    #[test]
+    fn accessors() {
+        let sop = full_sop();
+        assert_eq!(sop.alert_name(), "nginx_cpu_usage_over_80");
+        assert_eq!(sop.strategy(), StrategyId(1));
+        assert_eq!(sop.possible_causes().len(), 2);
+        assert_eq!(sop.steps().len(), 2);
+        assert!(sop.potential_impact().contains("forwarding"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Simulation time.
+//!
+//! The whole workspace runs on a discrete simulated clock measured in
+//! seconds from an arbitrary epoch. Wall-clock types (`std::time`,
+//! `chrono`) are deliberately avoided so that every experiment is
+//! deterministic and replayable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 24 * SECS_PER_HOUR;
+
+/// An instant on the simulated clock, in seconds since the simulation epoch.
+///
+/// # Example
+///
+/// ```
+/// use alertops_model::{SimTime, SECS_PER_HOUR};
+///
+/// let t = SimTime::from_hours(7) + alertops_model::SimDuration::from_secs(90);
+/// assert_eq!(t.as_secs(), 7 * SECS_PER_HOUR + 90);
+/// assert_eq!(t.hour_bucket(), 7);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (time zero).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates a time `secs` seconds after the epoch.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a time `mins` minutes after the epoch.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a time `hours` hours after the epoch.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        Self(hours * SECS_PER_HOUR)
+    }
+
+    /// Creates a time `days` days after the epoch.
+    #[must_use]
+    pub const fn from_days(days: u64) -> Self {
+        Self(days * SECS_PER_DAY)
+    }
+
+    /// Seconds since the epoch.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The hour-of-simulation this instant falls into (floor division).
+    ///
+    /// The paper groups alerts "by the hour they occur and the region they
+    /// belong to" when mining collective anti-patterns; this is that hour
+    /// key.
+    #[must_use]
+    pub const fn hour_bucket(self) -> u64 {
+        self.0 / SECS_PER_HOUR
+    }
+
+    /// The day-of-simulation this instant falls into.
+    #[must_use]
+    pub const fn day_bucket(self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// The hour of day (0..24) of this instant, for display purposes.
+    #[must_use]
+    pub const fn hour_of_day(self) -> u64 {
+        self.hour_bucket() % 24
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// Returns [`SimDuration::ZERO`] when `earlier` is later than `self`
+    /// (saturating), so callers never deal with negative durations.
+    #[must_use]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    #[must_use]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Checked subtraction of a duration.
+    #[must_use]
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{} {:02}:{:02}:{:02}",
+            self.day_bucket(),
+            self.hour_of_day(),
+            (self.0 % SECS_PER_HOUR) / 60,
+            self.0 % 60
+        )
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+/// A span of simulated time, in seconds.
+///
+/// # Example
+///
+/// ```
+/// use alertops_model::SimDuration;
+///
+/// let d = SimDuration::from_mins(10);
+/// assert_eq!(d.as_secs(), 600);
+/// assert_eq!(d.to_string(), "10m00s");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a duration of `mins` minutes.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a duration of `hours` hours.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        Self(hours * SECS_PER_HOUR)
+    }
+
+    /// The length of this duration in seconds.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The length of this duration in fractional minutes.
+    #[must_use]
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Whether this duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= SECS_PER_HOUR {
+            write!(
+                f,
+                "{}h{:02}m{:02}s",
+                self.0 / SECS_PER_HOUR,
+                (self.0 % SECS_PER_HOUR) / 60,
+                self.0 % 60
+            )
+        } else {
+            write!(f, "{}m{:02}s", self.0 / 60, self.0 % 60)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+/// A half-open interval `[start, end)` of simulated time.
+///
+/// # Example
+///
+/// ```
+/// use alertops_model::{SimTime, TimeRange};
+///
+/// let window = TimeRange::new(SimTime::from_hours(7), SimTime::from_hours(12));
+/// assert!(window.contains(SimTime::from_hours(11)));
+/// assert!(!window.contains(SimTime::from_hours(12)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    start: SimTime,
+    end: SimTime,
+}
+
+impl TimeRange {
+    /// Creates the interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end >= start, "TimeRange end must not precede start");
+        Self { start, end }
+    }
+
+    /// Creates the interval covering exactly simulation hour `hour`.
+    #[must_use]
+    pub fn hour(hour: u64) -> Self {
+        Self::new(SimTime::from_hours(hour), SimTime::from_hours(hour + 1))
+    }
+
+    /// The inclusive start of the interval.
+    #[must_use]
+    pub const fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The exclusive end of the interval.
+    #[must_use]
+    pub const fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The length of the interval.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+
+    /// Whether `t` lies in `[start, end)`.
+    #[must_use]
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether two ranges overlap (share at least one instant).
+    #[must_use]
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The smallest range covering both ranges.
+    #[must_use]
+    pub fn merge(&self, other: &TimeRange) -> TimeRange {
+        TimeRange {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(SimTime::from_mins(2), SimTime::from_secs(120));
+        assert_eq!(SimTime::from_hours(2), SimTime::from_secs(7200));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+    }
+
+    #[test]
+    fn hour_bucket_floors() {
+        assert_eq!(SimTime::from_secs(0).hour_bucket(), 0);
+        assert_eq!(SimTime::from_secs(3599).hour_bucket(), 0);
+        assert_eq!(SimTime::from_secs(3600).hour_bucket(), 1);
+        assert_eq!(SimTime::from_days(2).day_bucket(), 2);
+        assert_eq!(SimTime::from_hours(25).hour_of_day(), 1);
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let early = SimTime::from_secs(10);
+        let late = SimTime::from_secs(25);
+        assert_eq!(late.duration_since(early), SimDuration::from_secs(15));
+        assert_eq!(early.duration_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(100);
+        let d = SimDuration::from_secs(40);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).checked_sub(d), Some(t));
+        assert_eq!(SimTime::EPOCH.checked_sub(d), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(0).to_string(), "d0 00:00:00");
+        assert_eq!(
+            (SimTime::from_days(3) + SimDuration::from_secs(3725)).to_string(),
+            "d3 01:02:05"
+        );
+        assert_eq!(SimDuration::from_secs(90).to_string(), "1m30s");
+        assert_eq!(SimDuration::from_secs(3725).to_string(), "1h02m05s");
+    }
+
+    #[test]
+    fn range_contains_is_half_open() {
+        let r = TimeRange::hour(3);
+        assert!(r.contains(SimTime::from_hours(3)));
+        assert!(r.contains(SimTime::from_secs(3 * 3600 + 3599)));
+        assert!(!r.contains(SimTime::from_hours(4)));
+        assert_eq!(r.duration(), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn range_overlap_and_merge() {
+        let a = TimeRange::hour(1);
+        let b = TimeRange::hour(2);
+        let c = TimeRange::new(SimTime::from_secs(5000), SimTime::from_secs(8000));
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        let merged = a.merge(&b);
+        assert_eq!(merged.start(), SimTime::from_hours(1));
+        assert_eq!(merged.end(), SimTime::from_hours(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "TimeRange end must not precede start")]
+    fn range_rejects_inverted_bounds() {
+        let _ = TimeRange::new(SimTime::from_secs(10), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = [10u64, 20, 30]
+            .into_iter()
+            .map(SimDuration::from_secs)
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(60));
+    }
+}

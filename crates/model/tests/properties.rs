@@ -1,0 +1,147 @@
+//! Property-based tests over the core data model.
+
+use proptest::prelude::*;
+
+use alertops_model::{
+    Alert, AlertId, Clearance, DependencyGraph, MicroserviceId, Severity, SimDuration, SimTime,
+    StrategyId, TimeRange,
+};
+
+proptest! {
+    #[test]
+    fn time_addition_is_associative_with_durations(
+        base in 0u64..1_000_000,
+        d1 in 0u64..100_000,
+        d2 in 0u64..100_000,
+    ) {
+        let t = SimTime::from_secs(base);
+        let a = (t + SimDuration::from_secs(d1)) + SimDuration::from_secs(d2);
+        let b = t + SimDuration::from_secs(d1 + d2);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duration_since_saturates_and_inverts(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let ta = SimTime::from_secs(a);
+        let tb = SimTime::from_secs(b);
+        let d = tb.duration_since(ta);
+        if b >= a {
+            prop_assert_eq!(ta + d, tb);
+        } else {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn hour_bucket_consistent_with_range(t in 0u64..10_000_000) {
+        let time = SimTime::from_secs(t);
+        let range = TimeRange::hour(time.hour_bucket());
+        prop_assert!(range.contains(time));
+    }
+
+    #[test]
+    fn range_merge_covers_both(
+        s1 in 0u64..100_000, l1 in 0u64..100_000,
+        s2 in 0u64..100_000, l2 in 0u64..100_000,
+    ) {
+        let a = TimeRange::new(SimTime::from_secs(s1), SimTime::from_secs(s1 + l1));
+        let b = TimeRange::new(SimTime::from_secs(s2), SimTime::from_secs(s2 + l2));
+        let merged = a.merge(&b);
+        prop_assert!(merged.start() <= a.start());
+        prop_assert!(merged.start() <= b.start());
+        prop_assert!(merged.end() >= a.end());
+        prop_assert!(merged.end() >= b.end());
+    }
+
+    #[test]
+    fn severity_rank_roundtrip(rank in 0u8..4) {
+        let sev = Severity::from_rank(rank).expect("rank < 4");
+        prop_assert_eq!(sev.rank(), rank);
+    }
+
+    #[test]
+    fn severity_distance_triangle(
+        a in 0u8..4, b in 0u8..4, c in 0u8..4,
+    ) {
+        let sa = Severity::from_rank(a).unwrap();
+        let sb = Severity::from_rank(b).unwrap();
+        let sc = Severity::from_rank(c).unwrap();
+        prop_assert!(sa.distance(sc) <= sa.distance(sb) + sb.distance(sc));
+    }
+
+    #[test]
+    fn alert_lifecycle_invariant(
+        raised in 0u64..1_000_000,
+        clear_offset in prop::option::of(0u64..1_000_000),
+        manual in any::<bool>(),
+    ) {
+        let mut alert = Alert::builder(AlertId(1), StrategyId(2))
+            .raised_at(SimTime::from_secs(raised))
+            .build();
+        prop_assert!(alert.is_active());
+        if let Some(offset) = clear_offset {
+            let by = if manual { Clearance::Manual } else { Clearance::Auto };
+            alert
+                .clear(SimTime::from_secs(raised + offset), by)
+                .expect("clearance after raise succeeds");
+            // The invariant the whole duration analysis rests on.
+            prop_assert!(alert.cleared_at().unwrap() >= alert.raised_at());
+            prop_assert_eq!(
+                alert.duration().unwrap(),
+                SimDuration::from_secs(offset)
+            );
+            // Double clear always fails and preserves state.
+            let before = alert.clone();
+            prop_assert!(alert.clear(SimTime::from_secs(raised + offset + 1), by).is_err());
+            prop_assert_eq!(alert, before);
+        }
+    }
+
+    #[test]
+    fn graph_closure_consistent_with_pairwise(
+        edges in prop::collection::vec((0u64..12, 0u64..12), 0..40),
+    ) {
+        let graph: DependencyGraph = edges
+            .into_iter()
+            .map(|(a, b)| (MicroserviceId(a), MicroserviceId(b)))
+            .collect();
+        for a in 0..12u64 {
+            let closure = graph.dependency_closure(MicroserviceId(a));
+            for b in 0..12u64 {
+                prop_assert_eq!(
+                    closure.contains(&MicroserviceId(b)),
+                    graph.depends_transitively(MicroserviceId(a), MicroserviceId(b)),
+                    "closure/pairwise mismatch for {} -> {}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_affected_by_is_inverse_of_dependency_closure(
+        edges in prop::collection::vec((0u64..10, 0u64..10), 0..30),
+    ) {
+        let graph: DependencyGraph = edges
+            .into_iter()
+            .map(|(a, b)| (MicroserviceId(a), MicroserviceId(b)))
+            .collect();
+        for a in 0..10u64 {
+            for b in 0..10u64 {
+                let forward = graph
+                    .dependency_closure(MicroserviceId(a))
+                    .contains(&MicroserviceId(b));
+                let backward = graph
+                    .affected_by(MicroserviceId(b))
+                    .contains(&MicroserviceId(a));
+                // a depends on b ⟺ a is affected by b's failure,
+                // except the self-loop corner both sides exclude.
+                if a != b {
+                    prop_assert_eq!(forward, backward);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Label utilities for QoA learning experiments.
+//!
+//! Production QoA labels come from OCEs "creating labels like high/low
+//! precision/handleability/indicativeness for each alert during alert
+//! processing" (§IV). Experiments on the simulator derive the labels
+//! from ground truth instead, and use [`flip_labels`] to model imperfect
+//! human labelling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns a copy of `labels` with each entry independently flipped with
+/// probability `noise`. Deterministic in the seed.
+///
+/// # Panics
+///
+/// Panics if `noise` is outside `[0, 1]`.
+#[must_use]
+pub fn flip_labels(labels: &[bool], noise: f64, seed: u64) -> Vec<bool> {
+    assert!(
+        (0.0..=1.0).contains(&noise),
+        "noise must lie in [0, 1], got {noise}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    labels
+        .iter()
+        .map(|&label| if rng.gen_bool(noise) { !label } else { label })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let labels = vec![true, false, true, true];
+        assert_eq!(flip_labels(&labels, 0.0, 1), labels);
+    }
+
+    #[test]
+    fn full_noise_inverts_everything() {
+        let labels = vec![true, false, true];
+        assert_eq!(flip_labels(&labels, 1.0, 1), vec![false, true, false]);
+    }
+
+    #[test]
+    fn noise_rate_is_approximately_respected() {
+        let labels = vec![true; 10_000];
+        let noisy = flip_labels(&labels, 0.2, 7);
+        let flipped = noisy.iter().filter(|&&v| !v).count();
+        assert!((1_500..2_500).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let labels = vec![true; 100];
+        assert_eq!(flip_labels(&labels, 0.3, 5), flip_labels(&labels, 0.3, 5));
+        assert_ne!(flip_labels(&labels, 0.3, 5), flip_labels(&labels, 0.3, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must lie in")]
+    fn rejects_bad_noise() {
+        let _ = flip_labels(&[true], 1.5, 1);
+    }
+}

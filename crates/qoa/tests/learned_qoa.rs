@@ -1,0 +1,148 @@
+//! End-to-end QoA learning on simulated data: derive oracle labels from
+//! injected ground truth, add label noise (imperfect OCEs), train on
+//! half the strategies, and verify the model generalizes to the other
+//! half — the §IV proposal made measurable.
+
+use std::collections::HashMap;
+
+use alertops_model::{Alert, AlertStrategy, StrategyId};
+use alertops_qoa::{auc, flip_labels, Criterion, QoaModel, QoaScorer, TrainConfig};
+use alertops_sim::scenarios;
+
+struct Prepared {
+    features: Vec<(StrategyId, Vec<f64>)>,
+    /// Oracle "handleability is high" labels (clean strategies with full
+    /// SOPs handle fast).
+    handleable: Vec<bool>,
+}
+
+fn prepare(out: &alertops_sim::SimOutput) -> Prepared {
+    let mut by_strategy: HashMap<StrategyId, Vec<&Alert>> = HashMap::new();
+    for alert in &out.alerts {
+        by_strategy.entry(alert.strategy()).or_default().push(alert);
+    }
+    let model = QoaModel::new();
+    let mut features = Vec::new();
+    let mut handleable = Vec::new();
+    for strategy in out.catalog.strategies() {
+        let alerts = by_strategy
+            .get(&strategy.id())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let sop = out.catalog.sop(strategy.id());
+        features.push((
+            strategy.id(),
+            model.features(strategy, sop, alerts, &out.incidents),
+        ));
+        let profile = out.catalog.profile(strategy.id());
+        let sop_ok = sop.is_some_and(|s| s.completeness() > 0.8);
+        handleable.push(!profile.vague_title && sop_ok);
+    }
+    Prepared {
+        features,
+        handleable,
+    }
+}
+
+#[test]
+fn learned_handleability_generalizes() {
+    let out = scenarios::mini_study(31).run();
+    let prepared = prepare(&out);
+    let n = prepared.features.len();
+    let split = n / 2;
+
+    // Noisy OCE labels on the training half.
+    let noisy = flip_labels(&prepared.handleable[..split], 0.1, 99);
+    let train_x: Vec<Vec<f64>> = prepared.features[..split]
+        .iter()
+        .map(|(_, x)| x.clone())
+        .collect();
+
+    let mut model = QoaModel::new();
+    model.fit(
+        Criterion::Handleability,
+        &train_x,
+        &noisy,
+        &TrainConfig::default(),
+    );
+
+    // Evaluate on the held-out half against the *clean* oracle.
+    let scores: Vec<f64> = prepared.features[split..]
+        .iter()
+        .map(|(_, x)| model.predict_proba(Criterion::Handleability, x))
+        .collect();
+    let truth = &prepared.handleable[split..];
+    let a = auc(&scores, truth).expect("both classes present");
+    assert!(a > 0.8, "held-out AUC {a:.3}");
+}
+
+#[test]
+fn evidence_scorer_separates_injected_quality() {
+    let out = scenarios::mini_study(31).run();
+    let mut by_strategy: HashMap<StrategyId, Vec<&Alert>> = HashMap::new();
+    for alert in &out.alerts {
+        by_strategy.entry(alert.strategy()).or_default().push(alert);
+    }
+    let scorer = QoaScorer::new();
+    let mut clean_overall = Vec::new();
+    let mut dirty_overall = Vec::new();
+    for strategy in out.catalog.strategies() {
+        let alerts = by_strategy
+            .get(&strategy.id())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let report = scorer.score(
+            strategy,
+            out.catalog.sop(strategy.id()),
+            alerts,
+            &out.incidents,
+        );
+        let profile = out.catalog.profile(strategy.id());
+        if profile.is_clean() {
+            clean_overall.push(report.scores.overall());
+        } else if profile.vague_title || profile.misleading_severity {
+            dirty_overall.push(report.scores.overall());
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&clean_overall) > mean(&dirty_overall),
+        "clean {:.3} vs dirty {:.3}",
+        mean(&clean_overall),
+        mean(&dirty_overall)
+    );
+}
+
+#[test]
+fn continual_absorption_tracks_new_labels() {
+    let out = scenarios::mini_study(31).run();
+    let prepared = prepare(&out);
+    let x: Vec<Vec<f64>> = prepared.features.iter().map(|(_, v)| v.clone()).collect();
+    let mut model = QoaModel::new();
+    // Feed labels in 4 streaming batches, as OCEs would produce them.
+    let batch = x.len() / 4;
+    for epoch in 0..30 {
+        let _ = epoch;
+        for b in 0..4 {
+            let lo = b * batch;
+            let hi = if b == 3 { x.len() } else { (b + 1) * batch };
+            model.absorb(
+                Criterion::Handleability,
+                &x[lo..hi],
+                &prepared.handleable[lo..hi],
+                0.05,
+            );
+        }
+    }
+    let scores: Vec<f64> = x
+        .iter()
+        .map(|v| model.predict_proba(Criterion::Handleability, v))
+        .collect();
+    let a = auc(&scores, &prepared.handleable).expect("both classes present");
+    assert!(a > 0.8, "absorbed AUC {a:.3}");
+}
+
+#[allow(dead_code)]
+fn silence_unused(strategy: &AlertStrategy) -> StrategyId {
+    strategy.id()
+}

@@ -1,0 +1,363 @@
+//! R3 — alert correlation analysis.
+//!
+//! "Two kinds of exogenous information are used to correlate alerts. The
+//! first is the dependencies of alert strategies … They will associate
+//! all the derived alerts with their source alerts and diagnose the
+//! source alerts only. Another exogenous information is the topology of
+//! cloud services" (§III-C). Both sources are supported: explicit
+//! [`StrategyDependencies`] rules ("strategy A triggers strategy B") and
+//! the microservice [`DependencyGraph`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use alertops_model::MicroserviceId;
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{Alert, AlertId, DependencyGraph, SimDuration, StrategyId};
+
+/// Manually configured dependencies between alert strategies: an edge
+/// `source → derived` means "an alert of `source` can trigger an alert
+/// of `derived`".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategyDependencies {
+    /// derived → sources that can trigger it.
+    triggers: BTreeMap<StrategyId, BTreeSet<StrategyId>>,
+}
+
+impl StrategyDependencies {
+    /// Creates an empty rule set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `source` can trigger `derived`. Self-edges are
+    /// ignored.
+    pub fn add_trigger(&mut self, source: StrategyId, derived: StrategyId) {
+        if source != derived {
+            self.triggers.entry(derived).or_default().insert(source);
+        }
+    }
+
+    /// Whether `source` is a declared trigger of `derived`.
+    #[must_use]
+    pub fn is_trigger(&self, source: StrategyId, derived: StrategyId) -> bool {
+        self.triggers
+            .get(&derived)
+            .is_some_and(|s| s.contains(&source))
+    }
+
+    /// Number of declared edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triggers.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether no edges are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+}
+
+impl FromIterator<(StrategyId, StrategyId)> for StrategyDependencies {
+    /// Collects `(source, derived)` pairs.
+    fn from_iter<I: IntoIterator<Item = (StrategyId, StrategyId)>>(iter: I) -> Self {
+        let mut deps = Self::new();
+        for (source, derived) in iter {
+            deps.add_trigger(source, derived);
+        }
+        deps
+    }
+}
+
+/// A correlated cluster: one source alert and the alerts derived from it
+/// (directly or transitively).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrelatedCluster {
+    /// The source alert — "potentially the root cause of future service
+    /// failures"; the only alert the OCE diagnoses.
+    pub source: AlertId,
+    /// Alerts associated to the source, in raise order.
+    pub derived: Vec<AlertId>,
+}
+
+impl CorrelatedCluster {
+    /// Total alerts in the cluster including the source.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.derived.len() + 1
+    }
+
+    /// Never empty: a cluster always has its source.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The correlation engine.
+#[derive(Debug, Clone, Default)]
+pub struct AlertCorrelator {
+    strategy_deps: StrategyDependencies,
+    topology: Option<DependencyGraph>,
+    window: SimDuration,
+}
+
+impl AlertCorrelator {
+    /// Creates a correlator with a 10-minute association window and no
+    /// exogenous knowledge (every alert becomes its own cluster).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            strategy_deps: StrategyDependencies::new(),
+            topology: None,
+            window: SimDuration::from_mins(10),
+        }
+    }
+
+    /// Sets the association window.
+    #[must_use]
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Attaches strategy-dependency rules.
+    #[must_use]
+    pub fn with_strategy_dependencies(mut self, deps: StrategyDependencies) -> Self {
+        self.strategy_deps = deps;
+        self
+    }
+
+    /// Attaches the service topology.
+    #[must_use]
+    pub fn with_topology(mut self, graph: DependencyGraph) -> Self {
+        self.topology = Some(graph);
+        self
+    }
+
+    /// Whether alert `derived` can be attributed to alert `source`.
+    fn is_derived_from(
+        &self,
+        source: &Alert,
+        derived: &Alert,
+        closures: &mut HashMap<MicroserviceId, BTreeSet<MicroserviceId>>,
+    ) -> bool {
+        if derived.raised_at() < source.raised_at()
+            || derived.raised_at().duration_since(source.raised_at()) > self.window
+        {
+            return false;
+        }
+        if self
+            .strategy_deps
+            .is_trigger(source.strategy(), derived.strategy())
+        {
+            return true;
+        }
+        if let Some(graph) = &self.topology {
+            // A failure in source's microservice propagates up to its
+            // callers: derived's microservice must (transitively) call
+            // source's. Closures are cached per microservice.
+            if derived.microservice() != source.microservice()
+                && closures
+                    .entry(derived.microservice())
+                    .or_insert_with(|| graph.dependency_closure(derived.microservice()))
+                    .contains(&source.microservice())
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Correlates a time-sorted alert stream into clusters. Every alert
+    /// lands in exactly one cluster; alerts with no source of their own
+    /// become cluster sources.
+    ///
+    /// Attribution is greedy-to-earliest: each alert is attached to the
+    /// earliest alert in the window that can explain it, and attribution
+    /// chains collapse to the chain's source.
+    #[must_use]
+    pub fn correlate(&self, alerts: &[Alert]) -> Vec<CorrelatedCluster> {
+        let n = alerts.len();
+        // source_of[i] = index of the cluster source alert i belongs to.
+        let mut source_of: Vec<usize> = (0..n).collect();
+        let mut closures: HashMap<MicroserviceId, BTreeSet<MicroserviceId>> = HashMap::new();
+        let mut lo = 0usize;
+        for hi in 0..n {
+            while alerts[hi]
+                .raised_at()
+                .duration_since(alerts[lo].raised_at())
+                > self.window
+            {
+                lo += 1;
+            }
+            for earlier in lo..hi {
+                if self.is_derived_from(&alerts[earlier], &alerts[hi], &mut closures) {
+                    // Collapse to the chain's source.
+                    source_of[hi] = source_of[earlier];
+                    break; // earliest explanation wins
+                }
+            }
+        }
+        let mut clusters: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (ix, &src) in source_of.iter().enumerate() {
+            clusters.entry(src).or_default().push(ix);
+        }
+        clusters
+            .into_iter()
+            .map(|(src, members)| CorrelatedCluster {
+                source: alerts[src].id(),
+                derived: members
+                    .into_iter()
+                    .filter(|&m| m != src)
+                    .map(|m| alerts[m].id())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Convenience: just the source alerts the OCE should diagnose.
+    #[must_use]
+    pub fn root_alerts(&self, alerts: &[Alert]) -> Vec<AlertId> {
+        self.correlate(alerts)
+            .into_iter()
+            .map(|c| c.source)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{AlertId, MicroserviceId, SimTime};
+
+    fn alert(id: u64, strategy: u64, ms: u64, t: u64) -> Alert {
+        Alert::builder(AlertId(id), StrategyId(strategy))
+            .microservice(MicroserviceId(ms))
+            .raised_at(SimTime::from_secs(t))
+            .build()
+    }
+
+    #[test]
+    fn no_knowledge_means_singleton_clusters() {
+        let alerts = vec![alert(0, 1, 1, 0), alert(1, 2, 2, 60)];
+        let clusters = AlertCorrelator::new().correlate(&alerts);
+        assert_eq!(clusters.len(), 2);
+        assert!(clusters.iter().all(|c| c.derived.is_empty()));
+    }
+
+    #[test]
+    fn strategy_rules_associate_derived_alerts() {
+        let deps: StrategyDependencies = [(StrategyId(1), StrategyId(2))].into_iter().collect();
+        let correlator = AlertCorrelator::new().with_strategy_dependencies(deps);
+        let alerts = vec![alert(0, 1, 1, 0), alert(1, 2, 2, 120)];
+        let clusters = correlator.correlate(&alerts);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].source, AlertId(0));
+        assert_eq!(clusters[0].derived, vec![AlertId(1)]);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn topology_associates_dependent_microservices() {
+        let graph: DependencyGraph = [
+            (MicroserviceId(2), MicroserviceId(1)),
+            (MicroserviceId(3), MicroserviceId(1)),
+        ]
+        .into_iter()
+        .collect();
+        let correlator = AlertCorrelator::new().with_topology(graph);
+        // Table II: storage alert then two database alerts.
+        let alerts = vec![
+            alert(0, 10, 1, 0),
+            alert(1, 20, 2, 120),
+            alert(2, 21, 3, 120),
+        ];
+        let clusters = correlator.correlate(&alerts);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].source, AlertId(0));
+        assert_eq!(clusters[0].derived.len(), 2);
+        assert_eq!(correlator.root_alerts(&alerts), vec![AlertId(0)]);
+    }
+
+    #[test]
+    fn window_limits_attribution() {
+        let deps: StrategyDependencies = [(StrategyId(1), StrategyId(2))].into_iter().collect();
+        let correlator = AlertCorrelator::new()
+            .with_strategy_dependencies(deps)
+            .with_window(SimDuration::from_mins(5));
+        let alerts = vec![alert(0, 1, 1, 0), alert(1, 2, 2, 600)]; // 10 min later
+        let clusters = correlator.correlate(&alerts);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn chains_collapse_to_the_source() {
+        // 1 triggers 2, 2 triggers 3: all three collapse to the first.
+        let deps: StrategyDependencies = [
+            (StrategyId(1), StrategyId(2)),
+            (StrategyId(2), StrategyId(3)),
+        ]
+        .into_iter()
+        .collect();
+        let correlator = AlertCorrelator::new().with_strategy_dependencies(deps);
+        let alerts = vec![alert(0, 1, 1, 0), alert(1, 2, 2, 60), alert(2, 3, 3, 120)];
+        let clusters = correlator.correlate(&alerts);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].source, AlertId(0));
+        assert_eq!(clusters[0].derived, vec![AlertId(1), AlertId(2)]);
+    }
+
+    #[test]
+    fn every_alert_in_exactly_one_cluster() {
+        let deps: StrategyDependencies = [
+            (StrategyId(1), StrategyId(2)),
+            (StrategyId(1), StrategyId(3)),
+        ]
+        .into_iter()
+        .collect();
+        let correlator = AlertCorrelator::new().with_strategy_dependencies(deps);
+        let alerts: Vec<Alert> = (0..20)
+            .map(|i| alert(i, 1 + i % 4, i % 4, i * 30))
+            .collect();
+        let clusters = correlator.correlate(&alerts);
+        let mut all: Vec<AlertId> = clusters
+            .iter()
+            .flat_map(|c| std::iter::once(c.source).chain(c.derived.iter().copied()))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), alerts.len());
+    }
+
+    #[test]
+    fn derived_alerts_never_precede_their_source() {
+        let deps: StrategyDependencies = [(StrategyId(2), StrategyId(1))].into_iter().collect();
+        let correlator = AlertCorrelator::new().with_strategy_dependencies(deps);
+        // Alert of strategy 1 (derived kind) occurs BEFORE its would-be
+        // trigger: no association.
+        let alerts = vec![alert(0, 1, 1, 0), alert(1, 2, 2, 60)];
+        let clusters = correlator.correlate(&alerts);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn strategy_dependencies_api() {
+        let mut deps = StrategyDependencies::new();
+        assert!(deps.is_empty());
+        deps.add_trigger(StrategyId(1), StrategyId(2));
+        deps.add_trigger(StrategyId(1), StrategyId(2)); // dedup
+        deps.add_trigger(StrategyId(3), StrategyId(3)); // self-edge ignored
+        assert_eq!(deps.len(), 1);
+        assert!(deps.is_trigger(StrategyId(1), StrategyId(2)));
+        assert!(!deps.is_trigger(StrategyId(2), StrategyId(1)));
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(AlertCorrelator::new().correlate(&[]).is_empty());
+    }
+}

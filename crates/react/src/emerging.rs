@@ -1,0 +1,332 @@
+//! R4 — emerging alert detection.
+//!
+//! "Manually configured dependencies of alert strategies could not cover
+//! all the alert strategies … a few alerts corresponding to a root cause
+//! (i.e., emerging alerts) appear first. If they are not dealt with
+//! seriously, when the root cause escalates its influence, numerous
+//! cascading alerts will be generated. … We employ the adaptive online
+//! Latent Dirichlet Allocation to capture the implicit dependencies"
+//! (§III-C). This typically catches gray failures (memory leaks, CPU
+//! creep) before they cascade.
+//!
+//! The detector buckets alerts into fixed time windows, turns each
+//! alert's text (title + service) into a bag-of-words document, runs
+//! [`AdaptiveOnlineLda`] window by window, and reports alerts whose
+//! dominant topic has no counterpart in recent history.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{Alert, AlertId, SimDuration};
+use alertops_text::{BagOfWords, Tokenizer, Vocabulary};
+use alertops_topics::{AdaptiveOnlineLda, AoldaConfig, LdaConfig};
+
+/// Configuration for [`EmergingAlertDetector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergingConfig {
+    /// Window length for bucketing alerts.
+    pub window: SimDuration,
+    /// Number of topics.
+    pub num_topics: usize,
+    /// AOLDA adaptation weight (see [`AoldaConfig`]).
+    pub adaptation_weight: f64,
+    /// Emerging-topic JS-divergence threshold.
+    pub emerging_threshold: f64,
+    /// LDA passes per window.
+    pub passes_per_window: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EmergingConfig {
+    fn default() -> Self {
+        Self {
+            window: SimDuration::from_hours(1),
+            num_topics: 6,
+            adaptation_weight: 0.5,
+            emerging_threshold: 0.25,
+            passes_per_window: 15,
+            seed: 17,
+        }
+    }
+}
+
+/// The verdict for one processed window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergingReport {
+    /// Window index (0-based, consecutive).
+    pub window_index: usize,
+    /// Alerts in the window.
+    pub alert_count: usize,
+    /// Number of emerging topics found.
+    pub emerging_topics: usize,
+    /// Alerts whose dominant topic is emerging — surface these to OCEs
+    /// first.
+    pub emerging_alerts: Vec<AlertId>,
+}
+
+/// Streaming emerging-alert detection over consecutive windows.
+///
+/// The vocabulary must be fitted before processing (so word ids are
+/// stable across windows); use [`fit`](Self::fit) on a historical sample
+/// or on the full stream in offline analysis.
+#[derive(Debug)]
+pub struct EmergingAlertDetector {
+    config: EmergingConfig,
+    tokenizer: Tokenizer,
+    vocab: Vocabulary,
+    aolda: Option<AdaptiveOnlineLda>,
+    windows_processed: usize,
+}
+
+impl EmergingAlertDetector {
+    /// Creates a detector; the vocabulary is empty until
+    /// [`fit`](Self::fit) is called.
+    #[must_use]
+    pub fn new(config: EmergingConfig) -> Self {
+        Self {
+            config,
+            tokenizer: Tokenizer::new().drop_numbers(),
+            vocab: Vocabulary::new(),
+            aolda: None,
+            windows_processed: 0,
+        }
+    }
+
+    /// Fits the vocabulary over a corpus of alerts and initializes the
+    /// topic model. Must be called once before processing windows.
+    pub fn fit(&mut self, alerts: &[Alert]) {
+        for alert in alerts {
+            let tokens = self.tokenize(alert);
+            for token in &tokens {
+                self.vocab.intern(token);
+            }
+        }
+        // Guard against a degenerate empty vocabulary.
+        if self.vocab.is_empty() {
+            self.vocab.intern("alert");
+        }
+        self.aolda = Some(AdaptiveOnlineLda::new(AoldaConfig {
+            lda: LdaConfig {
+                num_topics: self.config.num_topics,
+                vocab_size: self.vocab.len(),
+                seed: self.config.seed,
+                ..LdaConfig::default()
+            },
+            adaptation_weight: self.config.adaptation_weight,
+            emerging_threshold: self.config.emerging_threshold,
+            passes_per_window: self.config.passes_per_window,
+            ..AoldaConfig::default()
+        }));
+        self.windows_processed = 0;
+    }
+
+    /// Whether [`fit`](Self::fit) has been called.
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.aolda.is_some()
+    }
+
+    /// Processes one window of alerts (the caller buckets them; see
+    /// [`run`](Self::run) for the offline driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector is not fitted.
+    pub fn process_window(&mut self, alerts: &[&Alert]) -> EmergingReport {
+        let aolda = self
+            .aolda
+            .as_mut()
+            .expect("EmergingAlertDetector::fit must be called first");
+        let docs: Vec<BagOfWords> = alerts
+            .iter()
+            .map(|a| {
+                let tokens =
+                    self.tokenizer
+                        .tokenize(&format!("{} {}", a.title(), a.service_name()));
+                self.vocab.encode_frozen(&tokens)
+            })
+            .collect();
+        let window = aolda.process_window(&docs);
+        let emerging_alerts = window
+            .emerging_doc_indices()
+            .into_iter()
+            .map(|ix| alerts[ix].id())
+            .collect();
+        let report = EmergingReport {
+            window_index: self.windows_processed,
+            alert_count: alerts.len(),
+            emerging_topics: window.emerging_topics().len(),
+            emerging_alerts,
+        };
+        self.windows_processed += 1;
+        report
+    }
+
+    /// Offline driver: fits the vocabulary on the whole stream, buckets
+    /// it into windows of the configured length, and processes each
+    /// window in order.
+    pub fn run(&mut self, alerts: &[Alert]) -> Vec<EmergingReport> {
+        self.fit(alerts);
+        if alerts.is_empty() {
+            return Vec::new();
+        }
+        let window_secs = self.config.window.as_secs().max(1);
+        let first = alerts
+            .iter()
+            .map(|a| a.raised_at().as_secs())
+            .min()
+            .expect("nonempty");
+        let last = alerts
+            .iter()
+            .map(|a| a.raised_at().as_secs())
+            .max()
+            .expect("nonempty");
+        let mut reports = Vec::new();
+        let mut start = first - first % window_secs;
+        while start <= last {
+            let end = start + window_secs;
+            let bucket: Vec<&Alert> = alerts
+                .iter()
+                .filter(|a| {
+                    let t = a.raised_at().as_secs();
+                    t >= start && t < end
+                })
+                .collect();
+            if !bucket.is_empty() {
+                reports.push(self.process_window(&bucket));
+            }
+            start = end;
+        }
+        reports
+    }
+
+    fn tokenize(&self, alert: &Alert) -> Vec<String> {
+        self.tokenizer
+            .tokenize(&format!("{} {}", alert.title(), alert.service_name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{AlertId, SimTime, StrategyId};
+
+    fn alert(id: u64, title: &str, t: u64) -> Alert {
+        Alert::builder(AlertId(id), StrategyId(id % 7))
+            .title(title)
+            .service("Storage")
+            .raised_at(SimTime::from_secs(t))
+            .build()
+    }
+
+    /// Hours 0..3: routine disk/cpu themes. Hour 3: a brand-new theme
+    /// ("certificate rotation deadlock") appears.
+    fn stream() -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut id = 0;
+        for hour in 0..4u64 {
+            for i in 0..12 {
+                let title = if i % 2 == 0 {
+                    "disk usage of storage node over threshold"
+                } else {
+                    "cpu utilization high on compute worker"
+                };
+                alerts.push(alert(id, title, hour * 3_600 + i * 240));
+                id += 1;
+            }
+            if hour == 3 {
+                for i in 0..10 {
+                    alerts.push(alert(
+                        id,
+                        "certificate rotation deadlock renewal stuck handshake expired",
+                        hour * 3_600 + 100 + i * 300,
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        alerts.sort_by_key(Alert::raised_at);
+        alerts
+    }
+
+    #[test]
+    fn run_produces_one_report_per_nonempty_window() {
+        let alerts = stream();
+        let mut detector = EmergingAlertDetector::new(EmergingConfig::default());
+        let reports = detector.run(&alerts);
+        assert_eq!(reports.len(), 4);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.window_index, i);
+            assert!(r.alert_count > 0);
+        }
+    }
+
+    #[test]
+    fn novel_theme_is_flagged_in_its_window() {
+        let alerts = stream();
+        let mut detector = EmergingAlertDetector::new(EmergingConfig {
+            num_topics: 3,
+            ..EmergingConfig::default()
+        });
+        let reports = detector.run(&alerts);
+        // The first window has no history: never emerging.
+        assert!(reports[0].emerging_alerts.is_empty());
+        // The novel "certificate" theme lands in window 3.
+        let last = &reports[3];
+        assert!(
+            !last.emerging_alerts.is_empty(),
+            "no emerging alerts flagged in the novel window"
+        );
+        // The flagged alerts should mostly be certificate alerts (ids >= 48).
+        let novel_hits = last.emerging_alerts.iter().filter(|id| id.0 >= 48).count();
+        assert!(
+            novel_hits * 2 >= last.emerging_alerts.len(),
+            "emerging alerts are mostly stale: {:?}",
+            last.emerging_alerts
+        );
+    }
+
+    #[test]
+    fn stable_stream_stays_quiet() {
+        let mut alerts = Vec::new();
+        for hour in 0..4u64 {
+            for i in 0..10 {
+                alerts.push(alert(
+                    hour * 100 + i,
+                    "disk usage of storage node over threshold",
+                    hour * 3_600 + i * 300,
+                ));
+            }
+        }
+        let mut detector = EmergingAlertDetector::new(EmergingConfig {
+            num_topics: 2,
+            ..EmergingConfig::default()
+        });
+        let reports = detector.run(&alerts);
+        let total_emerging: usize = reports.iter().map(|r| r.emerging_alerts.len()).sum();
+        assert_eq!(total_emerging, 0, "stable stream flagged {total_emerging}");
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let mut detector = EmergingAlertDetector::new(EmergingConfig::default());
+        let reports = detector.run(&[]);
+        assert!(reports.is_empty());
+        assert!(detector.is_fitted());
+    }
+
+    #[test]
+    #[should_panic(expected = "fit must be called")]
+    fn process_without_fit_panics() {
+        let mut detector = EmergingAlertDetector::new(EmergingConfig::default());
+        let _ = detector.process_window(&[]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let alerts = stream();
+        let mut a = EmergingAlertDetector::new(EmergingConfig::default());
+        let mut b = EmergingAlertDetector::new(EmergingConfig::default());
+        assert_eq!(a.run(&alerts), b.run(&alerts));
+    }
+}

@@ -1,0 +1,236 @@
+//! The reaction pipeline: block → aggregate → correlate.
+//!
+//! Composes R1–R3 in the order OCEs apply them during a flood and
+//! reports the volume reduction at every stage — the practical
+//! "effectiveness" OCEs rate in the paper's Fig. 2(c). (R4, emerging
+//! alert detection, is an orthogonal *early-warning* channel rather than
+//! a volume reducer; run it separately via
+//! [`EmergingAlertDetector`](crate::EmergingAlertDetector).)
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{Alert, AlertId};
+
+use crate::aggregation::{aggregate, AggregationConfig};
+use crate::blocking::AlertBlocker;
+use crate::correlation::AlertCorrelator;
+
+/// One stage's contribution to volume reduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStat {
+    /// Stage name ("input", "blocking", "aggregation", "correlation").
+    pub stage: String,
+    /// Items remaining after the stage.
+    pub remaining: usize,
+}
+
+/// The end-to-end pipeline report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Volume after each stage, starting with the raw input.
+    pub stages: Vec<StageStat>,
+    /// The final triage items: one source alert per correlated cluster
+    /// of aggregated representatives.
+    pub triage: Vec<AlertId>,
+    /// `1 - triage/input` (0 for empty input).
+    pub reduction: f64,
+}
+
+impl PipelineReport {
+    /// Items remaining after the named stage, if present.
+    #[must_use]
+    pub fn remaining_after(&self, stage: &str) -> Option<usize> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.remaining)
+    }
+}
+
+/// The composed reaction pipeline.
+#[derive(Debug, Default)]
+pub struct ReactionPipeline {
+    blocker: AlertBlocker,
+    aggregation: AggregationConfig,
+    correlator: AlertCorrelator,
+}
+
+impl ReactionPipeline {
+    /// A pipeline with no blocking rules, default aggregation, and no
+    /// correlation knowledge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the blocker (R1).
+    #[must_use]
+    pub fn with_blocker(mut self, blocker: AlertBlocker) -> Self {
+        self.blocker = blocker;
+        self
+    }
+
+    /// Sets the aggregation configuration (R2).
+    #[must_use]
+    pub fn with_aggregation(mut self, config: AggregationConfig) -> Self {
+        self.aggregation = config;
+        self
+    }
+
+    /// Sets the correlator (R3).
+    #[must_use]
+    pub fn with_correlator(mut self, correlator: AlertCorrelator) -> Self {
+        self.correlator = correlator;
+        self
+    }
+
+    /// Runs the pipeline over a time-sorted alert stream.
+    #[must_use]
+    pub fn run(&self, alerts: &[Alert]) -> PipelineReport {
+        let input = alerts.len();
+        let mut stages = vec![StageStat {
+            stage: "input".to_owned(),
+            remaining: input,
+        }];
+
+        // R1 — blocking.
+        let outcome = self.blocker.apply(alerts);
+        let passed: Vec<Alert> = outcome.passed.iter().map(|&a| a.clone()).collect();
+        stages.push(StageStat {
+            stage: "blocking".to_owned(),
+            remaining: passed.len(),
+        });
+
+        // R2 — aggregation.
+        let groups = aggregate(&passed, &self.aggregation);
+        stages.push(StageStat {
+            stage: "aggregation".to_owned(),
+            remaining: groups.len(),
+        });
+
+        // R3 — correlation over group representatives.
+        let representatives: Vec<Alert> = {
+            let mut reps: Vec<Alert> = groups
+                .iter()
+                .map(|g| {
+                    passed
+                        .iter()
+                        .find(|a| a.id() == g.representative)
+                        .expect("representative comes from the passed set")
+                        .clone()
+                })
+                .collect();
+            reps.sort_by_key(|a| (a.raised_at(), a.id()));
+            reps
+        };
+        let clusters = self.correlator.correlate(&representatives);
+        stages.push(StageStat {
+            stage: "correlation".to_owned(),
+            remaining: clusters.len(),
+        });
+
+        let triage: Vec<AlertId> = clusters.iter().map(|c| c.source).collect();
+        let reduction = if input == 0 {
+            0.0
+        } else {
+            1.0 - triage.len() as f64 / input as f64
+        };
+        PipelineReport {
+            stages,
+            triage,
+            reduction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::BlockRule;
+    use crate::correlation::StrategyDependencies;
+    use alertops_model::{SimTime, StrategyId};
+
+    fn alert(id: u64, strategy: u64, title: &str, t: u64) -> Alert {
+        Alert::builder(AlertId(id), StrategyId(strategy))
+            .title(title)
+            .raised_at(SimTime::from_secs(t))
+            .build()
+    }
+
+    /// A flood: 20 noisy alerts from strategy 9, 3 duplicates of
+    /// strategy 1, and a derived alert of strategy 2.
+    fn flood() -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for i in 0..20 {
+            alerts.push(alert(i, 9, "haproxy process number warning", i * 30));
+        }
+        for i in 20..23 {
+            alerts.push(alert(i, 1, "disk full", 100 + (i - 20) * 60));
+        }
+        alerts.push(alert(23, 2, "commit failed", 400));
+        alerts.sort_by_key(Alert::raised_at);
+        alerts
+    }
+
+    fn pipeline() -> ReactionPipeline {
+        let blocker: AlertBlocker = [BlockRule::for_strategy("mute haproxy", StrategyId(9))]
+            .into_iter()
+            .collect();
+        let deps: StrategyDependencies = [(StrategyId(1), StrategyId(2))].into_iter().collect();
+        ReactionPipeline::new()
+            .with_blocker(blocker)
+            .with_correlator(AlertCorrelator::new().with_strategy_dependencies(deps))
+    }
+
+    #[test]
+    fn stages_shrink_monotonically() {
+        let report = pipeline().run(&flood());
+        let volumes: Vec<usize> = report.stages.iter().map(|s| s.remaining).collect();
+        for w in volumes.windows(2) {
+            assert!(w[1] <= w[0], "stage increased volume: {volumes:?}");
+        }
+    }
+
+    #[test]
+    fn flood_collapses_to_one_triage_item() {
+        let report = pipeline().run(&flood());
+        // 24 input → block 20 → 4 remain → aggregate disk-full dupes →
+        // 2 groups → correlation attaches commit-failed to disk-full →
+        // 1 triage item.
+        assert_eq!(report.remaining_after("input"), Some(24));
+        assert_eq!(report.remaining_after("blocking"), Some(4));
+        assert_eq!(report.remaining_after("aggregation"), Some(2));
+        assert_eq!(report.remaining_after("correlation"), Some(1));
+        assert_eq!(report.triage.len(), 1);
+        assert!((report.reduction - (1.0 - 1.0 / 24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pipeline_on_empty_input() {
+        let report = ReactionPipeline::new().run(&[]);
+        assert_eq!(report.triage.len(), 0);
+        assert_eq!(report.reduction, 0.0);
+    }
+
+    #[test]
+    fn noop_pipeline_still_aggregates_duplicates() {
+        let report = ReactionPipeline::new().run(&flood());
+        // No blocking, no correlation knowledge: aggregation still folds
+        // the 20 haproxy alerts within windows.
+        let aggregated = report.remaining_after("aggregation").unwrap();
+        assert!(aggregated < 24);
+        assert_eq!(
+            report.remaining_after("correlation"),
+            Some(report.triage.len())
+        );
+    }
+
+    #[test]
+    fn triage_sources_exist_in_input() {
+        let alerts = flood();
+        let report = pipeline().run(&alerts);
+        for id in &report.triage {
+            assert!(alerts.iter().any(|a| a.id() == *id));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over the reactions: blocking partitions,
+//! aggregation preserves counts, correlation partitions.
+
+use proptest::prelude::*;
+
+use alertops_model::{
+    Alert, AlertId, DependencyGraph, Location, MicroserviceId, Severity, SimDuration, SimTime,
+    StrategyId,
+};
+use alertops_react::blocking::{AlertBlocker, BlockCriterion, BlockRule};
+use alertops_react::correlation::AlertCorrelator;
+use alertops_react::{
+    aggregate, audit_blocker, propose_incidents, AggregationConfig, AuditConfig, EscalationConfig,
+};
+
+fn arb_alerts(max: usize) -> impl Strategy<Value = Vec<Alert>> {
+    prop::collection::vec((0u64..10, 0u64..10, 0u64..50_000, 0u8..4), 0..max).prop_map(|rows| {
+        let mut alerts: Vec<Alert> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (strategy, ms, t, sev))| {
+                Alert::builder(AlertId(i as u64), StrategyId(strategy))
+                    .title(format!("alert of strategy {strategy}"))
+                    .severity(Severity::from_rank(sev).unwrap())
+                    .microservice(MicroserviceId(ms))
+                    .location(Location::new("r", "dc"))
+                    .raised_at(SimTime::from_secs(t))
+                    .build()
+            })
+            .collect();
+        alerts.sort_by_key(|a| (a.raised_at(), a.id()));
+        alerts
+    })
+}
+
+fn arb_rules() -> impl Strategy<Value = Vec<BlockRule>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..10).prop_map(|s| BlockRule::for_strategy("mute", StrategyId(s))),
+            (0u8..4).prop_map(|r| BlockRule {
+                name: "sev".into(),
+                criteria: vec![BlockCriterion::SeverityAtMost(
+                    Severity::from_rank(r).unwrap()
+                )],
+                active_window: None,
+            }),
+        ],
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocking_partitions_the_input(alerts in arb_alerts(150), rules in arb_rules()) {
+        let blocker: AlertBlocker = rules.into_iter().collect();
+        let outcome = blocker.apply(&alerts);
+        prop_assert_eq!(outcome.passed.len() + outcome.blocked.len(), alerts.len());
+        prop_assert_eq!(outcome.rule_hits.iter().sum::<usize>(), outcome.blocked.len());
+        // Idempotent: re-filtering the passed set blocks nothing.
+        let passed: Vec<Alert> = outcome.passed.iter().map(|&a| a.clone()).collect();
+        prop_assert!(blocker.apply(&passed).blocked.is_empty());
+    }
+
+    #[test]
+    fn aggregation_preserves_every_alert_once(
+        alerts in arb_alerts(150),
+        window_mins in 1u64..120,
+    ) {
+        let config = AggregationConfig {
+            window: SimDuration::from_mins(window_mins),
+            ..AggregationConfig::default()
+        };
+        let groups = aggregate(&alerts, &config);
+        let total: usize = groups.iter().map(|g| g.count).sum();
+        prop_assert_eq!(total, alerts.len());
+        let mut seen: Vec<AlertId> = groups.iter().flat_map(|g| g.members.clone()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), alerts.len());
+        // Representative is a member, max severity is attained.
+        for group in &groups {
+            prop_assert!(group.members.contains(&group.representative));
+            let max = group
+                .members
+                .iter()
+                .map(|id| alerts.iter().find(|a| a.id() == *id).unwrap().severity())
+                .max()
+                .unwrap();
+            prop_assert_eq!(max, group.max_severity);
+        }
+    }
+
+    #[test]
+    fn audit_accounting_is_exact(alerts in arb_alerts(150), rules in arb_rules()) {
+        let blocker: AlertBlocker = rules.into_iter().collect();
+        let audits = audit_blocker(&blocker, &alerts, &[], &AuditConfig::default());
+        prop_assert_eq!(audits.len(), blocker.rules().len());
+        // Total audited hits equals what apply() actually blocks.
+        let blocked = blocker.apply(&alerts).blocked.len();
+        let audited: usize = audits.iter().map(|a| a.total_hits).sum();
+        prop_assert_eq!(audited, blocked);
+        for audit in &audits {
+            // Daily histogram sums to the total.
+            let daily: usize = audit.daily_hits.iter().sum();
+            prop_assert_eq!(daily, audit.total_hits);
+            // Staleness is consistent with the trailing window.
+            if !audit.daily_hits.is_empty() {
+                let window = (AuditConfig::default().stale_after_days as usize)
+                    .min(audit.daily_hits.len());
+                let tail_hits: usize = audit.daily_hits
+                    [audit.daily_hits.len() - window..]
+                    .iter()
+                    .sum();
+                prop_assert_eq!(audit.stale, tail_hits == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn escalation_is_monotone_in_thresholds(
+        alerts in arb_alerts(100),
+        edges in prop::collection::vec((0u64..10, 0u64..10), 0..15),
+        size_lo in 2usize..4,
+        size_delta in 1usize..4,
+    ) {
+        let graph: DependencyGraph = edges
+            .into_iter()
+            .map(|(a, b)| (MicroserviceId(a), MicroserviceId(b)))
+            .collect();
+        let clusters = AlertCorrelator::new().with_topology(graph).correlate(&alerts);
+        let loose = propose_incidents(
+            &clusters,
+            &alerts,
+            &EscalationConfig { min_cluster_size: size_lo, severity_floor: Severity::Major },
+        );
+        let strict = propose_incidents(
+            &clusters,
+            &alerts,
+            &EscalationConfig {
+                min_cluster_size: size_lo + size_delta,
+                severity_floor: Severity::Critical,
+            },
+        );
+        // Tightening both thresholds can only remove proposals.
+        prop_assert!(strict.len() <= loose.len());
+        let loose_sources: std::collections::BTreeSet<_> =
+            loose.iter().map(|p| p.source).collect();
+        for proposal in &strict {
+            prop_assert!(loose_sources.contains(&proposal.source));
+        }
+        // Every proposal's contract holds.
+        for proposal in &loose {
+            prop_assert!(proposal.alerts.contains(&proposal.source));
+            let max = proposal
+                .alerts
+                .iter()
+                .filter_map(|id| alerts.iter().find(|a| a.id() == *id))
+                .map(|a| a.severity())
+                .max()
+                .unwrap();
+            prop_assert_eq!(max, proposal.severity);
+        }
+    }
+
+    #[test]
+    fn correlation_partitions_and_sources_are_earliest(
+        alerts in arb_alerts(120),
+        edges in prop::collection::vec((0u64..10, 0u64..10), 0..20),
+    ) {
+        let graph: DependencyGraph = edges
+            .into_iter()
+            .map(|(a, b)| (MicroserviceId(a), MicroserviceId(b)))
+            .collect();
+        let correlator = AlertCorrelator::new().with_topology(graph);
+        let clusters = correlator.correlate(&alerts);
+        let mut all: Vec<AlertId> = clusters
+            .iter()
+            .flat_map(|c| std::iter::once(c.source).chain(c.derived.iter().copied()))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), alerts.len());
+        // A cluster's source precedes (or ties) all its derived alerts.
+        let time_of = |id: AlertId| {
+            alerts.iter().find(|a| a.id() == id).unwrap().raised_at()
+        };
+        for cluster in &clusters {
+            for d in &cluster.derived {
+                prop_assert!(time_of(cluster.source) <= time_of(*d));
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Fault injection: the anomalies behind the alerts.
+//!
+//! Each [`FaultEvent`] degrades one microservice over a time interval.
+//! Cascading faults (the substrate of anti-pattern A6) are expanded
+//! against the topology: a source failure spawns attenuated, delayed
+//! faults in its transitive dependents, exactly the "anomalous states
+//! propagate through the service-calling structure" mechanism the paper
+//! describes.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{MicroserviceId, SimDuration, SimTime, TimeRange};
+
+use crate::rng;
+use crate::topology::Topology;
+
+/// The kind of injected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultKind {
+    /// A short-lived blip (seconds to a couple of minutes) that recovers
+    /// on its own — the raw material of transient alerts (A4).
+    Transient,
+    /// A sustained failure requiring intervention; escalates to an
+    /// incident on non-fault-tolerant microservices.
+    Sustained,
+    /// Gray failure: memory leaks slowly until exhaustion.
+    GrayMemoryLeak,
+    /// Gray failure: CPU usage creeps up under a runaway workload.
+    GrayCpuOverload,
+    /// A sustained failure that additionally cascades to dependents.
+    CascadeSource,
+    /// A fault induced in a dependent by an upstream cascade source.
+    CascadeInduced,
+}
+
+impl FaultKind {
+    /// Whether this fault, if unmitigated on a non-fault-tolerant
+    /// microservice, represents a user-visible service degradation.
+    #[must_use]
+    pub const fn is_user_visible(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Sustained
+                | FaultKind::CascadeSource
+                | FaultKind::CascadeInduced
+                | FaultKind::GrayMemoryLeak
+                | FaultKind::GrayCpuOverload
+        )
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The degraded microservice.
+    pub microservice: MicroserviceId,
+    /// The kind of anomaly.
+    pub kind: FaultKind,
+    /// When the fault begins.
+    pub start: SimTime,
+    /// How long it lasts (for gray failures: time to full exhaustion).
+    pub duration: SimDuration,
+    /// Degradation magnitude in `[0, 1]`; scales metric deviations.
+    pub magnitude: f64,
+    /// For `CascadeInduced`: the microservice of the originating
+    /// `CascadeSource` fault.
+    pub cascade_origin: Option<MicroserviceId>,
+}
+
+impl FaultEvent {
+    /// The `[start, start+duration)` window of the fault.
+    #[must_use]
+    pub fn window(&self) -> TimeRange {
+        TimeRange::new(self.start, self.start.saturating_add(self.duration))
+    }
+
+    /// Whether the fault is active at `t`.
+    #[must_use]
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.window().contains(t)
+    }
+
+    /// The fault's intensity at `t` in `[0, 1]`: 0 when inactive;
+    /// `magnitude` for step faults; a linear ramp from 0 to `magnitude`
+    /// for gray failures (leaks grow over time).
+    #[must_use]
+    pub fn intensity_at(&self, t: SimTime) -> f64 {
+        if !self.active_at(t) {
+            return 0.0;
+        }
+        match self.kind {
+            FaultKind::GrayMemoryLeak | FaultKind::GrayCpuOverload => {
+                let elapsed = t.duration_since(self.start).as_secs() as f64;
+                let total = self.duration.as_secs().max(1) as f64;
+                self.magnitude * (elapsed / total).min(1.0)
+            }
+            _ => self.magnitude,
+        }
+    }
+}
+
+/// A set of fault events, kept sorted by start time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events, sorted by start time.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Adds an event, keeping the plan sorted.
+    pub fn push(&mut self, event: FaultEvent) {
+        let pos = self.events.partition_point(|e| e.start <= event.start);
+        self.events.insert(pos, event);
+    }
+
+    /// Adds a cascade: the source fault itself plus induced faults in
+    /// the topological dependents of `source`, with per-hop delay and
+    /// magnitude attenuation. Returns how many induced faults were
+    /// created.
+    ///
+    /// `propagation_prob` is the per-dependent chance of the anomaly
+    /// spreading (fault-tolerant dependents halve it), `hop_delay` the
+    /// per-hop onset lag.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_cascade(
+        &mut self,
+        topology: &Topology,
+        source: MicroserviceId,
+        start: SimTime,
+        duration: SimDuration,
+        magnitude: f64,
+        propagation_prob: f64,
+        hop_delay: SimDuration,
+        seed: u64,
+    ) -> usize {
+        self.push(FaultEvent {
+            microservice: source,
+            kind: FaultKind::CascadeSource,
+            start,
+            duration,
+            magnitude,
+            cascade_origin: None,
+        });
+        let mut induced = 0;
+        for (dep, dist) in topology.cascade_closure(source) {
+            let ft = topology
+                .microservice(dep)
+                .is_some_and(|ms| ms.fault_tolerant);
+            let prob = propagation_prob * if ft { 0.5 } else { 1.0 };
+            // Attenuate per hop.
+            let p = prob.powi(dist as i32);
+            if rng::uniform(seed, source.0, dep.0, dist as u64) >= p {
+                continue;
+            }
+            let delay = SimDuration::from_secs(hop_delay.as_secs() * dist as u64);
+            let att = magnitude * 0.8f64.powi(dist as i32 - 1);
+            self.push(FaultEvent {
+                microservice: dep,
+                kind: FaultKind::CascadeInduced,
+                start: start.saturating_add(delay),
+                duration: SimDuration::from_secs(
+                    (duration.as_secs() as f64 * 0.9f64.powi(dist as i32)) as u64,
+                ),
+                magnitude: att,
+                cascade_origin: Some(source),
+            });
+            induced += 1;
+        }
+        induced
+    }
+
+    /// Faults active on `microservice` at time `t`.
+    pub fn active_on(
+        &self,
+        microservice: MicroserviceId,
+        t: SimTime,
+    ) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.microservice == microservice && e.active_at(t))
+    }
+
+    /// The combined intensity of all faults of the given kinds on
+    /// `microservice` at `t`, saturating at 1.
+    #[must_use]
+    pub fn intensity(&self, microservice: MicroserviceId, t: SimTime) -> f64 {
+        self.active_on(microservice, t)
+            .map(|e| e.intensity_at(t))
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl Extend<FaultEvent> for FaultPlan {
+    fn extend<T: IntoIterator<Item = FaultEvent>>(&mut self, iter: T) {
+        for event in iter {
+            self.push(event);
+        }
+    }
+}
+
+impl FromIterator<FaultEvent> for FaultPlan {
+    fn from_iter<T: IntoIterator<Item = FaultEvent>>(iter: T) -> Self {
+        let mut plan = FaultPlan::new();
+        plan.extend(iter);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn step_fault(ms: u64, start: u64, dur: u64) -> FaultEvent {
+        FaultEvent {
+            microservice: MicroserviceId(ms),
+            kind: FaultKind::Sustained,
+            start: SimTime::from_secs(start),
+            duration: SimDuration::from_secs(dur),
+            magnitude: 0.8,
+            cascade_origin: None,
+        }
+    }
+
+    #[test]
+    fn activity_window_is_half_open() {
+        let f = step_fault(1, 100, 50);
+        assert!(!f.active_at(SimTime::from_secs(99)));
+        assert!(f.active_at(SimTime::from_secs(100)));
+        assert!(f.active_at(SimTime::from_secs(149)));
+        assert!(!f.active_at(SimTime::from_secs(150)));
+    }
+
+    #[test]
+    fn step_fault_intensity_is_flat() {
+        let f = step_fault(1, 0, 100);
+        assert_eq!(f.intensity_at(SimTime::from_secs(1)), 0.8);
+        assert_eq!(f.intensity_at(SimTime::from_secs(99)), 0.8);
+        assert_eq!(f.intensity_at(SimTime::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn gray_fault_ramps_linearly() {
+        let f = FaultEvent {
+            kind: FaultKind::GrayMemoryLeak,
+            magnitude: 1.0,
+            ..step_fault(1, 0, 100)
+        };
+        assert!(f.intensity_at(SimTime::from_secs(0)) < 0.01);
+        let mid = f.intensity_at(SimTime::from_secs(50));
+        assert!((mid - 0.5).abs() < 0.02, "mid intensity {mid}");
+        let late = f.intensity_at(SimTime::from_secs(99));
+        assert!(late > 0.95);
+    }
+
+    #[test]
+    fn plan_stays_sorted() {
+        let mut plan = FaultPlan::new();
+        plan.push(step_fault(1, 300, 10));
+        plan.push(step_fault(2, 100, 10));
+        plan.push(step_fault(3, 200, 10));
+        let starts: Vec<u64> = plan.events().iter().map(|e| e.start.as_secs()).collect();
+        assert_eq!(starts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn intensity_sums_and_saturates() {
+        let mut plan = FaultPlan::new();
+        plan.push(step_fault(1, 0, 100));
+        plan.push(step_fault(1, 0, 100));
+        assert_eq!(
+            plan.intensity(MicroserviceId(1), SimTime::from_secs(5)),
+            1.0
+        );
+        assert_eq!(
+            plan.intensity(MicroserviceId(2), SimTime::from_secs(5)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn cascade_produces_delayed_attenuated_faults() {
+        let topo = Topology::generate(&TopologyConfig::default());
+        let source = topo
+            .microservices()
+            .iter()
+            .map(|ms| ms.id)
+            .max_by_key(|&id| topo.cascade_closure(id).len())
+            .unwrap();
+        let mut plan = FaultPlan::new();
+        let induced = plan.push_cascade(
+            &topo,
+            source,
+            SimTime::from_hours(1),
+            SimDuration::from_mins(30),
+            0.9,
+            0.95,
+            SimDuration::from_mins(2),
+            7,
+        );
+        assert!(induced > 0, "cascade induced no faults");
+        assert_eq!(plan.len(), induced + 1);
+        for e in plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::CascadeInduced)
+        {
+            assert!(e.start >= SimTime::from_hours(1));
+            assert!(e.magnitude <= 0.9);
+            assert_eq!(e.cascade_origin, Some(source));
+        }
+    }
+
+    #[test]
+    fn cascade_is_deterministic() {
+        let topo = Topology::generate(&TopologyConfig::default());
+        let source = MicroserviceId(0);
+        let mut a = FaultPlan::new();
+        let mut b = FaultPlan::new();
+        let args = (
+            SimTime::from_hours(1),
+            SimDuration::from_mins(10),
+            0.8,
+            0.9,
+            SimDuration::from_mins(1),
+        );
+        a.push_cascade(&topo, source, args.0, args.1, args.2, args.3, args.4, 5);
+        b.push_cascade(&topo, source, args.0, args.1, args.2, args.3, args.4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_collects_sorted() {
+        let plan: FaultPlan = vec![step_fault(1, 50, 5), step_fault(2, 10, 5)]
+            .into_iter()
+            .collect();
+        assert_eq!(plan.events()[0].start, SimTime::from_secs(10));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn user_visibility_partition() {
+        assert!(!FaultKind::Transient.is_user_visible());
+        assert!(FaultKind::Sustained.is_user_visible());
+        assert!(FaultKind::CascadeInduced.is_user_visible());
+    }
+}

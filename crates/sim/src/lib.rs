@@ -1,0 +1,61 @@
+//! Deterministic cloud microservice and monitoring-system simulator.
+//!
+//! The DSN'22 study analyzed 4M+ production alerts from a cloud of 11
+//! services and 192 microservices. That telemetry is proprietary, so this
+//! crate rebuilds the *generating processes* behind it, end to end:
+//!
+//! 1. [`topology`] — a seeded service/microservice dependency graph with
+//!    the paper's shape (11 services, 192 microservices, regions, DCs);
+//! 2. [`telemetry`] — per-microservice metric series (diurnal baseline +
+//!    noise), log error streams, and probe responses;
+//! 3. [`faults`] — injected anomalies: transient blips, sustained
+//!    failures, gray failures (memory leak, CPU creep), and cascades that
+//!    propagate along the dependency graph;
+//! 4. [`strategies`] — a generated catalog of alert strategies (probes /
+//!    logs / metrics, per §II-B3) with *known* injected anti-patterns:
+//!    vague titles (A1), misleading severities (A2), improper infra rules
+//!    (A3), over-sensitive thresholds (A4), and chatty rules (A5);
+//! 5. [`monitor`] — the monitoring system: evaluates every strategy
+//!    against the telemetry tick by tick, applies debounce and cooldown,
+//!    emits alerts, and auto-clears probe/metric alerts (§II-B4);
+//! 6. [`ocesim`] — the OCE model: assigns alerts to engineers and
+//!    produces per-alert processing times whose inflation under
+//!    anti-patterns mirrors the paper's candidate-mining assumption;
+//! 7. [`scenarios`] — ready-made experiment presets: the scaled-down
+//!    two-year study, the Fig. 3 alert storm, the Table II cascade.
+//!
+//! Everything is seeded: the same seed always reproduces the same alert
+//! stream, which is what makes the figure harnesses in `alertops-bench`
+//! reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use alertops_sim::scenarios;
+//!
+//! let out = scenarios::quickstart(7).run();
+//! assert!(!out.alerts.is_empty());
+//! // Same seed ⇒ identical stream.
+//! let again = scenarios::quickstart(7).run();
+//! assert_eq!(out.alerts.len(), again.alerts.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod faults;
+pub mod monitor;
+pub mod ocesim;
+pub mod scenarios;
+pub mod strategies;
+pub mod telemetry;
+pub mod topology;
+
+mod rng;
+
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use monitor::{MonitorConfig, MonitoringSystem};
+pub use ocesim::{OceTeam, ProcessingModel};
+pub use scenarios::{Scenario, SimOutput};
+pub use strategies::{InjectedProfile, StrategyCatalog, StrategyCatalogConfig};
+pub use topology::{Microservice, Service, Topology, TopologyConfig};

@@ -1,0 +1,127 @@
+//! Deterministic hash-based noise.
+//!
+//! The telemetry generator needs *random-looking but replayable* values
+//! at arbitrary `(entity, metric, tick)` coordinates, without storing any
+//! state — so the monitoring system can sample any point of any series in
+//! O(1) and two runs with the same seed agree exactly. A keyed splitmix64
+//! hash provides that.
+
+/// One round of splitmix64 finalization.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A keyed hash of up to three coordinates.
+#[inline]
+#[must_use]
+pub fn hash3(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ b.rotate_left(17));
+    splitmix64(h ^ c.rotate_left(37))
+}
+
+/// Uniform in `[0, 1)` from three coordinates.
+#[inline]
+#[must_use]
+pub fn uniform(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    // 53 high bits → exactly representable dyadic rational in [0, 1).
+    (hash3(seed, a, b, c) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal (Box–Muller) from three coordinates.
+#[inline]
+#[must_use]
+pub fn std_normal(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let u1 = uniform(seed, a, b, c).max(f64::MIN_POSITIVE);
+    let u2 = uniform(seed ^ 0x5851_F42D_4C95_7F2D, a, b, c);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Poisson sample via inversion (suitable for small rates λ ≲ 30) from
+/// three coordinates.
+#[must_use]
+pub fn poisson(seed: u64, a: u64, b: u64, c: u64, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let u = uniform(seed, a, b, c);
+    let mut p = (-lambda).exp();
+    let mut cdf = p;
+    let mut k = 0u32;
+    while u > cdf && k < 1_000 {
+        k += 1;
+        p *= lambda / f64::from(k);
+        cdf += p;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash3(1, 2, 3, 4), hash3(1, 2, 3, 4));
+        assert_eq!(uniform(9, 8, 7, 6), uniform(9, 8, 7, 6));
+        assert_eq!(std_normal(1, 1, 1, 1), std_normal(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn coordinates_matter() {
+        assert_ne!(hash3(1, 2, 3, 4), hash3(1, 2, 3, 5));
+        assert_ne!(hash3(1, 2, 3, 4), hash3(2, 2, 3, 4));
+        assert_ne!(hash3(1, 2, 3, 4), hash3(1, 3, 2, 4));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        for i in 0..1_000 {
+            let u = uniform(42, i, i * 3, i * 7);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| uniform(7, i, 0, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|i| std_normal(11, i, 0, 0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let n = 5_000;
+        for lambda in [0.5, 2.0, 8.0] {
+            let mean: f64 = (0..n)
+                .map(|i| f64::from(poisson(3, i, 1, 2, lambda)))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda {lambda}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        assert_eq!(poisson(1, 2, 3, 4, 0.0), 0);
+        assert_eq!(poisson(1, 2, 3, 4, -1.0), 0);
+    }
+}

@@ -1,0 +1,736 @@
+//! Ready-made experiment scenarios.
+//!
+//! Each scenario bundles a topology, a strategy catalog, a fault plan and
+//! a monitoring window into a single seeded, reproducible [`Scenario`]
+//! whose [`run`](Scenario::run) yields the complete [`SimOutput`] the
+//! detectors, reactions, and figure harnesses consume.
+//!
+//! Two generation engines are used:
+//!
+//! * **Signal-level** ([`MonitoringSystem`]): real per-tick strategy
+//!   evaluation against telemetry. Used by [`quickstart`],
+//!   [`cascade_table2`] and [`storm_fig3`] — faithful mechanics at
+//!   hours-to-days scale.
+//! * **Statistical** ([`workload`](crate::scenarios::study)): per-hour
+//!   Poisson sampling per strategy with storm injections. Used by
+//!   [`study`] to reach the paper's two-year scale (scaled down ~12×,
+//!   documented in DESIGN.md) in seconds.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{
+    Alert, AlertId, Clearance, Incident, Location, MicroserviceId, SimDuration, SimTime, TimeRange,
+};
+
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::monitor::{MonitorConfig, MonitoringSystem};
+use crate::ocesim::{derive_incidents, OceTeam, ProcessingModel};
+use crate::rng;
+use crate::strategies::{StrategyCatalog, StrategyCatalogConfig};
+use crate::telemetry::Telemetry;
+use crate::topology::{Topology, TopologyConfig};
+
+/// Which engine generates the alert stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Tick-by-tick signal evaluation (faithful, hours-to-days scale).
+    Signal,
+    /// Per-hour statistical sampling (scales to months).
+    Statistical,
+}
+
+/// A fully specified, seeded experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Topology parameters.
+    pub topology: TopologyConfig,
+    /// Strategy-catalog parameters.
+    pub catalog: StrategyCatalogConfig,
+    /// The monitored interval.
+    pub range: TimeRange,
+    /// Evaluation tick (signal engine only).
+    pub tick: SimDuration,
+    /// Which engine to use.
+    pub engine: Engine,
+    /// Planned cascade injections: `(start, duration, magnitude)`; the
+    /// source is picked as the microservice with the widest blast radius.
+    pub cascades: Vec<(SimTime, SimDuration, f64)>,
+    /// Scattered background faults per simulated day.
+    pub background_faults_per_day: f64,
+    /// Statistical engine: storm injections every N hours (0 = none).
+    pub storm_every_hours: u64,
+    /// Signal engine: add one dominant WARNING-level repeater (the
+    /// Fig. 3 "haproxy process number warning"): `(cooldown, fault
+    /// magnitude)`. The strategy fires at most once per cooldown; a
+    /// sustained sub-incident fault on its host keeps its log rule hot
+    /// for the duration of the first cascade onward.
+    pub dominant_repeater: Option<(SimDuration, f64)>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// The generated topology.
+    pub topology: Topology,
+    /// The generated strategy catalog (with injected ground truth).
+    pub catalog: StrategyCatalog,
+    /// The injected fault plan (ground truth for A6 and incidents).
+    pub faults: FaultPlan,
+    /// The alert stream, sorted by raise time, fully processed (every
+    /// alert has a processing time and a clearance).
+    pub alerts: Vec<Alert>,
+    /// Derived incidents (ground truth for indicativeness).
+    pub incidents: Vec<Incident>,
+    /// The on-call team.
+    pub team: OceTeam,
+}
+
+impl Scenario {
+    /// Runs the scenario end to end.
+    #[must_use]
+    pub fn run(&self) -> SimOutput {
+        let topology = Topology::generate(&self.topology);
+        let catalog = StrategyCatalog::generate(&topology, &self.catalog);
+        let mut faults = FaultPlan::new();
+
+        // Cascades from the widest-blast-radius source.
+        let wide_source = topology
+            .microservices()
+            .iter()
+            .map(|ms| ms.id)
+            .max_by_key(|&id| topology.cascade_closure(id).len())
+            .expect("topology has microservices");
+        for &(start, duration, magnitude) in &self.cascades {
+            faults.push_cascade(
+                &topology,
+                wide_source,
+                start,
+                duration,
+                magnitude,
+                0.9,
+                SimDuration::from_mins(2),
+                self.seed ^ 0xCA5C,
+            );
+        }
+
+        // Background faults.
+        let days = (self.range.duration().as_secs() as f64 / 86_400.0).max(1.0 / 24.0);
+        let n_background = (self.background_faults_per_day * days).round() as u64;
+        let n_ms = topology.microservices().len() as u64;
+        for i in 0..n_background {
+            let ms = MicroserviceId(rng::hash3(self.seed, 81, i, 0) % n_ms);
+            let offset =
+                (rng::uniform(self.seed, 82, i, 0) * self.range.duration().as_secs() as f64) as u64;
+            let kind = match rng::hash3(self.seed, 83, i, 0) % 5 {
+                0 => FaultKind::Sustained,
+                1 => FaultKind::GrayMemoryLeak,
+                2 => FaultKind::GrayCpuOverload,
+                _ => FaultKind::Transient,
+            };
+            let duration = match kind {
+                FaultKind::Transient => 30 + rng::hash3(self.seed, 84, i, 0) % 180,
+                FaultKind::GrayMemoryLeak | FaultKind::GrayCpuOverload => {
+                    3_600 + rng::hash3(self.seed, 84, i, 0) % 14_400
+                }
+                _ => 600 + rng::hash3(self.seed, 84, i, 0) % 3_000,
+            };
+            faults.push(FaultEvent {
+                microservice: ms,
+                kind,
+                start: self
+                    .range
+                    .start()
+                    .saturating_add(SimDuration::from_secs(offset)),
+                duration: SimDuration::from_secs(duration),
+                magnitude: 0.5 + rng::uniform(self.seed, 85, i, 0) * 0.5,
+                cascade_origin: None,
+            });
+        }
+
+        // Optional dominant repeater (Fig. 3's HAProxy).
+        let mut catalog = catalog;
+        if let Some((cooldown, magnitude)) = self.dominant_repeater {
+            let host = topology
+                .microservices()
+                .iter()
+                .find(|ms| ms.layer == 0 && ms.region == topology.regions()[0])
+                .or_else(|| topology.microservices().first())
+                .expect("topology has microservices");
+            let id = alertops_model::StrategyId(catalog.len() as u64);
+            let strategy = alertops_model::AlertStrategy::builder(id)
+                .title_template("haproxy process number warning")
+                .severity(alertops_model::Severity::Warning)
+                .service(host.service)
+                .microservice(host.id)
+                .kind(alertops_model::StrategyKind::Log(alertops_model::LogRule {
+                    keyword: "WARN".to_owned(),
+                    // min_count 2 keeps the baseline chatter mostly
+                    // sub-threshold; the host fault pushes it hot.
+                    min_count: 2,
+                    window: SimDuration::from_mins(5),
+                }))
+                .cooldown(cooldown)
+                .build()
+                .expect("repeater strategy is valid");
+            let sop = alertops_model::Sop::builder("haproxy process number warning", id)
+                .description("HAProxy worker count deviates from target")
+                .build()
+                .expect("repeater SOP is valid");
+            catalog.push(
+                strategy,
+                crate::strategies::InjectedProfile {
+                    chatty: true,
+                    ..crate::strategies::InjectedProfile::default()
+                },
+                sop,
+            );
+            let start = self
+                .cascades
+                .first()
+                .map_or(self.range.start(), |&(t, _, _)| t);
+            faults.push(FaultEvent {
+                microservice: host.id,
+                kind: FaultKind::GrayCpuOverload,
+                start,
+                duration: self.range.end().duration_since(start),
+                magnitude,
+                cascade_origin: None,
+            });
+        }
+        let catalog = catalog;
+
+        let mut alerts = match self.engine {
+            Engine::Signal => {
+                let telemetry = Telemetry::new(&topology, &faults, self.seed ^ 0x7E1E);
+                MonitoringSystem::new(
+                    telemetry,
+                    &catalog,
+                    MonitorConfig {
+                        tick: self.tick,
+                        range: self.range,
+                        seed: self.seed ^ 0x0CE,
+                    },
+                )
+                .run()
+            }
+            Engine::Statistical => statistical_alerts(self, &topology, &catalog, &mut faults),
+        };
+
+        let team = OceTeam::survey_team();
+        ProcessingModel {
+            seed: self.seed ^ 0x9CE5,
+            ..ProcessingModel::default()
+        }
+        .process(&mut alerts, &catalog, &team);
+        let incidents = derive_incidents(&topology, &faults, &alerts);
+
+        SimOutput {
+            topology,
+            catalog,
+            faults,
+            alerts,
+            incidents,
+            team,
+        }
+    }
+}
+
+/// Statistical engine: samples per-strategy hourly Poisson counts with
+/// profile-dependent rates, plus periodic region-localized storms.
+fn statistical_alerts(
+    scenario: &Scenario,
+    topology: &Topology,
+    catalog: &StrategyCatalog,
+    faults: &mut FaultPlan,
+) -> Vec<Alert> {
+    let seed = scenario.seed ^ 0x57A7;
+    let start_hour = scenario.range.start().hour_bucket();
+    let end_hour = scenario.range.end().hour_bucket();
+    let n_regions = topology.regions().len().max(1);
+
+    // Storm schedule: (hour, region index, service of the storm's root
+    // fault — its strategies participate heavily, mirroring a cascade
+    // inside one service stack).
+    let mut storm_hours: Vec<(u64, usize, alertops_model::ServiceId)> = Vec::new();
+    if scenario.storm_every_hours > 0 {
+        let mut h = start_hour + scenario.storm_every_hours / 2;
+        while h < end_hour {
+            let region_ix = (rng::hash3(seed, 91, h, 0) % n_regions as u64) as usize;
+            // Storms last 1–3 hours (consecutive hours merge, per §III-A2).
+            let span = 1 + rng::hash3(seed, 92, h, 0) % 3;
+            // A storm is backed by a real sustained fault so incidents
+            // derive; pick an exposed microservice in that region, varying
+            // the pick across storms.
+            let candidates: Vec<&crate::topology::Microservice> = topology
+                .microservices()
+                .iter()
+                .filter(|m| !m.fault_tolerant && m.region == topology.regions()[region_ix])
+                .collect();
+            let root = candidates
+                .get((rng::hash3(seed, 90, h, 1) % candidates.len().max(1) as u64) as usize)
+                .copied();
+            let root_service = root.map_or(alertops_model::ServiceId(0), |m| m.service);
+            for s in 0..span {
+                if h + s < end_hour {
+                    storm_hours.push((h + s, region_ix, root_service));
+                }
+            }
+            if let Some(ms) = root {
+                faults.push(FaultEvent {
+                    microservice: ms.id,
+                    kind: FaultKind::CascadeSource,
+                    start: SimTime::from_hours(h),
+                    duration: SimDuration::from_hours(span),
+                    magnitude: 0.9,
+                    cascade_origin: None,
+                });
+            }
+            h += scenario.storm_every_hours
+                + rng::hash3(seed, 93, h, 0) % (scenario.storm_every_hours / 2 + 1);
+        }
+    }
+
+    let mut alerts: Vec<Alert> = Vec::new();
+    for hour in start_hour..end_hour {
+        let storm: Option<(usize, alertops_model::ServiceId)> = storm_hours
+            .iter()
+            .find(|&&(h, _, _)| h == hour)
+            .map(|&(_, r, svc)| (r, svc));
+        for strategy in catalog.strategies() {
+            let profile = catalog.profile(strategy.id());
+            let ms = topology
+                .microservice(strategy.microservice())
+                .expect("strategy references a known microservice");
+            let region_ix = topology
+                .regions()
+                .iter()
+                .position(|r| *r == ms.region)
+                .unwrap_or(0);
+
+            let is_probe = matches!(strategy.kind(), alertops_model::StrategyKind::Probe(_));
+            // Base hourly rate by injected profile. Probes only fire on
+            // real unresponsiveness, so their background is far quieter.
+            let mut rate: f64 = if profile.chatty {
+                1.5
+            } else if profile.oversensitive {
+                0.5
+            } else if profile.improper_rule {
+                0.12
+            } else if is_probe {
+                0.008
+            } else {
+                0.04
+            };
+            // Storm amplification in the storm's region: the failing
+            // service's own strategies participate heavily (the cascade
+            // inside its stack), plus a thin random tail of dependents.
+            // Probe alerts amplify less — hosts go down far more rarely
+            // than metrics spike.
+            if let Some((storm_region_ix, storm_service)) = storm {
+                if storm_region_ix == region_ix {
+                    let in_blast = strategy.service() == storm_service
+                        || rng::hash3(seed, 94, strategy.id().0, hour / 24).is_multiple_of(25);
+                    if in_blast {
+                        rate = if is_probe {
+                            rate.max(0.2) * 4.0
+                        } else {
+                            rate.max(0.8) * 12.0
+                        };
+                    } else {
+                        rate *= 2.0;
+                    }
+                }
+            }
+            let count = rng::poisson(seed, 95, strategy.id().0, hour, rate);
+            for k in 0..count {
+                let offset =
+                    rng::hash3(seed, 96, strategy.id().0 * 131 + u64::from(k), hour) % 3_600;
+                let raised_at = SimTime::from_secs(hour * 3_600 + offset);
+                let mut alert = make_statistical_alert(
+                    seed,
+                    topology,
+                    strategy,
+                    ms,
+                    raised_at,
+                    alerts.len() as u64,
+                );
+                // Lifecycle: over-sensitive metric alerts always auto-clear
+                // fast (transient); other probe/metric alerts auto-clear
+                // only when the anomaly subsides on its own (~55%) —
+                // the rest wait for the OCE, like real sustained
+                // degradations. Log alerts always wait for the OCE.
+                if strategy.kind().supports_auto_clear() {
+                    if profile.oversensitive {
+                        let secs = 20 + rng::hash3(seed, 97, alerts.len() as u64, 0) % 220;
+                        alert
+                            .clear(
+                                raised_at.saturating_add(SimDuration::from_secs(secs)),
+                                Clearance::Auto,
+                            )
+                            .expect("fresh alert is clearable");
+                    } else if rng::uniform(seed, 103, alerts.len() as u64, 0) < 0.55 {
+                        let secs = 600 + rng::hash3(seed, 97, alerts.len() as u64, 0) % 5_400;
+                        alert
+                            .clear(
+                                raised_at.saturating_add(SimDuration::from_secs(secs)),
+                                Clearance::Auto,
+                            )
+                            .expect("fresh alert is clearable");
+                    }
+                }
+                alerts.push(alert);
+
+                // Over-sensitive strategies toggle: append a quick
+                // fire/clear burst after the initial alert.
+                if profile.oversensitive
+                    && rng::uniform(seed, 98, strategy.id().0, hour ^ u64::from(k)) < 0.35
+                {
+                    let burst = 2 + rng::hash3(seed, 99, strategy.id().0, hour) % 4;
+                    let mut t = raised_at;
+                    for b in 0..burst {
+                        t = t.saturating_add(SimDuration::from_secs(
+                            120 + rng::hash3(seed, 100, b, t.as_secs()) % 180,
+                        ));
+                        if !scenario.range.contains(t) {
+                            break;
+                        }
+                        let mut toggled = make_statistical_alert(
+                            seed,
+                            topology,
+                            strategy,
+                            ms,
+                            t,
+                            alerts.len() as u64,
+                        );
+                        toggled
+                            .clear(
+                                t.saturating_add(SimDuration::from_secs(
+                                    20 + rng::hash3(seed, 101, b, t.as_secs()) % 120,
+                                )),
+                                Clearance::Auto,
+                            )
+                            .expect("fresh alert is clearable");
+                        alerts.push(toggled);
+                    }
+                }
+            }
+        }
+    }
+
+    alerts.sort_by_key(|a| (a.raised_at(), a.strategy()));
+    alerts
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| a.with_id(AlertId(i as u64)))
+        .collect()
+}
+
+fn make_statistical_alert(
+    seed: u64,
+    topology: &Topology,
+    strategy: &alertops_model::AlertStrategy,
+    ms: &crate::topology::Microservice,
+    raised_at: SimTime,
+    entropy: u64,
+) -> Alert {
+    let instance = format!(
+        "vm-{}",
+        rng::hash3(seed, 102, entropy, raised_at.as_secs()) % 64
+    );
+    Alert::builder(AlertId(0), strategy.id())
+        .title(strategy.title_template())
+        .severity(strategy.severity())
+        .service(topology.service_name_of(ms.id))
+        .microservice(ms.id)
+        .location(Location::new(ms.region.clone(), ms.dc.clone()).with_instance(instance))
+        .raised_at(raised_at)
+        .build()
+}
+
+/// A small 6-hour world for first contact with the API: 24 microservices,
+/// 240 strategies, one sustained fault plus background transients.
+#[must_use]
+pub fn quickstart(seed: u64) -> Scenario {
+    Scenario {
+        name: "quickstart".to_owned(),
+        topology: TopologyConfig {
+            services: 4,
+            microservices: 24,
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            total_strategies: 240,
+            seed: seed ^ 1,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::EPOCH, SimTime::from_hours(6)),
+        tick: SimDuration::from_secs(60),
+        engine: Engine::Signal,
+        cascades: vec![(SimTime::from_hours(3), SimDuration::from_mins(40), 0.9)],
+        background_faults_per_day: 20.0,
+        storm_every_hours: 0,
+        dominant_repeater: None,
+        seed,
+    }
+}
+
+/// The Table II cascade: a Block Storage failure at ~06:36 cascading into
+/// its Database dependents, at full paper scale (192 microservices).
+#[must_use]
+pub fn cascade_table2(seed: u64) -> Scenario {
+    Scenario {
+        name: "cascade-table2".to_owned(),
+        topology: TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            seed: seed ^ 1,
+            // A quiet background so the cascade's own alerts dominate the
+            // sample table, as in the paper's hand-picked example.
+            chatty_fraction: 0.001,
+            oversensitive_fraction: 0.004,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::from_hours(5), SimTime::from_hours(8)),
+        tick: SimDuration::from_secs(60),
+        engine: Engine::Signal,
+        // 06:36, matching the paper's sample alerts.
+        cascades: vec![(
+            SimTime::from_secs(6 * 3_600 + 36 * 60),
+            SimDuration::from_mins(12),
+            0.95,
+        )],
+        background_faults_per_day: 2.0,
+        storm_every_hours: 0,
+        dominant_repeater: None,
+        seed,
+    }
+}
+
+/// The Fig. 3 alert storm: a 05:00–12:00 window at full catalog scale
+/// with a major cascade at 07:00 — the paper's storm produced 2751 alerts
+/// from 200 effective strategies between 07:00 and 11:59, dominated by a
+/// WARNING-level "haproxy process number warning" at ≈30% per hour.
+#[must_use]
+pub fn storm_fig3(seed: u64) -> Scenario {
+    Scenario {
+        name: "storm-fig3".to_owned(),
+        topology: TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            seed: seed ^ 1,
+            // Quieter baseline than the study defaults so the calm hours
+            // before 07:00 stay under the storm threshold and the storm
+            // itself is cascade-driven, as in the paper's case study.
+            chatty_fraction: 0.002,
+            oversensitive_fraction: 0.006,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::from_hours(5), SimTime::from_hours(12)),
+        tick: SimDuration::from_secs(20),
+        engine: Engine::Signal,
+        cascades: vec![
+            (SimTime::from_hours(7), SimDuration::from_hours(2), 0.95),
+            (
+                SimTime::from_secs(8 * 3_600 + 30 * 60),
+                SimDuration::from_mins(110),
+                0.9,
+            ),
+            (
+                SimTime::from_secs(9 * 3_600 + 20 * 60),
+                SimDuration::from_mins(100),
+                0.9,
+            ),
+            (
+                SimTime::from_secs(10 * 3_600 + 40 * 60),
+                SimDuration::from_mins(75),
+                0.9,
+            ),
+        ],
+        background_faults_per_day: 60.0,
+        storm_every_hours: 0,
+        dominant_repeater: Some((SimDuration::from_secs(40), 0.5)),
+        seed,
+    }
+}
+
+/// The two-year study, scaled: 60 days of statistical generation at the
+/// full 2010-strategy / 192-microservice scale, with storms every ~2
+/// days. Rates are tuned so the per-hour volume matches the paper's
+/// ≈230 alerts/hour average (4M+ over two years); extrapolating 60 days
+/// ×12.2 recovers the paper's scale.
+#[must_use]
+pub fn study(seed: u64) -> Scenario {
+    Scenario {
+        name: "study".to_owned(),
+        topology: TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            seed: seed ^ 1,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::EPOCH, SimTime::from_days(60)),
+        tick: SimDuration::from_secs(60),
+        engine: Engine::Statistical,
+        cascades: Vec::new(),
+        background_faults_per_day: 6.0,
+        storm_every_hours: 48,
+        dominant_repeater: None,
+        seed,
+    }
+}
+
+/// A miniature statistical study (4 days, small world) for tests and
+/// quick demos: same code paths as [`study`], two orders of magnitude
+/// faster.
+#[must_use]
+pub fn mini_study(seed: u64) -> Scenario {
+    Scenario {
+        name: "mini-study".to_owned(),
+        topology: TopologyConfig {
+            services: 6,
+            microservices: 48,
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            total_strategies: 480,
+            seed: seed ^ 1,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::EPOCH, SimTime::from_days(4)),
+        tick: SimDuration::from_secs(60),
+        engine: Engine::Statistical,
+        cascades: Vec::new(),
+        background_faults_per_day: 6.0,
+        storm_every_hours: 24,
+        dominant_repeater: None,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_runs_and_is_deterministic() {
+        let a = quickstart(7).run();
+        let b = quickstart(7).run();
+        assert!(!a.alerts.is_empty());
+        assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.incidents.len(), b.incidents.len());
+        let c = quickstart(8).run();
+        assert_ne!(a.alerts.len(), 0);
+        // Different seed almost surely differs.
+        assert!(a.alerts != c.alerts);
+    }
+
+    #[test]
+    fn quickstart_alerts_are_processed() {
+        let out = quickstart(7).run();
+        for alert in &out.alerts {
+            assert!(alert.processing_time().is_some());
+            assert!(!alert.is_active());
+        }
+    }
+
+    #[test]
+    fn quickstart_has_cascade_ground_truth() {
+        let out = quickstart(7).run();
+        let induced = out
+            .faults
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::CascadeInduced)
+            .count();
+        assert!(induced > 0, "cascade produced no induced faults");
+    }
+
+    #[test]
+    fn mini_study_volume_and_storms() {
+        let out = mini_study(3).run();
+        // 4 days × 48 microservices world: expect a few thousand alerts.
+        assert!(
+            out.alerts.len() > 500,
+            "too few alerts: {}",
+            out.alerts.len()
+        );
+        // Hour × region counting should reveal at least one >100 hour
+        // (a storm).
+        use std::collections::HashMap;
+        let mut counts: HashMap<(String, u64), usize> = HashMap::new();
+        for a in &out.alerts {
+            *counts
+                .entry((a.location().region().as_str().to_owned(), a.hour_bucket()))
+                .or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max > 100, "no storm-like hour; max {max}");
+        // And typical hours are calm.
+        let median = {
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(median < 100, "median hourly volume too high: {median}");
+    }
+
+    #[test]
+    fn mini_study_is_deterministic() {
+        let a = mini_study(5).run();
+        let b = mini_study(5).run();
+        assert_eq!(a.alerts.len(), b.alerts.len());
+        assert_eq!(a.alerts.first(), b.alerts.first());
+        assert_eq!(a.alerts.last(), b.alerts.last());
+    }
+
+    #[test]
+    fn statistical_alerts_sorted_with_dense_ids() {
+        let out = mini_study(3).run();
+        for (i, a) in out.alerts.iter().enumerate() {
+            assert_eq!(a.id(), AlertId(i as u64));
+        }
+        for w in out.alerts.windows(2) {
+            assert!(w[0].raised_at() <= w[1].raised_at());
+        }
+    }
+
+    #[test]
+    fn study_incidents_exist() {
+        let out = mini_study(3).run();
+        assert!(
+            !out.incidents.is_empty(),
+            "storms should escalate to incidents"
+        );
+    }
+
+    #[test]
+    fn chatty_strategies_dominate_repeats() {
+        let out = mini_study(3).run();
+        use std::collections::HashMap;
+        let mut per_strategy: HashMap<_, usize> = HashMap::new();
+        for a in &out.alerts {
+            *per_strategy.entry(a.strategy()).or_insert(0) += 1;
+        }
+        let (&top, &top_count) = per_strategy
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .expect("nonempty");
+        let profile = out.catalog.profile(top);
+        assert!(
+            profile.chatty || profile.oversensitive,
+            "top strategy {top} ({top_count} alerts) is not chatty/oversensitive"
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Telemetry generation: metrics, logs, probes.
+//!
+//! "Multiple monitoring techniques are employed to collect various types
+//! of telemetry data" (§I). This module synthesizes all three kinds the
+//! paper's strategies consume (§II-B3): performance-metric time series,
+//! log error streams, and probe heartbeats — each a deterministic
+//! function of `(microservice, time, seed)` plus the fault plan, so any
+//! point can be sampled in O(active faults) with no stored state.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::{MetricKind, MicroserviceId, SimTime, TimeRange, SECS_PER_DAY};
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::rng;
+use crate::topology::Topology;
+
+/// Per-metric baseline and noise characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricProfile {
+    /// Mean level in the metric's unit.
+    pub baseline: f64,
+    /// Diurnal seasonality amplitude as a fraction of baseline.
+    pub seasonal_amplitude: f64,
+    /// Standard deviation of the per-sample Gaussian noise.
+    pub noise_std: f64,
+}
+
+/// The default profile of each metric kind.
+#[must_use]
+pub fn default_profile(kind: MetricKind) -> MetricProfile {
+    match kind {
+        MetricKind::CpuUtilization => MetricProfile {
+            baseline: 40.0,
+            seasonal_amplitude: 0.25,
+            noise_std: 5.0,
+        },
+        MetricKind::MemoryUtilization => MetricProfile {
+            baseline: 50.0,
+            seasonal_amplitude: 0.05,
+            noise_std: 3.0,
+        },
+        MetricKind::DiskUsage => MetricProfile {
+            baseline: 55.0,
+            seasonal_amplitude: 0.01,
+            noise_std: 1.0,
+        },
+        MetricKind::NetworkThroughput => MetricProfile {
+            baseline: 100.0,
+            seasonal_amplitude: 0.4,
+            noise_std: 12.0,
+        },
+        MetricKind::ConnectionCount => MetricProfile {
+            baseline: 200.0,
+            seasonal_amplitude: 0.3,
+            noise_std: 25.0,
+        },
+        MetricKind::Latency => MetricProfile {
+            baseline: 50.0,
+            seasonal_amplitude: 0.15,
+            noise_std: 8.0,
+        },
+        MetricKind::RequestRate => MetricProfile {
+            baseline: 500.0,
+            seasonal_amplitude: 0.45,
+            noise_std: 40.0,
+        },
+        MetricKind::ErrorRate => MetricProfile {
+            baseline: 0.5,
+            seasonal_amplitude: 0.1,
+            noise_std: 0.3,
+        },
+    }
+}
+
+/// A read-only view that answers "what did the monitoring system observe
+/// at time t" for every telemetry source.
+#[derive(Debug, Clone, Copy)]
+pub struct Telemetry<'a> {
+    topology: &'a Topology,
+    faults: &'a FaultPlan,
+    seed: u64,
+}
+
+impl<'a> Telemetry<'a> {
+    /// Creates a telemetry view over a topology and a fault plan.
+    #[must_use]
+    pub fn new(topology: &'a Topology, faults: &'a FaultPlan, seed: u64) -> Self {
+        Self {
+            topology,
+            faults,
+            seed,
+        }
+    }
+
+    /// The topology backing this view.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The fault plan backing this view.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        self.faults
+    }
+
+    /// Samples metric `kind` of `ms` at time `t`.
+    ///
+    /// The value is baseline + diurnal seasonality + Gaussian noise +
+    /// fault deviations. Percent metrics are clamped to `[0, 100]`;
+    /// everything else to `[0, ∞)`.
+    #[must_use]
+    pub fn metric(&self, ms: MicroserviceId, kind: MetricKind, t: SimTime) -> f64 {
+        let profile = default_profile(kind);
+        let phase = rng::uniform(self.seed, 21, ms.0, kind as u64) * std::f64::consts::TAU;
+        let day_frac = (t.as_secs() % SECS_PER_DAY) as f64 / SECS_PER_DAY as f64;
+        let seasonal = profile.seasonal_amplitude
+            * profile.baseline
+            * (std::f64::consts::TAU * day_frac + phase).sin();
+        let noise = profile.noise_std
+            * rng::std_normal(self.seed, 22 + kind as u64, ms.0, t.as_secs() / 60);
+        let value = profile.baseline + seasonal + noise + self.fault_deviation(ms, kind, t);
+        match kind {
+            MetricKind::CpuUtilization
+            | MetricKind::MemoryUtilization
+            | MetricKind::DiskUsage
+            | MetricKind::ErrorRate => value.clamp(0.0, 100.0),
+            _ => value.max(0.0),
+        }
+    }
+
+    /// How active faults shift metric `kind` on `ms` at `t`.
+    fn fault_deviation(&self, ms: MicroserviceId, kind: MetricKind, t: SimTime) -> f64 {
+        let fault_tolerant = self
+            .topology
+            .microservice(ms)
+            .is_some_and(|m| m.fault_tolerant);
+        let mut dev = 0.0;
+        for fault in self.faults.active_on(ms, t) {
+            let i = fault.intensity_at(t);
+            if i <= 0.0 {
+                continue;
+            }
+            // Infrastructure-level symptoms always show on the box.
+            dev += match (fault.kind, kind) {
+                (FaultKind::GrayCpuOverload, MetricKind::CpuUtilization) => 55.0 * i,
+                (FaultKind::GrayMemoryLeak, MetricKind::MemoryUtilization) => 45.0 * i,
+                (FaultKind::Transient, MetricKind::CpuUtilization | MetricKind::Latency) => {
+                    35.0 * i
+                }
+                (
+                    FaultKind::Sustained | FaultKind::CascadeSource | FaultKind::CascadeInduced,
+                    MetricKind::CpuUtilization,
+                ) => 20.0 * i,
+                (
+                    FaultKind::Sustained | FaultKind::CascadeSource | FaultKind::CascadeInduced,
+                    MetricKind::ConnectionCount,
+                ) => 300.0 * i,
+                _ => 0.0,
+            };
+            // Service-level symptoms are shielded by fault tolerance:
+            // "the performance indicators of lower-level infrastructures
+            // do not have definite effect on the quality of cloud
+            // services" (A3).
+            let shield = if fault_tolerant { 0.1 } else { 1.0 };
+            let user_visible = fault.kind.is_user_visible();
+            dev += match kind {
+                MetricKind::Latency if user_visible => 400.0 * i * shield,
+                MetricKind::ErrorRate if user_visible => 30.0 * i * shield,
+                MetricKind::RequestRate if user_visible => -0.5 * 500.0 * i * shield,
+                _ => 0.0,
+            };
+        }
+        dev
+    }
+
+    /// Number of ERROR-level log lines `ms` printed during `window`.
+    ///
+    /// Baseline chatter plus a strong fault term; Poisson-distributed,
+    /// deterministic per `(ms, window start)`.
+    #[must_use]
+    pub fn error_log_count(&self, ms: MicroserviceId, window: TimeRange) -> u32 {
+        let mins = (window.duration().as_secs() as f64 / 60.0).max(1.0 / 60.0);
+        let fault_intensity = self.faults.intensity(ms, window.start());
+        let rate = (0.2 + 20.0 * fault_intensity) * mins;
+        rng::poisson(self.seed, 31, ms.0, window.start().as_secs(), rate)
+    }
+
+    /// Whether `ms` answers its heartbeat probe at `t`.
+    ///
+    /// A microservice stops responding while a sustained-class fault of
+    /// intensity > 0.6 covers it.
+    #[must_use]
+    pub fn probe_responsive(&self, ms: MicroserviceId, t: SimTime) -> bool {
+        let hard: f64 = self
+            .faults
+            .active_on(ms, t)
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FaultKind::Sustained | FaultKind::CascadeSource | FaultKind::CascadeInduced
+                )
+            })
+            .map(|f| f.intensity_at(t))
+            .sum();
+        hard <= 0.6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultEvent;
+    use crate::topology::TopologyConfig;
+    use alertops_model::SimDuration;
+
+    fn topo() -> Topology {
+        Topology::generate(&TopologyConfig::default())
+    }
+
+    fn fault(ms: u64, kind: FaultKind, start: u64, dur: u64, magnitude: f64) -> FaultEvent {
+        FaultEvent {
+            microservice: MicroserviceId(ms),
+            kind,
+            start: SimTime::from_secs(start),
+            duration: SimDuration::from_secs(dur),
+            magnitude,
+            cascade_origin: None,
+        }
+    }
+
+    #[test]
+    fn metrics_are_deterministic() {
+        let topo = topo();
+        let plan = FaultPlan::new();
+        let tel = Telemetry::new(&topo, &plan, 5);
+        let a = tel.metric(
+            MicroserviceId(3),
+            MetricKind::CpuUtilization,
+            SimTime::from_hours(2),
+        );
+        let b = tel.metric(
+            MicroserviceId(3),
+            MetricKind::CpuUtilization,
+            SimTime::from_hours(2),
+        );
+        assert_eq!(a, b);
+        let other_seed = Telemetry::new(&topo, &plan, 6).metric(
+            MicroserviceId(3),
+            MetricKind::CpuUtilization,
+            SimTime::from_hours(2),
+        );
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn percent_metrics_bounded() {
+        let topo = topo();
+        let plan: FaultPlan = vec![fault(0, FaultKind::GrayCpuOverload, 0, 86_400, 1.0)]
+            .into_iter()
+            .collect();
+        let tel = Telemetry::new(&topo, &plan, 1);
+        for h in 0..24 {
+            for kind in [
+                MetricKind::CpuUtilization,
+                MetricKind::MemoryUtilization,
+                MetricKind::DiskUsage,
+                MetricKind::ErrorRate,
+            ] {
+                let v = tel.metric(MicroserviceId(0), kind, SimTime::from_hours(h));
+                assert!((0.0..=100.0).contains(&v), "{kind} at h{h} = {v}");
+            }
+            let lat = tel.metric(
+                MicroserviceId(0),
+                MetricKind::Latency,
+                SimTime::from_hours(h),
+            );
+            assert!(lat >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_overload_raises_cpu() {
+        let topo = topo();
+        let quiet = FaultPlan::new();
+        let noisy: FaultPlan = vec![fault(0, FaultKind::GrayCpuOverload, 0, 7_200, 1.0)]
+            .into_iter()
+            .collect();
+        let t = SimTime::from_secs(7_000); // near the end of the ramp
+        let base = Telemetry::new(&topo, &quiet, 1).metric(
+            MicroserviceId(0),
+            MetricKind::CpuUtilization,
+            t,
+        );
+        let loaded = Telemetry::new(&topo, &noisy, 1).metric(
+            MicroserviceId(0),
+            MetricKind::CpuUtilization,
+            t,
+        );
+        assert!(
+            loaded > base + 30.0,
+            "cpu under overload {loaded} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn memory_leak_ramps_over_time() {
+        let topo = topo();
+        let plan: FaultPlan = vec![fault(0, FaultKind::GrayMemoryLeak, 0, 36_000, 1.0)]
+            .into_iter()
+            .collect();
+        let tel = Telemetry::new(&topo, &plan, 1);
+        let early = tel.metric(
+            MicroserviceId(0),
+            MetricKind::MemoryUtilization,
+            SimTime::from_secs(600),
+        );
+        let late = tel.metric(
+            MicroserviceId(0),
+            MetricKind::MemoryUtilization,
+            SimTime::from_secs(34_000),
+        );
+        assert!(late > early + 20.0, "leak not visible: {early} -> {late}");
+    }
+
+    #[test]
+    fn fault_tolerance_shields_service_level_metrics() {
+        let topo = topo();
+        let ft = topo
+            .microservices()
+            .iter()
+            .find(|m| m.fault_tolerant)
+            .unwrap()
+            .id;
+        let exposed = topo
+            .microservices()
+            .iter()
+            .find(|m| !m.fault_tolerant)
+            .unwrap()
+            .id;
+        let plan: FaultPlan = vec![
+            fault(ft.0, FaultKind::Sustained, 0, 3_600, 0.9),
+            fault(exposed.0, FaultKind::Sustained, 0, 3_600, 0.9),
+        ]
+        .into_iter()
+        .collect();
+        let tel = Telemetry::new(&topo, &plan, 1);
+        let t = SimTime::from_secs(1_000);
+        let lat_ft = tel.metric(ft, MetricKind::Latency, t);
+        let lat_exposed = tel.metric(exposed, MetricKind::Latency, t);
+        assert!(
+            lat_exposed > lat_ft + 150.0,
+            "fault tolerance did not shield latency: ft={lat_ft}, exposed={lat_exposed}"
+        );
+    }
+
+    #[test]
+    fn error_logs_spike_under_fault() {
+        let topo = topo();
+        let quiet = FaultPlan::new();
+        let noisy: FaultPlan = vec![fault(5, FaultKind::Sustained, 0, 3_600, 1.0)]
+            .into_iter()
+            .collect();
+        let window = TimeRange::new(SimTime::from_secs(60), SimTime::from_secs(180));
+        let base = Telemetry::new(&topo, &quiet, 1).error_log_count(MicroserviceId(5), window);
+        let spiked = Telemetry::new(&topo, &noisy, 1).error_log_count(MicroserviceId(5), window);
+        assert!(
+            spiked > base + 10,
+            "error logs did not spike: {base} -> {spiked}"
+        );
+    }
+
+    #[test]
+    fn probe_fails_only_under_hard_faults() {
+        let topo = topo();
+        let plan: FaultPlan = vec![
+            fault(1, FaultKind::Sustained, 0, 100, 0.9),
+            fault(2, FaultKind::Transient, 0, 100, 0.9),
+            fault(3, FaultKind::Sustained, 0, 100, 0.3),
+        ]
+        .into_iter()
+        .collect();
+        let tel = Telemetry::new(&topo, &plan, 1);
+        let t = SimTime::from_secs(50);
+        assert!(!tel.probe_responsive(MicroserviceId(1), t));
+        assert!(tel.probe_responsive(MicroserviceId(2), t)); // transient ≠ down
+        assert!(tel.probe_responsive(MicroserviceId(3), t)); // mild
+        assert!(tel.probe_responsive(MicroserviceId(1), SimTime::from_secs(150)));
+        // recovered
+    }
+
+    #[test]
+    fn noise_varies_per_minute_not_per_second() {
+        let topo = topo();
+        let plan = FaultPlan::new();
+        let tel = Telemetry::new(&topo, &plan, 3);
+        let a = tel.metric(
+            MicroserviceId(0),
+            MetricKind::Latency,
+            SimTime::from_secs(0),
+        );
+        let b = tel.metric(
+            MicroserviceId(0),
+            MetricKind::Latency,
+            SimTime::from_secs(30),
+        );
+        let c = tel.metric(
+            MicroserviceId(0),
+            MetricKind::Latency,
+            SimTime::from_secs(90),
+        );
+        // Same minute bucket ⇒ same noise; seasonality shift is tiny.
+        assert!((a - b).abs() < 0.2, "{a} vs {b}");
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the monitoring system with arbitrary
+//! hand-written catalogs and fault plans: whatever the rules, the alert
+//! stream must satisfy its structural contract.
+
+use proptest::prelude::*;
+
+use alertops_model::{
+    AlertId, AlertState, AlertStrategy, LogRule, MetricKind, MetricRule, MicroserviceId, ProbeRule,
+    Severity, SimDuration, SimTime, StrategyId, StrategyKind, ThresholdOp, TimeRange,
+};
+use alertops_sim::telemetry::Telemetry;
+use alertops_sim::{
+    FaultEvent, FaultKind, FaultPlan, MonitorConfig, MonitoringSystem, StrategyCatalog, Topology,
+    TopologyConfig,
+};
+
+fn arb_kind() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        (30u64..300).prop_map(|secs| StrategyKind::Probe(ProbeRule {
+            no_response_timeout: SimDuration::from_secs(secs),
+        })),
+        (1u32..6, 1u64..10).prop_map(|(min_count, window)| StrategyKind::Log(LogRule {
+            keyword: "ERROR".into(),
+            min_count,
+            window: SimDuration::from_mins(window),
+        })),
+        (0usize..8, 20.0f64..95.0, 1u32..4, prop::bool::ANY).prop_map(
+            |(metric_ix, threshold, samples, above)| StrategyKind::Metric(MetricRule {
+                metric: MetricKind::ALL[metric_ix],
+                op: if above {
+                    ThresholdOp::Above
+                } else {
+                    ThresholdOp::Below
+                },
+                threshold,
+                consecutive_samples: samples,
+            })
+        ),
+    ]
+}
+
+fn arb_catalog(n_ms: u64) -> impl Strategy<Value = StrategyCatalog> {
+    prop::collection::vec((arb_kind(), 0..n_ms, 0u64..40), 1..6).prop_map(|rules| {
+        StrategyCatalog::from_strategies(
+            rules
+                .into_iter()
+                .enumerate()
+                .map(|(ix, (kind, ms, cooldown))| {
+                    AlertStrategy::builder(StrategyId(ix as u64))
+                        .title_template(format!("rule {ix}"))
+                        .severity(Severity::Major)
+                        .microservice(MicroserviceId(ms))
+                        .kind(kind)
+                        .cooldown(SimDuration::from_mins(cooldown))
+                        .build()
+                        .expect("valid strategy")
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_faults(n_ms: u64) -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec(
+        (0..n_ms, 0u64..4, 0u64..5_400, 60u64..5_400, 0.3f64..1.0),
+        0..5,
+    )
+    .prop_map(|events| {
+        events
+            .into_iter()
+            .map(|(ms, kind_ix, start, duration, magnitude)| FaultEvent {
+                microservice: MicroserviceId(ms),
+                kind: match kind_ix {
+                    0 => FaultKind::Transient,
+                    1 => FaultKind::Sustained,
+                    2 => FaultKind::GrayMemoryLeak,
+                    _ => FaultKind::GrayCpuOverload,
+                },
+                start: SimTime::from_secs(start),
+                duration: SimDuration::from_secs(duration),
+                magnitude,
+                cascade_origin: None,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn monitor_output_contract_holds_for_any_rules(
+        catalog in arb_catalog(8),
+        faults in arb_faults(8),
+        seed in 0u64..50,
+    ) {
+        let topo = Topology::generate(&TopologyConfig {
+            services: 2,
+            microservices: 8,
+            seed,
+            ..TopologyConfig::default()
+        });
+        let telemetry = Telemetry::new(&topo, &faults, seed);
+        let range = TimeRange::new(SimTime::EPOCH, SimTime::from_hours(2));
+        let alerts = MonitoringSystem::new(
+            telemetry,
+            &catalog,
+            MonitorConfig {
+                tick: SimDuration::from_secs(60),
+                range,
+                seed,
+            },
+        )
+        .run();
+
+        let mut last_fire: std::collections::HashMap<StrategyId, SimTime> =
+            std::collections::HashMap::new();
+        for (ix, alert) in alerts.iter().enumerate() {
+            // Dense ids in raise order.
+            prop_assert_eq!(alert.id(), AlertId(ix as u64));
+            if ix > 0 {
+                prop_assert!(alerts[ix - 1].raised_at() <= alert.raised_at());
+            }
+            // Raised inside the monitored range.
+            prop_assert!(range.contains(alert.raised_at()));
+            // References a real strategy, inherits its attributes.
+            let strategy = catalog.strategy(alert.strategy());
+            prop_assert!(strategy.is_some());
+            let strategy = strategy.unwrap();
+            prop_assert_eq!(alert.title(), strategy.title_template());
+            // Cooldown respected per strategy.
+            if let Some(&prev) = last_fire.get(&alert.strategy()) {
+                prop_assert!(
+                    alert.raised_at().duration_since(prev) >= strategy.cooldown(),
+                    "{} re-fired within cooldown",
+                    alert.strategy()
+                );
+            }
+            last_fire.insert(alert.strategy(), alert.raised_at());
+            // Lifecycle: clearance kind allowed by the rule category.
+            if let AlertState::Cleared { at, by } = alert.state() {
+                prop_assert!(at >= alert.raised_at());
+                if by == alertops_model::Clearance::Auto {
+                    prop_assert!(strategy.kind().supports_auto_clear());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_is_deterministic_for_any_rules(
+        catalog in arb_catalog(6),
+        faults in arb_faults(6),
+        seed in 0u64..20,
+    ) {
+        let topo = Topology::generate(&TopologyConfig {
+            services: 2,
+            microservices: 6,
+            seed,
+            ..TopologyConfig::default()
+        });
+        let run = || {
+            let telemetry = Telemetry::new(&topo, &faults, seed);
+            MonitoringSystem::new(
+                telemetry,
+                &catalog,
+                MonitorConfig {
+                    tick: SimDuration::from_secs(60),
+                    range: TimeRange::new(SimTime::EPOCH, SimTime::from_hours(1)),
+                    seed,
+                },
+            )
+            .run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over the simulator: determinism, lifecycle
+//! invariants, and structural guarantees for arbitrary seeds and scales.
+
+use proptest::prelude::*;
+
+use alertops_model::MetricKind;
+use alertops_sim::telemetry::Telemetry;
+use alertops_sim::{FaultPlan, StrategyCatalog, StrategyCatalogConfig, Topology, TopologyConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn topology_layers_acyclic_for_any_seed(
+        seed in 0u64..1_000,
+        services in 1usize..8,
+        microservices in 1usize..60,
+    ) {
+        let topo = Topology::generate(&TopologyConfig {
+            services,
+            microservices,
+            seed,
+            ..TopologyConfig::default()
+        });
+        prop_assert_eq!(topo.services().len(), services);
+        prop_assert_eq!(topo.microservices().len(), microservices);
+        for ms in topo.microservices() {
+            for &dep in topo.dependencies_of(ms.id) {
+                let dep_layer = topo.microservice(dep).unwrap().layer;
+                prop_assert!(dep_layer < ms.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_ids_dense_and_valid_for_any_seed(
+        seed in 0u64..1_000,
+        total in 1usize..200,
+    ) {
+        let topo = Topology::generate(&TopologyConfig {
+            services: 4,
+            microservices: 16,
+            seed,
+            ..TopologyConfig::default()
+        });
+        let catalog = StrategyCatalog::generate(
+            &topo,
+            &StrategyCatalogConfig {
+                total_strategies: total,
+                seed,
+                ..StrategyCatalogConfig::default()
+            },
+        );
+        prop_assert_eq!(catalog.len(), total);
+        for (ix, strategy) in catalog.strategies().iter().enumerate() {
+            prop_assert_eq!(strategy.id().0 as usize, ix);
+            prop_assert!(!strategy.title_template().trim().is_empty());
+            prop_assert!(topo.microservice(strategy.microservice()).is_some());
+            prop_assert!(catalog.sop(strategy.id()).is_some());
+        }
+    }
+
+    #[test]
+    fn telemetry_is_finite_and_bounded_everywhere(
+        seed in 0u64..200,
+        ms in 0u64..16,
+        minutes in 0u64..10_000,
+    ) {
+        let topo = Topology::generate(&TopologyConfig {
+            services: 4,
+            microservices: 16,
+            seed,
+            ..TopologyConfig::default()
+        });
+        let faults = FaultPlan::new();
+        let telemetry = Telemetry::new(&topo, &faults, seed);
+        let t = alertops_model::SimTime::from_secs(minutes * 60);
+        for kind in MetricKind::ALL {
+            let v = telemetry.metric(alertops_model::MicroserviceId(ms), kind, t);
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= 0.0);
+            if matches!(
+                kind,
+                MetricKind::CpuUtilization
+                    | MetricKind::MemoryUtilization
+                    | MetricKind::DiskUsage
+                    | MetricKind::ErrorRate
+            ) {
+                prop_assert!(v <= 100.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn quickstart_alert_stream_is_internally_consistent() {
+    // One richer non-proptest pass over a real scenario: every alert
+    // references a catalog strategy, lifecycle holds, ids dense.
+    let out = alertops_sim::scenarios::quickstart(3).run();
+    for (ix, alert) in out.alerts.iter().enumerate() {
+        assert_eq!(alert.id().0 as usize, ix);
+        assert!(out.catalog.strategy(alert.strategy()).is_some());
+        assert!(alert.processing_time().is_some());
+        if let Some(cleared) = alert.cleared_at() {
+            assert!(cleared >= alert.raised_at());
+        }
+    }
+    for incident in &out.incidents {
+        for linked in incident.alerts() {
+            assert!(out.alerts.iter().any(|a| a.id() == *linked));
+        }
+    }
+}

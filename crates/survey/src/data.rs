@@ -1,0 +1,467 @@
+//! The encoded survey dataset.
+//!
+//! Published aggregates the dataset is constructed to satisfy (all from
+//! §III of the paper):
+//!
+//! * demographics — 10 OCEs >3 yrs (55.6%), 3 with 2–3 yrs (16.7%),
+//!   2 with 1–2 yrs (11.1%), 3 with <1 yr (16.7%);
+//! * A1 — "All OCEs agree with the impact … and 61.1% of them think the
+//!   impact is high" (11/18 high, 0 none);
+//! * A2 — "88.9% of OCEs agree with the impact" (16/18 non-none);
+//! * A3 — "72.2% of OCEs agree that the impact … is high" (13/18 high);
+//! * A4 — "Although there are disagreements on the level of impact, most
+//!   OCEs (94.4%) think the impact exists" (17/18 non-none, spread
+//!   levels);
+//! * A5 — "Most OCEs (94.4%) agree with the impact" (17/18);
+//! * A6 — "All interviewed OCEs agree with the impact" (18/18);
+//! * SOP Q1 — "only 22.2% of OCEs think current SOPs are helpful … the
+//!   other 77.8% say the help is limited" (4 helpful / 14 limited /
+//!   0 not-helpful);
+//! * Fig. 4 — "The SOPs are deemed to show limited help by all OCEs with
+//!   over 3 years' experience, taking up 71.4% of all OCEs selecting
+//!   Limited" (all 10 seniors limited; 10/14 = 71.4%);
+//! * Fig. 2(b) — "SOPs are considered much less helpful when dealing
+//!   with collective anti-patterns (Q3) than individual (Q2)";
+//! * Fig. 2(c) — "the effectiveness of all four reactions is relatively
+//!   high"; and §III-A2: "17 out of 18 interviewed OCEs say that the
+//!   alert storms greatly fatigue them".
+//!
+//! Where the paper gives only partial aggregates, the remaining cells
+//! are filled with the most even split consistent with them; every such
+//! assumption is visible in the tables below and locked by unit tests.
+
+use serde::{Deserialize, Serialize};
+
+pub use alertops_model::ExperienceBand;
+
+/// Impact level of an anti-pattern, as asked in Fig. 2(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Impact {
+    /// No impact (disagreement with the anti-pattern's existence).
+    None,
+    /// Low impact.
+    Low,
+    /// Moderate impact.
+    Moderate,
+    /// High impact.
+    High,
+}
+
+impl Impact {
+    /// All levels, ascending.
+    pub const ALL: [Impact; 4] = [Impact::None, Impact::Low, Impact::Moderate, Impact::High];
+
+    /// Whether the answer acknowledges any impact.
+    #[must_use]
+    pub const fn agrees(self) -> bool {
+        !matches!(self, Impact::None)
+    }
+}
+
+/// SOP helpfulness, as asked in Fig. 2(b) / Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Helpfulness {
+    /// Not helpful at all.
+    NotHelpful,
+    /// "The help is limited."
+    Limited,
+    /// Helpful.
+    Helpful,
+}
+
+impl Helpfulness {
+    /// All levels, ascending.
+    pub const ALL: [Helpfulness; 3] = [
+        Helpfulness::NotHelpful,
+        Helpfulness::Limited,
+        Helpfulness::Helpful,
+    ];
+}
+
+/// Reaction effectiveness, as asked in Fig. 2(c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Effectiveness {
+    /// Not effective.
+    NotEffective,
+    /// Somewhat effective.
+    Somewhat,
+    /// Effective.
+    Effective,
+}
+
+impl Effectiveness {
+    /// All levels, ascending.
+    pub const ALL: [Effectiveness; 3] = [
+        Effectiveness::NotEffective,
+        Effectiveness::Somewhat,
+        Effectiveness::Effective,
+    ];
+}
+
+/// The six anti-patterns as survey items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AntiPatternQ {
+    /// A1 — unclear name or description.
+    A1UnclearTitle,
+    /// A2 — misleading severity.
+    A2MisleadingSeverity,
+    /// A3 — improper and outdated generation rule.
+    A3ImproperRule,
+    /// A4 — transient and toggling alerts.
+    A4TransientToggling,
+    /// A5 — repeating alerts.
+    A5Repeating,
+    /// A6 — cascading alerts.
+    A6Cascading,
+}
+
+impl AntiPatternQ {
+    /// All items in paper order.
+    pub const ALL: [AntiPatternQ; 6] = [
+        AntiPatternQ::A1UnclearTitle,
+        AntiPatternQ::A2MisleadingSeverity,
+        AntiPatternQ::A3ImproperRule,
+        AntiPatternQ::A4TransientToggling,
+        AntiPatternQ::A5Repeating,
+        AntiPatternQ::A6Cascading,
+    ];
+
+    /// The paper's code ("A1".."A6").
+    #[must_use]
+    pub const fn code(self) -> &'static str {
+        match self {
+            AntiPatternQ::A1UnclearTitle => "A1",
+            AntiPatternQ::A2MisleadingSeverity => "A2",
+            AntiPatternQ::A3ImproperRule => "A3",
+            AntiPatternQ::A4TransientToggling => "A4",
+            AntiPatternQ::A5Repeating => "A5",
+            AntiPatternQ::A6Cascading => "A6",
+        }
+    }
+}
+
+/// The four reactions as survey items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Reaction {
+    /// R1 — alert blocking.
+    R1Blocking,
+    /// R2 — alert aggregation.
+    R2Aggregation,
+    /// R3 — alert correlation analysis.
+    R3Correlation,
+    /// R4 — emerging alert detection.
+    R4Emerging,
+}
+
+impl Reaction {
+    /// All items in paper order.
+    pub const ALL: [Reaction; 4] = [
+        Reaction::R1Blocking,
+        Reaction::R2Aggregation,
+        Reaction::R3Correlation,
+        Reaction::R4Emerging,
+    ];
+
+    /// The paper's code ("R1".."R4").
+    #[must_use]
+    pub const fn code(self) -> &'static str {
+        match self {
+            Reaction::R1Blocking => "R1",
+            Reaction::R2Aggregation => "R2",
+            Reaction::R3Correlation => "R3",
+            Reaction::R4Emerging => "R4",
+        }
+    }
+}
+
+/// The SOP helpfulness questions of Fig. 2(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Question {
+    /// Q1 — overall helpfulness of SOPs.
+    SopOverall,
+    /// Q2 — helpfulness for individual anti-patterns.
+    SopIndividual,
+    /// Q3 — helpfulness for collective anti-patterns.
+    SopCollective,
+}
+
+/// One survey respondent with all their answers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Respondent {
+    /// Respondent index (0..18).
+    pub id: usize,
+    /// Working experience band.
+    pub experience: ExperienceBand,
+    /// Fig. 2(a): impact per anti-pattern, in [`AntiPatternQ::ALL`] order.
+    pub impact: [Impact; 6],
+    /// Fig. 2(b): helpfulness for Q1/Q2/Q3.
+    pub sop_overall: Helpfulness,
+    /// Q2.
+    pub sop_individual: Helpfulness,
+    /// Q3.
+    pub sop_collective: Helpfulness,
+    /// Fig. 2(c): effectiveness per reaction, in [`Reaction::ALL`] order.
+    pub effectiveness: [Effectiveness; 4],
+    /// §III-A2: whether alert storms greatly fatigue this OCE.
+    pub storm_fatigue: bool,
+}
+
+/// The full survey dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurveyDataset {
+    respondents: Vec<Respondent>,
+}
+
+impl SurveyDataset {
+    /// The dataset reproducing the paper's aggregates. See the module
+    /// docs for the constraint list.
+    #[must_use]
+    pub fn paper() -> Self {
+        use Effectiveness as E;
+        use ExperienceBand as X;
+        use Helpfulness as H;
+        use Impact::{High, Low, Moderate, None as No};
+
+        // Columns: experience, [A1..A6], Q1, Q2, Q3, [R1..R4], fatigue.
+        // Respondents 0..=9 are the ten >3yr seniors (all Q1 Limited).
+        type Row = (X, [Impact; 6], H, H, H, [E; 4], bool);
+        #[rustfmt::skip]
+        let rows: [Row; 18] = [
+            (X::OverThreeYears,  [High,     High,     High,     Moderate, High,     High],     H::Limited, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Effective, E::Somewhat],  true),
+            (X::OverThreeYears,  [High,     High,     High,     High,     High,     High],     H::Limited, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Effective, E::Effective], true),
+            (X::OverThreeYears,  [High,     Moderate, High,     Moderate, High,     High],     H::Limited, H::Limited, H::NotHelpful, [E::Effective, E::Effective, E::Somewhat,  E::Effective], true),
+            (X::OverThreeYears,  [High,     High,     High,     Low,      High,     High],     H::Limited, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Effective, E::Somewhat],  true),
+            (X::OverThreeYears,  [High,     Moderate, High,     Moderate, Moderate, High],     H::Limited, H::Limited, H::NotHelpful, [E::Effective, E::Somewhat,  E::Effective, E::Effective], true),
+            (X::OverThreeYears,  [High,     High,     High,     High,     High,     High],     H::Limited, H::Helpful, H::Limited,    [E::Somewhat,  E::Effective, E::Effective, E::Effective], true),
+            (X::OverThreeYears,  [High,     Moderate, High,     Moderate, High,     High],     H::Limited, H::Limited, H::NotHelpful, [E::Effective, E::Effective, E::Somewhat,  E::Somewhat],  true),
+            (X::OverThreeYears,  [High,     High,     High,     Low,      Moderate, High],     H::Limited, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Effective, E::Effective], true),
+            (X::OverThreeYears,  [High,     Low,      High,     Moderate, High,     High],     H::Limited, H::Limited, H::NotHelpful, [E::Somewhat,  E::Effective, E::Effective, E::Somewhat],  true),
+            (X::OverThreeYears,  [High,     High,     High,     High,     High,     High],     H::Limited, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Somewhat,  E::Effective], true),
+            (X::TwoToThreeYears, [Moderate, High,     Moderate, Moderate, High,     High],     H::Helpful, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Effective, E::Effective], true),
+            (X::TwoToThreeYears, [Moderate, Moderate, High,     Moderate, Moderate, High],     H::Limited, H::Limited, H::Limited,    [E::Effective, E::Somewhat,  E::Somewhat,  E::Somewhat],  true),
+            (X::TwoToThreeYears, [Moderate, No,       High,     Low,      Low,      Moderate], H::Limited, H::Limited, H::NotHelpful, [E::NotEffective, E::Effective, E::Effective, E::Effective], true),
+            (X::OneToTwoYears,   [Moderate, High,     Moderate, High,     High,     High],     H::Helpful, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Somewhat,  E::Somewhat],  true),
+            (X::OneToTwoYears,   [Low,      Moderate, Low,      Moderate, Moderate, Moderate], H::Limited, H::Limited, H::Limited,    [E::Effective, E::NotEffective, E::Effective, E::Effective], true),
+            (X::UnderOneYear,    [Moderate, No,       Moderate, No,       No,       High],     H::Helpful, H::Helpful, H::Helpful,    [E::Somewhat,  E::Effective, E::NotEffective, E::Somewhat], false),
+            (X::UnderOneYear,    [Low,      Moderate, Moderate, Moderate, Moderate, Moderate], H::Helpful, H::Helpful, H::Limited,    [E::Effective, E::Effective, E::Effective, E::NotEffective], true),
+            (X::UnderOneYear,    [High,     High,     High,     Low,      High,     High],     H::Limited, H::Limited, H::Limited,    [E::Effective, E::Somewhat,  E::Effective, E::Effective], true),
+        ];
+        let respondents = rows
+            .into_iter()
+            .enumerate()
+            .map(
+                |(id, (experience, impact, q1, q2, q3, effectiveness, storm_fatigue))| Respondent {
+                    id,
+                    experience,
+                    impact,
+                    sop_overall: q1,
+                    sop_individual: q2,
+                    sop_collective: q3,
+                    effectiveness,
+                    storm_fatigue,
+                },
+            )
+            .collect();
+        Self { respondents }
+    }
+
+    /// The respondents.
+    #[must_use]
+    pub fn respondents(&self) -> &[Respondent] {
+        &self.respondents
+    }
+
+    /// Impact answers for one anti-pattern.
+    #[must_use]
+    pub fn impact_answers(&self, item: AntiPatternQ) -> Vec<Impact> {
+        let ix = AntiPatternQ::ALL
+            .iter()
+            .position(|&p| p == item)
+            .expect("item is one of the six");
+        self.respondents.iter().map(|r| r.impact[ix]).collect()
+    }
+
+    /// Helpfulness distribution for one of the SOP questions.
+    #[must_use]
+    pub fn helpfulness_distribution(&self, question: Question) -> crate::Distribution<Helpfulness> {
+        let answers = self.respondents.iter().map(|r| match question {
+            Question::SopOverall => r.sop_overall,
+            Question::SopIndividual => r.sop_individual,
+            Question::SopCollective => r.sop_collective,
+        });
+        crate::Distribution::from_answers(answers)
+    }
+
+    /// Effectiveness answers for one reaction.
+    #[must_use]
+    pub fn effectiveness_answers(&self, reaction: Reaction) -> Vec<Effectiveness> {
+        let ix = Reaction::ALL
+            .iter()
+            .position(|&r| r == reaction)
+            .expect("reaction is one of the four");
+        self.respondents
+            .iter()
+            .map(|r| r.effectiveness[ix])
+            .collect()
+    }
+
+    /// Number of OCEs reporting storm fatigue (the paper: 17 of 18).
+    #[must_use]
+    pub fn storm_fatigued(&self) -> usize {
+        self.respondents.iter().filter(|r| r.storm_fatigue).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Distribution;
+
+    fn survey() -> SurveyDataset {
+        SurveyDataset::paper()
+    }
+
+    #[test]
+    fn demographics_match_paper() {
+        let s = survey();
+        assert_eq!(s.respondents().len(), 18);
+        let count = |band| {
+            s.respondents()
+                .iter()
+                .filter(|r| r.experience == band)
+                .count()
+        };
+        assert_eq!(count(ExperienceBand::OverThreeYears), 10); // 55.6%
+        assert_eq!(count(ExperienceBand::TwoToThreeYears), 3); // 16.7%
+        assert_eq!(count(ExperienceBand::OneToTwoYears), 2); // 11.1%
+        assert_eq!(count(ExperienceBand::UnderOneYear), 3); // 16.7%
+    }
+
+    #[test]
+    fn a1_all_agree_and_61percent_high() {
+        let answers = survey().impact_answers(AntiPatternQ::A1UnclearTitle);
+        assert!(answers.iter().all(|a| a.agrees()));
+        let high = answers.iter().filter(|&&a| a == Impact::High).count();
+        assert_eq!(high, 11); // 11/18 = 61.1%
+    }
+
+    #[test]
+    fn a2_889_percent_agree() {
+        let answers = survey().impact_answers(AntiPatternQ::A2MisleadingSeverity);
+        let agree = answers.iter().filter(|a| a.agrees()).count();
+        assert_eq!(agree, 16); // 16/18 = 88.9%
+    }
+
+    #[test]
+    fn a3_722_percent_high() {
+        let answers = survey().impact_answers(AntiPatternQ::A3ImproperRule);
+        let high = answers.iter().filter(|&&a| a == Impact::High).count();
+        assert_eq!(high, 13); // 13/18 = 72.2%
+    }
+
+    #[test]
+    fn a4_944_percent_exists_with_level_disagreement() {
+        let answers = survey().impact_answers(AntiPatternQ::A4TransientToggling);
+        let agree = answers.iter().filter(|a| a.agrees()).count();
+        assert_eq!(agree, 17); // 94.4%
+                               // "Disagreements on the level": at least three distinct non-none
+                               // levels used.
+        let dist = Distribution::from_answers(answers.into_iter());
+        let levels_used = [Impact::Low, Impact::Moderate, Impact::High]
+            .iter()
+            .filter(|&&l| dist.count(l) > 0)
+            .count();
+        assert_eq!(levels_used, 3);
+    }
+
+    #[test]
+    fn a5_944_percent_agree() {
+        let answers = survey().impact_answers(AntiPatternQ::A5Repeating);
+        assert_eq!(answers.iter().filter(|a| a.agrees()).count(), 17);
+    }
+
+    #[test]
+    fn a6_all_agree() {
+        let answers = survey().impact_answers(AntiPatternQ::A6Cascading);
+        assert!(answers.iter().all(|a| a.agrees()));
+    }
+
+    #[test]
+    fn q1_sop_split_is_4_14_0() {
+        let dist = survey().helpfulness_distribution(Question::SopOverall);
+        assert_eq!(dist.count(Helpfulness::Helpful), 4); // 22.2%
+        assert_eq!(dist.count(Helpfulness::Limited), 14); // 77.8%
+        assert_eq!(dist.count(Helpfulness::NotHelpful), 0);
+    }
+
+    #[test]
+    fn all_seniors_say_limited_and_are_714_percent_of_limited() {
+        let s = survey();
+        let seniors_limited = s
+            .respondents()
+            .iter()
+            .filter(|r| r.experience == ExperienceBand::OverThreeYears)
+            .all(|r| r.sop_overall == Helpfulness::Limited);
+        assert!(seniors_limited);
+        let limited_total = s
+            .respondents()
+            .iter()
+            .filter(|r| r.sop_overall == Helpfulness::Limited)
+            .count();
+        assert_eq!(limited_total, 14);
+        // 10 seniors / 14 limited = 71.4%.
+        assert!((10.0 / limited_total as f64 - 0.714).abs() < 0.001);
+    }
+
+    #[test]
+    fn sops_less_helpful_for_collective_than_individual() {
+        let s = survey();
+        let q2 = s.helpfulness_distribution(Question::SopIndividual);
+        let q3 = s.helpfulness_distribution(Question::SopCollective);
+        assert!(q2.count(Helpfulness::Helpful) > q3.count(Helpfulness::Helpful));
+        assert!(q3.count(Helpfulness::NotHelpful) > q2.count(Helpfulness::NotHelpful));
+    }
+
+    #[test]
+    fn reactions_rated_relatively_high() {
+        let s = survey();
+        for reaction in Reaction::ALL {
+            let answers = s.effectiveness_answers(reaction);
+            let effective = answers
+                .iter()
+                .filter(|&&e| e == Effectiveness::Effective)
+                .count();
+            assert!(
+                effective as f64 / answers.len() as f64 > 0.5,
+                "{} rated effective by only {effective}/18",
+                reaction.code()
+            );
+            let not = answers
+                .iter()
+                .filter(|&&e| e == Effectiveness::NotEffective)
+                .count();
+            assert!(
+                not <= 1,
+                "{} has {not} not-effective votes",
+                reaction.code()
+            );
+        }
+    }
+
+    #[test]
+    fn storm_fatigue_17_of_18() {
+        assert_eq!(survey().storm_fatigued(), 17);
+    }
+
+    #[test]
+    fn codes() {
+        assert_eq!(AntiPatternQ::A1UnclearTitle.code(), "A1");
+        assert_eq!(Reaction::R4Emerging.code(), "R4");
+    }
+}

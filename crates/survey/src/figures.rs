@@ -1,0 +1,224 @@
+//! Figure builders: the rows behind Fig. 2(a–c) and Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_model::ExperienceBand;
+
+use crate::data::{
+    AntiPatternQ, Effectiveness, Helpfulness, Impact, Question, Reaction, SurveyDataset,
+};
+use crate::likert::Distribution;
+
+/// One row of a stacked-bar figure: an item label plus `(answer label,
+/// count)` segments in display order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Row label ("A1", "Q2", "R3", ">3 years", ...).
+    pub label: String,
+    /// Ordered `(segment label, count)` pairs.
+    pub segments: Vec<(String, usize)>,
+}
+
+impl FigureRow {
+    /// Total answers in the row.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.segments.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// Fig. 2(a): "How about the impact of different anti-patterns to alert
+/// diagnosis?" — one row per anti-pattern, segments High → None.
+#[must_use]
+pub fn fig2a(survey: &SurveyDataset) -> Vec<FigureRow> {
+    AntiPatternQ::ALL
+        .into_iter()
+        .map(|item| {
+            let dist = Distribution::from_answers(survey.impact_answers(item).into_iter());
+            FigureRow {
+                label: item.code().to_owned(),
+                segments: [Impact::High, Impact::Moderate, Impact::Low, Impact::None]
+                    .into_iter()
+                    .map(|level| (format!("{level:?}"), dist.count(level)))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 2(b): "How helpful are the predefined SOPs?" — rows Q1..Q3,
+/// segments Helpful → NotHelpful.
+#[must_use]
+pub fn fig2b(survey: &SurveyDataset) -> Vec<FigureRow> {
+    [
+        ("Q1 Overall", Question::SopOverall),
+        ("Q2 Individual", Question::SopIndividual),
+        ("Q3 Collective", Question::SopCollective),
+    ]
+    .into_iter()
+    .map(|(label, question)| {
+        let dist = survey.helpfulness_distribution(question);
+        FigureRow {
+            label: label.to_owned(),
+            segments: [
+                Helpfulness::Helpful,
+                Helpfulness::Limited,
+                Helpfulness::NotHelpful,
+            ]
+            .into_iter()
+            .map(|level| (format!("{level:?}"), dist.count(level)))
+            .collect(),
+        }
+    })
+    .collect()
+}
+
+/// Fig. 2(c): "How about the effectiveness of current reactions?" —
+/// rows R1..R4, segments Effective → NotEffective.
+#[must_use]
+pub fn fig2c(survey: &SurveyDataset) -> Vec<FigureRow> {
+    Reaction::ALL
+        .into_iter()
+        .map(|reaction| {
+            let dist =
+                Distribution::from_answers(survey.effectiveness_answers(reaction).into_iter());
+            FigureRow {
+                label: reaction.code().to_owned(),
+                segments: [
+                    Effectiveness::Effective,
+                    Effectiveness::Somewhat,
+                    Effectiveness::NotEffective,
+                ]
+                .into_iter()
+                .map(|level| (format!("{level:?}"), dist.count(level)))
+                .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4: answers to Q1 "Overall Helpfulness" broken down by the OCEs'
+/// working experience — one row per band.
+#[must_use]
+pub fn fig4(survey: &SurveyDataset) -> Vec<FigureRow> {
+    ExperienceBand::ALL
+        .into_iter()
+        .rev() // most experienced first, as in the paper
+        .map(|band| {
+            let dist = Distribution::from_answers(
+                survey
+                    .respondents()
+                    .iter()
+                    .filter(|r| r.experience == band)
+                    .map(|r| r.sop_overall),
+            );
+            FigureRow {
+                label: band.to_string(),
+                segments: [
+                    Helpfulness::Helpful,
+                    Helpfulness::Limited,
+                    Helpfulness::NotHelpful,
+                ]
+                .into_iter()
+                .map(|level| (format!("{level:?}"), dist.count(level)))
+                .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a row as an ASCII stacked bar, e.g.
+/// `A1  ███████████▒▒▒▒▒░░  High 11 | Moderate 5 | Low 2 | None 0`.
+#[must_use]
+pub fn render_bar(row: &FigureRow, width: usize) -> String {
+    const FILLS: [char; 4] = ['█', '▒', '░', '·'];
+    let total = row.total().max(1);
+    let mut bar = String::new();
+    for (i, (_, count)) in row.segments.iter().enumerate() {
+        let cells = (count * width).div_ceil(total).min(width);
+        let fill = FILLS[i % FILLS.len()];
+        for _ in 0..cells {
+            bar.push(fill);
+        }
+    }
+    // Clamp accumulated rounding to the target width.
+    let bar: String = bar.chars().take(width).collect();
+    let legend = row
+        .segments
+        .iter()
+        .map(|(label, count)| format!("{label} {count}"))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    format!("{:<14} {:<width$}  {legend}", row.label, bar, width = width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn survey() -> SurveyDataset {
+        SurveyDataset::paper()
+    }
+
+    #[test]
+    fn fig2a_has_six_full_rows() {
+        let rows = fig2a(&survey());
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert_eq!(row.total(), 18, "{} row incomplete", row.label);
+            assert_eq!(row.segments.len(), 4);
+        }
+        assert_eq!(rows[0].label, "A1");
+        assert_eq!(rows[5].label, "A6");
+    }
+
+    #[test]
+    fn fig2b_matches_reported_q1() {
+        let rows = fig2b(&survey());
+        assert_eq!(rows.len(), 3);
+        let q1 = &rows[0];
+        assert_eq!(q1.segments[0], ("Helpful".to_owned(), 4));
+        assert_eq!(q1.segments[1], ("Limited".to_owned(), 14));
+    }
+
+    #[test]
+    fn fig2c_has_four_full_rows() {
+        let rows = fig2c(&survey());
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.total(), 18);
+        }
+    }
+
+    #[test]
+    fn fig4_rows_partition_the_team() {
+        let rows = fig4(&survey());
+        assert_eq!(rows.len(), 4);
+        let total: usize = rows.iter().map(FigureRow::total).sum();
+        assert_eq!(total, 18);
+        // Most experienced first; all ten seniors Limited.
+        assert_eq!(rows[0].label, ">3 years");
+        assert_eq!(rows[0].segments[1], ("Limited".to_owned(), 10));
+        assert_eq!(rows[0].segments[0], ("Helpful".to_owned(), 0));
+    }
+
+    #[test]
+    fn render_bar_is_width_bounded_and_legended() {
+        let rows = fig2a(&survey());
+        let s = render_bar(&rows[0], 24);
+        assert!(s.contains("A1"));
+        assert!(s.contains("High 11"));
+        let bar_chars = s.chars().filter(|c| "█▒░·".contains(*c)).count();
+        assert!(bar_chars <= 24);
+    }
+
+    #[test]
+    fn render_bar_empty_row() {
+        let row = FigureRow {
+            label: "empty".into(),
+            segments: vec![("X".into(), 0)],
+        };
+        let s = render_bar(&row, 10);
+        assert!(s.contains("X 0"));
+    }
+}

@@ -1,0 +1,35 @@
+//! The 18-OCE survey of the DSN'22 study, as data plus analysis code.
+//!
+//! The paper surveys eighteen experienced on-call engineers about the
+//! impact of the six anti-patterns (Fig. 2a), the helpfulness of SOPs
+//! (Fig. 2b, Fig. 4), and the effectiveness of the four reactions
+//! (Fig. 2c). The raw per-respondent answers are not published; this
+//! crate encodes a per-respondent dataset that *exactly reproduces every
+//! aggregate the paper reports* (each constraint is cited at the
+//! definition site), together with the Likert aggregation and figure
+//! builders that turn responses into the paper's charts.
+//!
+//! # Example
+//!
+//! ```
+//! use alertops_survey::{SurveyDataset, Question};
+//!
+//! let survey = SurveyDataset::paper();
+//! assert_eq!(survey.respondents().len(), 18);
+//! let q1 = survey.helpfulness_distribution(Question::SopOverall);
+//! // "only 22.2% of OCEs think current SOPs are helpful"
+//! assert!((q1.share(alertops_survey::Helpfulness::Helpful) - 0.222).abs() < 0.001);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod data;
+mod figures;
+mod likert;
+
+pub use data::{
+    AntiPatternQ, Effectiveness, Helpfulness, Impact, Question, Reaction, Respondent, SurveyDataset,
+};
+pub use figures::{fig2a, fig2b, fig2c, fig4, render_bar, FigureRow};
+pub use likert::Distribution;

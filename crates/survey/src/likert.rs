@@ -1,0 +1,111 @@
+//! Likert-scale aggregation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A distribution of categorical survey answers.
+///
+/// # Example
+///
+/// ```
+/// use alertops_survey::{Distribution, Impact};
+///
+/// let dist = Distribution::from_answers(
+///     [Impact::High, Impact::High, Impact::Low].into_iter(),
+/// );
+/// assert_eq!(dist.total(), 3);
+/// assert_eq!(dist.count(Impact::High), 2);
+/// assert!((dist.share(Impact::High) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Distribution<A: Ord> {
+    counts: BTreeMap<A, usize>,
+    total: usize,
+}
+
+impl<A: Ord + Copy> Distribution<A> {
+    /// Tallies an answer iterator.
+    pub fn from_answers(answers: impl Iterator<Item = A>) -> Self {
+        let mut counts = BTreeMap::new();
+        let mut total = 0;
+        for answer in answers {
+            *counts.entry(answer).or_insert(0) += 1;
+            total += 1;
+        }
+        Self { counts, total }
+    }
+
+    /// Total number of answers.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count of one answer value.
+    #[must_use]
+    pub fn count(&self, answer: A) -> usize {
+        self.counts.get(&answer).copied().unwrap_or(0)
+    }
+
+    /// Share of one answer value in `[0, 1]` (0 for an empty
+    /// distribution).
+    #[must_use]
+    pub fn share(&self, answer: A) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(answer) as f64 / self.total as f64
+        }
+    }
+
+    /// Share of answers satisfying a predicate.
+    #[must_use]
+    pub fn share_where(&self, pred: impl Fn(A) -> bool) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let matching: usize = self
+            .counts
+            .iter()
+            .filter(|(&a, _)| pred(a))
+            .map(|(_, &c)| c)
+            .sum();
+        matching as f64 / self.total as f64
+    }
+
+    /// Iterates `(answer, count)` in answer order.
+    pub fn iter(&self) -> impl Iterator<Item = (A, usize)> + '_ {
+        self.counts.iter().map(|(&a, &c)| (a, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_and_shares() {
+        let dist = Distribution::from_answers([1u8, 1, 2, 3, 3, 3].into_iter());
+        assert_eq!(dist.total(), 6);
+        assert_eq!(dist.count(3), 3);
+        assert_eq!(dist.count(9), 0);
+        assert!((dist.share(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((dist.share_where(|a| a >= 2) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let dist = Distribution::from_answers(std::iter::empty::<u8>());
+        assert_eq!(dist.total(), 0);
+        assert_eq!(dist.share(1), 0.0);
+        assert_eq!(dist.share_where(|_| true), 0.0);
+    }
+
+    #[test]
+    fn iter_in_answer_order() {
+        let dist = Distribution::from_answers([3u8, 1, 2].into_iter());
+        let pairs: Vec<_> = dist.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (2, 1), (3, 1)]);
+    }
+}

@@ -1,0 +1,403 @@
+//! Vague-word lexicon and title informativeness scoring.
+//!
+//! The paper's first anti-pattern, **A1 — unclear name or description**,
+//! names typical unclear titles: *"Elastic Computing Service is
+//! abnormal"*, *"Instance x is abnormal"*, *"Component y encounters
+//! exceptions"*, *"Computing cluster has risks"*. They "describe the
+//! system state in a very general way with vague words". A clear title,
+//! by contrast, should contain the affected (micro)service and the
+//! manifestation of the failure (§II-B2).
+//!
+//! [`TitleScorer`] operationalizes exactly that: it combines a vague-word
+//! density with the presence of a failure manifestation and a concrete
+//! subject, producing an informativeness score in `[0, 1]` that the A1
+//! detector thresholds.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Tokenizer;
+
+/// Words that describe system state "in a very general way" without
+/// naming a concrete manifestation.
+const DEFAULT_VAGUE_WORDS: &[&str] = &[
+    "abnormal",
+    "abnormality",
+    "anomalous",
+    "anomaly",
+    "bad",
+    "broken",
+    "degraded",
+    "error",
+    "errors",
+    "exception",
+    "exceptions",
+    "fault",
+    "faulty",
+    "issue",
+    "issues",
+    "problem",
+    "problems",
+    "risk",
+    "risks",
+    "strange",
+    "unavailable",
+    "unhealthy",
+    "unknown",
+    "unstable",
+    "weird",
+    "wrong",
+];
+
+/// Words that name a concrete failure manifestation (what happened).
+const DEFAULT_MANIFESTATION_WORDS: &[&str] = &[
+    "full",
+    "leak",
+    "timeout",
+    "timed",
+    "refused",
+    "rejected",
+    "failed",
+    "fail",
+    "crash",
+    "crashed",
+    "oom",
+    "killed",
+    "dropped",
+    "lost",
+    "corrupt",
+    "corrupted",
+    "exceeded",
+    "over",
+    "above",
+    "below",
+    "under",
+    "high",
+    "higher",
+    "low",
+    "lower",
+    "slow",
+    "down",
+    "exhausted",
+    "overflow",
+    "unreachable",
+    "denied",
+    "expired",
+    "missing",
+    "stuck",
+    "restarting",
+    "evicted",
+    "throttled",
+];
+
+/// Generic placeholder subjects that do *not* count as naming the
+/// affected component ("Instance x", "Component y", "cluster").
+const DEFAULT_GENERIC_SUBJECTS: &[&str] = &[
+    "instance",
+    "component",
+    "cluster",
+    "node",
+    "service",
+    "system",
+    "module",
+    "process",
+    "resource",
+    "object",
+    "entity",
+    "x",
+    "y",
+    "z",
+];
+
+/// A configurable lexicon of vague words, manifestation words, and
+/// generic subjects.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VagueLexicon {
+    vague: BTreeSet<String>,
+    manifestation: BTreeSet<String>,
+    generic_subjects: BTreeSet<String>,
+}
+
+impl VagueLexicon {
+    /// The built-in lexicon distilled from the paper's A1 examples.
+    #[must_use]
+    pub fn standard() -> Self {
+        fn set(words: &[&str]) -> BTreeSet<String> {
+            words.iter().map(|w| (*w).to_owned()).collect()
+        }
+        Self {
+            vague: set(DEFAULT_VAGUE_WORDS),
+            manifestation: set(DEFAULT_MANIFESTATION_WORDS),
+            generic_subjects: set(DEFAULT_GENERIC_SUBJECTS),
+        }
+    }
+
+    /// Adds a vague word (lowercased).
+    pub fn add_vague(&mut self, word: impl Into<String>) {
+        self.vague.insert(word.into().to_ascii_lowercase());
+    }
+
+    /// Adds a manifestation word (lowercased).
+    pub fn add_manifestation(&mut self, word: impl Into<String>) {
+        self.manifestation.insert(word.into().to_ascii_lowercase());
+    }
+
+    /// Whether `token` (already lowercased) is a vague word.
+    #[must_use]
+    pub fn is_vague(&self, token: &str) -> bool {
+        self.vague.contains(token)
+    }
+
+    /// Whether `token` names a concrete manifestation.
+    #[must_use]
+    pub fn is_manifestation(&self, token: &str) -> bool {
+        self.manifestation.contains(token)
+    }
+
+    /// Whether `token` is a generic placeholder subject.
+    #[must_use]
+    pub fn is_generic_subject(&self, token: &str) -> bool {
+        self.generic_subjects.contains(token)
+    }
+}
+
+impl Default for VagueLexicon {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// The per-title breakdown produced by [`TitleScorer::report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InformativenessReport {
+    /// Total (non-stopword) tokens in the title.
+    pub token_count: usize,
+    /// Tokens flagged as vague.
+    pub vague_count: usize,
+    /// Whether the title names a concrete failure manifestation.
+    pub has_manifestation: bool,
+    /// Whether the title names a concrete subject (a token that is
+    /// neither vague, generic, nor a number).
+    pub has_concrete_subject: bool,
+    /// Whether the title contains a quantitative element (number or
+    /// percent), e.g. a threshold.
+    pub has_quantity: bool,
+    /// The final informativeness score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Scores alert titles for informativeness.
+///
+/// The score starts from the non-vague token fraction and is then gated
+/// by the two attributes the paper requires of a good title — naming the
+/// affected component and the manifestation of the failure:
+///
+/// ```text
+/// base  = 1 - vague_count / token_count     (1.0 for empty titles → then zeroed)
+/// score = base * (0.2 + 0.4·has_manifestation + 0.3·has_subject + 0.1·has_quantity)
+/// ```
+///
+/// An empty or whitespace title scores 0. Scores near 1 require a
+/// concrete subject *and* manifestation with no vague filler.
+///
+/// # Example
+///
+/// ```
+/// use alertops_text::TitleScorer;
+///
+/// let scorer = TitleScorer::new();
+/// let clear = scorer.score("Failed to allocate new blocks, disk full");
+/// let vague = scorer.score("Instance x is abnormal");
+/// assert!(clear > 0.6);
+/// assert!(vague < 0.3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TitleScorer {
+    lexicon: VagueLexicon,
+    tokenizer: Tokenizer,
+}
+
+impl TitleScorer {
+    /// Creates a scorer with the standard lexicon and tokenizer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            lexicon: VagueLexicon::standard(),
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// Creates a scorer with a custom lexicon.
+    #[must_use]
+    pub fn with_lexicon(lexicon: VagueLexicon) -> Self {
+        Self {
+            lexicon,
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// The informativeness score of `title`, in `[0, 1]`.
+    #[must_use]
+    pub fn score(&self, title: &str) -> f64 {
+        self.report(title).score
+    }
+
+    /// The full per-title breakdown.
+    #[must_use]
+    pub fn report(&self, title: &str) -> InformativenessReport {
+        let tokens = self.tokenizer.tokenize(title);
+        if tokens.is_empty() {
+            return InformativenessReport {
+                token_count: 0,
+                vague_count: 0,
+                has_manifestation: false,
+                has_concrete_subject: false,
+                has_quantity: false,
+                score: 0.0,
+            };
+        }
+        let mut vague_count = 0;
+        let mut has_manifestation = false;
+        let mut has_concrete_subject = false;
+        let mut has_quantity = false;
+        for token in &tokens {
+            let is_number = token.bytes().all(|b| b.is_ascii_digit());
+            if is_number {
+                has_quantity = true;
+                continue;
+            }
+            if self.lexicon.is_vague(token) {
+                vague_count += 1;
+            } else if self.lexicon.is_manifestation(token) {
+                has_manifestation = true;
+            } else if !self.lexicon.is_generic_subject(token) {
+                has_concrete_subject = true;
+            }
+        }
+        if title.contains('%') {
+            has_quantity = true;
+        }
+        let base = 1.0 - vague_count as f64 / tokens.len() as f64;
+        let gate = 0.2
+            + 0.4 * f64::from(has_manifestation)
+            + 0.3 * f64::from(has_concrete_subject)
+            + 0.1 * f64::from(has_quantity);
+        InformativenessReport {
+            token_count: tokens.len(),
+            vague_count,
+            has_manifestation,
+            has_concrete_subject,
+            has_quantity,
+            score: (base * gate).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorer() -> TitleScorer {
+        TitleScorer::new()
+    }
+
+    #[test]
+    fn paper_unclear_examples_score_low() {
+        // The four unclear titles quoted by the paper for A1.
+        let examples = [
+            "Elastic Computing Service is abnormal",
+            "Instance x is abnormal",
+            "Component y encounters exceptions",
+            "Computing cluster has risks",
+        ];
+        for title in examples {
+            let score = scorer().score(title);
+            assert!(score < 0.45, "{title:?} scored {score}");
+        }
+    }
+
+    #[test]
+    fn paper_clear_examples_score_high() {
+        let examples = [
+            "Failed to allocate new blocks, disk full",
+            "CPU usage of nginx instance is higher than 80%",
+            "haproxy process number warning",
+            "Failed to commit changes",
+        ];
+        for title in examples {
+            let score = scorer().score(title);
+            assert!(score >= 0.5, "{title:?} scored {score}");
+        }
+    }
+
+    #[test]
+    fn clear_titles_beat_vague_titles() {
+        let clear = scorer().score("Failed to allocate new blocks, disk full");
+        let vague = scorer().score("Instance x is abnormal");
+        assert!(clear > 2.0 * vague);
+    }
+
+    #[test]
+    fn empty_title_scores_zero() {
+        assert_eq!(scorer().score(""), 0.0);
+        assert_eq!(scorer().score("   "), 0.0);
+    }
+
+    #[test]
+    fn report_fields_for_clear_title() {
+        let r = scorer().report("CPU usage of nginx instance is higher than 80%");
+        assert!(r.has_manifestation); // "higher"
+        assert!(r.has_concrete_subject); // "nginx", "cpu", "usage"
+        assert!(r.has_quantity); // "80" and '%'
+        assert_eq!(r.vague_count, 0);
+    }
+
+    #[test]
+    fn report_fields_for_vague_title() {
+        let r = scorer().report("Instance x is abnormal");
+        assert_eq!(r.vague_count, 1);
+        assert!(!r.has_manifestation);
+        assert!(!r.has_concrete_subject);
+        assert!(!r.has_quantity);
+    }
+
+    #[test]
+    fn quantity_detection_via_percent_sign() {
+        let r = scorer().report("disk usage over threshold %");
+        assert!(r.has_quantity);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        for title in [
+            "",
+            "abnormal",
+            "abnormal abnormal abnormal",
+            "disk full on vm-42 at 80%",
+            "a very long title with many concrete words like disk full timeout leak",
+        ] {
+            let s = scorer().score(title);
+            assert!((0.0..=1.0).contains(&s), "{title:?} scored {s}");
+        }
+    }
+
+    #[test]
+    fn custom_lexicon_changes_verdict() {
+        let mut lex = VagueLexicon::standard();
+        lex.add_vague("warning");
+        let custom = TitleScorer::with_lexicon(lex);
+        let std_score = scorer().score("haproxy process number warning");
+        let custom_score = custom.score("haproxy process number warning");
+        assert!(custom_score < std_score);
+    }
+
+    #[test]
+    fn lexicon_membership() {
+        let lex = VagueLexicon::standard();
+        assert!(lex.is_vague("abnormal"));
+        assert!(lex.is_manifestation("full"));
+        assert!(lex.is_generic_subject("instance"));
+        assert!(!lex.is_vague("disk"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Text-analysis substrate for alert governance.
+//!
+//! Alert titles and descriptions are short, semi-structured strings
+//! ("`Failed to allocate new blocks, disk full`",
+//! "`nginx_cpu_usage_over_80`"). Several parts of the DSN'22 reproduction
+//! need light-weight NLP over them:
+//!
+//! * the **A1 (unclear name or description)** detector scores how vague a
+//!   title is ([`lexicon`]);
+//! * **alert aggregation (R2)** and **repeating-alert detection (A5)**
+//!   group alerts by title template ([`template`]);
+//! * **emerging alert detection (R4)** feeds bag-of-words documents into
+//!   an online LDA ([`Tokenizer`], [`Vocabulary`]);
+//! * the **QoA** feature extractor uses TF-IDF weights and similarity
+//!   measures ([`TfIdf`], [`similarity`]).
+//!
+//! Everything is implemented from scratch — no external NLP dependencies —
+//! which is both a supply-chain decision and a consequence of the thin
+//! Rust NLP ecosystem the reproduction plan calls out.
+//!
+//! # Example
+//!
+//! ```
+//! use alertops_text::{Tokenizer, Vocabulary};
+//!
+//! let tokenizer = Tokenizer::new();
+//! let tokens = tokenizer.tokenize("nginx_cpu_usage_over_80: CPU usage > 80%");
+//! assert!(tokens.iter().any(|t| t == "nginx"));
+//! assert!(tokens.iter().any(|t| t == "cpu"));
+//!
+//! let mut vocab = Vocabulary::new();
+//! let doc = vocab.encode_and_update(&tokens);
+//! assert!(!doc.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod lexicon;
+pub mod similarity;
+pub mod template;
+
+mod tfidf;
+mod token;
+mod vocab;
+
+pub use lexicon::{InformativenessReport, TitleScorer, VagueLexicon};
+pub use template::extract_template;
+pub use tfidf::TfIdf;
+pub use token::Tokenizer;
+pub use vocab::{doc_len, BagOfWords, Vocabulary};

@@ -1,0 +1,195 @@
+//! String and vector similarity measures.
+//!
+//! Used by alert aggregation (R2) to group near-duplicate titles, and by
+//! the QoA feature extractor.
+
+use std::collections::BTreeSet;
+
+/// Jaccard similarity of two token sets, in `[0, 1]`.
+///
+/// Two empty sets are defined to have similarity 1 (they are identical).
+///
+/// # Example
+///
+/// ```
+/// let a = ["disk", "full"];
+/// let b = ["disk", "slow"];
+/// let sim = alertops_text::similarity::jaccard(&a, &b);
+/// assert!((sim - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: BTreeSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: BTreeSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Cosine similarity of two sparse vectors (id-sorted `(id, weight)`
+/// pairs), in `[-1, 1]` (for non-negative weights, `[0, 1]`).
+///
+/// Returns 0 if either vector has zero norm.
+#[must_use]
+pub fn cosine_sparse(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let mut dot = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let na: f64 = a.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Levenshtein edit distance between two strings, by characters.
+///
+/// Classic two-row dynamic program; `O(|a|·|b|)` time, `O(min)` memory.
+#[must_use]
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - distance / max_len`, in
+/// `[0, 1]`. Two empty strings have similarity 1.
+#[must_use]
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Overlap coefficient (Szymkiewicz–Simpson) of two token sets:
+/// `|A ∩ B| / min(|A|, |B|)`. More forgiving than Jaccard when one title
+/// is a strict subset of another ("disk full" vs "disk full on vm-3").
+#[must_use]
+pub fn overlap_coefficient<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: BTreeSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: BTreeSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_bounds_and_identity() {
+        let a = ["x", "y", "z"];
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        let b = ["p", "q"];
+        assert_eq!(jaccard(&a, &b), 0.0);
+        let empty: [&str; 0] = [];
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_ignores_duplicates() {
+        assert!((jaccard(&["a", "a", "b"], &["a", "b", "b"]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_sparse_orthogonal_and_parallel() {
+        let a = vec![(0, 1.0), (2, 1.0)];
+        let b = vec![(1, 5.0), (3, 2.0)];
+        assert_eq!(cosine_sparse(&a, &b), 0.0);
+        let c = vec![(0, 2.0), (2, 2.0)];
+        assert!((cosine_sparse(&a, &c) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_sparse(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_sparse_partial_overlap() {
+        let a = vec![(0, 1.0), (1, 1.0)];
+        let b = vec![(1, 1.0), (2, 1.0)];
+        assert!((cosine_sparse(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("ab", "ba"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        for (a, b) in [("disk full", "disk fill"), ("x", "xyz"), ("", "a")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn levenshtein_unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+        assert_eq!(levenshtein("磁盘", "磁盘满"), 1);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("disk full", "disk fill");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn overlap_coefficient_subset_is_one() {
+        let small = ["disk", "full"];
+        let big = ["disk", "full", "on", "vm"];
+        assert!((overlap_coefficient(&small, &big) - 1.0).abs() < 1e-12);
+        let other = ["memory", "leak"];
+        assert_eq!(overlap_coefficient(&small, &other), 0.0);
+        let empty: [&str; 0] = [];
+        assert_eq!(overlap_coefficient(&empty, &empty), 1.0);
+        assert_eq!(overlap_coefficient(&small, &empty), 0.0);
+    }
+}

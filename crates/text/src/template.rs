@@ -1,0 +1,184 @@
+//! Alert title template extraction.
+//!
+//! Alerts produced by the same strategy share a title *template* with
+//! variable fragments (instance names, numbers, IPs) substituted in.
+//! Normalizing titles back to their template lets the aggregation
+//! reaction (R2) and the repeating-alert detector (A5) group alerts even
+//! when the raw strings differ:
+//!
+//! ```text
+//! "disk usage of vm-1842 over 90%"  ─┐
+//! "disk usage of vm-0007 over 91%"  ─┴→ "disk usage of <id> over <num>%"
+//! ```
+
+/// Normalizes an alert title into its template by masking variable
+/// fragments:
+///
+/// * pure numbers → `<num>` (also inside percentages);
+/// * hex-looking runs of length ≥ 6 (commit ids, uuid chunks) → `<hex>`;
+/// * word-digit compounds like `vm-1842`, `node07` → `<id>`;
+/// * IPv4 dotted quads → `<ip>`;
+/// * whitespace collapsed, text lowercased.
+///
+/// The mapping is deterministic and idempotent.
+///
+/// # Example
+///
+/// ```
+/// use alertops_text::extract_template;
+///
+/// assert_eq!(
+///     extract_template("Disk usage of vm-1842 over 90%"),
+///     "disk usage of <id> over <num>%",
+/// );
+/// assert_eq!(
+///     extract_template("request to 10.0.3.7 timed out"),
+///     "request to <ip> timed out",
+/// );
+/// ```
+#[must_use]
+pub fn extract_template(title: &str) -> String {
+    let mut out = Vec::new();
+    for word in title.split_whitespace() {
+        out.push(mask_word(word));
+    }
+    out.join(" ")
+}
+
+fn mask_word(word: &str) -> String {
+    // Separate leading/trailing punctuation so "vm-1842," masks cleanly.
+    let start = word.find(|c: char| c.is_alphanumeric());
+    let Some(start) = start else {
+        return word.to_ascii_lowercase();
+    };
+    let end = word
+        .rfind(|c: char| c.is_alphanumeric())
+        .map_or(word.len(), |i| {
+            i + word[i..].chars().next().map_or(1, char::len_utf8)
+        });
+    let (prefix, rest) = word.split_at(start);
+    let (core, suffix) = rest.split_at(end - start);
+    format!(
+        "{}{}{}",
+        prefix.to_ascii_lowercase(),
+        mask_core(core),
+        suffix.to_ascii_lowercase()
+    )
+}
+
+fn mask_core(core: &str) -> String {
+    if is_ipv4(core) {
+        return "<ip>".to_owned();
+    }
+    let has_digit = core.bytes().any(|b| b.is_ascii_digit());
+    let all_hex = core.bytes().all(|b| b.is_ascii_hexdigit());
+    // Hex ids: long enough that a real English word is unlikely. With a
+    // digit present 6 chars suffice; all-letter hex ("deadbeef") needs 8.
+    if all_hex && ((has_digit && core.len() >= 6) || core.len() >= 8) {
+        if core.bytes().all(|b| b.is_ascii_digit()) {
+            return "<num>".to_owned();
+        }
+        return "<hex>".to_owned();
+    }
+    if !has_digit {
+        return core.to_ascii_lowercase();
+    }
+    if core.bytes().all(|b| b.is_ascii_digit() || b == b'.') {
+        return "<num>".to_owned();
+    }
+    // Mixed word/digit compound: an identifier.
+    "<id>".to_owned()
+}
+
+fn is_ipv4(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    parts.len() == 4
+        && parts.iter().all(|p| {
+            !p.is_empty()
+                && p.len() <= 3
+                && p.bytes().all(|b| b.is_ascii_digit())
+                && p.parse::<u16>().is_ok_and(|v| v <= 255)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_numbers() {
+        assert_eq!(
+            extract_template("queue depth is 15000"),
+            "queue depth is <num>"
+        );
+        assert_eq!(extract_template("90% used"), "<num>% used");
+    }
+
+    #[test]
+    fn masks_identifiers() {
+        assert_eq!(extract_template("vm-1842 down"), "<id> down");
+        assert_eq!(extract_template("node07 unreachable"), "<id> unreachable");
+    }
+
+    #[test]
+    fn masks_ipv4_but_not_lookalikes() {
+        assert_eq!(extract_template("ping 10.0.3.7 failed"), "ping <ip> failed");
+        // 999 is not a valid octet → treated as a number-with-dots.
+        assert_eq!(extract_template("v 1.2.3.999"), "v <num>");
+        // Version strings (3 parts) are numbers, not IPs.
+        assert_eq!(extract_template("agent 1.2.3 died"), "agent <num> died");
+    }
+
+    #[test]
+    fn masks_hex_ids() {
+        assert_eq!(
+            extract_template("commit deadbeef rejected"),
+            "commit <hex> rejected"
+        );
+        // Short hex-looking words that are real words ("bed") stay.
+        assert_eq!(extract_template("bed fed"), "bed fed");
+    }
+
+    #[test]
+    fn preserves_punctuation_and_lowercases() {
+        assert_eq!(extract_template("Disk FULL on vm-3!"), "disk full on <id>!");
+        assert_eq!(extract_template("(vm-3)"), "(<id>)");
+    }
+
+    #[test]
+    fn idempotent() {
+        for title in [
+            "Disk usage of vm-1842 over 90%",
+            "request to 10.0.3.7 timed out",
+            "plain words only",
+        ] {
+            let once = extract_template(title);
+            assert_eq!(extract_template(&once), once);
+        }
+    }
+
+    #[test]
+    fn same_strategy_titles_collapse() {
+        let a = extract_template("disk usage of vm-0007 over 91%");
+        let b = extract_template("disk usage of vm-1842 over 90%");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_templates_stay_distinct() {
+        let a = extract_template("disk usage of vm-1 over 90%");
+        let b = extract_template("memory usage of vm-1 over 90%");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        assert_eq!(extract_template("  a   b  "), "a b");
+        assert_eq!(extract_template(""), "");
+    }
+
+    #[test]
+    fn pure_punctuation_word() {
+        assert_eq!(extract_template("-- !!"), "-- !!");
+    }
+}

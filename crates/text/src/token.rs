@@ -1,0 +1,261 @@
+//! Tokenization of alert titles, descriptions, and log lines.
+
+use std::collections::BTreeSet;
+
+/// Default English + operations stopwords stripped during tokenization.
+///
+/// The list is intentionally small: alert titles are short and most words
+/// carry signal. Vague words like "abnormal" are *not* stopwords — the A1
+/// detector needs to see them.
+const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "have", "in", "is",
+    "it", "its", "of", "on", "or", "than", "that", "the", "then", "this", "to", "was", "were",
+    "will", "with",
+];
+
+/// A deterministic, allocation-light tokenizer for alert text.
+///
+/// Pipeline:
+/// 1. split on any non-alphanumeric byte (so `nginx_cpu_usage_over_80`
+///    yields `nginx cpu usage over 80`);
+/// 2. split camelCase boundaries (`HaProxyDown` → `ha proxy down`);
+/// 3. lowercase;
+/// 4. drop stopwords and empty fragments;
+/// 5. optionally drop pure numbers (kept by default — thresholds like
+///    `80` are informative in titles).
+///
+/// # Example
+///
+/// ```
+/// use alertops_text::Tokenizer;
+///
+/// let t = Tokenizer::new();
+/// assert_eq!(
+///     t.tokenize("HaproxyProcessNumber warning"),
+///     vec!["haproxy", "process", "number", "warning"],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    stopwords: BTreeSet<String>,
+    keep_numbers: bool,
+    min_len: usize,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the default stopword list, keeping
+    /// numeric tokens, with a minimum token length of 1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stopwords: DEFAULT_STOPWORDS.iter().map(|s| (*s).to_owned()).collect(),
+            keep_numbers: true,
+            min_len: 1,
+        }
+    }
+
+    /// Creates a tokenizer with no stopword filtering at all.
+    #[must_use]
+    pub fn without_stopwords() -> Self {
+        Self {
+            stopwords: BTreeSet::new(),
+            keep_numbers: true,
+            min_len: 1,
+        }
+    }
+
+    /// Drops purely numeric tokens (useful for topic modelling, where
+    /// instance numbers are noise).
+    #[must_use]
+    pub fn drop_numbers(mut self) -> Self {
+        self.keep_numbers = false;
+        self
+    }
+
+    /// Sets the minimum kept token length.
+    #[must_use]
+    pub fn min_token_len(mut self, len: usize) -> Self {
+        self.min_len = len.max(1);
+        self
+    }
+
+    /// Adds an extra stopword.
+    #[must_use]
+    pub fn with_stopword(mut self, word: impl Into<String>) -> Self {
+        self.stopwords.insert(word.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Tokenizes `text` into lowercase tokens.
+    ///
+    /// The output never contains empty strings, and is deterministic for
+    /// a given tokenizer configuration.
+    #[must_use]
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        for raw in text.split(|c: char| !c.is_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            for piece in split_camel_and_digits(raw) {
+                let token = piece.to_ascii_lowercase();
+                if token.len() < self.min_len {
+                    continue;
+                }
+                if self.stopwords.contains(&token) {
+                    continue;
+                }
+                if !self.keep_numbers && token.bytes().all(|b| b.is_ascii_digit()) {
+                    continue;
+                }
+                tokens.push(token);
+            }
+        }
+        tokens
+    }
+
+    /// Tokenizes and deduplicates, preserving first-seen order. Useful
+    /// for set-based similarity.
+    #[must_use]
+    pub fn tokenize_unique(&self, text: &str) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        self.tokenize(text)
+            .into_iter()
+            .filter(|t| seen.insert(t.clone()))
+            .collect()
+    }
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Splits a single alphanumeric run on camelCase boundaries and
+/// letter/digit boundaries: `"HAProxy2Down"` → `["HA", "Proxy", "2", "Down"]`
+/// (approximately; consecutive uppercase letters stay together until a
+/// lowercase letter follows).
+fn split_camel_and_digits(s: &str) -> Vec<&str> {
+    let mut pieces = Vec::new();
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for i in 1..bytes.len() {
+        let prev = bytes[i - 1] as char;
+        let cur = bytes[i] as char;
+        let boundary =
+            // lower/digit → upper: fooBar, foo2Bar handled by digit rule
+            (prev.is_ascii_lowercase() && cur.is_ascii_uppercase())
+            // letter → digit or digit → letter
+            || (prev.is_ascii_alphabetic() && cur.is_ascii_digit())
+            || (prev.is_ascii_digit() && cur.is_ascii_alphabetic())
+            // acronym end: "HTTPServer" → "HTTP" | "Server"
+            || (prev.is_ascii_uppercase()
+                && cur.is_ascii_uppercase()
+                && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_lowercase()));
+        if boundary {
+            pieces.push(&s[start..i]);
+            start = i;
+        }
+    }
+    pieces.push(&s[start..]);
+    // Non-ASCII input skips boundary logic gracefully: the slice indices
+    // above only fire on ASCII classes, and a trailing multi-byte char
+    // simply stays inside its piece.
+    pieces.retain(|p| !p.is_empty());
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_snake_case() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("nginx_cpu_usage_over_80"),
+            vec!["nginx", "cpu", "usage", "over", "80"]
+        );
+    }
+
+    #[test]
+    fn splits_camel_case_and_acronyms() {
+        assert_eq!(split_camel_and_digits("fooBar"), vec!["foo", "Bar"]);
+        assert_eq!(split_camel_and_digits("HTTPServer"), vec!["HTTP", "Server"]);
+        assert_eq!(
+            split_camel_and_digits("proxy2down"),
+            vec!["proxy", "2", "down"]
+        );
+        assert_eq!(split_camel_and_digits("x"), vec!["x"]);
+    }
+
+    #[test]
+    fn lowercases_and_strips_stopwords() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("Failed to commit THE changes"),
+            vec!["failed", "commit", "changes"]
+        );
+    }
+
+    #[test]
+    fn without_stopwords_keeps_everything() {
+        let t = Tokenizer::without_stopwords();
+        assert_eq!(
+            t.tokenize("Failed to commit"),
+            vec!["failed", "to", "commit"]
+        );
+    }
+
+    #[test]
+    fn drop_numbers_removes_pure_numerics_only() {
+        let t = Tokenizer::new().drop_numbers();
+        assert_eq!(t.tokenize("disk 80 vm42"), vec!["disk", "vm"]);
+    }
+
+    #[test]
+    fn min_len_filters_short_tokens() {
+        let t = Tokenizer::without_stopwords().min_token_len(3);
+        assert!(t.tokenize("io is up").is_empty());
+        assert_eq!(t.tokenize("disk full ok"), vec!["disk", "full"]);
+    }
+
+    #[test]
+    fn custom_stopword() {
+        let t = Tokenizer::new().with_stopword("Alert");
+        assert_eq!(t.tokenize("alert disk ALERT"), vec!["disk"]);
+    }
+
+    #[test]
+    fn no_empty_tokens_ever() {
+        let t = Tokenizer::new();
+        for text in ["", "   ", "___", "a__b", "!!!", "--x--"] {
+            assert!(t.tokenize(text).iter().all(|tok| !tok.is_empty()));
+        }
+    }
+
+    #[test]
+    fn unique_preserves_first_seen_order() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize_unique("disk full disk error full"),
+            vec!["disk", "full", "error"]
+        );
+    }
+
+    #[test]
+    fn handles_non_ascii_without_panicking() {
+        let t = Tokenizer::new();
+        let tokens = t.tokenize("磁盘 full déjà vu");
+        assert!(tokens.iter().any(|x| x == "full"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = Tokenizer::new();
+        let a = t.tokenize("Instance x is abnormal");
+        let b = t.tokenize("Instance x is abnormal");
+        assert_eq!(a, b);
+    }
+}

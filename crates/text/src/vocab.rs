@@ -1,0 +1,185 @@
+//! Vocabulary and bag-of-words encoding.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse bag-of-words document: `(word_id, count)` pairs sorted by
+/// word id, with strictly positive counts and no duplicate ids.
+pub type BagOfWords = Vec<(usize, u32)>;
+
+/// A bidirectional word ↔ id mapping shared by TF-IDF and LDA.
+///
+/// Ids are assigned densely in first-seen order, so a vocabulary built
+/// from the same token stream is always identical — a requirement for
+/// reproducible topic models.
+///
+/// # Example
+///
+/// ```
+/// use alertops_text::Vocabulary;
+///
+/// let mut vocab = Vocabulary::new();
+/// let doc = vocab.encode_and_update(&["disk", "full", "disk"]);
+/// assert_eq!(vocab.len(), 2);
+/// assert_eq!(doc, vec![(0, 2), (1, 1)]);
+/// assert_eq!(vocab.word(0), Some("disk"));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    word_to_id: HashMap<String, usize>,
+    id_to_word: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of distinct words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.id_to_word.is_empty()
+    }
+
+    /// The id of `word`, if known.
+    #[must_use]
+    pub fn id(&self, word: &str) -> Option<usize> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// The word with id `id`, if in range.
+    #[must_use]
+    pub fn word(&self, id: usize) -> Option<&str> {
+        self.id_to_word.get(id).map(String::as_str)
+    }
+
+    /// Interns `word`, returning its (possibly new) id.
+    pub fn intern(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.word_to_id.get(word) {
+            return id;
+        }
+        let id = self.id_to_word.len();
+        self.id_to_word.push(word.to_owned());
+        self.word_to_id.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Encodes `tokens` into a sorted sparse bag-of-words, adding unseen
+    /// words to the vocabulary.
+    pub fn encode_and_update<S: AsRef<str>>(&mut self, tokens: &[S]) -> BagOfWords {
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for token in tokens {
+            let id = self.intern(token.as_ref());
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        let mut doc: BagOfWords = counts.into_iter().collect();
+        doc.sort_unstable_by_key(|&(id, _)| id);
+        doc
+    }
+
+    /// Encodes `tokens` against the *frozen* vocabulary: unseen words are
+    /// silently dropped. Use for inference against a trained model.
+    #[must_use]
+    pub fn encode_frozen<S: AsRef<str>>(&self, tokens: &[S]) -> BagOfWords {
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for token in tokens {
+            if let Some(id) = self.id(token.as_ref()) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut doc: BagOfWords = counts.into_iter().collect();
+        doc.sort_unstable_by_key(|&(id, _)| id);
+        doc
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.id_to_word
+            .iter()
+            .enumerate()
+            .map(|(id, w)| (id, w.as_str()))
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for Vocabulary {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut vocab = Vocabulary::new();
+        for word in iter {
+            vocab.intern(word.as_ref());
+        }
+        vocab
+    }
+}
+
+/// Returns the total token count of a bag-of-words document.
+#[must_use]
+pub fn doc_len(doc: &BagOfWords) -> u32 {
+    doc.iter().map(|&(_, c)| c).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("disk");
+        let b = v.intern("disk");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_first_seen_order() {
+        let v: Vocabulary = ["c", "a", "b", "a"].into_iter().collect();
+        assert_eq!(v.id("c"), Some(0));
+        assert_eq!(v.id("a"), Some(1));
+        assert_eq!(v.id("b"), Some(2));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.word(1), Some("a"));
+        assert_eq!(v.word(9), None);
+    }
+
+    #[test]
+    fn encode_counts_and_sorts() {
+        let mut v = Vocabulary::new();
+        let doc = v.encode_and_update(&["b", "a", "b", "b"]);
+        // "b" interned first (id 0), then "a" (id 1); output sorted by id.
+        assert_eq!(doc, vec![(0, 3), (1, 1)]);
+        assert_eq!(doc_len(&doc), 4);
+    }
+
+    #[test]
+    fn encode_frozen_drops_unknown() {
+        let mut v = Vocabulary::new();
+        v.encode_and_update(&["disk", "full"]);
+        let doc = v.encode_frozen(&["disk", "new_word", "disk"]);
+        assert_eq!(doc, vec![(v.id("disk").unwrap(), 2)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut v = Vocabulary::new();
+        let doc = v.encode_and_update::<&str>(&[]);
+        assert!(doc.is_empty());
+        assert!(v.is_empty());
+        assert_eq!(doc_len(&doc), 0);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let v: Vocabulary = ["x", "y"].into_iter().collect();
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Adaptive online LDA (AOLDA) over time windows.
+//!
+//! The paper's emerging-alert detection (R4) cites the AOLDA approach of
+//! its references [30], [31]: alerts are bucketed into consecutive time
+//! windows; each window gets its own topic model whose *prior* is adapted
+//! from the topics of the preceding windows, so stable alert themes keep
+//! their identity across windows while genuinely new themes — *emerging*
+//! ones — stand out as topics with no historical counterpart.
+//!
+//! Emergence is quantified per topic as the minimum Jensen–Shannon
+//! divergence to any topic of the recent history: high divergence ⇒ no
+//! historical counterpart ⇒ emerging.
+
+use serde::{Deserialize, Serialize};
+
+use alertops_text::BagOfWords;
+
+use crate::lda::{LdaConfig, OnlineLda};
+use crate::math::js_divergence;
+
+/// Configuration for [`AdaptiveOnlineLda`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AoldaConfig {
+    /// Base LDA configuration (topics, vocabulary, priors, seed).
+    pub lda: LdaConfig,
+    /// Weight of historical topics when seeding a window's prior, in
+    /// `[0, 1)`. `0` disables adaptation (plain per-window LDA).
+    pub adaptation_weight: f64,
+    /// How many previous windows feed the adaptive prior and the
+    /// emergence baseline.
+    pub history: usize,
+    /// Full passes over the window's documents when fitting its model.
+    pub passes_per_window: usize,
+    /// Minimum weight a historical topic needs to serve as an emergence
+    /// baseline. Topics that never described real documents (weight ≈ 0)
+    /// are spread-out junk whose moderate divergence to everything would
+    /// otherwise mask genuinely new themes.
+    pub min_baseline_weight: f64,
+    /// JS-divergence threshold above which a topic counts as emerging
+    /// (bounded by ln 2 ≈ 0.693). The default of 0.25 separates re-learned
+    /// stable themes (novelty ≲ 0.05 with adaptation on) from genuinely
+    /// new vocabulary (novelty ≳ 0.3 in our alert workloads).
+    pub emerging_threshold: f64,
+}
+
+impl Default for AoldaConfig {
+    fn default() -> Self {
+        Self {
+            lda: LdaConfig::default(),
+            adaptation_weight: 0.5,
+            history: 3,
+            passes_per_window: 20,
+            min_baseline_weight: 0.05,
+            emerging_threshold: 0.25,
+        }
+    }
+}
+
+/// One topic of one window, with its emergence assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowTopic {
+    /// Topic index within the window's model.
+    pub topic: usize,
+    /// The topic-word probability distribution (length W).
+    pub distribution: Vec<f64>,
+    /// Minimum JS divergence to any topic of the history windows;
+    /// `0.0` for the first window (no baseline).
+    pub novelty: f64,
+    /// Whether `novelty` exceeded the emerging threshold.
+    pub emerging: bool,
+    /// The topic's share of the window's document mass, in `[0, 1]`.
+    pub weight: f64,
+}
+
+/// The fitted summary of one time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicWindow {
+    /// Zero-based window index.
+    pub index: usize,
+    /// Number of (non-empty) documents in the window.
+    pub doc_count: usize,
+    /// Per-topic summaries.
+    pub topics: Vec<WindowTopic>,
+    /// Per-document topic mixtures, parallel to the input slice.
+    pub doc_mixtures: Vec<Vec<f64>>,
+}
+
+impl TopicWindow {
+    /// Indices of documents whose dominant topic is emerging — the
+    /// "emerging alerts" R4 surfaces to OCEs.
+    #[must_use]
+    pub fn emerging_doc_indices(&self) -> Vec<usize> {
+        let emerging: Vec<usize> = self
+            .topics
+            .iter()
+            .filter(|t| t.emerging)
+            .map(|t| t.topic)
+            .collect();
+        if emerging.is_empty() {
+            return Vec::new();
+        }
+        self.doc_mixtures
+            .iter()
+            .enumerate()
+            .filter(|(_, mixture)| {
+                let dominant = mixture
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i);
+                dominant.is_some_and(|d| emerging.contains(&d))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The emerging topics of this window.
+    #[must_use]
+    pub fn emerging_topics(&self) -> Vec<&WindowTopic> {
+        self.topics.iter().filter(|t| t.emerging).collect()
+    }
+}
+
+/// Adaptive online LDA over a stream of time windows.
+///
+/// # Example
+///
+/// ```
+/// use alertops_topics::{AdaptiveOnlineLda, AoldaConfig, LdaConfig};
+///
+/// let mut aolda = AdaptiveOnlineLda::new(AoldaConfig {
+///     lda: LdaConfig { num_topics: 2, vocab_size: 6, ..LdaConfig::default() },
+///     ..AoldaConfig::default()
+/// });
+/// let window0 = vec![vec![(0, 2), (1, 1)], vec![(0, 1), (2, 2)]];
+/// let summary = aolda.process_window(&window0);
+/// assert_eq!(summary.index, 0);
+/// assert_eq!(summary.topics.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveOnlineLda {
+    config: AoldaConfig,
+    windows: Vec<TopicWindow>,
+    /// Unnormalized λ snapshots of recent windows, newest last.
+    lambda_history: Vec<Vec<Vec<f64>>>,
+}
+
+impl AdaptiveOnlineLda {
+    /// Creates an AOLDA pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adaptation_weight` is outside `[0, 1)` or
+    /// `emerging_threshold` is not positive.
+    #[must_use]
+    pub fn new(config: AoldaConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.adaptation_weight),
+            "adaptation_weight must lie in [0, 1)"
+        );
+        assert!(
+            config.emerging_threshold > 0.0,
+            "emerging_threshold must be positive"
+        );
+        Self {
+            config,
+            windows: Vec::new(),
+            lambda_history: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AoldaConfig {
+        &self.config
+    }
+
+    /// All processed windows, oldest first.
+    #[must_use]
+    pub fn windows(&self) -> &[TopicWindow] {
+        &self.windows
+    }
+
+    /// Fits the next window over `docs` and returns its summary.
+    ///
+    /// The window's model is seeded from a blend of a fresh prior and the
+    /// mean λ of the last [`history`](AoldaConfig::history) windows,
+    /// weighted by [`adaptation_weight`](AoldaConfig::adaptation_weight).
+    pub fn process_window(&mut self, docs: &[BagOfWords]) -> &TopicWindow {
+        let window_index = self.windows.len();
+        let lda_config = LdaConfig {
+            corpus_size: Some(docs.len().max(1)),
+            // Vary the seed per window so non-adapted topics don't line up
+            // by construction; determinism is preserved.
+            seed: self.config.lda.seed.wrapping_add(window_index as u64),
+            ..self.config.lda.clone()
+        };
+        let mut model = OnlineLda::new(lda_config);
+
+        // Adaptive prior: blend fresh λ with historical mean λ.
+        let w = self.config.adaptation_weight;
+        if w > 0.0 && !self.lambda_history.is_empty() {
+            let hist: Vec<&Vec<Vec<f64>>> = self
+                .lambda_history
+                .iter()
+                .rev()
+                .take(self.config.history)
+                .collect();
+            let fresh = model.lambda().to_vec();
+            let blended: Vec<Vec<f64>> = fresh
+                .iter()
+                .enumerate()
+                .map(|(k, fresh_row)| {
+                    fresh_row
+                        .iter()
+                        .enumerate()
+                        .map(|(word, &f)| {
+                            let h: f64 = hist.iter().map(|lam| lam[k][word]).sum::<f64>()
+                                / hist.len() as f64;
+                            (1.0 - w) * f + w * h
+                        })
+                        .collect()
+                })
+                .collect();
+            model.set_lambda(blended);
+        }
+
+        for _ in 0..self.config.passes_per_window.max(1) {
+            model.update_batch(docs);
+        }
+
+        let doc_mixtures: Vec<Vec<f64>> = docs.iter().map(|d| model.infer(d)).collect();
+        let topics_dist = model.topics();
+        let k = topics_dist.len();
+
+        // Topic weights: average share of document mass.
+        let mut weights = vec![0.0; k];
+        for mixture in &doc_mixtures {
+            for (slot, &p) in weights.iter_mut().zip(mixture) {
+                *slot += p;
+            }
+        }
+        let denom = doc_mixtures.len().max(1) as f64;
+        for slot in &mut weights {
+            *slot /= denom;
+        }
+
+        // Emergence: min JS divergence against history topics.
+        let baseline: Vec<&Vec<f64>> = self
+            .windows
+            .iter()
+            .rev()
+            .take(self.config.history)
+            .flat_map(|win| {
+                win.topics
+                    .iter()
+                    .filter(|t| t.weight >= self.config.min_baseline_weight)
+                    .map(|t| &t.distribution)
+            })
+            .collect();
+        let topics: Vec<WindowTopic> = topics_dist
+            .into_iter()
+            .enumerate()
+            .map(|(topic, distribution)| {
+                let novelty = if baseline.is_empty() {
+                    0.0
+                } else {
+                    baseline
+                        .iter()
+                        .map(|b| js_divergence(&distribution, b))
+                        .fold(f64::INFINITY, f64::min)
+                };
+                WindowTopic {
+                    topic,
+                    // A topic must both lack a historical counterpart AND
+                    // actually describe documents in this window; junk
+                    // topics (weight ≈ 0) are never "emerging".
+                    emerging: !baseline.is_empty()
+                        && novelty > self.config.emerging_threshold
+                        && weights[topic] >= self.config.min_baseline_weight,
+                    novelty,
+                    distribution,
+                    weight: weights[topic],
+                }
+            })
+            .collect();
+
+        self.lambda_history.push(model.lambda().to_vec());
+        if self.lambda_history.len() > self.config.history {
+            let excess = self.lambda_history.len() - self.config.history;
+            self.lambda_history.drain(..excess);
+        }
+        self.windows.push(TopicWindow {
+            index: window_index,
+            doc_count: docs.iter().filter(|d| !d.is_empty()).count(),
+            topics,
+            doc_mixtures,
+        });
+        self.windows.last().expect("window just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Docs about "storage" (ids 0..3).
+    fn storage_docs(n: usize) -> Vec<BagOfWords> {
+        (0..n).map(|i| vec![(i % 4, 2), ((i + 1) % 4, 1)]).collect()
+    }
+
+    /// Docs about a brand-new theme (ids 8..11).
+    fn novel_docs(n: usize) -> Vec<BagOfWords> {
+        (0..n)
+            .map(|i| vec![(8 + i % 4, 2), (8 + (i + 1) % 4, 1)])
+            .collect()
+    }
+
+    fn config(k: usize) -> AoldaConfig {
+        AoldaConfig {
+            lda: LdaConfig {
+                num_topics: k,
+                vocab_size: 12,
+                ..LdaConfig::default()
+            },
+            passes_per_window: 25,
+            ..AoldaConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_window_is_never_emerging() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        let win = aolda.process_window(&storage_docs(10));
+        assert!(win.topics.iter().all(|t| !t.emerging));
+        assert!(win.topics.iter().all(|t| t.novelty == 0.0));
+        assert!(win.emerging_doc_indices().is_empty());
+    }
+
+    #[test]
+    fn stable_theme_stays_non_emerging() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        aolda.process_window(&storage_docs(10));
+        let win = aolda.process_window(&storage_docs(10));
+        // Same theme again: topics should find close historical
+        // counterparts.
+        assert!(
+            win.topics.iter().all(|t| !t.emerging),
+            "stable window flagged emerging: {:?}",
+            win.topics.iter().map(|t| t.novelty).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn novel_theme_is_flagged_emerging() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        aolda.process_window(&storage_docs(10));
+        aolda.process_window(&storage_docs(10));
+        // Third window: half old theme, half brand-new vocabulary.
+        let mut docs = storage_docs(6);
+        docs.extend(novel_docs(6));
+        let win = aolda.process_window(&docs);
+        assert!(
+            win.topics.iter().any(|t| t.emerging),
+            "novel theme not flagged: novelties {:?}",
+            win.topics.iter().map(|t| t.novelty).collect::<Vec<_>>()
+        );
+        // The emerging docs should be (mostly) the novel ones (indices 6..).
+        let emerging_docs = win.emerging_doc_indices();
+        assert!(!emerging_docs.is_empty());
+        let novel_hits = emerging_docs.iter().filter(|&&i| i >= 6).count();
+        assert!(
+            novel_hits * 2 >= emerging_docs.len(),
+            "emerging docs mostly stale: {emerging_docs:?}"
+        );
+    }
+
+    #[test]
+    fn topic_weights_sum_to_one_per_window() {
+        let mut aolda = AdaptiveOnlineLda::new(config(3));
+        let win = aolda.process_window(&storage_docs(8));
+        let total: f64 = win.topics.iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-6, "weights sum to {total}");
+    }
+
+    #[test]
+    fn window_indices_increment() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        for i in 0..3 {
+            let win = aolda.process_window(&storage_docs(4));
+            assert_eq!(win.index, i);
+        }
+        assert_eq!(aolda.windows().len(), 3);
+    }
+
+    #[test]
+    fn lambda_history_is_bounded() {
+        let mut aolda = AdaptiveOnlineLda::new(AoldaConfig {
+            history: 2,
+            ..config(2)
+        });
+        for _ in 0..5 {
+            aolda.process_window(&storage_docs(4));
+        }
+        assert!(aolda.lambda_history.len() <= 2);
+    }
+
+    #[test]
+    fn zero_adaptation_weight_is_allowed() {
+        let mut aolda = AdaptiveOnlineLda::new(AoldaConfig {
+            adaptation_weight: 0.0,
+            ..config(2)
+        });
+        aolda.process_window(&storage_docs(4));
+        aolda.process_window(&storage_docs(4));
+        assert_eq!(aolda.windows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptation_weight")]
+    fn rejects_adaptation_weight_of_one() {
+        let _ = AdaptiveOnlineLda::new(AoldaConfig {
+            adaptation_weight: 1.0,
+            ..config(2)
+        });
+    }
+
+    #[test]
+    fn empty_window_is_handled() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        let win = aolda.process_window(&[]);
+        assert_eq!(win.doc_count, 0);
+        assert_eq!(win.doc_mixtures.len(), 0);
+    }
+
+    #[test]
+    fn doc_mixtures_are_normalized() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        let win = aolda.process_window(&storage_docs(5));
+        for m in &win.doc_mixtures {
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Online variational-Bayes latent Dirichlet allocation.
+//!
+//! Implements the algorithm of Hoffman, Blei & Bach, *Online Learning for
+//! Latent Dirichlet Allocation* (NIPS 2010): stochastic variational
+//! inference where each minibatch contributes a noisy natural-gradient
+//! step on the topic-word variational parameter λ with step size
+//! `ρ_t = (τ₀ + t)^{−κ}`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use alertops_text::BagOfWords;
+
+use crate::math::{digamma, dirichlet_expectation, normalize_in_place};
+
+/// Configuration for [`OnlineLda`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of topics K.
+    pub num_topics: usize,
+    /// Vocabulary size W. Word ids ≥ `vocab_size` are ignored.
+    pub vocab_size: usize,
+    /// Dirichlet prior on per-document topic mixtures (symmetric).
+    pub alpha: f64,
+    /// Dirichlet prior on per-topic word distributions (symmetric).
+    pub eta: f64,
+    /// Learning-rate offset τ₀ (≥ 0); larger slows early updates.
+    pub tau0: f64,
+    /// Learning-rate decay κ ∈ (0.5, 1] for convergence guarantees.
+    pub kappa: f64,
+    /// Maximum E-step iterations per document.
+    pub max_e_steps: usize,
+    /// E-step convergence threshold on mean |Δγ|.
+    pub e_step_tol: f64,
+    /// Expected total corpus size D used to scale minibatch statistics.
+    /// `None` uses the cumulative number of documents seen so far.
+    pub corpus_size: Option<usize>,
+    /// RNG seed for the λ initialization.
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        Self {
+            num_topics: 10,
+            vocab_size: 0,
+            alpha: 0.1,
+            eta: 0.01,
+            tau0: 1.0,
+            kappa: 0.7,
+            max_e_steps: 100,
+            e_step_tol: 1e-3,
+            corpus_size: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Online variational-Bayes LDA.
+///
+/// See the [crate-level example](crate) for typical usage: create with a
+/// config, feed minibatches via [`update_batch`](Self::update_batch),
+/// query topic mixtures with [`infer`](Self::infer) and topic-word
+/// distributions with [`topics`](Self::topics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineLda {
+    config: LdaConfig,
+    /// Variational parameter λ, K×W.
+    lambda: Vec<Vec<f64>>,
+    /// exp(E[log β]), K×W, kept in sync with λ.
+    exp_elog_beta: Vec<Vec<f64>>,
+    /// Number of minibatch updates applied so far.
+    updates: u64,
+    /// Number of documents seen so far.
+    docs_seen: usize,
+}
+
+impl OnlineLda {
+    /// Creates a model with λ initialized from a seeded gamma-like
+    /// distribution (uniform in `[0.5, 1.5)` scaled by 100/W, matching
+    /// the spirit of Hoffman's `gamma(100, 1/100)` init).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_topics` or `vocab_size` is zero, or if `kappa` is
+    /// outside `(0.5, 1.0]`.
+    #[must_use]
+    pub fn new(config: LdaConfig) -> Self {
+        assert!(config.num_topics > 0, "num_topics must be positive");
+        assert!(config.vocab_size > 0, "vocab_size must be positive");
+        assert!(
+            config.kappa > 0.5 && config.kappa <= 1.0,
+            "kappa must lie in (0.5, 1] for convergence, got {}",
+            config.kappa
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let lambda: Vec<Vec<f64>> = (0..config.num_topics)
+            .map(|_| {
+                (0..config.vocab_size)
+                    .map(|_| 100.0 / config.vocab_size as f64 * rng.gen_range(0.5..1.5))
+                    .collect()
+            })
+            .collect();
+        let exp_elog_beta = lambda.iter().map(|row| exp_dirichlet_row(row)).collect();
+        Self {
+            config,
+            lambda,
+            exp_elog_beta,
+            updates: 0,
+            docs_seen: 0,
+        }
+    }
+
+    /// The configuration this model was built with.
+    #[must_use]
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// The number of minibatch updates applied.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current learning rate ρ_t = (τ₀ + t)^{−κ}.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        (self.config.tau0 + self.updates as f64).powf(-self.config.kappa)
+    }
+
+    /// Applies one online update from a minibatch of documents and
+    /// returns the batch's variational bound per word (higher is better),
+    /// computed *before* the update — useful for convergence monitoring.
+    ///
+    /// Empty documents are skipped; an entirely empty batch is a no-op
+    /// returning 0.
+    pub fn update_batch(&mut self, batch: &[BagOfWords]) -> f64 {
+        let nonempty: Vec<&BagOfWords> = batch.iter().filter(|d| !d.is_empty()).collect();
+        if nonempty.is_empty() {
+            return 0.0;
+        }
+        let k = self.config.num_topics;
+        let w = self.config.vocab_size;
+        let mut sstats = vec![vec![0.0; w]; k];
+        let mut bound = 0.0;
+        let mut word_total = 0u64;
+
+        for doc in &nonempty {
+            let (gamma, phi_contrib) = self.e_step(doc);
+            // Accumulate sufficient statistics: sstats[k][w] += phi_kw * n_w.
+            for (slot, &(id, count)) in phi_contrib.iter().zip(doc.iter()) {
+                if id >= w {
+                    continue;
+                }
+                for (topic, &p) in slot.iter().enumerate() {
+                    sstats[topic][id] += p * f64::from(count);
+                }
+            }
+            bound += self.doc_log_likelihood(doc, &gamma);
+            word_total += doc.iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+        }
+
+        // M-step: blend λ toward the batch estimate with step ρ.
+        let rho = self.learning_rate();
+        self.docs_seen += nonempty.len();
+        let d = self.config.corpus_size.unwrap_or(self.docs_seen) as f64;
+        let scale = d / nonempty.len() as f64;
+        for (lam_row, ss_row) in self.lambda.iter_mut().zip(&sstats) {
+            for (lam, &ss) in lam_row.iter_mut().zip(ss_row) {
+                *lam = (1.0 - rho) * *lam + rho * (self.config.eta + scale * ss);
+            }
+        }
+        for (beta_row, lam_row) in self.exp_elog_beta.iter_mut().zip(&self.lambda) {
+            *beta_row = exp_dirichlet_row(lam_row);
+        }
+        self.updates += 1;
+        if word_total == 0 {
+            0.0
+        } else {
+            bound / word_total as f64
+        }
+    }
+
+    /// Infers the topic mixture θ of a document against the current
+    /// topics (frozen; does not update the model). Returns a length-K
+    /// probability vector; uniform for an empty document.
+    #[must_use]
+    pub fn infer(&self, doc: &BagOfWords) -> Vec<f64> {
+        let k = self.config.num_topics;
+        if doc.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let (mut gamma, _) = self.e_step(doc);
+        normalize_in_place(&mut gamma);
+        gamma
+    }
+
+    /// The current topic-word distributions: K rows, each a length-W
+    /// probability vector (the normalized λ rows).
+    #[must_use]
+    pub fn topics(&self) -> Vec<Vec<f64>> {
+        self.lambda
+            .iter()
+            .map(|row| {
+                let mut r = row.clone();
+                normalize_in_place(&mut r);
+                r
+            })
+            .collect()
+    }
+
+    /// The `n` highest-probability word ids of topic `topic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic >= num_topics`.
+    #[must_use]
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<usize> {
+        let row = &self.lambda[topic];
+        let mut ids: Vec<usize> = (0..row.len()).collect();
+        ids.sort_unstable_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+        ids.truncate(n);
+        ids
+    }
+
+    /// Per-word log likelihood of `corpus` under the current model
+    /// (higher is better). Returns 0 for an empty corpus.
+    #[must_use]
+    pub fn score(&self, corpus: &[BagOfWords]) -> f64 {
+        let mut total = 0.0;
+        let mut words = 0u64;
+        for doc in corpus.iter().filter(|d| !d.is_empty()) {
+            let (gamma, _) = self.e_step(doc);
+            total += self.doc_log_likelihood(doc, &gamma);
+            words += doc.iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+        }
+        if words == 0 {
+            0.0
+        } else {
+            total / words as f64
+        }
+    }
+
+    /// Variational E-step for one document. Returns the converged γ and,
+    /// per word position, the (unnormalized-then-normalized) topic
+    /// responsibilities φ.
+    fn e_step(&self, doc: &BagOfWords) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let k = self.config.num_topics;
+        let mut gamma = vec![self.config.alpha + 1.0; k];
+        let mut exp_elog_theta: Vec<f64> = dirichlet_expectation(&gamma)
+            .into_iter()
+            .map(f64::exp)
+            .collect();
+
+        let ids: Vec<usize> = doc.iter().map(|&(id, _)| id).collect();
+        let counts: Vec<f64> = doc.iter().map(|&(_, c)| f64::from(c)).collect();
+
+        let phinorm = |theta: &[f64]| -> Vec<f64> {
+            ids.iter()
+                .map(|&id| {
+                    let mut s = 1e-100;
+                    if id < self.config.vocab_size {
+                        for (topic, t) in theta.iter().enumerate() {
+                            s += t * self.exp_elog_beta[topic][id];
+                        }
+                    }
+                    s
+                })
+                .collect()
+        };
+        let mut norms = phinorm(&exp_elog_theta);
+
+        for _ in 0..self.config.max_e_steps {
+            let last_gamma = gamma.clone();
+            for (topic, g) in gamma.iter_mut().enumerate() {
+                let mut dot = 0.0;
+                for ((&id, &count), &norm) in ids.iter().zip(&counts).zip(&norms) {
+                    if id < self.config.vocab_size {
+                        dot += count / norm * self.exp_elog_beta[topic][id];
+                    }
+                }
+                *g = self.config.alpha + exp_elog_theta[topic] * dot;
+            }
+            exp_elog_theta = dirichlet_expectation(&gamma)
+                .into_iter()
+                .map(f64::exp)
+                .collect();
+            norms = phinorm(&exp_elog_theta);
+            let mean_change: f64 = gamma
+                .iter()
+                .zip(&last_gamma)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / k as f64;
+            if mean_change < self.config.e_step_tol {
+                break;
+            }
+        }
+
+        // Final responsibilities φ for sufficient statistics.
+        let phi: Vec<Vec<f64>> = ids
+            .iter()
+            .zip(&norms)
+            .map(|(&id, &norm)| {
+                (0..k)
+                    .map(|topic| {
+                        if id < self.config.vocab_size {
+                            exp_elog_theta[topic] * self.exp_elog_beta[topic][id] / norm
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (gamma, phi)
+    }
+
+    /// log p(doc | θ̂, β̂) with θ̂ the normalized γ and β̂ the normalized λ —
+    /// a cheap likelihood proxy adequate for monitoring and tests.
+    fn doc_log_likelihood(&self, doc: &BagOfWords, gamma: &[f64]) -> f64 {
+        let mut theta = gamma.to_vec();
+        normalize_in_place(&mut theta);
+        let lambda_sums: Vec<f64> = self.lambda.iter().map(|r| r.iter().sum()).collect();
+        doc.iter()
+            .filter(|&&(id, _)| id < self.config.vocab_size)
+            .map(|&(id, count)| {
+                let p_word: f64 = theta
+                    .iter()
+                    .enumerate()
+                    .map(|(topic, &t)| t * self.lambda[topic][id] / lambda_sums[topic])
+                    .sum();
+                f64::from(count) * p_word.max(1e-300).ln()
+            })
+            .sum()
+    }
+
+    /// Direct access to the unnormalized variational parameter λ
+    /// (K rows × W columns). Exposed for AOLDA's adaptive priors.
+    #[must_use]
+    pub fn lambda(&self) -> &[Vec<f64>] {
+        &self.lambda
+    }
+
+    /// Replaces λ wholesale (dimensions must match) and refreshes the
+    /// cached `exp(E[log β])`. Used by AOLDA to seed a window's model
+    /// from adapted priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape of `lambda` is not K×W or any entry is not
+    /// strictly positive.
+    pub fn set_lambda(&mut self, lambda: Vec<Vec<f64>>) {
+        assert_eq!(lambda.len(), self.config.num_topics, "lambda row count");
+        for row in &lambda {
+            assert_eq!(row.len(), self.config.vocab_size, "lambda column count");
+            assert!(
+                row.iter().all(|&x| x > 0.0),
+                "lambda entries must be positive"
+            );
+        }
+        self.exp_elog_beta = lambda.iter().map(|row| exp_dirichlet_row(row)).collect();
+        self.lambda = lambda;
+    }
+}
+
+/// exp(ψ(λ_w) − ψ(Σλ)) for one row.
+fn exp_dirichlet_row(row: &[f64]) -> Vec<f64> {
+    let total: f64 = row.iter().sum();
+    let psi_total = digamma(total);
+    row.iter()
+        .map(|&x| (digamma(x) - psi_total).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint word clusters: ids 0..3 ("storage" words) and
+    /// 4..7 ("memory" words).
+    fn synthetic_corpus() -> Vec<BagOfWords> {
+        let mut docs = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                docs.push(vec![(0, 2), (1, 1), (2, 1), (3, 2)]);
+            } else {
+                docs.push(vec![(4, 2), (5, 1), (6, 2), (7, 1)]);
+            }
+        }
+        docs
+    }
+
+    fn config(k: usize) -> LdaConfig {
+        LdaConfig {
+            num_topics: k,
+            vocab_size: 8,
+            corpus_size: Some(20),
+            ..LdaConfig::default()
+        }
+    }
+
+    #[test]
+    fn topics_are_probability_distributions() {
+        let mut lda = OnlineLda::new(config(2));
+        for _ in 0..5 {
+            lda.update_batch(&synthetic_corpus());
+        }
+        for row in lda.topics() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn separates_disjoint_clusters() {
+        let mut lda = OnlineLda::new(config(2));
+        for _ in 0..30 {
+            lda.update_batch(&synthetic_corpus());
+        }
+        // The top-4 words of the two topics should be the two clusters.
+        let mut t0: Vec<usize> = lda.top_words(0, 4);
+        let mut t1: Vec<usize> = lda.top_words(1, 4);
+        t0.sort_unstable();
+        t1.sort_unstable();
+        let clusters = [vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        assert!(
+            (t0 == clusters[0] && t1 == clusters[1]) || (t0 == clusters[1] && t1 == clusters[0]),
+            "topics did not separate clusters: {t0:?} vs {t1:?}"
+        );
+    }
+
+    #[test]
+    fn inference_assigns_doc_to_its_cluster_topic() {
+        let mut lda = OnlineLda::new(config(2));
+        for _ in 0..30 {
+            lda.update_batch(&synthetic_corpus());
+        }
+        let storage_doc = vec![(0, 3), (2, 2)];
+        let memory_doc = vec![(5, 3), (7, 2)];
+        let ts = lda.infer(&storage_doc);
+        let tm = lda.infer(&memory_doc);
+        let dominant = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_ne!(dominant(&ts), dominant(&tm));
+        assert!(ts.iter().cloned().fold(f64::MIN, f64::max) > 0.8);
+    }
+
+    #[test]
+    fn training_improves_score() {
+        let corpus = synthetic_corpus();
+        let mut lda = OnlineLda::new(config(2));
+        let before = lda.score(&corpus);
+        for _ in 0..30 {
+            lda.update_batch(&corpus);
+        }
+        let after = lda.score(&corpus);
+        assert!(after > before, "score did not improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn infer_returns_normalized_mixture() {
+        let lda = OnlineLda::new(config(3));
+        let doc = vec![(1, 2), (6, 1)];
+        let theta = lda.infer(&doc);
+        assert_eq!(theta.len(), 3);
+        assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Empty doc → uniform.
+        let theta = lda.infer(&Vec::new());
+        assert!(theta.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut lda = OnlineLda::new(config(2));
+        let lambda_before = lda.lambda().to_vec();
+        let bound = lda.update_batch(&[]);
+        assert_eq!(bound, 0.0);
+        assert_eq!(lda.updates(), 0);
+        assert_eq!(lda.lambda(), &lambda_before[..]);
+    }
+
+    #[test]
+    fn learning_rate_decays() {
+        let mut lda = OnlineLda::new(config(2));
+        let r0 = lda.learning_rate();
+        lda.update_batch(&synthetic_corpus());
+        let r1 = lda.learning_rate();
+        assert!(r1 < r0);
+        assert!(r0 <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = OnlineLda::new(config(2));
+        let mut b = OnlineLda::new(config(2));
+        a.update_batch(&synthetic_corpus());
+        b.update_batch(&synthetic_corpus());
+        assert_eq!(a.lambda(), b.lambda());
+        let mut c = OnlineLda::new(LdaConfig {
+            seed: 7,
+            ..config(2)
+        });
+        c.update_batch(&synthetic_corpus());
+        assert_ne!(a.lambda(), c.lambda());
+    }
+
+    #[test]
+    fn out_of_vocab_ids_are_ignored() {
+        let mut lda = OnlineLda::new(config(2));
+        let weird = vec![vec![(0, 1), (999, 5)]];
+        lda.update_batch(&weird); // must not panic
+        let theta = lda.infer(&vec![(999, 3)]);
+        assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn rejects_bad_kappa() {
+        let _ = OnlineLda::new(LdaConfig {
+            kappa: 0.3,
+            ..config(2)
+        });
+    }
+
+    #[test]
+    fn set_lambda_roundtrip() {
+        let mut lda = OnlineLda::new(config(2));
+        let mut lam = lda.lambda().to_vec();
+        lam[0][0] = 5.0;
+        lda.set_lambda(lam.clone());
+        assert_eq!(lda.lambda(), &lam[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda row count")]
+    fn set_lambda_rejects_bad_shape() {
+        let mut lda = OnlineLda::new(config(2));
+        lda.set_lambda(vec![vec![1.0; 8]]);
+    }
+}

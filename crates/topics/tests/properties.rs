@@ -1,0 +1,97 @@
+//! Property-based tests over the topic-model substrate.
+
+use proptest::prelude::*;
+
+use alertops_topics::math::{digamma, dirichlet_expectation, js_divergence, normalize_in_place};
+use alertops_topics::{LdaConfig, OnlineLda};
+
+proptest! {
+    #[test]
+    fn digamma_is_monotone_increasing(x in 0.01f64..50.0, delta in 0.01f64..5.0) {
+        prop_assert!(digamma(x + delta) > digamma(x));
+    }
+
+    #[test]
+    fn digamma_recurrence(x in 0.05f64..100.0) {
+        prop_assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dirichlet_expectation_components_nonpositive(
+        gamma in prop::collection::vec(0.01f64..100.0, 1..20),
+    ) {
+        // E[log θ_k] ≤ 0 always; strictly negative once K ≥ 2 (for K = 1
+        // the distribution is the constant θ = 1, so E[log θ] = 0).
+        for e in dirichlet_expectation(&gamma) {
+            prop_assert!(e <= 1e-12);
+            if gamma.len() >= 2 {
+                prop_assert!(e < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_produces_distribution(
+        v in prop::collection::vec(0.0f64..100.0, 1..20),
+    ) {
+        let mut v = v;
+        let had_mass = v.iter().sum::<f64>() > 0.0;
+        normalize_in_place(&mut v);
+        if had_mass {
+            prop_assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn js_divergence_symmetric_and_bounded(
+        p in prop::collection::vec(0.001f64..1.0, 4),
+        q in prop::collection::vec(0.001f64..1.0, 4),
+    ) {
+        let mut p = p;
+        let mut q = q;
+        normalize_in_place(&mut p);
+        normalize_in_place(&mut q);
+        let pq = js_divergence(&p, &q);
+        let qp = js_divergence(&q, &p);
+        prop_assert!((pq - qp).abs() < 1e-9);
+        prop_assert!((0.0..=2.0f64.ln() + 1e-9).contains(&pq));
+        prop_assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lda_topics_are_distributions_after_any_batch(
+        docs in prop::collection::vec(
+            prop::collection::vec((0usize..12, 1u32..4), 1..6),
+            1..8,
+        ),
+        seed in 0u64..100,
+    ) {
+        // Deduplicate ids within each doc (BagOfWords contract).
+        let docs: Vec<Vec<(usize, u32)>> = docs
+            .into_iter()
+            .map(|d| {
+                let mut m = std::collections::BTreeMap::new();
+                for (id, c) in d {
+                    *m.entry(id).or_insert(0) += c;
+                }
+                m.into_iter().collect()
+            })
+            .collect();
+        let mut lda = OnlineLda::new(LdaConfig {
+            num_topics: 3,
+            vocab_size: 12,
+            seed,
+            ..LdaConfig::default()
+        });
+        lda.update_batch(&docs);
+        for row in lda.topics() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "topic sums to {}", sum);
+            prop_assert!(row.iter().all(|&p| p >= 0.0));
+        }
+        // Inference also yields a distribution.
+        let theta = lda.infer(&docs[0]);
+        prop_assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+}

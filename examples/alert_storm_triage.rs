@@ -1,0 +1,80 @@
+//! Alert-storm triage: the workload the paper's intro motivates — a
+//! flood of hundreds of alerts per hour that no OCE team can read
+//! one by one.
+//!
+//! Detects storms (>100 alerts/region/hour, consecutive hours merged),
+//! then walks the worst storm through the reaction pipeline: block the
+//! strategies flagged as transient/toggling/repeating, aggregate
+//! duplicates, correlate by topology, and hand the OCE a triage list.
+//!
+//! Run with: `cargo run --example alert_storm_triage`
+
+use alertops::core::prelude::*;
+use alertops::detect::storm::detect_storms;
+use alertops::detect::StormConfig;
+use alertops::sim::scenarios;
+
+fn main() {
+    // Four simulated days with a storm roughly every day.
+    let out = scenarios::mini_study(3).run();
+    println!("alert history: {} alerts over 4 days", out.alerts.len());
+
+    // 1. Find the storms.
+    let storms = detect_storms(&out.alerts, &StormConfig::default());
+    println!("\ndetected {} alert storms:", storms.len());
+    for storm in &storms {
+        println!(
+            "  {} in {}: {} alerts over {} hour(s), peak {}/hour",
+            storm.window,
+            storm.region,
+            storm.total_alerts,
+            storm.duration_hours(),
+            storm.peak_hourly
+        );
+    }
+    let Some(worst) = storms.iter().max_by_key(|s| s.total_alerts) else {
+        println!("no storms this seed — nothing to triage");
+        return;
+    };
+
+    // 2. Slice the storm's alerts.
+    let storm_alerts: Vec<Alert> = out
+        .alerts
+        .iter()
+        .filter(|a| worst.window.contains(a.raised_at()) && a.location().region() == &worst.region)
+        .cloned()
+        .collect();
+    println!(
+        "\ntriaging the worst storm: {} alerts in {}",
+        storm_alerts.len(),
+        worst.region
+    );
+
+    // 3. Govern: detection derives the blocking rules, then the pipeline
+    //    collapses the flood.
+    let governor = AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default())
+        .with_dependency_graph(out.topology.dependency_graph());
+    let anti_patterns = governor.detect(&out.alerts, &out.incidents);
+    let blocker = governor.derive_blocker(&anti_patterns);
+    println!(
+        "derived {} blocking rules from A4/A5 findings",
+        blocker.rules().len()
+    );
+    let pipeline = governor.react(&storm_alerts, blocker);
+    for stage in &pipeline.stages {
+        println!("  after {:<12} {:>6} items", stage.stage, stage.remaining);
+    }
+    println!(
+        "volume reduction: {:.1}% — {} triage items for the OCE",
+        pipeline.reduction * 100.0,
+        pipeline.triage.len()
+    );
+
+    // 4. What the OCE actually reads.
+    println!("\ntriage list (first 10):");
+    for id in pipeline.triage.iter().take(10) {
+        if let Some(alert) = storm_alerts.iter().find(|a| a.id() == *id) {
+            println!("  {alert}");
+        }
+    }
+}

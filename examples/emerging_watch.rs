@@ -1,0 +1,90 @@
+//! Emerging-alert detection (R4) on a gray failure: "a few alerts
+//! corresponding to a root cause appear first … when the root cause
+//! escalates its influence, numerous cascading alerts will be
+//! generated. This usually happens on gray failures like memory leak
+//! and CPU overloading" (§III-C).
+//!
+//! Builds an alert stream where hours 0–2 carry routine noise and hour 3
+//! sees the first few memory-leak alerts of an unfamiliar shape; the
+//! adaptive-online-LDA watcher flags them while they are still few.
+//!
+//! Run with: `cargo run --example emerging_watch`
+
+use alertops::core::prelude::*;
+use alertops::react::EmergingReport;
+
+fn routine_alert(id: u64, t: u64) -> Alert {
+    let titles = [
+        "disk usage of block storage node over threshold",
+        "cpu utilization high on computing worker",
+        "request latency of api gateway above limit",
+    ];
+    Alert::builder(AlertId(id), StrategyId(id % 3))
+        .title(titles[(id % 3) as usize])
+        .service("Block Storage")
+        .raised_at(SimTime::from_secs(t))
+        .build()
+}
+
+fn leak_alert(id: u64, t: u64) -> Alert {
+    Alert::builder(AlertId(id), StrategyId(77))
+        .title("memory consumption of cache agent growing steadily, swap pressure rising")
+        .service("Container Platform")
+        .raised_at(SimTime::from_secs(t))
+        .build()
+}
+
+fn main() {
+    let mut alerts = Vec::new();
+    let mut id = 0;
+    for hour in 0..4u64 {
+        for i in 0..15 {
+            alerts.push(routine_alert(id, hour * 3_600 + i * 230));
+            id += 1;
+        }
+        if hour == 3 {
+            // The gray failure's first whispers: only six alerts.
+            for i in 0..6 {
+                alerts.push(leak_alert(id, hour * 3_600 + 200 + i * 550));
+                id += 1;
+            }
+        }
+    }
+    alerts.sort_by_key(Alert::raised_at);
+    println!("stream: {} alerts over 4 hours", alerts.len());
+
+    let mut detector = EmergingAlertDetector::new(EmergingConfig {
+        num_topics: 4,
+        ..EmergingConfig::default()
+    });
+    let reports: Vec<EmergingReport> = detector.run(&alerts);
+
+    for report in &reports {
+        println!(
+            "window {}: {} alerts, {} emerging topic(s), {} emerging alert(s)",
+            report.window_index,
+            report.alert_count,
+            report.emerging_topics,
+            report.emerging_alerts.len()
+        );
+        for alert_id in &report.emerging_alerts {
+            let alert = alerts
+                .iter()
+                .find(|a| a.id() == *alert_id)
+                .expect("report ids come from the stream");
+            println!("    ⚠ {alert}");
+        }
+    }
+
+    let flagged_leaks = reports
+        .iter()
+        .flat_map(|r| &r.emerging_alerts)
+        .filter(|id| {
+            alerts
+                .iter()
+                .find(|a| a.id() == **id)
+                .is_some_and(|a| a.strategy() == StrategyId(77))
+        })
+        .count();
+    println!("\nleak alerts flagged early: {flagged_leaks}/6");
+}

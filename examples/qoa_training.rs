@@ -1,0 +1,108 @@
+//! Learning the Quality of Alerts from OCE labels — the paper's §IV
+//! proposal: "OCEs provide their domain knowledge by creating labels …
+//! a machine learning model could be trained and continuously updated so
+//! that it can automatically absorb the human knowledge."
+//!
+//! Simulates that loop: oracle labels (with 10% labelling noise) train a
+//! logistic model per criterion; held-out AUC shows the knowledge
+//! transferred; a final `absorb` pass shows continual updating.
+//!
+//! Run with: `cargo run --example qoa_training`
+
+use std::collections::HashMap;
+
+use alertops::core::prelude::*;
+use alertops::qoa::{auc, flip_labels, TrainConfig, FEATURE_NAMES};
+use alertops::sim::scenarios;
+
+fn main() {
+    let out = scenarios::mini_study(5).run();
+    let mut by_strategy: HashMap<StrategyId, Vec<&Alert>> = HashMap::new();
+    for alert in &out.alerts {
+        by_strategy.entry(alert.strategy()).or_default().push(alert);
+    }
+
+    // Features + oracle labels per strategy.
+    let model_tmp = QoaModel::new();
+    let mut features = Vec::new();
+    let mut labels_handleable = Vec::new();
+    let mut labels_indicative = Vec::new();
+    for strategy in out.catalog.strategies() {
+        let alerts = by_strategy
+            .get(&strategy.id())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        features.push(model_tmp.features(
+            strategy,
+            out.catalog.sop(strategy.id()),
+            alerts,
+            &out.incidents,
+        ));
+        let profile = out.catalog.profile(strategy.id());
+        let sop_ok = out
+            .catalog
+            .sop(strategy.id())
+            .is_some_and(|s| s.completeness() > 0.8);
+        labels_handleable.push(!profile.vague_title && sop_ok);
+        labels_indicative.push(profile.is_clean());
+    }
+    let n = features.len();
+    let split = n / 2;
+    println!(
+        "{} strategies, {} features each, 50/50 train/test split",
+        n,
+        FEATURE_NAMES.len()
+    );
+
+    let mut model = QoaModel::new();
+    for (criterion, labels) in [
+        (Criterion::Handleability, &labels_handleable),
+        (Criterion::Indicativeness, &labels_indicative),
+    ] {
+        // OCEs are imperfect raters: 10% of training labels are flipped.
+        let noisy = flip_labels(&labels[..split], 0.10, 42);
+        let train_x: Vec<Vec<f64>> = features[..split].to_vec();
+        model.fit(criterion, &train_x, &noisy, &TrainConfig::default());
+        let scores: Vec<f64> = features[split..]
+            .iter()
+            .map(|x| model.predict_proba(criterion, x))
+            .collect();
+        match auc(&scores, &labels[split..]) {
+            Some(a) => println!("{criterion:?}: held-out AUC {a:.3} (trained on noisy labels)"),
+            None => println!("{criterion:?}: degenerate test split"),
+        }
+    }
+
+    // Continual absorption: a fresh batch of labels arrives; the model
+    // updates without retraining from scratch.
+    let fresh_x: Vec<Vec<f64>> = features[split..].to_vec();
+    let fresh_y = flip_labels(&labels_handleable[split..], 0.10, 43);
+    for _ in 0..10 {
+        model.absorb(Criterion::Handleability, &fresh_x, &fresh_y, 0.05);
+    }
+    let scores: Vec<f64> = features
+        .iter()
+        .map(|x| model.predict_proba(Criterion::Handleability, x))
+        .collect();
+    if let Some(a) = auc(&scores, &labels_handleable) {
+        println!("Handleability after absorbing the second batch: full-set AUC {a:.3}");
+    }
+
+    // Worst-first ranking = the automatic anti-pattern shortlist.
+    let items: Vec<(StrategyId, Vec<f64>)> = out
+        .catalog
+        .strategies()
+        .iter()
+        .zip(&features)
+        .map(|(s, f)| (s.id(), f.clone()))
+        .collect();
+    println!("\npredicted lowest-handleability strategies:");
+    for (id, p) in model
+        .rank_worst_first(Criterion::Handleability, &items)
+        .iter()
+        .take(5)
+    {
+        let strategy = out.catalog.strategy(*id).expect("catalog strategy");
+        println!("  {id} p(high)={p:.2}  {:?}", strategy.title_template());
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: simulate a small cloud, govern its alert stream, print
+//! the governance report — the Fig. 1 loop (monitor → alerts → OCE →
+//! fix) plus the Fig. 6 governance loop, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use alertops::core::prelude::*;
+use alertops::sim::scenarios;
+
+fn main() {
+    // 1. Simulate: 4 services / 24 microservices, 240 strategies, six
+    //    hours with one injected cascade and background transients.
+    let out = scenarios::quickstart(7).run();
+    println!(
+        "simulated {} alerts from {} strategies over {} microservices",
+        out.alerts.len(),
+        out.catalog.strategies().len(),
+        out.topology.microservices().len()
+    );
+    println!(
+        "incidents derived from injected faults: {}",
+        out.incidents.len()
+    );
+
+    // 2. Peek at the stream the way an OCE would (the paper's Table II
+    //    rendering).
+    println!("\nfirst five alerts:");
+    for alert in out.alerts.iter().take(5) {
+        println!("  {alert}");
+    }
+
+    // 3. Govern: lint strategies, detect anti-patterns, derive blocking
+    //    rules, run the reaction pipeline, rank by QoA.
+    let governor = AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default())
+        .with_sops(
+            out.catalog
+                .strategies()
+                .iter()
+                .filter_map(|s| out.catalog.sop(s.id()).cloned()),
+        )
+        .with_dependency_graph(out.topology.dependency_graph());
+
+    let report = governor.govern(&out.alerts, &out.incidents);
+    println!("\n{report}");
+
+    // 4. The review shortlist: which strategies to fix first.
+    println!("lowest-QoA strategies:");
+    for qoa in report.review_shortlist(5) {
+        let strategy = out
+            .catalog
+            .strategy(qoa.strategy)
+            .expect("report references catalog strategies");
+        println!(
+            "  {} overall {:.2} (ind {:.2} / prec {:.2} / hand {:.2})  {:?}",
+            qoa.strategy,
+            qoa.scores.overall(),
+            qoa.scores.indicativeness,
+            qoa.scores.precision,
+            qoa.scores.handleability,
+            strategy.title_template(),
+        );
+    }
+}

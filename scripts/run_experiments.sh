@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper and captures the output.
+# Usage: scripts/run_experiments.sh [output-file]
+set -euo pipefail
+out="${1:-experiments_output.txt}"
+cd "$(dirname "$0")/.."
+: > "$out"
+for bin in table1 table2 fig2 fig3 fig4 fig5 fig6 study qoa_eval ablations; do
+    echo "### $bin" | tee -a "$out"
+    cargo run --release -q -p alertops-bench --bin "$bin" 2>>/dev/null | tee -a "$out"
+    echo | tee -a "$out"
+done
+echo "wrote $out"

@@ -1,0 +1,236 @@
+//! The `alertops` command-line tool: simulate a cloud, govern its alert
+//! stream, lint strategies, and hunt storms — from a shell.
+//!
+//! ```text
+//! alertops simulate --scenario mini-study --seed 7 [--json out.json]
+//! alertops govern   --scenario quickstart --seed 7 [--top N]
+//! alertops lint     --scenario quickstart --seed 7
+//! alertops storms   --scenario mini-study --seed 7 [--threshold 100]
+//! alertops audit    --scenario mini-study --seed 7
+//! ```
+//!
+//! Every subcommand runs a named scenario (there is no external data to
+//! load — the simulator *is* the data source, see DESIGN.md) and prints
+//! human-readable output; `--json FILE` additionally dumps the full
+//! machine-readable result.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use alertops::core::prelude::*;
+use alertops::react::{audit_blocker_with, review_queue, AuditConfig};
+use alertops::sim::scenarios::{self, Scenario};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: alertops <simulate|govern|lint|storms|audit> \
+         [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
+         [--json FILE] [--top N] [--threshold N]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Args {
+    command: String,
+    scenario: String,
+    seed: u64,
+    json: Option<String>,
+    top: usize,
+    threshold: usize,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut args = Args {
+        command,
+        scenario: "quickstart".to_owned(),
+        seed: 7,
+        json: None,
+        top: 10,
+        threshold: 100,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next();
+        match flag.as_str() {
+            "--scenario" => args.scenario = value()?,
+            "--seed" => args.seed = value()?.parse().ok()?,
+            "--json" => args.json = Some(value()?),
+            "--top" => args.top = value()?.parse().ok()?,
+            "--threshold" => args.threshold = value()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
+    Some(match name {
+        "quickstart" => scenarios::quickstart(seed),
+        "mini-study" => scenarios::mini_study(seed),
+        "storm" => scenarios::storm_fig3(seed),
+        "cascade" => scenarios::cascade_table2(seed),
+        "study" => scenarios::study(seed),
+        _ => return None,
+    })
+}
+
+fn build_governor(out: &alertops::sim::SimOutput) -> AlertGovernor {
+    let fault_tolerant: BTreeSet<MicroserviceId> = out
+        .topology
+        .microservices()
+        .iter()
+        .filter(|ms| ms.fault_tolerant)
+        .map(|ms| ms.id)
+        .collect();
+    AlertGovernor::new(
+        out.catalog.strategies().to_vec(),
+        GovernorConfig {
+            guideline_context: GuidelineContext { fault_tolerant },
+            ..GovernorConfig::default()
+        },
+    )
+    .with_sops(
+        out.catalog
+            .strategies()
+            .iter()
+            .filter_map(|s| out.catalog.sop(s.id()).cloned()),
+    )
+    .with_dependency_graph(out.topology.dependency_graph())
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    if !matches!(
+        args.command.as_str(),
+        "simulate" | "govern" | "lint" | "storms" | "audit"
+    ) {
+        eprintln!("unknown command `{}`", args.command);
+        return usage();
+    }
+    let Some(scenario) = scenario_by_name(&args.scenario, args.seed) else {
+        eprintln!("unknown scenario `{}`", args.scenario);
+        return usage();
+    };
+    eprintln!(
+        "running scenario `{}` (seed {}) ...",
+        scenario.name, args.seed
+    );
+    let out = scenario.run();
+
+    match args.command.as_str() {
+        "simulate" => {
+            println!(
+                "{} alerts, {} strategies, {} microservices, {} incidents, {} fault events",
+                out.alerts.len(),
+                out.catalog.strategies().len(),
+                out.topology.microservices().len(),
+                out.incidents.len(),
+                out.faults.events().len()
+            );
+            for alert in out.alerts.iter().take(args.top) {
+                println!("  {alert}");
+            }
+            if let Some(path) = &args.json {
+                match serde_json::to_string(&out.alerts) {
+                    Ok(json) => {
+                        if let Err(err) = std::fs::write(path, json) {
+                            eprintln!("failed to write {path}: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("wrote alert stream to {path}");
+                    }
+                    Err(err) => {
+                        eprintln!("serialization failed: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        "govern" => {
+            let governor = build_governor(&out);
+            let report = governor.govern(&out.alerts, &out.incidents);
+            println!("{report}");
+            println!("review shortlist:");
+            for qoa in report.review_shortlist(args.top) {
+                let title = out
+                    .catalog
+                    .strategy(qoa.strategy)
+                    .map_or("?", |s| s.title_template());
+                println!(
+                    "  {} QoA {:.2} ({} alerts)  {title:?}",
+                    qoa.strategy,
+                    qoa.scores.overall(),
+                    qoa.alert_count
+                );
+            }
+        }
+        "lint" => {
+            let governor = build_governor(&out);
+            let violations = governor.lint();
+            println!(
+                "{} guideline violations across {} strategies",
+                violations.len(),
+                out.catalog.strategies().len()
+            );
+            for violation in violations.iter().take(args.top) {
+                println!("  {violation}");
+            }
+        }
+        "storms" => {
+            let storms = alertops::detect::storm::detect_storms(
+                &out.alerts,
+                &alertops::detect::StormConfig {
+                    hourly_threshold: args.threshold,
+                },
+            );
+            println!(
+                "{} storm(s) at threshold {}/region/hour:",
+                storms.len(),
+                args.threshold
+            );
+            for storm in &storms {
+                println!(
+                    "  {} {} — {} alerts over {} hour(s), peak {}/hour",
+                    storm.region,
+                    storm.window,
+                    storm.total_alerts,
+                    storm.duration_hours(),
+                    storm.peak_hourly
+                );
+            }
+        }
+        "audit" => {
+            let governor = build_governor(&out);
+            let findings = governor.detect(&out.alerts, &out.incidents);
+            let blocker = governor.derive_blocker(&findings);
+            let config = AuditConfig::default();
+            let audits = audit_blocker_with(&blocker, &out.alerts, &config, |alert| {
+                // Precise harm check: an incident on the alert's own
+                // service (via the catalog) covered its raise window.
+                let Some(strategy) = out.catalog.strategy(alert.strategy()) else {
+                    return false;
+                };
+                out.incidents.iter().any(|inc| {
+                    inc.service() == strategy.service()
+                        && inc.covers_or_follows(alert.raised_at(), config.incident_lookahead)
+                })
+            });
+            println!(
+                "{} derived blocking rules; {} need review:",
+                audits.len(),
+                review_queue(&audits).len()
+            );
+            for audit in review_queue(&audits).into_iter().take(args.top) {
+                println!(
+                    "  {} — {} hits, stale: {}, suppressed near incidents: {}",
+                    audit.rule, audit.total_hits, audit.stale, audit.suppressed_indicative
+                );
+            }
+        }
+        _ => unreachable!("command validated before the scenario ran"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,60 @@
+//! Whole-stack determinism: the same seed must reproduce byte-identical
+//! results through every layer — the property that makes the paper's
+//! figures regenerable.
+
+use alertops::core::prelude::*;
+use alertops::react::{EmergingAlertDetector, EmergingConfig};
+use alertops::sim::scenarios;
+
+#[test]
+fn identical_seeds_identical_governance() {
+    let run = |seed| {
+        let out = scenarios::quickstart(seed).run();
+        let governor =
+            AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default())
+                .with_dependency_graph(out.topology.dependency_graph());
+        let report = governor.govern(&out.alerts, &out.incidents);
+        (
+            out.alerts.len(),
+            report.anti_patterns.finding_count(),
+            report.pipeline.triage.clone(),
+            report
+                .qoa_worst_first
+                .iter()
+                .map(|q| (q.strategy, q.scores.overall()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let alerts = |seed| scenarios::quickstart(seed).run().alerts;
+    let a = alerts(7);
+    let b = alerts(8);
+    assert_ne!(a, b, "different seeds should produce different worlds");
+}
+
+#[test]
+fn emerging_detection_is_replayable() {
+    let out = scenarios::quickstart(7).run();
+    let run = || {
+        let mut detector = EmergingAlertDetector::new(EmergingConfig {
+            num_topics: 4,
+            passes_per_window: 6,
+            ..EmergingConfig::default()
+        });
+        detector.run(&out.alerts)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn statistical_engine_is_replayable_at_scale() {
+    let a = scenarios::mini_study(5).run();
+    let b = scenarios::mini_study(5).run();
+    assert_eq!(a.alerts, b.alerts);
+    assert_eq!(a.incidents.len(), b.incidents.len());
+    assert_eq!(a.faults.events().len(), b.faults.events().len());
+}

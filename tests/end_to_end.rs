@@ -1,0 +1,105 @@
+//! Cross-crate integration: simulator → governor → report, exercising
+//! every layer of the workspace through the public umbrella API.
+
+use alertops::core::prelude::*;
+use alertops::sim::scenarios;
+
+fn governed(seed: u64) -> (alertops::sim::SimOutput, GovernanceReport) {
+    let out = scenarios::quickstart(seed).run();
+    let governor = AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default())
+        .with_sops(
+            out.catalog
+                .strategies()
+                .iter()
+                .filter_map(|s| out.catalog.sop(s.id()).cloned()),
+        )
+        .with_dependency_graph(out.topology.dependency_graph());
+    let report = governor.govern(&out.alerts, &out.incidents);
+    (out, report)
+}
+
+#[test]
+fn full_loop_produces_consistent_report() {
+    let (out, report) = governed(7);
+
+    // Detection found something (the catalog injects anti-patterns).
+    assert!(report.anti_patterns.finding_count() > 0);
+
+    // Blocking rules derive only from A4/A5 findings.
+    let a4 = report
+        .anti_patterns
+        .flagged(AntiPattern::TransientToggling)
+        .len();
+    let a5 = report.anti_patterns.flagged(AntiPattern::Repeating).len();
+    assert!(report.derived_blocking_rules <= a4 + a5);
+
+    // Pipeline: stage volumes shrink monotonically and triage items are
+    // real alerts.
+    let volumes: Vec<usize> = report.pipeline.stages.iter().map(|s| s.remaining).collect();
+    assert_eq!(volumes[0], out.alerts.len());
+    for w in volumes.windows(2) {
+        assert!(w[1] <= w[0]);
+    }
+    for id in &report.pipeline.triage {
+        assert!(out.alerts.iter().any(|a| a.id() == *id));
+    }
+
+    // QoA covers every strategy exactly once, worst-first.
+    assert_eq!(report.qoa_worst_first.len(), out.catalog.strategies().len());
+    for w in report.qoa_worst_first.windows(2) {
+        assert!(w[0].scores.overall() <= w[1].scores.overall() + 1e-12);
+    }
+
+    // Guideline violations reference real strategies.
+    for violation in &report.guideline_violations {
+        assert!(out.catalog.strategy(violation.strategy).is_some());
+    }
+}
+
+#[test]
+fn governance_report_renders() {
+    let (_, report) = governed(9);
+    let text = report.to_string();
+    assert!(text.contains("Governance report"));
+    assert!(text.contains("A1"));
+    assert!(text.contains("pipeline"));
+}
+
+#[test]
+fn qoa_shortlist_overlaps_injected_ground_truth() {
+    let (out, report) = governed(7);
+    // Of the 24 worst-QoA strategies, a clear majority should carry an
+    // injected anti-pattern — QoA is the paper's proposed automatic
+    // anti-pattern detector.
+    let shortlist = report.review_shortlist(24);
+    let flagged = shortlist
+        .iter()
+        .filter(|q| out.catalog.profile(q.strategy).any())
+        .count();
+    assert!(
+        flagged * 2 > shortlist.len(),
+        "only {flagged}/{} of the QoA shortlist are injected offenders",
+        shortlist.len()
+    );
+}
+
+#[test]
+fn derived_blocking_is_idempotent_across_governance_passes() {
+    let out = scenarios::quickstart(11).run();
+    let governor = AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default())
+        .with_dependency_graph(out.topology.dependency_graph());
+    let first = governor.detect(&out.alerts, &out.incidents);
+    let blocker = governor.derive_blocker(&first);
+    let outcome = blocker.apply(&out.alerts);
+    // Re-detecting on the passed (post-blocking) stream must not find
+    // MORE transient/toggling strategies than before.
+    let passed: Vec<Alert> = outcome.passed.iter().map(|&a| a.clone()).collect();
+    let second = governor.detect(&passed, &out.incidents);
+    assert!(
+        second.flagged(AntiPattern::TransientToggling).len()
+            <= first.flagged(AntiPattern::TransientToggling).len()
+    );
+    assert!(
+        second.flagged(AntiPattern::Repeating).len() <= first.flagged(AntiPattern::Repeating).len()
+    );
+}
