@@ -1,0 +1,52 @@
+//! Criterion benches: the sharded ingestion daemon — alerts/second
+//! through route → window close → merge at 1, 4, and 8 shards.
+//!
+//! Sockets are left out so the numbers isolate the daemon's own
+//! pipeline (sharding, bounded queues, per-shard detection, the merge
+//! barrier) from kernel TCP behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
+use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig};
+use alertops_sim::scenarios;
+
+fn bench_ingestd(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let strategies = out.catalog.strategies().to_vec();
+
+    let mut group = c.benchmark_group("ingestd");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(out.alerts.len() as u64));
+    for shards in [1usize, 4, 8] {
+        let config = IngestdConfig {
+            shards,
+            queue_capacity: 8192,
+            ..IngestdConfig::default()
+        };
+        let handle = Ingestd::spawn(&config, |shard, shards| {
+            StreamingGovernor::new(
+                AlertGovernor::new(
+                    shard_catalog(&strategies, shards, shard),
+                    GovernorConfig::default(),
+                ),
+                StreamingConfig::default(),
+            )
+        })
+        .expect("daemon starts");
+        group.bench_function(format!("route_and_close_{shards}_shards"), |b| {
+            b.iter(|| {
+                for alert in &out.alerts {
+                    handle.route(alert.clone());
+                }
+                black_box(handle.flush().expect("flush yields a snapshot"))
+            });
+        });
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestd);
+criterion_main!(benches);

@@ -68,4 +68,4 @@ pub use guidelines::{GuidelineAspect, GuidelineContext, GuidelineLinter, Guideli
 pub use postmortem::{render_postmortem, PostmortemInput};
 pub use remediation::{apply_fixes, suggest_fixes, FixAction, RemediationConfig, StrategyFix};
 pub use reports::GovernanceReport;
-pub use streaming::{StreamingConfig, StreamingGovernor, WindowDelta};
+pub use streaming::{GovernanceSnapshot, StreamingConfig, StreamingGovernor, WindowDelta};

@@ -7,11 +7,13 @@
 //! subsided), and storm onsets. [`StreamingGovernor`] wraps an
 //! [`AlertGovernor`] with exactly that state.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use alertops_detect::storm::detect_storms;
-use alertops_detect::{AntiPattern, StormConfig, StrategyFinding};
-use alertops_model::{Alert, AlertId, Incident, StrategyId};
+use serde::{Deserialize, Serialize};
+
+use alertops_detect::storm::{region_hour_histogram, storms_from_histogram};
+use alertops_detect::{AlertStorm, AntiPattern, StormConfig, StrategyFinding};
+use alertops_model::{Alert, AlertId, Incident, RegionId, StrategyId};
 
 use crate::governor::AlertGovernor;
 
@@ -36,7 +38,7 @@ impl Default for StreamingConfig {
 }
 
 /// What changed in the governance picture after one ingested window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowDelta {
     /// 0-based index of the ingested window.
     pub window_index: u64,
@@ -50,9 +52,105 @@ pub struct WindowDelta {
     pub resolved: Vec<(AntiPattern, StrategyId)>,
     /// Whether any region is inside a storm given the current history.
     pub storm_active: bool,
+    /// `(region, hour, count)` histogram over the *rolling history*
+    /// scope this delta was computed from. Histograms from shards that
+    /// partition the stream sum key-wise to the unsharded histogram,
+    /// which is how [`GovernanceSnapshot::merge`] recovers exact global
+    /// storm state (see `alertops_detect::storms_from_histogram`).
+    pub region_hours: Vec<(RegionId, u64, usize)>,
+    /// Hour buckets present in the ingested window itself, ascending
+    /// and deduplicated — the hours that count as "now" for the storm
+    /// flag.
+    pub window_hours: Vec<u64>,
     /// The reaction pipeline's triage list for this window's alerts,
     /// using blocking rules derived from the *current* findings.
     pub triage: Vec<AlertId>,
+}
+
+/// The global governance picture for one closed window, merged from the
+/// per-shard [`WindowDelta`]s of a sharded deployment (or from a single
+/// delta, which it passes through).
+///
+/// Merging is exact for everything computed per strategy or per region:
+/// alerts are sharded by `StrategyId`, so each `(pattern, strategy)`
+/// flag lives on exactly one shard, and the summed region-hour
+/// histograms reproduce the unsharded storm detector's input. The
+/// triage list is the concatenation of per-shard triage (cross-strategy
+/// correlation is evaluated within each shard only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernanceSnapshot {
+    /// Index of the merged window.
+    pub window_index: u64,
+    /// Total alerts ingested across shards in this window.
+    pub alert_count: usize,
+    /// Newly flagged findings across shards, sorted by
+    /// `(pattern, strategy)`.
+    pub new_findings: Vec<StrategyFinding>,
+    /// Flags cleared across shards, sorted.
+    pub resolved: Vec<(AntiPattern, StrategyId)>,
+    /// Storms over the merged region-hour histogram.
+    pub storms: Vec<AlertStorm>,
+    /// Whether any detected storm touches an hour present in this
+    /// window.
+    pub storm_active: bool,
+    /// Concatenated per-shard triage lists, sorted by alert id.
+    pub triage: Vec<AlertId>,
+}
+
+impl GovernanceSnapshot {
+    /// Merges one closed window's per-shard deltas into the global
+    /// picture. Deltas must come from the same window index (the
+    /// coordinator's barrier guarantees this); with a single delta this
+    /// is the identity on its fields plus full storm reconstruction.
+    #[must_use]
+    pub fn merge(deltas: &[WindowDelta], storm: &StormConfig) -> Self {
+        let window_index = deltas.iter().map(|d| d.window_index).max().unwrap_or(0);
+        let alert_count = deltas.iter().map(|d| d.alert_count).sum();
+
+        let mut new_findings: Vec<StrategyFinding> = deltas
+            .iter()
+            .flat_map(|d| d.new_findings.iter().cloned())
+            .collect();
+        new_findings.sort_by(|a, b| {
+            (a.pattern, a.strategy, &a.evidence).cmp(&(b.pattern, b.strategy, &b.evidence))
+        });
+
+        let mut resolved: Vec<(AntiPattern, StrategyId)> = deltas
+            .iter()
+            .flat_map(|d| d.resolved.iter().copied())
+            .collect();
+        resolved.sort_unstable();
+
+        let mut histogram: BTreeMap<(RegionId, u64), usize> = BTreeMap::new();
+        for (region, hour, count) in deltas.iter().flat_map(|d| d.region_hours.iter()) {
+            *histogram.entry((region.clone(), *hour)).or_insert(0) += count;
+        }
+        let storms = storms_from_histogram(histogram, storm);
+
+        let window_hours: BTreeSet<u64> = deltas
+            .iter()
+            .flat_map(|d| d.window_hours.iter().copied())
+            .collect();
+        let storm_active = storms
+            .iter()
+            .any(|s| s.hours.iter().any(|h| window_hours.contains(h)));
+
+        let mut triage: Vec<AlertId> = deltas
+            .iter()
+            .flat_map(|d| d.triage.iter().copied())
+            .collect();
+        triage.sort_unstable();
+
+        Self {
+            window_index,
+            alert_count,
+            new_findings,
+            resolved,
+            storms,
+            storm_active,
+            triage,
+        }
+    }
 }
 
 /// Incremental governance over an alert stream.
@@ -173,9 +271,24 @@ impl StreamingGovernor {
             .copied()
             .collect();
 
-        let storm_active = detect_storms(&scope, &self.config.storm)
+        let histogram = region_hour_histogram(&scope);
+        let region_hours: Vec<(RegionId, u64, usize)> = histogram
             .iter()
-            .any(|s| window.iter().any(|a| s.hours.contains(&a.hour_bucket())));
+            .map(|(key, count)| (key.0.clone(), key.1, *count))
+            .collect();
+        let window_hours: Vec<u64> = window
+            .iter()
+            .map(Alert::hour_bucket)
+            .collect::<BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+        let storm_active = storms_from_histogram(histogram, &self.config.storm)
+            .iter()
+            .any(|s| {
+                s.hours
+                    .iter()
+                    .any(|h| window_hours.binary_search(h).is_ok())
+            });
 
         let blocker = self.governor.derive_blocker(&report);
         let pipeline = self.governor.react(window, blocker);
@@ -187,6 +300,8 @@ impl StreamingGovernor {
             new_findings,
             resolved,
             storm_active,
+            region_hours,
+            window_hours,
             triage: pipeline.triage,
         };
         self.windows_ingested += 1;
@@ -347,5 +462,50 @@ mod tests {
         assert_eq!(d.alert_count, 0);
         assert!(d.triage.is_empty());
         assert!(!d.storm_active);
+    }
+
+    #[test]
+    fn window_delta_roundtrips_through_json() {
+        let mut s = streaming(24);
+        let delta = s.ingest(&transient_window(0, 1, 0, 8), &[]);
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: WindowDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(delta, back);
+        assert!(!delta.region_hours.is_empty());
+        assert_eq!(delta.window_hours, vec![0]);
+    }
+
+    #[test]
+    fn snapshot_merge_of_single_delta_preserves_fields() {
+        let mut s = streaming(24);
+        let delta = s.ingest(&transient_window(1_000, 2, 1, 150), &[]);
+        let snapshot =
+            GovernanceSnapshot::merge(std::slice::from_ref(&delta), &StormConfig::default());
+        assert_eq!(snapshot.window_index, delta.window_index);
+        assert_eq!(snapshot.alert_count, delta.alert_count);
+        assert_eq!(snapshot.storm_active, delta.storm_active);
+        assert!(snapshot.storm_active, "150 alerts/hour is a storm");
+        assert_eq!(snapshot.storms.len(), 1);
+        let mut triage = delta.triage.clone();
+        triage.sort_unstable();
+        assert_eq!(snapshot.triage, triage);
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: GovernanceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, back);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_disjoint_histograms() {
+        // Two "shards" each see 80 alerts of r1-hour-0 — below the
+        // storm bar alone, above it combined.
+        let mut shard_a = streaming(24);
+        let mut shard_b = streaming(24);
+        let da = shard_a.ingest(&transient_window(0, 1, 0, 80), &[]);
+        let db = shard_b.ingest(&transient_window(500, 2, 0, 80), &[]);
+        assert!(!da.storm_active && !db.storm_active);
+        let merged = GovernanceSnapshot::merge(&[da, db], &StormConfig::default());
+        assert!(merged.storm_active, "shards must sum to a global storm");
+        assert_eq!(merged.alert_count, 160);
+        assert_eq!(merged.storms[0].total_alerts, 160);
     }
 }

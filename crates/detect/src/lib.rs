@@ -72,5 +72,5 @@ pub use a5_repeating::RepeatingDetector;
 pub use a6_cascading::{CascadeGroup, CascadingDetector};
 pub use input::DetectionInput;
 pub use report::{evaluate_sets, AntiPatternReport, PrecisionRecall};
-pub use storm::{AlertStorm, StormConfig};
+pub use storm::{region_hour_histogram, storms_from_histogram, AlertStorm, StormConfig};
 pub use types::{AntiPattern, Detector, StrategyFinding};

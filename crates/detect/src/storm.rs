@@ -57,14 +57,33 @@ impl AlertStorm {
 /// region.
 #[must_use]
 pub fn detect_storms(alerts: &[Alert], config: &StormConfig) -> Vec<AlertStorm> {
-    // (region, hour) → count.
+    storms_from_histogram(region_hour_histogram(alerts), config)
+}
+
+/// Groups alerts into the `(region, hour) → count` histogram storm
+/// detection runs on. Histograms from disjoint alert subsets can be
+/// summed key-wise and fed to [`storms_from_histogram`] to get exactly
+/// the storms of the combined stream — this is what lets a sharded
+/// ingester compute global storm state without reassembling alerts.
+#[must_use]
+pub fn region_hour_histogram(alerts: &[Alert]) -> BTreeMap<(RegionId, u64), usize> {
     let mut counts: BTreeMap<(RegionId, u64), usize> = BTreeMap::new();
     for alert in alerts {
         *counts
             .entry((alert.location().region().clone(), alert.hour_bucket()))
             .or_insert(0) += 1;
     }
+    counts
+}
 
+/// Storm detection over a pre-computed `(region, hour)` histogram: keeps
+/// hours whose count exceeds the threshold and merges consecutive storm
+/// hours per region (see [`detect_storms`]).
+#[must_use]
+pub fn storms_from_histogram(
+    counts: BTreeMap<(RegionId, u64), usize>,
+    config: &StormConfig,
+) -> Vec<AlertStorm> {
     // Per region, the sorted list of storm hours (BTreeMap keys are
     // already sorted by (region, hour)).
     let mut storms = Vec::new();

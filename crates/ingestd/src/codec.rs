@@ -1,0 +1,136 @@
+//! The NDJSON wire protocol.
+//!
+//! One frame per line. A line is either an [`Alert`] serialized as a
+//! JSON object, or a control frame `{"ctrl": "..."}`:
+//!
+//! - `{"ctrl":"flush"}` — close the current window across all shards
+//!   now. The daemon replies on the same connection with
+//!   `{"ack":"flush","window":N,"alerts":M}` once the merged snapshot
+//!   is published, which is what makes replay deterministic.
+//! - `{"ctrl":"shutdown"}` — request daemon shutdown (acked with
+//!   `{"ack":"shutdown"}` before the socket closes).
+//!
+//! Blank lines are ignored. Malformed lines are counted
+//! ([`crate::Counters::decode_errors`]) and skipped — one bad producer
+//! must not poison the stream.
+
+use std::fmt;
+
+use alertops_model::Alert;
+
+/// The flush control frame, exactly as it appears on the wire.
+pub const FLUSH_FRAME: &str = r#"{"ctrl":"flush"}"#;
+
+/// The shutdown control frame, exactly as it appears on the wire.
+pub const SHUTDOWN_FRAME: &str = r#"{"ctrl":"shutdown"}"#;
+
+/// One decoded line of ingress.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// An alert record to route to its strategy's shard.
+    Alert(Box<Alert>),
+    /// Close the current window on every shard and publish the merged
+    /// snapshot.
+    Flush,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// Why a line failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line was empty or whitespace; callers skip these silently.
+    Empty,
+    /// Not valid JSON, an unknown control verb, or not an alert shape.
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Empty => f.write_str("empty line"),
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Decodes one line of ingress.
+///
+/// # Errors
+///
+/// [`FrameError::Empty`] for blank lines, [`FrameError::Malformed`]
+/// for anything that is neither a control frame nor an alert.
+pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(FrameError::Empty);
+    }
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    if let Some(ctrl) = value.get("ctrl") {
+        return match ctrl.as_str() {
+            Some("flush") => Ok(Frame::Flush),
+            Some("shutdown") => Ok(Frame::Shutdown),
+            other => Err(FrameError::Malformed(format!(
+                "unknown control verb {other:?}"
+            ))),
+        };
+    }
+    serde_json::from_str::<Alert>(line)
+        .map(|alert| Frame::Alert(Box::new(alert)))
+        .map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Encodes one alert as a wire line (no trailing newline).
+#[must_use]
+pub fn encode_alert(alert: &Alert) -> String {
+    serde_json::to_string(alert).expect("alerts always serialize")
+}
+
+/// Encodes the flush acknowledgement the daemon sends back.
+#[must_use]
+pub fn encode_flush_ack(window: u64, alerts: usize) -> String {
+    format!(r#"{{"ack":"flush","window":{window},"alerts":{alerts}}}"#)
+}
+
+/// Encodes the shutdown acknowledgement.
+#[must_use]
+pub fn encode_shutdown_ack() -> String {
+    r#"{"ack":"shutdown"}"#.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{AlertId, SimTime, StrategyId};
+
+    #[test]
+    fn alert_frames_roundtrip() {
+        let alert = Alert::builder(AlertId(7), StrategyId(3))
+            .title("cpu high")
+            .raised_at(SimTime::from_secs(120))
+            .build();
+        let line = encode_alert(&alert);
+        match parse_frame(&line).unwrap() {
+            Frame::Alert(back) => assert_eq!(*back, alert),
+            other => panic!("expected alert frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_frames_parse() {
+        assert_eq!(parse_frame(FLUSH_FRAME), Ok(Frame::Flush));
+        assert_eq!(parse_frame(SHUTDOWN_FRAME), Ok(Frame::Shutdown));
+        assert_eq!(parse_frame("  \t "), Err(FrameError::Empty));
+        assert!(matches!(
+            parse_frame(r#"{"ctrl":"reboot"}"#),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_frame("not json"),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

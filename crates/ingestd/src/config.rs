@@ -1,0 +1,107 @@
+//! Daemon configuration.
+
+use std::time::Duration;
+
+use alertops_core::StreamingConfig;
+
+/// What the router does when a shard's bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producing connection until the worker catches up —
+    /// backpressure propagates to the TCP peer. Counted in
+    /// [`crate::Counters::backpressure_waits`].
+    Block,
+    /// Drop the alert and count it in [`crate::Counters::dropped`].
+    /// Keeps ingestion latency bounded at the cost of completeness.
+    Drop,
+}
+
+/// Configuration for [`crate::Ingestd`].
+#[derive(Debug, Clone)]
+pub struct IngestdConfig {
+    /// Number of worker shards (each runs its own streaming governor).
+    pub shards: usize,
+    /// Capacity of each shard's bounded ingest queue.
+    pub queue_capacity: usize,
+    /// Wall-clock interval between automatic window closes. `None`
+    /// disables the tick: windows close only on `{"ctrl":"flush"}`
+    /// frames or [`crate::IngestdHandle::flush`] — the deterministic
+    /// mode tests and replay use.
+    pub tick: Option<Duration>,
+    /// Full-queue behaviour.
+    pub overflow: OverflowPolicy,
+    /// Per-shard streaming governor configuration (history depth,
+    /// storm thresholds).
+    pub streaming: StreamingConfig,
+    /// `host:port` to accept NDJSON alert ingress on. `None` disables
+    /// the TCP listener (alerts arrive via
+    /// [`crate::IngestdHandle::route`] or stdin instead). Use port 0
+    /// to let the OS pick.
+    pub listen: Option<String>,
+    /// `host:port` for the JSON status socket; `None` disables it.
+    pub status: Option<String>,
+}
+
+impl Default for IngestdConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            tick: None,
+            overflow: OverflowPolicy::Block,
+            streaming: StreamingConfig::default(),
+            listen: None,
+            status: None,
+        }
+    }
+}
+
+impl IngestdConfig {
+    /// Validates invariants the daemon relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be >= 1".into());
+        }
+        if let Some(tick) = self.tick {
+            if tick.is_zero() {
+                return Err("tick must be non-zero; use None to disable".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(IngestdConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let config = IngestdConfig {
+            shards: 0,
+            ..IngestdConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn zero_tick_rejected() {
+        let config = IngestdConfig {
+            tick: Some(Duration::ZERO),
+            ..IngestdConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! The coordinator: closes windows, barriers on per-shard deltas, and
+//! publishes merged snapshots.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use alertops_core::GovernanceSnapshot;
+use alertops_detect::StormConfig;
+
+use crate::counters::Counters;
+use crate::worker::{ShardDelta, WorkerMsg};
+
+/// Control messages for the coordinator.
+pub(crate) enum CoordMsg {
+    /// Close the current window now. If `ack` is set, the merged
+    /// snapshot is sent once published (this is the flush path).
+    CloseNow {
+        ack: Option<SyncSender<GovernanceSnapshot>>,
+    },
+    /// Stop coordinating; acked when the loop is about to exit.
+    Shutdown { ack: SyncSender<()> },
+}
+
+/// The coordinator loop.
+///
+/// Each cycle waits for a control message — or, with a tick
+/// configured, times out into an automatic close. A close broadcasts
+/// `WorkerMsg::Close{seq}` through every shard's ingest queue, then
+/// barriers on exactly one [`ShardDelta`] per shard for that `seq`
+/// before merging. Workers process closes in queue order and the
+/// coordinator never issues `seq + 1` before collecting all of `seq`,
+/// so the barrier cannot interleave windows.
+pub(crate) fn run_coordinator(
+    control: &Receiver<CoordMsg>,
+    shard_txs: &[SyncSender<WorkerMsg>],
+    deltas: &Receiver<ShardDelta>,
+    tick: Option<Duration>,
+    storm: &StormConfig,
+    snapshot_slot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
+    counters: &Arc<Counters>,
+) {
+    let mut seq: u64 = 0;
+    loop {
+        let msg = match tick {
+            Some(interval) => match control.recv_timeout(interval) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => None, // tick: close now
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            None => match control.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => return,
+            },
+        };
+
+        let ack = match msg {
+            Some(CoordMsg::CloseNow { ack }) => ack,
+            Some(CoordMsg::Shutdown { ack }) => {
+                let _ = ack.send(());
+                return;
+            }
+            None => None,
+        };
+
+        let started = Instant::now();
+        for tx in shard_txs {
+            if tx.send(WorkerMsg::Close { seq }).is_err() {
+                return; // a worker died: shutting down
+            }
+        }
+        let mut collected = Vec::with_capacity(shard_txs.len());
+        while collected.len() < shard_txs.len() {
+            match deltas.recv() {
+                Ok(shard_delta) => {
+                    debug_assert_eq!(shard_delta.seq, seq, "barrier interleaved windows");
+                    collected.push(shard_delta.delta);
+                }
+                Err(_) => return,
+            }
+        }
+
+        let snapshot = GovernanceSnapshot::merge(&collected, storm);
+        counters
+            .last_window_micros
+            .store(elapsed_micros(started), Ordering::Relaxed);
+        counters.windows_closed.fetch_add(1, Ordering::Relaxed);
+        *snapshot_slot.write().expect("snapshot lock poisoned") = Some(snapshot.clone());
+        if let Some(ack) = ack {
+            let _ = ack.send(snapshot);
+        }
+        seq += 1;
+    }
+}
+
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}

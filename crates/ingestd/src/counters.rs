@@ -1,0 +1,91 @@
+//! Ingestion accounting: lock-free counters shared by every thread of
+//! the daemon and published on the status socket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Live counters. All operations use relaxed ordering — these are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Alerts accepted into a shard queue.
+    pub ingested: AtomicU64,
+    /// Alerts dropped because a queue was full under
+    /// [`crate::OverflowPolicy::Drop`].
+    pub dropped: AtomicU64,
+    /// Times a producer blocked on a full queue under
+    /// [`crate::OverflowPolicy::Block`].
+    pub backpressure_waits: AtomicU64,
+    /// Ingress lines that failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Windows closed and merged so far.
+    pub windows_closed: AtomicU64,
+    /// Latency of the most recent window close, in microseconds: from
+    /// the coordinator issuing the close to the merged snapshot being
+    /// published (includes every shard's detection pass).
+    pub last_window_micros: AtomicU64,
+    /// Per-shard gauge of alerts queued but not yet processed.
+    pub queue_depths: Vec<AtomicU64>,
+}
+
+impl Counters {
+    /// Creates counters for `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A consistent-enough point-in-time copy for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            ingested: self.ingested.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            windows_closed: self.windows_closed.load(Ordering::Relaxed),
+            last_window_micros: self.last_window_micros.load(Ordering::Relaxed),
+            queue_depths: self
+                .queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable point-in-time copy of [`Counters`] (see its fields for
+/// semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct CounterSnapshot {
+    pub ingested: u64,
+    pub dropped: u64,
+    pub backpressure_waits: u64,
+    pub decode_errors: u64,
+    pub windows_closed: u64,
+    pub last_window_micros: u64,
+    pub queue_depths: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let counters = Counters::new(2);
+        counters.ingested.fetch_add(5, Ordering::Relaxed);
+        counters.queue_depths[1].store(3, Ordering::Relaxed);
+        let snap = counters.snapshot();
+        assert_eq!(snap.ingested, 5);
+        assert_eq!(snap.queue_depths, vec![0, 3]);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CounterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,397 @@
+//! Daemon assembly: threads, queues, sockets, and the public handle.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::{io, thread};
+
+use alertops_core::{GovernanceSnapshot, StreamingGovernor};
+use alertops_model::Alert;
+
+use crate::codec::{encode_flush_ack, encode_shutdown_ack, parse_frame, Frame, FrameError};
+use crate::config::{IngestdConfig, OverflowPolicy};
+use crate::coordinator::{run_coordinator, CoordMsg};
+use crate::counters::{CounterSnapshot, Counters};
+use crate::shard::shard_of;
+use crate::status::StatusReport;
+use crate::worker::{run_worker, WorkerMsg};
+
+/// Constructor namespace for the daemon; see [`Ingestd::spawn`].
+#[derive(Debug)]
+pub struct Ingestd;
+
+/// Raised-and-waited shutdown request flag.
+#[derive(Debug, Default)]
+struct ShutdownSignal {
+    requested: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl ShutdownSignal {
+    fn request(&self) {
+        let mut requested = self.requested.lock().expect("shutdown lock poisoned");
+        *requested = true;
+        self.condvar.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut requested = self.requested.lock().expect("shutdown lock poisoned");
+        while !*requested {
+            requested = self
+                .condvar
+                .wait(requested)
+                .expect("shutdown lock poisoned");
+        }
+    }
+}
+
+/// Shared ingress state: everything a connection needs to route frames.
+#[derive(Debug)]
+struct Router {
+    shard_txs: Vec<SyncSender<WorkerMsg>>,
+    coord_tx: Sender<CoordMsg>,
+    counters: Arc<Counters>,
+    overflow: OverflowPolicy,
+    shutdown: Arc<ShutdownSignal>,
+}
+
+impl Router {
+    /// Routes one alert to its strategy's shard, applying the overflow
+    /// policy when the bounded queue is full.
+    fn route(&self, alert: Box<Alert>) {
+        let shard = shard_of(alert.strategy(), self.shard_txs.len());
+        let queue_depth = &self.counters.queue_depths[shard];
+        match self.shard_txs[shard].try_send(WorkerMsg::Alert(alert)) {
+            Ok(()) => {
+                queue_depth.fetch_add(1, Ordering::Relaxed);
+                self.counters.ingested.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(msg)) => match self.overflow {
+                OverflowPolicy::Block => {
+                    self.counters
+                        .backpressure_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self.shard_txs[shard].send(msg).is_ok() {
+                        queue_depth.fetch_add(1, Ordering::Relaxed);
+                        self.counters.ingested.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                OverflowPolicy::Drop => {
+                    self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Closes the window on every shard and returns the merged
+    /// snapshot, or `None` if the coordinator is gone (shutdown race).
+    fn flush(&self) -> Option<GovernanceSnapshot> {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        self.coord_tx
+            .send(CoordMsg::CloseNow { ack: Some(ack_tx) })
+            .ok()?;
+        ack_rx.recv().ok()
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`IngestdHandle::shutdown`] leaves threads running detached.
+#[derive(Debug)]
+pub struct IngestdHandle {
+    router: Arc<Router>,
+    counters: Arc<Counters>,
+    snapshot: Arc<RwLock<Option<GovernanceSnapshot>>>,
+    running: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
+    ingest_addr: Option<SocketAddr>,
+    status_addr: Option<SocketAddr>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Ingestd {
+    /// Starts the daemon: workers, coordinator, and (if configured)
+    /// the ingress and status listeners. `make_governor(shard, shards)`
+    /// is called once per shard to build that shard's streaming
+    /// governor — typically over [`crate::shard_catalog`] of a shared
+    /// strategy catalog.
+    ///
+    /// # Errors
+    ///
+    /// Config validation failures surface as
+    /// [`io::ErrorKind::InvalidInput`]; socket binding failures pass
+    /// through.
+    pub fn spawn(
+        config: &IngestdConfig,
+        mut make_governor: impl FnMut(usize, usize) -> StreamingGovernor,
+    ) -> io::Result<IngestdHandle> {
+        config
+            .validate()
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+
+        let counters = Arc::new(Counters::new(config.shards));
+        let snapshot: Arc<RwLock<Option<GovernanceSnapshot>>> = Arc::new(RwLock::new(None));
+        let running = Arc::new(AtomicBool::new(true));
+        let shutdown = Arc::new(ShutdownSignal::default());
+        let mut threads = Vec::new();
+
+        // Workers, each behind its bounded queue.
+        let (delta_tx, delta_rx) = mpsc::channel();
+        let mut shard_txs = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(config.queue_capacity);
+            shard_txs.push(tx);
+            let governor = make_governor(shard, config.shards);
+            let deltas = delta_tx.clone();
+            let worker_counters = Arc::clone(&counters);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("ingestd-worker-{shard}"))
+                    .spawn(move || run_worker(shard, governor, &rx, &deltas, &worker_counters))?,
+            );
+        }
+        drop(delta_tx);
+
+        // Coordinator.
+        let (coord_tx, coord_rx) = mpsc::channel::<CoordMsg>();
+        {
+            let shard_txs = shard_txs.clone();
+            let storm = config.streaming.storm;
+            let tick = config.tick;
+            let snapshot = Arc::clone(&snapshot);
+            let coord_counters = Arc::clone(&counters);
+            threads.push(
+                thread::Builder::new()
+                    .name("ingestd-coordinator".to_owned())
+                    .spawn(move || {
+                        run_coordinator(
+                            &coord_rx,
+                            &shard_txs,
+                            &delta_rx,
+                            tick,
+                            &storm,
+                            &snapshot,
+                            &coord_counters,
+                        );
+                    })?,
+            );
+        }
+
+        let router = Arc::new(Router {
+            shard_txs,
+            coord_tx,
+            counters: Arc::clone(&counters),
+            overflow: config.overflow,
+            shutdown: Arc::clone(&shutdown),
+        });
+
+        // Ingress listener.
+        let ingest_addr = match &config.listen {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let local = listener.local_addr()?;
+                let router = Arc::clone(&router);
+                let running = Arc::clone(&running);
+                threads.push(
+                    thread::Builder::new()
+                        .name("ingestd-ingress".to_owned())
+                        .spawn(move || accept_ingress(&listener, &running, &router))?,
+                );
+                Some(local)
+            }
+            None => None,
+        };
+
+        // Status listener.
+        let status_addr = match &config.status {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let local = listener.local_addr()?;
+                let running = Arc::clone(&running);
+                let counters = Arc::clone(&counters);
+                let snapshot = Arc::clone(&snapshot);
+                threads.push(
+                    thread::Builder::new()
+                        .name("ingestd-status".to_owned())
+                        .spawn(move || accept_status(&listener, &running, &counters, &snapshot))?,
+                );
+                Some(local)
+            }
+            None => None,
+        };
+
+        Ok(IngestdHandle {
+            router,
+            counters,
+            snapshot,
+            running,
+            shutdown,
+            ingest_addr,
+            status_addr,
+            threads,
+        })
+    }
+}
+
+impl IngestdHandle {
+    /// The bound ingress address, if a listener was configured.
+    #[must_use]
+    pub fn ingest_addr(&self) -> Option<SocketAddr> {
+        self.ingest_addr
+    }
+
+    /// The bound status address, if a listener was configured.
+    #[must_use]
+    pub fn status_addr(&self) -> Option<SocketAddr> {
+        self.status_addr
+    }
+
+    /// Routes one alert directly (no socket); used by the stdin path
+    /// and benches. Applies the same sharding and overflow policy as
+    /// TCP ingress.
+    pub fn route(&self, alert: Alert) {
+        self.router.route(Box::new(alert));
+    }
+
+    /// Closes the current window on every shard and returns the merged
+    /// snapshot (`None` only during shutdown races).
+    pub fn flush(&self) -> Option<GovernanceSnapshot> {
+        self.router.flush()
+    }
+
+    /// The most recently merged snapshot, if any window closed yet.
+    #[must_use]
+    pub fn latest_snapshot(&self) -> Option<GovernanceSnapshot> {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Point-in-time counter values.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Blocks until some connection sends `{"ctrl":"shutdown"}` (or
+    /// [`IngestdHandle::request_shutdown`] is called).
+    pub fn wait_for_shutdown_request(&self) {
+        self.shutdown.wait();
+    }
+
+    /// Raises the shutdown request flag (as the shutdown control frame
+    /// does), unblocking [`IngestdHandle::wait_for_shutdown_request`].
+    pub fn request_shutdown(&self) {
+        self.shutdown.request();
+    }
+
+    /// Stops the daemon: coordinator first, then listeners, then
+    /// workers; joins every thread. Open ingress connections must be
+    /// closed by their peers for their detached handler threads to
+    /// exit, but this method does not wait for those.
+    pub fn shutdown(self) {
+        self.shutdown.request();
+        self.running.store(false, Ordering::Release);
+
+        // Stop the coordinator (acked so no close is mid-flight).
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        if self
+            .router
+            .coord_tx
+            .send(CoordMsg::Shutdown { ack: ack_tx })
+            .is_ok()
+        {
+            let _ = ack_rx.recv();
+        }
+
+        // Wake the accept loops so they observe `running == false`.
+        for addr in [self.ingest_addr, self.status_addr].into_iter().flatten() {
+            let _ = TcpStream::connect(addr);
+        }
+
+        // Workers exit once every sender into their queues is gone:
+        // the coordinator's clones died with it, and the router's die
+        // here (accept loops drop their clones as they exit).
+        drop(self.router);
+
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Ingress accept loop: one detached handler thread per connection.
+fn accept_ingress(listener: &TcpListener, running: &Arc<AtomicBool>, router: &Arc<Router>) {
+    for stream in listener.incoming() {
+        if !running.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let router = Arc::clone(router);
+        let _ = thread::Builder::new()
+            .name("ingestd-conn".to_owned())
+            .spawn(move || serve_ingress(&stream, &router));
+    }
+}
+
+/// One ingress connection: NDJSON frames in, flush/shutdown acks out.
+fn serve_ingress(stream: &TcpStream, router: &Arc<Router>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        match parse_frame(&line) {
+            Ok(Frame::Alert(alert)) => router.route(alert),
+            Ok(Frame::Flush) => {
+                if let Some(snapshot) = router.flush() {
+                    let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
+                    if writeln!(writer, "{ack}").is_err() {
+                        break;
+                    }
+                }
+            }
+            Ok(Frame::Shutdown) => {
+                let _ = writeln!(writer, "{}", encode_shutdown_ack());
+                router.shutdown.request();
+                break;
+            }
+            Err(FrameError::Empty) => {}
+            Err(FrameError::Malformed(_)) => {
+                router
+                    .counters
+                    .decode_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Status accept loop: serve the JSON document, close, repeat.
+fn accept_status(
+    listener: &TcpListener,
+    running: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+    snapshot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
+) {
+    for stream in listener.incoming() {
+        if !running.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let report = StatusReport {
+            counters: counters.snapshot(),
+            snapshot: snapshot.read().expect("snapshot lock poisoned").clone(),
+        };
+        let _ = writeln!(stream, "{}", report.to_json());
+    }
+}

@@ -1,0 +1,58 @@
+//! `alertops-ingestd`: a sharded, backpressured alert-ingestion daemon
+//! serving the streaming governor.
+//!
+//! The DSN'22 study's governance loop ([`alertops_core::AlertGovernor`])
+//! is batch-shaped; [`alertops_core::StreamingGovernor`] makes it
+//! incremental; this crate makes it a *service*. The daemon accepts
+//! NDJSON-encoded [`alertops_model::Alert`] records over TCP (and, in
+//! the CLI, stdin), hash-shards them by [`alertops_model::StrategyId`]
+//! — so all evidence for one strategy always lands on one shard — and
+//! runs one [`alertops_core::StreamingGovernor`] per shard on its own
+//! worker thread behind a bounded queue with explicit backpressure and
+//! drop accounting.
+//!
+//! A coordinator thread closes the time window on a tick (or on an
+//! explicit `{"ctrl":"flush"}` frame), barriers on one
+//! [`alertops_core::WindowDelta`] per shard, and merges them into a
+//! global [`alertops_core::GovernanceSnapshot`]: newly flagged
+//! findings, resolved flags, exact global storm state (reconstructed
+//! from summed per-shard region-hour histograms), and the triage list.
+//! The latest snapshot plus ingestion counters are served as one JSON
+//! document per connection on a plaintext status socket.
+//!
+//! ```text
+//!                    ┌────────────┐   bounded    ┌──────────────────┐
+//!  TCP/stdin ──────▶ │   router    │ ──queues──▶ │ worker 0..N-1     │
+//!  NDJSON alerts     │ shard by    │             │ StreamingGovernor │
+//!                    │ StrategyId  │             └────────┬─────────┘
+//!                    └─────┬──────┘                WindowDelta per tick
+//!                          │ flush                        │
+//!                          ▼                              ▼
+//!                    ┌────────────┐   merge    ┌────────────────────┐
+//!                    │ coordinator │ ◀─────────│ barrier: one delta │
+//!                    └─────┬──────┘            │ per shard per seq  │
+//!                          ▼                   └────────────────────┘
+//!                 GovernanceSnapshot ──▶ status socket (JSON)
+//! ```
+//!
+//! Everything is `std`-only: threads, `mpsc::sync_channel`, and plain
+//! TCP sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod codec;
+pub mod config;
+mod coordinator;
+pub mod counters;
+mod daemon;
+pub mod shard;
+pub mod status;
+mod worker;
+
+pub use codec::{Frame, FrameError, FLUSH_FRAME, SHUTDOWN_FRAME};
+pub use config::{IngestdConfig, OverflowPolicy};
+pub use counters::{CounterSnapshot, Counters};
+pub use daemon::{Ingestd, IngestdHandle};
+pub use shard::{shard_catalog, shard_of};
+pub use status::StatusReport;

@@ -1,0 +1,85 @@
+//! Strategy-id sharding.
+//!
+//! Alerts are partitioned across workers by hashing their
+//! [`StrategyId`], so every alert of one strategy — the evidence the
+//! per-strategy detectors (A1–A5) reason over — always lands on the
+//! same shard. This is what makes the merged N-shard governance
+//! picture equal the unsharded one for per-strategy findings.
+
+use alertops_model::{AlertStrategy, StrategyId};
+
+/// Maps a strategy to its shard in `[0, shards)`.
+///
+/// Uses the splitmix64 finalizer rather than `id % shards` so that
+/// catalogs with structured id ranges (every simulator scenario
+/// numbers strategies densely from 0) still spread evenly for any
+/// shard count.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn shard_of(strategy: StrategyId, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of: shards must be >= 1");
+    let mut z = strategy.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    usize::try_from(z % shards as u64).expect("shard index fits usize")
+}
+
+/// The sub-catalog a shard's governor should be built with: exactly
+/// the strategies whose alerts [`shard_of`] routes to `shard`.
+///
+/// Giving each shard only its own strategies keeps catalog-driven
+/// outputs (lint, QoA over the catalog) partitioned the same way the
+/// alert stream is.
+#[must_use]
+pub fn shard_catalog(
+    strategies: &[AlertStrategy],
+    shards: usize,
+    shard: usize,
+) -> Vec<AlertStrategy> {
+    strategies
+        .iter()
+        .filter(|s| shard_of(s.id(), shards) == shard)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_in_range() {
+        for shards in [1usize, 2, 4, 8, 13] {
+            for id in 0..500u64 {
+                let a = shard_of(StrategyId(id), shards);
+                let b = shard_of(StrategyId(id), shards);
+                assert_eq!(a, b, "sharding must be deterministic");
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_gets_everything() {
+        for id in 0..100u64 {
+            assert_eq!(shard_of(StrategyId(id), 1), 0);
+        }
+    }
+
+    #[test]
+    fn dense_ids_spread_across_shards() {
+        let shards = 8;
+        let mut hits = vec![0usize; shards];
+        for id in 0..400u64 {
+            hits[shard_of(StrategyId(id), shards)] += 1;
+        }
+        // 400 dense ids over 8 shards: every shard sees a decent cut.
+        for (shard, &count) in hits.iter().enumerate() {
+            assert!(count > 20, "shard {shard} starved: {hits:?}");
+        }
+    }
+}

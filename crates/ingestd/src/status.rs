@@ -1,0 +1,57 @@
+//! The status socket: one JSON document per connection.
+//!
+//! Connect, read until EOF, parse — no request syntax, so `curl` or a
+//! three-line script can scrape it:
+//!
+//! ```text
+//! $ nc 127.0.0.1 4502
+//! {"counters":{...},"snapshot":{...}}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use alertops_core::GovernanceSnapshot;
+
+use crate::counters::CounterSnapshot;
+
+/// The document served per status connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// Ingestion counters at the time of the request.
+    pub counters: CounterSnapshot,
+    /// The most recently merged governance snapshot; `None` until the
+    /// first window closes.
+    pub snapshot: Option<GovernanceSnapshot>,
+}
+
+impl StatusReport {
+    /// Serializes the report as the wire document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("status reports always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_without_snapshot() {
+        let report = StatusReport {
+            counters: CounterSnapshot {
+                ingested: 10,
+                dropped: 0,
+                backpressure_waits: 1,
+                decode_errors: 2,
+                windows_closed: 3,
+                last_window_micros: 450,
+                queue_depths: vec![0, 4],
+            },
+            snapshot: None,
+        };
+        let back: StatusReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+        assert!(back.snapshot.is_none());
+    }
+}

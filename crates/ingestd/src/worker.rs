@@ -1,0 +1,61 @@
+//! Shard worker: one thread, one streaming governor, one bounded queue.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use alertops_core::{StreamingGovernor, WindowDelta};
+use alertops_model::Alert;
+
+use crate::counters::Counters;
+
+/// Messages a shard worker consumes, in queue order. Because `Close`
+/// travels through the same queue as alerts, a close observed by the
+/// worker is guaranteed to come after every alert enqueued before it —
+/// that ordering is what makes flush-driven windows deterministic.
+pub(crate) enum WorkerMsg {
+    /// An alert routed to this shard.
+    Alert(Box<Alert>),
+    /// Close the current window and report the delta tagged with `seq`.
+    Close {
+        /// The coordinator's window sequence number, echoed back.
+        seq: u64,
+    },
+}
+
+/// One shard's reply to a window close.
+pub(crate) struct ShardDelta {
+    pub seq: u64,
+    pub delta: WindowDelta,
+}
+
+/// The worker loop. Buffers routed alerts; on `Close`, feeds the
+/// buffered window through this shard's [`StreamingGovernor`] and
+/// reports the [`WindowDelta`]. Returns when the ingest queue closes.
+pub(crate) fn run_worker(
+    shard: usize,
+    mut governor: StreamingGovernor,
+    ingest: &Receiver<WorkerMsg>,
+    deltas: &Sender<ShardDelta>,
+    counters: &Arc<Counters>,
+) {
+    let mut window: Vec<Alert> = Vec::new();
+    while let Ok(msg) = ingest.recv() {
+        match msg {
+            WorkerMsg::Alert(alert) => {
+                counters.queue_depths[shard].fetch_sub(1, Ordering::Relaxed);
+                window.push(*alert);
+            }
+            WorkerMsg::Close { seq } => {
+                // Detection expects time-sorted windows; TCP ingress
+                // from concurrent producers does not guarantee order.
+                window.sort_by_key(|a| (a.raised_at(), a.id()));
+                let delta = governor.ingest(&window, &[]);
+                window.clear();
+                if deltas.send(ShardDelta { seq, delta }).is_err() {
+                    return; // coordinator gone: shutting down
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally: formatting, lints, and the
+# tier-1 build+test pass (plus the full workspace test suite).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace -q
+
+echo "CI green."

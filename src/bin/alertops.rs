@@ -7,25 +7,43 @@
 //! alertops lint     --scenario quickstart --seed 7
 //! alertops storms   --scenario mini-study --seed 7 [--threshold 100]
 //! alertops audit    --scenario mini-study --seed 7
+//! alertops ingestd  --scenario study --shards 4 [--listen ADDR] [--status ADDR]
+//! alertops replay   --scenario study [--connect ADDR] [--rate N] [--shutdown]
 //! ```
 //!
 //! Every subcommand runs a named scenario (there is no external data to
 //! load — the simulator *is* the data source, see DESIGN.md) and prints
 //! human-readable output; `--json FILE` additionally dumps the full
 //! machine-readable result.
+//!
+//! `ingestd` runs the sharded ingestion daemon (see `alertops::ingestd`)
+//! with per-shard streaming governors built from the scenario's catalog;
+//! `replay` streams the scenario's alert trace into a running daemon
+//! over NDJSON/TCP, closing windows along the way.
 
 use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use alertops::core::prelude::*;
+use alertops::ingestd::codec::encode_alert;
+use alertops::ingestd::{
+    shard_catalog, Ingestd, IngestdConfig, OverflowPolicy, FLUSH_FRAME, SHUTDOWN_FRAME,
+};
 use alertops::react::{audit_blocker_with, review_queue, AuditConfig};
 use alertops::sim::scenarios::{self, Scenario};
+use alertops::sim::SimOutput;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: alertops <simulate|govern|lint|storms|audit> \
+        "usage: alertops <simulate|govern|lint|storms|audit|ingestd|replay> \
          [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
-         [--json FILE] [--top N] [--threshold N]"
+         [--json FILE] [--top N] [--threshold N] \
+         [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
+         [--listen ADDR] [--status ADDR] \
+         [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
 }
@@ -37,6 +55,18 @@ struct Args {
     json: Option<String>,
     top: usize,
     threshold: usize,
+    // ingestd
+    shards: usize,
+    queue: usize,
+    tick_ms: Option<u64>,
+    overflow: OverflowPolicy,
+    listen: String,
+    status: String,
+    // replay
+    connect: String,
+    rate: u64,
+    flush_every: usize,
+    shutdown: bool,
 }
 
 fn parse_args() -> Option<Args> {
@@ -49,8 +79,22 @@ fn parse_args() -> Option<Args> {
         json: None,
         top: 10,
         threshold: 100,
+        shards: 4,
+        queue: 1024,
+        tick_ms: None,
+        overflow: OverflowPolicy::Block,
+        listen: "127.0.0.1:4501".to_owned(),
+        status: "127.0.0.1:4502".to_owned(),
+        connect: "127.0.0.1:4501".to_owned(),
+        rate: 0,
+        flush_every: 0,
+        shutdown: false,
     };
     while let Some(flag) = argv.next() {
+        if flag == "--shutdown" {
+            args.shutdown = true;
+            continue;
+        }
         let mut value = || argv.next();
         match flag.as_str() {
             "--scenario" => args.scenario = value()?,
@@ -58,6 +102,21 @@ fn parse_args() -> Option<Args> {
             "--json" => args.json = Some(value()?),
             "--top" => args.top = value()?.parse().ok()?,
             "--threshold" => args.threshold = value()?.parse().ok()?,
+            "--shards" => args.shards = value()?.parse().ok()?,
+            "--queue" => args.queue = value()?.parse().ok()?,
+            "--tick-ms" => args.tick_ms = Some(value()?.parse().ok()?),
+            "--overflow" => {
+                args.overflow = match value()?.as_str() {
+                    "block" => OverflowPolicy::Block,
+                    "drop" => OverflowPolicy::Drop,
+                    _ => return None,
+                };
+            }
+            "--listen" => args.listen = value()?,
+            "--status" => args.status = value()?,
+            "--connect" => args.connect = value()?,
+            "--rate" => args.rate = value()?.parse().ok()?,
+            "--flush-every" => args.flush_every = value()?.parse().ok()?,
             _ => return None,
         }
     }
@@ -75,7 +134,10 @@ fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
     })
 }
 
-fn build_governor(out: &alertops::sim::SimOutput) -> AlertGovernor {
+/// A governor over `strategies` (any sub-catalog of the scenario's),
+/// configured exactly as the full-catalog one: same guideline context,
+/// the sub-catalog's SOPs, and the scenario's dependency graph.
+fn governor_over(out: &SimOutput, strategies: Vec<AlertStrategy>) -> AlertGovernor {
     let fault_tolerant: BTreeSet<MicroserviceId> = out
         .topology
         .microservices()
@@ -83,20 +145,23 @@ fn build_governor(out: &alertops::sim::SimOutput) -> AlertGovernor {
         .filter(|ms| ms.fault_tolerant)
         .map(|ms| ms.id)
         .collect();
+    let sops: Vec<Sop> = strategies
+        .iter()
+        .filter_map(|s| out.catalog.sop(s.id()).cloned())
+        .collect();
     AlertGovernor::new(
-        out.catalog.strategies().to_vec(),
+        strategies,
         GovernorConfig {
             guideline_context: GuidelineContext { fault_tolerant },
             ..GovernorConfig::default()
         },
     )
-    .with_sops(
-        out.catalog
-            .strategies()
-            .iter()
-            .filter_map(|s| out.catalog.sop(s.id()).cloned()),
-    )
+    .with_sops(sops)
     .with_dependency_graph(out.topology.dependency_graph())
+}
+
+fn build_governor(out: &SimOutput) -> AlertGovernor {
+    governor_over(out, out.catalog.strategies().to_vec())
 }
 
 fn main() -> ExitCode {
@@ -105,7 +170,7 @@ fn main() -> ExitCode {
     };
     if !matches!(
         args.command.as_str(),
-        "simulate" | "govern" | "lint" | "storms" | "audit"
+        "simulate" | "govern" | "lint" | "storms" | "audit" | "ingestd" | "replay"
     ) {
         eprintln!("unknown command `{}`", args.command);
         return usage();
@@ -230,7 +295,117 @@ fn main() -> ExitCode {
                 );
             }
         }
+        "ingestd" => return run_ingestd(&args, &out),
+        "replay" => return run_replay(&args, &out),
         _ => unreachable!("command validated before the scenario ran"),
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the sharded ingestion daemon until a connection sends
+/// `{"ctrl":"shutdown"}` (or the process is killed).
+fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
+    let config = IngestdConfig {
+        shards: args.shards,
+        queue_capacity: args.queue,
+        tick: args.tick_ms.map(Duration::from_millis),
+        overflow: args.overflow,
+        streaming: StreamingConfig::default(),
+        listen: Some(args.listen.clone()),
+        status: Some(args.status.clone()),
+    };
+    let handle = match Ingestd::spawn(&config, |shard, shards| {
+        let catalog = shard_catalog(out.catalog.strategies(), shards, shard);
+        StreamingGovernor::new(governor_over(out, catalog), config.streaming.clone())
+    }) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("ingestd failed to start: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = |a: Option<std::net::SocketAddr>| a.map_or_else(|| "-".into(), |a| a.to_string());
+    println!(
+        "ingestd up: {} shard(s), ingest {}, status {}",
+        args.shards,
+        addr(handle.ingest_addr()),
+        addr(handle.status_addr()),
+    );
+    println!("frames: NDJSON alerts | {FLUSH_FRAME} | {SHUTDOWN_FRAME}");
+    handle.wait_for_shutdown_request();
+    let counters = handle.counters();
+    handle.shutdown();
+    println!(
+        "ingestd stopped: {} ingested, {} dropped, {} decode error(s), {} window(s) closed",
+        counters.ingested, counters.dropped, counters.decode_errors, counters.windows_closed
+    );
+    ExitCode::SUCCESS
+}
+
+/// Streams the scenario's alert trace into a running daemon.
+fn run_replay(args: &Args, out: &SimOutput) -> ExitCode {
+    match replay_trace(args, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("replay failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay_trace(args: &Args, out: &SimOutput) -> std::io::Result<()> {
+    let stream = TcpStream::connect(&args.connect)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let started = Instant::now();
+    for (index, alert) in out.alerts.iter().enumerate() {
+        // Pace against the absolute schedule so encoding time does not
+        // accumulate into drift.
+        if let Some(interval) = (index as u64 * 1_000_000).checked_div(args.rate) {
+            let due = started + Duration::from_micros(interval);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                writer.flush()?;
+                std::thread::sleep(wait);
+            }
+        }
+        writeln!(writer, "{}", encode_alert(alert))?;
+        if args.flush_every > 0 && (index + 1) % args.flush_every == 0 {
+            println!(
+                "  window: {}",
+                send_frame(&mut writer, &mut reader, FLUSH_FRAME)?
+            );
+        }
+    }
+    let ack = send_frame(&mut writer, &mut reader, FLUSH_FRAME)?;
+    println!(
+        "replayed {} alert(s) in {:.2}s; final {ack}",
+        out.alerts.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if args.shutdown {
+        println!(
+            "daemon said: {}",
+            send_frame(&mut writer, &mut reader, SHUTDOWN_FRAME)?
+        );
+    }
+    Ok(())
+}
+
+/// Sends one control frame and reads the daemon's one-line reply.
+fn send_frame(
+    writer: &mut impl Write,
+    reader: &mut impl BufRead,
+    frame: &str,
+) -> std::io::Result<String> {
+    writeln!(writer, "{frame}")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    if reply.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection before acknowledging",
+        ));
+    }
+    Ok(reply.trim_end().to_owned())
 }

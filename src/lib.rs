@@ -19,6 +19,7 @@
 //! | [`qoa`] | `alertops-qoa` | QoA criteria, features, learned models |
 //! | [`survey`] | `alertops-survey` | The 18-OCE survey dataset and Likert analysis |
 //! | [`core`] | `alertops-core` | The [`AlertGovernor`](core::AlertGovernor) facade |
+//! | [`ingestd`] | `alertops-ingestd` | The sharded streaming ingestion daemon |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@
 
 pub use alertops_core as core;
 pub use alertops_detect as detect;
+pub use alertops_ingestd as ingestd;
 pub use alertops_model as model;
 pub use alertops_qoa as qoa;
 pub use alertops_react as react;

@@ -1,0 +1,278 @@
+//! End-to-end tests for the `alertops-ingestd` daemon: a real TCP
+//! round-trip over the NDJSON protocol, and the sharding-equivalence
+//! guarantee (N shards merged == 1 shard) both on a fixed trace and as
+//! a property over random traces.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use alertops::core::prelude::*;
+use alertops::detect::StormConfig;
+use alertops::ingestd::codec::encode_alert;
+use alertops::ingestd::{
+    shard_catalog, Ingestd, IngestdConfig, StatusReport, FLUSH_FRAME, SHUTDOWN_FRAME,
+};
+use alertops::model::LogRule;
+use alertops::sim::scenarios;
+use alertops::sim::SimOutput;
+
+/// The injected A5 strategy: not part of any scenario catalog.
+const REPEATER: StrategyId = StrategyId(9001);
+
+fn repeater_strategy() -> AlertStrategy {
+    AlertStrategy::builder(REPEATER)
+        .title_template("haproxy process number warning")
+        .kind(StrategyKind::Log(LogRule {
+            keyword: "WARN".into(),
+            min_count: 1,
+            window: SimDuration::from_mins(5),
+        }))
+        .build()
+        .expect("repeater strategy is well-formed")
+}
+
+/// 22 alerts/hour for three consecutive hours: trips the A5 burst rule
+/// (`hourly_threshold` 18 in ≥ 2 hours) deterministically.
+fn repeater_alerts() -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for hour in 0..3u64 {
+        for i in 0..22u64 {
+            alerts.push(
+                Alert::builder(AlertId(1_000_000 + hour * 100 + i), REPEATER)
+                    .title("haproxy process number warning")
+                    .raised_at(SimTime::from_secs(hour * 3_600 + i * 163))
+                    .build(),
+            );
+        }
+    }
+    alerts
+}
+
+/// Per-shard governor factory over `strategies`, mirroring what the
+/// CLI builds (minus scenario-specific context, which the A5 check
+/// does not need).
+fn shard_governor(strategies: &[AlertStrategy], shards: usize, shard: usize) -> StreamingGovernor {
+    let catalog = shard_catalog(strategies, shards, shard);
+    StreamingGovernor::new(
+        AlertGovernor::new(catalog, GovernorConfig::default()),
+        StreamingConfig::default(),
+    )
+}
+
+fn full_catalog(out: &SimOutput) -> Vec<AlertStrategy> {
+    let mut strategies = out.catalog.strategies().to_vec();
+    strategies.push(repeater_strategy());
+    strategies
+}
+
+#[test]
+fn daemon_flags_injected_repeater_through_the_sockets() {
+    let out = scenarios::quickstart(7).run();
+    let strategies = full_catalog(&out);
+
+    let config = IngestdConfig {
+        shards: 4,
+        queue_capacity: 4096,
+        listen: Some("127.0.0.1:0".to_owned()),
+        status: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+
+    // Stream the scenario trace plus the injected repeater over TCP.
+    let ingest_addr = handle.ingest_addr().expect("ingress listener bound");
+    let stream = TcpStream::connect(ingest_addr).expect("connect to ingress");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut writer = stream;
+    let mut sent = 0usize;
+    for alert in out.alerts.iter().chain(repeater_alerts().iter()) {
+        writeln!(writer, "{}", encode_alert(alert)).expect("write alert");
+        sent += 1;
+    }
+    writeln!(writer, "{FLUSH_FRAME}").expect("write flush");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("read flush ack");
+    assert!(
+        ack.contains(&format!(r#""alerts":{sent}"#)),
+        "flush ack should count every alert sent: {ack:?}"
+    );
+
+    // Scrape the status socket and parse the published document.
+    let status_addr = handle.status_addr().expect("status listener bound");
+    let mut status = String::new();
+    TcpStream::connect(status_addr)
+        .expect("connect to status")
+        .read_to_string(&mut status)
+        .expect("read status document");
+    let report: StatusReport = serde_json::from_str(status.trim()).expect("status parses");
+
+    assert_eq!(report.counters.ingested, sent as u64);
+    assert_eq!(report.counters.dropped, 0, "nothing may be dropped");
+    assert_eq!(report.counters.decode_errors, 0);
+    assert_eq!(report.counters.windows_closed, 1);
+    let snapshot = report.snapshot.expect("flush published a snapshot");
+    assert_eq!(snapshot.alert_count, sent);
+    assert!(
+        snapshot
+            .new_findings
+            .iter()
+            .any(|f| f.pattern == AntiPattern::Repeating && f.strategy == REPEATER),
+        "merged snapshot must flag the injected repeating strategy; got {:?}",
+        snapshot.new_findings
+    );
+
+    // Shutdown over the wire is acked, then the daemon joins cleanly.
+    writeln!(writer, "{SHUTDOWN_FRAME}").expect("write shutdown");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("read shutdown ack");
+    assert_eq!(ack.trim(), r#"{"ack":"shutdown"}"#);
+    drop((reader, writer));
+    handle.wait_for_shutdown_request();
+    handle.shutdown();
+}
+
+/// Routes `trace` through an in-process daemon with `shards` workers,
+/// closing a window after each chunk; returns the merged snapshots.
+fn snapshots_with_shards(
+    strategies: &[AlertStrategy],
+    chunks: &[&[Alert]],
+    shards: usize,
+) -> Vec<GovernanceSnapshot> {
+    let config = IngestdConfig {
+        shards,
+        queue_capacity: 8192,
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    let mut snapshots = Vec::new();
+    for chunk in chunks {
+        for alert in *chunk {
+            handle.route(alert.clone());
+        }
+        snapshots.push(handle.flush().expect("flush yields a snapshot"));
+    }
+    assert_eq!(handle.counters().dropped, 0);
+    handle.shutdown();
+    snapshots
+}
+
+/// Strips the field sharding is *not* exact for: triage (cross-strategy
+/// correlation runs within each shard only).
+fn comparable(snapshot: &GovernanceSnapshot) -> GovernanceSnapshot {
+    GovernanceSnapshot {
+        triage: Vec::new(),
+        ..snapshot.clone()
+    }
+}
+
+#[test]
+fn sharded_snapshots_match_single_shard_on_a_scenario_trace() {
+    let out = scenarios::quickstart(7).run();
+    let strategies = full_catalog(&out);
+    let mut trace = out.alerts.clone();
+    trace.extend(repeater_alerts());
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    // Three windows, uneven on purpose.
+    let (a, rest) = trace.split_at(trace.len() / 3);
+    let (b, c) = rest.split_at(rest.len() / 2);
+    let chunks = [a, b, c];
+
+    let baseline = snapshots_with_shards(&strategies, &chunks, 1);
+    for shards in [2usize, 4, 8] {
+        let sharded = snapshots_with_shards(&strategies, &chunks, shards);
+        assert_eq!(sharded.len(), baseline.len());
+        for (window, (got, want)) in sharded.iter().zip(baseline.iter()).enumerate() {
+            assert_eq!(
+                comparable(got),
+                comparable(want),
+                "{shards}-shard window {window} diverged from the 1-shard baseline"
+            );
+        }
+    }
+}
+
+mod properties {
+    use super::*;
+    use alertops::ingestd::shard_of;
+    use proptest::prelude::*;
+
+    /// A small catalog of dense-id strategies for random traces.
+    fn catalog(strategies: u64) -> Vec<AlertStrategy> {
+        (0..strategies)
+            .map(|id| {
+                AlertStrategy::builder(StrategyId(id))
+                    .title_template("service latency is abnormal")
+                    .kind(StrategyKind::Log(LogRule {
+                        keyword: "ERROR".into(),
+                        min_count: 1,
+                        window: SimDuration::from_mins(5),
+                    }))
+                    .build()
+                    .expect("catalog strategy is well-formed")
+            })
+            .collect()
+    }
+
+    /// Builds a time-sorted trace from `(strategy, hour, offset)` triples.
+    fn trace_from(picks: &[(u64, u64, u64)]) -> Vec<Alert> {
+        let mut alerts: Vec<Alert> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(strategy, hour, offset))| {
+                Alert::builder(AlertId(i as u64), StrategyId(strategy))
+                    .title("service latency is abnormal")
+                    .raised_at(SimTime::from_secs(hour * 3_600 + offset % 3_600))
+                    .build()
+            })
+            .collect();
+        alerts.sort_by_key(|a| (a.raised_at(), a.id()));
+        alerts
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn sharding_is_stable_and_in_range(id in 0u64..10_000, shards in 1usize..16) {
+            let shard = shard_of(StrategyId(id), shards);
+            prop_assert!(shard < shards);
+            prop_assert_eq!(shard, shard_of(StrategyId(id), shards));
+        }
+
+        #[test]
+        fn merged_sharded_deltas_equal_the_single_shard_snapshot(
+            picks in proptest::collection::vec((0u64..6, 0u64..48, 0u64..3_600), 1..250),
+            shards in 2usize..6,
+        ) {
+            let strategies = catalog(6);
+            let trace = trace_from(&picks);
+
+            // Single governor over the full catalog: the baseline.
+            let mut single = shard_governor(&strategies, 1, 0);
+            let baseline =
+                GovernanceSnapshot::merge(&[single.ingest(&trace, &[])], &StormConfig::default());
+
+            // One governor per shard, fed exactly its own strategies'
+            // alerts, merged — must reproduce the baseline exactly.
+            let deltas: Vec<WindowDelta> = (0..shards)
+                .map(|shard| {
+                    let window: Vec<Alert> = trace
+                        .iter()
+                        .filter(|a| shard_of(a.strategy(), shards) == shard)
+                        .cloned()
+                        .collect();
+                    shard_governor(&strategies, shards, shard).ingest(&window, &[])
+                })
+                .collect();
+            let merged = GovernanceSnapshot::merge(&deltas, &StormConfig::default());
+
+            prop_assert_eq!(comparable(&merged), comparable(&baseline));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` / `Criterion` /
+//! `BenchmarkGroup` API shape so the workspace's `harness = false`
+//! benches compile and run without the real crate, replacing its
+//! statistical machinery with a straightforward timed loop:
+//!
+//! - each benchmark runs a short warm-up, then `sample_size` samples;
+//! - the median per-iteration time is reported, plus derived
+//!   throughput when [`Throughput::Elements`] was set;
+//! - output is plain text on stdout (no HTML reports, no comparison
+//!   against saved baselines).
+//!
+//! Numbers from this harness are comparable within one run on one
+//! machine, which is what the workspace's benches are for.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], like real criterion.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        let mut group = BenchmarkGroup {
+            sample_size: 100,
+            throughput: None,
+        };
+        group.bench_function(name, f);
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its median iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let name = name.as_ref();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: find an iteration count that takes a perceptible
+        // amount of time, so Instant resolution does not dominate.
+        let mut iters: u64 = 1;
+        loop {
+            bencher.iters = iters;
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            f(&mut bencher);
+            #[allow(clippy::cast_precision_loss)]
+            samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+        let median = samples[samples.len() / 2];
+
+        match self.throughput {
+            #[allow(clippy::cast_precision_loss)]
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                println!(
+                    "  {name}: {} / iter ({:.0} elem/s)",
+                    format_duration(median),
+                    n as f64 / median
+                );
+            }
+            #[allow(clippy::cast_precision_loss)]
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                println!(
+                    "  {name}: {} / iter ({:.0} B/s)",
+                    format_duration(median),
+                    n as f64 / median
+                );
+            }
+            _ => println!("  {name}: {} / iter", format_duration(median)),
+        }
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Handed to each benchmark closure; times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`;
+            // accept and ignore them, as real criterion does.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so the real `proptest`
+//! cannot be used. This crate keeps the same public shape for the
+//! subset the workspace's property tests use — `proptest!`,
+//! `prop_assert!` / `prop_assert_eq!`, `prop_oneof!`, `Strategy`,
+//! `ProptestConfig`, `any`, and the `prop::{collection, option,
+//! bool}` modules — implemented as plain seeded random generation.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) but is not minimized.
+//! - **Deterministic seed.** Every run replays the same case stream,
+//!   so failures are always reproducible in CI.
+//! - **Regex strategies** support the subset of patterns the
+//!   workspace uses: literals, `.`, character classes with ranges and
+//!   escapes, and `{m}` / `{m,n}` quantifiers.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy factories, mirroring `proptest::prop`'s layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+        /// A strategy producing `Vec`s of `element` with a length
+        /// drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            let size = size.into();
+            VecStrategy { element, size }
+        }
+
+        /// A strategy producing `BTreeSet`s with *up to* the drawn
+        /// number of elements (duplicates collapse, as in proptest).
+        pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            let size = size.into();
+            BTreeSetStrategy { element, size }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// A strategy producing `Some(element)` or `None` with equal
+        /// probability.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy { element }
+        }
+    }
+
+    /// `bool` strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// The strategy producing uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// A uniformly random boolean.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.inner.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+// Real proptest exposes `collection`/`option` both at the crate root
+// and under `prop`; mirror that so either path compiles.
+pub use prop::{collection, option};
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: strategy::Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = prop::bool::Any;
+
+    fn arbitrary() -> Self::Strategy {
+        prop::bool::Any
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr);) => {};
+    (@cfg ($config:expr);
+     $(#[$meta:meta])+
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])+
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                let __outcome = $crate::test_runner::run_case(|| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property failed at case {}/{}: {}", __case + 1, __config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($config); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (with a message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,437 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply draws a fresh value from the RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<U, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            strategy: self,
+            func,
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+impl<T: rand::SampleRange + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.inner.gen_range(self.start..self.end)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $ix:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+}
+
+// ---------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) strategy: S,
+    pub(crate) func: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.func)(self.strategy.generate(rng))
+    }
+}
+
+/// Object-safe strategy view, for [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies (see `prop_oneof!`).
+#[derive(Debug)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.inner.gen_range(0..self.arms.len());
+        self.arms[ix].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections / Option
+// ---------------------------------------------------------------------
+
+/// A size specification: a fixed length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub(crate) min: usize,
+    /// Exclusive upper bound.
+    pub(crate) max: usize,
+}
+
+impl SizeRange {
+    fn draw(self, rng: &mut TestRng) -> usize {
+        if self.min + 1 >= self.max {
+            self.min
+        } else {
+            rng.inner.gen_range(self.min..self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        Self {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+/// Strategy returned by `prop::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy returned by `prop::collection::btree_set`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.draw(rng);
+        (0..target).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy returned by `prop::option::of`.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) element: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.inner.gen_bool(0.5) {
+            Some(self.element.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, as in real proptest.
+///
+/// Supported pattern subset: literal characters, `.` (printable
+/// ASCII), character classes (`[a-z0-9 _-]`, with `\` escapes and
+/// `X-Y` ranges), and `{m}` / `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.inner.gen_range(atom.min..atom.max + 1)
+            };
+            for _ in 0..count {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+enum AtomKind {
+    Literal(char),
+    /// Any printable ASCII character (stand-in for `.`).
+    Dot,
+    /// Flattened character-class alphabet.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match &self.kind {
+            AtomKind::Literal(c) => *c,
+            AtomKind::Dot => {
+                let code = rng.inner.gen_range(0x20u32..0x7F);
+                char::from_u32(code).expect("printable ASCII")
+            }
+            AtomKind::Class(alphabet) => alphabet[rng.inner.gen_range(0..alphabet.len())],
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        let kind = match chars[pos] {
+            '.' => {
+                pos += 1;
+                AtomKind::Dot
+            }
+            '[' => {
+                pos += 1;
+                let mut alphabet = Vec::new();
+                while pos < chars.len() && chars[pos] != ']' {
+                    let c = if chars[pos] == '\\' {
+                        pos += 1;
+                        chars[pos]
+                    } else {
+                        chars[pos]
+                    };
+                    // `X-Y` range (a trailing `-` is a literal).
+                    if pos + 2 < chars.len() && chars[pos + 1] == '-' && chars[pos + 2] != ']' {
+                        let end = chars[pos + 2];
+                        assert!(c <= end, "invalid class range {c}-{end} in {pattern:?}");
+                        alphabet.extend((c..=end).filter(|ch| ch.is_ascii()));
+                        pos += 3;
+                    } else {
+                        alphabet.push(c);
+                        pos += 1;
+                    }
+                }
+                assert!(
+                    pos < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                pos += 1; // ']'
+                assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+                AtomKind::Class(alphabet)
+            }
+            '\\' => {
+                pos += 1;
+                let c = chars[pos];
+                pos += 1;
+                AtomKind::Literal(c)
+            }
+            c => {
+                pos += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if pos < chars.len() && chars[pos] == '{' {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| pos + off)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[pos + 1..close].iter().collect();
+            pos = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                )
+            } else {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_patterns_generate_matching_strings() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let s = "[A-Za-z][A-Za-z0-9 _-]{0,40}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 41, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+
+            let s = "[a-zA-Z0-9 .:%\\-]{0,80}".generate(&mut rng);
+            assert!(s.len() <= 80, "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " .:%-".contains(c)),
+                "{s:?}"
+            );
+
+            let s = ".{0,120}".generate(&mut rng);
+            assert!(s.len() <= 120, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut rng = TestRng::deterministic();
+        let union = Union::new(vec![(0u64..1).boxed(), (10u64..11).boxed()]);
+        let drawn: std::collections::BTreeSet<u64> =
+            (0..100).map(|_| union.generate(&mut rng)).collect();
+        assert_eq!(drawn, [0u64, 10].into_iter().collect());
+    }
+}

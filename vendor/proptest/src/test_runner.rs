@@ -1,0 +1,75 @@
+//! Test-runner plumbing used by the `proptest!` macro expansion.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Deterministically seeded: every run replays the same case stream,
+/// so any failure is reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic per-test RNG.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(0x_5EED_CAFE_F00D_D00D),
+        }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runs one property case; exists so the macro expansion does not
+/// contain an immediately-invoked closure.
+pub fn run_case<F>(case: F) -> Result<(), TestCaseError>
+where
+    F: FnOnce() -> Result<(), TestCaseError>,
+{
+    case()
+}

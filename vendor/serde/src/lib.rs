@@ -1,0 +1,557 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access and no cargo registry
+//! cache, so the real `serde` can never be downloaded. This crate
+//! implements the (much smaller) API surface the workspace actually
+//! uses, with the same crate name so dependents compile unchanged:
+//!
+//! - `Serialize` / `Deserialize` traits (value-based rather than
+//!   visitor-based: types convert to and from a JSON-like [`Value`]);
+//! - `#[derive(Serialize, Deserialize)]` via the sibling
+//!   `serde_derive` stand-in, honouring `#[serde(transparent)]` and
+//!   `#[serde(rename_all = "snake_case")]`;
+//! - implementations for the std types the workspace serializes
+//!   (integers, floats, strings, `Option`, `Vec`, `VecDeque`, sets,
+//!   maps, tuples).
+//!
+//! `serde_json` (also vendored) layers JSON text parsing/printing on
+//! top of [`Value`]. The external serialized representation matches
+//! real `serde_json` for every shape used in this workspace (external
+//! enum tagging, transparent newtypes, stringified numeric map keys).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Map, Number, Value};
+
+/// Error produced when deserializing a [`Value`] into a typed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be converted into a [`Value`] tree.
+///
+/// The real serde is visitor-based; this stand-in converts through an
+/// owned [`Value`], which is entirely sufficient (and much simpler)
+/// for the data volumes this workspace serializes.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts a [`Value`] back into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// The replacement for a *missing* map entry, if the type has one.
+    ///
+    /// `Option<T>` fields deserialize to `None` when absent (mirroring
+    /// serde's behaviour); everything else errors.
+    #[must_use]
+    fn missing_field() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value_as_u64(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U64(*self))
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value_as_u64(value)
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U64(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let n = value_as_u64(value)?;
+        usize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(i64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value_as_i64(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::I64(*self))
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value_as_i64(value)
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::I64(*self as i64))
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let n = value_as_i64(value)?;
+        isize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value_as_f64(value)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        #[allow(clippy::cast_possible_truncation)]
+        value_as_f64(value).map(|f| f as f32)
+    }
+}
+
+/// Numeric coercions: JSON text does not distinguish `5`, `5.0`, and a
+/// stringified map key `"5"`, so the numeric impls accept all three.
+fn value_as_u64(value: &Value) -> Result<u64, DeError> {
+    match value {
+        Value::Number(Number::U64(n)) => Ok(*n),
+        Value::Number(Number::I64(n)) => {
+            u64::try_from(*n).map_err(|_| DeError::custom(format!("{n} is negative")))
+        }
+        Value::Number(Number::F64(f)) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+        {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Ok(*f as u64)
+        }
+        Value::String(s) => s
+            .parse()
+            .map_err(|_| DeError::custom(format!("cannot parse {s:?} as u64"))),
+        other => Err(DeError::custom(format!("expected u64, got {other:?}"))),
+    }
+}
+
+fn value_as_i64(value: &Value) -> Result<i64, DeError> {
+    match value {
+        Value::Number(Number::I64(n)) => Ok(*n),
+        Value::Number(Number::U64(n)) => {
+            i64::try_from(*n).map_err(|_| DeError::custom(format!("{n} out of range for i64")))
+        }
+        Value::Number(Number::F64(f)) if f.fract() == 0.0 =>
+        {
+            #[allow(clippy::cast_possible_truncation)]
+            Ok(*f as i64)
+        }
+        Value::String(s) => s
+            .parse()
+            .map_err(|_| DeError::custom(format!("cannot parse {s:?} as i64"))),
+        other => Err(DeError::custom(format!("expected i64, got {other:?}"))),
+    }
+}
+
+fn value_as_f64(value: &Value) -> Result<f64, DeError> {
+    match value {
+        Value::Number(n) => Ok(n.as_f64()),
+        Value::String(s) => s
+            .parse()
+            .map_err(|_| DeError::custom(format!("cannot parse {s:?} as f64"))),
+        other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by serialized representation.
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by_key(ToString::to_string);
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Converts a serialized key into a JSON object key, mirroring
+/// `serde_json`'s behaviour (strings stay; integers stringify).
+fn map_key(value: Value) -> Result<String, DeError> {
+    match value {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(n.to_string()),
+        other => Err(DeError::custom(format!(
+            "map key must serialize to a string or number, got {other:?}"
+        ))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            let key = map_key(k.to_value()).expect("unsupported map key type");
+            map.insert(key, v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    map_key(k.to_value()).expect("unsupported map key type"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut map = Map::new();
+        for (k, v) in entries {
+            map.insert(k, v);
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $ix:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$ix.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($ix),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected {expected}-tuple, got {} items",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$ix])?,)+))
+                    }
+                    other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+/// Fetches and deserializes one field of an object, used by the derive
+/// macro. Missing entries fall back to [`Deserialize::missing_field`].
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if the field is absent (and has no default) or
+/// has the wrong shape.
+pub fn de_field<T: Deserialize>(map: &Map, field: &str) -> Result<T, DeError> {
+    match map.get(field) {
+        Some(v) => T::from_value(v).map_err(|e| DeError::custom(format!("field {field:?}: {e}"))),
+        None => {
+            T::missing_field().ok_or_else(|| DeError::custom(format!("missing field {field:?}")))
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no registry access, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be
+//! used. This crate re-implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the *shapes this workspace contains*
+//! with a hand-rolled `proc_macro::TokenStream` parser:
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (external tagging, like real serde);
+//! - `#[serde(transparent)]` and `#[serde(rename_all = "snake_case")]`;
+//! - one level of type generics with simple bounds (`<A: Ord>`).
+//!
+//! The generated impls target the value-based `Serialize` /
+//! `Deserialize` traits of the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `(param name, bounds)` pairs, e.g. `("A", "Ord")`.
+    generics: Vec<(String, String)>,
+    transparent: bool,
+    rename_all_snake: bool,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the token strings
+    /// inside any `#[serde(...)]` groups.
+    fn take_attrs(&mut self) -> Vec<String> {
+        let mut serde_items = Vec::new();
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: malformed attribute: {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        serde_items.push(args.stream().to_string());
+                    }
+                }
+            }
+        }
+        serde_items
+    }
+
+    /// Skips `pub`, `pub(crate)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let serde_attrs = cur.take_attrs();
+    let transparent = serde_attrs.iter().any(|a| a.trim() == "transparent");
+    let rename_all_snake = serde_attrs
+        .iter()
+        .any(|a| a.replace(' ', "").contains("rename_all=\"snake_case\""));
+
+    cur.skip_visibility();
+    let kind = cur.expect_ident();
+    let name = cur.expect_ident();
+    let generics = parse_generics(&mut cur);
+
+    if matches!(cur.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive: `where` clauses are not supported (type {name})");
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        transparent,
+        rename_all_snake,
+        data,
+    }
+}
+
+/// Parses `<A: Ord, B>` into `[("A", "Ord"), ("B", "")]`. Returns an
+/// empty list when the type has no generics.
+fn parse_generics(cur: &mut Cursor) -> Vec<(String, String)> {
+    if !cur.eat_punct('<') {
+        return Vec::new();
+    }
+    // Collect raw tokens until the matching `>` at depth zero.
+    let mut depth = 0usize;
+    let mut raw: Vec<TokenTree> = Vec::new();
+    loop {
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                raw.push(TokenTree::Punct(p));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                raw.push(TokenTree::Punct(p));
+            }
+            Some(t) => raw.push(t),
+            None => panic!("serde_derive: unterminated generic parameter list"),
+        }
+    }
+    // Split on top-level commas.
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0usize;
+    for t in raw {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                params.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        params.push(current);
+    }
+    params
+        .into_iter()
+        .map(|tokens| {
+            let mut name = String::new();
+            let mut bounds = String::new();
+            let mut in_bounds = false;
+            for t in tokens {
+                match &t {
+                    TokenTree::Punct(p) if p.as_char() == ':' && !in_bounds => {
+                        in_bounds = true;
+                    }
+                    _ if in_bounds => {
+                        bounds.push_str(&t.to_string());
+                        bounds.push(' ');
+                    }
+                    TokenTree::Ident(id) if name.is_empty() => name = id.to_string(),
+                    _ => panic!("serde_derive: unsupported generic parameter shape"),
+                }
+            }
+            (name, bounds.trim().to_owned())
+        })
+        .collect()
+}
+
+/// Extracts the field names of a named-field body, skipping attributes,
+/// visibility, and types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.take_attrs();
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        assert!(
+            cur.eat_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        // Skip the type: everything until a comma at angle-depth zero
+        // (parens/brackets/braces arrive as single Group tokens).
+        let mut angle = 0usize;
+        loop {
+            match cur.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    cur.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    cur.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    cur.next();
+                    break;
+                }
+                _ => {
+                    cur.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.take_attrs();
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        assert!(
+            cur.eat_punct(',') || cur.peek().is_none(),
+            "serde_derive: expected `,` after variant `{name}`"
+        );
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------
+
+/// `CamelCase` → `camel_case`, matching serde's `rename_all = "snake_case"`.
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Item {
+    fn wire_variant_name(&self, variant: &str) -> String {
+        if self.rename_all_snake {
+            to_snake_case(variant)
+        } else {
+            variant.to_owned()
+        }
+    }
+
+    /// `impl<A: Ord + EXTRA> ... for Name<A>` header pieces.
+    fn impl_header(&self, trait_path: &str, extra_bound: &str) -> String {
+        if self.generics.is_empty() {
+            return format!("impl {trait_path} for {}", self.name);
+        }
+        let params: Vec<String> = self
+            .generics
+            .iter()
+            .map(|(name, bounds)| {
+                if bounds.is_empty() {
+                    format!("{name}: {extra_bound}")
+                } else {
+                    format!("{name}: {bounds} + {extra_bound}")
+                }
+            })
+            .collect();
+        let args: Vec<&str> = self.generics.iter().map(|(n, _)| n.as_str()).collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            params.join(", "),
+            self.name,
+            args.join(", ")
+        )
+    }
+}
+
+const ALLOW: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic, clippy::nursery, unused_mut)]\n";
+
+// ---------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde_derive: #[serde(transparent)] needs exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "__map.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__map)");
+                s
+            }
+        }
+        Data::TupleStruct(arity) => match arity {
+            0 => "::serde::Value::Array(::std::vec::Vec::new())".to_owned(),
+            1 => "::serde::Serialize::to_value(&self.0)".to_owned(),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        },
+        Data::UnitStruct => "::serde::Value::Null".to_owned(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = item.wire_variant_name(&v.name);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{} => ::serde::Value::String(::std::string::String::from(\"{wire}\")),\n",
+                            v.name
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inner = String::from("let mut __fields = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{} {{ {bindings} }} => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{wire}\"), ::serde::Value::Object(__fields));\n\
+                             ::serde::Value::Object(__outer)\n}},\n",
+                            v.name
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{}({}) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{wire}\"), {payload});\n\
+                             ::serde::Value::Object(__outer)\n}},\n",
+                            v.name,
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{ALLOW}{} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        item.impl_header("::serde::Serialize", "::serde::Serialize")
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde_derive: #[serde(transparent)] needs exactly one field"
+                );
+                format!(
+                    "::std::result::Result::Ok(Self {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                let mut s = format!(
+                    "let __map = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}\"))?;\n"
+                );
+                s.push_str("::std::result::Result::Ok(Self {\n");
+                for f in fields {
+                    s.push_str(&format!("{f}: ::serde::de_field(__map, \"{f}\")?,\n"));
+                }
+                s.push_str("})");
+                s
+            }
+        }
+        Data::TupleStruct(arity) => match arity {
+            0 => "::std::result::Result::Ok(Self())".to_owned(),
+            1 => {
+                "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_owned()
+            }
+            n => {
+                let mut s = format!(
+                    "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n"
+                );
+                let parts: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                s.push_str(&format!(
+                    "::std::result::Result::Ok(Self({}))",
+                    parts.join(", ")
+                ));
+                s
+            }
+        },
+        Data::UnitStruct => "::std::result::Result::Ok(Self)".to_owned(),
+        Data::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut s = String::new();
+            if !unit.is_empty() {
+                s.push_str("if let ::serde::Value::String(__s) = __v {\n");
+                for v in &unit {
+                    let wire = item.wire_variant_name(&v.name);
+                    s.push_str(&format!(
+                        "if __s == \"{wire}\" {{ return ::std::result::Result::Ok(Self::{}); }}\n",
+                        v.name
+                    ));
+                }
+                s.push_str("}\n");
+            }
+            if !data.is_empty() {
+                s.push_str(
+                    "if let ::serde::Value::Object(__map) = __v {\n\
+                     if let ::std::option::Option::Some((__tag, __payload)) = __map.iter().next() {\n",
+                );
+                for v in &data {
+                    let wire = item.wire_variant_name(&v.name);
+                    match &v.kind {
+                        VariantKind::Named(fields) => {
+                            let mut inner = format!(
+                                "let __fields = __payload.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object payload for {name}::{}\"))?;\n",
+                                v.name
+                            );
+                            inner.push_str(&format!(
+                                "return ::std::result::Result::Ok(Self::{} {{\n",
+                                v.name
+                            ));
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "{f}: ::serde::de_field(__fields, \"{f}\")?,\n"
+                                ));
+                            }
+                            inner.push_str("});\n");
+                            s.push_str(&format!("if __tag == \"{wire}\" {{\n{inner}}}\n"));
+                        }
+                        VariantKind::Tuple(arity) => {
+                            if *arity == 1 {
+                                s.push_str(&format!(
+                                    "if __tag == \"{wire}\" {{ return ::std::result::Result::Ok(Self::{}(::serde::Deserialize::from_value(__payload)?)); }}\n",
+                                    v.name
+                                ));
+                            } else {
+                                let parts: Vec<String> = (0..*arity)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                    })
+                                    .collect();
+                                s.push_str(&format!(
+                                    "if __tag == \"{wire}\" {{\n\
+                                     let __items = __payload.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array payload for {name}::{}\"))?;\n\
+                                     if __items.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{}\")); }}\n\
+                                     return ::std::result::Result::Ok(Self::{}({}));\n}}\n",
+                                    v.name, v.name, v.name,
+                                    parts.join(", ")
+                                ));
+                            }
+                        }
+                        VariantKind::Unit => unreachable!("partitioned above"),
+                    }
+                }
+                s.push_str("}\n}\n");
+            }
+            s.push_str(&format!(
+                "::std::result::Result::Err(::serde::DeError::custom(format!(\"unrecognized {name} variant: {{__v:?}}\")))"
+            ));
+            s
+        }
+    };
+    format!(
+        "{ALLOW}{} {{\nfn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n",
+        item.impl_header("::serde::Deserialize", "::serde::Deserialize")
+    )
+}
