@@ -1,5 +1,8 @@
 //! Criterion benches: the sharded ingestion daemon — alerts/second
-//! through route → window close → merge at 1, 4, and 8 shards.
+//! through route → window close → merge at 1, 4, and 8 shards, plus
+//! the cost of supervised crash recovery (a chaos-injected worker
+//! panic mid-window: restart, checkpoint rehydration, degraded merge)
+//! against the fault-free baseline.
 //!
 //! Sockets are left out so the numbers isolate the daemon's own
 //! pipeline (sharding, bounded queues, per-shard detection, the merge
@@ -8,8 +11,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use alertops_chaos::silence_panics_containing;
 use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
-use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig};
+use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, CHAOS_PANIC_MSG};
 use alertops_sim::scenarios;
 
 fn bench_ingestd(c: &mut Criterion) {
@@ -48,5 +52,54 @@ fn bench_ingestd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingestd);
+/// Fault-free vs chaos-supervised: the same trace and window close at
+/// 4 shards, with the supervised variant forcing one worker panic
+/// mid-window per iteration — so the delta is exactly the price of
+/// catch_unwind supervision, the restart, and checkpoint rehydration.
+fn bench_chaos_supervision(c: &mut Criterion) {
+    silence_panics_containing(CHAOS_PANIC_MSG);
+    let out = scenarios::mini_study(2022).run();
+    let strategies = out.catalog.strategies().to_vec();
+    let shards = 4usize;
+
+    let mut group = c.benchmark_group("ingestd_chaos");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(out.alerts.len() as u64));
+    for (name, panics) in [("fault_free", 0usize), ("supervised_panic", 1)] {
+        let config = IngestdConfig {
+            shards,
+            queue_capacity: 8192,
+            ..IngestdConfig::default()
+        };
+        let handle = Ingestd::spawn(&config, |shard, shards| {
+            StreamingGovernor::new(
+                AlertGovernor::new(
+                    shard_catalog(&strategies, shards, shard),
+                    GovernorConfig::default(),
+                ),
+                StreamingConfig::default(),
+            )
+        })
+        .expect("daemon starts");
+        group.bench_function(format!("{name}_{shards}_shards"), |b| {
+            b.iter(|| {
+                let half = out.alerts.len() / 2;
+                for alert in &out.alerts[..half] {
+                    handle.route(alert.clone());
+                }
+                for _ in 0..panics {
+                    handle.inject_panic(0, false);
+                }
+                for alert in &out.alerts[half..] {
+                    handle.route(alert.clone());
+                }
+                black_box(handle.flush().expect("flush yields a snapshot"))
+            });
+        });
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestd, bench_chaos_supervision);
 criterion_main!(benches);

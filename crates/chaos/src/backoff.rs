@@ -1,0 +1,111 @@
+//! Exponential backoff with deterministic jitter.
+//!
+//! Used by the replay client to reconnect after a connection reset:
+//! delays double from `base` up to `cap`, each multiplied by a seeded
+//! jitter factor in `[0.5, 1.0]` so reconnect storms decorrelate
+//! without sacrificing replayability.
+
+use std::time::Duration;
+
+use crate::rng::ChaosRng;
+
+/// An iterator of reconnect delays: exponential growth, capped, with
+/// seeded half-jitter. Never terminates — callers bound attempts.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: ChaosRng,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule. `base` is the first (pre-jitter)
+    /// delay, `cap` the ceiling; `seed` fixes the jitter stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or exceeds `cap`.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        assert!(!base.is_zero(), "backoff base must be positive");
+        assert!(base <= cap, "backoff base must not exceed cap");
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            rng: ChaosRng::new(seed),
+        }
+    }
+
+    /// The delay to sleep before the next attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        // Half-jitter: uniform in [exp/2, exp].
+        let jitter = 0.5 + self.rng.uniform() * 0.5;
+        exp.mul_f64(jitter)
+    }
+
+    /// Attempts made so far (delays handed out).
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets the exponent (e.g. after a healthy connection), keeping
+    /// the jitter stream position.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let mut b = Backoff::new(
+            Duration::from_millis(10),
+            Duration::from_millis(160),
+            0xBEEF,
+        );
+        let delays: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        // Each delay sits in [exp/2, exp] of the capped exponential.
+        for (i, d) in delays.iter().enumerate() {
+            let exp = Duration::from_millis((10u64 << i.min(16)).min(160));
+            assert!(*d >= exp / 2 && *d <= exp, "attempt {i}: {d:?} vs {exp:?}");
+        }
+        assert_eq!(b.attempts(), 8);
+    }
+
+    #[test]
+    fn same_seed_same_delays() {
+        let mut a = Backoff::new(Duration::from_millis(5), Duration::from_secs(1), 3);
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_secs(1), 3);
+        for _ in 0..10 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_exponent() {
+        let mut b = Backoff::new(Duration::from_millis(8), Duration::from_secs(2), 1);
+        for _ in 0..5 {
+            let _ = b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= Duration::from_millis(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_base_is_rejected() {
+        let _ = Backoff::new(Duration::ZERO, Duration::from_secs(1), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic frame corruption.
+//!
+//! Both corruptors guarantee the mangled frame is *rejected* by the
+//! daemon's codec, never silently reinterpreted as a different valid
+//! frame:
+//!
+//! - [`truncate_frame`] cuts a JSON object line before its closing
+//!   brace, so the result always fails JSON parsing;
+//! - [`garble_frame`] splices raw `0xFF` bytes into the line, so the
+//!   result always fails UTF-8 validation.
+//!
+//! That guarantee is what lets the chaos oracle do exact accounting:
+//! a corrupted frame is always quarantined (one counter bump, one
+//! lost alert) and never anything else.
+
+use crate::rng::ChaosRng;
+
+/// Cuts `frame` (one NDJSON line, no trailing newline) to a strict
+/// prefix that can never parse as JSON.
+///
+/// The cut point is drawn from `1..len` on a UTF-8 character boundary,
+/// so at least one byte survives and the closing `}` never does.
+///
+/// # Panics
+///
+/// Panics if `frame` is shorter than 2 bytes (nothing to truncate).
+#[must_use]
+pub fn truncate_frame(frame: &str, rng: &mut ChaosRng) -> Vec<u8> {
+    assert!(frame.len() >= 2, "frame too short to truncate: {frame:?}");
+    let mut cut = rng.range_usize(1, frame.len());
+    while !frame.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    frame.as_bytes()[..cut.max(1)].to_vec()
+}
+
+/// Splices invalid UTF-8 (`0xFF`) into `frame` at a deterministic
+/// position, so the line always fails UTF-8 validation.
+///
+/// # Panics
+///
+/// Panics if `frame` is empty.
+#[must_use]
+pub fn garble_frame(frame: &str, rng: &mut ChaosRng) -> Vec<u8> {
+    assert!(!frame.is_empty(), "cannot garble an empty frame");
+    let at = rng.range_usize(0, frame.len());
+    let mut out = Vec::with_capacity(frame.len() + 2);
+    out.extend_from_slice(&frame.as_bytes()[..at]);
+    out.extend_from_slice(&[0xFF, 0xFE]);
+    out.extend_from_slice(&frame.as_bytes()[at..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAME: &str = r#"{"alert":{"id":7,"strategy":3}}"#;
+
+    #[test]
+    fn truncation_is_a_proper_prefix_and_never_valid_json() {
+        let mut rng = ChaosRng::new(1);
+        for _ in 0..200 {
+            let cut = truncate_frame(FRAME, &mut rng);
+            assert!(!cut.is_empty() && cut.len() < FRAME.len());
+            assert!(FRAME.as_bytes().starts_with(&cut));
+            let text = std::str::from_utf8(&cut).expect("cut on char boundary");
+            assert!(
+                serde_json::from_str::<serde_json::Value>(text).is_err(),
+                "truncated frame unexpectedly parsed: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_respects_multibyte_boundaries() {
+        let frame = r#"{"title":"ünïcodé alert ß"}"#;
+        let mut rng = ChaosRng::new(2);
+        for _ in 0..200 {
+            let cut = truncate_frame(frame, &mut rng);
+            assert!(std::str::from_utf8(&cut).is_ok());
+        }
+    }
+
+    #[test]
+    fn garbling_is_never_valid_utf8() {
+        let mut rng = ChaosRng::new(3);
+        for _ in 0..200 {
+            let bad = garble_frame(FRAME, &mut rng);
+            assert!(std::str::from_utf8(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let mut a = ChaosRng::new(9);
+        let mut b = ChaosRng::new(9);
+        assert_eq!(truncate_frame(FRAME, &mut a), truncate_frame(FRAME, &mut b));
+        assert_eq!(garble_frame(FRAME, &mut a), garble_frame(FRAME, &mut b));
+    }
+}

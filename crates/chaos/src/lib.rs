@@ -1,0 +1,100 @@
+//! Deterministic chaos engineering for the alertops daemon.
+//!
+//! The paper's governance loop only earns trust if it keeps running
+//! while the world misbehaves: connections reset mid-frame, frames
+//! arrive truncated or corrupted, consumers stall, shard workers
+//! crash, and bounded queues overflow. This crate provides the
+//! *deterministic* vocabulary for injecting exactly those faults:
+//!
+//! - [`ChaosRng`]: a seeded splitmix64 stream — the only randomness
+//!   source, so every chaos run replays byte for byte;
+//! - [`ChaosSchedule`]: pure-data fault schedules ([`ChaosKind`] at
+//!   trace positions) generated from a seed;
+//! - [`truncate_frame`] / [`garble_frame`]: frame corruption with a
+//!   guaranteed-rejected result (invalid JSON / invalid UTF-8), so
+//!   the test oracle can do exact quarantine accounting;
+//! - [`Backoff`]: capped exponential reconnect delays with seeded
+//!   jitter for the replay client;
+//! - [`silence_panics_containing`]: a panic-hook filter so supervised
+//!   worker crashes injected on purpose don't spray backtraces over
+//!   test output.
+//!
+//! Nothing here touches the wall clock or global RNG state: a chaos
+//! run is a function of `(trace, seed)` and nothing else. Override the
+//! seed with the `CHAOS_SEED` environment variable (see
+//! [`seed_from_env`]) to replay a failure printed by CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, clippy::pedantic)]
+#![allow(
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::module_name_repetitions
+)]
+
+mod backoff;
+mod corrupt;
+mod rng;
+mod schedule;
+
+pub use backoff::Backoff;
+pub use corrupt::{garble_frame, truncate_frame};
+pub use rng::ChaosRng;
+pub use schedule::{seed_from_env, ChaosConfig, ChaosEvent, ChaosKind, ChaosSchedule};
+
+use std::sync::Mutex;
+
+static SILENCED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Suppresses the default panic report for panics whose message
+/// contains `marker`; all other panics still print normally.
+///
+/// Chaos tests inject worker panics on purpose — the supervisor
+/// catches them — and without this filter every injected crash dumps
+/// a backtrace into otherwise-green test output. Safe to call multiple
+/// times (markers accumulate); the hook chains to whatever hook was
+/// installed before the first call.
+pub fn silence_panics_containing(marker: &str) {
+    let mut silenced = SILENCED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let install = silenced.is_empty();
+    if !silenced.iter().any(|m| m == marker) {
+        silenced.push(marker.to_string());
+    }
+    drop(silenced);
+    if install {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            let silenced = SILENCED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if silenced.iter().any(|m| message.contains(m.as_str())) {
+                return;
+            }
+            drop(silenced);
+            previous(info);
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silenced_panics_are_still_catchable() {
+        silence_panics_containing("chaos-test-marker");
+        let caught = std::panic::catch_unwind(|| {
+            panic!("injected chaos-test-marker crash");
+        });
+        assert!(caught.is_err());
+        // And a second registration of the same marker is a no-op.
+        silence_panics_containing("chaos-test-marker");
+    }
+}

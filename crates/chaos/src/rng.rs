@@ -1,0 +1,126 @@
+//! The chaos stream RNG.
+//!
+//! Chaos schedules must be *pure data*: the same seed has to produce
+//! the same faults at the same positions on every machine, forever.
+//! [`ChaosRng`] is a splitmix64 sequence — the same generator the
+//! simulator's keyed noise uses — kept deliberately tiny so the chaos
+//! crate depends on nothing.
+
+/// A seeded, deterministic stream of pseudo-random values.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from a seed. Equal seeds yield equal
+    /// streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Pre-mix so seed 0 and seed 1 diverge immediately.
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// The next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high bits → exactly representable dyadic rational.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "ChaosRng::range: empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Multiply-shift bounded sampling; bias < 2^-64 * span.
+        lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        usize::try_from(self.range(lo as u64, hi as u64)).expect("range fits usize")
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// A uniformly chosen element of `items`, or `None` when empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range_usize(0, items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaosRng::new(0);
+        let mut b = ChaosRng::new(1);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = ChaosRng::new(7);
+        for _ in 0..1_000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_with_sane_mean() {
+        let mut rng = ChaosRng::new(3);
+        let n = 10_000;
+        let mean = (0..n).map(|_| rng.uniform()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = ChaosRng::new(11);
+        let items = [1, 2, 3, 4];
+        let seen: std::collections::BTreeSet<i32> =
+            (0..200).filter_map(|_| rng.pick(&items).copied()).collect();
+        assert_eq!(seen.len(), items.len());
+        assert_eq!(rng.pick::<i32>(&[]), None);
+    }
+}

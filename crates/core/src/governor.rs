@@ -32,7 +32,7 @@ pub struct GovernorConfig {
 ///    findings, the reaction pipeline evaluated, and strategies ranked
 ///    by QoA (React + Detect);
 /// 3. fix the worst strategies and repeat.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AlertGovernor {
     strategies: Vec<AlertStrategy>,
     sops: HashMap<StrategyId, Sop>,

@@ -95,6 +95,13 @@ pub struct GovernanceSnapshot {
     pub storm_active: bool,
     /// Concatenated per-shard triage lists, sorted by alert id.
     pub triage: Vec<AlertId>,
+    /// Shards whose contribution to this window is degraded: their
+    /// worker was restarted after a panic during the window, so alerts
+    /// that were buffered (or mid-detection) at the time of the crash
+    /// are missing from this window's picture. Empty in healthy
+    /// windows; [`GovernanceSnapshot::merge`] always starts empty and
+    /// the daemon's coordinator fills it in.
+    pub degraded: Vec<usize>,
 }
 
 impl GovernanceSnapshot {
@@ -149,6 +156,7 @@ impl GovernanceSnapshot {
             storms,
             storm_active,
             triage,
+            degraded: Vec::new(),
         }
     }
 }
@@ -181,7 +189,7 @@ impl GovernanceSnapshot {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StreamingGovernor {
     governor: AlertGovernor,
     config: StreamingConfig,
@@ -489,6 +497,7 @@ mod tests {
         let mut triage = delta.triage.clone();
         triage.sort_unstable();
         assert_eq!(snapshot.triage, triage);
+        assert!(snapshot.degraded.is_empty(), "merge never marks degraded");
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: GovernanceSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snapshot, back);

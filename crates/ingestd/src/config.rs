@@ -40,6 +40,12 @@ pub struct IngestdConfig {
     pub listen: Option<String>,
     /// `host:port` for the JSON status socket; `None` disables it.
     pub status: Option<String>,
+    /// Accept chaos control frames (`{"ctrl":"panic"|"stall"|"resume",
+    /// "shard":N}`) on the wire. Off by default: in production those
+    /// frames are quarantined as unknown controls. The in-process
+    /// handle methods ([`crate::IngestdHandle::inject_panic`] and
+    /// friends) are not gated — they require holding the handle.
+    pub chaos: bool,
 }
 
 impl Default for IngestdConfig {
@@ -52,6 +58,7 @@ impl Default for IngestdConfig {
             streaming: StreamingConfig::default(),
             listen: None,
             status: None,
+            chaos: false,
         }
     }
 }

@@ -31,7 +31,10 @@ pub(crate) enum CoordMsg {
 /// barriers on exactly one [`ShardDelta`] per shard for that `seq`
 /// before merging. Workers process closes in queue order and the
 /// coordinator never issues `seq + 1` before collecting all of `seq`,
-/// so the barrier cannot interleave windows.
+/// so the barrier cannot interleave windows. A panicking worker does
+/// not wedge the barrier either: its supervisor contributes a
+/// synthetic empty delta for the in-flight `seq`, and the shard is
+/// listed in the published snapshot's `degraded` field.
 pub(crate) fn run_coordinator(
     control: &Receiver<CoordMsg>,
     shard_txs: &[SyncSender<WorkerMsg>],
@@ -71,22 +74,31 @@ pub(crate) fn run_coordinator(
             }
         }
         let mut collected = Vec::with_capacity(shard_txs.len());
+        let mut degraded: Vec<usize> = Vec::new();
         while collected.len() < shard_txs.len() {
             match deltas.recv() {
                 Ok(shard_delta) => {
                     debug_assert_eq!(shard_delta.seq, seq, "barrier interleaved windows");
+                    if shard_delta.degraded {
+                        degraded.push(shard_delta.shard);
+                    }
                     collected.push(shard_delta.delta);
                 }
                 Err(_) => return,
             }
         }
 
-        let snapshot = GovernanceSnapshot::merge(&collected, storm);
+        let mut snapshot = GovernanceSnapshot::merge(&collected, storm);
+        degraded.sort_unstable();
+        if !degraded.is_empty() {
+            counters.degraded_windows.fetch_add(1, Ordering::Relaxed);
+        }
+        snapshot.degraded = degraded;
         counters
             .last_window_micros
             .store(elapsed_micros(started), Ordering::Relaxed);
         counters.windows_closed.fetch_add(1, Ordering::Relaxed);
-        *snapshot_slot.write().expect("snapshot lock poisoned") = Some(snapshot.clone());
+        *snapshot_slot.write().unwrap_or_else(|e| e.into_inner()) = Some(snapshot.clone());
         if let Some(ack) = ack {
             let _ = ack.send(snapshot);
         }

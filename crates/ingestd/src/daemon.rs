@@ -1,6 +1,14 @@
 //! Daemon assembly: threads, queues, sockets, and the public handle.
+//!
+//! Failure stance: the daemon assumes its own threads can die and its
+//! peers can misbehave. Shared locks recover from poisoning instead of
+//! cascading panics (`unwrap_or_else(PoisonError::into_inner)` —
+//! counters and snapshots are monotonic data, so observing a value
+//! written just before a panic is safe); ingress framing quarantines
+//! malformed bytes instead of trusting line iterators; and shard
+//! workers are supervised (see [`crate::worker`]'s module docs).
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
@@ -11,7 +19,10 @@ use std::{io, thread};
 use alertops_core::{GovernanceSnapshot, StreamingGovernor};
 use alertops_model::Alert;
 
-use crate::codec::{encode_flush_ack, encode_shutdown_ack, parse_frame, Frame, FrameError};
+use crate::codec::{
+    encode_flush_ack, encode_shutdown_ack, encode_stall_ack, encode_sync_ack, Frame, FrameDecoder,
+    FrameError, QuarantineReason,
+};
 use crate::config::{IngestdConfig, OverflowPolicy};
 use crate::coordinator::{run_coordinator, CoordMsg};
 use crate::counters::{CounterSnapshot, Counters};
@@ -32,18 +43,18 @@ struct ShutdownSignal {
 
 impl ShutdownSignal {
     fn request(&self) {
-        let mut requested = self.requested.lock().expect("shutdown lock poisoned");
+        let mut requested = self.requested.lock().unwrap_or_else(|e| e.into_inner());
         *requested = true;
         self.condvar.notify_all();
     }
 
     fn wait(&self) {
-        let mut requested = self.requested.lock().expect("shutdown lock poisoned");
+        let mut requested = self.requested.lock().unwrap_or_else(|e| e.into_inner());
         while !*requested {
             requested = self
                 .condvar
                 .wait(requested)
-                .expect("shutdown lock poisoned");
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -55,19 +66,26 @@ struct Router {
     coord_tx: Sender<CoordMsg>,
     counters: Arc<Counters>,
     overflow: OverflowPolicy,
+    chaos: bool,
+    /// One slot per shard holding the resume sender of an in-flight
+    /// stall (see [`Router::stall`]).
+    resume_slots: Vec<Mutex<Option<Sender<()>>>>,
     shutdown: Arc<ShutdownSignal>,
 }
 
 impl Router {
     /// Routes one alert to its strategy's shard, applying the overflow
-    /// policy when the bounded queue is full.
+    /// policy when the bounded queue is full. Every alert entering
+    /// here counts as ingested — including ones the overflow policy
+    /// then sheds — so `ingested == delivered + dropped + quarantined`
+    /// stays exact.
     fn route(&self, alert: Box<Alert>) {
+        self.counters.ingested.fetch_add(1, Ordering::Relaxed);
         let shard = shard_of(alert.strategy(), self.shard_txs.len());
         let queue_depth = &self.counters.queue_depths[shard];
         match self.shard_txs[shard].try_send(WorkerMsg::Alert(alert)) {
             Ok(()) => {
                 queue_depth.fetch_add(1, Ordering::Relaxed);
-                self.counters.ingested.fetch_add(1, Ordering::Relaxed);
             }
             Err(TrySendError::Full(msg)) => match self.overflow {
                 OverflowPolicy::Block => {
@@ -76,7 +94,6 @@ impl Router {
                         .fetch_add(1, Ordering::Relaxed);
                     if self.shard_txs[shard].send(msg).is_ok() {
                         queue_depth.fetch_add(1, Ordering::Relaxed);
-                        self.counters.ingested.fetch_add(1, Ordering::Relaxed);
                     } else {
                         self.counters.dropped.fetch_add(1, Ordering::Relaxed);
                     }
@@ -99,6 +116,67 @@ impl Router {
             .send(CoordMsg::CloseNow { ack: Some(ack_tx) })
             .ok()?;
         ack_rx.recv().ok()
+    }
+
+    /// Drain barrier: returns once every message enqueued on any shard
+    /// before this call has been consumed by its worker. (Blocks
+    /// indefinitely if a shard is stalled — resume first.)
+    fn sync(&self) {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(self.shard_txs.len());
+        let mut expected = 0;
+        for tx in &self.shard_txs {
+            if tx.send(WorkerMsg::Sync(ack_tx.clone())).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(ack_tx);
+        for _ in 0..expected {
+            if ack_rx.recv().is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Enqueues a chaos panic for `shard` (a later queue position, or
+    /// its next window close). No-op for out-of-range shards.
+    fn inject_panic(&self, shard: usize, on_close: bool) {
+        if let Some(tx) = self.shard_txs.get(shard) {
+            let _ = tx.send(WorkerMsg::Panic { on_close });
+        }
+    }
+
+    /// Parks `shard`'s worker, returning only once it is parked (by
+    /// queue order, everything enqueued before this call has then been
+    /// consumed). A stall replacing an unresumed earlier stall drops
+    /// the old resume sender, which resumes the earlier parked state.
+    fn stall(&self, shard: usize) {
+        let Some(tx) = self.shard_txs.get(shard) else {
+            return;
+        };
+        let (entered_tx, entered_rx) = mpsc::sync_channel(1);
+        let (resume_tx, resume_rx) = mpsc::channel();
+        *self.resume_slots[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(resume_tx);
+        if tx
+            .send(WorkerMsg::Stall {
+                entered: entered_tx,
+                resume: resume_rx,
+            })
+            .is_ok()
+        {
+            let _ = entered_rx.recv();
+        }
+    }
+
+    /// Unparks `shard`'s stalled worker. No-op if it is not stalled.
+    fn resume(&self, shard: usize) {
+        let Some(slot) = self.resume_slots.get(shard) else {
+            return;
+        };
+        if let Some(tx) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = tx.send(());
+        }
     }
 }
 
@@ -184,11 +262,14 @@ impl Ingestd {
             );
         }
 
+        let resume_slots = (0..config.shards).map(|_| Mutex::new(None)).collect();
         let router = Arc::new(Router {
             shard_txs,
             coord_tx,
             counters: Arc::clone(&counters),
             overflow: config.overflow,
+            chaos: config.chaos,
+            resume_slots,
             shutdown: Arc::clone(&shutdown),
         });
 
@@ -266,12 +347,42 @@ impl IngestdHandle {
         self.router.flush()
     }
 
+    /// Drain barrier: returns once every shard has consumed everything
+    /// enqueued before this call. The chaos suite uses it to pace
+    /// deterministically; blocks while a shard is stalled.
+    pub fn sync(&self) {
+        self.router.sync();
+    }
+
+    /// Chaos instrumentation: make `shard`'s worker panic at this
+    /// point in its queue (`on_close = false`), or during its next
+    /// window close after detection already mutated governor state
+    /// (`on_close = true`). The supervisor restarts the worker either
+    /// way. No-op for out-of-range shards.
+    pub fn inject_panic(&self, shard: usize, on_close: bool) {
+        self.router.inject_panic(shard, on_close);
+    }
+
+    /// Chaos instrumentation: park `shard`'s worker, returning once it
+    /// is parked with its queue drained. Pair with
+    /// [`resume_shard`](Self::resume_shard); a flush while stalled
+    /// blocks until resumed.
+    pub fn stall_shard(&self, shard: usize) {
+        self.router.stall(shard);
+    }
+
+    /// Chaos instrumentation: unpark a worker parked by
+    /// [`stall_shard`](Self::stall_shard). No-op if not stalled.
+    pub fn resume_shard(&self, shard: usize) {
+        self.router.resume(shard);
+    }
+
     /// The most recently merged snapshot, if any window closed yet.
     #[must_use]
     pub fn latest_snapshot(&self) -> Option<GovernanceSnapshot> {
         self.snapshot
             .read()
-            .expect("snapshot lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .clone()
     }
 
@@ -342,37 +453,94 @@ fn accept_ingress(listener: &TcpListener, running: &Arc<AtomicBool>, router: &Ar
     }
 }
 
-/// One ingress connection: NDJSON frames in, flush/shutdown acks out.
+/// One ingress connection: NDJSON frames in, acks out. Framing goes
+/// through [`FrameDecoder`], so a connection dropped mid-frame
+/// quarantines its partial line instead of losing it silently.
 fn serve_ingress(stream: &TcpStream, router: &Arc<Router>) {
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        match parse_frame(&line) {
-            Ok(Frame::Alert(alert)) => router.route(alert),
-            Ok(Frame::Flush) => {
-                if let Some(snapshot) = router.flush() {
-                    let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
-                    if writeln!(writer, "{ack}").is_err() {
-                        break;
-                    }
-                }
-            }
-            Ok(Frame::Shutdown) => {
-                let _ = writeln!(writer, "{}", encode_shutdown_ack());
-                router.shutdown.request();
-                break;
-            }
-            Err(FrameError::Empty) => {}
-            Err(FrameError::Malformed(_)) => {
-                router
-                    .counters
-                    .decode_errors
-                    .fetch_add(1, Ordering::Relaxed);
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = match read_half.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        for item in decoder.feed(&buf[..n]) {
+            if !handle_frame(item, router, &mut writer) {
+                return;
             }
         }
+    }
+    if let Some(item) = decoder.finish() {
+        let _ = handle_frame(item, router, &mut writer);
+    }
+}
+
+/// Applies one decoded ingress item; `false` ends the connection.
+fn handle_frame(
+    item: Result<Frame, FrameError>,
+    router: &Arc<Router>,
+    writer: &mut impl Write,
+) -> bool {
+    match item {
+        Ok(Frame::Alert(alert)) => router.route(alert),
+        Ok(Frame::Flush) => {
+            if let Some(snapshot) = router.flush() {
+                let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
+                if writeln!(writer, "{ack}").is_err() {
+                    return false;
+                }
+            }
+        }
+        Ok(Frame::Sync) => {
+            router.sync();
+            if writeln!(writer, "{}", encode_sync_ack()).is_err() {
+                return false;
+            }
+        }
+        Ok(Frame::Shutdown) => {
+            let _ = writeln!(writer, "{}", encode_shutdown_ack());
+            router.shutdown.request();
+            return false;
+        }
+        Ok(Frame::ChaosPanic { shard, on_close }) => {
+            if chaos_target(router, shard) {
+                router.inject_panic(shard, on_close);
+            }
+        }
+        Ok(Frame::ChaosStall { shard }) => {
+            if chaos_target(router, shard) {
+                router.stall(shard);
+                if writeln!(writer, "{}", encode_stall_ack(shard)).is_err() {
+                    return false;
+                }
+            }
+        }
+        Ok(Frame::ChaosResume { shard }) => {
+            if chaos_target(router, shard) {
+                router.resume(shard);
+            }
+        }
+        Err(FrameError::Empty) => {}
+        Err(FrameError::Malformed { reason, .. }) => {
+            router.counters.quarantine(reason);
+        }
+    }
+    true
+}
+
+/// Gate for wire-level chaos frames: chaos mode must be enabled and
+/// the shard in range; otherwise the frame is quarantined as an
+/// unknown control and ignored.
+fn chaos_target(router: &Arc<Router>, shard: usize) -> bool {
+    if router.chaos && shard < router.shard_txs.len() {
+        true
+    } else {
+        router.counters.quarantine(QuarantineReason::UnknownControl);
+        false
     }
 }
 
@@ -390,7 +558,7 @@ fn accept_status(
         let Ok(mut stream) = stream else { continue };
         let report = StatusReport {
             counters: counters.snapshot(),
-            snapshot: snapshot.read().expect("snapshot lock poisoned").clone(),
+            snapshot: snapshot.read().unwrap_or_else(|e| e.into_inner()).clone(),
         };
         let _ = writeln!(stream, "{}", report.to_json());
     }

@@ -37,6 +37,19 @@
 //!
 //! Everything is `std`-only: threads, `mpsc::sync_channel`, and plain
 //! TCP sockets.
+//!
+//! The daemon is built to be chaos-tested: shard workers run under a
+//! supervisor that catches panics, restarts the worker on the same
+//! queue, and rehydrates its governor from the checkpoint taken at the
+//! last successful window close (the affected window is published with
+//! the shard listed in `GovernanceSnapshot::degraded`); malformed
+//! ingress is quarantined per [`QuarantineReason`] with exact
+//! accounting (`ingested == delivered + dropped + quarantined`); and
+//! with [`IngestdConfig::chaos`] enabled the wire accepts fault
+//! injection frames (worker panics, stalls, resumes) plus a
+//! `{"ctrl":"sync"}` drain barrier so fault timing is deterministic.
+//! See `tests/chaos_ingestd.rs` at the workspace root for the scenario
+//! matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -50,9 +63,13 @@ pub mod shard;
 pub mod status;
 mod worker;
 
-pub use codec::{Frame, FrameError, FLUSH_FRAME, SHUTDOWN_FRAME};
+pub use codec::{
+    Frame, FrameDecoder, FrameError, QuarantineReason, FLUSH_FRAME, MAX_FRAME_LEN, SHUTDOWN_FRAME,
+    SYNC_FRAME,
+};
 pub use config::{IngestdConfig, OverflowPolicy};
 pub use counters::{CounterSnapshot, Counters};
 pub use daemon::{Ingestd, IngestdHandle};
 pub use shard::{shard_catalog, shard_of};
 pub use status::StatusReport;
+pub use worker::CHAOS_PANIC_MSG;

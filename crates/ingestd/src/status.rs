@@ -41,10 +41,18 @@ mod tests {
         let report = StatusReport {
             counters: CounterSnapshot {
                 ingested: 10,
-                dropped: 0,
+                delivered: 7,
+                dropped: 1,
                 backpressure_waits: 1,
                 decode_errors: 2,
+                quarantined_invalid_json: 1,
+                quarantined_invalid_utf8: 0,
+                quarantined_unknown_control: 0,
+                quarantined_invalid_alert: 1,
+                quarantined_oversized: 0,
                 windows_closed: 3,
+                degraded_windows: 1,
+                shard_restarts: 1,
                 last_window_micros: 450,
                 queue_depths: vec![0, 4],
             },

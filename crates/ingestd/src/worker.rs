@@ -1,7 +1,20 @@
-//! Shard worker: one thread, one streaming governor, one bounded queue.
+//! Shard worker: one thread, one streaming governor, one bounded
+//! queue — supervised.
+//!
+//! The worker's drain loop runs inside `catch_unwind`: a panic (a
+//! detector bug, or one injected by the chaos suite) never takes the
+//! thread down. The supervisor restarts the loop in place on the same
+//! queue, restores the governor from the checkpoint cloned after the
+//! last successful window close, counts the buffered-but-unclosed
+//! alerts as dropped, and marks the shard degraded so the next merged
+//! snapshot says so. If the panic struck mid-close, a synthetic empty
+//! window is closed on the restored checkpoint so the coordinator's
+//! barrier still receives exactly one delta for that sequence number —
+//! a crashing shard must never wedge the whole daemon.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 
 use alertops_core::{StreamingGovernor, WindowDelta};
@@ -9,10 +22,18 @@ use alertops_model::Alert;
 
 use crate::counters::Counters;
 
+/// The panic message marker every chaos-injected worker panic carries.
+/// Test harnesses silence expected panics by matching on it (e.g. via
+/// `alertops_chaos::silence_panics_containing`).
+pub const CHAOS_PANIC_MSG: &str = "chaos: injected worker panic";
+
 /// Messages a shard worker consumes, in queue order. Because `Close`
 /// travels through the same queue as alerts, a close observed by the
 /// worker is guaranteed to come after every alert enqueued before it —
-/// that ordering is what makes flush-driven windows deterministic.
+/// that ordering is what makes flush-driven windows deterministic. The
+/// chaos messages ride the same queue for the same reason: the set of
+/// alerts lost to an injected panic is exactly the alerts enqueued
+/// between the last close and the panic message, nothing racy.
 pub(crate) enum WorkerMsg {
     /// An alert routed to this shard.
     Alert(Box<Alert>),
@@ -21,40 +42,171 @@ pub(crate) enum WorkerMsg {
         /// The coordinator's window sequence number, echoed back.
         seq: u64,
     },
+    /// Drain barrier: ack once every message queued before this one
+    /// has been consumed.
+    Sync(SyncSender<()>),
+    /// Chaos: panic at this queue position (`on_close: false`) or
+    /// during the next window close, after detection has already
+    /// mutated governor state (`on_close: true`).
+    Panic {
+        /// Defer the panic into the next `Close`.
+        on_close: bool,
+    },
+    /// Chaos: park the worker. `entered` is acked once parked (the
+    /// queue ahead of this message is fully drained by then); the
+    /// worker then blocks until `resume` yields or disconnects.
+    Stall {
+        /// Acked when the worker parks.
+        entered: SyncSender<()>,
+        /// Unblocks the worker (a send, or dropping the sender).
+        resume: Receiver<()>,
+    },
 }
 
 /// One shard's reply to a window close.
 pub(crate) struct ShardDelta {
     pub seq: u64,
+    pub shard: usize,
+    /// This shard lost alerts to a worker restart during the window.
+    pub degraded: bool,
     pub delta: WindowDelta,
+}
+
+/// Everything that must survive a panic of the drain loop.
+struct ShardState {
+    governor: StreamingGovernor,
+    /// The governor as of the last successful close — what a restart
+    /// rehydrates from.
+    checkpoint: StreamingGovernor,
+    window: Vec<Alert>,
+    /// A restart happened since the last close: the next delta is
+    /// incomplete.
+    degraded: bool,
+    /// The close sequence in flight when a panic struck, if any; the
+    /// supervisor owes the coordinator a delta for it.
+    pending_close: Option<u64>,
+    /// Armed by `WorkerMsg::Panic { on_close: true }`.
+    poison_next_close: bool,
 }
 
 /// The worker loop. Buffers routed alerts; on `Close`, feeds the
 /// buffered window through this shard's [`StreamingGovernor`] and
-/// reports the [`WindowDelta`]. Returns when the ingest queue closes.
+/// reports the [`ShardDelta`]. Panics in the drain loop are caught,
+/// counted, and recovered from. Returns when the ingest queue closes.
 pub(crate) fn run_worker(
     shard: usize,
-    mut governor: StreamingGovernor,
+    governor: StreamingGovernor,
     ingest: &Receiver<WorkerMsg>,
     deltas: &Sender<ShardDelta>,
     counters: &Arc<Counters>,
 ) {
-    let mut window: Vec<Alert> = Vec::new();
+    let mut state = ShardState {
+        checkpoint: governor.clone(),
+        governor,
+        window: Vec::new(),
+        degraded: false,
+        pending_close: None,
+        poison_next_close: false,
+    };
+    loop {
+        let finished = catch_unwind(AssertUnwindSafe(|| {
+            drain(shard, &mut state, ingest, deltas, counters);
+        }));
+        match finished {
+            Ok(()) => return, // queue closed: clean shutdown
+            Err(_) => {
+                counters.shard_restarts.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .dropped
+                    .fetch_add(state.window.len() as u64, Ordering::Relaxed);
+                state.window.clear();
+                state.governor = state.checkpoint.clone();
+                state.degraded = true;
+                state.poison_next_close = false;
+                if let Some(seq) = state.pending_close.take() {
+                    // The panic struck mid-close: the barrier still
+                    // needs this shard's delta for `seq`. Close an
+                    // empty window on the restored checkpoint — the
+                    // shard contributes nothing this window, but the
+                    // window *happened*.
+                    if !close_window(shard, &mut state, seq, deltas, counters) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Closes the current window: sort, detect, checkpoint, report.
+/// Returns `false` when the coordinator is gone (shutdown).
+fn close_window(
+    shard: usize,
+    state: &mut ShardState,
+    seq: u64,
+    deltas: &Sender<ShardDelta>,
+    counters: &Arc<Counters>,
+) -> bool {
+    // Detection expects time-sorted windows; TCP ingress from
+    // concurrent producers does not guarantee order.
+    state.window.sort_by_key(|a| (a.raised_at(), a.id()));
+    let poisoned = std::mem::take(&mut state.poison_next_close);
+    let delta = state.governor.ingest(&state.window, &[]);
+    if poisoned {
+        // After detection mutated the governor: recovery must come
+        // from the checkpoint, not from "retrying" this state.
+        panic!("{CHAOS_PANIC_MSG} (shard {shard}, close {seq})");
+    }
+    counters
+        .delivered
+        .fetch_add(state.window.len() as u64, Ordering::Relaxed);
+    state.window.clear();
+    state.checkpoint = state.governor.clone();
+    state.pending_close = None;
+    deltas
+        .send(ShardDelta {
+            seq,
+            shard,
+            degraded: std::mem::take(&mut state.degraded),
+            delta,
+        })
+        .is_ok()
+}
+
+/// The drain loop proper; every panic inside it is caught by the
+/// supervisor in [`run_worker`].
+fn drain(
+    shard: usize,
+    state: &mut ShardState,
+    ingest: &Receiver<WorkerMsg>,
+    deltas: &Sender<ShardDelta>,
+    counters: &Arc<Counters>,
+) {
     while let Ok(msg) = ingest.recv() {
         match msg {
             WorkerMsg::Alert(alert) => {
                 counters.queue_depths[shard].fetch_sub(1, Ordering::Relaxed);
-                window.push(*alert);
+                state.window.push(*alert);
             }
             WorkerMsg::Close { seq } => {
-                // Detection expects time-sorted windows; TCP ingress
-                // from concurrent producers does not guarantee order.
-                window.sort_by_key(|a| (a.raised_at(), a.id()));
-                let delta = governor.ingest(&window, &[]);
-                window.clear();
-                if deltas.send(ShardDelta { seq, delta }).is_err() {
+                state.pending_close = Some(seq);
+                if !close_window(shard, state, seq, deltas, counters) {
                     return; // coordinator gone: shutting down
                 }
+            }
+            WorkerMsg::Sync(ack) => {
+                let _ = ack.send(());
+            }
+            WorkerMsg::Panic { on_close } => {
+                if on_close {
+                    state.poison_next_close = true;
+                } else {
+                    panic!("{CHAOS_PANIC_MSG} (shard {shard})");
+                }
+            }
+            WorkerMsg::Stall { entered, resume } => {
+                let _ = entered.send(());
+                let _ = resume.recv();
             }
         }
     }

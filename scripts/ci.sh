@@ -17,4 +17,10 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test --workspace -q
 
+# The fault-injection matrix is part of the workspace run above; this
+# labeled pass exists so a failure seed can be replayed in isolation:
+#   CHAOS_SEED=<seed from the failure message> scripts/ci.sh
+echo "==> chaos suite (CHAOS_SEED=${CHAOS_SEED:-default})"
+cargo test -q --test chaos_ingestd
+
 echo "CI green."

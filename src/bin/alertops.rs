@@ -35,6 +35,7 @@ use alertops::ingestd::{
 use alertops::react::{audit_blocker_with, review_queue, AuditConfig};
 use alertops::sim::scenarios::{self, Scenario};
 use alertops::sim::SimOutput;
+use alertops_chaos::Backoff;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -42,7 +43,7 @@ fn usage() -> ExitCode {
          [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
          [--json FILE] [--top N] [--threshold N] \
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
-         [--listen ADDR] [--status ADDR] \
+         [--listen ADDR] [--status ADDR] [--chaos] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
@@ -62,6 +63,7 @@ struct Args {
     overflow: OverflowPolicy,
     listen: String,
     status: String,
+    chaos: bool,
     // replay
     connect: String,
     rate: u64,
@@ -85,6 +87,7 @@ fn parse_args() -> Option<Args> {
         overflow: OverflowPolicy::Block,
         listen: "127.0.0.1:4501".to_owned(),
         status: "127.0.0.1:4502".to_owned(),
+        chaos: false,
         connect: "127.0.0.1:4501".to_owned(),
         rate: 0,
         flush_every: 0,
@@ -93,6 +96,10 @@ fn parse_args() -> Option<Args> {
     while let Some(flag) = argv.next() {
         if flag == "--shutdown" {
             args.shutdown = true;
+            continue;
+        }
+        if flag == "--chaos" {
+            args.chaos = true;
             continue;
         }
         let mut value = || argv.next();
@@ -313,6 +320,7 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         streaming: StreamingConfig::default(),
         listen: Some(args.listen.clone()),
         status: Some(args.status.clone()),
+        chaos: args.chaos,
     };
     let handle = match Ingestd::spawn(&config, |shard, shards| {
         let catalog = shard_catalog(out.catalog.strategies(), shards, shard);
@@ -332,6 +340,9 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         addr(handle.status_addr()),
     );
     println!("frames: NDJSON alerts | {FLUSH_FRAME} | {SHUTDOWN_FRAME}");
+    if args.chaos {
+        println!("chaos mode: panic/stall/resume control frames accepted");
+    }
     handle.wait_for_shutdown_request();
     let counters = handle.counters();
     handle.shutdown();
@@ -353,10 +364,43 @@ fn run_replay(args: &Args, out: &SimOutput) -> ExitCode {
     }
 }
 
+/// One replay connection (split read/write halves of the same stream).
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Connects with capped exponential backoff and seeded jitter, so a
+/// daemon restarting mid-replay is retried instead of fatal (and
+/// reconnect storms from parallel replayers decorrelate).
+fn connect_with_backoff(addr: &str, backoff: &mut Backoff) -> std::io::Result<Connection> {
+    const MAX_ATTEMPTS: u32 = 8;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let reader = BufReader::new(stream.try_clone()?);
+                backoff.reset();
+                return Ok(Connection {
+                    reader,
+                    writer: BufWriter::new(stream),
+                });
+            }
+            Err(err) if backoff.attempts() + 1 < MAX_ATTEMPTS => {
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "connect to {addr} failed ({err}); retry {} in {delay:?}",
+                    backoff.attempts()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
 fn replay_trace(args: &Args, out: &SimOutput) -> std::io::Result<()> {
-    let stream = TcpStream::connect(&args.connect)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut backoff = Backoff::new(Duration::from_millis(25), Duration::from_secs(2), args.seed);
+    let mut conn = connect_with_backoff(&args.connect, &mut backoff)?;
     let started = Instant::now();
     for (index, alert) in out.alerts.iter().enumerate() {
         // Pace against the absolute schedule so encoding time does not
@@ -364,19 +408,26 @@ fn replay_trace(args: &Args, out: &SimOutput) -> std::io::Result<()> {
         if let Some(interval) = (index as u64 * 1_000_000).checked_div(args.rate) {
             let due = started + Duration::from_micros(interval);
             if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                writer.flush()?;
+                conn.writer.flush()?;
                 std::thread::sleep(wait);
             }
         }
-        writeln!(writer, "{}", encode_alert(alert))?;
+        let line = encode_alert(alert);
+        if writeln!(conn.writer, "{line}").is_err() || conn.writer.flush().is_err() {
+            // Connection reset mid-stream: reconnect and resend this
+            // alert (the daemon quarantines any half-written frame).
+            eprintln!("connection lost at alert {index}; reconnecting");
+            conn = connect_with_backoff(&args.connect, &mut backoff)?;
+            writeln!(conn.writer, "{line}")?;
+        }
         if args.flush_every > 0 && (index + 1) % args.flush_every == 0 {
             println!(
                 "  window: {}",
-                send_frame(&mut writer, &mut reader, FLUSH_FRAME)?
+                send_frame(&mut conn.writer, &mut conn.reader, FLUSH_FRAME)?
             );
         }
     }
-    let ack = send_frame(&mut writer, &mut reader, FLUSH_FRAME)?;
+    let ack = send_frame(&mut conn.writer, &mut conn.reader, FLUSH_FRAME)?;
     println!(
         "replayed {} alert(s) in {:.2}s; final {ack}",
         out.alerts.len(),
@@ -385,7 +436,7 @@ fn replay_trace(args: &Args, out: &SimOutput) -> std::io::Result<()> {
     if args.shutdown {
         println!(
             "daemon said: {}",
-            send_frame(&mut writer, &mut reader, SHUTDOWN_FRAME)?
+            send_frame(&mut conn.writer, &mut conn.reader, SHUTDOWN_FRAME)?
         );
     }
     Ok(())

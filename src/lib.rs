@@ -20,6 +20,7 @@
 //! | [`survey`] | `alertops-survey` | The 18-OCE survey dataset and Likert analysis |
 //! | [`core`] | `alertops-core` | The [`AlertGovernor`](core::AlertGovernor) facade |
 //! | [`ingestd`] | `alertops-ingestd` | The sharded streaming ingestion daemon |
+//! | [`chaos`] | `alertops-chaos` | Seeded fault schedules, frame corruption, backoff |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use alertops_chaos as chaos;
 pub use alertops_core as core;
 pub use alertops_detect as detect;
 pub use alertops_ingestd as ingestd;

@@ -1,0 +1,721 @@
+//! The chaos scenario matrix for `alertops-ingestd`: every fault kind
+//! in `alertops-chaos`, crossed with both overflow policies and both
+//! shard counts, driven over real TCP against a live daemon.
+//!
+//! The oracle is exact accounting, not survival vibes. The driver
+//! keeps a model of what each injected fault is allowed to cost: which
+//! alerts the daemon must still acknowledge, which are lost at the
+//! transport (quarantined) or to a crashed worker (dropped), and which
+//! shards must appear in `GovernanceSnapshot::degraded`. After every
+//! window the merged snapshot must equal a fault-free single-shard
+//! governor fed exactly the modeled survivors, and at the end of every
+//! cell `ingested == delivered + dropped + quarantined` must hold to
+//! the unit. Every assertion names the seed that replays it; export
+//! `CHAOS_SEED=<seed>` to pin a run.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use alertops::chaos::{
+    garble_frame, seed_from_env, silence_panics_containing, truncate_frame, ChaosConfig, ChaosKind,
+    ChaosRng, ChaosSchedule,
+};
+use alertops::core::prelude::*;
+use alertops::detect::StormConfig;
+use alertops::ingestd::codec::{encode_alert, encode_stall_ack, encode_sync_ack};
+use alertops::ingestd::{
+    shard_catalog, shard_of, Ingestd, IngestdConfig, IngestdHandle, OverflowPolicy,
+    CHAOS_PANIC_MSG, SYNC_FRAME,
+};
+use alertops::model::LogRule;
+use alertops::sim::scenarios;
+use alertops::sim::SimOutput;
+
+/// Default base seed; `CHAOS_SEED` overrides it (see `seed_from_env`).
+const BASE_SEED: u64 = 0xA1E7_0005_C4A0_05ED;
+/// Shard queue capacity in queue-overflow cells (tiny on purpose).
+const OVERFLOW_QUEUE: usize = 8;
+/// Alerts per queue-overflow burst; must exceed [`OVERFLOW_QUEUE`].
+const BURST_LEN: usize = 24;
+/// Trace length per cell: three windows of 120.
+const TRACE_LEN: usize = 360;
+
+/// The injected A5 strategy: not part of any scenario catalog.
+const REPEATER: StrategyId = StrategyId(9001);
+
+fn repeater_strategy() -> AlertStrategy {
+    AlertStrategy::builder(REPEATER)
+        .title_template("haproxy process number warning")
+        .kind(StrategyKind::Log(LogRule {
+            keyword: "WARN".into(),
+            min_count: 1,
+            window: SimDuration::from_mins(5),
+        }))
+        .build()
+        .expect("repeater strategy is well-formed")
+}
+
+/// 22 alerts/hour for three consecutive hours: trips the A5 burst rule
+/// deterministically, so chaos windows carry real findings.
+fn repeater_alerts() -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for hour in 0..3u64 {
+        for i in 0..22u64 {
+            alerts.push(
+                Alert::builder(AlertId(1_000_000 + hour * 100 + i), REPEATER)
+                    .title("haproxy process number warning")
+                    .raised_at(SimTime::from_secs(hour * 3_600 + i * 163))
+                    .build(),
+            );
+        }
+    }
+    alerts
+}
+
+fn shard_governor(strategies: &[AlertStrategy], shards: usize, shard: usize) -> StreamingGovernor {
+    let catalog = shard_catalog(strategies, shards, shard);
+    StreamingGovernor::new(
+        AlertGovernor::new(catalog, GovernorConfig::default()),
+        StreamingConfig::default(),
+    )
+}
+
+fn full_catalog(out: &SimOutput) -> Vec<AlertStrategy> {
+    let mut strategies = out.catalog.strategies().to_vec();
+    strategies.push(repeater_strategy());
+    strategies
+}
+
+/// The scenario trace every cell replays: the quickstart simulation
+/// plus the injected repeater, time-sorted, capped at [`TRACE_LEN`].
+fn chaos_trace() -> (Vec<AlertStrategy>, Vec<Alert>) {
+    let out = scenarios::quickstart(7).run();
+    let strategies = full_catalog(&out);
+    let mut trace = out.alerts.clone();
+    trace.extend(repeater_alerts());
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    trace.truncate(TRACE_LEN);
+    assert_eq!(
+        trace.len(),
+        TRACE_LEN,
+        "quickstart trace shorter than expected"
+    );
+    (strategies, trace)
+}
+
+/// Strips the fields sharding and chaos are *not* exact for: triage
+/// (cross-strategy correlation runs within each shard only) and the
+/// degraded list (the fault-free oracle never degrades — the driver
+/// asserts `degraded` separately against the model).
+fn comparable(snapshot: &GovernanceSnapshot) -> GovernanceSnapshot {
+    GovernanceSnapshot {
+        triage: Vec::new(),
+        degraded: Vec::new(),
+        ..snapshot.clone()
+    }
+}
+
+/// One NDJSON producer connection (write frames, read acks).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect to ingress");
+        let reader = BufReader::new(writer.try_clone().expect("clone socket"));
+        Conn { reader, writer }
+    }
+
+    fn send(&mut self, frame: &[u8]) {
+        self.writer.write_all(frame).expect("write frame");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    fn read_ack(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read ack line");
+        line.trim().to_owned()
+    }
+
+    /// Drain barrier over the wire: everything sent on this connection
+    /// before the call has been consumed by its shard worker after it.
+    fn sync(&mut self) {
+        self.send(SYNC_FRAME.as_bytes());
+        assert_eq!(self.read_ack(), encode_sync_ack());
+    }
+}
+
+/// What the daemon is allowed to cost so far, updated fault by fault.
+struct Model {
+    shards: usize,
+    /// Complete alert frames handed to the router (wire or burst).
+    routed: u64,
+    q_invalid_json: u64,
+    q_invalid_utf8: u64,
+    dropped: u64,
+    restarts: u64,
+    delivered: u64,
+    degraded_windows: u64,
+    backpressure_events: u64,
+    /// Alerts routed this window that should survive to its close.
+    pending: Vec<Alert>,
+    /// Shards whose next window close must panic (armed poison).
+    poisoned: BTreeSet<usize>,
+    /// Shards that must be listed degraded at this window's close.
+    degraded: BTreeSet<usize>,
+}
+
+impl Model {
+    fn new(shards: usize) -> Self {
+        Model {
+            shards,
+            routed: 0,
+            q_invalid_json: 0,
+            q_invalid_utf8: 0,
+            dropped: 0,
+            restarts: 0,
+            delivered: 0,
+            degraded_windows: 0,
+            backpressure_events: 0,
+            pending: Vec::new(),
+            poisoned: BTreeSet::new(),
+            degraded: BTreeSet::new(),
+        }
+    }
+
+    fn quarantined(&self) -> u64 {
+        self.q_invalid_json + self.q_invalid_utf8
+    }
+
+    /// Removes this window's pending alerts belonging to `shard` (they
+    /// died with its worker) and returns how many were lost.
+    fn drop_pending_for(&mut self, shard: usize) -> u64 {
+        let before = self.pending.len();
+        self.pending
+            .retain(|a| shard_of(a.strategy(), self.shards) != shard);
+        (before - self.pending.len()) as u64
+    }
+}
+
+fn poll_until(what: &str, ctx: &str, mut ok: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ok() {
+        assert!(
+            Instant::now() < deadline,
+            "{ctx}: timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One matrix cell: a live daemon, a producer connection, the model,
+/// and the fault-free oracle it is compared against.
+struct CellDriver {
+    ctx: String,
+    addr: SocketAddr,
+    conn: Conn,
+    handle: IngestdHandle,
+    model: Model,
+    oracle: StreamingGovernor,
+    rng: ChaosRng,
+    overflow: OverflowPolicy,
+}
+
+impl CellDriver {
+    /// Applies one scheduled fault just before trace position
+    /// `position`; returns whether the alert at that position should
+    /// still be delivered normally afterwards.
+    fn apply_event(&mut self, kind: ChaosKind, position: usize, alert: &Alert) -> bool {
+        match kind {
+            ChaosKind::ConnectionReset => {
+                // Half a frame, then a dead socket: the daemon must
+                // quarantine the partial line (FrameDecoder::finish)
+                // and keep every complete frame sent before it.
+                let partial = truncate_frame(&encode_alert(alert), &mut self.rng);
+                self.conn
+                    .writer
+                    .write_all(&partial)
+                    .expect("write partial frame");
+                self.conn = Conn::open(self.addr);
+                self.model.q_invalid_json += 1;
+                let want_ingested = self.model.routed + self.model.quarantined();
+                let want_quarantined = self.model.quarantined();
+                let handle = &self.handle;
+                poll_until("reset quarantine", &self.ctx, || {
+                    let c = handle.counters();
+                    c.ingested == want_ingested && c.decode_errors == want_quarantined
+                });
+                true // the producer resends the alert whole
+            }
+            ChaosKind::TruncatedFrame => {
+                self.conn
+                    .send(&truncate_frame(&encode_alert(alert), &mut self.rng));
+                self.model.q_invalid_json += 1;
+                false // lost at the transport
+            }
+            ChaosKind::CorruptFrame => {
+                self.conn
+                    .send(&garble_frame(&encode_alert(alert), &mut self.rng));
+                self.model.q_invalid_utf8 += 1;
+                false // lost at the transport
+            }
+            ChaosKind::SlowConsumer { millis } => {
+                std::thread::sleep(Duration::from_millis(millis));
+                self.conn.sync(); // liveness probe: the daemon still answers
+                true
+            }
+            ChaosKind::WorkerPanic { shard } => {
+                self.conn
+                    .send(format!(r#"{{"ctrl":"panic","shard":{shard}}}"#).as_bytes());
+                self.model.restarts += 1;
+                let lost = self.model.drop_pending_for(shard);
+                self.model.dropped += lost;
+                self.model.degraded.insert(shard);
+                true
+            }
+            ChaosKind::WorkerPanicOnClose { shard } => {
+                self.conn.send(
+                    format!(r#"{{"ctrl":"panic","shard":{shard},"on_close":true}}"#).as_bytes(),
+                );
+                self.model.poisoned.insert(shard);
+                true
+            }
+            ChaosKind::QueueOverflow { shard: _, burst } => {
+                self.overflow_storm(position, alert, burst);
+                true
+            }
+        }
+    }
+
+    /// Parks a worker, slams a burst at its full queue, and models the
+    /// outcome per overflow policy. The storm targets the shard of the
+    /// alert at this position — a shard that demonstrably owns catalog
+    /// strategies — rather than the schedule's blind draw.
+    fn overflow_storm(&mut self, position: usize, alert: &Alert, burst: usize) {
+        let target = shard_of(alert.strategy(), self.model.shards);
+        self.conn
+            .send(format!(r#"{{"ctrl":"stall","shard":{target}}}"#).as_bytes());
+        assert_eq!(
+            self.conn.read_ack(),
+            encode_stall_ack(target),
+            "{}: stall ack",
+            self.ctx
+        );
+        // Stall acked: the worker is parked and its queue is empty.
+        let burst_alerts: Vec<Alert> = (0..burst)
+            .map(|k| {
+                Alert::builder(
+                    AlertId(5_000_000 + (position as u64) * 1_000 + k as u64),
+                    alert.strategy(),
+                )
+                .title("chaos overflow burst probe")
+                .raised_at(alert.raised_at())
+                .build()
+            })
+            .collect();
+        for b in &burst_alerts {
+            self.conn.send(encode_alert(b).as_bytes());
+        }
+        self.model.routed += burst as u64;
+        match self.overflow {
+            OverflowPolicy::Drop => {
+                // In-band resume: the connection handler routes the
+                // whole burst (worker parked, queue at capacity
+                // OVERFLOW_QUEUE) before it reaches the resume frame,
+                // so exactly the first `capacity` alerts survive.
+                self.conn
+                    .send(format!(r#"{{"ctrl":"resume","shard":{target}}}"#).as_bytes());
+                self.conn.sync();
+                let kept = OVERFLOW_QUEUE.min(burst);
+                self.model
+                    .pending
+                    .extend(burst_alerts[..kept].iter().cloned());
+                self.model.dropped += (burst - kept) as u64;
+            }
+            OverflowPolicy::Block => {
+                // The handler blocks inside route() once the queue
+                // fills, so resume must come out of band — but only
+                // after backpressure demonstrably engaged.
+                let waits_before = self.handle.counters().backpressure_waits;
+                let handle = &self.handle;
+                poll_until("backpressure to engage", &self.ctx, || {
+                    handle.counters().backpressure_waits > waits_before
+                });
+                self.handle.resume_shard(target);
+                self.conn.sync();
+                self.model.pending.extend(burst_alerts.iter().cloned());
+                self.model.backpressure_events += 1;
+            }
+        }
+    }
+
+    /// Closes the window on the daemon and checks it against the
+    /// fault-free oracle fed the modeled survivors.
+    fn close_window(&mut self) {
+        self.conn.sync();
+        // Armed close-poisons fire inside this close: the poisoned
+        // shard loses its whole window and restarts.
+        for shard in std::mem::take(&mut self.model.poisoned) {
+            self.model.restarts += 1;
+            let lost = self.model.drop_pending_for(shard);
+            self.model.dropped += lost;
+            self.model.degraded.insert(shard);
+        }
+        // Settle quarantines from connections the driver abandoned.
+        let want_ingested = self.model.routed + self.model.quarantined();
+        let want_quarantined = self.model.quarantined();
+        let handle = &self.handle;
+        poll_until("ingress settlement", &self.ctx, || {
+            let c = handle.counters();
+            c.ingested == want_ingested && c.decode_errors == want_quarantined
+        });
+
+        let snapshot = self.handle.flush().expect("flush yields a snapshot");
+        let mut window = std::mem::take(&mut self.model.pending);
+        window.sort_by_key(|a| (a.raised_at(), a.id()));
+        let delta = self.oracle.ingest(&window, &[]);
+        let want = GovernanceSnapshot::merge(&[delta], &StormConfig::default());
+
+        let degraded: Vec<usize> = self.model.degraded.iter().copied().collect();
+        assert_eq!(snapshot.degraded, degraded, "{}: degraded shards", self.ctx);
+        assert_eq!(
+            snapshot.alert_count,
+            window.len(),
+            "{}: window alert count",
+            self.ctx
+        );
+        assert_eq!(
+            comparable(&snapshot),
+            comparable(&want),
+            "{}: merged snapshot diverged from the fault-free oracle",
+            self.ctx
+        );
+
+        self.model.delivered += window.len() as u64;
+        if !degraded.is_empty() {
+            self.model.degraded_windows += 1;
+        }
+        self.model.degraded.clear();
+    }
+
+    /// Final exact accounting, then clean shutdown.
+    fn finish(self) {
+        let CellDriver {
+            ctx,
+            conn,
+            handle,
+            model,
+            overflow,
+            ..
+        } = self;
+        // The daemon joins its workers on shutdown, and workers only
+        // exit once every routing handle is gone — close ours first.
+        drop(conn);
+        let ctx = &ctx;
+        let model = &model;
+        let counters = handle.counters();
+        assert!(
+            counters.is_conserved(),
+            "{ctx}: conservation law violated: {counters:?}"
+        );
+        assert_eq!(
+            counters.ingested,
+            model.routed + model.quarantined(),
+            "{ctx}: ingested"
+        );
+        assert_eq!(counters.delivered, model.delivered, "{ctx}: delivered");
+        assert_eq!(counters.dropped, model.dropped, "{ctx}: dropped");
+        assert_eq!(
+            counters.decode_errors,
+            model.quarantined(),
+            "{ctx}: quarantined"
+        );
+        assert_eq!(
+            counters.quarantined_invalid_json, model.q_invalid_json,
+            "{ctx}: invalid-json quarantine"
+        );
+        assert_eq!(
+            counters.quarantined_invalid_utf8, model.q_invalid_utf8,
+            "{ctx}: invalid-utf8 quarantine"
+        );
+        assert_eq!(counters.quarantined_unknown_control, 0, "{ctx}");
+        assert_eq!(counters.windows_closed, 3, "{ctx}: windows closed");
+        assert_eq!(counters.shard_restarts, model.restarts, "{ctx}: restarts");
+        assert_eq!(
+            counters.degraded_windows, model.degraded_windows,
+            "{ctx}: degraded windows"
+        );
+        match overflow {
+            OverflowPolicy::Block => assert!(
+                counters.backpressure_waits >= model.backpressure_events,
+                "{ctx}: backpressure never engaged: {counters:?}"
+            ),
+            OverflowPolicy::Drop => assert_eq!(
+                counters.backpressure_waits, 0,
+                "{ctx}: drop policy must never block"
+            ),
+        }
+        handle.shutdown();
+    }
+}
+
+/// Schedule exactly two events of the cell's kind over the trace.
+fn cell_chaos_config(label: &str, trace_len: usize, shards: usize) -> ChaosConfig {
+    let mut config = ChaosConfig {
+        trace_len,
+        shards,
+        resets: 0,
+        truncations: 0,
+        corruptions: 0,
+        stalls: 0,
+        panics: 0,
+        close_panics: 0,
+        overflows: 0,
+        burst_len: BURST_LEN,
+    };
+    match label {
+        "connection_reset" => config.resets = 2,
+        "truncated_frame" => config.truncations = 2,
+        "corrupt_frame" => config.corruptions = 2,
+        "slow_consumer" => config.stalls = 2,
+        "worker_panic" => config.panics = 2,
+        "worker_panic_on_close" => config.close_panics = 2,
+        "queue_overflow" => config.overflows = 2,
+        other => panic!("unknown chaos cell kind {other}"),
+    }
+    config
+}
+
+/// Derives the cell's seed from the base seed, the fault kind, and the
+/// cell's position in the matrix — stable across runs, distinct across
+/// cells.
+fn cell_seed(base: u64, label: &str, cell: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for byte in label.bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaosRng::new(base ^ h ^ (cell as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn run_cell(
+    strategies: &[AlertStrategy],
+    trace: &[Alert],
+    label: &'static str,
+    overflow: OverflowPolicy,
+    shards: usize,
+    seed: u64,
+) {
+    silence_panics_containing(CHAOS_PANIC_MSG);
+    let ctx = format!("cell {label}/{overflow:?}/{shards}-shard (seed {seed})");
+    let schedule = ChaosSchedule::generate(seed, &cell_chaos_config(label, trace.len(), shards));
+    assert_eq!(schedule.len(), 2, "{ctx}: two events per cell");
+    let is_overflow = label == "queue_overflow";
+
+    let config = IngestdConfig {
+        shards,
+        queue_capacity: if is_overflow { OVERFLOW_QUEUE } else { 4096 },
+        overflow,
+        chaos: true,
+        listen: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    let addr = handle.ingest_addr().expect("ingress bound");
+    let mut driver = CellDriver {
+        ctx,
+        addr,
+        conn: Conn::open(addr),
+        handle,
+        model: Model::new(shards),
+        oracle: shard_governor(strategies, 1, 0),
+        rng: ChaosRng::new(seed ^ 0xC0FF_EE00_D15E_A5ED),
+        overflow,
+    };
+
+    let bounds = [trace.len() / 3, 2 * trace.len() / 3, trace.len()];
+    for (i, alert) in trace.iter().enumerate() {
+        let mut deliver = true;
+        for event in schedule.events_at(i) {
+            deliver &= driver.apply_event(event.kind, i, alert);
+        }
+        if deliver {
+            driver.conn.send(encode_alert(alert).as_bytes());
+            driver.model.routed += 1;
+            driver.model.pending.push(alert.clone());
+        }
+        // Tiny queues need pacing so only the injected storm overflows.
+        if is_overflow && i % 4 == 3 {
+            driver.conn.sync();
+        }
+        if bounds.contains(&(i + 1)) {
+            driver.close_window();
+        }
+    }
+    driver.finish();
+}
+
+/// Runs one fault kind across {Block, Drop} x {1, 4 shards}.
+fn run_matrix(label: &'static str) {
+    let (strategies, trace) = chaos_trace();
+    let base = seed_from_env(BASE_SEED);
+    let cells = [
+        (OverflowPolicy::Block, 1),
+        (OverflowPolicy::Block, 4),
+        (OverflowPolicy::Drop, 1),
+        (OverflowPolicy::Drop, 4),
+    ];
+    for (cell, (overflow, shards)) in cells.into_iter().enumerate() {
+        let seed = cell_seed(base, label, cell);
+        run_cell(&strategies, &trace, label, overflow, shards, seed);
+    }
+}
+
+#[test]
+fn chaos_matrix_connection_reset() {
+    run_matrix("connection_reset");
+}
+
+#[test]
+fn chaos_matrix_truncated_frame() {
+    run_matrix("truncated_frame");
+}
+
+#[test]
+fn chaos_matrix_corrupt_frame() {
+    run_matrix("corrupt_frame");
+}
+
+#[test]
+fn chaos_matrix_slow_consumer() {
+    run_matrix("slow_consumer");
+}
+
+#[test]
+fn chaos_matrix_worker_panic() {
+    run_matrix("worker_panic");
+}
+
+#[test]
+fn chaos_matrix_worker_panic_on_close() {
+    run_matrix("worker_panic_on_close");
+}
+
+#[test]
+fn chaos_matrix_queue_overflow() {
+    run_matrix("queue_overflow");
+}
+
+/// The ISSUE's end-to-end acceptance check, stated explicitly: a panic
+/// mid-window restarts the shard, degrades exactly that window's
+/// snapshot, and the next window is clean again.
+#[test]
+fn mid_window_panic_degrades_one_window_then_recovers() {
+    silence_panics_containing(CHAOS_PANIC_MSG);
+    let strategies = vec![repeater_strategy()];
+    let shards = 4;
+    let target = shard_of(REPEATER, shards);
+    let config = IngestdConfig {
+        shards,
+        chaos: true,
+        listen: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    let mut conn = Conn::open(handle.ingest_addr().expect("ingress bound"));
+    let alerts = repeater_alerts();
+
+    // Window 0: clean.
+    for alert in &alerts[..20] {
+        conn.send(encode_alert(alert).as_bytes());
+    }
+    conn.sync();
+    let snap0 = handle.flush().expect("window 0 closes");
+    assert!(snap0.degraded.is_empty(), "window 0 must be clean");
+    assert_eq!(snap0.alert_count, 20);
+
+    // Window 1: ten alerts, a panic, ten more. The first ten die with
+    // the worker; the supervisor restarts it in time for the rest.
+    for alert in &alerts[20..30] {
+        conn.send(encode_alert(alert).as_bytes());
+    }
+    conn.send(format!(r#"{{"ctrl":"panic","shard":{target}}}"#).as_bytes());
+    for alert in &alerts[30..40] {
+        conn.send(encode_alert(alert).as_bytes());
+    }
+    conn.sync();
+    let snap1 = handle.flush().expect("window 1 closes");
+    assert_eq!(
+        snap1.degraded,
+        vec![target],
+        "the crashed shard must be reported degraded"
+    );
+    assert_eq!(
+        snap1.alert_count, 10,
+        "only post-restart alerts survive the window"
+    );
+
+    // Window 2: clean again — degradation must not persist.
+    for alert in &alerts[40..60] {
+        conn.send(encode_alert(alert).as_bytes());
+    }
+    conn.sync();
+    let snap2 = handle.flush().expect("window 2 closes");
+    assert!(snap2.degraded.is_empty(), "degradation must not persist");
+    assert_eq!(snap2.alert_count, 20);
+
+    let counters = handle.counters();
+    assert_eq!(counters.shard_restarts, 1);
+    assert_eq!(counters.dropped, 10);
+    assert_eq!(counters.delivered, 50);
+    assert_eq!(counters.degraded_windows, 1);
+    assert!(counters.is_conserved(), "{counters:?}");
+    drop(conn);
+    handle.shutdown();
+}
+
+/// Without `chaos: true`, fault-injection frames are inert: they are
+/// quarantined as unknown controls and the daemon keeps serving.
+#[test]
+fn chaos_frames_are_quarantined_when_chaos_mode_is_off() {
+    let strategies = vec![repeater_strategy()];
+    let config = IngestdConfig {
+        shards: 2,
+        listen: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    let mut conn = Conn::open(handle.ingest_addr().expect("ingress bound"));
+
+    conn.send(br#"{"ctrl":"panic","shard":0}"#);
+    conn.send(br#"{"ctrl":"stall","shard":0}"#);
+    conn.send(br#"{"ctrl":"resume","shard":0}"#);
+    conn.send(br#"{"ctrl":"warp","shard":1}"#);
+    conn.sync();
+    let counters = handle.counters();
+    assert_eq!(counters.quarantined_unknown_control, 4);
+    assert_eq!(counters.ingested, 4, "quarantines count as ingested");
+    assert_eq!(counters.shard_restarts, 0, "no worker may have crashed");
+
+    // And the daemon still serves real traffic afterwards.
+    conn.send(encode_alert(&repeater_alerts()[0]).as_bytes());
+    conn.sync();
+    assert_eq!(handle.counters().ingested, 5);
+    let snapshot = handle.flush().expect("window closes");
+    assert_eq!(snapshot.alert_count, 1, "the real alert got through");
+    assert!(handle.counters().is_conserved());
+    drop(conn);
+    handle.shutdown();
+}
