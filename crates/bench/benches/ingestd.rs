@@ -2,7 +2,10 @@
 //! through route → window close → merge at 1, 4, and 8 shards, plus
 //! the cost of supervised crash recovery (a chaos-injected worker
 //! panic mid-window: restart, checkpoint rehydration, degraded merge)
-//! against the fault-free baseline.
+//! against the fault-free baseline, plus the full observability layer
+//! (stage histograms, span timers, frame counters) against a
+//! metrics-free run — the observer-only claim says the delta should be
+//! a few relaxed atomic adds per event, a few percent at most.
 //!
 //! Sockets are left out so the numbers isolate the daemon's own
 //! pipeline (sharding, bounded queues, per-shard detection, the merge
@@ -101,5 +104,52 @@ fn bench_chaos_supervision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingestd, bench_chaos_supervision);
+/// Metrics on vs off: the same trace and window close at 4 shards,
+/// with the only difference being [`IngestdConfig::metrics`] — so the
+/// delta is exactly the cost of the instrumentation (relaxed atomic
+/// bumps, histogram bucket adds, `Instant::now` pairs per span).
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let strategies = out.catalog.strategies().to_vec();
+    let shards = 4usize;
+
+    let mut group = c.benchmark_group("ingestd_metrics");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(out.alerts.len() as u64));
+    for (name, metrics) in [("metrics_off", false), ("metrics_on", true)] {
+        let config = IngestdConfig {
+            shards,
+            queue_capacity: 8192,
+            metrics,
+            ..IngestdConfig::default()
+        };
+        let handle = Ingestd::spawn(&config, |shard, shards| {
+            StreamingGovernor::new(
+                AlertGovernor::new(
+                    shard_catalog(&strategies, shards, shard),
+                    GovernorConfig::default(),
+                ),
+                StreamingConfig::default(),
+            )
+        })
+        .expect("daemon starts");
+        group.bench_function(format!("{name}_{shards}_shards"), |b| {
+            b.iter(|| {
+                for alert in &out.alerts {
+                    handle.route(alert.clone());
+                }
+                black_box(handle.flush().expect("flush yields a snapshot"))
+            });
+        });
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingestd,
+    bench_chaos_supervision,
+    bench_metrics_overhead
+);
 criterion_main!(benches);

@@ -58,7 +58,9 @@ static SILENCED: Mutex<Vec<String>> = Mutex::new(Vec::new());
 /// times (markers accumulate); the hook chains to whatever hook was
 /// installed before the first call.
 pub fn silence_panics_containing(marker: &str) {
-    let mut silenced = SILENCED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut silenced = SILENCED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let install = silenced.is_empty();
     if !silenced.iter().any(|m| m == marker) {
         silenced.push(marker.to_string());
@@ -73,7 +75,9 @@ pub fn silence_panics_containing(marker: &str) {
                 .map(ToString::to_string)
                 .or_else(|| info.payload().downcast_ref::<String>().cloned())
                 .unwrap_or_default();
-            let silenced = SILENCED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let silenced = SILENCED
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if silenced.iter().any(|m| message.contains(m.as_str())) {
                 return;
             }

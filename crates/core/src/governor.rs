@@ -10,6 +10,7 @@ use alertops_react::correlation::AlertCorrelator;
 use alertops_react::{AggregationConfig, ReactionPipeline};
 
 use crate::guidelines::{GuidelineContext, GuidelineLinter};
+use crate::metrics::GovernorMetrics;
 use crate::reports::GovernanceReport;
 
 /// Configuration for [`AlertGovernor`].
@@ -38,6 +39,7 @@ pub struct AlertGovernor {
     sops: HashMap<StrategyId, Sop>,
     graph: Option<DependencyGraph>,
     config: GovernorConfig,
+    metrics: Option<GovernorMetrics>,
 }
 
 impl AlertGovernor {
@@ -49,7 +51,30 @@ impl AlertGovernor {
             sops: HashMap::new(),
             graph: None,
             config,
+            metrics: None,
         }
+    }
+
+    /// Attaches metric handles (detector wall time, reaction-stage
+    /// timings, streaming-ingest latency). Metrics are observer-only:
+    /// every report the governor produces is identical with or without
+    /// them.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: GovernorMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// In-place variant of [`with_metrics`](Self::with_metrics), for
+    /// instrumenting a governor already wrapped in a larger structure.
+    pub fn set_metrics(&mut self, metrics: GovernorMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metric handles, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&GovernorMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Registers SOPs (keyed by their strategy).
@@ -101,7 +126,7 @@ impl AlertGovernor {
         if let Some(graph) = &self.graph {
             input = input.with_graph(graph);
         }
-        AntiPatternReport::run_default(&input)
+        AntiPatternReport::run_instrumented(&input, self.metrics.as_ref().map(|m| &m.detect))
     }
 
     /// Derives R1 blocking rules from transient/toggling (A4) and
@@ -130,11 +155,14 @@ impl AlertGovernor {
         if let Some(graph) = &self.graph {
             correlator = correlator.with_topology(graph.clone());
         }
-        ReactionPipeline::new()
+        let mut pipeline = ReactionPipeline::new()
             .with_blocker(blocker)
             .with_aggregation(self.config.aggregation.clone())
-            .with_correlator(correlator)
-            .run(alerts)
+            .with_correlator(correlator);
+        if let Some(metrics) = &self.metrics {
+            pipeline = pipeline.with_metrics(metrics.react.clone());
+        }
+        pipeline.run(alerts)
     }
 
     /// Evidence-based QoA scores for every strategy, worst overall

@@ -56,6 +56,7 @@
 
 mod governor;
 mod guidelines;
+mod metrics;
 mod postmortem;
 mod remediation;
 mod reports;
@@ -65,6 +66,7 @@ pub mod prelude;
 
 pub use governor::{AlertGovernor, GovernorConfig};
 pub use guidelines::{GuidelineAspect, GuidelineContext, GuidelineLinter, GuidelineViolation};
+pub use metrics::GovernorMetrics;
 pub use postmortem::{render_postmortem, PostmortemInput};
 pub use remediation::{apply_fixes, suggest_fixes, FixAction, RemediationConfig, StrategyFix};
 pub use reports::GovernanceReport;

@@ -1,0 +1,67 @@
+//! Governor-level metric handles.
+
+use std::sync::Arc;
+
+use alertops_detect::DetectMetrics;
+use alertops_obs::{Histogram, MetricsRegistry, Span};
+use alertops_react::ReactMetrics;
+
+/// The full metric bundle an instrumented [`AlertGovernor`] records
+/// into: the detect and react handles plus a streaming-ingest wall-time
+/// histogram.
+///
+/// Like everything in `alertops-obs`, this is an observer: a governor
+/// with metrics attached produces byte-identical reports, deltas, and
+/// snapshots to one without (the chaos-determinism suite asserts this
+/// end to end).
+///
+/// [`AlertGovernor`]: crate::AlertGovernor
+#[derive(Debug, Clone)]
+pub struct GovernorMetrics {
+    /// Anti-pattern detector handles.
+    pub detect: DetectMetrics,
+    /// Reaction-pipeline handles.
+    pub react: ReactMetrics,
+    /// Wall time of one full streaming-window ingest (detection over
+    /// the rolling history + reaction over the window).
+    ingest_micros: Arc<Histogram>,
+}
+
+impl GovernorMetrics {
+    /// Registers (or re-attaches to) every governor metric family.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            detect: DetectMetrics::register(registry),
+            react: ReactMetrics::register(registry),
+            ingest_micros: registry.histogram(
+                "alertops_streaming_ingest_micros",
+                "Wall time of one streaming-window ingest (detect + react).",
+                &[],
+            ),
+        }
+    }
+
+    /// Starts a wall-time span for one streaming ingest.
+    #[must_use]
+    pub fn ingest_timer(&self) -> Span<'_> {
+        self.ingest_micros.time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_families() {
+        let registry = MetricsRegistry::new();
+        let metrics = GovernorMetrics::register(&registry);
+        drop(metrics.ingest_timer());
+        let text = registry.render();
+        assert!(text.contains("alertops_streaming_ingest_micros_count 1"));
+        assert!(text.contains("alertops_detector_micros"));
+        assert!(text.contains("alertops_react_stage_micros"));
+        alertops_obs::lint_exposition(&text).unwrap();
+    }
+}

@@ -2,9 +2,9 @@
 //! governor plus the most commonly used types of every layer.
 
 pub use crate::{
-    AlertGovernor, GovernanceReport, GovernanceSnapshot, GovernorConfig, GuidelineAspect,
-    GuidelineContext, GuidelineLinter, GuidelineViolation, StreamingConfig, StreamingGovernor,
-    WindowDelta,
+    AlertGovernor, GovernanceReport, GovernanceSnapshot, GovernorConfig, GovernorMetrics,
+    GuidelineAspect, GuidelineContext, GuidelineLinter, GuidelineViolation, StreamingConfig,
+    StreamingGovernor, WindowDelta,
 };
 
 pub use alertops_detect::{

@@ -219,6 +219,16 @@ impl StreamingGovernor {
         &self.governor
     }
 
+    /// Attaches metric handles to the wrapped governor: detector and
+    /// reaction-stage instrumentation plus a wall-time histogram over
+    /// each [`ingest`](Self::ingest) call. Observer-only — deltas are
+    /// identical with or without metrics.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: crate::GovernorMetrics) -> Self {
+        self.governor.set_metrics(metrics);
+        self
+    }
+
     /// Number of windows ingested so far.
     #[must_use]
     pub fn windows_ingested(&self) -> u64 {
@@ -235,6 +245,7 @@ impl StreamingGovernor {
     /// declared during it, re-runs detection over the rolling history,
     /// and returns the delta.
     pub fn ingest(&mut self, window: &[Alert], incidents: &[Incident]) -> WindowDelta {
+        let _span = self.governor.metrics().map(|m| m.ingest_timer());
         self.history.push_back(window.to_vec());
         while self.history.len() > self.config.history_windows {
             self.history.pop_front();

@@ -52,6 +52,7 @@
 
 pub mod adjudication;
 pub mod candidates;
+pub mod metrics;
 pub mod report;
 pub mod storm;
 
@@ -71,6 +72,7 @@ pub use a4_transient::TransientTogglingDetector;
 pub use a5_repeating::RepeatingDetector;
 pub use a6_cascading::{CascadeGroup, CascadingDetector};
 pub use input::DetectionInput;
+pub use metrics::DetectMetrics;
 pub use report::{evaluate_sets, AntiPatternReport, PrecisionRecall};
 pub use storm::{region_hour_histogram, storms_from_histogram, AlertStorm, StormConfig};
 pub use types::{AntiPattern, Detector, StrategyFinding};

@@ -9,6 +9,7 @@ use alertops_model::StrategyId;
 
 use crate::a6_cascading::CascadeGroup;
 use crate::input::DetectionInput;
+use crate::metrics::DetectMetrics;
 use crate::types::{AntiPattern, Detector, StrategyFinding};
 use crate::{
     CascadingDetector, ImproperRuleDetector, MisleadingSeverityDetector, RepeatingDetector,
@@ -29,6 +30,19 @@ impl AntiPatternReport {
     /// Runs all six detectors with default configurations.
     #[must_use]
     pub fn run_default(input: &DetectionInput<'_>) -> Self {
+        Self::run_instrumented(input, None)
+    }
+
+    /// Runs all six detectors, optionally recording per-detector wall
+    /// time and finding counts into `metrics`.
+    ///
+    /// Metrics are observer-only: the returned report is identical
+    /// whether `metrics` is `Some` or `None`.
+    #[must_use]
+    pub fn run_instrumented(input: &DetectionInput<'_>, metrics: Option<&DetectMetrics>) -> Self {
+        if let Some(m) = metrics {
+            m.record_run(input.alerts().len() as u64);
+        }
         let detectors: Vec<Box<dyn Detector>> = vec![
             Box::new(UnclearTitleDetector::default()),
             Box::new(MisleadingSeverityDetector::default()),
@@ -38,9 +52,23 @@ impl AntiPatternReport {
         ];
         let mut findings: BTreeMap<AntiPattern, Vec<StrategyFinding>> = BTreeMap::new();
         for detector in detectors {
-            findings.insert(detector.pattern(), detector.detect(input));
+            let pattern = detector.pattern();
+            let found = {
+                let _span = metrics.map(|m| m.detector_timer(pattern));
+                detector.detect(input)
+            };
+            if let Some(m) = metrics {
+                m.record_findings(pattern, found.len() as u64);
+            }
+            findings.insert(pattern, found);
         }
-        let cascades = CascadingDetector::default().detect_groups(input);
+        let cascades = {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::Cascading));
+            CascadingDetector::default().detect_groups(input)
+        };
+        if let Some(m) = metrics {
+            m.record_findings(AntiPattern::Cascading, cascades.len() as u64);
+        }
         Self { findings, cascades }
     }
 

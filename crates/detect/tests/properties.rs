@@ -3,8 +3,29 @@
 use proptest::prelude::*;
 
 use alertops_detect::storm::detect_storms;
-use alertops_detect::{candidates, StormConfig};
-use alertops_model::{Alert, AlertId, Location, SimDuration, SimTime, StrategyId};
+use alertops_detect::{candidates, AntiPatternReport, DetectMetrics, DetectionInput, StormConfig};
+use alertops_model::{
+    Alert, AlertId, AlertStrategy, Location, LogRule, SimDuration, SimTime, StrategyId,
+    StrategyKind,
+};
+use alertops_obs::MetricsRegistry;
+
+/// A dense-id log catalog covering every strategy `arb_alerts` emits.
+fn catalog() -> Vec<AlertStrategy> {
+    (0..8u64)
+        .map(|id| {
+            AlertStrategy::builder(StrategyId(id))
+                .title_template("service latency is abnormal")
+                .kind(StrategyKind::Log(LogRule {
+                    keyword: "ERROR".into(),
+                    min_count: 1,
+                    window: SimDuration::from_mins(5),
+                }))
+                .build()
+                .expect("catalog strategy is well-formed")
+        })
+        .collect()
+}
 
 /// Strategy for generating random alert streams.
 fn arb_alerts(max: usize) -> impl Strategy<Value = Vec<Alert>> {
@@ -78,6 +99,57 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn storm_detection_is_idempotent_per_storm(
+        alerts in arb_alerts(400),
+        threshold in 1usize..40,
+    ) {
+        // DESIGN.md §7: a storm is a maximal run of over-threshold
+        // region-hours. Re-detecting over exactly the alerts a storm
+        // claims must reproduce that storm and nothing else — storms
+        // are a fixed point of their own evidence.
+        let config = StormConfig { hourly_threshold: threshold };
+        for storm in detect_storms(&alerts, &config) {
+            let own: Vec<Alert> = alerts
+                .iter()
+                .filter(|a| {
+                    a.location().region() == &storm.region
+                        && storm.hours.contains(&a.hour_bucket())
+                })
+                .cloned()
+                .collect();
+            let again = detect_storms(&own, &config);
+            prop_assert_eq!(again.len(), 1, "storm evidence re-detects to one storm");
+            prop_assert_eq!(&again[0], &storm);
+        }
+    }
+
+    #[test]
+    fn instrumented_detection_is_observer_only(alerts in arb_alerts(250)) {
+        // The alertops-obs guarantee: attaching metrics must never
+        // change detection output, only record it.
+        let strategies = catalog();
+        let input = DetectionInput::new(&strategies).with_alerts(&alerts);
+        let baseline = AntiPatternReport::run_default(&input);
+
+        let registry = MetricsRegistry::new();
+        let metrics = DetectMetrics::register(&registry);
+        let instrumented = AntiPatternReport::run_instrumented(&input, Some(&metrics));
+        prop_assert_eq!(instrumented, baseline);
+
+        let text = registry.render();
+        prop_assert!(text.contains("alertops_detect_runs_total 1"), "{}", text);
+        prop_assert!(
+            text.contains(&format!(
+                "alertops_detect_alerts_scanned_total {}",
+                alerts.len()
+            )),
+            "{}",
+            text
+        );
+        prop_assert!(alertops_obs::lint_exposition(&text).is_ok());
     }
 
     #[test]

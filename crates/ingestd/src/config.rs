@@ -40,6 +40,15 @@ pub struct IngestdConfig {
     pub listen: Option<String>,
     /// `host:port` for the JSON status socket; `None` disables it.
     pub status: Option<String>,
+    /// Register and record stage metrics (latency histograms, frame
+    /// counters, per-shard governor instrumentation), served as
+    /// Prometheus text via the status socket's `metrics` request and
+    /// [`crate::IngestdHandle::render_metrics`]. Metrics are
+    /// observer-only — outputs are byte-identical either way — and cost
+    /// a few relaxed atomic adds per event, so they default to on.
+    /// With `false`, the exposition still carries the conservation
+    /// counters.
+    pub metrics: bool,
     /// Accept chaos control frames (`{"ctrl":"panic"|"stall"|"resume",
     /// "shard":N}`) on the wire. Off by default: in production those
     /// frames are quarantined as unknown controls. The in-process
@@ -58,6 +67,7 @@ impl Default for IngestdConfig {
             streaming: StreamingConfig::default(),
             listen: None,
             status: None,
+            metrics: true,
             chaos: false,
         }
     }

@@ -10,6 +10,7 @@ use alertops_core::GovernanceSnapshot;
 use alertops_detect::StormConfig;
 
 use crate::counters::Counters;
+use crate::metrics::IngestdMetrics;
 use crate::worker::{ShardDelta, WorkerMsg};
 
 /// Control messages for the coordinator.
@@ -35,6 +36,7 @@ pub(crate) enum CoordMsg {
 /// not wedge the barrier either: its supervisor contributes a
 /// synthetic empty delta for the in-flight `seq`, and the shard is
 /// listed in the published snapshot's `degraded` field.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_coordinator(
     control: &Receiver<CoordMsg>,
     shard_txs: &[SyncSender<WorkerMsg>],
@@ -43,6 +45,7 @@ pub(crate) fn run_coordinator(
     storm: &StormConfig,
     snapshot_slot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
     counters: &Arc<Counters>,
+    metrics: Option<&IngestdMetrics>,
 ) {
     let mut seq: u64 = 0;
     loop {
@@ -87,17 +90,31 @@ pub(crate) fn run_coordinator(
                 Err(_) => return,
             }
         }
+        if let Some(m) = metrics {
+            // Barrier wait spans broadcast to last delta: it includes
+            // the shards' own close work, so it bounds the critical
+            // path a straggling shard puts on the window.
+            m.barrier_wait_micros.observe(elapsed_micros(started));
+        }
 
+        let merge_started = Instant::now();
         let mut snapshot = GovernanceSnapshot::merge(&collected, storm);
+        if let Some(m) = metrics {
+            m.merge_micros.observe(elapsed_micros(merge_started));
+        }
         degraded.sort_unstable();
         if !degraded.is_empty() {
             counters.degraded_windows.fetch_add(1, Ordering::Relaxed);
         }
         snapshot.degraded = degraded;
+        let window_micros = elapsed_micros(started);
         counters
             .last_window_micros
-            .store(elapsed_micros(started), Ordering::Relaxed);
+            .store(window_micros, Ordering::Relaxed);
         counters.windows_closed.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.window_close_micros.observe(window_micros);
+        }
         *snapshot_slot.write().unwrap_or_else(|e| e.into_inner()) = Some(snapshot.clone());
         if let Some(ack) = ack {
             let _ = ack.send(snapshot);

@@ -14,9 +14,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use std::{io, thread};
 
-use alertops_core::{GovernanceSnapshot, StreamingGovernor};
+use alertops_core::{GovernanceSnapshot, GovernorMetrics, StreamingGovernor};
 use alertops_model::Alert;
 
 use crate::codec::{
@@ -26,9 +27,14 @@ use crate::codec::{
 use crate::config::{IngestdConfig, OverflowPolicy};
 use crate::coordinator::{run_coordinator, CoordMsg};
 use crate::counters::{CounterSnapshot, Counters};
+use crate::metrics::{render_exposition, IngestdMetrics};
 use crate::shard::shard_of;
-use crate::status::StatusReport;
+use crate::status::{StatusReport, StatusRequest};
 use crate::worker::{run_worker, WorkerMsg};
+
+/// How long a status connection may stay silent before it is treated
+/// as a legacy bare connection and served the default status document.
+const STATUS_REQUEST_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Constructor namespace for the daemon; see [`Ingestd::spawn`].
 #[derive(Debug)]
@@ -71,6 +77,7 @@ struct Router {
     /// stall (see [`Router::stall`]).
     resume_slots: Vec<Mutex<Option<Sender<()>>>>,
     shutdown: Arc<ShutdownSignal>,
+    metrics: Option<Arc<IngestdMetrics>>,
 }
 
 impl Router {
@@ -189,6 +196,7 @@ pub struct IngestdHandle {
     snapshot: Arc<RwLock<Option<GovernanceSnapshot>>>,
     running: Arc<AtomicBool>,
     shutdown: Arc<ShutdownSignal>,
+    metrics: Option<Arc<IngestdMetrics>>,
     ingest_addr: Option<SocketAddr>,
     status_addr: Option<SocketAddr>,
     threads: Vec<JoinHandle<()>>,
@@ -218,6 +226,9 @@ impl Ingestd {
         let snapshot: Arc<RwLock<Option<GovernanceSnapshot>>> = Arc::new(RwLock::new(None));
         let running = Arc::new(AtomicBool::new(true));
         let shutdown = Arc::new(ShutdownSignal::default());
+        let metrics = config
+            .metrics
+            .then(|| Arc::new(IngestdMetrics::new(config.shards)));
         let mut threads = Vec::new();
 
         // Workers, each behind its bounded queue.
@@ -226,13 +237,28 @@ impl Ingestd {
         for shard in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(config.queue_capacity);
             shard_txs.push(tx);
-            let governor = make_governor(shard, config.shards);
+            let mut governor = make_governor(shard, config.shards);
+            if let Some(metrics) = &metrics {
+                // Shards share detect/react series: the registry hands
+                // every shard the same aggregate instruments.
+                governor = governor.with_metrics(GovernorMetrics::register(metrics.registry()));
+            }
             let deltas = delta_tx.clone();
             let worker_counters = Arc::clone(&counters);
+            let worker_metrics = metrics.clone();
             threads.push(
                 thread::Builder::new()
                     .name(format!("ingestd-worker-{shard}"))
-                    .spawn(move || run_worker(shard, governor, &rx, &deltas, &worker_counters))?,
+                    .spawn(move || {
+                        run_worker(
+                            shard,
+                            governor,
+                            &rx,
+                            &deltas,
+                            &worker_counters,
+                            worker_metrics.as_deref(),
+                        );
+                    })?,
             );
         }
         drop(delta_tx);
@@ -245,6 +271,7 @@ impl Ingestd {
             let tick = config.tick;
             let snapshot = Arc::clone(&snapshot);
             let coord_counters = Arc::clone(&counters);
+            let coord_metrics = metrics.clone();
             threads.push(
                 thread::Builder::new()
                     .name("ingestd-coordinator".to_owned())
@@ -257,6 +284,7 @@ impl Ingestd {
                             &storm,
                             &snapshot,
                             &coord_counters,
+                            coord_metrics.as_deref(),
                         );
                     })?,
             );
@@ -271,6 +299,7 @@ impl Ingestd {
             chaos: config.chaos,
             resume_slots,
             shutdown: Arc::clone(&shutdown),
+            metrics: metrics.clone(),
         });
 
         // Ingress listener.
@@ -298,10 +327,19 @@ impl Ingestd {
                 let running = Arc::clone(&running);
                 let counters = Arc::clone(&counters);
                 let snapshot = Arc::clone(&snapshot);
+                let status_metrics = metrics.clone();
                 threads.push(
                     thread::Builder::new()
                         .name("ingestd-status".to_owned())
-                        .spawn(move || accept_status(&listener, &running, &counters, &snapshot))?,
+                        .spawn(move || {
+                            accept_status(
+                                &listener,
+                                &running,
+                                &counters,
+                                &snapshot,
+                                &status_metrics,
+                            );
+                        })?,
                 );
                 Some(local)
             }
@@ -314,6 +352,7 @@ impl Ingestd {
             snapshot,
             running,
             shutdown,
+            metrics,
             ingest_addr,
             status_addr,
             threads,
@@ -390,6 +429,22 @@ impl IngestdHandle {
     #[must_use]
     pub fn counters(&self) -> CounterSnapshot {
         self.counters.snapshot()
+    }
+
+    /// The daemon's metric handles, if [`IngestdConfig::metrics`] is
+    /// enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<IngestdMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Renders the Prometheus text exposition: the conservation
+    /// counters always, plus every registered stage/governor metric
+    /// when metrics are enabled. Same document the status socket
+    /// serves for a `metrics` request.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        render_exposition(&self.counters, self.metrics.as_deref())
     }
 
     /// Blocks until some connection sends `{"ctrl":"shutdown"}` (or
@@ -485,6 +540,13 @@ fn handle_frame(
     router: &Arc<Router>,
     writer: &mut impl Write,
 ) -> bool {
+    if let Some(metrics) = &router.metrics {
+        match &item {
+            Ok(_) => metrics.frames_decoded.inc(),
+            Err(FrameError::Malformed { .. }) => metrics.frames_rejected.inc(),
+            Err(FrameError::Empty) => {}
+        }
+    }
     match item {
         Ok(Frame::Alert(alert)) => router.route(alert),
         Ok(Frame::Flush) => {
@@ -544,22 +606,88 @@ fn chaos_target(router: &Arc<Router>, shard: usize) -> bool {
     }
 }
 
-/// Status accept loop: serve the JSON document, close, repeat.
+/// Status accept loop: one detached handler thread per connection, so
+/// a slow scraper cannot block the next one.
 fn accept_status(
     listener: &TcpListener,
     running: &Arc<AtomicBool>,
     counters: &Arc<Counters>,
     snapshot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
+    metrics: &Option<Arc<IngestdMetrics>>,
 ) {
     for stream in listener.incoming() {
         if !running.load(Ordering::Acquire) {
             break;
         }
-        let Ok(mut stream) = stream else { continue };
-        let report = StatusReport {
-            counters: counters.snapshot(),
-            snapshot: snapshot.read().unwrap_or_else(|e| e.into_inner()).clone(),
-        };
-        let _ = writeln!(stream, "{}", report.to_json());
+        let Ok(stream) = stream else { continue };
+        let counters = Arc::clone(counters);
+        let snapshot = Arc::clone(snapshot);
+        let metrics = metrics.clone();
+        let _ = thread::Builder::new()
+            .name("ingestd-status-conn".to_owned())
+            .spawn(move || serve_status(&stream, &counters, &snapshot, metrics.as_deref()));
+    }
+}
+
+/// One status connection: read the optional request line, serve the
+/// selected document, close. See [`crate::status`] for the protocol.
+fn serve_status(
+    stream: &TcpStream,
+    counters: &Arc<Counters>,
+    snapshot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
+    metrics: Option<&IngestdMetrics>,
+) {
+    let request = read_status_request(stream);
+    let mut writer = stream;
+    match request {
+        StatusRequest::Status => {
+            let report = StatusReport {
+                counters: counters.snapshot(),
+                snapshot: snapshot.read().unwrap_or_else(|e| e.into_inner()).clone(),
+            };
+            let _ = writeln!(writer, "{}", report.to_json());
+        }
+        StatusRequest::Metrics => {
+            let _ = writer.write_all(render_exposition(counters, metrics).as_bytes());
+        }
+        StatusRequest::Unknown(verb) => {
+            let _ = writeln!(
+                writer,
+                "error: unknown request {verb:?} (try: status, metrics)"
+            );
+        }
+    }
+}
+
+/// Reads the request line of a status connection. Falls back to the
+/// legacy default ([`StatusRequest::Status`]) on timeout, EOF, or a
+/// line that never terminates within a sane length — the original
+/// protocol was "connect and read", and those clients must keep
+/// working.
+fn read_status_request(stream: &TcpStream) -> StatusRequest {
+    let Ok(mut read_half) = stream.try_clone() else {
+        return StatusRequest::Status;
+    };
+    if read_half
+        .set_read_timeout(Some(STATUS_REQUEST_TIMEOUT))
+        .is_err()
+    {
+        return StatusRequest::Status;
+    }
+    let mut line = Vec::with_capacity(16);
+    let mut byte = [0u8; 1];
+    loop {
+        match read_half.read(&mut byte) {
+            Ok(0) | Err(_) => return StatusRequest::Status,
+            Ok(_) if byte[0] == b'\n' => {
+                return StatusRequest::parse(&String::from_utf8_lossy(&line));
+            }
+            Ok(_) => {
+                if line.len() >= 64 {
+                    return StatusRequest::Status;
+                }
+                line.push(byte[0]);
+            }
+        }
     }
 }

@@ -59,6 +59,7 @@ pub mod config;
 mod coordinator;
 pub mod counters;
 mod daemon;
+pub mod metrics;
 pub mod shard;
 pub mod status;
 mod worker;
@@ -70,6 +71,7 @@ pub use codec::{
 pub use config::{IngestdConfig, OverflowPolicy};
 pub use counters::{CounterSnapshot, Counters};
 pub use daemon::{Ingestd, IngestdHandle};
+pub use metrics::{render_exposition, IngestdMetrics};
 pub use shard::{shard_catalog, shard_of};
-pub use status::StatusReport;
+pub use status::{StatusReport, StatusRequest};
 pub use worker::CHAOS_PANIC_MSG;

@@ -1,12 +1,18 @@
-//! The status socket: one JSON document per connection.
+//! The status socket: one document per connection, selected by an
+//! optional request line.
 //!
-//! Connect, read until EOF, parse — no request syntax, so `curl` or a
-//! three-line script can scrape it:
+//! The protocol is versioned by a single request line ending in `\n`:
 //!
 //! ```text
-//! $ nc 127.0.0.1 4502
-//! {"counters":{...},"snapshot":{...}}
+//! $ printf 'status\n'  | nc 127.0.0.1 4502   # JSON status document
+//! $ printf 'metrics\n' | nc 127.0.0.1 4502   # Prometheus exposition
 //! ```
+//!
+//! Backward compatibility: clients that connect and read without
+//! sending anything (the original protocol) still get the JSON status
+//! document — the daemon waits briefly for a request line and falls
+//! back to `status` on timeout, EOF, or a blank line. An unknown verb
+//! is answered with a single `error: ...` line.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,7 +20,35 @@ use alertops_core::GovernanceSnapshot;
 
 use crate::counters::CounterSnapshot;
 
-/// The document served per status connection.
+/// A parsed status-socket request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatusRequest {
+    /// Serve the JSON status document (also the legacy default for
+    /// bare connections and blank lines).
+    Status,
+    /// Serve the Prometheus text exposition.
+    Metrics,
+    /// An unrecognized verb, answered with an error line.
+    Unknown(String),
+}
+
+impl StatusRequest {
+    /// Parses one request line (without its newline). Blank lines mean
+    /// the legacy default. Verbs are case-insensitive.
+    #[must_use]
+    pub fn parse(line: &str) -> Self {
+        let verb = line.trim();
+        if verb.is_empty() || verb.eq_ignore_ascii_case("status") {
+            StatusRequest::Status
+        } else if verb.eq_ignore_ascii_case("metrics") {
+            StatusRequest::Metrics
+        } else {
+            StatusRequest::Unknown(verb.to_string())
+        }
+    }
+}
+
+/// The document served for a `status` request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatusReport {
     /// Ingestion counters at the time of the request.
@@ -61,5 +95,19 @@ mod tests {
         let back: StatusReport = serde_json::from_str(&report.to_json()).unwrap();
         assert_eq!(report, back);
         assert!(back.snapshot.is_none());
+    }
+
+    #[test]
+    fn request_parsing_defaults_to_status() {
+        assert_eq!(StatusRequest::parse(""), StatusRequest::Status);
+        assert_eq!(StatusRequest::parse("  \r"), StatusRequest::Status);
+        assert_eq!(StatusRequest::parse("status"), StatusRequest::Status);
+        assert_eq!(StatusRequest::parse("STATUS"), StatusRequest::Status);
+        assert_eq!(StatusRequest::parse("metrics"), StatusRequest::Metrics);
+        assert_eq!(StatusRequest::parse("Metrics\r"), StatusRequest::Metrics);
+        assert_eq!(
+            StatusRequest::parse("gimme"),
+            StatusRequest::Unknown("gimme".into())
+        );
     }
 }

@@ -21,6 +21,7 @@ use alertops_core::{StreamingGovernor, WindowDelta};
 use alertops_model::Alert;
 
 use crate::counters::Counters;
+use crate::metrics::IngestdMetrics;
 
 /// The panic message marker every chaos-injected worker panic carries.
 /// Test harnesses silence expected panics by matching on it (e.g. via
@@ -99,6 +100,7 @@ pub(crate) fn run_worker(
     ingest: &Receiver<WorkerMsg>,
     deltas: &Sender<ShardDelta>,
     counters: &Arc<Counters>,
+    metrics: Option<&IngestdMetrics>,
 ) {
     let mut state = ShardState {
         checkpoint: governor.clone(),
@@ -110,7 +112,7 @@ pub(crate) fn run_worker(
     };
     loop {
         let finished = catch_unwind(AssertUnwindSafe(|| {
-            drain(shard, &mut state, ingest, deltas, counters);
+            drain(shard, &mut state, ingest, deltas, counters, metrics);
         }));
         match finished {
             Ok(()) => return, // queue closed: clean shutdown
@@ -129,7 +131,7 @@ pub(crate) fn run_worker(
                     // empty window on the restored checkpoint — the
                     // shard contributes nothing this window, but the
                     // window *happened*.
-                    if !close_window(shard, &mut state, seq, deltas, counters) {
+                    if !close_window(shard, &mut state, seq, deltas, counters, metrics) {
                         return;
                     }
                 }
@@ -146,7 +148,11 @@ fn close_window(
     seq: u64,
     deltas: &Sender<ShardDelta>,
     counters: &Arc<Counters>,
+    metrics: Option<&IngestdMetrics>,
 ) -> bool {
+    // If a chaos panic interrupts the close, the span still records on
+    // unwind — metrics observe the attempt, never alter recovery.
+    let _span = metrics.map(|m| m.shard_close(shard).time());
     // Detection expects time-sorted windows; TCP ingress from
     // concurrent producers does not guarantee order.
     state.window.sort_by_key(|a| (a.raised_at(), a.id()));
@@ -181,6 +187,7 @@ fn drain(
     ingest: &Receiver<WorkerMsg>,
     deltas: &Sender<ShardDelta>,
     counters: &Arc<Counters>,
+    metrics: Option<&IngestdMetrics>,
 ) {
     while let Ok(msg) = ingest.recv() {
         match msg {
@@ -190,7 +197,7 @@ fn drain(
             }
             WorkerMsg::Close { seq } => {
                 state.pending_close = Some(seq);
-                if !close_window(shard, state, seq, deltas, counters) {
+                if !close_window(shard, state, seq, deltas, counters, metrics) {
                     return; // coordinator gone: shutting down
                 }
             }

@@ -48,6 +48,7 @@ pub mod blocking;
 pub mod correlation;
 pub mod emerging;
 pub mod escalation;
+pub mod metrics;
 pub mod pipeline;
 
 pub use aggregation::{aggregate, reduction_ratio, AggregationConfig, AlertGroup, GroupKey};
@@ -56,4 +57,5 @@ pub use blocking::{AlertBlocker, BlockCriterion, BlockOutcome, BlockRule};
 pub use correlation::{AlertCorrelator, CorrelatedCluster, StrategyDependencies};
 pub use emerging::{EmergingAlertDetector, EmergingConfig, EmergingReport};
 pub use escalation::{propose_incidents, EscalationConfig, EscalationReason, IncidentProposal};
+pub use metrics::ReactMetrics;
 pub use pipeline::{PipelineReport, ReactionPipeline, StageStat};

@@ -14,6 +14,7 @@ use alertops_model::{Alert, AlertId};
 use crate::aggregation::{aggregate, AggregationConfig};
 use crate::blocking::AlertBlocker;
 use crate::correlation::AlertCorrelator;
+use crate::metrics::ReactMetrics;
 
 /// One stage's contribution to volume reduction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +54,7 @@ pub struct ReactionPipeline {
     blocker: AlertBlocker,
     aggregation: AggregationConfig,
     correlator: AlertCorrelator,
+    metrics: Option<ReactMetrics>,
 }
 
 impl ReactionPipeline {
@@ -84,6 +86,15 @@ impl ReactionPipeline {
         self
     }
 
+    /// Attaches metric handles: per-stage wall time and volume
+    /// counters. Metrics are observer-only — [`run`](Self::run) returns
+    /// the same report with or without them.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: ReactMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Runs the pipeline over a time-sorted alert stream.
     #[must_use]
     pub fn run(&self, alerts: &[Alert]) -> PipelineReport {
@@ -94,7 +105,10 @@ impl ReactionPipeline {
         }];
 
         // R1 — blocking.
-        let outcome = self.blocker.apply(alerts);
+        let outcome = {
+            let _span = self.metrics.as_ref().map(|m| m.stage_timer(0));
+            self.blocker.apply(alerts)
+        };
         let passed: Vec<Alert> = outcome.passed.iter().map(|&a| a.clone()).collect();
         stages.push(StageStat {
             stage: "blocking".to_owned(),
@@ -102,13 +116,17 @@ impl ReactionPipeline {
         });
 
         // R2 — aggregation.
-        let groups = aggregate(&passed, &self.aggregation);
+        let groups = {
+            let _span = self.metrics.as_ref().map(|m| m.stage_timer(1));
+            aggregate(&passed, &self.aggregation)
+        };
         stages.push(StageStat {
             stage: "aggregation".to_owned(),
             remaining: groups.len(),
         });
 
         // R3 — correlation over group representatives.
+        let _span = self.metrics.as_ref().map(|m| m.stage_timer(2));
         let representatives: Vec<Alert> = {
             let mut reps: Vec<Alert> = groups
                 .iter()
@@ -124,10 +142,19 @@ impl ReactionPipeline {
             reps
         };
         let clusters = self.correlator.correlate(&representatives);
+        drop(_span);
         stages.push(StageStat {
             stage: "correlation".to_owned(),
             remaining: clusters.len(),
         });
+        if let Some(m) = &self.metrics {
+            m.record_volumes(
+                input as u64,
+                (input - passed.len()) as u64,
+                groups.len() as u64,
+                clusters.len() as u64,
+            );
+        }
 
         let triage: Vec<AlertId> = clusters.iter().map(|c| c.source).collect();
         let reduction = if input == 0 {

@@ -7,10 +7,12 @@ use alertops_model::{
     Alert, AlertId, DependencyGraph, Location, MicroserviceId, Severity, SimDuration, SimTime,
     StrategyId,
 };
+use alertops_obs::MetricsRegistry;
 use alertops_react::blocking::{AlertBlocker, BlockCriterion, BlockRule};
 use alertops_react::correlation::AlertCorrelator;
 use alertops_react::{
     aggregate, audit_blocker, propose_incidents, AggregationConfig, AuditConfig, EscalationConfig,
+    ReactMetrics, ReactionPipeline,
 };
 
 fn arb_alerts(max: usize) -> impl Strategy<Value = Vec<Alert>> {
@@ -61,6 +63,63 @@ proptest! {
         // Idempotent: re-filtering the passed set blocks nothing.
         let passed: Vec<Alert> = outcome.passed.iter().map(|&a| a.clone()).collect();
         prop_assert!(blocker.apply(&passed).blocked.is_empty());
+    }
+
+    #[test]
+    fn blocking_partition_is_exact_on_ids(alerts in arb_alerts(150), rules in arb_rules()) {
+        // DESIGN.md §7: blocked ∪ passed == input, as an *exact* id
+        // partition, not just a count identity.
+        let blocker: AlertBlocker = rules.into_iter().collect();
+        let outcome = blocker.apply(&alerts);
+        let mut ids: Vec<AlertId> = outcome
+            .passed
+            .iter()
+            .map(|a| a.id())
+            .chain(outcome.blocked.iter().map(|a| a.id()))
+            .collect();
+        ids.sort_unstable();
+        let mut want: Vec<AlertId> = alerts.iter().map(Alert::id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn pipeline_with_metrics_is_observer_only(
+        alerts in arb_alerts(150),
+        rules in arb_rules(),
+    ) {
+        // The alertops-obs guarantee: attaching ReactMetrics must never
+        // change the pipeline report, only record its volumes.
+        let blocker: AlertBlocker = rules.iter().cloned().collect();
+        let baseline = ReactionPipeline::new().with_blocker(blocker).run(&alerts);
+
+        let registry = MetricsRegistry::new();
+        let blocker: AlertBlocker = rules.into_iter().collect();
+        let instrumented = ReactionPipeline::new()
+            .with_blocker(blocker)
+            .with_metrics(ReactMetrics::register(&registry))
+            .run(&alerts);
+        prop_assert_eq!(&instrumented, &baseline);
+
+        // The volume counters agree with the report's own accounting.
+        let text = registry.render();
+        prop_assert!(
+            text.contains(&format!("alertops_react_input_total {}", alerts.len())),
+            "{}",
+            text
+        );
+        let after_blocking = instrumented
+            .remaining_after("blocking")
+            .expect("pipeline reports the blocking stage");
+        prop_assert!(
+            text.contains(&format!(
+                "alertops_react_blocked_total {}",
+                alerts.len() - after_blocking
+            )),
+            "{}",
+            text
+        );
+        prop_assert!(alertops_obs::lint_exposition(&text).is_ok());
     }
 
     #[test]

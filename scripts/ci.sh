@@ -23,4 +23,14 @@ cargo test --workspace -q
 echo "==> chaos suite (CHAOS_SEED=${CHAOS_SEED:-default})"
 cargo test -q --test chaos_ingestd
 
+# Observability gate: the metrics-specific end-to-end tests (exposition
+# coverage + status-socket versioning) and the lint over every rendered
+# exposition document they scrape. A regression that drops a family
+# from the scrape, breaks legacy bare-connection status clients, or
+# emits structurally invalid Prometheus text fails here by name.
+echo "==> metrics: exposition coverage + status protocol"
+cargo test -q --test ingestd_e2e metrics_
+cargo test -q --test determinism metrics_
+cargo test -q -p alertops-obs
+
 echo "CI green."

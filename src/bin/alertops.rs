@@ -9,6 +9,7 @@
 //! alertops audit    --scenario mini-study --seed 7
 //! alertops ingestd  --scenario study --shards 4 [--listen ADDR] [--status ADDR]
 //! alertops replay   --scenario study [--connect ADDR] [--rate N] [--shutdown]
+//! alertops metrics  [--status ADDR]
 //! ```
 //!
 //! Every subcommand runs a named scenario (there is no external data to
@@ -19,7 +20,8 @@
 //! `ingestd` runs the sharded ingestion daemon (see `alertops::ingestd`)
 //! with per-shard streaming governors built from the scenario's catalog;
 //! `replay` streams the scenario's alert trace into a running daemon
-//! over NDJSON/TCP, closing windows along the way.
+//! over NDJSON/TCP, closing windows along the way; `metrics` scrapes a
+//! running daemon's Prometheus text exposition from its status socket.
 
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -39,11 +41,11 @@ use alertops_chaos::Backoff;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: alertops <simulate|govern|lint|storms|audit|ingestd|replay> \
+        "usage: alertops <simulate|govern|lint|storms|audit|ingestd|replay|metrics> \
          [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
          [--json FILE] [--top N] [--threshold N] \
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
-         [--listen ADDR] [--status ADDR] [--chaos] \
+         [--listen ADDR] [--status ADDR] [--chaos] [--no-metrics] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
@@ -64,6 +66,7 @@ struct Args {
     listen: String,
     status: String,
     chaos: bool,
+    metrics: bool,
     // replay
     connect: String,
     rate: u64,
@@ -88,6 +91,7 @@ fn parse_args() -> Option<Args> {
         listen: "127.0.0.1:4501".to_owned(),
         status: "127.0.0.1:4502".to_owned(),
         chaos: false,
+        metrics: true,
         connect: "127.0.0.1:4501".to_owned(),
         rate: 0,
         flush_every: 0,
@@ -100,6 +104,10 @@ fn parse_args() -> Option<Args> {
         }
         if flag == "--chaos" {
             args.chaos = true;
+            continue;
+        }
+        if flag == "--no-metrics" {
+            args.metrics = false;
             continue;
         }
         let mut value = || argv.next();
@@ -177,10 +185,14 @@ fn main() -> ExitCode {
     };
     if !matches!(
         args.command.as_str(),
-        "simulate" | "govern" | "lint" | "storms" | "audit" | "ingestd" | "replay"
+        "simulate" | "govern" | "lint" | "storms" | "audit" | "ingestd" | "replay" | "metrics"
     ) {
         eprintln!("unknown command `{}`", args.command);
         return usage();
+    }
+    if args.command == "metrics" {
+        // Scrapes a running daemon — no scenario to build.
+        return run_metrics(&args.status);
     }
     let Some(scenario) = scenario_by_name(&args.scenario, args.seed) else {
         eprintln!("unknown scenario `{}`", args.scenario);
@@ -320,6 +332,7 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         streaming: StreamingConfig::default(),
         listen: Some(args.listen.clone()),
         status: Some(args.status.clone()),
+        metrics: args.metrics,
         chaos: args.chaos,
     };
     let handle = match Ingestd::spawn(&config, |shard, shards| {
@@ -351,6 +364,28 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         counters.ingested, counters.dropped, counters.decode_errors, counters.windows_closed
     );
     ExitCode::SUCCESS
+}
+
+/// Scrapes a running daemon's Prometheus exposition: connect to the
+/// status socket, send the `metrics` request line, stream the reply.
+fn run_metrics(addr: &str) -> ExitCode {
+    let scrape = || -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(b"metrics\n")?;
+        let mut body = String::new();
+        std::io::Read::read_to_string(&mut stream, &mut body)?;
+        Ok(body)
+    };
+    match scrape() {
+        Ok(body) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("metrics scrape from {addr} failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Streams the scenario's alert trace into a running daemon.

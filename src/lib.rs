@@ -20,6 +20,7 @@
 //! | [`survey`] | `alertops-survey` | The 18-OCE survey dataset and Likert analysis |
 //! | [`core`] | `alertops-core` | The [`AlertGovernor`](core::AlertGovernor) facade |
 //! | [`ingestd`] | `alertops-ingestd` | The sharded streaming ingestion daemon |
+//! | [`obs`] | `alertops-obs` | Metrics registry, histograms, spans, Prometheus text |
 //! | [`chaos`] | `alertops-chaos` | Seeded fault schedules, frame corruption, backoff |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use alertops_core as core;
 pub use alertops_detect as detect;
 pub use alertops_ingestd as ingestd;
 pub use alertops_model as model;
+pub use alertops_obs as obs;
 pub use alertops_qoa as qoa;
 pub use alertops_react as react;
 pub use alertops_sim as sim;

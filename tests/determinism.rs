@@ -64,6 +64,85 @@ fn statistical_engine_is_replayable_at_scale() {
     assert_eq!(a.faults.events().len(), b.faults.events().len());
 }
 
+/// Differential: the same trace governed three ways — the pure-batch
+/// [`AlertGovernor`], a 1-shard daemon, and N-shard daemons — must
+/// agree exactly. This is the streaming layer's correctness contract:
+/// sharding and windowing are an execution strategy, not a semantics
+/// change.
+#[test]
+fn batch_one_shard_and_n_shard_governance_agree() {
+    let out = scenarios::quickstart(7).run();
+    let strategies = out.catalog.strategies().to_vec();
+    let mut trace = out.alerts.clone();
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+
+    // Pure batch baseline: one governor, one pass over everything.
+    let governor = AlertGovernor::new(strategies.clone(), GovernorConfig::default());
+    let report = governor.detect(&trace, &[]);
+    let blocker = governor.derive_blocker(&report);
+    let pipeline = governor.react(&trace, blocker);
+    let mut batch_findings: Vec<StrategyFinding> =
+        report.findings.values().flatten().cloned().collect();
+    batch_findings
+        .sort_by(|a, b| (a.pattern.code(), a.strategy).cmp(&(b.pattern.code(), b.strategy)));
+    let mut batch_triage = pipeline.triage.clone();
+    batch_triage.sort_unstable();
+
+    // Daemon runs: the whole trace as one window.
+    let run = |shards: usize| {
+        let config = IngestdConfig {
+            shards,
+            queue_capacity: 8192,
+            ..IngestdConfig::default()
+        };
+        let handle = Ingestd::spawn(&config, |shard, shards| {
+            StreamingGovernor::new(
+                AlertGovernor::new(
+                    shard_catalog(&strategies, shards, shard),
+                    GovernorConfig::default(),
+                ),
+                StreamingConfig::default(),
+            )
+        })
+        .expect("daemon starts");
+        for alert in &trace {
+            handle.route(alert.clone());
+        }
+        let snapshot = handle.flush().expect("flush yields a snapshot");
+        assert!(handle.counters().is_conserved());
+        handle.shutdown();
+        snapshot
+    };
+
+    let single = run(1);
+    assert_eq!(single.alert_count, trace.len());
+    assert_eq!(
+        single.new_findings, batch_findings,
+        "1-shard daemon diverged from batch detection"
+    );
+    let mut single_triage = single.triage.clone();
+    single_triage.sort_unstable();
+    assert_eq!(
+        single_triage, batch_triage,
+        "1-shard daemon triage diverged from the batch pipeline"
+    );
+
+    for shards in [2usize, 4] {
+        let sharded = run(shards);
+        // Triage correlates within shards only; everything else —
+        // findings, resolutions, storms, counts — must be exact.
+        let strip = |s: &GovernanceSnapshot| GovernanceSnapshot {
+            triage: Vec::new(),
+            ..s.clone()
+        };
+        assert_eq!(
+            strip(&sharded),
+            strip(&single),
+            "{shards}-shard snapshot diverged from the 1-shard baseline"
+        );
+    }
+}
+
 const CHAOS_SHARDS: usize = 4;
 const CHAOS_QUEUE: usize = 8;
 const CHAOS_TRACE: usize = 240;
@@ -115,8 +194,10 @@ fn chaos_fault_config() -> ChaosConfig {
 /// One fault-injected daemon run: worker panics, a poisoned window
 /// close, and a queue-overflow storm, all placed by the seed's
 /// schedule. Returns the serialized snapshot of every window plus the
-/// final counters (with the one wall-clock field zeroed).
-fn chaos_run(seed: u64) -> Vec<String> {
+/// final counters (with the one wall-clock field zeroed). `metrics`
+/// toggles the observability layer — the returned outputs must not
+/// depend on it.
+fn chaos_run(seed: u64, metrics: bool) -> Vec<String> {
     let strategies = chaos_catalog();
     let trace = chaos_alert_trace();
     let schedule = ChaosSchedule::generate(seed, &chaos_fault_config());
@@ -124,6 +205,7 @@ fn chaos_run(seed: u64) -> Vec<String> {
         shards: CHAOS_SHARDS,
         queue_capacity: CHAOS_QUEUE,
         overflow: OverflowPolicy::Drop,
+        metrics,
         ..IngestdConfig::default()
     };
     let handle = Ingestd::spawn(&config, |shard, shards| {
@@ -184,10 +266,47 @@ fn chaos_run(seed: u64) -> Vec<String> {
     );
     assert!(counters.dropped >= 12, "the burst overflowed: {counters:?}");
     assert!(counters.is_conserved(), "{counters:?}");
+    if metrics {
+        // Re-assert the conservation law from the *exposition* — the
+        // scrape a real monitoring system would see must carry the
+        // same accounting the in-process counters do.
+        let text = handle.render_metrics();
+        alertops::obs::lint_exposition(&text).expect("chaos-run exposition lints");
+        let quarantined: u64 = exposition_values(&text, "alertops_quarantined_total")
+            .iter()
+            .sum();
+        assert_eq!(
+            exposition_value(&text, "alertops_ingested_total"),
+            exposition_value(&text, "alertops_delivered_total")
+                + exposition_value(&text, "alertops_dropped_total")
+                + quarantined,
+            "exposition violates ingested == delivered + dropped + quarantined:\n{text}"
+        );
+    }
     counters.last_window_micros = 0; // the one wall-clock field
     outputs.push(serde_json::to_string(&counters).expect("counters serialize"));
     handle.shutdown();
     outputs
+}
+
+/// Every value of the named family in a Prometheus text exposition
+/// (one entry per labelled series).
+fn exposition_values(text: &str, name: &str) -> Vec<u64> {
+    text.lines()
+        .filter(|line| !line.starts_with('#'))
+        .filter_map(|line| {
+            let (series, value) = line.rsplit_once(' ')?;
+            let base = series.split('{').next()?;
+            (base == name).then(|| value.parse().expect("metric values are integers"))
+        })
+        .collect()
+}
+
+/// The single value of an unlabelled family.
+fn exposition_value(text: &str, name: &str) -> u64 {
+    let values = exposition_values(text, name);
+    assert_eq!(values.len(), 1, "{name} should be a single series");
+    values[0]
 }
 
 /// A chaos-supervised daemon run is a pure function of its seed: the
@@ -198,11 +317,22 @@ fn chaos_run(seed: u64) -> Vec<String> {
 fn chaos_runs_with_identical_seeds_are_identical() {
     silence_panics_containing(CHAOS_PANIC_MSG);
     const SEED: u64 = 0x0DD5_EED5;
-    assert_eq!(chaos_run(SEED), chaos_run(SEED));
+    assert_eq!(chaos_run(SEED, true), chaos_run(SEED, true));
     // And the schedule itself is seed-sensitive pure data.
     let config = chaos_fault_config();
     assert_ne!(
         ChaosSchedule::generate(SEED, &config),
         ChaosSchedule::generate(SEED + 1, &config)
     );
+}
+
+/// The observability layer is provably inert: the same chaos-supervised
+/// run produces byte-identical snapshots and counters with the metrics
+/// registry wired in and with it absent — instrumentation observes the
+/// pipeline, it never steers it.
+#[test]
+fn metrics_are_observer_only_under_chaos() {
+    silence_panics_containing(CHAOS_PANIC_MSG);
+    const SEED: u64 = 0x0DD5_EED5;
+    assert_eq!(chaos_run(SEED, true), chaos_run(SEED, false));
 }

@@ -197,6 +197,165 @@ fn sharded_snapshots_match_single_shard_on_a_scenario_trace() {
     }
 }
 
+/// Scrapes one document from the status socket, optionally sending a
+/// request line first (None = the legacy bare connection).
+fn scrape(addr: std::net::SocketAddr, request: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to status");
+    if let Some(verb) = request {
+        stream
+            .write_all(format!("{verb}\n").as_bytes())
+            .expect("send request line");
+    }
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read document");
+    body
+}
+
+/// The full observability contract over the wire: after a real TCP
+/// ingest (including a malformed frame) and a window close, the
+/// `metrics` request must return a lintable Prometheus exposition
+/// carrying every instrumented stage — frame codec, shard close,
+/// barrier, merge, per-detector timing, reaction stages, streaming
+/// ingest — plus the conservation counters.
+#[test]
+fn metrics_exposition_covers_every_instrumented_stage() {
+    let out = scenarios::quickstart(7).run();
+    let strategies = full_catalog(&out);
+    let config = IngestdConfig {
+        shards: 4,
+        queue_capacity: 4096,
+        listen: Some("127.0.0.1:0".to_owned()),
+        status: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+
+    let ingest_addr = handle.ingest_addr().expect("ingress listener bound");
+    let stream = TcpStream::connect(ingest_addr).expect("connect to ingress");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut writer = stream;
+    for alert in out.alerts.iter().chain(repeater_alerts().iter()) {
+        writeln!(writer, "{}", encode_alert(alert)).expect("write alert");
+    }
+    writeln!(writer, "this is not json").expect("write malformed frame");
+    writeln!(writer, "{FLUSH_FRAME}").expect("write flush");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("read flush ack");
+    // Release the connection so its handler thread (and with it the
+    // worker queues) can wind down at shutdown.
+    drop((reader, writer));
+
+    let status_addr = handle.status_addr().expect("status listener bound");
+    let text = scrape(status_addr, Some("metrics"));
+    alertops::obs::lint_exposition(&text).expect("exposition lints");
+
+    for family in [
+        // Conservation counters, always present.
+        "alertops_ingested_total",
+        "alertops_delivered_total",
+        "alertops_dropped_total",
+        "alertops_backpressure_waits_total",
+        "alertops_quarantined_total",
+        "alertops_windows_closed_total",
+        "alertops_degraded_windows_total",
+        "alertops_shard_restarts_total",
+        "alertops_last_window_micros",
+        "alertops_queue_depth",
+        // Frame codec.
+        "alertops_frames_decoded_total",
+        "alertops_frames_rejected_total",
+        // Coordinator and shard close path.
+        "alertops_window_close_micros",
+        "alertops_barrier_wait_micros",
+        "alertops_merge_micros",
+        "alertops_shard_close_micros",
+        // Detection pipeline.
+        "alertops_detector_micros",
+        "alertops_detector_findings_total",
+        "alertops_detect_runs_total",
+        "alertops_detect_alerts_scanned_total",
+        // Reaction pipeline.
+        "alertops_react_stage_micros",
+        "alertops_react_input_total",
+        "alertops_react_blocked_total",
+        "alertops_react_groups_total",
+        "alertops_react_clusters_total",
+        // Streaming governor.
+        "alertops_streaming_ingest_micros",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "exposition is missing the {family} family:\n{text}"
+        );
+    }
+    // The instrumented hot paths actually fired.
+    let sent = out.alerts.len() + repeater_alerts().len();
+    assert!(text.contains(&format!("alertops_frames_decoded_total {}", sent + 1)));
+    assert!(text.contains("alertops_frames_rejected_total 1"));
+    assert!(text.contains("alertops_detect_runs_total 4"), "{text}");
+    assert!(text.contains("alertops_windows_closed_total 1"));
+    assert!(
+        text.contains("alertops_window_close_micros_count 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains(r#"alertops_quarantined_total{reason="invalid_json"} 1"#),
+        "{text}"
+    );
+
+    // And the handle-side render is the same machinery.
+    alertops::obs::lint_exposition(&handle.render_metrics()).expect("handle render lints");
+    handle.shutdown();
+}
+
+/// Status-socket versioning: `status` and the legacy bare connection
+/// both return the JSON document, `metrics` switches to the
+/// exposition, and an unknown verb gets a one-line error — old
+/// scrapers keep working unchanged.
+#[test]
+fn metrics_status_socket_versioning_keeps_legacy_clients() {
+    let out = scenarios::quickstart(7).run();
+    let strategies = full_catalog(&out);
+    let config = IngestdConfig {
+        shards: 2,
+        status: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    for alert in out.alerts.iter().take(50) {
+        handle.route(alert.clone());
+    }
+    handle.flush().expect("flush yields a snapshot");
+    let addr = handle.status_addr().expect("status listener bound");
+
+    // Legacy: connect and read, send nothing.
+    let bare: StatusReport =
+        serde_json::from_str(scrape(addr, None).trim()).expect("bare connection still gets JSON");
+    assert_eq!(bare.counters.ingested, 50);
+
+    // Versioned: explicit verbs, case-insensitive.
+    let status: StatusReport = serde_json::from_str(scrape(addr, Some("STATUS")).trim())
+        .expect("status verb gets the same JSON");
+    assert_eq!(status.counters.ingested, bare.counters.ingested);
+
+    let exposition = scrape(addr, Some("metrics"));
+    assert!(exposition.starts_with("# HELP"), "{exposition}");
+    alertops::obs::lint_exposition(&exposition).expect("exposition lints");
+
+    let error = scrape(addr, Some("gimme"));
+    assert!(
+        error.starts_with("error: unknown request \"gimme\""),
+        "{error}"
+    );
+    handle.shutdown();
+}
+
 mod properties {
     use super::*;
     use alertops::ingestd::shard_of;
