@@ -1,0 +1,55 @@
+//! Criterion benches: per-window streaming ingest — the incremental
+//! detection engine against the pre-refactor batch recompute, at two
+//! rolling-history depths. The batch baseline scales with history; the
+//! incremental engine's cost is O(window), so the gap widens with
+//! `history_windows`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use alertops_bench::oracle::BatchRecomputeGovernor;
+use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
+use alertops_model::{Alert, AlertStrategy};
+use alertops_sim::scenarios;
+
+const WINDOW_LEN: usize = 64;
+
+fn bench_streaming(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let strategies: Vec<AlertStrategy> = out.catalog.strategies().to_vec();
+    let mut trace = out.alerts;
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    let windows: Vec<Vec<Alert>> = trace.chunks(WINDOW_LEN).map(<[Alert]>::to_vec).collect();
+
+    let governor = || AlertGovernor::new(strategies.clone(), GovernorConfig::default());
+    let config = |history_windows| StreamingConfig {
+        history_windows,
+        ..StreamingConfig::default()
+    };
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for history_windows in [24usize, 96] {
+        group.bench_function(format!("incremental_ingest_h{history_windows}"), |b| {
+            b.iter(|| {
+                let mut s = StreamingGovernor::new(governor(), config(history_windows));
+                for w in &windows {
+                    black_box(s.ingest(w, &[]));
+                }
+            });
+        });
+        group.bench_function(format!("batch_recompute_h{history_windows}"), |b| {
+            b.iter(|| {
+                let mut s = BatchRecomputeGovernor::new(governor(), config(history_windows));
+                for w in &windows {
+                    black_box(s.ingest(w, &[]));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Regenerates `BENCH_streaming.json`: per-window ingest cost of the
+//! incremental detection engine vs the pre-refactor batch recompute,
+//! on the same simulated trace, at two history depths.
+//!
+//! Before timing, every per-window delta of the two implementations is
+//! compared as serialized JSON — the speedup is only reported for
+//! provably identical output.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use alertops_bench::oracle::BatchRecomputeGovernor;
+use alertops_bench::{header, HARNESS_SEED};
+use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
+use alertops_model::{Alert, AlertStrategy};
+use alertops_sim::scenarios;
+
+const WINDOW_LEN: usize = 64;
+const HISTORY_DEPTHS: [usize; 2] = [24, 96];
+
+#[derive(Serialize)]
+struct HistoryRow {
+    history_windows: usize,
+    batch_micros_per_window: f64,
+    incremental_micros_per_window: f64,
+    speedup: f64,
+    outputs_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    seed: u64,
+    windows: usize,
+    window_len: usize,
+    alerts: usize,
+    results: Vec<HistoryRow>,
+}
+
+fn config(history_windows: usize) -> StreamingConfig {
+    StreamingConfig {
+        history_windows,
+        ..StreamingConfig::default()
+    }
+}
+
+fn governor(strategies: &[AlertStrategy]) -> AlertGovernor {
+    AlertGovernor::new(strategies.to_vec(), GovernorConfig::default())
+}
+
+fn main() {
+    header("streaming ingest: incremental engine vs batch recompute");
+    let out = scenarios::mini_study(HARNESS_SEED).run();
+    let strategies = out.catalog.strategies().to_vec();
+    let mut trace = out.alerts;
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    let windows: Vec<Vec<Alert>> = trace.chunks(WINDOW_LEN).map(<[Alert]>::to_vec).collect();
+
+    let mut results = Vec::new();
+    for history_windows in HISTORY_DEPTHS {
+        // Differential first: identical deltas, or no benchmark.
+        let mut incremental =
+            StreamingGovernor::new(governor(&strategies), config(history_windows));
+        let mut batch = BatchRecomputeGovernor::new(governor(&strategies), config(history_windows));
+        let outputs_identical = windows.iter().all(|w| {
+            let fast = incremental.ingest(w, &[]);
+            let slow = batch.ingest(w, &[]);
+            serde_json::to_string(&fast).unwrap() == serde_json::to_string(&slow).unwrap()
+        });
+        assert!(
+            outputs_identical,
+            "incremental and batch deltas diverged at history_windows={history_windows}"
+        );
+
+        let mut incremental =
+            StreamingGovernor::new(governor(&strategies), config(history_windows));
+        let start = Instant::now();
+        for w in &windows {
+            black_box(incremental.ingest(w, &[]));
+        }
+        let incremental_total = start.elapsed();
+
+        let mut batch = BatchRecomputeGovernor::new(governor(&strategies), config(history_windows));
+        let start = Instant::now();
+        for w in &windows {
+            black_box(batch.ingest(w, &[]));
+        }
+        let batch_total = start.elapsed();
+
+        let per_window =
+            |total: std::time::Duration| total.as_micros() as f64 / windows.len() as f64;
+        let row = HistoryRow {
+            history_windows,
+            batch_micros_per_window: per_window(batch_total),
+            incremental_micros_per_window: per_window(incremental_total),
+            speedup: batch_total.as_secs_f64() / incremental_total.as_secs_f64(),
+            outputs_identical,
+        };
+        println!(
+            "  per-window ingest, history={:<3}  batch: {:>7.0}µs  incremental: {:>5.0}µs  ({:.1}× faster)",
+            history_windows,
+            row.batch_micros_per_window,
+            row.incremental_micros_per_window,
+            row.speedup
+        );
+        results.push(row);
+    }
+
+    let summary = Summary {
+        seed: HARNESS_SEED,
+        windows: windows.len(),
+        window_len: WINDOW_LEN,
+        alerts: trace.len(),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write("BENCH_streaming.json", format!("{json}\n"))
+        .expect("write BENCH_streaming.json");
+    println!("\nwrote BENCH_streaming.json");
+}

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use alertops_detect::{AntiPattern, AntiPatternReport, DetectionInput};
+use alertops_detect::{AntiPattern, AntiPatternReport, IncrementalState};
 use alertops_model::{Alert, AlertStrategy, DependencyGraph, Incident, Sop, StrategyId};
 use alertops_qoa::QoaScorer;
 use alertops_react::blocking::{AlertBlocker, BlockRule};
@@ -100,6 +100,12 @@ impl AlertGovernor {
         &self.strategies
     }
 
+    /// The attached microservice dependency graph, if any.
+    #[must_use]
+    pub fn dependency_graph(&self) -> Option<&DependencyGraph> {
+        self.graph.as_ref()
+    }
+
     /// The SOP of one strategy, if registered.
     #[must_use]
     pub fn sop(&self, id: StrategyId) -> Option<&Sop> {
@@ -118,15 +124,16 @@ impl AlertGovernor {
 
     /// Stage 3 (Detect): runs the six anti-pattern detectors over the
     /// history.
+    ///
+    /// Implemented as "feed one window, never evict" over the same
+    /// [`IncrementalState`] engine that powers the streaming governor,
+    /// so batch and streaming detection share exactly one code path.
     #[must_use]
     pub fn detect(&self, alerts: &[Alert], incidents: &[Incident]) -> AntiPatternReport {
-        let mut input = DetectionInput::new(&self.strategies)
-            .with_alerts(alerts)
-            .with_incidents(incidents);
-        if let Some(graph) = &self.graph {
-            input = input.with_graph(graph);
-        }
-        AntiPatternReport::run_instrumented(&input, self.metrics.as_ref().map(|m| &m.detect))
+        let metrics = self.metrics.as_ref().map(|m| &m.detect);
+        let mut engine = IncrementalState::default();
+        engine.observe_window(alerts, self.graph.as_ref(), metrics);
+        engine.current_findings(&self.strategies, incidents, self.graph.as_ref(), metrics)
     }
 
     /// Derives R1 blocking rules from transient/toggling (A4) and

@@ -8,9 +8,9 @@ pub use crate::{
 };
 
 pub use alertops_detect::{
-    AntiPattern, AntiPatternReport, CascadingDetector, DetectionInput, Detector,
-    ImproperRuleDetector, MisleadingSeverityDetector, RepeatingDetector, StrategyFinding,
-    TransientTogglingDetector, UnclearTitleDetector,
+    AntiPattern, AntiPatternReport, CascadingDetector, DetectionInput, Detector, EngineConfig,
+    ImproperRuleDetector, IncrementalState, MisleadingSeverityDetector, RepeatingDetector,
+    StrategyFinding, TransientTogglingDetector, UnclearTitleDetector,
 };
 pub use alertops_model::{
     Alert, AlertId, AlertStrategy, Clearance, DependencyGraph, Incident, Location, MetricKind,

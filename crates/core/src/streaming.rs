@@ -1,18 +1,23 @@
 //! Streaming governance: the Fig. 6 loop run incrementally.
 //!
 //! A production deployment does not re-scan two years of alerts on every
-//! pass — it ingests the stream window by window, keeps a bounded rolling
-//! history, and reacts to *deltas*: strategies newly flagged since the
+//! pass — it ingests the stream window by window, keeps bounded rolling
+//! state, and reacts to *deltas*: strategies newly flagged since the
 //! last window, flags that cleared (the strategy was fixed or its noise
 //! subsided), and storm onsets. [`StreamingGovernor`] wraps an
-//! [`AlertGovernor`] with exactly that state.
+//! [`AlertGovernor`] around an
+//! [`IncrementalState`](alertops_detect::IncrementalState) engine: each
+//! window is folded into per-strategy counters, region-hour histograms,
+//! and cascade edges as a *digest*, and subtracted again when it slides
+//! out of scope — so per-window cost is O(window), not O(history), while
+//! the emitted deltas stay byte-identical to batch recomputation.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use alertops_detect::storm::{region_hour_histogram, storms_from_histogram};
-use alertops_detect::{AlertStorm, AntiPattern, StormConfig, StrategyFinding};
+use alertops_detect::storm::storms_from_histogram;
+use alertops_detect::{AlertStorm, AntiPattern, IncrementalState, StormConfig, StrategyFinding};
 use alertops_model::{Alert, AlertId, Incident, RegionId, StrategyId};
 
 use crate::governor::AlertGovernor;
@@ -193,7 +198,7 @@ impl GovernanceSnapshot {
 pub struct StreamingGovernor {
     governor: AlertGovernor,
     config: StreamingConfig,
-    history: VecDeque<Vec<Alert>>,
+    engine: IncrementalState,
     incidents: Vec<Incident>,
     previous_flags: BTreeSet<(AntiPattern, StrategyId)>,
     windows_ingested: u64,
@@ -206,7 +211,7 @@ impl StreamingGovernor {
         Self {
             governor,
             config,
-            history: VecDeque::new(),
+            engine: IncrementalState::default(),
             incidents: Vec::new(),
             previous_flags: BTreeSet::new(),
             windows_ingested: 0,
@@ -235,42 +240,65 @@ impl StreamingGovernor {
         self.windows_ingested
     }
 
-    /// Alerts currently inside the rolling history.
+    /// Alerts currently inside the rolling history. O(1): the engine
+    /// tracks the count as windows are observed and evicted.
     #[must_use]
     pub fn history_len(&self) -> usize {
-        self.history.iter().map(Vec::len).sum()
+        self.engine.alert_count()
     }
 
     /// Ingests one window of (time-sorted) alerts plus any incidents
-    /// declared during it, re-runs detection over the rolling history,
-    /// and returns the delta.
+    /// declared during it, folds the window into the incremental
+    /// detection engine (evicting windows that slide out of the rolling
+    /// scope), and returns the delta.
     pub fn ingest(&mut self, window: &[Alert], incidents: &[Incident]) -> WindowDelta {
+        self.ingest_inner(window, incidents)
+    }
+
+    /// Owned-window variant of [`ingest`](Self::ingest) for callers
+    /// that buffer alerts into a `Vec` they are done with (e.g. the
+    /// ingestd shard workers): the buffer is consumed instead of
+    /// borrowed, so handing it over costs nothing. Both paths share one
+    /// implementation, and with the digest-based engine neither copies
+    /// the alerts internally.
+    pub fn ingest_owned(&mut self, window: Vec<Alert>, incidents: &[Incident]) -> WindowDelta {
+        self.ingest_inner(&window, incidents)
+    }
+
+    fn ingest_inner(&mut self, window: &[Alert], incidents: &[Incident]) -> WindowDelta {
         let _span = self.governor.metrics().map(|m| m.ingest_timer());
-        self.history.push_back(window.to_vec());
-        while self.history.len() > self.config.history_windows {
-            self.history.pop_front();
+        let detect_metrics = self.governor.metrics().map(|m| &m.detect);
+
+        self.engine
+            .observe_window(window, self.governor.dependency_graph(), detect_metrics);
+        while self.engine.window_count() > self.config.history_windows {
+            self.engine.evict_window(detect_metrics);
         }
         self.incidents.extend(incidents.iter().cloned());
 
-        // Flatten the rolling history for detection (ids stay unique —
-        // the caller owns id assignment).
-        let mut scope: Vec<Alert> = self.history.iter().flatten().cloned().collect();
-        scope.sort_by_key(|a| (a.raised_at(), a.id()));
-
-        // Prune incidents that can no longer intersect the rolling
-        // history — without this the incident list grows for the
-        // lifetime of the stream. Open incidents are always kept.
-        if let Some(oldest) = scope.first().map(Alert::raised_at) {
-            self.incidents.retain(|inc| {
+        // Prune incidents that can no longer intersect the retained
+        // evidence — without this the incident list grows for the
+        // lifetime of the stream. Open incidents are always kept; with
+        // no alerts in scope every closed incident is prunable, since a
+        // closed incident cannot influence detection without alert
+        // evidence to co-occur with.
+        match self.engine.oldest_alert_time() {
+            Some(oldest) => self.incidents.retain(|inc| {
                 inc.is_open()
                     || match inc.status() {
                         alertops_model::IncidentStatus::Mitigated { at } => at >= oldest,
                         alertops_model::IncidentStatus::Open => true,
                     }
-            });
+            }),
+            None => self.incidents.retain(Incident::is_open),
         }
 
-        let report = self.governor.detect(&scope, &self.incidents);
+        let report = self.engine.current_findings(
+            self.governor.strategies(),
+            &self.incidents,
+            self.governor.dependency_graph(),
+            detect_metrics,
+        );
         let current_flags: BTreeSet<(AntiPattern, StrategyId)> = report
             .findings
             .iter()
@@ -290,7 +318,7 @@ impl StreamingGovernor {
             .copied()
             .collect();
 
-        let histogram = region_hour_histogram(&scope);
+        let histogram = self.engine.histogram();
         let region_hours: Vec<(RegionId, u64, usize)> = histogram
             .iter()
             .map(|(key, count)| (key.0.clone(), key.1, *count))
@@ -301,7 +329,7 @@ impl StreamingGovernor {
             .collect::<BTreeSet<u64>>()
             .into_iter()
             .collect();
-        let storm_active = storms_from_histogram(histogram, &self.config.storm)
+        let storm_active = storms_from_histogram(histogram.clone(), &self.config.storm)
             .iter()
             .any(|s| {
                 s.hours

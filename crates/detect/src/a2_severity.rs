@@ -67,7 +67,76 @@ impl MisleadingSeverityDetector {
     }
 }
 
+/// The per-strategy aggregates A2 scoring reduces an alert history to.
+/// Shared by the batch [`Detector`] pass and the incremental engine
+/// ([`crate::IncrementalState`]) so both paths score identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SeverityEvidence {
+    /// In-scope alerts of the strategy.
+    pub total: usize,
+    /// Alerts whose raise time indicated an incident on the strategy's
+    /// service (within the detector's lookahead).
+    pub with_incident: usize,
+    /// Alerts that auto-cleared.
+    pub auto_cleared: usize,
+    /// Alerts that auto-cleared within [`a2_transient_cutoff`].
+    pub transients: usize,
+}
+
+/// A2's transient cutoff: auto-cleared alerts shorter than this are
+/// deferred to the A4 detector rather than judged for severity.
+pub(crate) fn a2_transient_cutoff() -> alertops_model::SimDuration {
+    alertops_model::SimDuration::from_mins(5)
+}
+
 impl MisleadingSeverityDetector {
+    /// Evaluates one strategy from its [`SeverityEvidence`] aggregates —
+    /// the single scoring formula behind both detection paths.
+    pub(crate) fn evaluate_strategy(
+        &self,
+        strategy: &alertops_model::AlertStrategy,
+        evidence: &SeverityEvidence,
+    ) -> Option<StrategyFinding> {
+        let total = evidence.total;
+        if total < self.min_alerts {
+            return None;
+        }
+        // Transient-dominated strategies are A4's finding, not A2's:
+        // their severity is moot until the flapping is fixed.
+        if evidence.transients as f64 / total as f64 > 0.5 {
+            return None;
+        }
+        let incident_rate = evidence.with_incident as f64 / total as f64;
+        let auto_clear_rate = evidence.auto_cleared as f64 / total as f64;
+        let implied = Self::implied_severity(incident_rate, auto_clear_rate);
+        // Probe severities encode worst-case impact (host down). A
+        // noisy probe with no observed impact has a *timing/threshold*
+        // problem, not a severity one — don't flag Critical probes
+        // down to noise levels.
+        if matches!(strategy.kind(), alertops_model::StrategyKind::Probe(_))
+            && implied <= Severity::Minor
+        {
+            return None;
+        }
+        let distance = strategy.severity().distance(implied);
+        if distance < self.min_distance {
+            return None;
+        }
+        Some(StrategyFinding {
+            strategy: strategy.id(),
+            pattern: AntiPattern::MisleadingSeverity,
+            score: f64::from(distance),
+            evidence: format!(
+                "configured {} but evidence implies {} ({} alerts, {:.0}% incident co-occurrence, {:.0}% auto-cleared)",
+                strategy.severity(),
+                implied,
+                total,
+                incident_rate * 100.0,
+                auto_clear_rate * 100.0,
+            ),
+        })
+    }
+
     /// The severity this detector's evidence implies for one strategy,
     /// or `None` when there is not enough history (fewer than
     /// `min_alerts` alerts). Exposed so governance remediation can
@@ -111,62 +180,29 @@ impl Detector for MisleadingSeverityDetector {
 
     fn detect(&self, input: &DetectionInput<'_>) -> Vec<StrategyFinding> {
         let mut findings = Vec::new();
-        let transient_cutoff = alertops_model::SimDuration::from_mins(5);
+        let transient_cutoff = a2_transient_cutoff();
         for strategy in input.strategies() {
-            let total = input.alert_count_of(strategy.id());
-            if total < self.min_alerts {
-                continue;
-            }
-            let mut with_incident = 0usize;
-            let mut auto_cleared = 0usize;
-            let mut transient = 0usize;
+            let mut evidence = SeverityEvidence {
+                total: input.alert_count_of(strategy.id()),
+                ..SeverityEvidence::default()
+            };
             for alert in input.alerts_of(strategy.id()) {
                 if input.incident_indicated(
                     strategy.service(),
                     alert.raised_at(),
                     self.incident_lookahead,
                 ) {
-                    with_incident += 1;
+                    evidence.with_incident += 1;
                 }
                 if alert.clearance() == Some(Clearance::Auto) {
-                    auto_cleared += 1;
+                    evidence.auto_cleared += 1;
                     if alert.duration().is_some_and(|d| d < transient_cutoff) {
-                        transient += 1;
+                        evidence.transients += 1;
                     }
                 }
             }
-            // Transient-dominated strategies are A4's finding, not A2's:
-            // their severity is moot until the flapping is fixed.
-            if transient as f64 / total as f64 > 0.5 {
-                continue;
-            }
-            let incident_rate = with_incident as f64 / total as f64;
-            let auto_clear_rate = auto_cleared as f64 / total as f64;
-            let implied = Self::implied_severity(incident_rate, auto_clear_rate);
-            // Probe severities encode worst-case impact (host down). A
-            // noisy probe with no observed impact has a *timing/threshold*
-            // problem, not a severity one — don't flag Critical probes
-            // down to noise levels.
-            if matches!(strategy.kind(), alertops_model::StrategyKind::Probe(_))
-                && implied <= Severity::Minor
-            {
-                continue;
-            }
-            let distance = strategy.severity().distance(implied);
-            if distance >= self.min_distance {
-                findings.push(StrategyFinding {
-                    strategy: strategy.id(),
-                    pattern: AntiPattern::MisleadingSeverity,
-                    score: f64::from(distance),
-                    evidence: format!(
-                        "configured {} but evidence implies {} ({} alerts, {:.0}% incident co-occurrence, {:.0}% auto-cleared)",
-                        strategy.severity(),
-                        implied,
-                        total,
-                        incident_rate * 100.0,
-                        auto_clear_rate * 100.0,
-                    ),
-                });
+            if let Some(finding) = self.evaluate_strategy(strategy, &evidence) {
+                findings.push(finding);
             }
         }
         findings.sort_by(|a, b| {

@@ -33,6 +33,49 @@ impl Default for ImproperRuleDetector {
     }
 }
 
+impl ImproperRuleDetector {
+    /// Evaluates one strategy from its rolling aggregates: `total`
+    /// in-scope alerts, of which `with_incident` indicated an incident
+    /// on the strategy's service. The single scoring formula shared by
+    /// the batch [`Detector`] pass and the incremental engine
+    /// ([`crate::IncrementalState`]). Returns `None` for strategies
+    /// that are not infrastructure-metric rules.
+    pub(crate) fn evaluate_strategy(
+        &self,
+        strategy: &alertops_model::AlertStrategy,
+        total: usize,
+        with_incident: usize,
+    ) -> Option<StrategyFinding> {
+        // Only infrastructure-metric rules can be "improper" in the
+        // paper's sense.
+        let StrategyKind::Metric(rule) = strategy.kind() else {
+            return None;
+        };
+        if !rule.metric.is_infrastructure() {
+            return None;
+        }
+        if total < self.min_alerts {
+            return None;
+        }
+        let incident_rate = with_incident as f64 / total as f64;
+        if incident_rate > self.max_incident_rate {
+            return None;
+        }
+        Some(StrategyFinding {
+            strategy: strategy.id(),
+            pattern: AntiPattern::ImproperRule,
+            // More alerts with zero impact = worse.
+            score: total as f64 * (1.0 - incident_rate),
+            evidence: format!(
+                "infrastructure metric `{}` fired {} times with {:.0}% incident co-occurrence",
+                rule.metric,
+                total,
+                incident_rate * 100.0,
+            ),
+        })
+    }
+}
+
 impl Detector for ImproperRuleDetector {
     fn pattern(&self) -> AntiPattern {
         AntiPattern::ImproperRule
@@ -41,18 +84,7 @@ impl Detector for ImproperRuleDetector {
     fn detect(&self, input: &DetectionInput<'_>) -> Vec<StrategyFinding> {
         let mut findings = Vec::new();
         for strategy in input.strategies() {
-            // Only infrastructure-metric rules can be "improper" in the
-            // paper's sense.
-            let StrategyKind::Metric(rule) = strategy.kind() else {
-                continue;
-            };
-            if !rule.metric.is_infrastructure() {
-                continue;
-            }
             let total = input.alert_count_of(strategy.id());
-            if total < self.min_alerts {
-                continue;
-            }
             let with_incident = input
                 .alerts_of(strategy.id())
                 .filter(|a| {
@@ -63,20 +95,8 @@ impl Detector for ImproperRuleDetector {
                     )
                 })
                 .count();
-            let incident_rate = with_incident as f64 / total as f64;
-            if incident_rate <= self.max_incident_rate {
-                findings.push(StrategyFinding {
-                    strategy: strategy.id(),
-                    pattern: AntiPattern::ImproperRule,
-                    // More alerts with zero impact = worse.
-                    score: total as f64 * (1.0 - incident_rate),
-                    evidence: format!(
-                        "infrastructure metric `{}` fired {} times with {:.0}% incident co-occurrence",
-                        rule.metric,
-                        total,
-                        incident_rate * 100.0,
-                    ),
-                });
+            if let Some(finding) = self.evaluate_strategy(strategy, total, with_incident) {
+                findings.push(finding);
             }
         }
         findings.sort_by(|a, b| {

@@ -12,8 +12,9 @@
 //! strategies whose alert history is dominated by transients or exhibits
 //! toggling runs.
 
-use alertops_model::{Clearance, SimDuration};
+use alertops_model::{Clearance, SimDuration, StrategyId};
 
+use crate::engine::TimeMultiset;
 use crate::input::DetectionInput;
 use crate::types::{AntiPattern, Detector, StrategyFinding};
 
@@ -72,6 +73,47 @@ impl TransientTogglingDetector {
         }
         best
     }
+
+    /// Evaluates one strategy from its rolling aggregates: `total`
+    /// in-scope alerts, of which the multiset `transient_times` were
+    /// transient. This is the single scoring formula shared by the
+    /// batch [`Detector`] pass and the incremental engine
+    /// ([`crate::IncrementalState`]) — both paths reduce a strategy's
+    /// evidence to exactly these aggregates, so their findings agree
+    /// byte for byte.
+    pub(crate) fn evaluate_strategy(
+        &self,
+        strategy: StrategyId,
+        total: usize,
+        transient_times: &TimeMultiset,
+    ) -> Option<StrategyFinding> {
+        if total == 0 {
+            return None;
+        }
+        let transients: usize = transient_times.values().sum();
+        let share = transients as f64 / total as f64;
+        if transients < self.min_transients || share < self.min_transient_share {
+            return None;
+        }
+        let flat: Vec<alertops_model::SimTime> = transient_times
+            .iter()
+            .flat_map(|(&t, &count)| std::iter::repeat_n(t, count))
+            .collect();
+        let oscillation = self.max_oscillation(&flat);
+        let toggling = oscillation > self.oscillation_threshold;
+        Some(StrategyFinding {
+            strategy,
+            pattern: AntiPattern::TransientToggling,
+            score: transients as f64 * if toggling { 2.0 } else { 1.0 },
+            evidence: format!(
+                "{transients}/{total} alerts transient (< {}); max oscillation {} in {}{}",
+                self.intermittent_threshold,
+                oscillation,
+                self.oscillation_window,
+                if toggling { " — TOGGLING" } else { "" },
+            ),
+        })
+    }
 }
 
 impl Detector for TransientTogglingDetector {
@@ -83,34 +125,15 @@ impl Detector for TransientTogglingDetector {
         let mut findings = Vec::new();
         for strategy in input.strategies() {
             let total = input.alert_count_of(strategy.id());
-            if total == 0 {
-                continue;
+            let mut transient_times = TimeMultiset::new();
+            for alert in input.alerts_of(strategy.id()) {
+                if self.is_transient(alert) {
+                    *transient_times.entry(alert.raised_at()).or_insert(0) += 1;
+                }
             }
-            let transient_times: Vec<alertops_model::SimTime> = input
-                .alerts_of(strategy.id())
-                .filter(|a| self.is_transient(a))
-                .map(alertops_model::Alert::raised_at)
-                .collect();
-            let transients = transient_times.len();
-            let share = transients as f64 / total as f64;
-            if transients < self.min_transients || share < self.min_transient_share {
-                continue;
+            if let Some(finding) = self.evaluate_strategy(strategy.id(), total, &transient_times) {
+                findings.push(finding);
             }
-            // `alerts_of` preserves stream order, which is sorted.
-            let oscillation = self.max_oscillation(&transient_times);
-            let toggling = oscillation > self.oscillation_threshold;
-            findings.push(StrategyFinding {
-                strategy: strategy.id(),
-                pattern: AntiPattern::TransientToggling,
-                score: transients as f64 * if toggling { 2.0 } else { 1.0 },
-                evidence: format!(
-                    "{transients}/{total} alerts transient (< {}); max oscillation {} in {}{}",
-                    self.intermittent_threshold,
-                    oscillation,
-                    self.oscillation_window,
-                    if toggling { " — TOGGLING" } else { "" },
-                ),
-            });
         }
         findings.sort_by(|a, b| {
             b.score

@@ -11,7 +11,9 @@
 //! its alert count reaches `hourly_threshold` in at least
 //! `min_repeat_hours` (possibly non-consecutive) hours.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+use alertops_model::StrategyId;
 
 use crate::input::DetectionInput;
 use crate::types::{AntiPattern, Detector, StrategyFinding};
@@ -43,6 +45,69 @@ impl Default for RepeatingDetector {
     }
 }
 
+impl RepeatingDetector {
+    /// Evaluates one strategy from its rolling aggregates: `total`
+    /// in-scope alerts bucketed into the `per_hour` histogram. The
+    /// single scoring formula shared by the batch [`Detector`] pass and
+    /// the incremental engine ([`crate::IncrementalState`]).
+    pub(crate) fn evaluate_strategy(
+        &self,
+        strategy: StrategyId,
+        total: usize,
+        per_hour: &BTreeMap<u64, usize>,
+    ) -> Option<StrategyFinding> {
+        if total < self.hourly_threshold && total < self.min_sustained_total {
+            return None;
+        }
+        let repeat_hours = per_hour
+            .values()
+            .filter(|&&c| c >= self.hourly_threshold)
+            .count();
+        let peak = per_hour.values().copied().max().unwrap_or(0);
+        let burst = repeat_hours >= self.min_repeat_hours;
+        // Sustained: sliding 24h span over the sorted hour buckets.
+        let sustained = {
+            let hours: Vec<(u64, usize)> = per_hour.iter().map(|(&h, &c)| (h, c)).collect();
+            let mut best = false;
+            let mut lo = 0;
+            let mut span_alerts = 0usize;
+            for hi in 0..hours.len() {
+                span_alerts += hours[hi].1;
+                while hours[hi].0 - hours[lo].0 >= self.sustained_span_hours {
+                    span_alerts -= hours[lo].1;
+                    lo += 1;
+                }
+                if hi - lo + 1 >= self.min_active_hours && span_alerts >= self.min_sustained_total {
+                    best = true;
+                    break;
+                }
+            }
+            best
+        };
+        if !(burst || sustained) {
+            return None;
+        }
+        Some(StrategyFinding {
+            strategy,
+            pattern: AntiPattern::Repeating,
+            score: peak as f64 + repeat_hours as f64 + per_hour.len() as f64 * 0.1,
+            evidence: if burst {
+                format!(
+                    "reached ≥{}/hour in {} hours (peak {}/hour, {} total alerts)",
+                    self.hourly_threshold, repeat_hours, peak, total,
+                )
+            } else {
+                format!(
+                    "fired in {} distinct hours ({} total alerts, peak {}/hour)",
+                    per_hour.len(),
+                    total,
+                    peak,
+                )
+            },
+        })
+    }
+}
+
 impl Detector for RepeatingDetector {
     fn pattern(&self) -> AntiPattern {
         AntiPattern::Repeating
@@ -52,60 +117,12 @@ impl Detector for RepeatingDetector {
         let mut findings = Vec::new();
         for strategy in input.strategies() {
             let total = input.alert_count_of(strategy.id());
-            if total < self.hourly_threshold && total < self.min_sustained_total {
-                continue;
-            }
-            let mut per_hour: HashMap<u64, usize> = HashMap::new();
+            let mut per_hour: BTreeMap<u64, usize> = BTreeMap::new();
             for alert in input.alerts_of(strategy.id()) {
                 *per_hour.entry(alert.hour_bucket()).or_insert(0) += 1;
             }
-            let repeat_hours = per_hour
-                .values()
-                .filter(|&&c| c >= self.hourly_threshold)
-                .count();
-            let peak = per_hour.values().copied().max().unwrap_or(0);
-            let burst = repeat_hours >= self.min_repeat_hours;
-            // Sustained: sliding 24h span over the sorted hour buckets.
-            let sustained = {
-                let mut hours: Vec<(u64, usize)> = per_hour.iter().map(|(&h, &c)| (h, c)).collect();
-                hours.sort_unstable();
-                let mut best = false;
-                let mut lo = 0;
-                let mut span_alerts = 0usize;
-                for hi in 0..hours.len() {
-                    span_alerts += hours[hi].1;
-                    while hours[hi].0 - hours[lo].0 >= self.sustained_span_hours {
-                        span_alerts -= hours[lo].1;
-                        lo += 1;
-                    }
-                    if hi - lo + 1 >= self.min_active_hours
-                        && span_alerts >= self.min_sustained_total
-                    {
-                        best = true;
-                        break;
-                    }
-                }
-                best
-            };
-            if burst || sustained {
-                findings.push(StrategyFinding {
-                    strategy: strategy.id(),
-                    pattern: AntiPattern::Repeating,
-                    score: peak as f64 + repeat_hours as f64 + per_hour.len() as f64 * 0.1,
-                    evidence: if burst {
-                        format!(
-                            "reached ≥{}/hour in {} hours (peak {}/hour, {} total alerts)",
-                            self.hourly_threshold, repeat_hours, peak, total,
-                        )
-                    } else {
-                        format!(
-                            "fired in {} distinct hours ({} total alerts, peak {}/hour)",
-                            per_hour.len(),
-                            total,
-                            peak,
-                        )
-                    },
-                });
+            if let Some(finding) = self.evaluate_strategy(strategy.id(), total, &per_hour) {
+                findings.push(finding);
             }
         }
         findings.sort_by(|a, b| {

@@ -16,9 +16,11 @@
 //! microservices are reported as cascades, rooted at their earliest
 //! bottom-most alert.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
 use serde::{Deserialize, Serialize};
 
-use alertops_model::{AlertId, SimDuration, TimeRange};
+use alertops_model::{AlertId, DependencyGraph, MicroserviceId, SimDuration, SimTime, TimeRange};
 
 use crate::input::DetectionInput;
 
@@ -82,108 +84,192 @@ impl CascadingDetector {
     /// Finds cascade groups in the input's alert stream.
     ///
     /// Runtime is `O(n · w)` where `w` is the number of alerts inside
-    /// the time window — the stream is scanned once with a sliding
-    /// window, and dependency checks only run within it.
+    /// the time window — each alert only checks dependency edges against
+    /// its time-window neighbours. Both this batch entry point and the
+    /// incremental engine ([`crate::IncrementalState`]) drive the same
+    /// [`CascadeState`], so their groups agree exactly; the output is a
+    /// pure function of the alert *set* (ordered internally by raise
+    /// time then id), independent of arrival order.
     #[must_use]
     pub fn detect_groups(&self, input: &DetectionInput<'_>) -> Vec<CascadeGroup> {
         let Some(graph) = input.graph() else {
             return Vec::new();
         };
-        let alerts = input.alerts();
-        let n = alerts.len();
-        if n == 0 {
+        if input.alerts().is_empty() {
             return Vec::new();
         }
-        // Precompute each microservice's dependency closure once; the
-        // sliding window below would otherwise run a BFS per alert pair.
-        type ClosureCache = std::collections::HashMap<
-            alertops_model::MicroserviceId,
-            std::collections::BTreeSet<alertops_model::MicroserviceId>,
-        >;
-        let mut closures: ClosureCache = ClosureCache::new();
-        let mut depends =
-            |a: alertops_model::MicroserviceId, b: alertops_model::MicroserviceId| -> bool {
-                closures
-                    .entry(a)
-                    .or_insert_with(|| graph.dependency_closure(a))
-                    .contains(&b)
-            };
-        // Union-find over alert indices.
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], x: usize) -> usize {
-            let mut root = x;
-            while parent[root] != root {
-                root = parent[root];
-            }
-            let mut cur = x;
-            while parent[cur] != root {
-                let next = parent[cur];
-                parent[cur] = root;
-                cur = next;
-            }
-            root
+        let mut state = CascadeState::default();
+        for alert in input.alerts() {
+            state.insert(
+                alert.raised_at(),
+                alert.id(),
+                alert.microservice(),
+                self.window,
+                graph,
+            );
         }
-        let mut lo = 0usize;
-        for hi in 0..n {
-            while alerts[hi]
-                .raised_at()
-                .duration_since(alerts[lo].raised_at())
-                > self.window
-            {
-                lo += 1;
+        state.groups(self.min_group, graph)
+    }
+}
+
+/// The cascade detector's incremental state: the set of alive alerts
+/// and the derivation edges among them.
+///
+/// The edge set is a *pure function of the alive alert set* — an edge
+/// `a — b` exists iff the two alerts are within the detector window,
+/// sit on different microservices, and the later one's microservice
+/// transitively depends on the earlier one's. Because no edge depends
+/// on arrival order, [`insert`](Self::insert) and
+/// [`remove`](Self::remove) are exact: any interleaving of inserts and
+/// removes that leaves the same alive set leaves the same state.
+/// [`groups`](Self::groups) then reads connected components off the
+/// adjacency map.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CascadeState {
+    /// Alive alerts, keyed by (raise time, id) → microservice. The key
+    /// order fixes member order, root tie-breaks, and group order.
+    alive: BTreeMap<(SimTime, AlertId), MicroserviceId>,
+    /// Undirected derivation edges; nodes without edges carry no entry,
+    /// so two states over the same alive set compare equal.
+    adj: BTreeMap<(SimTime, AlertId), BTreeSet<(SimTime, AlertId)>>,
+    /// Memoized dependency closures (cache only — excluded from
+    /// equality).
+    closures: HashMap<MicroserviceId, BTreeSet<MicroserviceId>>,
+}
+
+impl PartialEq for CascadeState {
+    fn eq(&self, other: &Self) -> bool {
+        self.alive == other.alive && self.adj == other.adj
+    }
+}
+
+impl CascadeState {
+    /// Whether microservice `a` transitively depends on (calls) `b`.
+    fn depends(&mut self, a: MicroserviceId, b: MicroserviceId, graph: &DependencyGraph) -> bool {
+        self.closures
+            .entry(a)
+            .or_insert_with(|| graph.dependency_closure(a))
+            .contains(&b)
+    }
+
+    /// Adds one alive alert, discovering derivation edges against the
+    /// alerts already alive within `window` of it (`O(w)` per insert).
+    pub(crate) fn insert(
+        &mut self,
+        raised_at: SimTime,
+        id: AlertId,
+        ms: MicroserviceId,
+        window: SimDuration,
+        graph: &DependencyGraph,
+    ) {
+        let key = (raised_at, id);
+        let lo = raised_at
+            .checked_sub(window)
+            .unwrap_or_else(|| SimTime::from_secs(0));
+        let hi = raised_at.saturating_add(window);
+        let neighbours: Vec<((SimTime, AlertId), MicroserviceId)> = self
+            .alive
+            .range((lo, AlertId(0))..=(hi, AlertId(u64::MAX)))
+            .map(|(&k, &m)| (k, m))
+            .collect();
+        for (other, other_ms) in neighbours {
+            if other == key || other_ms == ms {
+                continue; // same box: repeating, not cascading
             }
-            for earlier in lo..hi {
-                let (a, b) = (&alerts[earlier], &alerts[hi]);
-                if a.microservice() == b.microservice() {
-                    continue; // same box: repeating, not cascading
-                }
-                // b derived from a: b's microservice calls a's
-                // (failure flows from callee up to caller).
-                if depends(b.microservice(), a.microservice()) {
-                    let (ra, rb) = (find(&mut parent, earlier), find(&mut parent, hi));
-                    if ra != rb {
-                        parent[rb] = ra;
+            // Later derived from earlier: the later alert's microservice
+            // calls the earlier one's (failure flows callee → caller).
+            let (later_ms, earlier_ms) = if other < key {
+                (ms, other_ms)
+            } else {
+                (other_ms, ms)
+            };
+            if self.depends(later_ms, earlier_ms, graph) {
+                self.adj.entry(key).or_default().insert(other);
+                self.adj.entry(other).or_default().insert(key);
+            }
+        }
+        self.alive.insert(key, ms);
+    }
+
+    /// Removes one alert and every edge incident to it, dropping
+    /// neighbours' adjacency entries that become empty (so the state
+    /// stays structurally identical to a fresh build).
+    pub(crate) fn remove(&mut self, raised_at: SimTime, id: AlertId) {
+        let key = (raised_at, id);
+        self.alive.remove(&key);
+        if let Some(neighbours) = self.adj.remove(&key) {
+            for neighbour in neighbours {
+                if let Some(set) = self.adj.get_mut(&neighbour) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        self.adj.remove(&neighbour);
                     }
                 }
             }
         }
+    }
 
-        // Collect components.
-        let mut components: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for i in 0..n {
-            let root = find(&mut parent, i);
-            components.entry(root).or_default().push(i);
-        }
-
+    /// Connected components of the derivation edges, filtered and
+    /// rooted exactly as the paper describes: at least `min_group`
+    /// alerts spanning ≥ 2 microservices, rooted at the earliest alert
+    /// whose microservice depends on no other member's.
+    pub(crate) fn groups(
+        &mut self,
+        min_group: usize,
+        graph: &DependencyGraph,
+    ) -> Vec<CascadeGroup> {
+        let mut visited: BTreeSet<(SimTime, AlertId)> = BTreeSet::new();
         let mut groups = Vec::new();
-        for (_, mut ixs) in components {
-            if ixs.len() < self.min_group {
+        let nodes: Vec<(SimTime, AlertId)> = self.adj.keys().copied().collect();
+        for start in nodes {
+            if visited.contains(&start) {
                 continue;
             }
-            ixs.sort_unstable();
-            let distinct_ms: std::collections::BTreeSet<_> =
-                ixs.iter().map(|&i| alerts[i].microservice()).collect();
+            // BFS over the component.
+            let mut members: BTreeSet<(SimTime, AlertId)> = BTreeSet::new();
+            let mut queue = std::collections::VecDeque::from([start]);
+            visited.insert(start);
+            while let Some(node) = queue.pop_front() {
+                members.insert(node);
+                if let Some(neighbours) = self.adj.get(&node) {
+                    for &n in neighbours {
+                        if visited.insert(n) {
+                            queue.push_back(n);
+                        }
+                    }
+                }
+            }
+            if members.len() < min_group {
+                continue;
+            }
+            let ms_of = |k: &(SimTime, AlertId)| self.alive.get(k).copied();
+            let distinct_ms: BTreeSet<_> = members.iter().filter_map(ms_of).collect();
             if distinct_ms.len() < 2 {
                 continue;
             }
             // Root: the earliest alert on a microservice that no other
             // group member's microservice is below — i.e. the bottom of
             // the dependency chain within the group.
-            let root_ix = ixs
-                .iter()
-                .copied()
-                .filter(|&i| {
-                    let ms = alerts[i].microservice();
-                    !ixs.iter().any(|&j| depends(ms, alerts[j].microservice()))
-                })
-                .min_by_key(|&i| alerts[i].raised_at())
-                .unwrap_or(ixs[0]);
-            let first = alerts[ixs[0]].raised_at();
-            let last = alerts[*ixs.last().expect("nonempty")].raised_at();
+            let member_ms: Vec<MicroserviceId> = members.iter().filter_map(ms_of).collect();
+            let mut root = None;
+            for &k in &members {
+                let Some(ms) = self.alive.get(&k).copied() else {
+                    continue;
+                };
+                if !member_ms
+                    .iter()
+                    .any(|&other| self.depends(ms, other, graph))
+                {
+                    root = Some(k);
+                    break;
+                }
+            }
+            let root = root.unwrap_or_else(|| *members.first().expect("nonempty component"));
+            let first = members.first().expect("nonempty").0;
+            let last = members.last().expect("nonempty").0;
             groups.push(CascadeGroup {
-                root: alerts[root_ix].id(),
-                members: ixs.iter().map(|&i| alerts[i].id()).collect(),
+                root: root.1,
+                members: members.iter().map(|&(_, id)| id).collect(),
                 window: TimeRange::new(first, last.saturating_add(SimDuration::from_secs(1))),
             });
         }

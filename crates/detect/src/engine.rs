@@ -1,0 +1,724 @@
+//! The incremental detection engine: per-window governance in
+//! O(window), not O(history).
+//!
+//! The streaming governance loop used to flatten its entire rolling
+//! history into a fresh `Vec<Alert>` and re-run every detector from
+//! scratch on each ingested window — O(history × window) work plus full
+//! reallocations per tick. [`IncrementalState`] replaces that with a
+//! stateful engine exposing three operations:
+//!
+//! * [`observe_window`](IncrementalState::observe_window) — fold one
+//!   window of alerts into per-strategy rolling aggregates, the storm
+//!   region-hour histogram, and the cascade edge set, remembering a
+//!   compact [`WindowDigest`] so the window can later be subtracted;
+//! * [`evict_window`](IncrementalState::evict_window) — subtract the
+//!   oldest window's digest from every aggregate (the *eviction
+//!   algebra*: each aggregate is a multiset count, so subtraction is
+//!   exact and order-independent);
+//! * [`current_findings`](IncrementalState::current_findings) — produce
+//!   an [`AntiPatternReport`] equal to running the batch detectors over
+//!   the flattened surviving history, re-evaluating only strategies
+//!   whose aggregates changed.
+//!
+//! # Exactness
+//!
+//! Every detector's scoring was refactored into a per-strategy
+//! `evaluate_strategy` function of *aggregates* (counts, time
+//! multisets, hour histograms); both the batch [`Detector`] passes and
+//! this engine reduce a strategy's evidence to exactly those aggregates
+//! and call the same function, so findings agree byte for byte. The
+//! aggregates themselves are order-independent and support exact
+//! subtraction, with empty entries removed eagerly so a long-lived
+//! state is structurally identical to one freshly built from only the
+//! surviving windows (the property suite asserts this).
+//!
+//! A1 (unclear title) depends only on the catalog; it is computed once
+//! and re-derived only when the catalog changes. A2/A3 additionally
+//! depend on the incident list, so their cached findings are
+//! invalidated whenever the provided incidents differ from the previous
+//! evaluation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use alertops_model::{
+    Alert, AlertId, AlertStrategy, Clearance, DependencyGraph, Incident, MicroserviceId, RegionId,
+    ServiceId, SimDuration, SimTime, StrategyId,
+};
+
+use crate::a2_severity::{a2_transient_cutoff, SeverityEvidence};
+use crate::a6_cascading::{CascadeGroup, CascadeState};
+use crate::input::DetectionInput;
+use crate::metrics::DetectMetrics;
+use crate::report::AntiPatternReport;
+use crate::types::{AntiPattern, Detector, StrategyFinding};
+use crate::{
+    CascadingDetector, ImproperRuleDetector, MisleadingSeverityDetector, RepeatingDetector,
+    TransientTogglingDetector, UnclearTitleDetector,
+};
+
+/// A multiset of simulation instants: time → occurrence count.
+///
+/// The engine's basic aggregate. Order-independent (it's a map), and
+/// subtractable: removing the same times that were added restores the
+/// previous value exactly. Entries are dropped at count zero so two
+/// multisets over the same surviving alerts always compare equal.
+pub(crate) type TimeMultiset = BTreeMap<SimTime, usize>;
+
+fn multiset_add(ms: &mut TimeMultiset, t: SimTime) {
+    *ms.entry(t).or_insert(0) += 1;
+}
+
+fn multiset_sub(ms: &mut TimeMultiset, t: SimTime) {
+    if let Some(count) = ms.get_mut(&t) {
+        *count -= 1;
+        if *count == 0 {
+            ms.remove(&t);
+        }
+    }
+}
+
+/// Detector configurations the engine evaluates with. Defaults match
+/// [`AntiPatternReport::run_default`], so an engine with a default
+/// config reproduces the batch pipeline exactly.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// A1 — unclear title.
+    pub a1: UnclearTitleDetector,
+    /// A2 — misleading severity.
+    pub a2: MisleadingSeverityDetector,
+    /// A3 — improper/outdated rule.
+    pub a3: ImproperRuleDetector,
+    /// A4 — transient/toggling.
+    pub a4: TransientTogglingDetector,
+    /// A5 — repeating.
+    pub a5: RepeatingDetector,
+    /// A6 — cascading.
+    pub a6: CascadingDetector,
+}
+
+/// One strategy's contribution to one window — everything eviction
+/// needs to subtract the window from [`StrategyState`].
+#[derive(Debug, Clone, Default, PartialEq)]
+struct StrategyWindowDigest {
+    /// Raise times of the strategy's alerts in the window.
+    times: Vec<SimTime>,
+    /// Raise times of the transient ones (A4's definition).
+    transient_times: Vec<SimTime>,
+    /// Alerts that auto-cleared.
+    auto_cleared: usize,
+    /// Alerts that auto-cleared within A2's transient cutoff.
+    a2_transients: usize,
+}
+
+/// The compact per-window summary retained instead of cloned alerts.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct WindowDigest {
+    /// Alerts ingested in the window.
+    alert_count: usize,
+    /// Earliest raise time in the window, if any alerts.
+    oldest: Option<SimTime>,
+    /// Per-strategy slices of the window.
+    per_strategy: BTreeMap<StrategyId, StrategyWindowDigest>,
+    /// `(region, hour) → count` contribution to the storm histogram.
+    region_hours: Vec<((RegionId, u64), usize)>,
+    /// `(raise time, id, microservice)` of every alert, recorded only
+    /// when a dependency graph was attached at observe time (the
+    /// cascade state is maintained only then).
+    cascade: Vec<(SimTime, AlertId, MicroserviceId)>,
+}
+
+/// Rolling aggregates for one strategy over the surviving windows.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct StrategyState {
+    /// Total in-scope alerts.
+    total: usize,
+    /// Raise-time multiset of every alert (drives A2/A3 incident
+    /// co-occurrence counting).
+    times: TimeMultiset,
+    /// Raise-time multiset of A4-transient alerts.
+    transient_times: TimeMultiset,
+    /// Auto-cleared alerts.
+    auto_cleared: usize,
+    /// Auto-cleared within A2's transient cutoff.
+    a2_transients: usize,
+    /// Alerts per hour bucket (drives A5).
+    hours: BTreeMap<u64, usize>,
+}
+
+/// Cached per-strategy findings of the four history-driven detectors.
+#[derive(Debug, Clone, Default)]
+struct CachedFindings {
+    a2: Option<StrategyFinding>,
+    a3: Option<StrategyFinding>,
+    a4: Option<StrategyFinding>,
+    a5: Option<StrategyFinding>,
+}
+
+/// The incremental detection engine. See the [module docs](self) for
+/// the design; see `StreamingGovernor` in `alertops-core` for the
+/// production driver.
+///
+/// Cloning the state clones the full rolling aggregates — this is what
+/// the ingestion daemon's checkpointing relies on for crash recovery.
+#[derive(Debug, Clone)]
+pub struct IncrementalState {
+    config: EngineConfig,
+    /// Digests of the surviving windows, oldest first.
+    windows: VecDeque<WindowDigest>,
+    /// Total alerts across surviving windows (O(1) scope size).
+    alerts_in_scope: usize,
+    /// Per-strategy rolling aggregates; entries are removed when a
+    /// strategy's last alert is evicted.
+    per_strategy: BTreeMap<StrategyId, StrategyState>,
+    /// The storm `(region, hour) → count` histogram, incrementally
+    /// maintained; zero entries are removed.
+    histogram: BTreeMap<(RegionId, u64), usize>,
+    /// A6's alive-alert set and derivation edges.
+    cascade: CascadeState,
+    /// Strategies whose aggregates changed since the last evaluation.
+    dirty: BTreeSet<StrategyId>,
+    /// The catalog seen by the last evaluation (None before the first).
+    catalog: Option<Vec<AlertStrategy>>,
+    /// The incident list seen by the last evaluation.
+    incidents_seen: Option<Vec<Incident>>,
+    /// A1 findings for `catalog` (valid while the catalog is unchanged).
+    a1_cache: Vec<StrategyFinding>,
+    /// Cached A2–A5 findings per strategy with in-scope alerts.
+    findings_cache: BTreeMap<StrategyId, CachedFindings>,
+}
+
+impl PartialEq for IncrementalState {
+    /// Compares only the *rolling state* (window digests, per-strategy
+    /// aggregates, histogram, cascade edges) — not evaluation caches,
+    /// which legitimately differ between a long-lived state and a fresh
+    /// rebuild until the next `current_findings` call.
+    fn eq(&self, other: &Self) -> bool {
+        self.windows == other.windows
+            && self.alerts_in_scope == other.alerts_in_scope
+            && self.per_strategy == other.per_strategy
+            && self.histogram == other.histogram
+            && self.cascade == other.cascade
+    }
+}
+
+impl Default for IncrementalState {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl IncrementalState {
+    /// Creates an empty engine with the given detector configurations.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            windows: VecDeque::new(),
+            alerts_in_scope: 0,
+            per_strategy: BTreeMap::new(),
+            histogram: BTreeMap::new(),
+            cascade: CascadeState::default(),
+            dirty: BTreeSet::new(),
+            catalog: None,
+            incidents_seen: None,
+            a1_cache: Vec::new(),
+            findings_cache: BTreeMap::new(),
+        }
+    }
+
+    /// The detector configurations.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Total alerts across the surviving windows — O(1).
+    #[must_use]
+    pub fn alert_count(&self) -> usize {
+        self.alerts_in_scope
+    }
+
+    /// Number of surviving (observed but not evicted) windows.
+    #[must_use]
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The earliest alert raise time still in scope, if any.
+    #[must_use]
+    pub fn oldest_alert_time(&self) -> Option<SimTime> {
+        self.windows.iter().filter_map(|w| w.oldest).min()
+    }
+
+    /// The incrementally maintained storm `(region, hour) → count`
+    /// histogram over the surviving windows. Identical to
+    /// [`region_hour_histogram`](crate::region_hour_histogram) over the
+    /// flattened scope.
+    #[must_use]
+    pub fn histogram(&self) -> &BTreeMap<(RegionId, u64), usize> {
+        &self.histogram
+    }
+
+    /// Folds one window of alerts into the rolling aggregates —
+    /// O(window), independent of how much history is in scope.
+    ///
+    /// Pass the dependency graph if (and only if) cascade detection is
+    /// wanted; the cascade edge set is maintained only for windows
+    /// observed with a graph. `metrics` times the apply under
+    /// `alertops_engine_apply_micros` (observer-only).
+    pub fn observe_window(
+        &mut self,
+        window: &[Alert],
+        graph: Option<&DependencyGraph>,
+        metrics: Option<&DetectMetrics>,
+    ) {
+        let _span = metrics.map(DetectMetrics::engine_apply_timer);
+        let transient_cutoff = a2_transient_cutoff();
+        let mut digest = WindowDigest {
+            alert_count: window.len(),
+            ..WindowDigest::default()
+        };
+        let mut region_hours: BTreeMap<(RegionId, u64), usize> = BTreeMap::new();
+        for alert in window {
+            let t = alert.raised_at();
+            digest.oldest = Some(digest.oldest.map_or(t, |o| o.min(t)));
+            let slice = digest.per_strategy.entry(alert.strategy()).or_default();
+            slice.times.push(t);
+            if self.config.a4.is_transient(alert) {
+                slice.transient_times.push(t);
+            }
+            if alert.clearance() == Some(Clearance::Auto) {
+                slice.auto_cleared += 1;
+                if alert.duration().is_some_and(|d| d < transient_cutoff) {
+                    slice.a2_transients += 1;
+                }
+            }
+            *region_hours
+                .entry((alert.location().region().clone(), alert.hour_bucket()))
+                .or_insert(0) += 1;
+            if graph.is_some() {
+                digest.cascade.push((t, alert.id(), alert.microservice()));
+            }
+        }
+        digest.region_hours = region_hours.into_iter().collect();
+
+        // Apply the digest to the rolling aggregates.
+        self.alerts_in_scope += digest.alert_count;
+        for (&strategy, slice) in &digest.per_strategy {
+            let state = self.per_strategy.entry(strategy).or_default();
+            state.total += slice.times.len();
+            for &t in &slice.times {
+                multiset_add(&mut state.times, t);
+                *state.hours.entry(t.hour_bucket()).or_insert(0) += 1;
+            }
+            for &t in &slice.transient_times {
+                multiset_add(&mut state.transient_times, t);
+            }
+            state.auto_cleared += slice.auto_cleared;
+            state.a2_transients += slice.a2_transients;
+            self.dirty.insert(strategy);
+        }
+        for ((region, hour), count) in &digest.region_hours {
+            *self.histogram.entry((region.clone(), *hour)).or_insert(0) += count;
+        }
+        if let Some(graph) = graph {
+            for &(t, id, ms) in &digest.cascade {
+                self.cascade.insert(t, id, ms, self.config.a6.window, graph);
+            }
+        }
+        self.windows.push_back(digest);
+    }
+
+    /// Subtracts the oldest window from every aggregate and drops its
+    /// digest. Returns the number of alerts evicted (0 when no window
+    /// survives). `metrics` times the eviction under
+    /// `alertops_engine_evict_micros`.
+    pub fn evict_window(&mut self, metrics: Option<&DetectMetrics>) -> usize {
+        let _span = metrics.map(DetectMetrics::engine_evict_timer);
+        let Some(digest) = self.windows.pop_front() else {
+            return 0;
+        };
+        self.alerts_in_scope -= digest.alert_count;
+        for (strategy, slice) in digest.per_strategy {
+            if let Some(state) = self.per_strategy.get_mut(&strategy) {
+                state.total -= slice.times.len();
+                for &t in &slice.times {
+                    multiset_sub(&mut state.times, t);
+                    if let Some(count) = state.hours.get_mut(&t.hour_bucket()) {
+                        *count -= 1;
+                        if *count == 0 {
+                            state.hours.remove(&t.hour_bucket());
+                        }
+                    }
+                }
+                for &t in &slice.transient_times {
+                    multiset_sub(&mut state.transient_times, t);
+                }
+                state.auto_cleared -= slice.auto_cleared;
+                state.a2_transients -= slice.a2_transients;
+                if state.total == 0 {
+                    self.per_strategy.remove(&strategy);
+                }
+            }
+            self.dirty.insert(strategy);
+        }
+        for ((region, hour), count) in digest.region_hours {
+            if let Some(current) = self.histogram.get_mut(&(region.clone(), hour)) {
+                *current -= count;
+                if *current == 0 {
+                    self.histogram.remove(&(region, hour));
+                }
+            }
+        }
+        for (t, id, _) in digest.cascade {
+            self.cascade.remove(t, id);
+        }
+        digest.alert_count
+    }
+
+    /// Evaluates the current scope into an [`AntiPatternReport`] equal
+    /// to running the batch detectors over the flattened surviving
+    /// history with `strategies`, `incidents`, and `graph` attached.
+    ///
+    /// Only strategies whose aggregates changed since the last
+    /// evaluation are re-scored; A1 is recomputed only when the catalog
+    /// changes, and A2/A3 additionally when the incident list changes.
+    /// Per-pattern wall time and finding counts are recorded into
+    /// `metrics` exactly as the batch
+    /// [`run_instrumented`](AntiPatternReport::run_instrumented) does.
+    pub fn current_findings(
+        &mut self,
+        strategies: &[AlertStrategy],
+        incidents: &[Incident],
+        graph: Option<&DependencyGraph>,
+        metrics: Option<&DetectMetrics>,
+    ) -> AntiPatternReport {
+        if let Some(m) = metrics {
+            m.record_run(self.alerts_in_scope as u64);
+        }
+        let catalog_changed = self.catalog.as_deref() != Some(strategies);
+        if catalog_changed {
+            // Strategy attributes (severity, kind, service) feed every
+            // evaluator: invalidate everything.
+            self.dirty.extend(self.per_strategy.keys().copied());
+        }
+        let incidents_changed = self.incidents_seen.as_deref() != Some(incidents);
+
+        let mut findings: BTreeMap<AntiPattern, Vec<StrategyFinding>> = BTreeMap::new();
+
+        // A1 — pure function of the catalog.
+        let a1 = {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::UnclearTitle));
+            if catalog_changed {
+                self.a1_cache = self.config.a1.detect(&DetectionInput::new(strategies));
+            }
+            self.a1_cache.clone()
+        };
+        if let Some(m) = metrics {
+            m.record_findings(AntiPattern::UnclearTitle, a1.len() as u64);
+        }
+        findings.insert(AntiPattern::UnclearTitle, a1);
+
+        let by_id: HashMap<StrategyId, &AlertStrategy> =
+            strategies.iter().map(|s| (s.id(), s)).collect();
+        // A2/A3 consume the incident list; a changed list invalidates
+        // every strategy's cached finding for them.
+        let stale_a23: Vec<StrategyId> = if incidents_changed {
+            self.per_strategy
+                .keys()
+                .chain(self.dirty.iter())
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        } else {
+            self.dirty.iter().copied().collect()
+        };
+        let stale_a45: Vec<StrategyId> = self.dirty.iter().copied().collect();
+
+        // A2 — misleading severity.
+        {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::MisleadingSeverity));
+            for &id in &stale_a23 {
+                let finding = match (by_id.get(&id), self.per_strategy.get(&id)) {
+                    (Some(strategy), Some(state)) => {
+                        let evidence = SeverityEvidence {
+                            total: state.total,
+                            with_incident: with_incident(
+                                &state.times,
+                                strategy.service(),
+                                incidents,
+                                self.config.a2.incident_lookahead,
+                            ),
+                            auto_cleared: state.auto_cleared,
+                            transients: state.a2_transients,
+                        };
+                        self.config.a2.evaluate_strategy(strategy, &evidence)
+                    }
+                    _ => None,
+                };
+                self.store_finding(id, |cache| cache.a2 = finding);
+            }
+        }
+        self.publish(
+            AntiPattern::MisleadingSeverity,
+            &mut findings,
+            metrics,
+            |c| c.a2.clone(),
+        );
+
+        // A3 — improper rule.
+        {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::ImproperRule));
+            for &id in &stale_a23 {
+                let finding = match (by_id.get(&id), self.per_strategy.get(&id)) {
+                    (Some(strategy), Some(state)) => self.config.a3.evaluate_strategy(
+                        strategy,
+                        state.total,
+                        with_incident(
+                            &state.times,
+                            strategy.service(),
+                            incidents,
+                            self.config.a3.incident_lookahead,
+                        ),
+                    ),
+                    _ => None,
+                };
+                self.store_finding(id, |cache| cache.a3 = finding);
+            }
+        }
+        self.publish(AntiPattern::ImproperRule, &mut findings, metrics, |c| {
+            c.a3.clone()
+        });
+
+        // A4 — transient/toggling.
+        {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::TransientToggling));
+            for &id in &stale_a45 {
+                let finding = match (by_id.get(&id), self.per_strategy.get(&id)) {
+                    (Some(_), Some(state)) => {
+                        self.config
+                            .a4
+                            .evaluate_strategy(id, state.total, &state.transient_times)
+                    }
+                    _ => None,
+                };
+                self.store_finding(id, |cache| cache.a4 = finding);
+            }
+        }
+        self.publish(
+            AntiPattern::TransientToggling,
+            &mut findings,
+            metrics,
+            |c| c.a4.clone(),
+        );
+
+        // A5 — repeating.
+        {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::Repeating));
+            for &id in &stale_a45 {
+                let finding = match (by_id.get(&id), self.per_strategy.get(&id)) {
+                    (Some(_), Some(state)) => {
+                        self.config
+                            .a5
+                            .evaluate_strategy(id, state.total, &state.hours)
+                    }
+                    _ => None,
+                };
+                self.store_finding(id, |cache| cache.a5 = finding);
+            }
+        }
+        self.publish(AntiPattern::Repeating, &mut findings, metrics, |c| {
+            c.a5.clone()
+        });
+
+        // A6 — cascades come straight off the maintained edge set.
+        let cascades: Vec<CascadeGroup> = {
+            let _span = metrics.map(|m| m.detector_timer(AntiPattern::Cascading));
+            let min_group = self.config.a6.min_group;
+            match graph {
+                Some(graph) => self.cascade.groups(min_group, graph),
+                None => Vec::new(),
+            }
+        };
+        if let Some(m) = metrics {
+            m.record_findings(AntiPattern::Cascading, cascades.len() as u64);
+        }
+
+        self.dirty.clear();
+        if catalog_changed {
+            self.catalog = Some(strategies.to_vec());
+        }
+        if incidents_changed {
+            self.incidents_seen = Some(incidents.to_vec());
+        }
+        AntiPatternReport { findings, cascades }
+    }
+
+    /// Stores one recomputed per-strategy finding, dropping the cache
+    /// entry entirely when the strategy no longer has in-scope alerts
+    /// (keeps the cache congruent with `per_strategy`).
+    fn store_finding(&mut self, id: StrategyId, write: impl FnOnce(&mut CachedFindings)) {
+        if self.per_strategy.contains_key(&id) {
+            write(self.findings_cache.entry(id).or_default());
+        } else {
+            self.findings_cache.remove(&id);
+        }
+    }
+
+    /// Collects one pattern's cached findings, sorts them with the
+    /// detectors' shared comparator (score descending, then strategy),
+    /// records the count, and files them under `pattern`.
+    fn publish(
+        &self,
+        pattern: AntiPattern,
+        findings: &mut BTreeMap<AntiPattern, Vec<StrategyFinding>>,
+        metrics: Option<&DetectMetrics>,
+        select: impl Fn(&CachedFindings) -> Option<StrategyFinding>,
+    ) {
+        let mut found: Vec<StrategyFinding> =
+            self.findings_cache.values().filter_map(select).collect();
+        found.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.strategy.cmp(&b.strategy))
+        });
+        if let Some(m) = metrics {
+            m.record_findings(pattern, found.len() as u64);
+        }
+        findings.insert(pattern, found);
+    }
+}
+
+/// How many occurrences in `times` indicated an incident on `service`
+/// (one was ongoing, or began within `lookahead` after the instant) —
+/// the shared co-occurrence count behind A2 and A3.
+fn with_incident(
+    times: &TimeMultiset,
+    service: ServiceId,
+    incidents: &[Incident],
+    lookahead: SimDuration,
+) -> usize {
+    times
+        .iter()
+        .filter(|(&t, _)| {
+            incidents
+                .iter()
+                .any(|inc| inc.service() == service && inc.covers_or_follows(t, lookahead))
+        })
+        .map(|(_, &count)| count)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{LogRule, StrategyKind};
+
+    fn strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("haproxy process number warning")
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "WARN".into(),
+                min_count: 1,
+                window: SimDuration::from_mins(5),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn alert(id: u64, strategy: u64, t: u64) -> Alert {
+        let mut a = Alert::builder(AlertId(id), StrategyId(strategy))
+            .raised_at(SimTime::from_secs(t))
+            .build();
+        a.clear(SimTime::from_secs(t + 30), Clearance::Auto)
+            .unwrap();
+        a
+    }
+
+    fn windows() -> Vec<Vec<Alert>> {
+        (0..4u64)
+            .map(|w| {
+                (0..6u64)
+                    .map(|i| alert(w * 100 + i, 1 + (i % 2), w * 3_600 + i * 300))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_and_engine_reports_agree() {
+        let strategies = vec![strategy(1), strategy(2)];
+        let scope: Vec<Alert> = windows().concat();
+        let input = DetectionInput::new(&strategies).with_alerts(&scope);
+        let batch = AntiPatternReport::run_default(&input);
+        let mut engine = IncrementalState::default();
+        engine.observe_window(&scope, None, None);
+        let incremental = engine.current_findings(&strategies, &[], None, None);
+        assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn eviction_restores_fresh_state() {
+        let ws = windows();
+        let mut engine = IncrementalState::default();
+        for w in &ws {
+            engine.observe_window(w, None, None);
+        }
+        engine.evict_window(None);
+        engine.evict_window(None);
+        let mut fresh = IncrementalState::default();
+        for w in &ws[2..] {
+            fresh.observe_window(w, None, None);
+        }
+        assert_eq!(engine, fresh);
+        assert_eq!(engine.alert_count(), fresh.alert_count());
+        assert_eq!(engine.oldest_alert_time(), fresh.oldest_alert_time());
+    }
+
+    #[test]
+    fn evicting_everything_leaves_an_empty_state() {
+        let ws = windows();
+        let mut engine = IncrementalState::default();
+        for w in &ws {
+            engine.observe_window(w, None, None);
+        }
+        while engine.window_count() > 0 {
+            engine.evict_window(None);
+        }
+        assert_eq!(engine, IncrementalState::default());
+        assert_eq!(engine.alert_count(), 0);
+        assert!(engine.histogram().is_empty());
+        assert_eq!(engine.oldest_alert_time(), None);
+    }
+
+    #[test]
+    fn findings_cache_tracks_evictions() {
+        let strategies = vec![strategy(1), strategy(2)];
+        let ws = windows();
+        let mut engine = IncrementalState::default();
+        for w in &ws {
+            engine.observe_window(w, None, None);
+        }
+        let before = engine.current_findings(&strategies, &[], None, None);
+        // Evict everything: findings must clear (evidence gone).
+        for _ in 0..ws.len() {
+            engine.evict_window(None);
+        }
+        let after = engine.current_findings(&strategies, &[], None, None);
+        assert!(before.finding_count() > 0, "{before}");
+        assert_eq!(
+            after.finding_count(),
+            0,
+            "no evidence may survive full eviction: {after}"
+        );
+    }
+
+    #[test]
+    fn evict_on_empty_engine_is_a_noop() {
+        let mut engine = IncrementalState::default();
+        assert_eq!(engine.evict_window(None), 0);
+        assert_eq!(engine, IncrementalState::default());
+    }
+}

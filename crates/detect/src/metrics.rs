@@ -25,6 +25,10 @@ pub struct DetectMetrics {
     runs: Arc<Counter>,
     /// Alerts visible to the detectors, summed over runs.
     alerts_scanned: Arc<Counter>,
+    /// Incremental-engine window-apply wall time.
+    engine_apply_micros: Arc<Histogram>,
+    /// Incremental-engine window-evict wall time.
+    engine_evict_micros: Arc<Histogram>,
 }
 
 impl DetectMetrics {
@@ -58,6 +62,16 @@ impl DetectMetrics {
                 "Alerts visible to the detectors, summed over runs.",
                 &[],
             ),
+            engine_apply_micros: registry.histogram(
+                "alertops_engine_apply_micros",
+                "Wall time folding one window into the incremental engine.",
+                &[],
+            ),
+            engine_evict_micros: registry.histogram(
+                "alertops_engine_evict_micros",
+                "Wall time evicting one window from the incremental engine.",
+                &[],
+            ),
         }
     }
 
@@ -84,6 +98,21 @@ impl DetectMetrics {
         self.runs.inc();
         self.alerts_scanned.add(alerts);
     }
+
+    /// Starts a wall-time span over one incremental-engine window apply
+    /// ([`IncrementalState::observe_window`](crate::IncrementalState::observe_window)).
+    #[must_use]
+    pub fn engine_apply_timer(&self) -> Span<'_> {
+        self.engine_apply_micros.time()
+    }
+
+    /// Starts a wall-time span over one incremental-engine window
+    /// eviction
+    /// ([`IncrementalState::evict_window`](crate::IncrementalState::evict_window)).
+    #[must_use]
+    pub fn engine_evict_timer(&self) -> Span<'_> {
+        self.engine_evict_micros.time()
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +126,8 @@ mod tests {
         metrics.record_run(42);
         metrics.record_findings(AntiPattern::Repeating, 3);
         drop(metrics.detector_timer(AntiPattern::Cascading));
+        drop(metrics.engine_apply_timer());
+        drop(metrics.engine_evict_timer());
         let text = registry.render();
         for pattern in AntiPattern::ALL {
             assert!(
@@ -107,6 +138,8 @@ mod tests {
         assert!(text.contains("alertops_detect_alerts_scanned_total 42"));
         assert!(text.contains("alertops_detector_findings_total{pattern=\"A5\"} 3"));
         assert!(text.contains("alertops_detector_micros_count{pattern=\"A6\"} 1"));
+        assert!(text.contains("alertops_engine_apply_micros"));
+        assert!(text.contains("alertops_engine_evict_micros"));
         alertops_obs::lint_exposition(&text).unwrap();
     }
 

@@ -1,0 +1,192 @@
+//! Property tests over the incremental detection engine's eviction
+//! algebra: observing windows and then evicting some prefix must leave
+//! the engine *exactly* where a fresh engine fed only the surviving
+//! windows would be — structurally (rolling counters, transient
+//! multisets, repeat histograms, the storm region-hour histogram, and
+//! cascade edges) and in the findings it reports. This is the property
+//! that makes O(window) streaming detection semantically equal to
+//! O(history) batch recomputation.
+
+use proptest::prelude::*;
+
+use alertops_detect::storm::region_hour_histogram;
+use alertops_detect::IncrementalState;
+use alertops_model::{
+    Alert, AlertId, AlertStrategy, Clearance, DependencyGraph, Incident, IncidentId, Location,
+    LogRule, MicroserviceId, ServiceId, Severity, SimDuration, SimTime, StrategyId, StrategyKind,
+};
+
+/// A dense-id log catalog covering every strategy the generator emits.
+fn catalog() -> Vec<AlertStrategy> {
+    (0..6u64)
+        .map(|id| {
+            AlertStrategy::builder(StrategyId(id))
+                .title_template("service latency is abnormal")
+                .kind(StrategyKind::Log(LogRule {
+                    keyword: "ERROR".into(),
+                    min_count: 1,
+                    window: SimDuration::from_mins(5),
+                }))
+                .build()
+                .expect("catalog strategy is well-formed")
+        })
+        .collect()
+}
+
+/// A small call chain `m0 → m1 → m2 → m3` so cascade edges appear.
+fn graph() -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    for (caller, callee) in [(0u64, 1u64), (1, 2), (2, 3)] {
+        g.add_edge(MicroserviceId(caller), MicroserviceId(callee));
+    }
+    g
+}
+
+/// A couple of incidents so the A2/A3 co-occurrence paths execute.
+fn incidents() -> Vec<Incident> {
+    let mut mitigated = Incident::new(
+        IncidentId(0),
+        ServiceId(0),
+        Severity::Critical,
+        SimTime::from_secs(1_800),
+    );
+    mitigated.mitigate(SimTime::from_secs(7_200));
+    let open = Incident::new(
+        IncidentId(1),
+        ServiceId(1),
+        Severity::Major,
+        SimTime::from_secs(10_000),
+    );
+    vec![mitigated, open]
+}
+
+/// Random alert windows: each alert gets a strategy, region, hour,
+/// microservice tied to the strategy (so the dependency graph applies),
+/// and an optional auto-clearance — short enough to count as transient
+/// for some draws, exercising the A4 multiset and the A2 evidence
+/// counters in both directions.
+fn arb_windows(max_alerts: usize) -> impl Strategy<Value = Vec<Vec<Alert>>> {
+    (
+        prop::collection::vec(
+            (
+                0u64..6,                         // strategy
+                0u64..10,                        // hour
+                0u64..3_600,                     // offset in hour
+                0u64..2,                         // region index
+                prop::option::of(10u64..900u64), // auto-clear after seconds
+            ),
+            0..max_alerts,
+        ),
+        2usize..20, // window length
+    )
+        .prop_map(|(rows, window_len)| {
+            let mut alerts: Vec<Alert> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (strategy, hour, offset, region, clear_after))| {
+                    let raised = SimTime::from_secs(hour * 3_600 + offset);
+                    let mut alert = Alert::builder(AlertId(i as u64), StrategyId(strategy))
+                        .title("service latency is abnormal")
+                        .microservice(MicroserviceId(strategy % 4))
+                        .location(Location::new(format!("r{region}"), "dc"))
+                        .raised_at(raised)
+                        .build();
+                    if let Some(secs) = clear_after {
+                        alert
+                            .clear(raised + SimDuration::from_secs(secs), Clearance::Auto)
+                            .expect("clearance after raise");
+                    }
+                    alert
+                })
+                .collect();
+            alerts.sort_by_key(|a| (a.raised_at(), a.id()));
+            alerts.chunks(window_len).map(<[Alert]>::to_vec).collect()
+        })
+}
+
+/// A fresh engine fed only `windows`, in order.
+fn fresh(windows: &[Vec<Alert>], graph: &DependencyGraph) -> IncrementalState {
+    let mut engine = IncrementalState::default();
+    for window in windows {
+        engine.observe_window(window, Some(graph), None);
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// observe(all) + evict(k) == observe(survivors), for every k —
+    /// state, storm histogram, and reported findings alike.
+    #[test]
+    fn eviction_equals_fresh_rebuild_of_survivors(windows in arb_windows(160)) {
+        let graph = graph();
+        let strategies = catalog();
+        let incidents = incidents();
+        for k in 0..=windows.len() {
+            let mut evicted = fresh(&windows, &graph);
+            let mut removed = 0;
+            for _ in 0..k {
+                removed += evicted.evict_window(None);
+            }
+            let survivors: usize = windows[k..].iter().map(Vec::len).sum();
+            prop_assert_eq!(removed + survivors, windows.iter().map(Vec::len).sum::<usize>());
+            prop_assert_eq!(evicted.alert_count(), survivors);
+
+            let mut rebuilt = fresh(&windows[k..], &graph);
+            prop_assert_eq!(&evicted, &rebuilt, "state diverged after evicting {} windows", k);
+
+            let flat: Vec<Alert> = windows[k..].iter().flatten().cloned().collect();
+            prop_assert_eq!(evicted.histogram(), &region_hour_histogram(&flat));
+
+            let from_evicted =
+                evicted.current_findings(&strategies, &incidents, Some(&graph), None);
+            let from_rebuilt =
+                rebuilt.current_findings(&strategies, &incidents, Some(&graph), None);
+            prop_assert_eq!(from_evicted, from_rebuilt, "findings diverged at k={}", k);
+        }
+    }
+
+    /// Rolling usage — interleaved observe/evict with a bounded scope —
+    /// stays equal to rebuilding from the surviving suffix at every
+    /// step, including the findings reported mid-stream (which also
+    /// exercises the dirty-tracking cache between mutations).
+    #[test]
+    fn interleaved_observe_and_evict_track_a_sliding_rebuild(
+        windows in arb_windows(120),
+        scope in 1usize..5,
+    ) {
+        let graph = graph();
+        let strategies = catalog();
+        let incidents = incidents();
+        let mut rolling = IncrementalState::default();
+        for (i, window) in windows.iter().enumerate() {
+            rolling.observe_window(window, Some(&graph), None);
+            while rolling.window_count() > scope {
+                rolling.evict_window(None);
+            }
+            let start = (i + 1).saturating_sub(scope);
+            let mut rebuilt = fresh(&windows[start..=i], &graph);
+            prop_assert_eq!(&rolling, &rebuilt, "state diverged at window {}", i);
+            prop_assert_eq!(
+                rolling.current_findings(&strategies, &incidents, Some(&graph), None),
+                rebuilt.current_findings(&strategies, &incidents, Some(&graph), None),
+                "findings diverged at window {}", i
+            );
+        }
+    }
+
+    /// Evicting everything returns the engine to its pristine state.
+    #[test]
+    fn full_eviction_is_pristine(windows in arb_windows(80)) {
+        let graph = graph();
+        let mut engine = fresh(&windows, &graph);
+        while engine.window_count() > 0 {
+            engine.evict_window(None);
+        }
+        prop_assert_eq!(engine.alert_count(), 0);
+        prop_assert!(engine.histogram().is_empty());
+        prop_assert_eq!(engine.oldest_alert_time(), None);
+        prop_assert_eq!(&engine, &IncrementalState::default());
+    }
+}

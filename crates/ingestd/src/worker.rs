@@ -157,16 +157,20 @@ fn close_window(
     // concurrent producers does not guarantee order.
     state.window.sort_by_key(|a| (a.raised_at(), a.id()));
     let poisoned = std::mem::take(&mut state.poison_next_close);
-    let delta = state.governor.ingest(&state.window, &[]);
+    let window = std::mem::take(&mut state.window);
     if poisoned {
         // After detection mutated the governor: recovery must come
-        // from the checkpoint, not from "retrying" this state.
+        // from the checkpoint, not from "retrying" this state. The
+        // window goes back into the buffer first so the supervisor
+        // counts its alerts as dropped, exactly like any other panic
+        // between closes.
+        let _ = state.governor.ingest(&window, &[]);
+        state.window = window;
         panic!("{CHAOS_PANIC_MSG} (shard {shard}, close {seq})");
     }
-    counters
-        .delivered
-        .fetch_add(state.window.len() as u64, Ordering::Relaxed);
-    state.window.clear();
+    let closed = window.len() as u64;
+    let delta = state.governor.ingest_owned(window, &[]);
+    counters.delivered.fetch_add(closed, Ordering::Relaxed);
     state.checkpoint = state.governor.clone();
     state.pending_close = None;
     deltas

@@ -33,4 +33,13 @@ cargo test -q --test ingestd_e2e metrics_
 cargo test -q --test determinism metrics_
 cargo test -q -p alertops-obs
 
+# Incremental-engine gate: the differential suite (streaming deltas
+# byte-identical to batch recomputation, sharded merges, checkpoint
+# rehydration, lossless worker restarts) plus the eviction-algebra
+# property tests. A detector change that breaks exact batch/streaming
+# equivalence fails here by name.
+echo "==> incremental engine: differential + eviction properties"
+cargo test -q --test incremental_equivalence
+cargo test -q -p alertops-detect --test incremental
+
 echo "CI green."
