@@ -1,6 +1,7 @@
 //! Criterion benches: per-window streaming ingest — the incremental
 //! detection engine against the pre-refactor batch recompute, at two
-//! rolling-history depths. The batch baseline scales with history; the
+//! rolling-history depths — plus the per-window cost of the emerging
+//! (AO-LDA) channel. The batch baseline scales with history; the
 //! incremental engine's cost is O(window), so the gap widens with
 //! `history_windows`.
 
@@ -8,19 +9,30 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use alertops_bench::oracle::BatchRecomputeGovernor;
-use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
+use alertops_core::{
+    AlertGovernor, EmergingChannel, EmergingMode, GovernorConfig, StreamingConfig,
+    StreamingGovernor,
+};
 use alertops_model::{Alert, AlertStrategy};
+use alertops_react::EmergingConfig;
 use alertops_sim::scenarios;
 
 const WINDOW_LEN: usize = 64;
 
-fn bench_streaming(c: &mut Criterion) {
+/// The shared trace: the mini-study simulation, time-sorted and cut
+/// into fixed-length ingest windows.
+fn trace_windows() -> (Vec<AlertStrategy>, Vec<Vec<Alert>>, usize) {
     let out = scenarios::mini_study(2022).run();
     let strategies: Vec<AlertStrategy> = out.catalog.strategies().to_vec();
     let mut trace = out.alerts;
     trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    let len = trace.len();
     let windows: Vec<Vec<Alert>> = trace.chunks(WINDOW_LEN).map(<[Alert]>::to_vec).collect();
+    (strategies, windows, len)
+}
 
+fn bench_streaming(c: &mut Criterion) {
+    let (strategies, windows, alerts) = trace_windows();
     let governor = || AlertGovernor::new(strategies.clone(), GovernorConfig::default());
     let config = |history_windows| StreamingConfig {
         history_windows,
@@ -29,7 +41,7 @@ fn bench_streaming(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("streaming");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.throughput(Throughput::Elements(alerts as u64));
     for history_windows in [24usize, 96] {
         group.bench_function(format!("incremental_ingest_h{history_windows}"), |b| {
             b.iter(|| {
@@ -51,5 +63,39 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_streaming);
+/// Per-window AO-LDA latency: the same ingest loop with the emerging
+/// channel off, forwarding documents only, and running the full local
+/// AO-LDA pass. The off/local gap is what the channel costs a window.
+fn bench_emerging(c: &mut Criterion) {
+    let (strategies, windows, alerts) = trace_windows();
+    let governor = || AlertGovernor::new(strategies.clone(), GovernorConfig::default());
+    let config = |mode| StreamingConfig {
+        emerging: EmergingChannel {
+            mode,
+            config: EmergingConfig::default(),
+        },
+        ..StreamingConfig::default()
+    };
+
+    let mut group = c.benchmark_group("emerging");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(alerts as u64));
+    for (label, mode) in [
+        ("ingest_emerging_off", EmergingMode::Off),
+        ("ingest_emerging_forward", EmergingMode::Forward),
+        ("ingest_emerging_local", EmergingMode::Local),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = StreamingGovernor::new(governor(), config(mode));
+                for w in &windows {
+                    black_box(s.ingest(w, &[]));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming, bench_emerging);
 criterion_main!(benches);

@@ -1,10 +1,13 @@
 //! Regenerates `BENCH_streaming.json`: per-window ingest cost of the
 //! incremental detection engine vs the pre-refactor batch recompute,
-//! on the same simulated trace, at two history depths.
+//! on the same simulated trace, at two history depths — plus the
+//! per-window latency of the emerging (AO-LDA) channel.
 //!
 //! Before timing, every per-window delta of the two implementations is
 //! compared as serialized JSON — the speedup is only reported for
-//! provably identical output.
+//! provably identical output. The emerging rows likewise first prove
+//! the governor's local pass identical to a standalone fit-free
+//! detector fed the same id-sorted windows.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -13,8 +16,12 @@ use serde::Serialize;
 
 use alertops_bench::oracle::BatchRecomputeGovernor;
 use alertops_bench::{header, HARNESS_SEED};
-use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
+use alertops_core::{
+    AlertGovernor, EmergingChannel, EmergingMode, GovernorConfig, StreamingConfig,
+    StreamingGovernor,
+};
 use alertops_model::{Alert, AlertStrategy};
+use alertops_react::{EmergingAlertDetector, EmergingConfig, EmergingDoc};
 use alertops_sim::scenarios;
 
 const WINDOW_LEN: usize = 64;
@@ -30,12 +37,27 @@ struct HistoryRow {
 }
 
 #[derive(Serialize)]
+struct EmergingRow {
+    mode: &'static str,
+    micros_per_window: f64,
+}
+
+#[derive(Serialize)]
+struct EmergingSummary {
+    /// Added AO-LDA cost per window: local minus off.
+    aolda_micros_per_window: f64,
+    outputs_identical: bool,
+    results: Vec<EmergingRow>,
+}
+
+#[derive(Serialize)]
 struct Summary {
     seed: u64,
     windows: usize,
     window_len: usize,
     alerts: usize,
     results: Vec<HistoryRow>,
+    emerging: EmergingSummary,
 }
 
 fn config(history_windows: usize) -> StreamingConfig {
@@ -47,6 +69,68 @@ fn config(history_windows: usize) -> StreamingConfig {
 
 fn governor(strategies: &[AlertStrategy]) -> AlertGovernor {
     AlertGovernor::new(strategies.to_vec(), GovernorConfig::default())
+}
+
+fn emerging_config(mode: EmergingMode) -> StreamingConfig {
+    StreamingConfig {
+        emerging: EmergingChannel {
+            mode,
+            config: EmergingConfig::default(),
+        },
+        ..StreamingConfig::default()
+    }
+}
+
+/// Times the ingest loop with the emerging channel off, forwarding, and
+/// running AO-LDA locally; the off/local gap is the channel's
+/// per-window latency. Differential first: the governor's local pass
+/// must match a standalone fit-free detector fed the same id-sorted
+/// document windows.
+fn bench_emerging(strategies: &[AlertStrategy], windows: &[Vec<Alert>]) -> EmergingSummary {
+    let mut local =
+        StreamingGovernor::new(governor(strategies), emerging_config(EmergingMode::Local));
+    let mut detector = EmergingAlertDetector::new(EmergingConfig::default());
+    let outputs_identical = windows.iter().all(|w| {
+        let delta = local.ingest(w, &[]);
+        let mut docs: Vec<EmergingDoc> = w.iter().map(EmergingDoc::from_alert).collect();
+        docs.sort_by_key(|d| d.alert);
+        let report = detector.observe_docs(&docs);
+        serde_json::to_string(&delta.emerging).unwrap()
+            == serde_json::to_string(&Some(report)).unwrap()
+    });
+    assert!(
+        outputs_identical,
+        "governor local pass diverged from the standalone detector"
+    );
+
+    let modes = [
+        ("off", EmergingMode::Off),
+        ("forward", EmergingMode::Forward),
+        ("local", EmergingMode::Local),
+    ];
+    let mut per_window = Vec::new();
+    let mut results = Vec::new();
+    for (mode_name, mode) in modes {
+        let mut s = StreamingGovernor::new(governor(strategies), emerging_config(mode));
+        let start = Instant::now();
+        for w in windows {
+            black_box(s.ingest(w, &[]));
+        }
+        let micros = start.elapsed().as_micros() as f64 / windows.len() as f64;
+        per_window.push(micros);
+        results.push(EmergingRow {
+            mode: mode_name,
+            micros_per_window: micros,
+        });
+        println!("  per-window ingest, emerging={mode_name:<8} {micros:>7.0}µs");
+    }
+    let aolda_micros_per_window = (per_window[2] - per_window[0]).max(0.0);
+    println!("  AO-LDA added latency: {aolda_micros_per_window:>7.0}µs per window");
+    EmergingSummary {
+        aolda_micros_per_window,
+        outputs_identical,
+        results,
+    }
 }
 
 fn main() {
@@ -107,12 +191,14 @@ fn main() {
         results.push(row);
     }
 
+    let emerging = bench_emerging(&strategies, &windows);
     let summary = Summary {
         seed: HARNESS_SEED,
         windows: windows.len(),
         window_len: WINDOW_LEN,
         alerts: trace.len(),
         results,
+        emerging,
     };
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
     std::fs::write("BENCH_streaming.json", format!("{json}\n"))

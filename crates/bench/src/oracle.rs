@@ -116,6 +116,8 @@ impl BatchRecomputeGovernor {
             region_hours,
             window_hours,
             triage: pipeline.triage,
+            emerging_docs: Vec::new(),
+            emerging: None,
         };
         self.windows_ingested += 1;
         delta

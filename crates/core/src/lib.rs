@@ -66,8 +66,11 @@ pub mod prelude;
 
 pub use governor::{AlertGovernor, GovernorConfig};
 pub use guidelines::{GuidelineAspect, GuidelineContext, GuidelineLinter, GuidelineViolation};
-pub use metrics::GovernorMetrics;
+pub use metrics::{EmergingMetrics, GovernorMetrics};
 pub use postmortem::{render_postmortem, PostmortemInput};
 pub use remediation::{apply_fixes, suggest_fixes, FixAction, RemediationConfig, StrategyFix};
 pub use reports::GovernanceReport;
-pub use streaming::{GovernanceSnapshot, StreamingConfig, StreamingGovernor, WindowDelta};
+pub use streaming::{
+    merge_emerging_docs, EmergingChannel, EmergingMode, GovernanceSnapshot, StreamingConfig,
+    StreamingGovernor, WindowDelta,
+};

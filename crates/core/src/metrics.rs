@@ -3,8 +3,60 @@
 use std::sync::Arc;
 
 use alertops_detect::DetectMetrics;
-use alertops_obs::{Histogram, MetricsRegistry, Span};
-use alertops_react::ReactMetrics;
+use alertops_obs::{Counter, Histogram, MetricsRegistry, Span};
+use alertops_react::{EmergingReport, ReactMetrics};
+
+/// Metric handles for the emerging-alert (R4) channel: AO-LDA
+/// per-window wall time plus emerging-topic/alert counters.
+///
+/// Shared by the two places the sequential AO-LDA pass can run — a
+/// [`StreamingGovernor`](crate::StreamingGovernor) in local mode and
+/// the ingestd coordinator after its merge. Registration is
+/// idempotent per registry (the `(name, labels)` dedup in
+/// `alertops-obs`), so both embedders may register against the same
+/// registry.
+#[derive(Debug, Clone)]
+pub struct EmergingMetrics {
+    window_micros: Arc<Histogram>,
+    topics_total: Arc<Counter>,
+    alerts_total: Arc<Counter>,
+}
+
+impl EmergingMetrics {
+    /// Registers (or re-attaches to) the emerging-channel families.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            window_micros: registry.histogram(
+                "alertops_emerging_window_micros",
+                "Wall time of one AO-LDA pass over an emerging-channel window.",
+                &[],
+            ),
+            topics_total: registry.counter(
+                "alertops_emerging_topics_total",
+                "Emerging topics flagged by the AO-LDA channel.",
+                &[],
+            ),
+            alerts_total: registry.counter(
+                "alertops_emerging_alerts_total",
+                "Alerts whose dominant topic was emerging.",
+                &[],
+            ),
+        }
+    }
+
+    /// Starts a wall-time span for one AO-LDA window pass.
+    #[must_use]
+    pub fn window_timer(&self) -> Span<'_> {
+        self.window_micros.time()
+    }
+
+    /// Records one window's emerging report into the counters.
+    pub fn record_report(&self, report: &EmergingReport) {
+        self.topics_total.add(report.emerging_topics as u64);
+        self.alerts_total.add(report.emerging_alerts.len() as u64);
+    }
+}
 
 /// The full metric bundle an instrumented [`AlertGovernor`] records
 /// into: the detect and react handles plus a streaming-ingest wall-time
@@ -22,6 +74,8 @@ pub struct GovernorMetrics {
     pub detect: DetectMetrics,
     /// Reaction-pipeline handles.
     pub react: ReactMetrics,
+    /// Emerging-channel (R4) handles.
+    pub emerging: EmergingMetrics,
     /// Wall time of one full streaming-window ingest (detection over
     /// the rolling history + reaction over the window).
     ingest_micros: Arc<Histogram>,
@@ -34,6 +88,7 @@ impl GovernorMetrics {
         Self {
             detect: DetectMetrics::register(registry),
             react: ReactMetrics::register(registry),
+            emerging: EmergingMetrics::register(registry),
             ingest_micros: registry.histogram(
                 "alertops_streaming_ingest_micros",
                 "Wall time of one streaming-window ingest (detect + react).",
@@ -62,6 +117,26 @@ mod tests {
         assert!(text.contains("alertops_streaming_ingest_micros_count 1"));
         assert!(text.contains("alertops_detector_micros"));
         assert!(text.contains("alertops_react_stage_micros"));
+        assert!(text.contains("alertops_emerging_window_micros"));
+        alertops_obs::lint_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn emerging_metrics_record_reports() {
+        let registry = MetricsRegistry::new();
+        let metrics = EmergingMetrics::register(&registry);
+        drop(metrics.window_timer());
+        metrics.record_report(&EmergingReport {
+            window_index: 0,
+            window_start: alertops_model::SimTime::from_secs(0),
+            alert_count: 5,
+            emerging_topics: 2,
+            emerging_alerts: vec![alertops_model::AlertId(1), alertops_model::AlertId(2)],
+        });
+        let text = registry.render();
+        assert!(text.contains("alertops_emerging_topics_total 2"));
+        assert!(text.contains("alertops_emerging_alerts_total 2"));
+        assert!(text.contains("alertops_emerging_window_micros_count 1"));
         alertops_obs::lint_exposition(&text).unwrap();
     }
 }

@@ -2,9 +2,9 @@
 //! governor plus the most commonly used types of every layer.
 
 pub use crate::{
-    AlertGovernor, GovernanceReport, GovernanceSnapshot, GovernorConfig, GovernorMetrics,
-    GuidelineAspect, GuidelineContext, GuidelineLinter, GuidelineViolation, StreamingConfig,
-    StreamingGovernor, WindowDelta,
+    merge_emerging_docs, AlertGovernor, EmergingChannel, EmergingMode, GovernanceReport,
+    GovernanceSnapshot, GovernorConfig, GovernorMetrics, GuidelineAspect, GuidelineContext,
+    GuidelineLinter, GuidelineViolation, StreamingConfig, StreamingGovernor, WindowDelta,
 };
 
 pub use alertops_detect::{
@@ -20,7 +20,7 @@ pub use alertops_model::{
 pub use alertops_qoa::{Criterion, QoaModel, QoaReport, QoaScorer, QoaScores};
 pub use alertops_react::{
     aggregate, AggregationConfig, AlertBlocker, AlertCorrelator, BlockRule, EmergingAlertDetector,
-    EmergingConfig, ReactionPipeline, StrategyDependencies,
+    EmergingConfig, EmergingDoc, EmergingReport, ReactionPipeline, StrategyDependencies,
 };
 
 #[cfg(test)]

@@ -19,8 +19,39 @@ use serde::{Deserialize, Serialize};
 use alertops_detect::storm::storms_from_histogram;
 use alertops_detect::{AlertStorm, AntiPattern, IncrementalState, StormConfig, StrategyFinding};
 use alertops_model::{Alert, AlertId, Incident, RegionId, StrategyId};
+use alertops_react::{EmergingAlertDetector, EmergingConfig, EmergingDoc, EmergingReport};
 
 use crate::governor::AlertGovernor;
+
+/// How the emerging-alert channel (R4, adaptive online LDA) runs in the
+/// streaming loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmergingMode {
+    /// The channel is off: no documents extracted, no reports.
+    #[default]
+    Off,
+    /// Extract this window's documents into
+    /// [`WindowDelta::emerging_docs`] but do not run AO-LDA locally.
+    /// A downstream coordinator merges the forwards of all shards and
+    /// runs the *single sequential* AO-LDA pass over them — the only
+    /// arrangement in which an N-shard deployment reproduces the
+    /// 1-shard emerging output byte-identically, because AO-LDA's
+    /// adaptive prior makes every window depend on the full preceding
+    /// document stream.
+    Forward,
+    /// Run AO-LDA locally per window and embed the report in
+    /// [`WindowDelta::emerging`] (single-process deployments).
+    Local,
+}
+
+/// Emerging-channel configuration carried by [`StreamingConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct EmergingChannel {
+    /// Whether and where the AO-LDA pass runs.
+    pub mode: EmergingMode,
+    /// Detector configuration (window length, topic count, seed).
+    pub config: EmergingConfig,
+}
 
 /// Configuration for [`StreamingGovernor`].
 #[derive(Debug, Clone)]
@@ -31,6 +62,8 @@ pub struct StreamingConfig {
     pub history_windows: usize,
     /// Storm detection configuration for the onset flag.
     pub storm: StormConfig,
+    /// The emerging-alert (R4) channel.
+    pub emerging: EmergingChannel,
 }
 
 impl Default for StreamingConfig {
@@ -38,6 +71,7 @@ impl Default for StreamingConfig {
         Self {
             history_windows: 24,
             storm: StormConfig::default(),
+            emerging: EmergingChannel::default(),
         }
     }
 }
@@ -70,6 +104,15 @@ pub struct WindowDelta {
     /// The reaction pipeline's triage list for this window's alerts,
     /// using blocking rules derived from the *current* findings.
     pub triage: Vec<AlertId>,
+    /// Emerging-channel documents extracted from this window's alerts,
+    /// sorted by alert id, when the governor runs in
+    /// [`EmergingMode::Forward`]. Empty otherwise. Alert ids are unique,
+    /// so however the window was sharded, the merged forwards sort back
+    /// to one canonical document list (see [`merge_emerging_docs`]).
+    pub emerging_docs: Vec<EmergingDoc>,
+    /// This window's emerging report when the governor runs AO-LDA
+    /// itself ([`EmergingMode::Local`]); `None` otherwise.
+    pub emerging: Option<EmergingReport>,
 }
 
 /// The global governance picture for one closed window, merged from the
@@ -107,6 +150,29 @@ pub struct GovernanceSnapshot {
     /// windows; [`GovernanceSnapshot::merge`] always starts empty and
     /// the daemon's coordinator fills it in.
     pub degraded: Vec<usize>,
+    /// The emerging-channel (R4) report for this window, when the
+    /// channel is enabled. [`GovernanceSnapshot::merge`] always leaves
+    /// this `None` — AO-LDA is inherently sequential (each window's
+    /// prior adapts from the previous windows' topics), so the
+    /// coordinator runs the single pass over the merged
+    /// [`WindowDelta::emerging_docs`] *after* merging and fills this
+    /// in, keeping 1-shard and N-shard output byte-identical.
+    pub emerging: Option<EmergingReport>,
+}
+
+/// Collects the emerging-channel documents forwarded in one closed
+/// window's deltas into the canonical order the coordinator feeds
+/// AO-LDA: sorted by alert id. Since alert ids are unique and sharding
+/// only partitions the window, every shard count concatenates and sorts
+/// to the same list.
+#[must_use]
+pub fn merge_emerging_docs(deltas: &[WindowDelta]) -> Vec<EmergingDoc> {
+    let mut docs: Vec<EmergingDoc> = deltas
+        .iter()
+        .flat_map(|d| d.emerging_docs.iter().cloned())
+        .collect();
+    docs.sort_by_key(|d| d.alert);
+    docs
 }
 
 impl GovernanceSnapshot {
@@ -162,6 +228,7 @@ impl GovernanceSnapshot {
             storm_active,
             triage,
             degraded: Vec::new(),
+            emerging: None,
         }
     }
 }
@@ -202,12 +269,19 @@ pub struct StreamingGovernor {
     incidents: Vec<Incident>,
     previous_flags: BTreeSet<(AntiPattern, StrategyId)>,
     windows_ingested: u64,
+    /// The local AO-LDA detector, present iff the emerging channel
+    /// runs in [`EmergingMode::Local`].
+    emerging: Option<EmergingAlertDetector>,
 }
 
 impl StreamingGovernor {
     /// Wraps a governor for streaming use.
     #[must_use]
     pub fn new(governor: AlertGovernor, config: StreamingConfig) -> Self {
+        let emerging = match config.emerging.mode {
+            EmergingMode::Local => Some(EmergingAlertDetector::new(config.emerging.config.clone())),
+            EmergingMode::Off | EmergingMode::Forward => None,
+        };
         Self {
             governor,
             config,
@@ -215,7 +289,34 @@ impl StreamingGovernor {
             incidents: Vec::new(),
             previous_flags: BTreeSet::new(),
             windows_ingested: 0,
+            emerging,
         }
+    }
+
+    /// The emerging-channel mode this governor runs in.
+    #[must_use]
+    pub fn emerging_mode(&self) -> EmergingMode {
+        self.config.emerging.mode
+    }
+
+    /// Overrides the emerging-channel mode. The ingestd daemon uses
+    /// this to normalize shard governors: whatever mode the caller
+    /// built them with, shards must only *forward* documents (or stay
+    /// off) — a per-shard local AO-LDA pass would make emerging output
+    /// depend on the shard count. Switching into
+    /// [`EmergingMode::Local`] (re)creates a fresh local detector; any
+    /// other switch drops it.
+    pub fn set_emerging_mode(&mut self, mode: EmergingMode) {
+        if mode == self.config.emerging.mode {
+            return;
+        }
+        self.config.emerging.mode = mode;
+        self.emerging = match mode {
+            EmergingMode::Local => Some(EmergingAlertDetector::new(
+                self.config.emerging.config.clone(),
+            )),
+            EmergingMode::Off | EmergingMode::Forward => None,
+        };
     }
 
     /// The wrapped governor.
@@ -340,6 +441,33 @@ impl StreamingGovernor {
         let blocker = self.governor.derive_blocker(&report);
         let pipeline = self.governor.react(window, blocker);
 
+        // R4 — the emerging channel. The document list is canonically
+        // sorted by alert id so a local pass, a coordinator pass over
+        // merged forwards, and any shard count all see the same order
+        // (floating-point accumulation makes document order part of
+        // the byte-identical contract).
+        let (emerging_docs, emerging) = match self.config.emerging.mode {
+            EmergingMode::Off => (Vec::new(), None),
+            EmergingMode::Forward | EmergingMode::Local => {
+                let mut docs: Vec<EmergingDoc> =
+                    window.iter().map(EmergingDoc::from_alert).collect();
+                docs.sort_by_key(|d| d.alert);
+                match self.emerging.as_mut() {
+                    Some(detector) => {
+                        let report = {
+                            let _span = self.governor.metrics().map(|m| m.emerging.window_timer());
+                            detector.observe_docs(&docs)
+                        };
+                        if let Some(m) = self.governor.metrics() {
+                            m.emerging.record_report(&report);
+                        }
+                        (Vec::new(), Some(report))
+                    }
+                    None => (docs, None),
+                }
+            }
+        };
+
         self.previous_flags = current_flags;
         let delta = WindowDelta {
             window_index: self.windows_ingested,
@@ -350,6 +478,8 @@ impl StreamingGovernor {
             region_hours,
             window_hours,
             triage: pipeline.triage,
+            emerging_docs,
+            emerging,
         };
         self.windows_ingested += 1;
         delta
@@ -540,6 +670,71 @@ mod tests {
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: GovernanceSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snapshot, back);
+    }
+
+    fn streaming_with_emerging(mode: EmergingMode) -> StreamingGovernor {
+        let governor = AlertGovernor::new(
+            vec![noisy_strategy(1), noisy_strategy(2)],
+            GovernorConfig::default(),
+        );
+        StreamingGovernor::new(
+            governor,
+            StreamingConfig {
+                emerging: EmergingChannel {
+                    mode,
+                    config: EmergingConfig::default(),
+                },
+                ..StreamingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn emerging_off_emits_nothing() {
+        let mut s = streaming(24);
+        assert_eq!(s.emerging_mode(), EmergingMode::Off);
+        let d = s.ingest(&transient_window(0, 1, 0, 5), &[]);
+        assert!(d.emerging_docs.is_empty());
+        assert!(d.emerging.is_none());
+    }
+
+    #[test]
+    fn forward_mode_extracts_docs_sorted_by_id() {
+        let mut s = streaming_with_emerging(EmergingMode::Forward);
+        let d = s.ingest(&transient_window(10, 1, 0, 5), &[]);
+        assert_eq!(d.emerging_docs.len(), 5);
+        assert!(d.emerging_docs.windows(2).all(|w| w[0].alert < w[1].alert));
+        assert!(
+            d.emerging.is_none(),
+            "forward mode defers AO-LDA to the coordinator"
+        );
+        // An empty window still forwards (an empty list) so the
+        // coordinator sees every wall-clock window.
+        let empty = s.ingest(&[], &[]);
+        assert!(empty.emerging_docs.is_empty());
+    }
+
+    #[test]
+    fn local_mode_equals_coordinator_pass_over_merged_forwards() {
+        let mut local = streaming_with_emerging(EmergingMode::Local);
+        let mut shard_a = streaming_with_emerging(EmergingMode::Forward);
+        let mut shard_b = streaming_with_emerging(EmergingMode::Forward);
+        let mut coordinator = EmergingAlertDetector::new(EmergingConfig::default());
+        for hour in 0..3u64 {
+            let window = transient_window(hour * 100, 1, hour, 6);
+            let local_report = local
+                .ingest(&window, &[])
+                .emerging
+                .expect("local mode embeds a report");
+            // Partition the window across two "shards" by id parity.
+            let (wa, wb): (Vec<Alert>, Vec<Alert>) =
+                window.iter().cloned().partition(|a| a.id().0 % 2 == 0);
+            let da = shard_a.ingest(&wa, &[]);
+            let db = shard_b.ingest(&wb, &[]);
+            let docs = merge_emerging_docs(&[da, db]);
+            let merged_report = coordinator.observe_docs(&docs);
+            assert_eq!(local_report, merged_report);
+        }
     }
 
     #[test]

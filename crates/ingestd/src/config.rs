@@ -31,7 +31,13 @@ pub struct IngestdConfig {
     /// Full-queue behaviour.
     pub overflow: OverflowPolicy,
     /// Per-shard streaming governor configuration (history depth,
-    /// storm thresholds).
+    /// storm thresholds, emerging channel). Setting
+    /// `streaming.emerging.mode` to anything but
+    /// [`alertops_core::EmergingMode::Off`] enables the emerging-alert
+    /// (R4) channel: shards forward each window's alert documents, the
+    /// coordinator runs the single sequential AO-LDA pass after its
+    /// merge, and the report is published in
+    /// [`alertops_core::GovernanceSnapshot::emerging`].
     pub streaming: StreamingConfig,
     /// `host:port` to accept NDJSON alert ingress on. `None` disables
     /// the TCP listener (alerts arrive via

@@ -6,8 +6,9 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use alertops_core::GovernanceSnapshot;
+use alertops_core::{merge_emerging_docs, GovernanceSnapshot};
 use alertops_detect::StormConfig;
+use alertops_react::EmergingAlertDetector;
 
 use crate::counters::Counters;
 use crate::metrics::IngestdMetrics;
@@ -36,6 +37,16 @@ pub(crate) enum CoordMsg {
 /// not wedge the barrier either: its supervisor contributes a
 /// synthetic empty delta for the in-flight `seq`, and the shard is
 /// listed in the published snapshot's `degraded` field.
+///
+/// When the emerging channel is enabled, the coordinator owns the one
+/// [`EmergingAlertDetector`]: shards only *forward* window documents
+/// (see `alertops_core::EmergingMode::Forward`), and the single
+/// sequential AO-LDA pass runs here, after the merge, over the
+/// id-sorted union of the forwards. AO-LDA's adaptive prior threads
+/// every window's model through the previous windows' topics, so any
+/// per-shard pass would diverge between shard counts; one pass at the
+/// merge point keeps 1-shard and N-shard emerging output
+/// byte-identical. The pass runs whether or not metrics are enabled.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_coordinator(
     control: &Receiver<CoordMsg>,
@@ -43,6 +54,7 @@ pub(crate) fn run_coordinator(
     deltas: &Receiver<ShardDelta>,
     tick: Option<Duration>,
     storm: &StormConfig,
+    mut emerging: Option<EmergingAlertDetector>,
     snapshot_slot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
     counters: &Arc<Counters>,
     metrics: Option<&IngestdMetrics>,
@@ -101,6 +113,17 @@ pub(crate) fn run_coordinator(
         let mut snapshot = GovernanceSnapshot::merge(&collected, storm);
         if let Some(m) = metrics {
             m.merge_micros.observe(elapsed_micros(merge_started));
+        }
+        if let Some(detector) = emerging.as_mut() {
+            let docs = merge_emerging_docs(&collected);
+            let report = {
+                let _span = metrics.map(|m| m.emerging.window_timer());
+                detector.observe_docs(&docs)
+            };
+            if let Some(m) = metrics {
+                m.emerging.record_report(&report);
+            }
+            snapshot.emerging = Some(report);
         }
         degraded.sort_unstable();
         if !degraded.is_empty() {

@@ -17,8 +17,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use std::{io, thread};
 
-use alertops_core::{GovernanceSnapshot, GovernorMetrics, StreamingGovernor};
+use alertops_core::{EmergingMode, GovernanceSnapshot, GovernorMetrics, StreamingGovernor};
 use alertops_model::Alert;
+use alertops_react::EmergingAlertDetector;
 
 use crate::codec::{
     encode_flush_ack, encode_shutdown_ack, encode_stall_ack, encode_sync_ack, Frame, FrameDecoder,
@@ -238,6 +239,16 @@ impl Ingestd {
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(config.queue_capacity);
             shard_txs.push(tx);
             let mut governor = make_governor(shard, config.shards);
+            // Shard governors never run AO-LDA themselves — the
+            // coordinator owns the single sequential pass, so shards
+            // either forward window documents or keep the channel off,
+            // matching the daemon's configuration regardless of how the
+            // caller built the governor. This is what keeps N-shard
+            // emerging output byte-identical to 1-shard.
+            governor.set_emerging_mode(match config.streaming.emerging.mode {
+                EmergingMode::Off => EmergingMode::Off,
+                EmergingMode::Forward | EmergingMode::Local => EmergingMode::Forward,
+            });
             if let Some(metrics) = &metrics {
                 // Shards share detect/react series: the registry hands
                 // every shard the same aggregate instruments.
@@ -269,6 +280,10 @@ impl Ingestd {
             let shard_txs = shard_txs.clone();
             let storm = config.streaming.storm;
             let tick = config.tick;
+            // The coordinator owns the one emerging-channel detector;
+            // it runs after every merge, metrics or not.
+            let emerging = (config.streaming.emerging.mode != EmergingMode::Off)
+                .then(|| EmergingAlertDetector::new(config.streaming.emerging.config.clone()));
             let snapshot = Arc::clone(&snapshot);
             let coord_counters = Arc::clone(&counters);
             let coord_metrics = metrics.clone();
@@ -282,6 +297,7 @@ impl Ingestd {
                             &delta_rx,
                             tick,
                             &storm,
+                            emerging,
                             &snapshot,
                             &coord_counters,
                             coord_metrics.as_deref(),

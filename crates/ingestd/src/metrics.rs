@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use alertops_core::EmergingMetrics;
 use alertops_obs::{render_sample, Counter, Histogram, MetricsRegistry};
 
 use crate::codec::QuarantineReason;
@@ -41,6 +42,10 @@ pub struct IngestdMetrics {
     pub(crate) barrier_wait_micros: Arc<Histogram>,
     /// Coordinator: snapshot merge proper.
     pub(crate) merge_micros: Arc<Histogram>,
+    /// Coordinator: the emerging-channel (R4) AO-LDA pass over the
+    /// merged window documents. Same families a local-mode governor
+    /// records into (the registry dedups by name + labels).
+    pub(crate) emerging: EmergingMetrics,
     /// Per-shard window close (sort + detection + checkpoint).
     shard_close_micros: Vec<Arc<Histogram>>,
 }
@@ -76,6 +81,7 @@ impl IngestdMetrics {
             "Merging per-shard deltas into the governance snapshot.",
             &[],
         );
+        let emerging = EmergingMetrics::register(&registry);
         let shard_close_micros = (0..shards)
             .map(|shard| {
                 registry.histogram(
@@ -92,6 +98,7 @@ impl IngestdMetrics {
             window_close_micros,
             barrier_wait_micros,
             merge_micros,
+            emerging,
             shard_close_micros,
         }
     }

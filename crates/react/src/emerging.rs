@@ -13,11 +13,23 @@
 //! alert's text (title + service) into a bag-of-words document, runs
 //! [`AdaptiveOnlineLda`] window by window, and reports alerts whose
 //! dominant topic has no counterpart in recent history.
+//!
+//! Two driving modes share one window-processing core:
+//!
+//! * **offline** — [`run`](EmergingAlertDetector::run) fits the
+//!   vocabulary on the whole stream, freezes it, buckets the stream
+//!   into wall-clock windows (empty ones included, so the JS-divergence
+//!   history only ever compares time-adjacent windows), and processes
+//!   them in order;
+//! * **streaming** — [`observe_window`](EmergingAlertDetector::observe_window)
+//!   is fit-free: unseen words are interned online (stable-id growth)
+//!   and the topic-word matrix widens via
+//!   [`AdaptiveOnlineLda::grow_vocab`] as the vocabulary grows.
 
 use serde::{Deserialize, Serialize};
 
-use alertops_model::{Alert, AlertId, SimDuration};
-use alertops_text::{BagOfWords, Tokenizer, Vocabulary};
+use alertops_model::{Alert, AlertId, SimDuration, SimTime};
+use alertops_text::{BagOfWords, OovPolicy, Tokenizer, Vocabulary};
 use alertops_topics::{AdaptiveOnlineLda, AoldaConfig, LdaConfig};
 
 /// Configuration for [`EmergingAlertDetector`].
@@ -50,11 +62,43 @@ impl Default for EmergingConfig {
     }
 }
 
+/// The text of one alert, detached from the full [`Alert`] record.
+///
+/// This is what ingestd shards forward to the coordinator for the
+/// emerging channel: the id (to name flagged alerts), the raise time
+/// (to place the window on the wall clock), and the raw text AO-LDA
+/// tokenizes — nothing else crosses the shard boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmergingDoc {
+    /// The alert this document was extracted from.
+    pub alert: AlertId,
+    /// When the alert was raised.
+    pub raised_at: SimTime,
+    /// The text fed to the tokenizer (title + service).
+    pub text: String,
+}
+
+impl EmergingDoc {
+    /// Extracts the emerging-channel document from an alert.
+    #[must_use]
+    pub fn from_alert(alert: &Alert) -> Self {
+        Self {
+            alert: alert.id(),
+            raised_at: alert.raised_at(),
+            text: format!("{} {}", alert.title(), alert.service_name()),
+        }
+    }
+}
+
 /// The verdict for one processed window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EmergingReport {
-    /// Window index (0-based, consecutive).
+    /// Window index — counts every wall-clock window processed,
+    /// empty ones included.
     pub window_index: usize,
+    /// Wall-clock start of the window (aligned down to the configured
+    /// window length).
+    pub window_start: SimTime,
     /// Alerts in the window.
     pub alert_count: usize,
     /// Number of emerging topics found.
@@ -64,37 +108,64 @@ pub struct EmergingReport {
     pub emerging_alerts: Vec<AlertId>,
 }
 
-/// Streaming emerging-alert detection over consecutive windows.
+/// Emerging-alert detection over consecutive time windows.
 ///
-/// The vocabulary must be fitted before processing (so word ids are
-/// stable across windows); use [`fit`](Self::fit) on a historical sample
-/// or on the full stream in offline analysis.
-#[derive(Debug)]
+/// Fit-free streaming use needs no setup: construct and call
+/// [`observe_window`](Self::observe_window) per wall-clock window.
+/// Offline analysis goes through [`run`](Self::run), which fits and
+/// freezes the vocabulary on the full stream first.
+#[derive(Debug, Clone)]
 pub struct EmergingAlertDetector {
     config: EmergingConfig,
     tokenizer: Tokenizer,
     vocab: Vocabulary,
+    oov: OovPolicy,
     aolda: Option<AdaptiveOnlineLda>,
     windows_processed: usize,
+    /// Where the next window starts if it turns out to be empty —
+    /// carried forward so gaps in the stream keep their place on the
+    /// wall clock.
+    next_window_start: Option<SimTime>,
 }
 
 impl EmergingAlertDetector {
-    /// Creates a detector; the vocabulary is empty until
-    /// [`fit`](Self::fit) is called.
+    /// Creates a fit-free detector: the vocabulary starts empty and
+    /// grows online as windows arrive ([`OovPolicy::Intern`]).
     #[must_use]
     pub fn new(config: EmergingConfig) -> Self {
+        Self::with_vocabulary(config, Vocabulary::new())
+    }
+
+    /// Creates a detector pre-seeded with `vocab` (word ids are reused
+    /// as-is; unseen words still intern online). Pass a vocabulary
+    /// fitted elsewhere to make a streaming detector reproduce an
+    /// offline run exactly.
+    #[must_use]
+    pub fn with_vocabulary(config: EmergingConfig, vocab: Vocabulary) -> Self {
         Self {
             config,
             tokenizer: Tokenizer::new().drop_numbers(),
-            vocab: Vocabulary::new(),
+            vocab,
+            oov: OovPolicy::Intern,
             aolda: None,
             windows_processed: 0,
+            next_window_start: None,
         }
     }
 
-    /// Fits the vocabulary over a corpus of alerts and initializes the
-    /// topic model. Must be called once before processing windows.
+    /// The current vocabulary.
+    #[must_use]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Fits the vocabulary over a corpus of alerts, *freezes* it
+    /// (out-of-vocabulary words are dropped from then on), and
+    /// initializes the topic model. Any previous state — vocabulary,
+    /// model, window counters — is discarded, so refitting on a new
+    /// corpus behaves exactly like a fresh detector.
     pub fn fit(&mut self, alerts: &[Alert]) {
+        self.vocab.clear();
         for alert in alerts {
             let tokens = self.tokenize(alert);
             for token in &tokens {
@@ -105,10 +176,133 @@ impl EmergingAlertDetector {
         if self.vocab.is_empty() {
             self.vocab.intern("alert");
         }
-        self.aolda = Some(AdaptiveOnlineLda::new(AoldaConfig {
+        self.oov = OovPolicy::Drop;
+        self.aolda = Some(self.build_aolda(self.vocab.len()));
+        self.windows_processed = 0;
+        self.next_window_start = None;
+    }
+
+    /// Whether [`fit`](Self::fit) has been called (or a model already
+    /// exists from streaming observation).
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.aolda.is_some()
+    }
+
+    /// Processes one wall-clock window of alerts, fit-free: unseen
+    /// words are interned and the topic model's vocabulary widens in
+    /// place. Feed windows in stream order, **including empty ones** —
+    /// the adaptive prior and the emergence baseline assume adjacent
+    /// windows are adjacent in time.
+    pub fn observe_window(&mut self, alerts: &[&Alert]) -> EmergingReport {
+        let docs: Vec<EmergingDoc> = alerts.iter().map(|a| EmergingDoc::from_alert(a)).collect();
+        self.observe_docs(&docs)
+    }
+
+    /// [`observe_window`](Self::observe_window) over pre-extracted
+    /// documents — the form ingestd's coordinator consumes after
+    /// merging the per-shard forwards.
+    pub fn observe_docs(&mut self, docs: &[EmergingDoc]) -> EmergingReport {
+        let window_start = docs
+            .iter()
+            .map(|d| d.raised_at)
+            .min()
+            .map(|t| self.align_down(t))
+            .or(self.next_window_start)
+            .unwrap_or(SimTime::from_secs(0));
+
+        let bows: Vec<BagOfWords> = docs
+            .iter()
+            .map(|d| {
+                let tokens = self.tokenizer.tokenize(&d.text);
+                self.vocab.encode(&tokens, self.oov)
+            })
+            .collect();
+
+        // Lazily create the model, or widen it if interning grew the
+        // vocabulary. Ids only ever append, so widening is sound.
+        let vocab_size = self.vocab.len().max(1);
+        match self.aolda.as_mut() {
+            None => self.aolda = Some(self.build_aolda(vocab_size)),
+            Some(aolda) => {
+                if vocab_size > aolda.config().lda.vocab_size {
+                    aolda.grow_vocab(vocab_size);
+                }
+            }
+        }
+        let aolda = self.aolda.as_mut().expect("model just ensured");
+
+        let window = aolda.process_window(&bows);
+        let emerging_alerts = window
+            .emerging_doc_indices()
+            .into_iter()
+            .map(|ix| docs[ix].alert)
+            .collect();
+        let report = EmergingReport {
+            window_index: self.windows_processed,
+            window_start,
+            alert_count: docs.len(),
+            emerging_topics: window.emerging_topics().len(),
+            emerging_alerts,
+        };
+        self.windows_processed += 1;
+        self.next_window_start = Some(window_start + self.config.window);
+        report
+    }
+
+    /// Processes one window of alerts against the *fitted* model (the
+    /// caller buckets them; see [`run`](Self::run) for the offline
+    /// driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector is not fitted.
+    pub fn process_window(&mut self, alerts: &[&Alert]) -> EmergingReport {
+        assert!(
+            self.aolda.is_some(),
+            "EmergingAlertDetector::fit must be called first"
+        );
+        self.observe_window(alerts)
+    }
+
+    /// Offline driver: fits the vocabulary on the whole stream, buckets
+    /// it into wall-clock windows of the configured length, and
+    /// processes **every** window from the first alert to the last —
+    /// empty windows included, so the topic history never compares
+    /// windows that are not adjacent in time, and `window_index` counts
+    /// wall-clock buckets.
+    pub fn run(&mut self, alerts: &[Alert]) -> Vec<EmergingReport> {
+        self.fit(alerts);
+        if alerts.is_empty() {
+            return Vec::new();
+        }
+        let window_secs = self.config.window.as_secs().max(1);
+        let (first, last) = alerts
+            .iter()
+            .map(|a| a.raised_at().as_secs())
+            .fold((u64::MAX, 0), |(lo, hi), t| (lo.min(t), hi.max(t)));
+        let origin = first - first % window_secs;
+
+        // One bucketing pass over the stream (input order preserved
+        // within each bucket), instead of re-filtering the whole slice
+        // once per window.
+        let bucket_count = ((last - origin) / window_secs + 1) as usize;
+        let mut buckets: Vec<Vec<&Alert>> = vec![Vec::new(); bucket_count];
+        for alert in alerts {
+            let ix = ((alert.raised_at().as_secs() - origin) / window_secs) as usize;
+            buckets[ix].push(alert);
+        }
+        buckets
+            .iter()
+            .map(|bucket| self.process_window(bucket))
+            .collect()
+    }
+
+    fn build_aolda(&self, vocab_size: usize) -> AdaptiveOnlineLda {
+        AdaptiveOnlineLda::new(AoldaConfig {
             lda: LdaConfig {
                 num_topics: self.config.num_topics,
-                vocab_size: self.vocab.len(),
+                vocab_size,
                 seed: self.config.seed,
                 ..LdaConfig::default()
             },
@@ -116,88 +310,12 @@ impl EmergingAlertDetector {
             emerging_threshold: self.config.emerging_threshold,
             passes_per_window: self.config.passes_per_window,
             ..AoldaConfig::default()
-        }));
-        self.windows_processed = 0;
+        })
     }
 
-    /// Whether [`fit`](Self::fit) has been called.
-    #[must_use]
-    pub fn is_fitted(&self) -> bool {
-        self.aolda.is_some()
-    }
-
-    /// Processes one window of alerts (the caller buckets them; see
-    /// [`run`](Self::run) for the offline driver).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the detector is not fitted.
-    pub fn process_window(&mut self, alerts: &[&Alert]) -> EmergingReport {
-        let aolda = self
-            .aolda
-            .as_mut()
-            .expect("EmergingAlertDetector::fit must be called first");
-        let docs: Vec<BagOfWords> = alerts
-            .iter()
-            .map(|a| {
-                let tokens =
-                    self.tokenizer
-                        .tokenize(&format!("{} {}", a.title(), a.service_name()));
-                self.vocab.encode_frozen(&tokens)
-            })
-            .collect();
-        let window = aolda.process_window(&docs);
-        let emerging_alerts = window
-            .emerging_doc_indices()
-            .into_iter()
-            .map(|ix| alerts[ix].id())
-            .collect();
-        let report = EmergingReport {
-            window_index: self.windows_processed,
-            alert_count: alerts.len(),
-            emerging_topics: window.emerging_topics().len(),
-            emerging_alerts,
-        };
-        self.windows_processed += 1;
-        report
-    }
-
-    /// Offline driver: fits the vocabulary on the whole stream, buckets
-    /// it into windows of the configured length, and processes each
-    /// window in order.
-    pub fn run(&mut self, alerts: &[Alert]) -> Vec<EmergingReport> {
-        self.fit(alerts);
-        if alerts.is_empty() {
-            return Vec::new();
-        }
+    fn align_down(&self, t: SimTime) -> SimTime {
         let window_secs = self.config.window.as_secs().max(1);
-        let first = alerts
-            .iter()
-            .map(|a| a.raised_at().as_secs())
-            .min()
-            .expect("nonempty");
-        let last = alerts
-            .iter()
-            .map(|a| a.raised_at().as_secs())
-            .max()
-            .expect("nonempty");
-        let mut reports = Vec::new();
-        let mut start = first - first % window_secs;
-        while start <= last {
-            let end = start + window_secs;
-            let bucket: Vec<&Alert> = alerts
-                .iter()
-                .filter(|a| {
-                    let t = a.raised_at().as_secs();
-                    t >= start && t < end
-                })
-                .collect();
-            if !bucket.is_empty() {
-                reports.push(self.process_window(&bucket));
-            }
-            start = end;
-        }
-        reports
+        SimTime::from_secs(t.as_secs() - t.as_secs() % window_secs)
     }
 
     fn tokenize(&self, alert: &Alert) -> Vec<String> {
@@ -257,6 +375,7 @@ mod tests {
         assert_eq!(reports.len(), 4);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.window_index, i);
+            assert_eq!(r.window_start, SimTime::from_secs(i as u64 * 3_600));
             assert!(r.alert_count > 0);
         }
     }
@@ -328,5 +447,134 @@ mod tests {
         let mut a = EmergingAlertDetector::new(EmergingConfig::default());
         let mut b = EmergingAlertDetector::new(EmergingConfig::default());
         assert_eq!(a.run(&alerts), b.run(&alerts));
+    }
+
+    /// Regression (windowing bug): a silent hour used to be skipped
+    /// entirely, so the JS-divergence history compared windows that
+    /// were not adjacent in time and `window_index` drifted off the
+    /// wall clock. Empty buckets now produce explicit empty reports.
+    #[test]
+    fn gap_in_stream_yields_explicit_empty_window() {
+        let mut alerts = Vec::new();
+        let mut id = 0;
+        // Hours 0, 1 and 3 are active; hour 2 is silent.
+        for hour in [0u64, 1, 3] {
+            for i in 0..10 {
+                alerts.push(alert(
+                    id,
+                    "disk usage of storage node over threshold",
+                    hour * 3_600 + i * 300,
+                ));
+                id += 1;
+            }
+        }
+        let mut detector = EmergingAlertDetector::new(EmergingConfig::default());
+        let reports = detector.run(&alerts);
+        assert_eq!(reports.len(), 4, "the silent hour must appear as a window");
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.window_index, i, "indices count wall-clock buckets");
+            assert_eq!(r.window_start, SimTime::from_secs(i as u64 * 3_600));
+        }
+        let silent = &reports[2];
+        assert_eq!(silent.alert_count, 0);
+        assert_eq!(silent.emerging_topics, 0);
+        assert!(silent.emerging_alerts.is_empty());
+    }
+
+    /// Regression (refit bug): `fit` used to keep the previous corpus's
+    /// vocabulary, so a reused detector silently grew its vocabulary
+    /// and diverged from a fresh one. Refit now equals fresh.
+    #[test]
+    fn refit_matches_fresh_detector() {
+        let first_corpus = stream();
+        let mut second_corpus = Vec::new();
+        for hour in 0..3u64 {
+            for i in 0..8 {
+                second_corpus.push(alert(
+                    hour * 100 + i,
+                    "replication lag on database follower exceeds budget",
+                    hour * 3_600 + i * 400,
+                ));
+            }
+        }
+        let config = EmergingConfig::default();
+
+        let mut reused = EmergingAlertDetector::new(config.clone());
+        reused.run(&first_corpus);
+        let refit_reports = reused.run(&second_corpus);
+
+        let mut fresh = EmergingAlertDetector::new(config);
+        let fresh_reports = fresh.run(&second_corpus);
+
+        assert_eq!(refit_reports, fresh_reports);
+        assert_eq!(
+            reused.vocabulary().len(),
+            fresh.vocabulary().len(),
+            "refit kept stale tokens from the previous corpus"
+        );
+    }
+
+    /// The streaming API needs no fit: the vocabulary is interned
+    /// online and the model widens as new words arrive, yet a genuinely
+    /// novel window is still flagged.
+    #[test]
+    fn observe_window_is_fit_free() {
+        let alerts = stream();
+        let mut detector = EmergingAlertDetector::new(EmergingConfig {
+            num_topics: 3,
+            ..EmergingConfig::default()
+        });
+        let window_secs = 3_600;
+        let mut reports = Vec::new();
+        for hour in 0..4u64 {
+            let bucket: Vec<&Alert> = alerts
+                .iter()
+                .filter(|a| a.raised_at().as_secs() / window_secs == hour)
+                .collect();
+            reports.push(detector.observe_window(&bucket));
+        }
+        assert!(
+            !detector.vocabulary().is_empty(),
+            "vocabulary interned online"
+        );
+        assert!(reports[0].emerging_alerts.is_empty(), "no history yet");
+        assert!(
+            !reports[3].emerging_alerts.is_empty(),
+            "novel certificate theme not flagged in streaming mode"
+        );
+        let novel_hits = reports[3]
+            .emerging_alerts
+            .iter()
+            .filter(|id| id.0 >= 48)
+            .count();
+        assert!(novel_hits * 2 >= reports[3].emerging_alerts.len());
+    }
+
+    /// A streaming detector seeded with the offline fit's vocabulary
+    /// reproduces the offline run byte-for-byte, gaps included.
+    #[test]
+    fn streaming_with_preagreed_vocabulary_matches_offline_run() {
+        let mut alerts = stream();
+        // Punch a gap: drop hour 2 so the stream has a silent window.
+        alerts.retain(|a| a.raised_at().as_secs() / 3_600 != 2);
+        let config = EmergingConfig::default();
+
+        let mut offline = EmergingAlertDetector::new(config.clone());
+        let offline_reports = offline.run(&alerts);
+
+        let mut fitted = EmergingAlertDetector::new(config.clone());
+        fitted.fit(&alerts);
+        let mut streaming =
+            EmergingAlertDetector::with_vocabulary(config, fitted.vocabulary().clone());
+        let streaming_reports: Vec<EmergingReport> = (0..4u64)
+            .map(|hour| {
+                let bucket: Vec<&Alert> = alerts
+                    .iter()
+                    .filter(|a| a.raised_at().as_secs() / 3_600 == hour)
+                    .collect();
+                streaming.observe_window(&bucket)
+            })
+            .collect();
+        assert_eq!(offline_reports, streaming_reports);
     }
 }

@@ -7,6 +7,8 @@
 //! a volume reducer; run it separately via
 //! [`EmergingAlertDetector`](crate::EmergingAlertDetector).)
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use alertops_model::{Alert, AlertId};
@@ -128,14 +130,20 @@ impl ReactionPipeline {
         // R3 — correlation over group representatives.
         let _span = self.metrics.as_ref().map(|m| m.stage_timer(2));
         let representatives: Vec<Alert> = {
+            // One id→index map over the passed set instead of a linear
+            // scan per group (was O(groups × passed)).
+            let index_of: HashMap<AlertId, usize> = passed
+                .iter()
+                .enumerate()
+                .map(|(ix, a)| (a.id(), ix))
+                .collect();
             let mut reps: Vec<Alert> = groups
                 .iter()
                 .map(|g| {
-                    passed
-                        .iter()
-                        .find(|a| a.id() == g.representative)
-                        .expect("representative comes from the passed set")
-                        .clone()
+                    let ix = *index_of
+                        .get(&g.representative)
+                        .expect("representative comes from the passed set");
+                    passed[ix].clone()
                 })
                 .collect();
             reps.sort_by_key(|a| (a.raised_at(), a.id()));

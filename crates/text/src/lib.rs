@@ -48,4 +48,4 @@ pub use lexicon::{InformativenessReport, TitleScorer, VagueLexicon};
 pub use template::extract_template;
 pub use tfidf::TfIdf;
 pub use token::Tokenizer;
-pub use vocab::{doc_len, BagOfWords, Vocabulary};
+pub use vocab::{doc_len, BagOfWords, OovPolicy, Vocabulary};

@@ -8,6 +8,24 @@ use serde::{Deserialize, Serialize};
 /// word id, with strictly positive counts and no duplicate ids.
 pub type BagOfWords = Vec<(usize, u32)>;
 
+/// What to do with a token the vocabulary has never seen.
+///
+/// Offline pipelines freeze the vocabulary after a corpus-wide fit and
+/// [`Drop`](OovPolicy::Drop) anything outside it; streaming pipelines
+/// have no corpus to fit on, so they [`Intern`](OovPolicy::Intern)
+/// unseen words as they arrive. Interning only ever *appends* ids
+/// (first-seen order, dense), so every id handed out earlier stays
+/// valid — the stable-id growth path online topic models rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OovPolicy {
+    /// Silently drop out-of-vocabulary tokens (frozen vocabulary).
+    #[default]
+    Drop,
+    /// Intern out-of-vocabulary tokens, growing the vocabulary in
+    /// place with stable ids (online vocabulary).
+    Intern,
+}
+
 /// A bidirectional word ↔ id mapping shared by TF-IDF and LDA.
 ///
 /// Ids are assigned densely in first-seen order, so a vocabulary built
@@ -101,6 +119,23 @@ impl Vocabulary {
         doc
     }
 
+    /// Encodes `tokens` under an explicit out-of-vocabulary policy:
+    /// [`OovPolicy::Drop`] behaves like [`encode_frozen`](Self::encode_frozen),
+    /// [`OovPolicy::Intern`] like [`encode_and_update`](Self::encode_and_update).
+    pub fn encode(&mut self, tokens: &[impl AsRef<str>], oov: OovPolicy) -> BagOfWords {
+        match oov {
+            OovPolicy::Drop => self.encode_frozen(tokens),
+            OovPolicy::Intern => self.encode_and_update(tokens),
+        }
+    }
+
+    /// Clears every word, returning the vocabulary to its freshly
+    /// constructed state. Previously issued ids become meaningless.
+    pub fn clear(&mut self) {
+        self.word_to_id.clear();
+        self.id_to_word.clear();
+    }
+
     /// Iterates over `(id, word)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
         self.id_to_word
@@ -181,5 +216,37 @@ mod tests {
         let v: Vocabulary = ["x", "y"].into_iter().collect();
         let pairs: Vec<_> = v.iter().collect();
         assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn encode_policy_dispatches() {
+        let mut v: Vocabulary = ["disk"].into_iter().collect();
+        let dropped = v.encode(&["disk", "quota"], OovPolicy::Drop);
+        assert_eq!(dropped, vec![(0, 1)]);
+        assert_eq!(v.len(), 1, "Drop must not grow the vocabulary");
+        let interned = v.encode(&["disk", "quota"], OovPolicy::Intern);
+        assert_eq!(interned, vec![(0, 1), (1, 1)]);
+        assert_eq!(v.id("quota"), Some(1));
+    }
+
+    #[test]
+    fn interning_only_appends_ids() {
+        let mut v: Vocabulary = ["a", "b"].into_iter().collect();
+        let before: Vec<usize> = ["a", "b"].iter().filter_map(|w| v.id(w)).collect();
+        v.encode(&["c", "a", "d"], OovPolicy::Intern);
+        let after: Vec<usize> = ["a", "b"].iter().filter_map(|w| v.id(w)).collect();
+        assert_eq!(before, after, "existing ids must survive growth");
+        assert_eq!(v.id("c"), Some(2));
+        assert_eq!(v.id("d"), Some(3));
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut v: Vocabulary = ["a", "b"].into_iter().collect();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.id("a"), None);
+        // Ids restart from zero after a clear.
+        assert_eq!(v.intern("z"), 0);
     }
 }

@@ -140,9 +140,15 @@ impl TopicWindow {
 #[derive(Debug, Clone)]
 pub struct AdaptiveOnlineLda {
     config: AoldaConfig,
+    /// Recent window summaries, newest last, bounded by
+    /// [`history`](AoldaConfig::history) — older windows can no longer
+    /// influence the adaptive prior or the emergence baseline, so a
+    /// long-running stream does not accumulate them.
     windows: Vec<TopicWindow>,
     /// Unnormalized λ snapshots of recent windows, newest last.
     lambda_history: Vec<Vec<Vec<f64>>>,
+    /// Total windows ever processed (not bounded by retention).
+    windows_processed: usize,
 }
 
 impl AdaptiveOnlineLda {
@@ -166,6 +172,7 @@ impl AdaptiveOnlineLda {
             config,
             windows: Vec::new(),
             lambda_history: Vec::new(),
+            windows_processed: 0,
         }
     }
 
@@ -175,10 +182,56 @@ impl AdaptiveOnlineLda {
         &self.config
     }
 
-    /// All processed windows, oldest first.
+    /// The retained recent windows (at most
+    /// [`history`](AoldaConfig::history) of them), oldest first.
     #[must_use]
     pub fn windows(&self) -> &[TopicWindow] {
         &self.windows
+    }
+
+    /// Total windows processed since construction, including windows
+    /// that have aged out of the retained history.
+    #[must_use]
+    pub fn windows_processed(&self) -> usize {
+        self.windows_processed
+    }
+
+    /// Grows the model's vocabulary to `vocab_size` words mid-stream.
+    ///
+    /// Word ids must be stable-growth (new words only ever *append* ids
+    /// — [`alertops_text::Vocabulary`] guarantees this), so growth is a
+    /// pure widening: historical λ snapshots are padded with the
+    /// topic-word prior η (the mass a never-seen word would have
+    /// carried), and retained topic distributions are padded with zero
+    /// probability. A subsequent window whose topics concentrate on the
+    /// new columns therefore diverges sharply from every baseline —
+    /// exactly the "new vocabulary ⇒ emerging" signal R4 wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size` is smaller than the current vocabulary —
+    /// shrinking would invalidate issued word ids.
+    pub fn grow_vocab(&mut self, vocab_size: usize) {
+        let current = self.config.lda.vocab_size;
+        assert!(
+            vocab_size >= current,
+            "vocab_size may only grow ({current} -> {vocab_size})"
+        );
+        if vocab_size == current {
+            return;
+        }
+        let eta = self.config.lda.eta;
+        for lambda in &mut self.lambda_history {
+            for row in lambda.iter_mut() {
+                row.resize(vocab_size, eta);
+            }
+        }
+        for window in &mut self.windows {
+            for topic in &mut window.topics {
+                topic.distribution.resize(vocab_size, 0.0);
+            }
+        }
+        self.config.lda.vocab_size = vocab_size;
     }
 
     /// Fits the next window over `docs` and returns its summary.
@@ -187,7 +240,7 @@ impl AdaptiveOnlineLda {
     /// mean λ of the last [`history`](AoldaConfig::history) windows,
     /// weighted by [`adaptation_weight`](AoldaConfig::adaptation_weight).
     pub fn process_window(&mut self, docs: &[BagOfWords]) -> &TopicWindow {
-        let window_index = self.windows.len();
+        let window_index = self.windows_processed;
         let lda_config = LdaConfig {
             corpus_size: Some(docs.len().max(1)),
             // Vary the seed per window so non-adapted topics don't line up
@@ -296,6 +349,12 @@ impl AdaptiveOnlineLda {
             topics,
             doc_mixtures,
         });
+        let retain = self.config.history.max(1);
+        if self.windows.len() > retain {
+            let excess = self.windows.len() - retain;
+            self.windows.drain(..excess);
+        }
+        self.windows_processed += 1;
         self.windows.last().expect("window just pushed")
     }
 }
@@ -431,6 +490,88 @@ mod tests {
         let win = aolda.process_window(&[]);
         assert_eq!(win.doc_count, 0);
         assert_eq!(win.doc_mixtures.len(), 0);
+    }
+
+    #[test]
+    fn windows_retention_is_bounded_but_indices_keep_counting() {
+        let mut aolda = AdaptiveOnlineLda::new(AoldaConfig {
+            history: 2,
+            ..config(2)
+        });
+        for i in 0..5 {
+            let win = aolda.process_window(&storage_docs(4));
+            assert_eq!(win.index, i, "index counts all windows ever processed");
+        }
+        assert_eq!(aolda.windows_processed(), 5);
+        assert!(aolda.windows().len() <= 2);
+        assert_eq!(aolda.windows().last().unwrap().index, 4);
+    }
+
+    #[test]
+    fn grow_vocab_widens_state_and_preserves_determinism() {
+        // Reference: a model born at the larger vocabulary.
+        let big = AoldaConfig {
+            lda: LdaConfig {
+                num_topics: 2,
+                vocab_size: 12,
+                ..LdaConfig::default()
+            },
+            passes_per_window: 25,
+            ..AoldaConfig::default()
+        };
+        let small = AoldaConfig {
+            lda: LdaConfig {
+                vocab_size: 4,
+                ..big.lda.clone()
+            },
+            ..big.clone()
+        };
+
+        // Growth widens history in place: every retained distribution and
+        // λ snapshot matches the new width, and probabilities still
+        // normalize (zero padding adds no mass).
+        let mut grown = AdaptiveOnlineLda::new(small);
+        grown.process_window(&storage_docs(8));
+        grown.grow_vocab(12);
+        assert_eq!(grown.config().lda.vocab_size, 12);
+        for win in grown.windows() {
+            for t in &win.topics {
+                assert_eq!(t.distribution.len(), 12);
+                let sum: f64 = t.distribution.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "padded topic sums to {sum}");
+            }
+        }
+
+        // Windows processed after growth use the full width, and a novel
+        // theme living entirely in the new columns is flagged emerging.
+        grown.process_window(&storage_docs(8));
+        let win = grown.process_window(&novel_docs(8));
+        assert_eq!(win.topics[0].distribution.len(), 12);
+        assert!(
+            win.topics.iter().any(|t| t.emerging),
+            "novel columns not emerging after growth: {:?}",
+            win.topics.iter().map(|t| t.novelty).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grow_vocab_to_same_size_is_a_no_op() {
+        let mut a = AdaptiveOnlineLda::new(config(2));
+        let mut b = AdaptiveOnlineLda::new(config(2));
+        a.process_window(&storage_docs(6));
+        b.process_window(&storage_docs(6));
+        a.grow_vocab(12);
+        assert_eq!(
+            a.process_window(&storage_docs(6)),
+            b.process_window(&storage_docs(6))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only grow")]
+    fn grow_vocab_rejects_shrinking() {
+        let mut aolda = AdaptiveOnlineLda::new(config(2));
+        aolda.grow_vocab(3);
     }
 
     #[test]

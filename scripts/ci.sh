@@ -42,4 +42,15 @@ echo "==> incremental engine: differential + eviction properties"
 cargo test -q --test incremental_equivalence
 cargo test -q -p alertops-detect --test incremental
 
+# Emerging-channel gate: the streaming R4 differential suite (fit-free
+# streaming vs the fixed offline run, 1-shard == N-shard under the
+# ingestd coordinator merge, metrics-on/off byte-identity under chaos)
+# plus the react-crate windowing regressions (explicit empty windows,
+# refit == fresh). A change that breaks the single-sequential-pass
+# determinism contract fails here by name.
+echo "==> emerging channel: streaming differential + windowing regressions"
+cargo test -q --test emerging_streaming
+cargo test -q -p alertops-react emerging
+cargo test -q -p alertops-topics grow_vocab
+
 echo "CI green."

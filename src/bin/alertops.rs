@@ -45,7 +45,7 @@ fn usage() -> ExitCode {
          [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
          [--json FILE] [--top N] [--threshold N] \
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
-         [--listen ADDR] [--status ADDR] [--chaos] [--no-metrics] \
+         [--listen ADDR] [--status ADDR] [--chaos] [--no-metrics] [--emerging] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
@@ -67,6 +67,7 @@ struct Args {
     status: String,
     chaos: bool,
     metrics: bool,
+    emerging: bool,
     // replay
     connect: String,
     rate: u64,
@@ -92,6 +93,7 @@ fn parse_args() -> Option<Args> {
         status: "127.0.0.1:4502".to_owned(),
         chaos: false,
         metrics: true,
+        emerging: false,
         connect: "127.0.0.1:4501".to_owned(),
         rate: 0,
         flush_every: 0,
@@ -108,6 +110,10 @@ fn parse_args() -> Option<Args> {
         }
         if flag == "--no-metrics" {
             args.metrics = false;
+            continue;
+        }
+        if flag == "--emerging" {
+            args.emerging = true;
             continue;
         }
         let mut value = || argv.next();
@@ -324,12 +330,18 @@ fn main() -> ExitCode {
 /// Runs the sharded ingestion daemon until a connection sends
 /// `{"ctrl":"shutdown"}` (or the process is killed).
 fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
+    let mut streaming = StreamingConfig::default();
+    if args.emerging {
+        // Shards only forward documents; the coordinator runs the one
+        // sequential AO-LDA pass so shard count cannot change output.
+        streaming.emerging.mode = EmergingMode::Forward;
+    }
     let config = IngestdConfig {
         shards: args.shards,
         queue_capacity: args.queue,
         tick: args.tick_ms.map(Duration::from_millis),
         overflow: args.overflow,
-        streaming: StreamingConfig::default(),
+        streaming,
         listen: Some(args.listen.clone()),
         status: Some(args.status.clone()),
         metrics: args.metrics,
@@ -355,6 +367,9 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
     println!("frames: NDJSON alerts | {FLUSH_FRAME} | {SHUTDOWN_FRAME}");
     if args.chaos {
         println!("chaos mode: panic/stall/resume control frames accepted");
+    }
+    if args.emerging {
+        println!("emerging channel on: AO-LDA report published per window close");
     }
     handle.wait_for_shutdown_request();
     let counters = handle.counters();

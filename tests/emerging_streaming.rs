@@ -1,0 +1,300 @@
+//! Differential tests for the streaming emerging-alert (R4) channel:
+//! the fit-free streaming path against the fixed offline run, the
+//! 1-shard-equals-N-shards guarantee under the ingestd coordinator
+//! merge, and byte-identical emerging output with metrics on and off —
+//! including under an injected worker crash.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+use alertops::chaos::silence_panics_containing;
+use alertops::core::prelude::*;
+use alertops::ingestd::{
+    shard_catalog, shard_of, Ingestd, IngestdConfig, StatusReport, CHAOS_PANIC_MSG,
+};
+use alertops::model::LogRule;
+
+const THEMES: [&str; 3] = [
+    "disk usage of storage node over threshold",
+    "cpu utilization high on compute worker",
+    "network packet retransmission rate abnormal",
+];
+const NOVEL: &str = "certificate rotation deadlock renewal stuck handshake expired";
+
+/// One chunk per wall-clock hour 0..=4. Hours 0–2 carry routine themes,
+/// hour 3 is silent (the gap a streaming deployment actually sees), and
+/// hour 4 mixes the routine load with a brand-new theme. Ids are
+/// assigned in generation order, so id order is the canonical document
+/// order the ingestd coordinator reconstructs after merging shards.
+fn hourly_chunks() -> Vec<Vec<Alert>> {
+    let mut chunks = Vec::new();
+    let mut id = 0u64;
+    for hour in 0..5u64 {
+        let mut chunk = Vec::new();
+        if hour == 3 {
+            chunks.push(chunk);
+            continue;
+        }
+        for i in 0..12u64 {
+            chunk.push(
+                Alert::builder(AlertId(id), StrategyId(i % 6))
+                    .title(THEMES[(i % 3) as usize])
+                    .service("Storage")
+                    .raised_at(SimTime::from_secs(hour * 3_600 + i * 240))
+                    .build(),
+            );
+            id += 1;
+        }
+        if hour == 4 {
+            for i in 0..10u64 {
+                chunk.push(
+                    Alert::builder(AlertId(id), StrategyId(i % 6))
+                        .title(NOVEL)
+                        .service("Security")
+                        .raised_at(SimTime::from_secs(hour * 3_600 + 100 + i * 300))
+                        .build(),
+                );
+                id += 1;
+            }
+        }
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+fn emerging_config() -> EmergingConfig {
+    EmergingConfig {
+        num_topics: 3,
+        ..EmergingConfig::default()
+    }
+}
+
+/// The streaming config a sharded deployment runs: shards forward
+/// documents; the coordinator owns the AO-LDA pass.
+fn forward_streaming() -> StreamingConfig {
+    StreamingConfig {
+        emerging: EmergingChannel {
+            mode: EmergingMode::Forward,
+            config: emerging_config(),
+        },
+        ..StreamingConfig::default()
+    }
+}
+
+/// Six dense-id strategies so a 4-shard daemon actually spreads the
+/// trace across workers.
+fn catalog() -> Vec<AlertStrategy> {
+    (0..6)
+        .map(|id| {
+            AlertStrategy::builder(StrategyId(id))
+                .title_template("service metric is abnormal")
+                .kind(StrategyKind::Log(LogRule {
+                    keyword: "ERROR".into(),
+                    min_count: 1,
+                    window: SimDuration::from_mins(5),
+                }))
+                .build()
+                .expect("catalog strategy is well-formed")
+        })
+        .collect()
+}
+
+fn shard_governor(strategies: &[AlertStrategy], shards: usize, shard: usize) -> StreamingGovernor {
+    StreamingGovernor::new(
+        AlertGovernor::new(
+            shard_catalog(strategies, shards, shard),
+            GovernorConfig::default(),
+        ),
+        forward_streaming(),
+    )
+}
+
+/// The streaming path reproduces the fixed offline run byte-for-byte
+/// once both agree on the vocabulary: a fit-free detector seeded with
+/// the offline fit's vocabulary, fed the same wall-clock windows (gap
+/// included) as id-sorted document batches — the exact form the ingestd
+/// coordinator feeds it — emits the same reports as
+/// [`EmergingAlertDetector::run`] over the whole stream.
+#[test]
+fn streaming_with_preagreed_vocab_reproduces_the_offline_run() {
+    let chunks = hourly_chunks();
+    let trace: Vec<Alert> = chunks.iter().flatten().cloned().collect();
+
+    let mut offline = EmergingAlertDetector::new(emerging_config());
+    let offline_reports = offline.run(&trace);
+    assert_eq!(offline_reports.len(), 5, "one report per wall-clock hour");
+
+    let mut fitted = EmergingAlertDetector::new(emerging_config());
+    fitted.fit(&trace);
+    let mut streaming =
+        EmergingAlertDetector::with_vocabulary(emerging_config(), fitted.vocabulary().clone());
+    let streaming_reports: Vec<EmergingReport> = chunks
+        .iter()
+        .map(|chunk| {
+            let mut docs: Vec<EmergingDoc> = chunk.iter().map(EmergingDoc::from_alert).collect();
+            docs.sort_by_key(|d| d.alert);
+            streaming.observe_docs(&docs)
+        })
+        .collect();
+
+    assert_eq!(offline_reports, streaming_reports);
+    assert_eq!(
+        serde_json::to_string(&offline_reports).expect("offline reports serialize"),
+        serde_json::to_string(&streaming_reports).expect("streaming reports serialize"),
+        "reports must be byte-identical on the wire too"
+    );
+
+    // The silent hour is an explicit empty window, on the wall clock.
+    let gap = &streaming_reports[3];
+    assert_eq!(gap.alert_count, 0);
+    assert_eq!(gap.window_start, SimTime::from_secs(3 * 3_600));
+    assert!(gap.emerging_alerts.is_empty());
+    // And the novel post-gap theme is flagged.
+    assert!(
+        !streaming_reports[4].emerging_alerts.is_empty(),
+        "novel certificate theme not flagged after the gap"
+    );
+}
+
+/// Drives one in-process daemon over the hourly chunks (the silent hour
+/// is a flush with nothing routed) and returns each window's emerging
+/// report and degraded-shard list. With `panic_shard` set, that worker
+/// is crashed halfway through hour 1, losing the half-window it had
+/// already absorbed.
+fn windows_with_shards(
+    shards: usize,
+    metrics: bool,
+    panic_shard: Option<usize>,
+) -> Vec<(Option<EmergingReport>, Vec<usize>)> {
+    let strategies = catalog();
+    let config = IngestdConfig {
+        shards,
+        metrics,
+        streaming: forward_streaming(),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    let mut windows = Vec::new();
+    for (hour, chunk) in hourly_chunks().into_iter().enumerate() {
+        let half = chunk.len() / 2;
+        for (i, alert) in chunk.into_iter().enumerate() {
+            if hour == 1 && i == half {
+                if let Some(shard) = panic_shard {
+                    handle.sync();
+                    handle.inject_panic(shard, false);
+                }
+            }
+            handle.route(alert);
+        }
+        let snapshot = handle.flush().expect("flush yields a snapshot");
+        windows.push((snapshot.emerging, snapshot.degraded));
+    }
+    handle.shutdown();
+    windows
+}
+
+/// The tentpole guarantee, end to end: with the emerging channel on,
+/// an N-shard daemon's per-window reports are byte-identical to the
+/// 1-shard daemon's, because shards only forward documents and the
+/// coordinator runs the single sequential AO-LDA pass over their
+/// id-sorted union.
+#[test]
+fn one_shard_equals_many_shards_under_the_ingestd_merge() {
+    let baseline = windows_with_shards(1, true, None);
+    for (hour, (report, degraded)) in baseline.iter().enumerate() {
+        assert!(degraded.is_empty());
+        let report = report.as_ref().expect("emerging channel is on");
+        assert_eq!(report.window_index, hour, "indices count every window");
+    }
+    let gap = baseline[3].0.as_ref().expect("gap window still reports");
+    assert_eq!(gap.alert_count, 0, "the silent hour is an explicit window");
+    assert_eq!(gap.window_start, SimTime::from_secs(3 * 3_600));
+    assert!(
+        !baseline[4]
+            .0
+            .as_ref()
+            .expect("report")
+            .emerging_alerts
+            .is_empty(),
+        "novel theme must surface through the daemon too"
+    );
+
+    for shards in [2usize, 4] {
+        let sharded = windows_with_shards(shards, true, None);
+        assert_eq!(
+            serde_json::to_string(&sharded.iter().map(|w| &w.0).collect::<Vec<_>>())
+                .expect("sharded reports serialize"),
+            serde_json::to_string(&baseline.iter().map(|w| &w.0).collect::<Vec<_>>())
+                .expect("baseline reports serialize"),
+            "{shards}-shard emerging output diverged from the 1-shard baseline"
+        );
+    }
+}
+
+/// Metrics are observer-only on the emerging channel as well: the same
+/// chaos run — a worker crash halfway through a window — produces
+/// byte-identical emerging reports and degraded lists whether metrics
+/// are on or off.
+#[test]
+fn chaos_run_emerging_output_is_identical_with_metrics_on_and_off() {
+    silence_panics_containing(CHAOS_PANIC_MSG);
+    let shards = 4;
+    let target = shard_of(StrategyId(0), shards);
+    let with_metrics = windows_with_shards(shards, true, Some(target));
+    let without_metrics = windows_with_shards(shards, false, Some(target));
+    assert_eq!(
+        serde_json::to_string(&with_metrics).expect("runs serialize"),
+        serde_json::to_string(&without_metrics).expect("runs serialize"),
+        "metrics flipped the emerging output"
+    );
+    assert_eq!(
+        with_metrics[1].1,
+        vec![target],
+        "the crashed shard must be reported degraded in its window"
+    );
+    // The crash cost the crashed shard's half-window of documents.
+    let clean = windows_with_shards(shards, true, None);
+    let crashed_count = with_metrics[1].0.as_ref().expect("report").alert_count;
+    let clean_count = clean[1].0.as_ref().expect("report").alert_count;
+    assert!(
+        crashed_count < clean_count,
+        "crash should have cost window 1 documents ({crashed_count} vs {clean_count})"
+    );
+}
+
+/// The status socket publishes the emerging report with the snapshot:
+/// scraping after a window close yields a parseable document whose
+/// snapshot carries the channel's verdict.
+#[test]
+fn status_socket_exposes_the_emerging_report() {
+    let strategies = catalog();
+    let config = IngestdConfig {
+        shards: 2,
+        streaming: forward_streaming(),
+        status: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    for alert in hourly_chunks().remove(0) {
+        handle.route(alert);
+    }
+    handle.flush().expect("flush yields a snapshot");
+
+    let mut body = String::new();
+    TcpStream::connect(handle.status_addr().expect("status listener bound"))
+        .expect("connect to status")
+        .read_to_string(&mut body)
+        .expect("read status document");
+    let report: StatusReport = serde_json::from_str(body.trim()).expect("status parses");
+    let snapshot = report.snapshot.expect("flush published a snapshot");
+    let emerging = snapshot.emerging.expect("emerging report published");
+    assert_eq!(emerging.window_index, 0);
+    assert_eq!(emerging.alert_count, 12);
+    handle.shutdown();
+}

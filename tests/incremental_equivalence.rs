@@ -123,6 +123,8 @@ impl BatchOracle {
             region_hours,
             window_hours,
             triage: pipeline.triage,
+            emerging_docs: Vec::new(),
+            emerging: None,
         };
         self.windows_ingested += 1;
         delta
@@ -189,6 +191,7 @@ fn incremental_streaming_matches_batch_recompute() {
         let config = StreamingConfig {
             history_windows,
             storm: StormConfig::default(),
+            ..StreamingConfig::default()
         };
         let build = |strategies: &[AlertStrategy]| {
             let mut governor = AlertGovernor::new(strategies.to_vec(), GovernorConfig::default());
@@ -245,6 +248,7 @@ fn n_shard_merges_are_byte_identical_to_the_batch_oracle() {
     let config = StreamingConfig {
         history_windows: 3,
         storm: StormConfig::default(),
+        ..StreamingConfig::default()
     };
     let shard_governor = |shard: usize| {
         AlertGovernor::new(
@@ -292,6 +296,7 @@ fn checkpoint_clone_resumes_byte_identically() {
     let config = StreamingConfig {
         history_windows: 4,
         storm: StormConfig::default(),
+        ..StreamingConfig::default()
     };
     let mut live = StreamingGovernor::new(governor, config);
     for (index, (window, incidents)) in windows.iter().enumerate() {
@@ -330,6 +335,7 @@ fn worker_restart_without_loss_is_governance_invisible() {
                 StreamingConfig {
                     history_windows: 3,
                     storm: StormConfig::default(),
+                    ..StreamingConfig::default()
                 },
             )
         })
