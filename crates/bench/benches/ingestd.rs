@@ -13,8 +13,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use alertops_chaos::silence_panics_containing;
+use alertops_cluster::{AlertCluster, ClusterConfig};
 use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
 use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, CHAOS_PANIC_MSG};
 use alertops_sim::scenarios;
@@ -146,10 +148,65 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cluster layer at 1, 2, and 4 nodes: range routing, per-node
+/// write-ahead journaling (append + flush per alert, fsync per window
+/// boundary), the per-node daemon pipeline, and the cross-node monoid
+/// merge — so the 1-node row isolates the WAL tax over the bare daemon
+/// above, and the multi-node rows show what the topology adds.
+fn bench_cluster(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let catalog = out.catalog.strategies().to_vec();
+    let mut trace = out.alerts.clone();
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for nodes in [1usize, 2, 4] {
+        let root = std::env::temp_dir().join(format!(
+            "alertops-cluster-bench-{nodes}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = ClusterConfig {
+            nodes,
+            node: IngestdConfig {
+                shards: 2,
+                queue_capacity: 8192,
+                ..IngestdConfig::default()
+            },
+            wal_root: root.clone(),
+        };
+        let mut cluster = AlertCluster::spawn(
+            config,
+            catalog.clone(),
+            Arc::new(|node_catalog: &[_]| {
+                StreamingGovernor::new(
+                    AlertGovernor::new(node_catalog.to_vec(), GovernorConfig::default()),
+                    StreamingConfig::default(),
+                )
+            }),
+        )
+        .expect("cluster spawns");
+        group.bench_function(format!("route_and_close_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                for alert in &trace {
+                    cluster.route(alert.clone()).expect("route succeeds");
+                }
+                black_box(cluster.close_window().expect("window closes"))
+            });
+        });
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ingestd,
     bench_chaos_supervision,
-    bench_metrics_overhead
+    bench_metrics_overhead,
+    bench_cluster
 );
 criterion_main!(benches);

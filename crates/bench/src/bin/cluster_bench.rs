@@ -1,0 +1,213 @@
+//! Regenerates `BENCH_cluster.json`: end-to-end throughput of the
+//! `alertops-cluster` topology at 1, 2, and 4 nodes over the same
+//! simulated trace (range routing, per-node write-ahead journaling,
+//! per-node daemon pipelines, cross-node monoid merge, one fsync per
+//! node per window boundary), plus the latency distribution of live
+//! range handoffs performed mid-stream.
+//!
+//! Before timing, the node counts are proven equivalent: every window
+//! of the 2- and 4-node runs must match the 1-node run on the
+//! partition-exact fields — the throughput table only compares runs
+//! with identical output.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use alertops_bench::{header, HARNESS_SEED};
+use alertops_cluster::{AlertCluster, ClusterConfig, GovernorFactory};
+use alertops_core::{
+    AlertGovernor, GovernanceSnapshot, GovernorConfig, StreamingConfig, StreamingGovernor,
+};
+use alertops_ingestd::IngestdConfig;
+use alertops_model::{Alert, AlertStrategy};
+use alertops_sim::scenarios;
+
+const WINDOW_LEN: usize = 256;
+const SHARDS_PER_NODE: usize = 2;
+const HANDOFFS: usize = 8;
+
+#[derive(Serialize)]
+struct NodeRow {
+    nodes: usize,
+    alerts_per_sec: f64,
+    micros_per_window: f64,
+    outputs_identical: bool,
+}
+
+#[derive(Serialize)]
+struct HandoffStats {
+    handoffs: usize,
+    moved_alerts: u64,
+    min_micros: u64,
+    mean_micros: f64,
+    max_micros: u64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    seed: u64,
+    alerts: usize,
+    windows: usize,
+    window_len: usize,
+    shards_per_node: usize,
+    results: Vec<NodeRow>,
+    handoff: HandoffStats,
+}
+
+fn factory() -> GovernorFactory {
+    Arc::new(|catalog: &[AlertStrategy]| {
+        StreamingGovernor::new(
+            AlertGovernor::new(catalog.to_vec(), GovernorConfig::default()),
+            StreamingConfig::default(),
+        )
+    })
+}
+
+fn wal_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "alertops-cluster-bench-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+fn spawn(nodes: usize, tag: &str, catalog: &[AlertStrategy]) -> (AlertCluster, PathBuf) {
+    let root = wal_root(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ClusterConfig {
+        nodes,
+        node: IngestdConfig {
+            shards: SHARDS_PER_NODE,
+            queue_capacity: 8192,
+            ..IngestdConfig::default()
+        },
+        wal_root: root.clone(),
+    };
+    let cluster = AlertCluster::spawn(config, catalog.to_vec(), factory()).expect("cluster spawns");
+    (cluster, root)
+}
+
+/// The fields node count is exact for (triage correlates within a
+/// shard; nothing in this run degrades, but strip both for symmetry
+/// with the test suite's comparisons).
+fn comparable(snapshot: &GovernanceSnapshot) -> String {
+    let stripped = GovernanceSnapshot {
+        triage: Vec::new(),
+        degraded: Vec::new(),
+        ..snapshot.clone()
+    };
+    serde_json::to_string(&stripped).expect("snapshot serializes")
+}
+
+fn run(nodes: usize, tag: &str, catalog: &[AlertStrategy], windows: &[Vec<Alert>]) -> Vec<String> {
+    let (mut cluster, root) = spawn(nodes, tag, catalog);
+    let mut outputs = Vec::with_capacity(windows.len());
+    for window in windows {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        outputs.push(comparable(&cluster.close_window().expect("window closes")));
+    }
+    assert!(cluster.counters().is_conserved());
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    outputs
+}
+
+fn main() {
+    header("cluster: route → journal → merge → publish at 1/2/4 nodes");
+    let out = scenarios::mini_study(HARNESS_SEED).run();
+    let catalog = out.catalog.strategies().to_vec();
+    let mut trace = out.alerts;
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    let windows: Vec<Vec<Alert>> = trace.chunks(WINDOW_LEN).map(<[Alert]>::to_vec).collect();
+
+    // Differential first: identical output across node counts, or no
+    // benchmark.
+    let baseline = run(1, "oracle-1", &catalog, &windows);
+    let mut results = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        let outputs_identical =
+            run(nodes, &format!("check-{nodes}"), &catalog, &windows) == baseline;
+        assert!(
+            outputs_identical,
+            "{nodes}-node output diverged from the 1-node baseline"
+        );
+
+        let (mut cluster, root) = spawn(nodes, &format!("time-{nodes}"), &catalog);
+        let start = Instant::now();
+        for window in &windows {
+            for alert in window {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+            std::hint::black_box(cluster.close_window().expect("window closes"));
+        }
+        let elapsed = start.elapsed();
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+
+        let row = NodeRow {
+            nodes,
+            alerts_per_sec: trace.len() as f64 / elapsed.as_secs_f64(),
+            micros_per_window: elapsed.as_micros() as f64 / windows.len() as f64,
+            outputs_identical,
+        };
+        println!(
+            "  {} node(s): {:>9.0} alerts/s, {:>7.0}µs per window",
+            row.nodes, row.alerts_per_sec, row.micros_per_window
+        );
+        results.push(row);
+    }
+
+    // Live handoff latency: a 4-node cluster mid-stream, repeatedly
+    // moving the lowest strategy range to the next node — each handoff
+    // seals both ends, ships the range's history as JSON, and respawns.
+    let (mut cluster, root) = spawn(4, "handoff", &catalog);
+    let mut reports = Vec::with_capacity(HANDOFFS);
+    for (index, window) in windows.iter().enumerate() {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        cluster.close_window().expect("window closes");
+        if index >= windows.len().saturating_sub(HANDOFFS) {
+            let (range, from) = cluster.range_map().spans()[0];
+            let to = (from + 1) % 4;
+            reports.push(cluster.handoff(range, to).expect("handoff completes"));
+        }
+    }
+    assert!(cluster.counters().is_conserved());
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let micros: Vec<u64> = reports.iter().map(|r| r.micros).collect();
+    let handoff = HandoffStats {
+        handoffs: reports.len(),
+        moved_alerts: reports.iter().map(|r| r.moved_alerts).sum(),
+        min_micros: micros.iter().copied().min().unwrap_or(0),
+        mean_micros: micros.iter().sum::<u64>() as f64 / micros.len().max(1) as f64,
+        max_micros: micros.iter().copied().max().unwrap_or(0),
+    };
+    println!(
+        "  handoff latency over {} live handoffs ({} alerts moved): min {}µs  mean {:.0}µs  max {}µs",
+        handoff.handoffs,
+        handoff.moved_alerts,
+        handoff.min_micros,
+        handoff.mean_micros,
+        handoff.max_micros
+    );
+
+    let summary = Summary {
+        seed: HARNESS_SEED,
+        alerts: trace.len(),
+        windows: windows.len(),
+        window_len: WINDOW_LEN,
+        shards_per_node: SHARDS_PER_NODE,
+        results,
+        handoff,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write("BENCH_cluster.json", format!("{json}\n")).expect("write BENCH_cluster.json");
+    println!("\nwrote BENCH_cluster.json");
+}

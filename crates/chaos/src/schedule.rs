@@ -55,6 +55,30 @@ pub enum ChaosKind {
         /// How many alerts the burst carries.
         burst: usize,
     },
+    /// Kill a cluster node outright (`kill -9` semantics): its
+    /// in-memory state is discarded; only its write-ahead log
+    /// survives. Drivers treat a kill of an already-dead node as a
+    /// no-op, so shuffled schedules stay applicable.
+    NodeKill {
+        /// The node to kill.
+        node: usize,
+    },
+    /// Rejoin a killed cluster node: replay its write-ahead log,
+    /// rebuild its detection history, restore its in-flight tail.
+    /// No-op if the node is alive.
+    NodeRejoin {
+        /// The node to rejoin.
+        node: usize,
+    },
+    /// Chop bytes off the end of a node's newest WAL segment — a torn
+    /// write or disk corruption, surfaced as torn records (and exact
+    /// `dropped` accounting) at the node's next replay.
+    WalTruncate {
+        /// The node whose log is damaged.
+        node: usize,
+        /// Bytes removed from the end of the newest segment.
+        bytes: u64,
+    },
 }
 
 impl ChaosKind {
@@ -69,6 +93,9 @@ impl ChaosKind {
             ChaosKind::WorkerPanic { .. } => "worker_panic",
             ChaosKind::WorkerPanicOnClose { .. } => "worker_panic_on_close",
             ChaosKind::QueueOverflow { .. } => "queue_overflow",
+            ChaosKind::NodeKill { .. } => "node_kill",
+            ChaosKind::NodeRejoin { .. } => "node_rejoin",
+            ChaosKind::WalTruncate { .. } => "wal_truncate",
         }
     }
 }
@@ -107,6 +134,20 @@ pub struct ChaosConfig {
     pub overflows: usize,
     /// Alerts per overflow burst.
     pub burst_len: usize,
+    /// Node count of the cluster under test (node-fault targets are
+    /// drawn from `0..nodes`). Irrelevant — and ignored — while the
+    /// node-fault counts below are zero, which they are by default:
+    /// single-daemon chaos configs and their schedules are unchanged.
+    pub nodes: usize,
+    /// Cluster node kills (`kill -9` semantics; the WAL survives).
+    pub node_kills: usize,
+    /// Cluster node rejoins (WAL replay; no-op while the node is
+    /// alive).
+    pub node_rejoins: usize,
+    /// WAL tail truncations (torn-write / disk-corruption injection).
+    pub wal_truncates: usize,
+    /// Bytes chopped per WAL truncation.
+    pub truncate_bytes: u64,
 }
 
 impl Default for ChaosConfig {
@@ -122,6 +163,11 @@ impl Default for ChaosConfig {
             close_panics: 1,
             overflows: 1,
             burst_len: 96,
+            nodes: 1,
+            node_kills: 0,
+            node_rejoins: 0,
+            wal_truncates: 0,
+            truncate_bytes: 32,
         }
     }
 }
@@ -135,6 +181,9 @@ impl ChaosConfig {
             + self.panics
             + self.close_panics
             + self.overflows
+            + self.node_kills
+            + self.node_rejoins
+            + self.wal_truncates
     }
 }
 
@@ -173,6 +222,11 @@ impl ChaosSchedule {
         assert!(
             config.shards > 0 || !needs_shard,
             "shard-targeted chaos needs shards >= 1"
+        );
+        let needs_node = config.node_kills + config.node_rejoins + config.wal_truncates > 0;
+        assert!(
+            config.nodes > 0 || !needs_node,
+            "node-targeted chaos needs nodes >= 1"
         );
 
         let mut rng = ChaosRng::new(seed);
@@ -216,6 +270,25 @@ impl ChaosSchedule {
             kinds.push(ChaosKind::QueueOverflow {
                 shard: rng.range_usize(0, config.shards.max(1)),
                 burst: config.burst_len,
+            });
+        }
+        // Node faults draw rng only when requested, appended after the
+        // transport/shard kinds: existing single-daemon schedules keep
+        // their exact byte-for-byte draws.
+        for _ in 0..config.node_kills {
+            kinds.push(ChaosKind::NodeKill {
+                node: rng.range_usize(0, config.nodes.max(1)),
+            });
+        }
+        for _ in 0..config.node_rejoins {
+            kinds.push(ChaosKind::NodeRejoin {
+                node: rng.range_usize(0, config.nodes.max(1)),
+            });
+        }
+        for _ in 0..config.wal_truncates {
+            kinds.push(ChaosKind::WalTruncate {
+                node: rng.range_usize(0, config.nodes.max(1)),
+                bytes: config.truncate_bytes,
             });
         }
         for i in (1..kinds.len()).rev() {
@@ -319,6 +392,48 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn node_faults_appear_only_when_requested() {
+        // Defaults request none: schedules are identical to a config
+        // that has never heard of clusters.
+        let baseline = ChaosSchedule::generate(13, &config());
+        assert!(baseline.events.iter().all(|e| !matches!(
+            e.kind,
+            ChaosKind::NodeKill { .. }
+                | ChaosKind::NodeRejoin { .. }
+                | ChaosKind::WalTruncate { .. }
+        )));
+
+        let cfg = ChaosConfig {
+            trace_len: 800,
+            nodes: 4,
+            node_kills: 3,
+            node_rejoins: 3,
+            wal_truncates: 2,
+            ..config()
+        };
+        let schedule = ChaosSchedule::generate(13, &cfg);
+        let labels: std::collections::BTreeSet<&str> =
+            schedule.events.iter().map(|e| e.kind.label()).collect();
+        for label in ["node_kill", "node_rejoin", "wal_truncate"] {
+            assert!(labels.contains(label), "missing {label}: {labels:?}");
+        }
+        for event in &schedule.events {
+            match event.kind {
+                ChaosKind::NodeKill { node } | ChaosKind::NodeRejoin { node } => {
+                    assert!(node < 4);
+                }
+                ChaosKind::WalTruncate { node, bytes } => {
+                    assert!(node < 4);
+                    assert_eq!(bytes, 32);
+                }
+                _ => {}
+            }
+        }
+        // Same seed, same node-fault schedule: replayable.
+        assert_eq!(schedule, ChaosSchedule::generate(13, &cfg));
     }
 
     #[test]

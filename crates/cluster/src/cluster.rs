@@ -1,0 +1,780 @@
+//! The cluster driver: N in-process `ingestd` nodes behind one
+//! range-routing front door, merged into one global governance
+//! snapshot per window.
+//!
+//! # Shape
+//!
+//! ```text
+//!              route(alert)                 close_window()
+//!                   │                             │
+//!                   ▼                             ▼
+//!            ┌─────────────┐   WindowDelta  ┌───────────────┐
+//!  WAL ◀──── │  RangeMap    │ ◀──per node───│  coordinator:  │
+//!  append    │  node_of(id) │               │  merge_all +   │
+//!            └──────┬──────┘                │  from_delta    │
+//!                   ▼                       └──────┬────────┘
+//!          node 0 .. node N-1                      ▼
+//!          (Ingestd daemons,            GovernanceSnapshot
+//!           defer_emerging)             (+ single AO-LDA pass)
+//! ```
+//!
+//! Each node is a full [`alertops_ingestd::Ingestd`] daemon over the
+//! contiguous strategy range the [`RangeMap`](crate::RangeMap) assigns
+//! it. The cluster is the coordinator one level up: it collects each
+//! node's [`WindowDelta`] at window close and merges them with the
+//! same commutative-monoid merge the daemon uses across shards — so a
+//! 4-node cluster, a 1-node cluster, and the batch governor publish
+//! byte-identical snapshots over the same stream.
+//!
+//! # Durability
+//!
+//! The cluster appends every accepted alert to the owning node's
+//! write-ahead log *before* routing it ([`crate::wal`]), and writes the
+//! window boundary to each **alive** node's log at close. A killed
+//! node's in-memory state is gone, but its log is not: rejoin replays
+//! the retained windows through a fresh daemon (rebuilding the rolling
+//! detection history), rewrites the log, and restores the in-flight
+//! tail as pending work. A node that dies with no live peer is the
+//! same story at cluster scale: [`AlertCluster::spawn`] finds the old
+//! logs and re-ingests them through the full pipeline before accepting
+//! new traffic.
+//!
+//! Because boundaries are only written to alive nodes, alerts routed
+//! to a dead node keep accumulating in its open segment; they are
+//! delivered in the first window closed after rejoin. Within one
+//! window (kill and rejoin between two closes) this is invisible —
+//! snapshots stay byte-identical to the no-fault run. Across a close
+//! the affected alerts shift one window later (and the dead node's
+//! shards are published in [`GovernanceSnapshot::degraded`]), then the
+//! stream reconverges; nothing is dropped or double-counted either
+//! way, which the conservation law checks end to end:
+//!
+//! ```text
+//! ingested == delivered + dropped + quarantined + in_flight
+//! ```
+//!
+//! # Caveats (deliberate)
+//!
+//! - Under [`alertops_ingestd::OverflowPolicy::Drop`], a shed alert is
+//!   already journaled (write-ahead), so replay can resurrect it into
+//!   the rebuilt detection history — the durable log being *more*
+//!   complete than the lossy live run. Clusters that need exact
+//!   history equivalence under faults use `Block` (the default).
+//! - The emerging (AO-LDA) detector is sequential state owned by the
+//!   cluster coordinator; node kill/rejoin never touches it, but a
+//!   whole-cluster restart rebuilds it from the retained window
+//!   history only (the trade documented in
+//!   [`alertops_core::StreamingGovernor::restore`]).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use alertops_core::{EmergingMode, GovernanceSnapshot, StreamingGovernor, WindowDelta};
+use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, IngestdHandle};
+use alertops_model::{Alert, AlertStrategy, StrategyId};
+use alertops_react::EmergingAlertDetector;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::ClusterMetrics;
+use crate::range::{node_catalog, RangeMap, StrategyRange};
+use crate::wal::{self, Wal};
+
+/// Builds one node's per-shard streaming governor from that shard's
+/// sub-catalog. Shared by spawn, rejoin, and handoff respawns.
+pub type GovernorFactory = Arc<dyn Fn(&[AlertStrategy]) -> StreamingGovernor + Send + Sync>;
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of ingestd nodes. Each owns a contiguous strategy range.
+    pub nodes: usize,
+    /// Per-node daemon configuration. `tick` must be `None`: window
+    /// closes are cluster-coordinated ([`AlertCluster::close_window`]),
+    /// never per-node wall clock. `streaming.emerging.mode` expresses
+    /// the *cluster's* intent — nodes are forced into the
+    /// forward-documents role and the cluster coordinator runs the one
+    /// sequential AO-LDA pass.
+    pub node: IngestdConfig,
+    /// Directory holding one WAL subdirectory per node
+    /// (`<wal_root>/node-<i>/`). Created if missing; existing logs are
+    /// replayed on spawn (lossless restart).
+    pub wal_root: PathBuf,
+}
+
+impl ClusterConfig {
+    /// Validates cluster invariants (node count, per-node config, no
+    /// per-node tick).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("a cluster needs at least one node".into());
+        }
+        if self.node.tick.is_some() {
+            return Err("cluster nodes must not tick; closes are cluster-coordinated".into());
+        }
+        self.node.validate()
+    }
+
+    /// Sealed-segment retention per node: one more than the governor's
+    /// rolling history depth. Replay needs the *previous* window's full
+    /// scope as well as the current one, so that the last re-published
+    /// window's new/resolved findings (deltas against that previous
+    /// scope) come back byte-identical, not just the end state.
+    #[must_use]
+    pub fn wal_retain(&self) -> usize {
+        self.node.streaming.history_windows.max(1) + 1
+    }
+}
+
+/// One node slot: its log (always present) and its daemon (absent
+/// while killed).
+#[derive(Debug)]
+struct NodeSlot {
+    dir: PathBuf,
+    wal: Arc<Wal>,
+    handle: Option<IngestdHandle>,
+    /// Alerts journaled for this node since its last boundary — the
+    /// in-flight window, including alerts routed while dead.
+    pending: u64,
+    /// The node-internal `dropped` counter at the last close, so each
+    /// close surfaces only the new overflow shedding.
+    last_dropped: u64,
+}
+
+/// The checkpoint a range handoff ships from source to target,
+/// serialized through `serde_json` — the protocol is wire-shaped even
+/// though both ends live in this process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HandoffShipment {
+    /// Cluster window sequence numbers of the shipped sealed windows,
+    /// aligned with `checkpoint.windows`.
+    pub window_seqs: Vec<u64>,
+    /// The moved strategies' slice of the source's rolling history.
+    pub checkpoint: alertops_core::StreamingCheckpoint,
+    /// The moved strategies' slice of the source's in-flight window.
+    pub tail: Vec<Alert>,
+}
+
+/// What a completed handoff did, for callers and benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoffReport {
+    /// The strategy range that moved.
+    pub range: StrategyRange,
+    /// Source node index.
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Alerts shipped (sealed history plus in-flight tail).
+    pub moved_alerts: u64,
+    /// End-to-end latency in microseconds (seal, ship, respawn).
+    pub micros: u64,
+}
+
+/// Point-in-time cluster conservation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Alerts accepted at the cluster edge (quarantined included).
+    pub ingested: u64,
+    /// Alerts folded into published window closes.
+    pub delivered: u64,
+    /// Alerts lost: node overflow shedding plus WAL truncation losses.
+    pub dropped: u64,
+    /// Alerts rejected at the edge (strategy outside the catalog).
+    pub quarantined: u64,
+    /// Alerts journaled but not yet part of a closed window.
+    pub in_flight: u64,
+    /// Cluster windows published.
+    pub windows_closed: u64,
+}
+
+impl ClusterCounters {
+    /// The cluster conservation law. Exact at any quiescent point
+    /// (route/close calls not mid-flight), including with nodes dead:
+    /// a dead node's alerts are `in_flight` until the first close
+    /// after its rejoin.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.ingested == self.delivered + self.dropped + self.quarantined + self.in_flight
+    }
+}
+
+/// A running cluster. Single-threaded driver: all mutation goes
+/// through `&mut self`, which is what makes window closes a true
+/// barrier and the merge deterministic.
+pub struct AlertCluster {
+    config: ClusterConfig,
+    catalog: Vec<AlertStrategy>,
+    /// Catalog membership for edge quarantine.
+    known: std::collections::BTreeSet<u64>,
+    map: RangeMap,
+    slots: Vec<NodeSlot>,
+    make_governor: GovernorFactory,
+    /// Next cluster window sequence number.
+    seq: u64,
+    latest: Option<GovernanceSnapshot>,
+    emerging: Option<EmergingAlertDetector>,
+    metrics: ClusterMetrics,
+}
+
+impl std::fmt::Debug for AlertCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlertCluster")
+            .field("nodes", &self.config.nodes)
+            .field("seq", &self.seq)
+            .field("alive", &self.alive_nodes())
+            .finish_non_exhaustive()
+    }
+}
+
+fn spawn_node(
+    config: &IngestdConfig,
+    node_cat: &[AlertStrategy],
+    make_governor: &GovernorFactory,
+) -> io::Result<IngestdHandle> {
+    let mut config = config.clone();
+    // Node role: forward emerging documents up instead of running the
+    // sequential pass locally — the cluster coordinator owns it.
+    if config.streaming.emerging.mode != EmergingMode::Off {
+        config.streaming.emerging.mode = EmergingMode::Forward;
+        config.defer_emerging = true;
+    }
+    Ingestd::spawn(&config, |shard, shards| {
+        make_governor(&shard_catalog(node_cat, shards, shard))
+    })
+}
+
+impl AlertCluster {
+    /// Starts (or restarts) the cluster over `catalog`. If the WAL
+    /// directories under [`ClusterConfig::wal_root`] hold a previous
+    /// incarnation's logs, they are replayed through the full pipeline
+    /// first — sealed windows are re-ingested and re-published in
+    /// order (restoring the latest snapshot, the detection history,
+    /// and the window sequence), and in-flight tails come back as
+    /// pending work. Restart is lossless with no live peer.
+    ///
+    /// # Errors
+    ///
+    /// Config validation surfaces as [`io::ErrorKind::InvalidInput`];
+    /// filesystem and spawn errors pass through.
+    pub fn spawn(
+        config: ClusterConfig,
+        catalog: Vec<AlertStrategy>,
+        make_governor: GovernorFactory,
+    ) -> io::Result<Self> {
+        config
+            .validate()
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+
+        let metrics = ClusterMetrics::new(config.nodes);
+        metrics.nodes.set(config.nodes as u64);
+
+        // Recover any previous incarnation's logs before the fresh
+        // partition exists: replay routes alerts by the *new* map, so
+        // recovery survives topology changes between runs.
+        let mut recovered_windows: BTreeMap<u64, Vec<Alert>> = BTreeMap::new();
+        let mut recovered_tail: Vec<Alert> = Vec::new();
+        for node in 0..config.nodes {
+            let dir = config.wal_root.join(format!("node-{node}"));
+            let replayed = wal::replay(&dir)?;
+            metrics.wal_replayed_alerts.add(replayed.recovered_alerts);
+            metrics.wal_torn_records.add(replayed.torn_records);
+            for (seq, alerts) in replayed.windows {
+                recovered_windows.entry(seq).or_default().extend(alerts);
+            }
+            recovered_tail.extend(replayed.tail);
+            Wal::wipe(&dir)?;
+        }
+
+        let map = RangeMap::partition(&catalog, config.nodes);
+        let known = catalog.iter().map(|s| s.id().0).collect();
+        let mut slots = Vec::with_capacity(config.nodes);
+        for node in 0..config.nodes {
+            let dir = config.wal_root.join(format!("node-{node}"));
+            let wal = Arc::new(Wal::open(&dir, config.wal_retain())?);
+            let node_cat = node_catalog(&catalog, &map, node);
+            let handle = spawn_node(&config.node, &node_cat, &make_governor)?;
+            slots.push(NodeSlot {
+                dir,
+                wal,
+                handle: Some(handle),
+                pending: 0,
+                last_dropped: 0,
+            });
+        }
+        metrics.nodes_alive.set(config.nodes as u64);
+
+        let emerging = (config.node.streaming.emerging.mode != EmergingMode::Off)
+            .then(|| EmergingAlertDetector::new(config.node.streaming.emerging.config.clone()));
+
+        let mut cluster = Self {
+            config,
+            catalog,
+            known,
+            map,
+            slots,
+            make_governor,
+            seq: 0,
+            latest: None,
+            emerging,
+            metrics,
+        };
+
+        // Re-ingest the recovered stream: each sealed window routes and
+        // closes at its original sequence number, so counters, the
+        // published snapshot, and per-node boundaries all line up with
+        // where the previous incarnation stopped.
+        for (seq, mut window) in recovered_windows {
+            window.sort_by_key(|a| (a.raised_at(), a.id()));
+            cluster.seq = seq;
+            for alert in window {
+                cluster.route(alert)?;
+            }
+            cluster.close_window()?;
+        }
+        recovered_tail.sort_by_key(|a| (a.raised_at(), a.id()));
+        for alert in recovered_tail {
+            cluster.route(alert)?;
+        }
+        Ok(cluster)
+    }
+
+    /// The routing table.
+    #[must_use]
+    pub fn range_map(&self) -> &RangeMap {
+        &self.map
+    }
+
+    /// Nodes currently running.
+    #[must_use]
+    pub fn alive_nodes(&self) -> usize {
+        self.slots.iter().filter(|s| s.handle.is_some()).count()
+    }
+
+    /// Whether `node` is currently running.
+    #[must_use]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.slots.get(node).is_some_and(|s| s.handle.is_some())
+    }
+
+    /// Routes one alert: quarantines unknown strategies at the edge,
+    /// journals the rest to the owning node's WAL (write-ahead), and
+    /// hands it to the node's daemon if the node is alive. Routing to
+    /// a dead node succeeds — the alert is durable and pending, and is
+    /// delivered in the first window closed after the node rejoins.
+    ///
+    /// # Errors
+    ///
+    /// A WAL append failure rejects the alert (it was counted
+    /// `ingested` and then `dropped`; nothing unaccounted).
+    pub fn route(&mut self, alert: Alert) -> io::Result<()> {
+        self.metrics.ingested.inc();
+        if !self.known.contains(&alert.strategy().0) {
+            self.metrics.quarantined.inc();
+            return Ok(());
+        }
+        let node = self.map.node_of(alert.strategy());
+        let slot = &mut self.slots[node];
+        if let Err(e) = slot.wal.append(&alert) {
+            self.metrics.dropped.inc();
+            return Err(e);
+        }
+        slot.pending += 1;
+        if let Some(handle) = &slot.handle {
+            handle.route(alert);
+        }
+        Ok(())
+    }
+
+    /// Closes the cluster window: every alive node closes and returns
+    /// its [`WindowDelta`]; the deltas merge through the commutative
+    /// monoid into one [`GovernanceSnapshot`] (the same merge a single
+    /// daemon applies across its shards — cluster == 1-node == batch,
+    /// byte for byte); the cluster's single AO-LDA pass runs over the
+    /// merged window documents; and each alive node's WAL is sealed at
+    /// this sequence number. Dead nodes contribute nothing this window
+    /// — their shards are listed in the snapshot's `degraded` (flat
+    /// `node * shards + shard` encoding) and their journaled alerts
+    /// stay in flight.
+    ///
+    /// # Errors
+    ///
+    /// WAL boundary failures pass through.
+    pub fn close_window(&mut self) -> io::Result<GovernanceSnapshot> {
+        let seq = self.seq;
+        self.seq += 1;
+        let shards = self.config.node.shards;
+
+        let mut deltas = Vec::with_capacity(self.slots.len());
+        let mut degraded = Vec::new();
+        for (node, slot) in self.slots.iter_mut().enumerate() {
+            let Some(handle) = &slot.handle else {
+                degraded.extend((0..shards).map(|s| node * shards + s));
+                continue;
+            };
+            let closed = handle
+                .flush_window()
+                .expect("node coordinator alive while handle held");
+            degraded.extend(closed.snapshot.degraded.iter().map(|s| node * shards + s));
+            deltas.push(closed.delta);
+
+            // Surface node-internal overflow shedding since the last
+            // close; everything else pending was just delivered.
+            let node_dropped = handle.counters().dropped;
+            let shed = node_dropped.saturating_sub(slot.last_dropped);
+            slot.last_dropped = node_dropped;
+            self.metrics.dropped.add(shed);
+
+            slot.wal.boundary(seq)?;
+            slot.pending = 0;
+        }
+        degraded.sort_unstable();
+
+        let merged = WindowDelta::merge_all(&deltas);
+        let mut snapshot =
+            GovernanceSnapshot::from_delta(&merged, &self.config.node.streaming.storm);
+        snapshot.window_index = seq;
+        snapshot.degraded = degraded;
+        if let Some(detector) = self.emerging.as_mut() {
+            snapshot.emerging = Some(detector.observe_docs(&merged.emerging_docs));
+        }
+
+        self.metrics.delivered.add(snapshot.alert_count as u64);
+        self.metrics.windows_closed.inc();
+        if !snapshot.degraded.is_empty() {
+            self.metrics.degraded_windows.inc();
+        }
+        self.latest = Some(snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// Kills `node`: its daemon stops and every alert it held in
+    /// memory is discarded — the in-process model of `kill -9`. The
+    /// node's WAL survives untouched; [`rejoin`](Self::rejoin) brings
+    /// the state back from it. No-op if already dead.
+    pub fn kill(&mut self, node: usize) {
+        if let Some(handle) = self.slots[node].handle.take() {
+            handle.shutdown();
+            self.metrics.nodes_alive.sub(1);
+        }
+    }
+
+    /// Rejoins a killed `node`: replays its WAL, rewrites the log, and
+    /// respawns the daemon — sealed windows rebuild the rolling
+    /// detection history (closes discarded: those windows were already
+    /// published and counted), the in-flight tail is re-routed as
+    /// pending. If the log was truncated while dead, the unrecoverable
+    /// alerts are counted `dropped` so conservation stays exact.
+    /// No-op if the node is already running (chaos schedules shuffle
+    /// kill/rejoin order freely).
+    ///
+    /// # Errors
+    ///
+    /// Replay, WAL, and spawn failures pass through; the node stays
+    /// dead on error.
+    pub fn rejoin(&mut self, node: usize) -> io::Result<()> {
+        if self.slots[node].handle.is_some() {
+            return Ok(());
+        }
+        let replayed = wal::replay(&self.slots[node].dir)?;
+        self.metrics
+            .wal_replayed_alerts
+            .add(replayed.recovered_alerts);
+        self.metrics.wal_torn_records.add(replayed.torn_records);
+
+        let node_cat = node_catalog(&self.catalog, &self.map, node);
+        let handle = spawn_node(&self.config.node, &node_cat, &self.make_governor)?;
+        Wal::wipe(&self.slots[node].dir)?;
+        let wal = Arc::new(Wal::open(&self.slots[node].dir, self.config.wal_retain())?);
+
+        for (seq, alerts) in &replayed.windows {
+            for alert in alerts {
+                wal.append(alert)?;
+                handle.route(alert.clone());
+            }
+            let _ = handle.flush_window();
+            wal.boundary(*seq)?;
+        }
+        // Shedding during history replay re-routes alerts that were
+        // already accounted at their original close; don't re-count.
+        let slot = &mut self.slots[node];
+        slot.last_dropped = handle.counters().dropped;
+
+        for alert in &replayed.tail {
+            wal.append(alert)?;
+            handle.route(alert.clone());
+        }
+        let recovered_tail = replayed.tail.len() as u64;
+        let lost = slot.pending.saturating_sub(recovered_tail);
+        self.metrics.dropped.add(lost);
+        slot.pending = recovered_tail;
+        slot.wal = wal;
+        slot.handle = Some(handle);
+        self.metrics.nodes_alive.add(1);
+        Ok(())
+    }
+
+    /// Hands `range` off to node `to` live: the source seals its state,
+    /// ships the range's slice of its rolling checkpoint and in-flight
+    /// tail (serialized through the [`HandoffShipment`] wire format),
+    /// the routing table is carved, and both ends respawn with their
+    /// new catalogs — the source without the range's history, the
+    /// target with its own history merged window-by-window with the
+    /// shipped one. Mid-stream safe: in-flight alerts for the range
+    /// move with it, so the handoff window closes byte-identical to a
+    /// run that never rebalanced, with nothing dropped or
+    /// double-counted.
+    ///
+    /// # Errors
+    ///
+    /// Requires the whole range to be owned by one alive source node
+    /// and `to` to be alive ([`io::ErrorKind::InvalidInput`]
+    /// otherwise); WAL and spawn errors pass through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shipped checkpoint fails JSON round-tripping —
+    /// a serialization bug, not an operational state.
+    pub fn handoff(&mut self, range: StrategyRange, to: usize) -> io::Result<HandoffReport> {
+        let from = self.map.node_of(StrategyId(range.start));
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        if self.map.node_of(StrategyId(range.end)) != from {
+            return Err(invalid(format!(
+                "range {}..={} spans multiple source nodes",
+                range.start, range.end
+            )));
+        }
+        if to >= self.slots.len() {
+            return Err(invalid(format!("target node {to} outside cluster")));
+        }
+        if !self.is_alive(from) || !self.is_alive(to) {
+            return Err(invalid(format!(
+                "handoff needs both ends alive (source {from}, target {to})"
+            )));
+        }
+        if from == to {
+            return Ok(HandoffReport {
+                range,
+                from,
+                to,
+                moved_alerts: 0,
+                micros: 0,
+            });
+        }
+        let started = Instant::now();
+
+        // Seal both ends: in-memory state is discarded, the WALs are
+        // the (complete) truth.
+        for node in [from, to] {
+            if let Some(handle) = self.slots[node].handle.take() {
+                handle.shutdown();
+            }
+            self.metrics.nodes_alive.sub(1);
+        }
+        let src = wal::replay(&self.slots[from].dir)?;
+        let dst = wal::replay(&self.slots[to].dir)?;
+        self.metrics
+            .wal_replayed_alerts
+            .add(src.recovered_alerts + dst.recovered_alerts);
+        self.metrics
+            .wal_torn_records
+            .add(src.torn_records + dst.torn_records);
+
+        // Split the source by the moving range.
+        let in_range = |a: &Alert| range.contains(a.strategy());
+        let mut kept_windows = Vec::with_capacity(src.windows.len());
+        let mut window_seqs = Vec::with_capacity(src.windows.len());
+        let mut moved_windows = Vec::with_capacity(src.windows.len());
+        for (seq, alerts) in src.windows {
+            let (moved, kept): (Vec<Alert>, Vec<Alert>) = alerts.into_iter().partition(in_range);
+            window_seqs.push(seq);
+            moved_windows.push(moved);
+            kept_windows.push((seq, kept));
+        }
+        let (moved_tail, kept_tail): (Vec<Alert>, Vec<Alert>) =
+            src.tail.into_iter().partition(in_range);
+
+        // Ship the checkpoint through its wire format.
+        let shipment = HandoffShipment {
+            checkpoint: alertops_core::StreamingCheckpoint {
+                start_index: window_seqs.first().copied().unwrap_or(self.seq),
+                windows: moved_windows,
+            },
+            window_seqs,
+            tail: moved_tail,
+        };
+        let wire = serde_json::to_string(&shipment).expect("shipment serializes");
+        let shipment: HandoffShipment = serde_json::from_str(&wire).expect("shipment round-trips");
+        let moved_alerts = shipment.checkpoint.alert_count() as u64 + shipment.tail.len() as u64;
+
+        self.map.reassign(range, to);
+
+        // Respawn the source without the range.
+        self.restore_node(from, kept_windows, kept_tail)?;
+
+        // Respawn the target with its history merged window-by-window
+        // with the shipment (keyed by sequence number: the two ends may
+        // have different retained depths or boundary gaps from past
+        // faults).
+        let mut merged: BTreeMap<u64, Vec<Alert>> = BTreeMap::new();
+        for (seq, alerts) in dst.windows {
+            merged.entry(seq).or_default().extend(alerts);
+        }
+        for (seq, alerts) in shipment.window_seqs.iter().zip(shipment.checkpoint.windows) {
+            merged.entry(*seq).or_default().extend(alerts);
+        }
+        let mut target_windows: Vec<(u64, Vec<Alert>)> = merged.into_iter().collect();
+        for (_, alerts) in &mut target_windows {
+            alerts.sort_by_key(|a| (a.raised_at(), a.id()));
+        }
+        let mut target_tail = dst.tail;
+        target_tail.extend(shipment.tail);
+        target_tail.sort_by_key(|a| (a.raised_at(), a.id()));
+        self.restore_node(to, target_windows, target_tail)?;
+
+        // Pending moves with the alerts: total in-flight is conserved,
+        // minus anything a truncated log could not give back.
+        let pending_before = self.slots[from].pending + self.slots[to].pending;
+        let kept_pending = self.restored_pending(from);
+        let target_pending = self.restored_pending(to);
+        let lost = pending_before.saturating_sub(kept_pending + target_pending);
+        self.metrics.dropped.add(lost);
+        self.slots[from].pending = kept_pending;
+        self.slots[to].pending = target_pending;
+
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.handoffs.inc();
+        self.metrics.handoff_micros.observe(micros);
+        Ok(HandoffReport {
+            range,
+            from,
+            to,
+            moved_alerts,
+            micros,
+        })
+    }
+
+    /// Tail length restored for `node` by the last `restore_node` call
+    /// (its open-segment depth: everything re-journaled past the last
+    /// boundary).
+    fn restored_pending(&self, node: usize) -> u64 {
+        self.slots[node].wal.depth().pending_records
+    }
+
+    /// Respawns `node` from explicit recovered state: re-journals and
+    /// re-ingests each sealed window at its original sequence
+    /// (publishing nothing — the windows were already published), then
+    /// restores `tail` as the in-flight window.
+    fn restore_node(
+        &mut self,
+        node: usize,
+        windows: Vec<(u64, Vec<Alert>)>,
+        tail: Vec<Alert>,
+    ) -> io::Result<()> {
+        let node_cat = node_catalog(&self.catalog, &self.map, node);
+        let handle = spawn_node(&self.config.node, &node_cat, &self.make_governor)?;
+        Wal::wipe(&self.slots[node].dir)?;
+        let wal = Arc::new(Wal::open(&self.slots[node].dir, self.config.wal_retain())?);
+        for (seq, alerts) in &windows {
+            for alert in alerts {
+                wal.append(alert)?;
+                handle.route(alert.clone());
+            }
+            let _ = handle.flush_window();
+            wal.boundary(*seq)?;
+        }
+        let slot = &mut self.slots[node];
+        slot.last_dropped = handle.counters().dropped;
+        for alert in &tail {
+            wal.append(alert)?;
+            handle.route(alert.clone());
+        }
+        slot.wal = wal;
+        slot.handle = Some(handle);
+        self.metrics.nodes_alive.add(1);
+        Ok(())
+    }
+
+    /// Chaos hook: chops `bytes` off the end of `node`'s newest WAL
+    /// segment, simulating a torn write or disk corruption. The damage
+    /// surfaces at the next replay (rejoin or restart) as torn
+    /// records; the lost alerts are counted `dropped` there.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through; no segment is a no-op.
+    pub fn truncate_wal_tail(&mut self, node: usize, bytes: u64) -> io::Result<()> {
+        let dir = &self.slots[node].dir;
+        let mut newest: Option<PathBuf> = None;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "wal")
+                && newest.as_ref().is_none_or(|n| *n < path)
+            {
+                newest = Some(path);
+            }
+        }
+        let Some(path) = newest else { return Ok(()) };
+        let len = std::fs::metadata(&path)?.len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(len.saturating_sub(bytes))?;
+        Ok(())
+    }
+
+    /// The most recently published cluster snapshot.
+    #[must_use]
+    pub fn latest_snapshot(&self) -> Option<GovernanceSnapshot> {
+        self.latest.clone()
+    }
+
+    /// Point-in-time conservation counters.
+    #[must_use]
+    pub fn counters(&self) -> ClusterCounters {
+        ClusterCounters {
+            ingested: self.metrics.ingested.get(),
+            delivered: self.metrics.delivered.get(),
+            dropped: self.metrics.dropped.get(),
+            quarantined: self.metrics.quarantined.get(),
+            in_flight: self.slots.iter().map(|s| s.pending).sum(),
+            windows_closed: self.metrics.windows_closed.get(),
+        }
+    }
+
+    /// The cluster's metric handles.
+    #[must_use]
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Renders the `alertops_cluster_*` Prometheus exposition,
+    /// refreshing the point-in-time gauges (WAL depth per node,
+    /// in-flight total) first.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        for (slot, gauges) in self.slots.iter().zip(&self.metrics.wal) {
+            let depth = slot.wal.depth();
+            gauges.sealed_segments.set(depth.sealed_segments);
+            gauges.pending_records.set(depth.pending_records);
+        }
+        self.metrics
+            .in_flight
+            .set(self.slots.iter().map(|s| s.pending).sum());
+        self.metrics.render()
+    }
+
+    /// Stops every node. The WALs stay on disk; a later
+    /// [`spawn`](Self::spawn) over the same `wal_root` restarts
+    /// losslessly.
+    pub fn shutdown(mut self) {
+        for slot in &mut self.slots {
+            if let Some(handle) = slot.handle.take() {
+                handle.shutdown();
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `alertops-cluster`: a multi-node `ingestd` cluster with durable
+//! write-ahead logs and live range rebalancing.
+//!
+//! The DSN'22 governance loop scaled from batch
+//! ([`alertops_core::AlertGovernor`]) to incremental
+//! ([`alertops_core::StreamingGovernor`]) to a sharded daemon
+//! ([`alertops_ingestd`]); this crate takes the last step to a
+//! *topology*. N daemon nodes each own a contiguous
+//! [`alertops_model::StrategyId`] range ([`RangeMap`]); a cluster
+//! coordinator ([`AlertCluster`]) routes alerts by range, collects one
+//! [`alertops_core::WindowDelta`] per node at window close, and merges
+//! them through the same commutative monoid the daemon uses across
+//! shards — so a 4-node cluster, a 1-node cluster, and the batch
+//! governor publish **byte-identical** snapshots over the same stream.
+//!
+//! Three mechanisms make the topology survivable:
+//!
+//! - **Write-ahead log** ([`wal`]): every accepted alert is journaled
+//!   to its owner's length+CRC-framed NDJSON log before it is routed;
+//!   window boundaries seal segments with an `fsync`. A killed node
+//!   loses its memory, never its log.
+//! - **Rejoin replay** ([`AlertCluster::rejoin`],
+//!   [`AlertCluster::spawn`]): sealed windows rebuild the rolling
+//!   detection history, the in-flight tail comes back as pending work,
+//!   and a whole-cluster restart re-ingests the recovered stream
+//!   end-to-end — lossless with no live peer.
+//! - **Range handoff** ([`AlertCluster::handoff`]): a source node
+//!   seals, ships the moving range's slice of its checkpoint as a
+//!   [`HandoffShipment`] (JSON on the wire), and both ends respawn
+//!   mid-stream without dropping or double-counting a window.
+//!
+//! Everything is accounted: the cluster-level conservation law
+//! `ingested == delivered + dropped + quarantined + in_flight`
+//! ([`ClusterCounters::is_conserved`]) holds at every quiescent point,
+//! nodes dead or alive, and the whole topology is observable as
+//! `alertops_cluster_*` Prometheus series ([`ClusterMetrics`]).
+//! Fault schedules come from `alertops-chaos` (node kills, rejoins,
+//! WAL truncation) and the scenario matrix lives in
+//! `tests/cluster.rs` at the workspace root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+pub mod journal;
+pub mod range;
+pub mod wal;
+
+mod metrics;
+
+pub use cluster::{
+    AlertCluster, ClusterConfig, ClusterCounters, GovernorFactory, HandoffReport, HandoffShipment,
+};
+pub use journal::WalJournal;
+pub use metrics::ClusterMetrics;
+pub use range::{node_catalog, RangeMap, StrategyRange};
+pub use wal::{crc32, replay, Wal, WalDepth, WalRecord, WalReplay};

@@ -1,0 +1,161 @@
+//! Cluster-level observability: topology, WAL depth, handoff latency,
+//! and the cluster conservation counters, as one `alertops-obs`
+//! registry rendered in Prometheus text exposition.
+//!
+//! Naming mirrors the daemon's `alertops_ingestd_*` families one level
+//! up: every series here is `alertops_cluster_*`. Node-scoped series
+//! (WAL depth) carry a `node="<index>"` label so a 4-node cluster
+//! scrapes as 4 labelled series per family, not 4 families.
+
+use std::sync::Arc;
+
+use alertops_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Per-node WAL depth gauges.
+#[derive(Debug)]
+pub(crate) struct NodeWalGauges {
+    pub sealed_segments: Arc<Gauge>,
+    pub pending_records: Arc<Gauge>,
+}
+
+/// The cluster's metric handles. Everything is an observer: recording
+/// never changes routing, merging, or WAL contents.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    registry: MetricsRegistry,
+    /// Configured node count (static topology gauge).
+    pub nodes: Arc<Gauge>,
+    /// Nodes currently alive (falls on kill, rises on rejoin).
+    pub nodes_alive: Arc<Gauge>,
+    /// Conservation: alerts accepted by [`crate::AlertCluster::route`]
+    /// (including quarantined ones, mirroring the daemon convention).
+    pub ingested: Arc<Counter>,
+    /// Conservation: alerts folded into a published window close.
+    pub delivered: Arc<Counter>,
+    /// Conservation: alerts lost for good — node-internal overflow
+    /// shedding surfaced at window close, plus WAL truncation losses
+    /// discovered at replay.
+    pub dropped: Arc<Counter>,
+    /// Conservation: alerts rejected at the cluster edge (strategy id
+    /// outside the catalog — nothing would ever govern them).
+    pub quarantined: Arc<Counter>,
+    /// Conservation: alerts routed (and journaled) but not yet part of
+    /// a closed window — the in-flight windows across all nodes.
+    pub in_flight: Arc<Gauge>,
+    /// Cluster windows closed (merged and published).
+    pub windows_closed: Arc<Counter>,
+    /// Closed windows that carried at least one degraded shard
+    /// (including every shard of a dead node).
+    pub degraded_windows: Arc<Counter>,
+    /// Alerts recovered from WAL replay (sealed windows plus tails).
+    pub wal_replayed_alerts: Arc<Counter>,
+    /// Torn/corrupt WAL records detected at replay.
+    pub wal_torn_records: Arc<Counter>,
+    /// Completed range handoffs.
+    pub handoffs: Arc<Counter>,
+    /// End-to-end handoff latency (seal, ship, respawn both ends), µs.
+    pub handoff_micros: Arc<Histogram>,
+    pub(crate) wal: Vec<NodeWalGauges>,
+}
+
+impl ClusterMetrics {
+    /// Registers the cluster families for a topology of `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        let registry = MetricsRegistry::new();
+        let wal = (0..nodes)
+            .map(|node| {
+                let label = node.to_string();
+                NodeWalGauges {
+                    sealed_segments: registry.gauge(
+                        "alertops_cluster_wal_sealed_segments",
+                        "Sealed window segments retained in a node's write-ahead log.",
+                        &[("node", &label)],
+                    ),
+                    pending_records: registry.gauge(
+                        "alertops_cluster_wal_pending_records",
+                        "Records in a node's open (in-flight window) WAL segment.",
+                        &[("node", &label)],
+                    ),
+                }
+            })
+            .collect();
+        Self {
+            nodes: registry.gauge(
+                "alertops_cluster_nodes",
+                "Configured cluster node count.",
+                &[],
+            ),
+            nodes_alive: registry.gauge(
+                "alertops_cluster_nodes_alive",
+                "Nodes currently running (kill decrements, rejoin increments).",
+                &[],
+            ),
+            ingested: registry.counter(
+                "alertops_cluster_ingested_total",
+                "Alerts accepted at the cluster edge (quarantined included).",
+                &[],
+            ),
+            delivered: registry.counter(
+                "alertops_cluster_delivered_total",
+                "Alerts folded into published cluster window closes.",
+                &[],
+            ),
+            dropped: registry.counter(
+                "alertops_cluster_dropped_total",
+                "Alerts lost: node overflow shedding plus WAL truncation losses.",
+                &[],
+            ),
+            quarantined: registry.counter(
+                "alertops_cluster_quarantined_total",
+                "Alerts rejected at the cluster edge (strategy outside the catalog).",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "alertops_cluster_in_flight",
+                "Alerts journaled but not yet part of a closed window.",
+                &[],
+            ),
+            windows_closed: registry.counter(
+                "alertops_cluster_windows_closed_total",
+                "Cluster windows merged and published.",
+                &[],
+            ),
+            degraded_windows: registry.counter(
+                "alertops_cluster_degraded_windows_total",
+                "Published windows carrying at least one degraded shard.",
+                &[],
+            ),
+            wal_replayed_alerts: registry.counter(
+                "alertops_cluster_wal_replayed_alerts_total",
+                "Alerts recovered from write-ahead-log replay.",
+                &[],
+            ),
+            wal_torn_records: registry.counter(
+                "alertops_cluster_wal_torn_records_total",
+                "Torn or corrupt WAL records detected at replay.",
+                &[],
+            ),
+            handoffs: registry.counter(
+                "alertops_cluster_handoffs_total",
+                "Completed live range handoffs.",
+                &[],
+            ),
+            handoff_micros: registry.histogram(
+                "alertops_cluster_handoff_micros",
+                "End-to-end range handoff latency in microseconds.",
+                &[],
+            ),
+            wal,
+            registry,
+        }
+    }
+
+    /// Renders the Prometheus text exposition of every cluster series.
+    /// Callers refresh point-in-time gauges (WAL depth, in-flight)
+    /// first; [`crate::AlertCluster::render_metrics`] does.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}

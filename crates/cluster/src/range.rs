@@ -1,0 +1,292 @@
+//! Contiguous strategy-id ranges and the cluster routing table.
+//!
+//! A cluster partitions the `StrategyId` space into contiguous ranges,
+//! one owner node per range — the node-level analogue of the daemon's
+//! per-shard hash partition, but *contiguous* so a range can be handed
+//! from one node to another as a single seal-and-ship unit. Routing by
+//! strategy preserves the merge-is-exact property one level up: all
+//! evidence for a strategy lives on exactly one node, so per-strategy
+//! findings merge losslessly and region-hour histograms sum key-wise.
+
+use alertops_model::{AlertStrategy, StrategyId};
+use serde::{Deserialize, Serialize};
+
+/// An inclusive range of strategy ids, `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategyRange {
+    /// First id in the range.
+    pub start: u64,
+    /// Last id in the range (inclusive, so the full id space is
+    /// representable).
+    pub end: u64,
+}
+
+impl StrategyRange {
+    /// A range holding exactly the ids `start..=end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "range start {start} exceeds end {end}");
+        Self { start, end }
+    }
+
+    /// Whether `id` falls inside this range.
+    #[must_use]
+    pub fn contains(&self, id: StrategyId) -> bool {
+        (self.start..=self.end).contains(&id.0)
+    }
+}
+
+/// The routing table: sorted, non-overlapping spans covering the whole
+/// id space, each owned by one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeMap {
+    /// `(range, node)`, ascending by `range.start`, gapless from 0 to
+    /// `u64::MAX`.
+    spans: Vec<(StrategyRange, usize)>,
+    nodes: usize,
+}
+
+impl RangeMap {
+    /// Partitions the catalog's strategies into `nodes` contiguous
+    /// ranges of roughly equal strategy count, then pads the first and
+    /// last range so the map covers the entire id space (an alert for
+    /// an id between catalog ids routes with its neighbours; there are
+    /// no unroutable ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn partition(catalog: &[AlertStrategy], nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let mut ids: Vec<u64> = catalog.iter().map(|s| s.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+
+        // Cut points: the id where each of the 1..nodes later groups
+        // begins. With fewer distinct ids than nodes the tail nodes
+        // own empty ranges, carved as single-id slivers just below
+        // their successor's span.
+        let per_node = ids.len().div_ceil(nodes.max(1)).max(1);
+        let mut spans = Vec::with_capacity(nodes);
+        let mut start = 0u64;
+        for node in 0..nodes {
+            let end = if node + 1 == nodes {
+                u64::MAX
+            } else {
+                match ids.get((node + 1) * per_node) {
+                    // The next group's first id starts the next span.
+                    Some(&next_first) if next_first > start => next_first - 1,
+                    _ => start.saturating_sub(1), // empty tail node
+                }
+            };
+            if end < start {
+                // Degenerate (more nodes than ids): give the node an
+                // empty claim by skipping it; route() never selects it.
+                continue;
+            }
+            spans.push((StrategyRange::new(start, end), node));
+            start = end.saturating_add(1);
+            if end == u64::MAX {
+                break;
+            }
+        }
+        // Guarantee total coverage even in degenerate layouts.
+        if let Some((last, node)) = spans.last().copied() {
+            if last.end != u64::MAX {
+                spans.push((StrategyRange::new(last.end + 1, u64::MAX), node));
+            }
+        }
+        let mut map = Self { spans, nodes };
+        map.normalize();
+        map
+    }
+
+    /// The node owning `id`. Total: every id has an owner.
+    #[must_use]
+    pub fn node_of(&self, id: StrategyId) -> usize {
+        let i = self
+            .spans
+            .partition_point(|(range, _)| range.end < id.0)
+            .min(self.spans.len() - 1);
+        self.spans[i].1
+    }
+
+    /// Number of nodes this map routes across.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The ranges currently owned by `node`, ascending.
+    #[must_use]
+    pub fn ranges_of(&self, node: usize) -> Vec<StrategyRange> {
+        self.spans
+            .iter()
+            .filter(|(_, n)| *n == node)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// The spans as `(range, node)` pairs, ascending by start.
+    #[must_use]
+    pub fn spans(&self) -> &[(StrategyRange, usize)] {
+        &self.spans
+    }
+
+    /// Reassigns `range` to `to`, splitting any spans it cuts through.
+    /// This is the routing-table half of a handoff; the caller moves
+    /// the corresponding governor state separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a valid node index.
+    pub fn reassign(&mut self, range: StrategyRange, to: usize) {
+        assert!(
+            to < self.nodes,
+            "node {to} outside cluster of {}",
+            self.nodes
+        );
+        let mut next = Vec::with_capacity(self.spans.len() + 2);
+        for &(span, node) in &self.spans {
+            if span.end < range.start || span.start > range.end {
+                next.push((span, node));
+                continue;
+            }
+            if span.start < range.start {
+                next.push((StrategyRange::new(span.start, range.start - 1), node));
+            }
+            next.push((
+                StrategyRange::new(span.start.max(range.start), span.end.min(range.end)),
+                to,
+            ));
+            if span.end > range.end {
+                next.push((StrategyRange::new(range.end + 1, span.end), node));
+            }
+        }
+        next.sort_by_key(|(r, _)| r.start);
+        self.spans = next;
+        self.normalize();
+    }
+
+    /// Coalesces adjacent spans with the same owner.
+    fn normalize(&mut self) {
+        let mut merged: Vec<(StrategyRange, usize)> = Vec::with_capacity(self.spans.len());
+        for &(span, node) in &self.spans {
+            match merged.last_mut() {
+                Some((last, last_node))
+                    if *last_node == node && last.end.saturating_add(1) == span.start =>
+                {
+                    last.end = span.end;
+                }
+                _ => merged.push((span, node)),
+            }
+        }
+        self.spans = merged;
+    }
+}
+
+/// The strategies of `catalog` that `map` routes to `node` — what the
+/// node's daemon builds its shard governors over.
+#[must_use]
+pub fn node_catalog(catalog: &[AlertStrategy], map: &RangeMap, node: usize) -> Vec<AlertStrategy> {
+    catalog
+        .iter()
+        .filter(|s| map.node_of(s.id()) == node)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{LogRule, SimDuration, StrategyKind};
+
+    fn strategy(id: u64) -> AlertStrategy {
+        AlertStrategy::builder(StrategyId(id))
+            .title_template("Instance x is abnormal")
+            .kind(StrategyKind::Log(LogRule {
+                keyword: "E".into(),
+                min_count: 1,
+                window: SimDuration::from_mins(5),
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn catalog(n: u64) -> Vec<AlertStrategy> {
+        (0..n).map(strategy).collect()
+    }
+
+    #[test]
+    fn partition_covers_every_id_and_balances() {
+        let catalog = catalog(100);
+        for nodes in [1usize, 2, 3, 4, 7] {
+            let map = RangeMap::partition(&catalog, nodes);
+            let mut counts = vec![0usize; nodes];
+            for s in &catalog {
+                counts[map.node_of(s.id())] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 100);
+            for (node, &count) in counts.iter().enumerate() {
+                assert!(
+                    count >= 100 / nodes / 2,
+                    "{nodes} nodes: node {node} starved: {counts:?}"
+                );
+            }
+            // Ids outside the catalog still route somewhere.
+            let _ = map.node_of(StrategyId(u64::MAX));
+            let _ = map.node_of(StrategyId(0));
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_per_node() {
+        let map = RangeMap::partition(&catalog(64), 4);
+        for node in 0..4 {
+            assert_eq!(map.ranges_of(node).len(), 1, "fresh partition: one range");
+        }
+        // Spans tile the space without gap or overlap.
+        let mut expected_start = 0u64;
+        for (range, _) in map.spans() {
+            assert_eq!(range.start, expected_start);
+            expected_start = range.end.saturating_add(1);
+        }
+        assert_eq!(map.spans().last().unwrap().0.end, u64::MAX);
+    }
+
+    #[test]
+    fn reassign_moves_exactly_the_range() {
+        let catalog = catalog(40);
+        let mut map = RangeMap::partition(&catalog, 2);
+        let before: Vec<usize> = catalog.iter().map(|s| map.node_of(s.id())).collect();
+        let moved = StrategyRange::new(5, 9);
+        map.reassign(moved, 1);
+        for s in &catalog {
+            let expect = if moved.contains(s.id()) {
+                1
+            } else {
+                before[usize::try_from(s.id().0).unwrap()]
+            };
+            assert_eq!(map.node_of(s.id()), expect, "id {}", s.id().0);
+        }
+        // Still gapless.
+        let mut expected_start = 0u64;
+        for (range, _) in map.spans() {
+            assert_eq!(range.start, expected_start);
+            expected_start = range.end.saturating_add(1);
+        }
+    }
+
+    #[test]
+    fn more_nodes_than_strategies_is_survivable() {
+        let map = RangeMap::partition(&catalog(2), 5);
+        for id in 0..2u64 {
+            assert!(map.node_of(StrategyId(id)) < 5);
+        }
+    }
+}

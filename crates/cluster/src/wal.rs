@@ -1,0 +1,434 @@
+//! The durable write-ahead log: length+CRC-framed NDJSON segments.
+//!
+//! One log per node, one directory per log, one segment file per
+//! window. Every record is a single line:
+//!
+//! ```text
+//! <len:08x> <crc32:08x> <json>\n
+//! ```
+//!
+//! where `len` is the byte length of `<json>` and `crc32` its IEEE
+//! CRC-32 — so a torn tail (crash mid-write) or flipped bytes are
+//! detected, never silently parsed. Records are either an
+//! [`Alert`](alertops_model::Alert) (appended *before* the alert is
+//! routed anywhere — write-ahead) or a window `boundary` carrying the
+//! cluster's window sequence number. A boundary seals the current
+//! segment: the writer flushes, `fsync`s, rotates to a fresh segment,
+//! and prunes sealed segments beyond the rolling history the governor
+//! retains. The segment cadence makes replay trivial and pruning a
+//! file unlink.
+//!
+//! Durability model: appends are flushed to the OS on every record, so
+//! a **process** crash (`kill -9` included) loses nothing; the
+//! `fsync` on window boundaries is what bounds loss on a **power**
+//! failure to the in-flight window. Replay stops trusting a segment at
+//! the first framing/CRC failure and reports what it discarded —
+//! callers account those alerts as dropped rather than resurrecting
+//! guesses.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use alertops_model::Alert;
+use serde::{Deserialize, Serialize};
+
+/// One journaled record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WalRecord {
+    /// An accepted alert, written before it was routed.
+    Alert(Alert),
+    /// The window with this cluster sequence number closed; seals the
+    /// segment it ends.
+    Boundary {
+        /// The cluster coordinator's window sequence number.
+        window: u64,
+    },
+}
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the ubiquitous
+/// zlib/PNG variant, implemented here because the workspace is
+/// std-only.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames one record as its wire line (without trailing newline).
+fn frame(record: &WalRecord) -> String {
+    let json = serde_json::to_string(record).expect("WAL records always serialize");
+    format!("{:08x} {:08x} {json}", json.len(), crc32(json.as_bytes()))
+}
+
+/// Parses one wire line back into a record. `None` means the line is
+/// torn or corrupt (bad framing, length mismatch, CRC mismatch, or
+/// invalid JSON).
+fn unframe(line: &[u8]) -> Option<WalRecord> {
+    // "llllllll cccccccc j..." — header is fixed-width ASCII.
+    if line.len() < 18 || line[8] != b' ' || line[17] != b' ' {
+        return None;
+    }
+    let header = std::str::from_utf8(&line[..17]).ok()?;
+    let len = usize::from_str_radix(&header[..8], 16).ok()?;
+    let crc = u32::from_str_radix(&header[9..17], 16).ok()?;
+    let json = &line[18..];
+    if json.len() != len || crc32(json) != crc {
+        return None;
+    }
+    serde_json::from_str(std::str::from_utf8(json).ok()?).ok()
+}
+
+/// Mutable writer state behind the [`Wal`]'s lock.
+#[derive(Debug)]
+struct WalState {
+    writer: BufWriter<File>,
+    /// Index of the open segment file.
+    segment: u64,
+    /// Records appended to the open segment so far.
+    pending_records: u64,
+    /// Sealed segments currently on disk.
+    sealed: Vec<u64>,
+}
+
+/// Point-in-time depth of a log, for gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalDepth {
+    /// Sealed window segments retained on disk.
+    pub sealed_segments: u64,
+    /// Records in the open (in-flight window) segment.
+    pub pending_records: u64,
+}
+
+/// A node's write-ahead log. Appends are serialized by an internal
+/// lock; the cluster calls from its single driver thread, the
+/// standalone daemon from its router/coordinator threads.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    retain: usize,
+    state: Mutex<WalState>,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:010}.wal"))
+}
+
+/// Lists the segment indices present in `dir`, ascending.
+fn segment_indices(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let name = entry?.file_name();
+                let name = name.to_string_lossy();
+                if let Some(stem) = name
+                    .strip_prefix("seg-")
+                    .and_then(|s| s.strip_suffix(".wal"))
+                {
+                    if let Ok(index) = stem.parse::<u64>() {
+                        indices.push(index);
+                    }
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir`, retaining at most
+    /// `retain` sealed window segments. Existing segments are left in
+    /// place and a fresh open segment is started after them — replay
+    /// first ([`replay`]), then open, then re-append what the replay
+    /// handed back, is the restart protocol (see
+    /// `AlertCluster`).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through.
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let existing = segment_indices(&dir)?;
+        let segment = existing.last().map_or(0, |last| last + 1);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&dir, segment))?;
+        Ok(Self {
+            dir,
+            retain,
+            state: Mutex::new(WalState {
+                writer: BufWriter::new(file),
+                segment,
+                pending_records: 0,
+                sealed: existing,
+            }),
+        })
+    }
+
+    /// Removes every segment file in `dir` (the consume step of
+    /// replay-and-rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through.
+    pub fn wipe(dir: &Path) -> io::Result<()> {
+        for index in segment_indices(dir)? {
+            fs::remove_file(segment_path(dir, index))?;
+        }
+        Ok(())
+    }
+
+    /// The directory this log writes to.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one alert record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through; the record must be considered
+    /// unjournaled if this fails.
+    pub fn append(&self, alert: &Alert) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(state.writer, "{}", frame(&WalRecord::Alert(alert.clone())))?;
+        state.writer.flush()?;
+        state.pending_records += 1;
+        Ok(())
+    }
+
+    /// Seals the in-flight window: appends the boundary record,
+    /// flushes, `fsync`s, rotates to a fresh segment, and prunes
+    /// sealed segments beyond the retained history.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through.
+    pub fn boundary(&self, window: u64) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(state.writer, "{}", frame(&WalRecord::Boundary { window }))?;
+        state.writer.flush()?;
+        state.writer.get_ref().sync_data()?;
+
+        let sealed = state.segment;
+        let next = sealed + 1;
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))?;
+        state.writer = BufWriter::new(file);
+        state.segment = next;
+        state.pending_records = 0;
+        state.sealed.push(sealed);
+        while state.sealed.len() > self.retain {
+            let oldest = state.sealed.remove(0);
+            fs::remove_file(segment_path(&self.dir, oldest))?;
+        }
+        Ok(())
+    }
+
+    /// Current depth, for the cluster's WAL gauges.
+    #[must_use]
+    pub fn depth(&self) -> WalDepth {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        WalDepth {
+            sealed_segments: state.sealed.len() as u64,
+            pending_records: state.pending_records,
+        }
+    }
+}
+
+/// What [`replay`] recovered from a log directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReplay {
+    /// The sealed windows in order: `(window sequence, alerts)`.
+    pub windows: Vec<(u64, Vec<Alert>)>,
+    /// Alerts journaled after the last boundary — the in-flight window
+    /// at crash time.
+    pub tail: Vec<Alert>,
+    /// Lines that failed framing/CRC/JSON validation. Each one also
+    /// discards the rest of its segment (everything after a torn
+    /// record is untrustworthy).
+    pub torn_records: u64,
+    /// Total alerts recovered (windows plus tail).
+    pub recovered_alerts: u64,
+}
+
+/// Reads every segment in `dir` and reconstructs the journaled
+/// windows. Tolerant by design: a missing directory is an empty log; a
+/// torn or corrupt record ends trust in its segment (counted, the rest
+/// of that segment skipped) but later segments are still read.
+///
+/// # Errors
+///
+/// Filesystem errors other than a missing directory pass through.
+pub fn replay(dir: &Path) -> io::Result<WalReplay> {
+    let mut windows = Vec::new();
+    let mut current: Vec<Alert> = Vec::new();
+    let mut torn_records = 0u64;
+    for index in segment_indices(dir)? {
+        let bytes = fs::read(segment_path(dir, index))?;
+        for line in bytes.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            match unframe(line) {
+                Some(WalRecord::Alert(alert)) => current.push(alert),
+                Some(WalRecord::Boundary { window }) => {
+                    windows.push((window, std::mem::take(&mut current)));
+                }
+                None => {
+                    torn_records += 1;
+                    break; // rest of this segment is untrustworthy
+                }
+            }
+        }
+    }
+    let recovered_alerts =
+        windows.iter().map(|(_, w)| w.len() as u64).sum::<u64>() + current.len() as u64;
+    Ok(WalReplay {
+        windows,
+        tail: current,
+        torn_records,
+        recovered_alerts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertops_model::{AlertId, SimTime, StrategyId};
+
+    fn alert(id: u64) -> Alert {
+        Alert::builder(AlertId(id), StrategyId(id % 5))
+            .raised_at(SimTime::from_secs(id * 60))
+            .build()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alertops-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let record = WalRecord::Alert(alert(7));
+        let line = frame(&record);
+        assert_eq!(unframe(line.as_bytes()), Some(record));
+        // Flip one payload byte: CRC must catch it.
+        let mut bad = line.clone().into_bytes();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x20;
+        assert_eq!(unframe(&bad), None);
+        // Truncate: length must catch it.
+        assert_eq!(unframe(&line.as_bytes()[..line.len() - 1]), None);
+    }
+
+    #[test]
+    fn append_boundary_replay_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let wal = Wal::open(&dir, 8).unwrap();
+        for id in 0..4 {
+            wal.append(&alert(id)).unwrap();
+        }
+        wal.boundary(0).unwrap();
+        for id in 4..6 {
+            wal.append(&alert(id)).unwrap();
+        }
+        wal.boundary(1).unwrap();
+        wal.append(&alert(6)).unwrap();
+        assert_eq!(wal.depth().sealed_segments, 2);
+        assert_eq!(wal.depth().pending_records, 1);
+
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.windows.len(), 2);
+        assert_eq!(replayed.windows[0].0, 0);
+        assert_eq!(replayed.windows[0].1.len(), 4);
+        assert_eq!(replayed.windows[1].0, 1);
+        assert_eq!(replayed.windows[1].1, vec![alert(4), alert(5)]);
+        assert_eq!(replayed.tail, vec![alert(6)]);
+        assert_eq!(replayed.torn_records, 0);
+        assert_eq!(replayed.recovered_alerts, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_keeps_the_rolling_history() {
+        let dir = temp_dir("prune");
+        let wal = Wal::open(&dir, 2).unwrap();
+        for window in 0..5u64 {
+            wal.append(&alert(window * 10)).unwrap();
+            wal.boundary(window).unwrap();
+        }
+        assert_eq!(wal.depth().sealed_segments, 2);
+        let replayed = replay(&dir).unwrap();
+        let indices: Vec<u64> = replayed.windows.iter().map(|(w, _)| *w).collect();
+        assert_eq!(indices, vec![3, 4], "only the retained windows remain");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_parsed() {
+        let dir = temp_dir("torn");
+        let wal = Wal::open(&dir, 8).unwrap();
+        wal.append(&alert(1)).unwrap();
+        wal.boundary(0).unwrap();
+        wal.append(&alert(2)).unwrap();
+        wal.append(&alert(3)).unwrap();
+        drop(wal);
+        // Simulate a crash mid-write: chop bytes off the open segment.
+        let open = segment_path(&dir, 1);
+        let len = fs::metadata(&open).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&open).unwrap();
+        file.set_len(len - 9).unwrap();
+
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.windows.len(), 1, "sealed window survives");
+        assert_eq!(replayed.tail, vec![alert(2)], "intact tail record survives");
+        assert_eq!(replayed.torn_records, 1, "the chopped record is counted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_after_existing_segments() {
+        let dir = temp_dir("reopen");
+        {
+            let wal = Wal::open(&dir, 8).unwrap();
+            wal.append(&alert(1)).unwrap();
+            wal.boundary(0).unwrap();
+        }
+        let wal = Wal::open(&dir, 8).unwrap();
+        wal.append(&alert(2)).unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.windows.len(), 1);
+        assert_eq!(replayed.tail, vec![alert(2)]);
+        drop(wal);
+        Wal::wipe(&dir).unwrap();
+        assert_eq!(replay(&dir).unwrap().recovered_alerts, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

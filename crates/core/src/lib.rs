@@ -71,6 +71,6 @@ pub use postmortem::{render_postmortem, PostmortemInput};
 pub use remediation::{apply_fixes, suggest_fixes, FixAction, RemediationConfig, StrategyFix};
 pub use reports::GovernanceReport;
 pub use streaming::{
-    merge_emerging_docs, EmergingChannel, EmergingMode, GovernanceSnapshot, StreamingConfig,
-    StreamingGovernor, WindowDelta,
+    merge_emerging_docs, EmergingChannel, EmergingMode, GovernanceSnapshot, StreamingCheckpoint,
+    StreamingConfig, StreamingGovernor, WindowDelta,
 };

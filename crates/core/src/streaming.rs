@@ -115,6 +115,119 @@ pub struct WindowDelta {
     pub emerging: Option<EmergingReport>,
 }
 
+impl WindowDelta {
+    /// The identity element of [`merged`](Self::merged): an empty
+    /// window that changes nothing. `identity().merged(&d) == d` for
+    /// every *canonical* delta `d` — one whose vector fields are in
+    /// the canonical sort orders the merge produces (every delta the
+    /// [`StreamingGovernor`] emits is canonical).
+    #[must_use]
+    pub fn identity() -> Self {
+        Self {
+            window_index: 0,
+            alert_count: 0,
+            new_findings: Vec::new(),
+            resolved: Vec::new(),
+            storm_active: false,
+            region_hours: Vec::new(),
+            window_hours: Vec::new(),
+            triage: Vec::new(),
+            emerging_docs: Vec::new(),
+            emerging: None,
+        }
+    }
+
+    /// Merges two deltas of the *same* closed window produced over
+    /// disjoint partitions of its alerts (different shards, or
+    /// different nodes of a cluster).
+    ///
+    /// This is the commutative monoid the whole scale-out story rests
+    /// on: counts and histograms sum, set-like fields union into
+    /// canonical sort order, and `window_index` takes the maximum.
+    /// Associativity, commutativity, and the identity law are proven
+    /// by property tests in `tests/determinism.rs`; they are what let
+    /// a cluster coordinator fold per-node deltas (each already a
+    /// merge of per-shard deltas) in any grouping and still reproduce
+    /// the single-process governance picture byte for byte.
+    ///
+    /// The one field outside the laws is `emerging`: a local AO-LDA
+    /// report cannot be combined with another (the pass is inherently
+    /// sequential), so merging keeps a report only when exactly one
+    /// operand carries one. Deltas that flow into merges therefore run
+    /// in [`EmergingMode::Forward`] (report `None`, documents
+    /// forwarded), where the laws hold on every field.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self::merge_all(&[self.clone(), other.clone()])
+    }
+
+    /// Merges any number of same-window deltas in one pass; the n-ary
+    /// form of [`merged`](Self::merged) (empty input yields
+    /// [`identity`](Self::identity)).
+    #[must_use]
+    pub fn merge_all(deltas: &[WindowDelta]) -> WindowDelta {
+        let window_index = deltas.iter().map(|d| d.window_index).max().unwrap_or(0);
+        let alert_count = deltas.iter().map(|d| d.alert_count).sum();
+
+        let mut new_findings: Vec<StrategyFinding> = deltas
+            .iter()
+            .flat_map(|d| d.new_findings.iter().cloned())
+            .collect();
+        new_findings.sort_by(|a, b| {
+            (a.pattern, a.strategy, &a.evidence).cmp(&(b.pattern, b.strategy, &b.evidence))
+        });
+
+        let mut resolved: Vec<(AntiPattern, StrategyId)> = deltas
+            .iter()
+            .flat_map(|d| d.resolved.iter().copied())
+            .collect();
+        resolved.sort_unstable();
+
+        let mut histogram: BTreeMap<(RegionId, u64), usize> = BTreeMap::new();
+        for (region, hour, count) in deltas.iter().flat_map(|d| d.region_hours.iter()) {
+            *histogram.entry((region.clone(), *hour)).or_insert(0) += count;
+        }
+        let region_hours: Vec<(RegionId, u64, usize)> = histogram
+            .into_iter()
+            .map(|((region, hour), count)| (region, hour, count))
+            .collect();
+
+        let window_hours: Vec<u64> = deltas
+            .iter()
+            .flat_map(|d| d.window_hours.iter().copied())
+            .collect::<BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+
+        let mut triage: Vec<AlertId> = deltas
+            .iter()
+            .flat_map(|d| d.triage.iter().copied())
+            .collect();
+        triage.sort_unstable();
+
+        let emerging_docs = merge_emerging_docs(deltas);
+
+        let mut reports = deltas.iter().filter_map(|d| d.emerging.as_ref());
+        let emerging = match (reports.next(), reports.next()) {
+            (Some(report), None) => Some(report.clone()),
+            _ => None,
+        };
+
+        WindowDelta {
+            window_index,
+            alert_count,
+            new_findings,
+            resolved,
+            storm_active: deltas.iter().any(|d| d.storm_active),
+            region_hours,
+            window_hours,
+            triage,
+            emerging_docs,
+            emerging,
+        }
+    }
+}
+
 /// The global governance picture for one closed window, merged from the
 /// per-shard [`WindowDelta`]s of a sharded deployment (or from a single
 /// delta, which it passes through).
@@ -182,46 +295,41 @@ impl GovernanceSnapshot {
     /// is the identity on its fields plus full storm reconstruction.
     #[must_use]
     pub fn merge(deltas: &[WindowDelta], storm: &StormConfig) -> Self {
-        let window_index = deltas.iter().map(|d| d.window_index).max().unwrap_or(0);
-        let alert_count = deltas.iter().map(|d| d.alert_count).sum();
+        Self::from_delta(&WindowDelta::merge_all(deltas), storm)
+    }
 
-        let mut new_findings: Vec<StrategyFinding> = deltas
-            .iter()
-            .flat_map(|d| d.new_findings.iter().cloned())
-            .collect();
-        new_findings.sort_by(|a, b| {
-            (a.pattern, a.strategy, &a.evidence).cmp(&(b.pattern, b.strategy, &b.evidence))
-        });
-
-        let mut resolved: Vec<(AntiPattern, StrategyId)> = deltas
-            .iter()
-            .flat_map(|d| d.resolved.iter().copied())
-            .collect();
-        resolved.sort_unstable();
-
+    /// Builds the snapshot of one (already merged, or single-source)
+    /// delta: sorts the per-window lists into their canonical orders
+    /// and reconstructs exact global storm state from the delta's
+    /// region-hour histogram. `merge` is exactly
+    /// `from_delta(&WindowDelta::merge_all(deltas), storm)`; a cluster
+    /// coordinator that folds node deltas through the
+    /// [`WindowDelta`] monoid calls this on the fold's result.
+    #[must_use]
+    pub fn from_delta(delta: &WindowDelta, storm: &StormConfig) -> Self {
         let mut histogram: BTreeMap<(RegionId, u64), usize> = BTreeMap::new();
-        for (region, hour, count) in deltas.iter().flat_map(|d| d.region_hours.iter()) {
+        for (region, hour, count) in &delta.region_hours {
             *histogram.entry((region.clone(), *hour)).or_insert(0) += count;
         }
         let storms = storms_from_histogram(histogram, storm);
 
-        let window_hours: BTreeSet<u64> = deltas
-            .iter()
-            .flat_map(|d| d.window_hours.iter().copied())
-            .collect();
+        let window_hours: BTreeSet<u64> = delta.window_hours.iter().copied().collect();
         let storm_active = storms
             .iter()
             .any(|s| s.hours.iter().any(|h| window_hours.contains(h)));
 
-        let mut triage: Vec<AlertId> = deltas
-            .iter()
-            .flat_map(|d| d.triage.iter().copied())
-            .collect();
+        let mut new_findings = delta.new_findings.clone();
+        new_findings.sort_by(|a, b| {
+            (a.pattern, a.strategy, &a.evidence).cmp(&(b.pattern, b.strategy, &b.evidence))
+        });
+        let mut resolved = delta.resolved.clone();
+        resolved.sort_unstable();
+        let mut triage = delta.triage.clone();
         triage.sort_unstable();
 
         Self {
-            window_index,
-            alert_count,
+            window_index: delta.window_index,
+            alert_count: delta.alert_count,
             new_findings,
             resolved,
             storms,
@@ -486,6 +594,106 @@ impl StreamingGovernor {
     }
 }
 
+/// A serializable snapshot of a [`StreamingGovernor`]'s rolling
+/// evidence: the retained history windows, oldest first, each
+/// time-sorted the way the ingest path sorts them. Because the
+/// incremental engine's state is a pure function of the retained
+/// windows (digests in, digests out), replaying a checkpoint through
+/// [`StreamingGovernor::restore`] reconstructs detection state **byte
+/// for byte** — this is the wire format a cluster ships when a
+/// strategy range is handed from one node to another, and what a
+/// write-ahead log replays after a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingCheckpoint {
+    /// Window index of `windows[0]` — what
+    /// [`StreamingGovernor::windows_ingested`] reads after restoring
+    /// is `start_index + windows.len()`.
+    pub start_index: u64,
+    /// The retained windows, oldest first.
+    pub windows: Vec<Vec<Alert>>,
+}
+
+impl StreamingCheckpoint {
+    /// Total alerts across all retained windows.
+    #[must_use]
+    pub fn alert_count(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum()
+    }
+
+    /// Sorts every window into the canonical `(raised_at, id)` order
+    /// the ingest path expects. Checkpoints rebuilt from a write-ahead
+    /// log hold alerts in arrival order; canonicalizing makes replay
+    /// independent of how concurrent producers interleaved.
+    pub fn canonicalize(&mut self) {
+        for window in &mut self.windows {
+            window.sort_by_key(|a| (a.raised_at(), a.id()));
+        }
+    }
+
+    /// Keeps only alerts whose strategy satisfies `keep` (window
+    /// boundaries stay in place, so indices still align). This is the
+    /// "seal and split" half of a range handoff: the source node's
+    /// checkpoint is filtered to the moved range before shipping, and
+    /// to the kept range before the source restores.
+    pub fn retain_strategies(&mut self, keep: impl Fn(StrategyId) -> bool) {
+        for window in &mut self.windows {
+            window.retain(|a| keep(a.strategy()));
+        }
+    }
+
+    /// Merges two checkpoints over disjoint strategy sets whose
+    /// windows align index-for-index (the handoff target's own
+    /// retained windows plus the shipped moved-range windows), keeping
+    /// canonical per-window order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoints disagree on window alignment — that
+    /// would mean the two nodes closed different window sequences,
+    /// which the cluster's single close barrier rules out.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        assert_eq!(
+            (self.start_index, self.windows.len()),
+            (other.start_index, other.windows.len()),
+            "checkpoint merge requires aligned windows"
+        );
+        let mut merged = self.clone();
+        for (window, extra) in merged.windows.iter_mut().zip(&other.windows) {
+            window.extend(extra.iter().cloned());
+        }
+        merged.canonicalize();
+        merged
+    }
+}
+
+impl StreamingGovernor {
+    /// Reconstructs a streaming governor from a checkpoint by
+    /// replaying the retained windows through a fresh engine. Exact
+    /// for governors whose emerging channel is [`EmergingMode::Off`]
+    /// or [`EmergingMode::Forward`] and whose stream carried no
+    /// incidents (both true of every daemon shard): detection state is
+    /// a pure function of the retained windows, so the restored
+    /// governor's subsequent deltas are byte-identical to the
+    /// original's. [`EmergingMode::Local`] is *not* restorable this
+    /// way — AO-LDA's adaptive prior depends on the full preceding
+    /// stream, not just the retained tail — which is one more reason
+    /// clusters defer the emerging pass to their coordinator.
+    #[must_use]
+    pub fn restore(
+        governor: AlertGovernor,
+        config: StreamingConfig,
+        checkpoint: &StreamingCheckpoint,
+    ) -> Self {
+        let mut streaming = Self::new(governor, config);
+        streaming.windows_ingested = checkpoint.start_index;
+        for window in &checkpoint.windows {
+            let _ = streaming.ingest(window, &[]);
+        }
+        streaming
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,6 +943,84 @@ mod tests {
             let merged_report = coordinator.observe_docs(&docs);
             assert_eq!(local_report, merged_report);
         }
+    }
+
+    #[test]
+    fn restore_from_checkpoint_is_byte_identical_going_forward() {
+        // Run one governor nine windows deep, checkpoint its last
+        // three retained windows, restore a sibling from the
+        // checkpoint, and require identical deltas ever after.
+        let mut original = streaming(3);
+        let mut retained: Vec<Vec<Alert>> = Vec::new();
+        for hour in 0..9u64 {
+            let window = transient_window(hour * 100, 1 + hour % 2, hour, 5 + hour as usize);
+            original.ingest(&window, &[]);
+            retained.push(window);
+            if retained.len() > 3 {
+                retained.remove(0);
+            }
+        }
+        let checkpoint = StreamingCheckpoint {
+            start_index: original.windows_ingested() - retained.len() as u64,
+            windows: retained,
+        };
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let shipped: StreamingCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(checkpoint, shipped, "checkpoint must survive the wire");
+
+        let governor = AlertGovernor::new(
+            vec![noisy_strategy(1), noisy_strategy(2)],
+            GovernorConfig::default(),
+        );
+        let mut restored = StreamingGovernor::restore(
+            governor,
+            StreamingConfig {
+                history_windows: 3,
+                ..StreamingConfig::default()
+            },
+            &shipped,
+        );
+        assert_eq!(restored.windows_ingested(), original.windows_ingested());
+        assert_eq!(restored.history_len(), original.history_len());
+        for hour in 9..14u64 {
+            let window = transient_window(hour * 100, 1 + hour % 2, hour, 4);
+            assert_eq!(
+                original.ingest(&window, &[]),
+                restored.ingest(&window, &[]),
+                "restored governor diverged at window {hour}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_split_and_merge_partition_cleanly() {
+        let mut window: Vec<Alert> = transient_window(0, 1, 0, 4);
+        window.extend(transient_window(100, 2, 0, 3));
+        window.sort_by_key(|a| (a.raised_at(), a.id()));
+        let full = StreamingCheckpoint {
+            start_index: 7,
+            windows: vec![window],
+        };
+        let mut left = full.clone();
+        left.retain_strategies(|s| s == StrategyId(1));
+        let mut right = full.clone();
+        right.retain_strategies(|s| s == StrategyId(2));
+        assert_eq!(left.alert_count(), 4);
+        assert_eq!(right.alert_count(), 3);
+        assert_eq!(left.merged(&right), full, "split + merge must roundtrip");
+    }
+
+    #[test]
+    fn delta_monoid_smoke() {
+        // The full law suite lives in tests/determinism.rs; this pins
+        // the basics close to the implementation.
+        let mut a = streaming(24);
+        let mut b = streaming(24);
+        let da = a.ingest(&transient_window(0, 1, 0, 8), &[]);
+        let db = b.ingest(&transient_window(500, 2, 0, 6), &[]);
+        assert_eq!(WindowDelta::identity().merged(&da), da);
+        assert_eq!(da.merged(&db), db.merged(&da));
+        assert_eq!(da.merged(&db), WindowDelta::merge_all(&[da, db]));
     }
 
     #[test]

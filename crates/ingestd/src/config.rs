@@ -61,6 +61,16 @@ pub struct IngestdConfig {
     /// handle methods ([`crate::IngestdHandle::inject_panic`] and
     /// friends) are not gated — they require holding the handle.
     pub chaos: bool,
+    /// Node role: this daemon is one member of a cluster, and a
+    /// cluster-level coordinator owns the single sequential AO-LDA
+    /// pass. With `true` and an enabled emerging channel, the daemon's
+    /// own coordinator does *not* run the detector after its merge —
+    /// the forwarded documents stay in the published window's
+    /// [`alertops_core::WindowDelta::emerging_docs`] for the level
+    /// above. Irrelevant when the emerging channel is off. `false`
+    /// (the default) is the standalone role: the daemon's coordinator
+    /// is the topmost merge point and runs the pass itself.
+    pub defer_emerging: bool,
 }
 
 impl Default for IngestdConfig {
@@ -75,6 +85,7 @@ impl Default for IngestdConfig {
             status: None,
             metrics: true,
             chaos: false,
+            defer_emerging: false,
         }
     }
 }

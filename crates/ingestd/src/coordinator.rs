@@ -6,20 +6,38 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use alertops_core::{merge_emerging_docs, GovernanceSnapshot};
+use alertops_core::{GovernanceSnapshot, WindowDelta};
 use alertops_detect::StormConfig;
 use alertops_react::EmergingAlertDetector;
 
 use crate::counters::Counters;
+use crate::journal::WindowJournal;
 use crate::metrics::IngestdMetrics;
 use crate::worker::{ShardDelta, WorkerMsg};
 
+/// Everything one window close produced: the published snapshot plus
+/// the node-level [`WindowDelta`] it was built from (the fold of this
+/// daemon's per-shard deltas through the `WindowDelta` monoid). A
+/// cluster coordinator collects one `ClosedWindow` per node and merges
+/// the `delta`s again — same monoid, one level up — which is what
+/// makes N-node output byte-identical to 1-node output.
+#[derive(Debug, Clone)]
+pub struct ClosedWindow {
+    /// The merged snapshot this daemon published for the window.
+    pub snapshot: GovernanceSnapshot,
+    /// The fold of the per-shard deltas: exactly what a level above
+    /// needs to merge this node with its peers. When the daemon runs
+    /// in the deferred-emerging node role, the window's forwarded
+    /// documents ride along in `delta.emerging_docs`.
+    pub delta: WindowDelta,
+}
+
 /// Control messages for the coordinator.
 pub(crate) enum CoordMsg {
-    /// Close the current window now. If `ack` is set, the merged
-    /// snapshot is sent once published (this is the flush path).
+    /// Close the current window now. If `ack` is set, the close result
+    /// is sent once published (this is the flush path).
     CloseNow {
-        ack: Option<SyncSender<GovernanceSnapshot>>,
+        ack: Option<SyncSender<ClosedWindow>>,
     },
     /// Stop coordinating; acked when the loop is about to exit.
     Shutdown { ack: SyncSender<()> },
@@ -38,15 +56,23 @@ pub(crate) enum CoordMsg {
 /// synthetic empty delta for the in-flight `seq`, and the shard is
 /// listed in the published snapshot's `degraded` field.
 ///
-/// When the emerging channel is enabled, the coordinator owns the one
-/// [`EmergingAlertDetector`]: shards only *forward* window documents
-/// (see `alertops_core::EmergingMode::Forward`), and the single
-/// sequential AO-LDA pass runs here, after the merge, over the
-/// id-sorted union of the forwards. AO-LDA's adaptive prior threads
-/// every window's model through the previous windows' topics, so any
-/// per-shard pass would diverge between shard counts; one pass at the
-/// merge point keeps 1-shard and N-shard emerging output
-/// byte-identical. The pass runs whether or not metrics are enabled.
+/// When the emerging channel is enabled and not deferred, the
+/// coordinator owns the one [`EmergingAlertDetector`]: shards only
+/// *forward* window documents (see
+/// `alertops_core::EmergingMode::Forward`), and the single sequential
+/// AO-LDA pass runs here, after the merge, over the id-sorted union of
+/// the forwards. AO-LDA's adaptive prior threads every window's model
+/// through the previous windows' topics, so any per-shard pass would
+/// diverge between shard counts; one pass at the merge point keeps
+/// 1-shard and N-shard emerging output byte-identical. The pass runs
+/// whether or not metrics are enabled. In the deferred node role the
+/// same argument moves the pass one level up: this daemon is *not*
+/// the topmost merge point, so it forwards the merged documents in
+/// its published [`ClosedWindow::delta`] instead.
+///
+/// With a journal attached, [`WindowJournal::window_closed`] fires
+/// after the merge is published — the write-ahead log's cue to seal
+/// the window's records and prune beyond the rolling history.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_coordinator(
     control: &Receiver<CoordMsg>,
@@ -55,6 +81,7 @@ pub(crate) fn run_coordinator(
     tick: Option<Duration>,
     storm: &StormConfig,
     mut emerging: Option<EmergingAlertDetector>,
+    journal: Option<Arc<dyn WindowJournal>>,
     snapshot_slot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
     counters: &Arc<Counters>,
     metrics: Option<&IngestdMetrics>,
@@ -110,15 +137,15 @@ pub(crate) fn run_coordinator(
         }
 
         let merge_started = Instant::now();
-        let mut snapshot = GovernanceSnapshot::merge(&collected, storm);
+        let node_delta = WindowDelta::merge_all(&collected);
+        let mut snapshot = GovernanceSnapshot::from_delta(&node_delta, storm);
         if let Some(m) = metrics {
             m.merge_micros.observe(elapsed_micros(merge_started));
         }
         if let Some(detector) = emerging.as_mut() {
-            let docs = merge_emerging_docs(&collected);
             let report = {
                 let _span = metrics.map(|m| m.emerging.window_timer());
-                detector.observe_docs(&docs)
+                detector.observe_docs(&node_delta.emerging_docs)
             };
             if let Some(m) = metrics {
                 m.emerging.record_report(&report);
@@ -138,9 +165,15 @@ pub(crate) fn run_coordinator(
         if let Some(m) = metrics {
             m.window_close_micros.observe(window_micros);
         }
+        if let Some(journal) = &journal {
+            journal.window_closed(seq);
+        }
         *snapshot_slot.write().unwrap_or_else(|e| e.into_inner()) = Some(snapshot.clone());
         if let Some(ack) = ack {
-            let _ = ack.send(snapshot);
+            let _ = ack.send(ClosedWindow {
+                snapshot,
+                delta: node_delta,
+            });
         }
         seq += 1;
     }

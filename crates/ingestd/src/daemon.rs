@@ -26,8 +26,9 @@ use crate::codec::{
     FrameError, QuarantineReason,
 };
 use crate::config::{IngestdConfig, OverflowPolicy};
-use crate::coordinator::{run_coordinator, CoordMsg};
+use crate::coordinator::{run_coordinator, ClosedWindow, CoordMsg};
 use crate::counters::{CounterSnapshot, Counters};
+use crate::journal::WindowJournal;
 use crate::metrics::{render_exposition, IngestdMetrics};
 use crate::shard::shard_of;
 use crate::status::{StatusReport, StatusRequest};
@@ -79,6 +80,8 @@ struct Router {
     resume_slots: Vec<Mutex<Option<Sender<()>>>>,
     shutdown: Arc<ShutdownSignal>,
     metrics: Option<Arc<IngestdMetrics>>,
+    /// Write-ahead journal, recorded before any enqueue.
+    journal: Option<Arc<dyn WindowJournal>>,
 }
 
 impl Router {
@@ -88,6 +91,14 @@ impl Router {
     /// then sheds — so `ingested == delivered + dropped + quarantined`
     /// stays exact.
     fn route(&self, alert: Box<Alert>) {
+        if let Some(journal) = &self.journal {
+            // Write-ahead: journaled before the alert can be in any
+            // queue, so a crash never holds an unjournaled alert.
+            // Recorded even if the overflow policy then sheds it —
+            // under `Drop`, replay may resurrect shed alerts, which is
+            // the durable log being *more* complete than the live run.
+            journal.record(&alert);
+        }
         self.counters.ingested.fetch_add(1, Ordering::Relaxed);
         let shard = shard_of(alert.strategy(), self.shard_txs.len());
         let queue_depth = &self.counters.queue_depths[shard];
@@ -116,9 +127,9 @@ impl Router {
         }
     }
 
-    /// Closes the window on every shard and returns the merged
-    /// snapshot, or `None` if the coordinator is gone (shutdown race).
-    fn flush(&self) -> Option<GovernanceSnapshot> {
+    /// Closes the window on every shard and returns the close result,
+    /// or `None` if the coordinator is gone (shutdown race).
+    fn flush(&self) -> Option<ClosedWindow> {
         let (ack_tx, ack_rx) = mpsc::sync_channel(1);
         self.coord_tx
             .send(CoordMsg::CloseNow { ack: Some(ack_tx) })
@@ -217,7 +228,26 @@ impl Ingestd {
     /// through.
     pub fn spawn(
         config: &IngestdConfig,
+        make_governor: impl FnMut(usize, usize) -> StreamingGovernor,
+    ) -> io::Result<IngestdHandle> {
+        Self::spawn_with_journal(config, make_governor, None)
+    }
+
+    /// [`Ingestd::spawn`] with a write-ahead journal attached: the
+    /// router records every accepted alert before enqueueing it and
+    /// the coordinator reports each window close — see
+    /// [`crate::journal`] for the durability contract. The daemon
+    /// never reads the journal back; replay is the *caller's* startup
+    /// move (load the log, re-route the retained windows, flush at
+    /// each recorded boundary).
+    ///
+    /// # Errors
+    ///
+    /// As [`Ingestd::spawn`].
+    pub fn spawn_with_journal(
+        config: &IngestdConfig,
         mut make_governor: impl FnMut(usize, usize) -> StreamingGovernor,
+        journal: Option<Arc<dyn WindowJournal>>,
     ) -> io::Result<IngestdHandle> {
         config
             .validate()
@@ -281,12 +311,17 @@ impl Ingestd {
             let storm = config.streaming.storm;
             let tick = config.tick;
             // The coordinator owns the one emerging-channel detector;
-            // it runs after every merge, metrics or not.
-            let emerging = (config.streaming.emerging.mode != EmergingMode::Off)
+            // it runs after every merge, metrics or not — unless this
+            // daemon is a cluster node (`defer_emerging`), in which
+            // case the pass belongs to the cluster coordinator and the
+            // merged documents ride out in the published delta.
+            let emerging = (config.streaming.emerging.mode != EmergingMode::Off
+                && !config.defer_emerging)
                 .then(|| EmergingAlertDetector::new(config.streaming.emerging.config.clone()));
             let snapshot = Arc::clone(&snapshot);
             let coord_counters = Arc::clone(&counters);
             let coord_metrics = metrics.clone();
+            let coord_journal = journal.clone();
             threads.push(
                 thread::Builder::new()
                     .name("ingestd-coordinator".to_owned())
@@ -298,6 +333,7 @@ impl Ingestd {
                             tick,
                             &storm,
                             emerging,
+                            coord_journal,
                             &snapshot,
                             &coord_counters,
                             coord_metrics.as_deref(),
@@ -316,6 +352,7 @@ impl Ingestd {
             resume_slots,
             shutdown: Arc::clone(&shutdown),
             metrics: metrics.clone(),
+            journal,
         });
 
         // Ingress listener.
@@ -399,6 +436,14 @@ impl IngestdHandle {
     /// Closes the current window on every shard and returns the merged
     /// snapshot (`None` only during shutdown races).
     pub fn flush(&self) -> Option<GovernanceSnapshot> {
+        self.router.flush().map(|closed| closed.snapshot)
+    }
+
+    /// Like [`flush`](Self::flush), but returns the full
+    /// [`ClosedWindow`]: the snapshot plus the node-level
+    /// [`alertops_core::WindowDelta`] a cluster coordinator merges
+    /// with this node's peers.
+    pub fn flush_window(&self) -> Option<ClosedWindow> {
         self.router.flush()
     }
 
@@ -566,7 +611,8 @@ fn handle_frame(
     match item {
         Ok(Frame::Alert(alert)) => router.route(alert),
         Ok(Frame::Flush) => {
-            if let Some(snapshot) = router.flush() {
+            if let Some(closed) = router.flush() {
+                let snapshot = closed.snapshot;
                 let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
                 if writeln!(writer, "{ack}").is_err() {
                     return false;
@@ -666,10 +712,18 @@ fn serve_status(
         StatusRequest::Metrics => {
             let _ = writer.write_all(render_exposition(counters, metrics).as_bytes());
         }
+        StatusRequest::Healthz => {
+            // Liveness must stay cheap: two atomic loads and one small
+            // write, no JSON, no snapshot clone. The counters give a
+            // probe something monotone to watch.
+            let windows = counters.windows_closed.load(Ordering::Relaxed);
+            let ingested = counters.ingested.load(Ordering::Relaxed);
+            let _ = writeln!(writer, "ok windows={windows} ingested={ingested}");
+        }
         StatusRequest::Unknown(verb) => {
             let _ = writeln!(
                 writer,
-                "error: unknown request {verb:?} (try: status, metrics)"
+                "error: unknown request {verb:?} (try: status, metrics, healthz)"
             );
         }
     }

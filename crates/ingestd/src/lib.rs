@@ -59,6 +59,7 @@ pub mod config;
 mod coordinator;
 pub mod counters;
 mod daemon;
+pub mod journal;
 pub mod metrics;
 pub mod shard;
 pub mod status;
@@ -69,8 +70,10 @@ pub use codec::{
     SYNC_FRAME,
 };
 pub use config::{IngestdConfig, OverflowPolicy};
+pub use coordinator::ClosedWindow;
 pub use counters::{CounterSnapshot, Counters};
 pub use daemon::{Ingestd, IngestdHandle};
+pub use journal::WindowJournal;
 pub use metrics::{render_exposition, IngestdMetrics};
 pub use shard::{shard_catalog, shard_of};
 pub use status::{StatusReport, StatusRequest};

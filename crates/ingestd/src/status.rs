@@ -6,6 +6,7 @@
 //! ```text
 //! $ printf 'status\n'  | nc 127.0.0.1 4502   # JSON status document
 //! $ printf 'metrics\n' | nc 127.0.0.1 4502   # Prometheus exposition
+//! $ printf 'healthz\n' | nc 127.0.0.1 4502   # "ok <windows_closed>" liveness line
 //! ```
 //!
 //! Backward compatibility: clients that connect and read without
@@ -28,6 +29,12 @@ pub enum StatusRequest {
     Status,
     /// Serve the Prometheus text exposition.
     Metrics,
+    /// Serve the one-line liveness answer (`ok <windows_closed>`).
+    /// Deliberately cheap: no JSON serialization, no snapshot clone —
+    /// a load balancer probing every node of a cluster each second
+    /// should cost two atomic loads, not a serialized governance
+    /// document.
+    Healthz,
     /// An unrecognized verb, answered with an error line.
     Unknown(String),
 }
@@ -42,6 +49,8 @@ impl StatusRequest {
             StatusRequest::Status
         } else if verb.eq_ignore_ascii_case("metrics") {
             StatusRequest::Metrics
+        } else if verb.eq_ignore_ascii_case("healthz") {
+            StatusRequest::Healthz
         } else {
             StatusRequest::Unknown(verb.to_string())
         }
@@ -105,6 +114,8 @@ mod tests {
         assert_eq!(StatusRequest::parse("STATUS"), StatusRequest::Status);
         assert_eq!(StatusRequest::parse("metrics"), StatusRequest::Metrics);
         assert_eq!(StatusRequest::parse("Metrics\r"), StatusRequest::Metrics);
+        assert_eq!(StatusRequest::parse("healthz"), StatusRequest::Healthz);
+        assert_eq!(StatusRequest::parse("HEALTHZ\r"), StatusRequest::Healthz);
         assert_eq!(
             StatusRequest::parse("gimme"),
             StatusRequest::Unknown("gimme".into())

@@ -53,4 +53,15 @@ cargo test -q --test emerging_streaming
 cargo test -q -p alertops-react emerging
 cargo test -q -p alertops-topics grow_vocab
 
+# Cluster gate: the topology differential (4-node == 2-node == 1-node
+# == batch oracle), WAL crash-replay (in-process kill/rejoin plus the
+# real binary under SIGKILL), live range handoff, node-fault chaos
+# (seed-replayable via CHAOS_SEED), and the WindowDelta merge-monoid
+# property tests. A change that breaks cluster == single-node
+# equivalence or loses a journaled alert fails here by name.
+echo "==> cluster: topology differential + WAL crash-replay + handoff"
+cargo test -q --test cluster
+cargo test -q -p alertops-cluster
+cargo test -q --test determinism merge_monoid
+
 echo "CI green."

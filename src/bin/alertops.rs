@@ -7,7 +7,8 @@
 //! alertops lint     --scenario quickstart --seed 7
 //! alertops storms   --scenario mini-study --seed 7 [--threshold 100]
 //! alertops audit    --scenario mini-study --seed 7
-//! alertops ingestd  --scenario study --shards 4 [--listen ADDR] [--status ADDR]
+//! alertops ingestd  --scenario study --shards 4 [--listen ADDR] [--status ADDR] [--wal DIR]
+//! alertops cluster  --scenario study --nodes 3 [--shards N] [--wal DIR] [--flush-every N]
 //! alertops replay   --scenario study [--connect ADDR] [--rate N] [--shutdown]
 //! alertops metrics  [--status ADDR]
 //! ```
@@ -19,6 +20,11 @@
 //!
 //! `ingestd` runs the sharded ingestion daemon (see `alertops::ingestd`)
 //! with per-shard streaming governors built from the scenario's catalog;
+//! with `--wal DIR` it journals every accepted alert to a durable
+//! write-ahead log and replays the log on startup (lossless restart,
+//! `kill -9` included). `cluster` runs an N-node in-process cluster
+//! (see `alertops::cluster`) over the scenario trace: range routing,
+//! per-node WALs, and one merged governance snapshot per window.
 //! `replay` streams the scenario's alert trace into a running daemon
 //! over NDJSON/TCP, closing windows along the way; `metrics` scrapes a
 //! running daemon's Prometheus text exposition from its status socket.
@@ -41,11 +47,12 @@ use alertops_chaos::Backoff;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: alertops <simulate|govern|lint|storms|audit|ingestd|replay|metrics> \
+        "usage: alertops <simulate|govern|lint|storms|audit|ingestd|cluster|replay|metrics> \
          [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
          [--json FILE] [--top N] [--threshold N] \
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
          [--listen ADDR] [--status ADDR] [--chaos] [--no-metrics] [--emerging] \
+         [--nodes N] [--wal DIR] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
@@ -68,6 +75,9 @@ struct Args {
     chaos: bool,
     metrics: bool,
     emerging: bool,
+    // ingestd --wal / cluster
+    wal: Option<String>,
+    nodes: usize,
     // replay
     connect: String,
     rate: u64,
@@ -94,6 +104,8 @@ fn parse_args() -> Option<Args> {
         chaos: false,
         metrics: true,
         emerging: false,
+        wal: None,
+        nodes: 3,
         connect: "127.0.0.1:4501".to_owned(),
         rate: 0,
         flush_every: 0,
@@ -135,6 +147,8 @@ fn parse_args() -> Option<Args> {
             }
             "--listen" => args.listen = value()?,
             "--status" => args.status = value()?,
+            "--wal" => args.wal = Some(value()?),
+            "--nodes" => args.nodes = value()?.parse().ok()?,
             "--connect" => args.connect = value()?,
             "--rate" => args.rate = value()?.parse().ok()?,
             "--flush-every" => args.flush_every = value()?.parse().ok()?,
@@ -191,7 +205,15 @@ fn main() -> ExitCode {
     };
     if !matches!(
         args.command.as_str(),
-        "simulate" | "govern" | "lint" | "storms" | "audit" | "ingestd" | "replay" | "metrics"
+        "simulate"
+            | "govern"
+            | "lint"
+            | "storms"
+            | "audit"
+            | "ingestd"
+            | "cluster"
+            | "replay"
+            | "metrics"
     ) {
         eprintln!("unknown command `{}`", args.command);
         return usage();
@@ -321,6 +343,7 @@ fn main() -> ExitCode {
             }
         }
         "ingestd" => return run_ingestd(&args, &out),
+        "cluster" => return run_cluster(&args, &out),
         "replay" => return run_replay(&args, &out),
         _ => unreachable!("command validated before the scenario ran"),
     }
@@ -329,6 +352,13 @@ fn main() -> ExitCode {
 
 /// Runs the sharded ingestion daemon until a connection sends
 /// `{"ctrl":"shutdown"}` (or the process is killed).
+///
+/// With `--wal DIR` the daemon journals write-ahead: any log left in
+/// `DIR` by a previous incarnation (clean exit or `kill -9` alike) is
+/// replayed through normal ingestion first — sealed windows are
+/// re-closed, the in-flight tail is re-routed — and the log is
+/// rewritten, so restart is lossless and the log never grows past the
+/// governor's rolling history.
 fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
     let mut streaming = StreamingConfig::default();
     if args.emerging {
@@ -346,17 +376,78 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         status: Some(args.status.clone()),
         metrics: args.metrics,
         chaos: args.chaos,
+        defer_emerging: false,
     };
-    let handle = match Ingestd::spawn(&config, |shard, shards| {
-        let catalog = shard_catalog(out.catalog.strategies(), shards, shard);
-        StreamingGovernor::new(governor_over(out, catalog), config.streaming.clone())
-    }) {
+
+    // Recover and re-arm the write-ahead log before the daemon exists.
+    let mut recovered = None;
+    let journal: Option<std::sync::Arc<dyn alertops::ingestd::WindowJournal>> = match &args.wal {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            let wal = match alertops::cluster::replay(&dir)
+                .and_then(|replayed| {
+                    alertops::cluster::Wal::wipe(&dir)?;
+                    Ok(replayed)
+                })
+                .and_then(|replayed| {
+                    // One past the rolling history: replay needs the
+                    // previous window's full scope too, so the last
+                    // re-published snapshot is byte-exact.
+                    let retain = config.streaming.history_windows.max(1) + 1;
+                    Ok((replayed, alertops::cluster::Wal::open(&dir, retain)?))
+                }) {
+                Ok((replayed, wal)) => {
+                    recovered = Some(replayed);
+                    wal
+                }
+                Err(err) => {
+                    eprintln!("wal at {} unusable: {err}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            Some(std::sync::Arc::new(alertops::cluster::WalJournal::new(
+                std::sync::Arc::new(wal),
+            )))
+        }
+        None => None,
+    };
+
+    let handle = match Ingestd::spawn_with_journal(
+        &config,
+        |shard, shards| {
+            let catalog = shard_catalog(out.catalog.strategies(), shards, shard);
+            StreamingGovernor::new(governor_over(out, catalog), config.streaming.clone())
+        },
+        journal,
+    ) {
         Ok(handle) => handle,
         Err(err) => {
             eprintln!("ingestd failed to start: {err}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Replay-through-ingestion: routing re-journals each alert and the
+    // per-window flushes re-seal segments, so this is also compaction.
+    if let Some(replayed) = recovered {
+        for (_, alerts) in &replayed.windows {
+            for alert in alerts {
+                handle.route(alert.clone());
+            }
+            let _ = handle.flush();
+        }
+        for alert in &replayed.tail {
+            handle.route(alert.clone());
+        }
+        println!(
+            "wal replay: {} alert(s) recovered ({} sealed window(s), {} in flight), {} torn record(s)",
+            replayed.recovered_alerts,
+            replayed.windows.len(),
+            replayed.tail.len(),
+            replayed.torn_records
+        );
+    }
+
     let addr = |a: Option<std::net::SocketAddr>| a.map_or_else(|| "-".into(), |a| a.to_string());
     println!(
         "ingestd up: {} shard(s), ingest {}, status {}",
@@ -379,6 +470,123 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         counters.ingested, counters.dropped, counters.decode_errors, counters.windows_closed
     );
     ExitCode::SUCCESS
+}
+
+/// Runs the scenario trace through an N-node in-process cluster:
+/// range-routed nodes, per-node write-ahead logs, one merged
+/// governance snapshot per `--flush-every` alerts. Prints the final
+/// snapshot, the conservation accounting, and (with metrics on) the
+/// `alertops_cluster_*` exposition.
+fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
+    use alertops::cluster::{AlertCluster, ClusterConfig};
+
+    let mut streaming = StreamingConfig::default();
+    if args.emerging {
+        streaming.emerging.mode = EmergingMode::Forward;
+    }
+    let node = IngestdConfig {
+        shards: args.shards,
+        queue_capacity: args.queue,
+        tick: None,
+        overflow: args.overflow,
+        streaming,
+        listen: None,
+        status: None,
+        metrics: false,
+        chaos: false,
+        defer_emerging: false,
+    };
+    let wal_root = args.wal.clone().map_or_else(
+        || std::env::temp_dir().join(format!("alertops-cluster-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    let config = ClusterConfig {
+        nodes: args.nodes,
+        node,
+        wal_root: wal_root.clone(),
+    };
+
+    let factory_out = std::sync::Arc::new(out.clone());
+    let factory_streaming = config.node.streaming.clone();
+    let factory: alertops::cluster::GovernorFactory = std::sync::Arc::new(move |catalog| {
+        StreamingGovernor::new(
+            governor_over(&factory_out, catalog.to_vec()),
+            factory_streaming.clone(),
+        )
+    });
+
+    let mut cluster = match AlertCluster::spawn(config, out.catalog.strategies().to_vec(), factory)
+    {
+        Ok(cluster) => cluster,
+        Err(err) => {
+            eprintln!("cluster failed to start: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cluster up: {} node(s) x {} shard(s), wal at {}",
+        args.nodes,
+        args.shards,
+        wal_root.display()
+    );
+    for (range, node) in cluster.range_map().spans() {
+        println!("  node {node}: strategies {}..={}", range.start, range.end);
+    }
+
+    let per_window = if args.flush_every > 0 {
+        args.flush_every
+    } else {
+        500
+    };
+    for (index, alert) in out.alerts.iter().enumerate() {
+        if let Err(err) = cluster.route(alert.clone()) {
+            eprintln!("route failed at alert {index}: {err}");
+            return ExitCode::FAILURE;
+        }
+        if (index + 1) % per_window == 0 {
+            if let Err(err) = cluster.close_window() {
+                eprintln!("window close failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match cluster.close_window() {
+        Ok(snapshot) => println!(
+            "final window {}: {} alert(s), {} finding(s) flagged, {} storm(s), triage depth {}",
+            snapshot.window_index,
+            snapshot.alert_count,
+            snapshot.new_findings.len(),
+            snapshot.storms.len(),
+            snapshot.triage.len()
+        ),
+        Err(err) => {
+            eprintln!("final window close failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let counters = cluster.counters();
+    println!(
+        "conservation: {} ingested == {} delivered + {} dropped + {} quarantined + {} in flight ({})",
+        counters.ingested,
+        counters.delivered,
+        counters.dropped,
+        counters.quarantined,
+        counters.in_flight,
+        if counters.is_conserved() { "exact" } else { "VIOLATED" }
+    );
+    if args.metrics {
+        print!("{}", cluster.render_metrics());
+    }
+    cluster.shutdown();
+    if args.wal.is_none() {
+        // Ephemeral run: don't leave temp logs behind.
+        let _ = std::fs::remove_dir_all(&wal_root);
+    }
+    if counters.is_conserved() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Scrapes a running daemon's Prometheus exposition: connect to the

@@ -20,6 +20,7 @@
 //! | [`survey`] | `alertops-survey` | The 18-OCE survey dataset and Likert analysis |
 //! | [`core`] | `alertops-core` | The [`AlertGovernor`](core::AlertGovernor) facade |
 //! | [`ingestd`] | `alertops-ingestd` | The sharded streaming ingestion daemon |
+//! | [`cluster`] | `alertops-cluster` | Multi-node clustering, write-ahead logs, range handoff |
 //! | [`obs`] | `alertops-obs` | Metrics registry, histograms, spans, Prometheus text |
 //! | [`chaos`] | `alertops-chaos` | Seeded fault schedules, frame corruption, backoff |
 //!
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use alertops_chaos as chaos;
+pub use alertops_cluster as cluster;
 pub use alertops_core as core;
 pub use alertops_detect as detect;
 pub use alertops_ingestd as ingestd;

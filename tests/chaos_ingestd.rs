@@ -288,6 +288,12 @@ impl CellDriver {
                 self.overflow_storm(position, alert, burst);
                 true
             }
+            // Node-level kinds target a cluster, not a single daemon;
+            // this matrix never schedules them (node-fault counts are
+            // zero in its ChaosConfig). See tests/cluster.rs.
+            ChaosKind::NodeKill { .. }
+            | ChaosKind::NodeRejoin { .. }
+            | ChaosKind::WalTruncate { .. } => true,
         }
     }
 
@@ -476,6 +482,7 @@ fn cell_chaos_config(label: &str, trace_len: usize, shards: usize) -> ChaosConfi
         close_panics: 0,
         overflows: 0,
         burst_len: BURST_LEN,
+        ..ChaosConfig::default()
     };
     match label {
         "connection_reset" => config.resets = 2,

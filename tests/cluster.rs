@@ -1,0 +1,731 @@
+//! The `alertops-cluster` scenario matrix: differential proofs that a
+//! topology is an execution strategy, not a semantics change, and that
+//! the write-ahead log makes every fault accountable.
+//!
+//! - N-node clusters (1, 2, 4) publish snapshots equal to the single
+//!   full-catalog streaming governor over the same windowed trace.
+//! - A mid-window node kill + rejoin is byte-invisible: the WAL replay
+//!   rebuilds exactly the state `kill -9` destroyed.
+//! - A live range handoff mid-window neither drops nor double-counts.
+//! - WAL truncation while a node is dead surfaces as `dropped`, never
+//!   as a silent leak — the conservation law holds from the scrape.
+//! - Chaos-scheduled node faults (kill/rejoin/truncate) are replayable
+//!   from `CHAOS_SEED`.
+//! - A whole-cluster restart from the logs resumes byte-identically.
+//! - The real binary survives `kill -9` mid-window via `--wal` (in
+//!   `ingestd_wal_replay_survives_kill_dash_nine`).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use alertops::chaos::{seed_from_env, ChaosConfig, ChaosKind, ChaosSchedule};
+use alertops::cluster::{AlertCluster, ClusterConfig, GovernorFactory};
+use alertops::core::prelude::*;
+use alertops::detect::StormConfig;
+use alertops::ingestd::IngestdConfig;
+use alertops::sim::scenarios;
+
+/// Rolling history depth for every governor in this suite — small, so
+/// the differentials cross eviction boundaries and WAL pruning.
+const HISTORY: usize = 3;
+
+fn streaming_config() -> StreamingConfig {
+    StreamingConfig {
+        history_windows: HISTORY,
+        storm: StormConfig::default(),
+        ..StreamingConfig::default()
+    }
+}
+
+/// The per-shard governor factory every cluster in this suite uses.
+fn factory() -> GovernorFactory {
+    Arc::new(|catalog: &[AlertStrategy]| {
+        StreamingGovernor::new(
+            AlertGovernor::new(catalog.to_vec(), GovernorConfig::default()),
+            streaming_config(),
+        )
+    })
+}
+
+/// A unique, per-process WAL root so parallel test binaries never
+/// collide.
+fn wal_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "alertops-cluster-test-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+fn cluster_config(nodes: usize, shards: usize, wal_root: PathBuf) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        node: IngestdConfig {
+            shards,
+            queue_capacity: 8192,
+            streaming: streaming_config(),
+            ..IngestdConfig::default()
+        },
+        wal_root,
+    }
+}
+
+fn spawn(nodes: usize, shards: usize, root: &Path, catalog: &[AlertStrategy]) -> AlertCluster {
+    AlertCluster::spawn(
+        cluster_config(nodes, shards, root.to_path_buf()),
+        catalog.to_vec(),
+        factory(),
+    )
+    .expect("cluster spawns")
+}
+
+/// The quickstart trace chopped into fixed-size, time-sorted windows,
+/// with a trailing empty window so the differentials also cover
+/// detection over a draining history.
+fn windowed_trace(seed: u64, window_len: usize) -> (Vec<AlertStrategy>, Vec<Vec<Alert>>) {
+    let out = scenarios::quickstart(seed).run();
+    let mut trace = out.alerts.clone();
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    let mut windows: Vec<Vec<Alert>> = trace.chunks(window_len).map(<[Alert]>::to_vec).collect();
+    windows.push(Vec::new());
+    (out.catalog.strategies().to_vec(), windows)
+}
+
+fn json(snapshot: &GovernanceSnapshot) -> String {
+    serde_json::to_string(snapshot).expect("snapshot serializes")
+}
+
+/// Strips the fields different partitions are *not* exact for: triage
+/// (cross-strategy correlation runs within each shard only, and node
+/// count changes the sharding) and the degraded list (asserted
+/// separately where a test injects faults). Same-topology comparisons
+/// skip this and demand full byte equality.
+fn comparable(snapshot: &GovernanceSnapshot) -> GovernanceSnapshot {
+    GovernanceSnapshot {
+        triage: Vec::new(),
+        degraded: Vec::new(),
+        ..snapshot.clone()
+    }
+}
+
+/// Runs `windows` through a fresh fault-free cluster and returns every
+/// published snapshot, asserting conservation on the way out.
+fn run_cluster(
+    nodes: usize,
+    shards: usize,
+    tag: &str,
+    catalog: &[AlertStrategy],
+    windows: &[Vec<Alert>],
+) -> Vec<GovernanceSnapshot> {
+    let root = wal_root(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn(nodes, shards, &root, catalog);
+    let mut snapshots = Vec::with_capacity(windows.len());
+    for window in windows {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        snapshots.push(cluster.close_window().expect("window closes"));
+    }
+    let counters = cluster.counters();
+    assert!(counters.is_conserved(), "{counters:?}");
+    assert_eq!(counters.dropped, 0, "fault-free run must drop nothing");
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    snapshots
+}
+
+/// Every value of the named family in a Prometheus text exposition.
+fn exposition_values(text: &str, name: &str) -> Vec<u64> {
+    text.lines()
+        .filter(|line| !line.starts_with('#'))
+        .filter_map(|line| {
+            let (series, value) = line.rsplit_once(' ')?;
+            let base = series.split('{').next()?;
+            (base == name).then(|| value.parse().expect("metric values are integers"))
+        })
+        .collect()
+}
+
+/// The single value of an unlabelled family.
+fn exposition_value(text: &str, name: &str) -> u64 {
+    let values = exposition_values(text, name);
+    assert_eq!(values.len(), 1, "{name} should be a single series");
+    values[0]
+}
+
+/// Re-asserts the cluster conservation law from the *scrape* — the
+/// text a real monitoring system would see must carry the same
+/// accounting the in-process counters do.
+fn assert_scrape_conserved(cluster: &AlertCluster) {
+    let text = cluster.render_metrics();
+    alertops::obs::lint_exposition(&text).expect("cluster exposition lints");
+    assert_eq!(
+        exposition_value(&text, "alertops_cluster_ingested_total"),
+        exposition_value(&text, "alertops_cluster_delivered_total")
+            + exposition_value(&text, "alertops_cluster_dropped_total")
+            + exposition_value(&text, "alertops_cluster_quarantined_total")
+            + exposition_value(&text, "alertops_cluster_in_flight"),
+        "scraped exposition violates the conservation law:\n{text}"
+    );
+}
+
+/// The tentpole differential: a 4-node cluster, a 2-node cluster, a
+/// 1-node cluster, and the single full-catalog streaming governor (the
+/// batch-equivalent oracle pinned in `incremental_equivalence.rs`) all
+/// publish the same governance stream. The 1-node × 1-shard cluster is
+/// compared *unstripped* — triage included, byte for byte.
+#[test]
+fn cluster_sizes_agree_with_each_other_and_the_batch_oracle() {
+    let (catalog, windows) = windowed_trace(7, 48);
+
+    let mut oracle = StreamingGovernor::new(
+        AlertGovernor::new(catalog.clone(), GovernorConfig::default()),
+        streaming_config(),
+    );
+    let storm = streaming_config().storm;
+    let oracle_snapshots: Vec<GovernanceSnapshot> = windows
+        .iter()
+        .map(|window| GovernanceSnapshot::from_delta(&oracle.ingest(window, &[]), &storm))
+        .collect();
+
+    let single = run_cluster(1, 1, "diff-1", &catalog, &windows);
+    for (index, (got, want)) in single.iter().zip(&oracle_snapshots).enumerate() {
+        assert_eq!(
+            json(got),
+            json(want),
+            "1-node cluster diverged from the batch oracle at window {index}"
+        );
+    }
+
+    for nodes in [2usize, 4] {
+        let sharded = run_cluster(nodes, 2, &format!("diff-{nodes}"), &catalog, &windows);
+        assert_eq!(sharded.len(), oracle_snapshots.len());
+        for (index, (got, want)) in sharded.iter().zip(&oracle_snapshots).enumerate() {
+            assert_eq!(
+                json(&comparable(got)),
+                json(&comparable(want)),
+                "{nodes}-node cluster diverged from the oracle at window {index}"
+            );
+        }
+    }
+}
+
+/// Mid-window `kill -9` + rejoin: the killed node's daemon memory is
+/// gone, but its WAL holds the sealed history and the in-flight tail,
+/// so after replay the faulted run is **byte-identical** to a run that
+/// never faulted — same topology, so nothing is stripped, and the
+/// fault window itself must close clean (the node is back before the
+/// close, so not even `degraded` may differ).
+#[test]
+fn mid_window_kill_and_rejoin_is_byte_invisible() {
+    let (catalog, windows) = windowed_trace(7, 48);
+    let reference = run_cluster(3, 2, "kill-ref", &catalog, &windows);
+
+    let root = wal_root("kill-live");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn(3, 2, &root, &catalog);
+    let fault_window = windows.len() / 2;
+    let mut snapshots = Vec::with_capacity(windows.len());
+    for (index, window) in windows.iter().enumerate() {
+        if index == fault_window {
+            let (routed, rest) = window.split_at(window.len() / 2);
+            for alert in routed {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+            cluster.kill(1);
+            assert_eq!(cluster.alive_nodes(), 2);
+            cluster.rejoin(1).expect("rejoin replays the WAL");
+            assert_eq!(cluster.alive_nodes(), 3);
+            for alert in rest {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+        } else {
+            for alert in window {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+        }
+        snapshots.push(cluster.close_window().expect("window closes"));
+    }
+    let counters = cluster.counters();
+    assert!(counters.is_conserved(), "{counters:?}");
+    assert_eq!(counters.dropped, 0, "an intact log must lose nothing");
+    assert!(
+        cluster.metrics().wal_replayed_alerts.get() > 0,
+        "the rejoin must actually have replayed the log"
+    );
+    assert_scrape_conserved(&cluster);
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    for (index, (got, want)) in snapshots.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            json(got),
+            json(want),
+            "kill+rejoin run diverged from the fault-free run at window {index}"
+        );
+    }
+}
+
+/// A live range handoff in the middle of a window: the moved range's
+/// sealed history and in-flight alerts travel with it (through the
+/// JSON wire format), ownership changes, and the stream — including
+/// the handoff window itself — matches a run that never rebalanced.
+/// Triage is stripped (the partition changed); nothing else may move.
+#[test]
+fn live_range_handoff_neither_drops_nor_double_counts() {
+    let (catalog, windows) = windowed_trace(7, 48);
+    let reference = run_cluster(3, 2, "handoff-ref", &catalog, &windows);
+
+    let root = wal_root("handoff-live");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn(3, 2, &root, &catalog);
+    let fault_window = windows.len() / 2;
+    let mut snapshots = Vec::with_capacity(windows.len());
+    let mut report = None;
+    for (index, window) in windows.iter().enumerate() {
+        if index == fault_window {
+            let (routed, rest) = window.split_at(window.len() / 2);
+            for alert in routed {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+            let range = cluster.range_map().ranges_of(0)[0];
+            let moved = cluster.handoff(range, 2).expect("handoff completes");
+            assert_eq!((moved.from, moved.to), (0, 2));
+            assert!(
+                moved.moved_alerts > 0,
+                "node 0's history for the range must ship: {moved:?}"
+            );
+            assert_eq!(cluster.range_map().node_of(StrategyId(range.start)), 2);
+            assert_eq!(cluster.range_map().node_of(StrategyId(range.end)), 2);
+            report = Some(moved);
+            for alert in rest {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+        } else {
+            for alert in window {
+                cluster.route(alert.clone()).expect("route succeeds");
+            }
+        }
+        snapshots.push(cluster.close_window().expect("window closes"));
+    }
+    let counters = cluster.counters();
+    assert!(counters.is_conserved(), "{counters:?}");
+    assert_eq!(counters.dropped, 0, "a handoff must lose nothing");
+    assert_eq!(cluster.metrics().handoffs.get(), 1);
+    assert_scrape_conserved(&cluster);
+    let text = cluster.render_metrics();
+    assert_eq!(
+        exposition_value(&text, "alertops_cluster_handoff_micros_count"),
+        1,
+        "handoff latency must be observed:\n{text}"
+    );
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let report = report.expect("handoff ran");
+    assert!(report.micros < 60_000_000, "handoff latency is sane");
+    for (index, (got, want)) in snapshots.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            json(&comparable(got)),
+            json(&comparable(want)),
+            "handoff run diverged from the never-rebalanced run at window {index}"
+        );
+    }
+}
+
+/// WAL truncation while a node is dead: the chopped tail records are
+/// unrecoverable, so the rejoin counts them `dropped` — the loss is
+/// visible, attributed, and the conservation law still balances, both
+/// in-process and from the scraped exposition.
+#[test]
+fn wal_truncation_is_counted_dropped_never_leaked() {
+    let (catalog, windows) = windowed_trace(7, 48);
+    let root = wal_root("truncate");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn(2, 2, &root, &catalog);
+
+    for alert in &windows[0] {
+        cluster.route(alert.clone()).expect("route succeeds");
+    }
+    cluster.close_window().expect("window closes");
+
+    for alert in &windows[1] {
+        cluster.route(alert.clone()).expect("route succeeds");
+    }
+    let in_flight_before = cluster.counters().in_flight;
+    assert!(in_flight_before > 0);
+    cluster.kill(0);
+    cluster
+        .truncate_wal_tail(0, 64)
+        .expect("truncation applies");
+    cluster.rejoin(0).expect("rejoin replays what survives");
+
+    let counters = cluster.counters();
+    assert!(
+        counters.dropped >= 1,
+        "the chopped record must surface as a drop: {counters:?}"
+    );
+    assert!(
+        cluster.metrics().wal_torn_records.get() >= 1,
+        "replay must report the torn record"
+    );
+    assert!(counters.is_conserved(), "{counters:?}");
+
+    for window in &windows[2..] {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        cluster.close_window().expect("window closes");
+    }
+    let counters = cluster.counters();
+    assert!(counters.is_conserved(), "{counters:?}");
+    assert_eq!(counters.in_flight, 0);
+    assert!(counters.delivered < counters.ingested);
+    assert_scrape_conserved(&cluster);
+    let text = cluster.render_metrics();
+    assert!(exposition_value(&text, "alertops_cluster_wal_torn_records_total") >= 1);
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One chaos-scheduled cluster run: node kills, rejoins, and a WAL
+/// truncation placed by the seed. Returns every published snapshot
+/// plus the final accounting, so equality across runs is equality of
+/// the entire observable history.
+fn chaos_cluster_run(seed: u64, tag: &str) -> Vec<String> {
+    let out = scenarios::quickstart(7).run();
+    let catalog = out.catalog.strategies().to_vec();
+    let mut trace = out.alerts.clone();
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+
+    let schedule = ChaosSchedule::generate(
+        seed,
+        &ChaosConfig {
+            trace_len: trace.len(),
+            shards: 2,
+            // Node faults only: the single-daemon fault kinds target a
+            // daemon handle this driver does not expose.
+            resets: 0,
+            truncations: 0,
+            corruptions: 0,
+            stalls: 0,
+            panics: 0,
+            close_panics: 0,
+            overflows: 0,
+            nodes: 3,
+            node_kills: 2,
+            node_rejoins: 3,
+            wal_truncates: 1,
+            truncate_bytes: 48,
+            ..ChaosConfig::default()
+        },
+    );
+
+    let root = wal_root(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn(3, 2, &root, &catalog);
+    let mut outputs = Vec::new();
+    for (index, alert) in trace.iter().enumerate() {
+        for event in schedule.events_at(index) {
+            match event.kind {
+                ChaosKind::NodeKill { node } => cluster.kill(node),
+                ChaosKind::NodeRejoin { node } => {
+                    cluster.rejoin(node).expect("rejoin replays the WAL");
+                }
+                ChaosKind::WalTruncate { node, bytes } => {
+                    // Disk damage is modelled on a dead node (a live
+                    // writer owns its open segment).
+                    cluster.kill(node);
+                    cluster
+                        .truncate_wal_tail(node, bytes)
+                        .expect("truncation applies");
+                }
+                ref other => panic!("unscheduled chaos kind {other:?}"),
+            }
+        }
+        cluster.route(alert.clone()).expect("route succeeds");
+        if (index + 1) % 60 == 0 {
+            outputs.push(json(&cluster.close_window().expect("window closes")));
+        }
+    }
+    // Settle: bring every node back (dead ones replay their logs) and
+    // close a final window so nothing stays in flight.
+    for node in 0..3 {
+        cluster.rejoin(node).expect("rejoin replays the WAL");
+    }
+    outputs.push(json(&cluster.close_window().expect("window closes")));
+
+    let counters = cluster.counters();
+    assert!(counters.is_conserved(), "seed {seed}: {counters:?}");
+    assert_eq!(counters.in_flight, 0, "seed {seed}: {counters:?}");
+    assert_scrape_conserved(&cluster);
+    outputs.push(format!("{counters:?}"));
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    outputs
+}
+
+/// A chaos-supervised cluster run is a pure function of its seed —
+/// node kills, WAL replays, and truncation losses included. Override
+/// the seed with `CHAOS_SEED` to replay a failure printed by CI.
+#[test]
+fn chaos_node_faults_are_replayable_from_the_seed() {
+    let seed = seed_from_env(0xC105_7E12);
+    let first = chaos_cluster_run(seed, "chaos-a");
+    let second = chaos_cluster_run(seed, "chaos-b");
+    assert_eq!(
+        first, second,
+        "chaos cluster run is not seed-pure (CHAOS_SEED={seed})"
+    );
+}
+
+/// Pulling the plug on the *whole* cluster mid-window and respawning
+/// over the same WAL root resumes byte-identically: sealed windows are
+/// re-published at their original sequence numbers, the in-flight tail
+/// comes back as pending, and the continuation matches a run that
+/// never restarted.
+#[test]
+fn whole_cluster_restart_from_wal_is_lossless() {
+    let (catalog, windows) = windowed_trace(7, 48);
+    let reference = run_cluster(3, 2, "restart-ref", &catalog, &windows);
+
+    let root = wal_root("restart-live");
+    let _ = std::fs::remove_dir_all(&root);
+    let split = windows.len() / 2;
+    let mut cluster = spawn(3, 2, &root, &catalog);
+    let mut snapshots = Vec::with_capacity(windows.len());
+    for window in &windows[..split] {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        snapshots.push(cluster.close_window().expect("window closes"));
+    }
+    let (routed, rest) = windows[split].split_at(windows[split].len() / 2);
+    for alert in routed {
+        cluster.route(alert.clone()).expect("route succeeds");
+    }
+    cluster.shutdown(); // every daemon's memory is gone; the logs remain
+
+    let mut cluster = spawn(3, 2, &root, &catalog);
+    assert_eq!(
+        json(&cluster.latest_snapshot().expect("replay re-publishes")),
+        json(&snapshots[split - 1]),
+        "restart must restore the last published snapshot"
+    );
+    assert_eq!(
+        cluster.counters().in_flight,
+        routed.len() as u64,
+        "the in-flight tail must come back as pending work"
+    );
+    for alert in rest {
+        cluster.route(alert.clone()).expect("route succeeds");
+    }
+    snapshots.push(cluster.close_window().expect("window closes"));
+    for window in &windows[split + 1..] {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        snapshots.push(cluster.close_window().expect("window closes"));
+    }
+    let counters = cluster.counters();
+    assert!(counters.is_conserved(), "{counters:?}");
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert_eq!(snapshots.len(), reference.len());
+    for (index, (got, want)) in snapshots.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            json(got),
+            json(want),
+            "restarted cluster diverged from the uninterrupted run at window {index}"
+        );
+    }
+}
+
+/// Alerts outside the catalog are quarantined at the cluster edge and
+/// still accounted by the conservation law.
+#[test]
+fn unknown_strategies_quarantine_at_the_edge() {
+    let (catalog, windows) = windowed_trace(7, 64);
+    let root = wal_root("quarantine");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn(2, 2, &root, &catalog);
+    for alert in &windows[0] {
+        cluster.route(alert.clone()).expect("route succeeds");
+    }
+    let stray = Alert::builder(AlertId(999_999), StrategyId(u64::MAX - 1))
+        .title("stray alert from an unregistered strategy")
+        .raised_at(SimTime::from_secs(60))
+        .build();
+    cluster.route(stray).expect("quarantine is not an error");
+    let snapshot = cluster.close_window().expect("window closes");
+    assert_eq!(snapshot.alert_count, windows[0].len());
+    let counters = cluster.counters();
+    assert_eq!(counters.quarantined, 1);
+    assert!(counters.is_conserved(), "{counters:?}");
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The real binary, really killed: `alertops ingestd --wal DIR` is
+/// SIGKILLed mid-window after journaling a streamed trace; a respawn
+/// over the same directory replays the log and delivers every alert
+/// the dead process accepted — zero loss, re-asserted from the status
+/// scrape.
+mod subprocess {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::{Child, Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    use alertops::ingestd::codec::encode_alert;
+    use alertops::ingestd::StatusReport;
+    use alertops::sim::scenarios;
+
+    struct Daemon {
+        child: Child,
+        lines: std::io::Lines<BufReader<std::process::ChildStdout>>,
+        ingest: std::net::SocketAddr,
+        status: std::net::SocketAddr,
+    }
+
+    fn spawn_daemon(wal: &std::path::Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_alertops"))
+            .args([
+                "ingestd",
+                "--scenario",
+                "quickstart",
+                "--seed",
+                "7",
+                "--shards",
+                "2",
+                "--listen",
+                "127.0.0.1:0",
+                "--status",
+                "127.0.0.1:0",
+                "--wal",
+                wal.to_str().expect("utf-8 temp path"),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("binary spawns");
+        let mut lines = BufReader::new(child.stdout.take().expect("stdout piped")).lines();
+        let up = loop {
+            let line = lines
+                .next()
+                .expect("daemon prints its banner")
+                .expect("stdout is utf-8");
+            if line.starts_with("ingestd up:") {
+                break line;
+            }
+        };
+        // "ingestd up: 2 shard(s), ingest 127.0.0.1:P, status 127.0.0.1:Q"
+        let addr_after = |marker: &str| -> std::net::SocketAddr {
+            up.split(marker)
+                .nth(1)
+                .and_then(|rest| rest.split([',', ' ']).next())
+                .and_then(|addr| addr.parse().ok())
+                .unwrap_or_else(|| panic!("cannot parse {marker:?} address from {up:?}"))
+        };
+        Daemon {
+            child,
+            lines,
+            ingest: addr_after("ingest "),
+            status: addr_after("status "),
+        }
+    }
+
+    fn scrape_status(addr: std::net::SocketAddr) -> StatusReport {
+        let mut stream = TcpStream::connect(addr).expect("connect to status");
+        stream.write_all(b"status\n").expect("send status verb");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("read document");
+        serde_json::from_str(body.trim()).expect("status parses")
+    }
+
+    /// Polls the status socket until the daemon has routed (and
+    /// therefore journaled — the WAL write happens first) `sent`
+    /// alerts.
+    fn wait_until_journaled(addr: std::net::SocketAddr, sent: u64) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if scrape_status(addr).counters.ingested >= sent {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never ingested {sent} alerts"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn ingestd_wal_replay_survives_kill_dash_nine() {
+        let wal =
+            std::env::temp_dir().join(format!("alertops-ingestd-kill9-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal);
+
+        let trace = {
+            let out = scenarios::quickstart(7).run();
+            let mut trace = out.alerts;
+            trace.sort_by_key(|a| (a.raised_at(), a.id()));
+            trace.truncate(120);
+            trace
+        };
+
+        // First incarnation: stream the trace, never close a window,
+        // and die without ceremony.
+        let mut daemon = spawn_daemon(&wal);
+        {
+            let mut stream = TcpStream::connect(daemon.ingest).expect("connect to ingress");
+            for alert in &trace {
+                writeln!(stream, "{}", encode_alert(alert)).expect("write alert");
+            }
+            stream.flush().expect("flush socket");
+            wait_until_journaled(daemon.status, trace.len() as u64);
+        }
+        daemon.child.kill().expect("SIGKILL lands");
+        daemon.child.wait().expect("child reaped");
+
+        // Second incarnation over the same log: the banner reports the
+        // replay, and a flush delivers every accepted alert.
+        let mut daemon = spawn_daemon(&wal);
+        let counters_before = scrape_status(daemon.status).counters;
+        assert_eq!(
+            counters_before.ingested,
+            trace.len() as u64,
+            "replay must re-ingest the whole journaled tail"
+        );
+        assert_eq!(counters_before.dropped, 0);
+
+        let stream = TcpStream::connect(daemon.ingest).expect("connect to ingress");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        let mut writer = stream;
+        writeln!(writer, "{}", alertops::ingestd::FLUSH_FRAME).expect("write flush");
+        let mut ack = String::new();
+        reader.read_line(&mut ack).expect("read flush ack");
+        assert!(
+            ack.contains(&format!(r#""alerts":{}"#, trace.len())),
+            "flush must deliver every recovered alert: {ack:?}"
+        );
+
+        let report = scrape_status(daemon.status);
+        assert_eq!(report.counters.delivered, trace.len() as u64);
+        assert_eq!(report.counters.windows_closed, 1);
+        assert!(report.counters.is_conserved(), "{:?}", report.counters);
+        assert_eq!(
+            report.snapshot.expect("flush published").alert_count,
+            trace.len()
+        );
+
+        writeln!(writer, "{}", alertops::ingestd::SHUTDOWN_FRAME).expect("write shutdown");
+        let mut ack = String::new();
+        reader.read_line(&mut ack).expect("read shutdown ack");
+        daemon.child.wait().expect("clean exit");
+        // Drain the rest of the banner reader so the pipe closes tidily.
+        for _ in daemon.lines.by_ref() {}
+        let _ = std::fs::remove_dir_all(&wal);
+    }
+}

@@ -188,6 +188,7 @@ fn chaos_fault_config() -> ChaosConfig {
         close_panics: 1,
         overflows: 1,
         burst_len: 20,
+        ..ChaosConfig::default()
     }
 }
 
@@ -307,6 +308,123 @@ fn exposition_value(text: &str, name: &str) -> u64 {
     let values = exposition_values(text, name);
     assert_eq!(values.len(), 1, "{name} should be a single series");
     values[0]
+}
+
+/// The window-merge algebra the whole topology stands on: cluster and
+/// daemon both combine per-shard [`WindowDelta`]s with
+/// [`WindowDelta::merge_all`], so merging must be a commutative monoid
+/// — order-free (shard/node completion order cannot matter),
+/// grouping-free (a node merging its shards before the cluster merges
+/// nodes equals one flat merge), with [`WindowDelta::identity`] as the
+/// unit (an empty shard contributes nothing). Checked as properties
+/// over governor-produced deltas from random disjoint-catalog traces —
+/// the actual domain the merge runs on.
+mod merge_monoid {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn catalog(strategies: u64) -> Vec<AlertStrategy> {
+        (0..strategies)
+            .map(|id| {
+                AlertStrategy::builder(StrategyId(id))
+                    .title_template("service latency is abnormal")
+                    .kind(StrategyKind::Log(LogRule {
+                        keyword: "ERROR".into(),
+                        min_count: 1,
+                        window: SimDuration::from_mins(5),
+                    }))
+                    .build()
+                    .expect("catalog strategy is well-formed")
+            })
+            .collect()
+    }
+
+    /// One same-window delta per shard: each shard's governor over its
+    /// own slice of the catalog, fed its own slice of the trace.
+    fn shard_deltas(picks: &[(u64, u64, u64)], shards: usize) -> Vec<WindowDelta> {
+        let strategies = catalog(6);
+        let mut trace: Vec<Alert> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(strategy, hour, offset))| {
+                Alert::builder(AlertId(i as u64), StrategyId(strategy))
+                    .title("service latency is abnormal")
+                    .raised_at(SimTime::from_secs(hour * 3_600 + offset % 3_600))
+                    .build()
+            })
+            .collect();
+        trace.sort_by_key(|a| (a.raised_at(), a.id()));
+        (0..shards)
+            .map(|shard| {
+                let window: Vec<Alert> = trace
+                    .iter()
+                    .filter(|a| shard_of(a.strategy(), shards) == shard)
+                    .cloned()
+                    .collect();
+                StreamingGovernor::new(
+                    AlertGovernor::new(
+                        shard_catalog(&strategies, shards, shard),
+                        GovernorConfig::default(),
+                    ),
+                    StreamingConfig::default(),
+                )
+                .ingest(&window, &[])
+            })
+            .collect()
+    }
+
+    fn json(delta: &WindowDelta) -> String {
+        serde_json::to_string(delta).expect("delta serializes")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn merge_is_commutative(
+            picks in proptest::collection::vec((0u64..6, 0u64..48, 0u64..3_600), 1..120),
+        ) {
+            let d = shard_deltas(&picks, 3);
+            prop_assert_eq!(json(&d[0].merged(&d[1])), json(&d[1].merged(&d[0])));
+            prop_assert_eq!(
+                json(&WindowDelta::merge_all(&[d[0].clone(), d[1].clone(), d[2].clone()])),
+                json(&WindowDelta::merge_all(&[d[2].clone(), d[0].clone(), d[1].clone()]))
+            );
+        }
+
+        #[test]
+        fn merge_is_associative(
+            picks in proptest::collection::vec((0u64..6, 0u64..48, 0u64..3_600), 1..120),
+        ) {
+            let d = shard_deltas(&picks, 3);
+            prop_assert_eq!(
+                json(&d[0].merged(&d[1]).merged(&d[2])),
+                json(&d[0].merged(&d[1].merged(&d[2])))
+            );
+            // Grouping-free against the flat n-ary form too: the shape
+            // the daemon (shards) and the cluster (nodes) compose in.
+            prop_assert_eq!(
+                json(&d[0].merged(&d[1]).merged(&d[2])),
+                json(&WindowDelta::merge_all(&d))
+            );
+        }
+
+        #[test]
+        fn identity_is_the_unit(
+            picks in proptest::collection::vec((0u64..6, 0u64..48, 0u64..3_600), 1..120),
+        ) {
+            let d = shard_deltas(&picks, 3);
+            // merge_all canonicalizes ordering, so compare against the
+            // delta's canonical form (merge of the singleton).
+            let canonical = WindowDelta::merge_all(&d[..1]);
+            prop_assert_eq!(json(&d[0].merged(&WindowDelta::identity())), json(&canonical));
+            prop_assert_eq!(json(&WindowDelta::identity().merged(&d[0])), json(&canonical));
+            prop_assert_eq!(
+                json(&WindowDelta::merge_all(&[])),
+                json(&WindowDelta::identity())
+            );
+        }
+    }
 }
 
 /// A chaos-supervised daemon run is a pure function of its seed: the

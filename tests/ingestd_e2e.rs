@@ -356,6 +356,39 @@ fn metrics_status_socket_versioning_keeps_legacy_clients() {
     handle.shutdown();
 }
 
+/// The `healthz` verb: one cheap liveness line, no JSON, carrying the
+/// two counters a cluster load balancer probes for — monotone windows
+/// and ingest progress. Case-insensitive like the other verbs.
+#[test]
+fn healthz_answers_one_cheap_liveness_line() {
+    let out = scenarios::quickstart(7).run();
+    let strategies = full_catalog(&out);
+    let config = IngestdConfig {
+        shards: 2,
+        status: Some("127.0.0.1:0".to_owned()),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        shard_governor(&strategies, shards, shard)
+    })
+    .expect("daemon starts");
+    let addr = handle.status_addr().expect("status listener bound");
+
+    assert_eq!(scrape(addr, Some("healthz")), "ok windows=0 ingested=0\n");
+
+    for alert in out.alerts.iter().take(25) {
+        handle.route(alert.clone());
+    }
+    handle.flush().expect("flush yields a snapshot");
+    assert_eq!(scrape(addr, Some("healthz")), "ok windows=1 ingested=25\n");
+    assert_eq!(
+        scrape(addr, Some("HEALTHZ")),
+        "ok windows=1 ingested=25\n",
+        "verbs are case-insensitive"
+    );
+    handle.shutdown();
+}
+
 mod properties {
     use super::*;
     use alertops::ingestd::shard_of;
