@@ -21,11 +21,20 @@ use alertops_core::{
     StreamingGovernor,
 };
 use alertops_model::{Alert, AlertStrategy};
-use alertops_react::{EmergingAlertDetector, EmergingConfig, EmergingDoc};
+use alertops_react::{EmergingAlertDetector, EmergingBudget, EmergingConfig, EmergingDoc};
 use alertops_sim::scenarios;
 
 const WINDOW_LEN: usize = 64;
 const HISTORY_DEPTHS: [usize; 2] = [24, 96];
+/// Token cap for the budgeted row — roughly half this trace's ~470
+/// tokens per window, so the sampler genuinely engages every window.
+/// The row is a cost *bound*, not a speedup: on mild windows like these
+/// the sampled counts converge less smoothly (more passes survive the
+/// relative-tolerance exit), so `local_budget` is expected to sit near —
+/// sometimes above — plain `local`. The budget earns its keep on storm
+/// windows, where per-pass cost grows with token count and the cap
+/// holds it flat.
+const BUDGET_CAP: usize = 256;
 
 #[derive(Serialize)]
 struct HistoryRow {
@@ -47,6 +56,9 @@ struct EmergingSummary {
     /// Added AO-LDA cost per window: local minus off.
     aolda_micros_per_window: f64,
     outputs_identical: bool,
+    /// Two budget-capped runs with the same seed emit byte-identical
+    /// per-window reports (the `local_budget` row's differential).
+    budget_replayable: bool,
     results: Vec<EmergingRow>,
 }
 
@@ -71,11 +83,14 @@ fn governor(strategies: &[AlertStrategy]) -> AlertGovernor {
     AlertGovernor::new(strategies.to_vec(), GovernorConfig::default())
 }
 
-fn emerging_config(mode: EmergingMode) -> StreamingConfig {
+fn emerging_config(mode: EmergingMode, budget: Option<EmergingBudget>) -> StreamingConfig {
     StreamingConfig {
         emerging: EmergingChannel {
             mode,
-            config: EmergingConfig::default(),
+            config: EmergingConfig {
+                budget,
+                ..EmergingConfig::default()
+            },
         },
         ..StreamingConfig::default()
     }
@@ -87,8 +102,10 @@ fn emerging_config(mode: EmergingMode) -> StreamingConfig {
 /// must match a standalone fit-free detector fed the same id-sorted
 /// document windows.
 fn bench_emerging(strategies: &[AlertStrategy], windows: &[Vec<Alert>]) -> EmergingSummary {
-    let mut local =
-        StreamingGovernor::new(governor(strategies), emerging_config(EmergingMode::Local));
+    let mut local = StreamingGovernor::new(
+        governor(strategies),
+        emerging_config(EmergingMode::Local, None),
+    );
     let mut detector = EmergingAlertDetector::new(EmergingConfig::default());
     let outputs_identical = windows.iter().all(|w| {
         let delta = local.ingest(w, &[]);
@@ -103,15 +120,36 @@ fn bench_emerging(strategies: &[AlertStrategy], windows: &[Vec<Alert>]) -> Emerg
         "governor local pass diverged from the standalone detector"
     );
 
+    // Second differential: the opt-in budget must be seed-replayable —
+    // two capped governors with the same seed emit byte-identical
+    // per-window reports, or the budgeted row is meaningless.
+    let budget = Some(EmergingBudget::new(BUDGET_CAP, HARNESS_SEED));
+    let budgeted_run = || -> Vec<String> {
+        let mut s = StreamingGovernor::new(
+            governor(strategies),
+            emerging_config(EmergingMode::Local, budget),
+        );
+        windows
+            .iter()
+            .map(|w| serde_json::to_string(&s.ingest(w, &[]).emerging).unwrap())
+            .collect()
+    };
+    let budget_replayable = budgeted_run() == budgeted_run();
+    assert!(
+        budget_replayable,
+        "budget-capped runs with the same seed diverged"
+    );
+
     let modes = [
-        ("off", EmergingMode::Off),
-        ("forward", EmergingMode::Forward),
-        ("local", EmergingMode::Local),
+        ("off", EmergingMode::Off, None),
+        ("forward", EmergingMode::Forward, None),
+        ("local", EmergingMode::Local, None),
+        ("local_budget", EmergingMode::Local, budget),
     ];
     let mut per_window = Vec::new();
     let mut results = Vec::new();
-    for (mode_name, mode) in modes {
-        let mut s = StreamingGovernor::new(governor(strategies), emerging_config(mode));
+    for (mode_name, mode, budget) in modes {
+        let mut s = StreamingGovernor::new(governor(strategies), emerging_config(mode, budget));
         let start = Instant::now();
         for w in windows {
             black_box(s.ingest(w, &[]));
@@ -129,6 +167,7 @@ fn bench_emerging(strategies: &[AlertStrategy], windows: &[Vec<Alert>]) -> Emerg
     EmergingSummary {
         aolda_micros_per_window,
         outputs_identical,
+        budget_replayable,
         results,
     }
 }

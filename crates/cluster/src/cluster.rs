@@ -96,7 +96,10 @@ pub struct ClusterConfig {
     /// never per-node wall clock. `streaming.emerging.mode` expresses
     /// the *cluster's* intent — nodes are forced into the
     /// forward-documents role and the cluster coordinator runs the one
-    /// sequential AO-LDA pass.
+    /// sequential AO-LDA pass. That includes any storm-load token
+    /// budget (`streaming.emerging.config.budget`): it is applied once,
+    /// by the coordinator, after the cross-node merge, so node count
+    /// cannot change the sampled token set.
     pub node: IngestdConfig,
     /// Directory holding one WAL subdirectory per node
     /// (`<wal_root>/node-<i>/`). Created if missing; existing logs are

@@ -20,7 +20,8 @@ pub use alertops_model::{
 pub use alertops_qoa::{Criterion, QoaModel, QoaReport, QoaScorer, QoaScores};
 pub use alertops_react::{
     aggregate, AggregationConfig, AlertBlocker, AlertCorrelator, BlockRule, EmergingAlertDetector,
-    EmergingConfig, EmergingDoc, EmergingReport, ReactionPipeline, StrategyDependencies,
+    EmergingBudget, EmergingConfig, EmergingDoc, EmergingReport, ReactionPipeline,
+    StrategyDependencies,
 };
 
 #[cfg(test)]

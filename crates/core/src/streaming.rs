@@ -49,7 +49,12 @@ pub enum EmergingMode {
 pub struct EmergingChannel {
     /// Whether and where the AO-LDA pass runs.
     pub mode: EmergingMode,
-    /// Detector configuration (window length, topic count, seed).
+    /// Detector configuration (window length, topic count, seed), plus
+    /// the opt-in storm-load token budget
+    /// ([`alertops_react::EmergingBudget`]): set `config.budget` to cap
+    /// per-window tokens via seeded adaptive sampling. The budget rides
+    /// inside this config through ingestd and cluster unchanged —
+    /// whichever process runs the sequential AO-LDA pass applies it.
     pub config: EmergingConfig,
 }
 

@@ -69,7 +69,13 @@ pub struct IngestdConfig {
     /// [`alertops_core::WindowDelta::emerging_docs`] for the level
     /// above. Irrelevant when the emerging channel is off. `false`
     /// (the default) is the standalone role: the daemon's coordinator
-    /// is the topmost merge point and runs the pass itself.
+    /// is the topmost merge point and runs the pass itself. A
+    /// storm-load token budget
+    /// (`streaming.emerging.config.budget`, see
+    /// [`alertops_react::EmergingBudget`]) is applied by whichever
+    /// process runs the pass — shard count still cannot change output,
+    /// because sampling happens after the merge, over the same merged
+    /// document stream.
     pub defer_emerging: bool,
 }
 

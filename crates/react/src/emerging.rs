@@ -26,11 +26,101 @@
 //!   and the topic-word matrix widens via
 //!   [`AdaptiveOnlineLda::grow_vocab`] as the vocabulary grows.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use alertops_model::{Alert, AlertId, SimDuration, SimTime};
 use alertops_text::{BagOfWords, OovPolicy, Tokenizer, Vocabulary};
 use alertops_topics::{AdaptiveOnlineLda, AoldaConfig, LdaConfig};
+
+/// An opt-in per-window token budget for the emerging channel.
+///
+/// Under storm load a window can carry far more text than AO-LDA needs
+/// to recover its themes. When a window's total token count exceeds
+/// [`max_tokens_per_window`](Self::max_tokens_per_window), the detector
+/// downsamples the window to exactly that many tokens with seeded
+/// reservoir-style selection sampling (Knuth's Algorithm S) over the
+/// individual token occurrences, in document order.
+///
+/// The budget is **adaptive**: windows at or under the cap pass through
+/// untouched, byte-exact — sampling only engages under load. It is
+/// **off by default** (`budget: None` in [`EmergingConfig`]), so every
+/// sampling-off configuration keeps the streaming-vs-offline and
+/// shard-count differentials byte-exact. When sampling does engage,
+/// exactness versus an unbudgeted run is deliberately traded away — but
+/// the draw is a pure function of `(seed, window_index, window
+/// contents)`, so any two runs with the same seed sample the same token
+/// set and produce identical snapshots (seed-replayable; asserted in
+/// `tests/emerging_streaming.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmergingBudget {
+    /// Hard per-window token cap; sampling engages only above it.
+    pub max_tokens_per_window: usize,
+    /// Seed for the per-window sampling RNG. The window index is mixed
+    /// in, so each window draws an independent but replayable sample.
+    pub seed: u64,
+}
+
+impl EmergingBudget {
+    /// A budget of `max_tokens_per_window` tokens with the given seed.
+    #[must_use]
+    pub fn new(max_tokens_per_window: usize, seed: u64) -> Self {
+        Self {
+            max_tokens_per_window,
+            seed,
+        }
+    }
+}
+
+/// Downsamples `bows` in place to at most `budget.max_tokens_per_window`
+/// tokens using seeded selection sampling over token occurrences, and
+/// returns the number of tokens kept.
+///
+/// Windows at or under the cap are returned untouched (the adaptive
+/// fast path). Over the cap, each token occurrence — the unit is one
+/// count of one word in one document, visited in (document, position,
+/// count) order — is kept with Algorithm S: keep iff
+/// `rng.gen_range(0..remaining) < needed`. This keeps *exactly* the cap,
+/// preserves document order, and is a pure function of the inputs and
+/// the per-window RNG `StdRng::seed_from_u64(seed ^ mix(window_index))`,
+/// which is what makes budgeted runs seed-replayable. Emptied documents
+/// keep their slot (as empty bags) so document indices still line up
+/// with the window's alert ids.
+pub fn apply_budget(
+    bows: &mut [BagOfWords],
+    budget: &EmergingBudget,
+    window_index: usize,
+) -> usize {
+    let total: usize = bows
+        .iter()
+        .map(|d| d.iter().map(|&(_, c)| c as usize).sum::<usize>())
+        .sum();
+    if total <= budget.max_tokens_per_window {
+        return total;
+    }
+    // SplitMix64's golden-ratio increment decorrelates consecutive
+    // window indices before they perturb the seed.
+    let mix = (window_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(budget.seed ^ mix);
+    let mut remaining = total as u64;
+    let mut needed = budget.max_tokens_per_window as u64;
+    for doc in bows.iter_mut() {
+        for entry in doc.iter_mut() {
+            let mut kept = 0u32;
+            for _ in 0..entry.1 {
+                if rng.gen_range(0..remaining) < needed {
+                    kept += 1;
+                    needed -= 1;
+                }
+                remaining -= 1;
+            }
+            entry.1 = kept;
+        }
+        doc.retain(|&(_, c)| c > 0);
+    }
+    budget.max_tokens_per_window
+}
 
 /// Configuration for [`EmergingAlertDetector`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +137,10 @@ pub struct EmergingConfig {
     pub passes_per_window: usize,
     /// Seed.
     pub seed: u64,
+    /// Optional per-window token budget (see [`EmergingBudget`]).
+    /// `None` — the default — disables sampling entirely, keeping every
+    /// differential byte-exact.
+    pub budget: Option<EmergingBudget>,
 }
 
 impl Default for EmergingConfig {
@@ -58,6 +152,7 @@ impl Default for EmergingConfig {
             emerging_threshold: 0.25,
             passes_per_window: 15,
             seed: 17,
+            budget: None,
         }
     }
 }
@@ -211,13 +306,32 @@ impl EmergingAlertDetector {
             .or(self.next_window_start)
             .unwrap_or(SimTime::from_secs(0));
 
-        let bows: Vec<BagOfWords> = docs
-            .iter()
-            .map(|d| {
-                let tokens = self.tokenizer.tokenize(&d.text);
-                self.vocab.encode(&tokens, self.oov)
-            })
-            .collect();
+        // Allocation-light encode: tokens stream through one reused
+        // scratch buffer straight into the interner, skipping the
+        // per-token `String` and per-document counting map the batch
+        // `tokenize` + `encode` pair would allocate. The stream visits
+        // the same tokens in the same order (both differentially tested
+        // in alertops-text), so word ids, counts, and therefore every
+        // downstream topic are byte-identical to the batch path.
+        let mut scratch = String::new();
+        let mut bows: Vec<BagOfWords> = Vec::with_capacity(docs.len());
+        let oov = self.oov;
+        for d in docs {
+            let mut doc = BagOfWords::new();
+            let vocab = &mut self.vocab;
+            self.tokenizer.for_each_token(&d.text, &mut scratch, |tok| {
+                vocab.count_token(tok, oov, &mut doc);
+            });
+            doc.sort_unstable_by_key(|&(id, _)| id);
+            bows.push(doc);
+        }
+
+        // Storm-load token budget (opt-in; see `EmergingBudget`).
+        // Applied *after* encoding so vocabulary interning — and thus
+        // word ids — never depends on which tokens the sampler keeps.
+        if let Some(budget) = self.config.budget {
+            apply_budget(&mut bows, &budget, self.windows_processed);
+        }
 
         // Lazily create the model, or widen it if interning grew the
         // vocabulary. Ids only ever append, so widening is sound.
@@ -548,6 +662,87 @@ mod tests {
             .filter(|id| id.0 >= 48)
             .count();
         assert!(novel_hits * 2 >= reports[3].emerging_alerts.len());
+    }
+
+    fn total_tokens(bows: &[BagOfWords]) -> usize {
+        bows.iter()
+            .map(|d| d.iter().map(|&(_, c)| c as usize).sum::<usize>())
+            .sum()
+    }
+
+    #[test]
+    fn budget_under_cap_is_untouched() {
+        let mut bows: Vec<BagOfWords> = vec![vec![(0, 2), (1, 1)], vec![(2, 3)]];
+        let original = bows.clone();
+        let kept = apply_budget(&mut bows, &EmergingBudget::new(6, 9), 0);
+        assert_eq!(kept, 6, "window is exactly at the cap");
+        assert_eq!(bows, original, "at/under the cap nothing may change");
+    }
+
+    #[test]
+    fn budget_over_cap_keeps_exactly_the_cap_and_is_seed_replayable() {
+        let make = || -> Vec<BagOfWords> {
+            (0..10)
+                .map(|i| vec![(i, 3), (i + 10, 2), (i + 20, 1)])
+                .collect()
+        };
+        let mut a = make();
+        let mut b = make();
+        assert_eq!(total_tokens(&a), 60);
+        let kept_a = apply_budget(&mut a, &EmergingBudget::new(25, 7), 4);
+        let kept_b = apply_budget(&mut b, &EmergingBudget::new(25, 7), 4);
+        assert_eq!(kept_a, 25);
+        assert_eq!(kept_b, 25);
+        assert_eq!(total_tokens(&a), 25, "exactly the cap survives");
+        assert_eq!(a, b, "same seed + window index → same sampled token set");
+
+        // A different seed or window index draws a different sample.
+        let mut c = make();
+        apply_budget(&mut c, &EmergingBudget::new(25, 8), 4);
+        let mut d = make();
+        apply_budget(&mut d, &EmergingBudget::new(25, 7), 5);
+        assert!(a != c || a != d, "sampling ignored seed and window index");
+    }
+
+    #[test]
+    fn budget_preserves_doc_slots_and_word_order() {
+        let mut bows: Vec<BagOfWords> = (0..8).map(|i| vec![(i, 4), (i + 8, 4)]).collect();
+        apply_budget(&mut bows, &EmergingBudget::new(10, 3), 0);
+        assert_eq!(bows.len(), 8, "emptied docs keep their slot");
+        for doc in &bows {
+            let ids: Vec<usize> = doc.iter().map(|&(id, _)| id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "within-doc id order preserved");
+        }
+    }
+
+    /// A budget generous enough never to engage leaves the whole
+    /// detector run byte-identical to a budget-free run — the adaptive
+    /// "off under the cap" guarantee at the report level.
+    #[test]
+    fn unengaged_budget_run_matches_budget_free_run() {
+        let alerts = stream();
+        let mut plain = EmergingAlertDetector::new(EmergingConfig::default());
+        let mut budgeted = EmergingAlertDetector::new(EmergingConfig {
+            budget: Some(EmergingBudget::new(1_000_000, 99)),
+            ..EmergingConfig::default()
+        });
+        assert_eq!(plain.run(&alerts), budgeted.run(&alerts));
+    }
+
+    /// With the cap low enough to engage, same-seed runs still agree
+    /// with each other (replayability at the report level).
+    #[test]
+    fn engaged_budget_is_deterministic_across_runs() {
+        let alerts = stream();
+        let config = EmergingConfig {
+            budget: Some(EmergingBudget::new(20, 42)),
+            ..EmergingConfig::default()
+        };
+        let mut a = EmergingAlertDetector::new(config.clone());
+        let mut b = EmergingAlertDetector::new(config);
+        assert_eq!(a.run(&alerts), b.run(&alerts));
     }
 
     /// A streaming detector seeded with the offline fit's vocabulary

@@ -55,7 +55,10 @@ pub use aggregation::{aggregate, reduction_ratio, AggregationConfig, AlertGroup,
 pub use audit::{audit_blocker, audit_blocker_with, review_queue, AuditConfig, RuleAudit};
 pub use blocking::{AlertBlocker, BlockCriterion, BlockOutcome, BlockRule};
 pub use correlation::{AlertCorrelator, CorrelatedCluster, StrategyDependencies};
-pub use emerging::{EmergingAlertDetector, EmergingConfig, EmergingDoc, EmergingReport};
+pub use emerging::{
+    apply_budget, EmergingAlertDetector, EmergingBudget, EmergingConfig, EmergingDoc,
+    EmergingReport,
+};
 pub use escalation::{propose_incidents, EscalationConfig, EscalationReason, IncidentProposal};
 pub use metrics::ReactMetrics;
 pub use pipeline::{PipelineReport, ReactionPipeline, StageStat};

@@ -1,0 +1,135 @@
+//! A fast, non-cryptographic hasher for hot-path lookup tables.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! HashDoS-resistant, but costs ~1 ns/byte — painful when the emerging
+//! channel hashes the same short bag-of-words keys hundreds of times per
+//! window. [`FxHasher`] is the rustc-style multiply-xor hash: a couple of
+//! cycles per written word, which is what the per-window document memos
+//! and the vocabulary's interning table actually need. None of those
+//! tables is fed attacker-chosen keys across a trust boundary (alert
+//! text is already length- and charset-bounded upstream), so DoS
+//! resistance buys nothing here.
+//!
+//! Determinism note: the hasher is unkeyed, so map *iteration order* is
+//! stable for a given key set — but no pipeline output may depend on
+//! iteration order anyway (the differential test wall enforces this);
+//! callers sort or index before anything observable.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap`/`HashSet` state for [`FxHasher`]-backed tables.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc `FxHash` function: rotate, xor, multiply by a constant with
+/// good bit dispersion. Not cryptographic, not HashDoS-resistant — use
+/// only for internal tables whose keys are not adversarial.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes per multiply; the ragged tail is padded by
+        // copying into a zeroed word, so equal byte strings always hash
+        // equally regardless of how the caller chunks its writes within
+        // one `Hash` impl (the std slice/str impls write once).
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word) ^ (tail.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let a: Vec<(usize, u32)> = vec![(3, 2), (17, 1)];
+        let b = a.clone();
+        assert_eq!(hash_one(&a), hash_one(&b));
+    }
+
+    #[test]
+    fn hashes_disperse_across_small_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..1000usize {
+            seen.insert(hash_one(&vec![(id, 1u32)]));
+        }
+        assert_eq!(seen.len(), 1000, "collisions across tiny keys");
+    }
+
+    #[test]
+    fn string_keys_work_in_a_map() {
+        let mut map: HashMap<String, usize, FxBuildHasher> = HashMap::default();
+        map.insert("disk".into(), 0);
+        map.insert("disko".into(), 1);
+        assert_eq!(map.get("disk"), Some(&0));
+        assert_eq!(map.get("disko"), Some(&1));
+        assert_eq!(map.get("dis"), None);
+    }
+
+    #[test]
+    fn ragged_tail_is_length_disambiguated() {
+        // "a" vs "a\0" would collide if the tail padding ignored length.
+        let a = hash_one(&"a");
+        let b = hash_one(&"a\0");
+        assert_ne!(a, b);
+    }
+}

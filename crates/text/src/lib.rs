@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod hash;
 pub mod lexicon;
 pub mod similarity;
 pub mod template;
@@ -44,6 +45,7 @@ mod tfidf;
 mod token;
 mod vocab;
 
+pub use hash::{FxBuildHasher, FxHasher};
 pub use lexicon::{InformativenessReport, TitleScorer, VagueLexicon};
 pub use template::extract_template;
 pub use tfidf::TfIdf;

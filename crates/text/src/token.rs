@@ -1,6 +1,8 @@
 //! Tokenization of alert titles, descriptions, and log lines.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+
+use crate::hash::FxBuildHasher;
 
 /// Default English + operations stopwords stripped during tokenization.
 ///
@@ -37,7 +39,10 @@ const DEFAULT_STOPWORDS: &[&str] = &[
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tokenizer {
-    stopwords: BTreeSet<String>,
+    /// Fx-hashed: probed once per token on the emerging channel's hot
+    /// path, and membership is the only operation — iteration order
+    /// never matters.
+    stopwords: HashSet<String, FxBuildHasher>,
     keep_numbers: bool,
     min_len: usize,
 }
@@ -58,7 +63,7 @@ impl Tokenizer {
     #[must_use]
     pub fn without_stopwords() -> Self {
         Self {
-            stopwords: BTreeSet::new(),
+            stopwords: HashSet::default(),
             keep_numbers: true,
             min_len: 1,
         }
@@ -93,25 +98,45 @@ impl Tokenizer {
     #[must_use]
     pub fn tokenize(&self, text: &str) -> Vec<String> {
         let mut tokens = Vec::new();
+        let mut scratch = String::new();
+        self.for_each_token(text, &mut scratch, |tok| tokens.push(tok.to_owned()));
+        tokens
+    }
+
+    /// Streams the tokens of `text` into `f` without allocating per
+    /// token: each token is lowercased into `scratch` (a caller-owned
+    /// buffer, reused across calls) and handed to `f` as a borrowed
+    /// `&str` valid only for that invocation.
+    ///
+    /// This visits exactly the tokens [`tokenize`](Self::tokenize) would
+    /// return, in the same order — `tokenize` is implemented on top of
+    /// this — so a consumer that interns the borrowed tokens observes a
+    /// byte-identical stream to one that materializes the `Vec<String>`.
+    /// Hot paths (the emerging-alert channel encodes every alert title
+    /// every window) use this to skip the two allocations per token that
+    /// `tokenize` pays (the lowercased `String` plus the `Vec` slot).
+    pub fn for_each_token(&self, text: &str, scratch: &mut String, mut f: impl FnMut(&str)) {
         for raw in text.split(|c: char| !c.is_alphanumeric()) {
             if raw.is_empty() {
                 continue;
             }
-            for piece in split_camel_and_digits(raw) {
-                let token = piece.to_ascii_lowercase();
-                if token.len() < self.min_len {
-                    continue;
+            for_each_camel_piece(raw, |piece| {
+                scratch.clear();
+                for ch in piece.chars() {
+                    scratch.push(ch.to_ascii_lowercase());
                 }
-                if self.stopwords.contains(&token) {
-                    continue;
+                if scratch.len() < self.min_len {
+                    return;
                 }
-                if !self.keep_numbers && token.bytes().all(|b| b.is_ascii_digit()) {
-                    continue;
+                if self.stopwords.contains(scratch.as_str()) {
+                    return;
                 }
-                tokens.push(token);
-            }
+                if !self.keep_numbers && scratch.bytes().all(|b| b.is_ascii_digit()) {
+                    return;
+                }
+                f(scratch);
+            });
         }
-        tokens
     }
 
     /// Tokenizes and deduplicates, preserving first-seen order. Useful
@@ -136,8 +161,18 @@ impl Default for Tokenizer {
 /// letter/digit boundaries: `"HAProxy2Down"` → `["HA", "Proxy", "2", "Down"]`
 /// (approximately; consecutive uppercase letters stay together until a
 /// lowercase letter follows).
+#[cfg(test)]
 fn split_camel_and_digits(s: &str) -> Vec<&str> {
     let mut pieces = Vec::new();
+    for_each_camel_piece(s, |p| pieces.push(p));
+    pieces
+}
+
+/// Internal-iterator form of [`split_camel_and_digits`]: visits each
+/// non-empty piece without building a `Vec`. The boundary rules are the
+/// tokenizer's contract; the `Vec` wrapper above exists only for tests
+/// and callers that genuinely need the collection.
+fn for_each_camel_piece<'a>(s: &'a str, mut f: impl FnMut(&'a str)) {
     let bytes = s.as_bytes();
     let mut start = 0;
     for i in 1..bytes.len() {
@@ -154,16 +189,18 @@ fn split_camel_and_digits(s: &str) -> Vec<&str> {
                 && cur.is_ascii_uppercase()
                 && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_lowercase()));
         if boundary {
-            pieces.push(&s[start..i]);
+            if start < i {
+                f(&s[start..i]);
+            }
             start = i;
         }
     }
-    pieces.push(&s[start..]);
     // Non-ASCII input skips boundary logic gracefully: the slice indices
     // above only fire on ASCII classes, and a trailing multi-byte char
     // simply stays inside its piece.
-    pieces.retain(|p| !p.is_empty());
-    pieces
+    if start < s.len() {
+        f(&s[start..]);
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +286,33 @@ mod tests {
         let t = Tokenizer::new();
         let tokens = t.tokenize("磁盘 full déjà vu");
         assert!(tokens.iter().any(|x| x == "full"));
+    }
+
+    #[test]
+    fn for_each_token_matches_tokenize() {
+        let configs = [
+            Tokenizer::new(),
+            Tokenizer::without_stopwords(),
+            Tokenizer::new().drop_numbers(),
+            Tokenizer::without_stopwords().min_token_len(3),
+            Tokenizer::new().with_stopword("alert"),
+        ];
+        let texts = [
+            "nginx_cpu_usage_over_80: CPU usage > 80%",
+            "HaproxyProcessNumber warning",
+            "Failed to commit THE changes",
+            "磁盘 full déjà vu",
+            "",
+            "--x-- !!! a__b vm42 HTTPServer2Down",
+        ];
+        for t in &configs {
+            for text in &texts {
+                let mut streamed = Vec::new();
+                let mut scratch = String::new();
+                t.for_each_token(text, &mut scratch, |tok| streamed.push(tok.to_owned()));
+                assert_eq!(streamed, t.tokenize(text), "mismatch on {text:?}");
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::hash::FxBuildHasher;
+
 /// A sparse bag-of-words document: `(word_id, count)` pairs sorted by
 /// word id, with strictly positive counts and no duplicate ids.
 pub type BagOfWords = Vec<(usize, u32)>;
@@ -45,7 +47,11 @@ pub enum OovPolicy {
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Vocabulary {
-    word_to_id: HashMap<String, usize>,
+    /// Fx-hashed: every token of every alert probes this map once when
+    /// interning. Lookup results feed ids, never iteration order — and
+    /// the unkeyed hasher makes serialized map order reproducible
+    /// across processes, which the keyed default never was.
+    word_to_id: HashMap<String, usize, FxBuildHasher>,
     id_to_word: Vec<String>,
 }
 
@@ -126,6 +132,29 @@ impl Vocabulary {
         match oov {
             OovPolicy::Drop => self.encode_frozen(tokens),
             OovPolicy::Intern => self.encode_and_update(tokens),
+        }
+    }
+
+    /// Counts one token into an under-construction document, the
+    /// streaming counterpart of [`encode`](Self::encode): calling this
+    /// for each token of a document and then sorting `doc` by id (e.g.
+    /// `doc.sort_unstable_by_key(|&(id, _)| id)`) produces a bag of
+    /// words byte-identical to the batch encoders — same interning
+    /// order, same counts — without materializing a `Vec<String>` of
+    /// tokens or a per-document counting map. Documents here are alert
+    /// titles (a handful of distinct words), so the linear scan beats a
+    /// hash map on both allocation and lookup cost.
+    pub fn count_token(&mut self, token: &str, oov: OovPolicy, doc: &mut BagOfWords) {
+        let id = match oov {
+            OovPolicy::Intern => self.intern(token),
+            OovPolicy::Drop => match self.id(token) {
+                Some(id) => id,
+                None => return,
+            },
+        };
+        match doc.iter_mut().find(|entry| entry.0 == id) {
+            Some(entry) => entry.1 += 1,
+            None => doc.push((id, 1)),
         }
     }
 
@@ -238,6 +267,30 @@ mod tests {
         assert_eq!(before, after, "existing ids must survive growth");
         assert_eq!(v.id("c"), Some(2));
         assert_eq!(v.id("d"), Some(3));
+    }
+
+    #[test]
+    fn count_token_matches_batch_encoders() {
+        let docs: &[&[&str]] = &[
+            &["b", "a", "b", "b"],
+            &["disk", "full", "disk"],
+            &[],
+            &["quota", "disk", "quota", "new"],
+        ];
+        for oov in [OovPolicy::Intern, OovPolicy::Drop] {
+            let mut batch_vocab: Vocabulary = ["disk", "full"].into_iter().collect();
+            let mut stream_vocab = batch_vocab.clone();
+            for tokens in docs {
+                let expected = batch_vocab.encode(tokens, oov);
+                let mut doc = BagOfWords::new();
+                for token in *tokens {
+                    stream_vocab.count_token(token, oov, &mut doc);
+                }
+                doc.sort_unstable_by_key(|&(id, _)| id);
+                assert_eq!(doc, expected, "oov {oov:?}, tokens {tokens:?}");
+            }
+            assert_eq!(stream_vocab.len(), batch_vocab.len());
+        }
     }
 
     #[test]

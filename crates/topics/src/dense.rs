@@ -1,0 +1,400 @@
+//! The dense reference implementation of online variational-Bayes LDA.
+//!
+//! This is a verbatim preservation of the pre-sparse kernel: every float
+//! operation (order included) is exactly what `OnlineLda` computed before
+//! the sparse rewrite. It exists so the differential property tests in
+//! `tests/properties.rs` can assert that the sparse kernel in
+//! [`crate::lda`] is **bit-identical** — same λ, same inferred mixtures,
+//! same scores — across seeded corpora. It is not meant for production
+//! use: every update pays dense `[topics × vocab]` digamma sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use alertops_text::BagOfWords;
+
+use crate::lda::WarmGamma;
+use crate::math::{digamma, dirichlet_expectation, normalize_in_place};
+use crate::LdaConfig;
+
+/// Dense online variational-Bayes LDA — the differential oracle for
+/// [`crate::OnlineLda`]. Same public surface, same semantics, kept
+/// deliberately unoptimized.
+#[derive(Debug, Clone)]
+pub struct DenseOnlineLda {
+    config: LdaConfig,
+    /// Variational parameter λ, K×W.
+    lambda: Vec<Vec<f64>>,
+    /// exp(E[log β]), K×W, kept in sync with λ.
+    exp_elog_beta: Vec<Vec<f64>>,
+    /// Number of minibatch updates applied so far.
+    updates: u64,
+    /// Number of documents seen so far.
+    docs_seen: usize,
+}
+
+impl DenseOnlineLda {
+    /// Creates a model with λ initialized from a seeded gamma-like
+    /// distribution, byte-for-byte the same RNG sequence as
+    /// [`crate::OnlineLda::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_topics` or `vocab_size` is zero, or if `kappa` is
+    /// outside `(0.5, 1.0]`.
+    #[must_use]
+    pub fn new(config: LdaConfig) -> Self {
+        assert!(config.num_topics > 0, "num_topics must be positive");
+        assert!(config.vocab_size > 0, "vocab_size must be positive");
+        assert!(
+            config.kappa > 0.5 && config.kappa <= 1.0,
+            "kappa must lie in (0.5, 1] for convergence, got {}",
+            config.kappa
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let lambda: Vec<Vec<f64>> = (0..config.num_topics)
+            .map(|_| {
+                (0..config.vocab_size)
+                    .map(|_| 100.0 / config.vocab_size as f64 * rng.gen_range(0.5..1.5))
+                    .collect()
+            })
+            .collect();
+        let exp_elog_beta = lambda.iter().map(|row| exp_dirichlet_row(row)).collect();
+        Self {
+            config,
+            lambda,
+            exp_elog_beta,
+            updates: 0,
+            docs_seen: 0,
+        }
+    }
+
+    /// The configuration this model was built with.
+    #[must_use]
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// The number of minibatch updates applied.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current learning rate ρ_t = (τ₀ + t)^{−κ}.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        (self.config.tau0 + self.updates as f64).powf(-self.config.kappa)
+    }
+
+    /// Applies one online update from a minibatch of documents; the dense
+    /// original of [`crate::OnlineLda::update_batch`].
+    pub fn update_batch(&mut self, batch: &[BagOfWords]) -> f64 {
+        self.update_pass(batch, None)
+    }
+
+    /// One online update, optionally warm-started from `warm`; the dense
+    /// original of the sparse kernel's private `update_pass`. The memo is
+    /// read-only while the batch runs and refreshed after the document
+    /// loop, so duplicate documents see the same init — the same
+    /// discipline the sparse side follows, making the two bit-identical.
+    fn update_pass(&mut self, batch: &[BagOfWords], mut warm: Option<&mut WarmGamma>) -> f64 {
+        let nonempty: Vec<&BagOfWords> = batch.iter().filter(|d| !d.is_empty()).collect();
+        if nonempty.is_empty() {
+            return 0.0;
+        }
+        let k = self.config.num_topics;
+        let w = self.config.vocab_size;
+        let mut sstats = vec![vec![0.0; w]; k];
+        let mut bound = 0.0;
+        let mut word_total = 0u64;
+        let mut converged: Vec<(&BagOfWords, Vec<f64>)> = Vec::new();
+
+        for doc in &nonempty {
+            let init = warm
+                .as_deref()
+                .and_then(|m| m.get(doc.as_slice()))
+                .map(Vec::as_slice);
+            let (gamma, phi_contrib) = self.e_step(doc, init);
+            // Accumulate sufficient statistics: sstats[k][w] += phi_kw * n_w.
+            for (slot, &(id, count)) in phi_contrib.iter().zip(doc.iter()) {
+                if id >= w {
+                    continue;
+                }
+                for (topic, &p) in slot.iter().enumerate() {
+                    sstats[topic][id] += p * f64::from(count);
+                }
+            }
+            bound += self.doc_log_likelihood(doc, &gamma);
+            word_total += doc.iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+            if warm.is_some() {
+                converged.push((*doc, gamma));
+            }
+        }
+
+        // End-of-pass write-back. Duplicate occurrences converged to the
+        // same bits (same init, same β), so writing each is identical to
+        // the sparse side's one-write-per-distinct-document.
+        if let Some(m) = warm.as_mut() {
+            for (doc, gamma) in converged {
+                match m.get_mut(doc.as_slice()) {
+                    Some(slot) => slot.clone_from(&gamma),
+                    None => {
+                        m.insert((*doc).clone(), gamma);
+                    }
+                }
+            }
+        }
+
+        // M-step: blend λ toward the batch estimate with step ρ.
+        let rho = self.learning_rate();
+        self.docs_seen += nonempty.len();
+        let d = self.config.corpus_size.unwrap_or(self.docs_seen) as f64;
+        let scale = d / nonempty.len() as f64;
+        for (lam_row, ss_row) in self.lambda.iter_mut().zip(&sstats) {
+            for (lam, &ss) in lam_row.iter_mut().zip(ss_row) {
+                *lam = (1.0 - rho) * *lam + rho * (self.config.eta + scale * ss);
+            }
+        }
+        for (beta_row, lam_row) in self.exp_elog_beta.iter_mut().zip(&self.lambda) {
+            *beta_row = exp_dirichlet_row(lam_row);
+        }
+        self.updates += 1;
+        if word_total == 0 {
+            0.0
+        } else {
+            bound / word_total as f64
+        }
+    }
+
+    /// Infers the topic mixture θ of a document against the current
+    /// topics; the dense original of [`crate::OnlineLda::infer`].
+    #[must_use]
+    pub fn infer(&self, doc: &BagOfWords) -> Vec<f64> {
+        let k = self.config.num_topics;
+        if doc.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let (mut gamma, _) = self.e_step(doc, None);
+        normalize_in_place(&mut gamma);
+        gamma
+    }
+
+    /// Fits one window: up to `passes` updates over `docs` with warm-started
+    /// γ and a relative-bound early exit, returning the final pass's
+    /// normalized γ per document; the dense original of
+    /// [`crate::OnlineLda::fit_window_with`]. Same memo discipline (fresh
+    /// per window; read during a pass, written back after it) and the same
+    /// exit rule on the bitwise-equal bound sequence, so the two stop
+    /// after the same pass and return the same mixture bits.
+    pub fn fit_window(
+        &mut self,
+        docs: &[BagOfWords],
+        passes: usize,
+        pass_tol: f64,
+    ) -> Vec<Vec<f64>> {
+        let mut memo = WarmGamma::default();
+        let warm = &mut memo;
+        let mut prev: Option<f64> = None;
+        for _ in 0..passes.max(1) {
+            let bound = self.update_pass(docs, Some(warm));
+            if let Some(p) = prev {
+                if pass_tol > 0.0 && (bound - p).abs() <= pass_tol * p.abs() {
+                    break;
+                }
+            }
+            prev = Some(bound);
+        }
+
+        // After the last pass's write-back the memo holds every
+        // non-empty document's final converged γ.
+        let k = self.config.num_topics;
+        docs.iter()
+            .map(|doc| {
+                if doc.is_empty() {
+                    vec![1.0 / k as f64; k]
+                } else {
+                    let mut mixture = warm[doc.as_slice()].clone();
+                    normalize_in_place(&mut mixture);
+                    mixture
+                }
+            })
+            .collect()
+    }
+
+    /// The current topic-word distributions (normalized λ rows).
+    #[must_use]
+    pub fn topics(&self) -> Vec<Vec<f64>> {
+        self.lambda
+            .iter()
+            .map(|row| {
+                let mut r = row.clone();
+                normalize_in_place(&mut r);
+                r
+            })
+            .collect()
+    }
+
+    /// The `n` highest-probability word ids of topic `topic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic >= num_topics`.
+    #[must_use]
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<usize> {
+        let row = &self.lambda[topic];
+        let mut ids: Vec<usize> = (0..row.len()).collect();
+        ids.sort_unstable_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+        ids.truncate(n);
+        ids
+    }
+
+    /// Per-word log likelihood of `corpus` under the current model; the
+    /// dense original of [`crate::OnlineLda::score`].
+    #[must_use]
+    pub fn score(&self, corpus: &[BagOfWords]) -> f64 {
+        let mut total = 0.0;
+        let mut words = 0u64;
+        for doc in corpus.iter().filter(|d| !d.is_empty()) {
+            let (gamma, _) = self.e_step(doc, None);
+            total += self.doc_log_likelihood(doc, &gamma);
+            words += doc.iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+        }
+        if words == 0 {
+            0.0
+        } else {
+            total / words as f64
+        }
+    }
+
+    /// Variational E-step for one document, starting γ from `init` (the
+    /// warm-start memo) or the cold `α + 1`. Returns the converged γ and,
+    /// per word position, the topic responsibilities φ.
+    fn e_step(&self, doc: &BagOfWords, init: Option<&[f64]>) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let k = self.config.num_topics;
+        let mut gamma = match init {
+            Some(g) => g.to_vec(),
+            None => vec![self.config.alpha + 1.0; k],
+        };
+        let mut exp_elog_theta: Vec<f64> = dirichlet_expectation(&gamma)
+            .into_iter()
+            .map(f64::exp)
+            .collect();
+
+        let ids: Vec<usize> = doc.iter().map(|&(id, _)| id).collect();
+        let counts: Vec<f64> = doc.iter().map(|&(_, c)| f64::from(c)).collect();
+
+        let phinorm = |theta: &[f64]| -> Vec<f64> {
+            ids.iter()
+                .map(|&id| {
+                    let mut s = 1e-100;
+                    if id < self.config.vocab_size {
+                        for (topic, t) in theta.iter().enumerate() {
+                            s += t * self.exp_elog_beta[topic][id];
+                        }
+                    }
+                    s
+                })
+                .collect()
+        };
+        let mut norms = phinorm(&exp_elog_theta);
+
+        for _ in 0..self.config.max_e_steps {
+            let last_gamma = gamma.clone();
+            for (topic, g) in gamma.iter_mut().enumerate() {
+                let mut dot = 0.0;
+                for ((&id, &count), &norm) in ids.iter().zip(&counts).zip(&norms) {
+                    if id < self.config.vocab_size {
+                        dot += count / norm * self.exp_elog_beta[topic][id];
+                    }
+                }
+                *g = self.config.alpha + exp_elog_theta[topic] * dot;
+            }
+            exp_elog_theta = dirichlet_expectation(&gamma)
+                .into_iter()
+                .map(f64::exp)
+                .collect();
+            norms = phinorm(&exp_elog_theta);
+            let mean_change: f64 = gamma
+                .iter()
+                .zip(&last_gamma)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / k as f64;
+            if mean_change < self.config.e_step_tol {
+                break;
+            }
+        }
+
+        // Final responsibilities φ for sufficient statistics.
+        let phi: Vec<Vec<f64>> = ids
+            .iter()
+            .zip(&norms)
+            .map(|(&id, &norm)| {
+                (0..k)
+                    .map(|topic| {
+                        if id < self.config.vocab_size {
+                            exp_elog_theta[topic] * self.exp_elog_beta[topic][id] / norm
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (gamma, phi)
+    }
+
+    /// log p(doc | θ̂, β̂) with θ̂ the normalized γ and β̂ the normalized λ.
+    fn doc_log_likelihood(&self, doc: &BagOfWords, gamma: &[f64]) -> f64 {
+        let mut theta = gamma.to_vec();
+        normalize_in_place(&mut theta);
+        let lambda_sums: Vec<f64> = self.lambda.iter().map(|r| r.iter().sum()).collect();
+        doc.iter()
+            .filter(|&&(id, _)| id < self.config.vocab_size)
+            .map(|&(id, count)| {
+                let p_word: f64 = theta
+                    .iter()
+                    .enumerate()
+                    .map(|(topic, &t)| t * self.lambda[topic][id] / lambda_sums[topic])
+                    .sum();
+                f64::from(count) * p_word.max(1e-300).ln()
+            })
+            .sum()
+    }
+
+    /// Direct access to the unnormalized variational parameter λ.
+    #[must_use]
+    pub fn lambda(&self) -> &[Vec<f64>] {
+        &self.lambda
+    }
+
+    /// Replaces λ wholesale (dimensions must match) and refreshes the
+    /// cached `exp(E[log β])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape of `lambda` is not K×W or any entry is not
+    /// strictly positive.
+    pub fn set_lambda(&mut self, lambda: Vec<Vec<f64>>) {
+        assert_eq!(lambda.len(), self.config.num_topics, "lambda row count");
+        for row in &lambda {
+            assert_eq!(row.len(), self.config.vocab_size, "lambda column count");
+            assert!(
+                row.iter().all(|&x| x > 0.0),
+                "lambda entries must be positive"
+            );
+        }
+        self.exp_elog_beta = lambda.iter().map(|row| exp_dirichlet_row(row)).collect();
+        self.lambda = lambda;
+    }
+}
+
+/// exp(ψ(λ_w) − ψ(Σλ)) for one row.
+fn exp_dirichlet_row(row: &[f64]) -> Vec<f64> {
+    let total: f64 = row.iter().sum();
+    let psi_total = digamma(total);
+    row.iter()
+        .map(|&x| (digamma(x) - psi_total).exp())
+        .collect()
+}

@@ -53,10 +53,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod dense;
 pub mod math;
 
 mod aolda;
 mod lda;
 
 pub use aolda::{AdaptiveOnlineLda, AoldaConfig, TopicWindow, WindowTopic};
-pub use lda::{LdaConfig, OnlineLda};
+pub use lda::{LdaConfig, LdaWorkspace, OnlineLda};

@@ -1,9 +1,39 @@
 //! Property-based tests over the topic-model substrate.
+//!
+//! The `sparse_*` properties are the differential wall around the sparse
+//! AO-LDA kernel: every one compares the production [`OnlineLda`] against
+//! the verbatim pre-rewrite dense implementation
+//! ([`DenseOnlineLda`]) and asserts **bit-identical** results — `==` on
+//! `f64`s, no tolerance — because the streaming/offline and shard/cluster
+//! differentials downstream compare serialized bytes.
 
 use proptest::prelude::*;
 
-use alertops_topics::math::{digamma, dirichlet_expectation, js_divergence, normalize_in_place};
-use alertops_topics::{LdaConfig, OnlineLda};
+use alertops_topics::dense::DenseOnlineLda;
+use alertops_topics::math::{
+    digamma, dirichlet_expectation, dirichlet_expectation_sparse, js_divergence,
+    js_divergence_prepared, neg_entropy, normalize_in_place, DigammaCache,
+};
+use alertops_topics::{LdaConfig, LdaWorkspace, OnlineLda};
+
+/// Deduplicates word ids within each doc (the `BagOfWords` contract).
+fn to_bows(docs: Vec<Vec<(usize, u32)>>) -> Vec<Vec<(usize, u32)>> {
+    docs.into_iter()
+        .map(|d| {
+            let mut m = std::collections::BTreeMap::new();
+            for (id, c) in d {
+                *m.entry(id).or_insert(0) += c;
+            }
+            m.into_iter().collect()
+        })
+        .collect()
+}
+
+/// A corpus strategy with some out-of-vocab ids mixed in (vocab is 12).
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<(usize, u32)>>> {
+    prop::collection::vec(prop::collection::vec((0usize..15, 1u32..4), 1..7), 1..10)
+        .prop_map(to_bows)
+}
 
 proptest! {
     #[test]
@@ -93,5 +123,277 @@ proptest! {
         // Inference also yields a distribution.
         let theta = lda.infer(&docs[0]);
         prop_assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    /// The tentpole guarantee: the sparse kernel's λ trajectory is
+    /// bit-identical to the dense sweep's across seeded corpora and
+    /// multiple sequential updates, with a shared workspace in play the
+    /// whole time (duplicate docs exercise the per-batch memo, ids ≥ 12
+    /// the out-of-vocab path).
+    #[test]
+    fn sparse_update_batch_is_bit_identical_to_dense(
+        corpus in corpus_strategy(),
+        seed in 0u64..50,
+        updates in 1usize..6,
+    ) {
+        let config = LdaConfig {
+            num_topics: 3,
+            vocab_size: 12,
+            seed,
+            ..LdaConfig::default()
+        };
+        let mut sparse = OnlineLda::new(config.clone());
+        let mut dense = DenseOnlineLda::new(config);
+        prop_assert_eq!(sparse.lambda(), dense.lambda(), "seeded init diverged");
+        let mut ws = LdaWorkspace::new();
+        for round in 0..updates {
+            let sb = sparse.update_batch_with(&corpus, &mut ws);
+            let db = dense.update_batch(&corpus);
+            prop_assert_eq!(
+                sb.to_bits(), db.to_bits(),
+                "bound diverged at round {}: {} vs {}", round, sb, db
+            );
+            prop_assert_eq!(sparse.lambda(), dense.lambda(), "λ diverged at round {}", round);
+        }
+        prop_assert_eq!(sparse.topics(), dense.topics());
+    }
+
+    /// Inference and scoring agree bitwise with the dense oracle, via
+    /// both the per-doc and the batched (β-sharing, memoizing) paths.
+    #[test]
+    fn sparse_infer_and_score_match_dense(
+        corpus in corpus_strategy(),
+        seed in 0u64..50,
+    ) {
+        let config = LdaConfig {
+            num_topics: 3,
+            vocab_size: 12,
+            seed,
+            ..LdaConfig::default()
+        };
+        let mut sparse = OnlineLda::new(config.clone());
+        let mut dense = DenseOnlineLda::new(config);
+        let mut ws = LdaWorkspace::new();
+        sparse.update_batch_with(&corpus, &mut ws);
+        dense.update_batch(&corpus);
+
+        let batched = sparse.infer_batch_with(&corpus, &mut ws);
+        for (doc, via_batch) in corpus.iter().zip(&batched) {
+            let d = dense.infer(doc);
+            prop_assert_eq!(&sparse.infer(doc), &d, "infer diverged");
+            prop_assert_eq!(&sparse.infer_with(doc, &mut ws), &d, "infer_with diverged");
+            prop_assert_eq!(via_batch, &d, "infer_batch_with diverged");
+        }
+        let ss = sparse.score_with(&corpus, &mut ws);
+        let ds = dense.score(&corpus);
+        prop_assert_eq!(ss.to_bits(), ds.to_bits(), "score diverged: {} vs {}", ss, ds);
+    }
+
+    /// The grow-vocab path: η-padding a λ snapshot (what
+    /// `AdaptiveOnlineLda::grow_vocab` does to history) and seeding a
+    /// wider model via `set_lambda`, then updating with docs that reach
+    /// the new columns, stays bit-identical to the dense oracle given the
+    /// same padded prior.
+    #[test]
+    fn sparse_grow_vocab_then_update_matches_dense(
+        corpus_small in corpus_strategy(),
+        corpus_wide in corpus_strategy(),
+        seed in 0u64..50,
+    ) {
+        let small = LdaConfig {
+            num_topics: 3,
+            vocab_size: 12,
+            seed,
+            ..LdaConfig::default()
+        };
+        let mut narrow = OnlineLda::new(small.clone());
+        narrow.update_batch(&corpus_small);
+
+        // Widen the learned λ with the η padding growth uses.
+        let wide_config = LdaConfig { vocab_size: 20, ..small };
+        let padded: Vec<Vec<f64>> = narrow
+            .lambda()
+            .iter()
+            .map(|row| {
+                let mut r = row.clone();
+                r.resize(20, wide_config.eta);
+                r
+            })
+            .collect();
+
+        let mut sparse = OnlineLda::new(wide_config.clone());
+        let mut dense = DenseOnlineLda::new(wide_config);
+        sparse.set_lambda(padded.clone());
+        dense.set_lambda(padded);
+        prop_assert_eq!(sparse.lambda(), dense.lambda());
+
+        // Shift some ids up so the new columns 12..20 are exercised.
+        let wide_docs: Vec<Vec<(usize, u32)>> = corpus_wide
+            .iter()
+            .map(|d| d.iter().map(|&(id, c)| (id + 8, c)).collect())
+            .collect();
+        let mut ws = LdaWorkspace::new();
+        sparse.update_batch_with(&wide_docs, &mut ws);
+        dense.update_batch(&wide_docs);
+        prop_assert_eq!(sparse.lambda(), dense.lambda(), "post-growth λ diverged");
+        for doc in &wide_docs {
+            prop_assert_eq!(sparse.infer(doc), dense.infer(doc));
+        }
+    }
+
+    /// The window-fit fast path — warm-started passes, bound early exit,
+    /// folded inference — is bit-identical to the dense oracle across
+    /// pass budgets and tolerances. The window gets a duplicated doc
+    /// (exercising the shared warm init) and an empty doc (the uniform
+    /// mixture edge), and both sides must agree on the λ trajectory, the
+    /// mixtures, *and* how many passes the early exit actually ran.
+    #[test]
+    fn sparse_fit_window_is_bit_identical_to_dense(
+        corpus in corpus_strategy(),
+        seed in 0u64..50,
+        passes in 1usize..8,
+        tol_exp in 0i32..4, // 0 disables the early exit, else 1e-tol_exp
+    ) {
+        let pass_tol = if tol_exp == 0 { 0.0 } else { 10f64.powi(-tol_exp) };
+        let config = LdaConfig {
+            num_topics: 3,
+            vocab_size: 12,
+            seed,
+            ..LdaConfig::default()
+        };
+        let mut docs = corpus.clone();
+        docs.push(corpus[0].clone());
+        docs.push(Vec::new());
+
+        let mut sparse = OnlineLda::new(config.clone());
+        let mut dense = DenseOnlineLda::new(config);
+        let mut ws = LdaWorkspace::new();
+        let sm = sparse.fit_window_with(&docs, passes, pass_tol, &mut ws);
+        let dm = dense.fit_window(&docs, passes, pass_tol);
+        prop_assert_eq!(
+            sparse.updates(), dense.updates(),
+            "early exit stopped after different pass counts"
+        );
+        prop_assert_eq!(&sm, &dm, "window mixtures diverged");
+        prop_assert_eq!(sparse.lambda(), dense.lambda(), "post-window λ diverged");
+
+        // A second window through the same workspace: the warm memo must
+        // reset cleanly, so back-to-back fits stay on the oracle too.
+        let second: Vec<Vec<(usize, u32)>> = docs
+            .iter()
+            .map(|d| d.iter().map(|&(id, c)| ((id + 3) % 14, c)).collect())
+            .collect();
+        let second = to_bows(second);
+        let sm2 = sparse.fit_window_with(&second, passes, pass_tol, &mut ws);
+        let dm2 = dense.fit_window(&second, passes, pass_tol);
+        prop_assert_eq!(sparse.updates(), dense.updates());
+        prop_assert_eq!(&sm2, &dm2, "second-window mixtures diverged");
+        prop_assert_eq!(sparse.lambda(), dense.lambda());
+    }
+
+    /// Growing the vocabulary (η-padded λ via `set_lambda`, what
+    /// `AdaptiveOnlineLda::grow_vocab` does) and then running the sparse
+    /// window fit over docs that reach the new columns stays on the
+    /// dense oracle bit-for-bit.
+    #[test]
+    fn sparse_grow_vocab_then_fit_window_matches_dense(
+        corpus_small in corpus_strategy(),
+        corpus_wide in corpus_strategy(),
+        seed in 0u64..50,
+        passes in 1usize..6,
+    ) {
+        let small = LdaConfig {
+            num_topics: 3,
+            vocab_size: 12,
+            seed,
+            ..LdaConfig::default()
+        };
+        let mut narrow = OnlineLda::new(small.clone());
+        narrow.update_batch(&corpus_small);
+
+        let wide_config = LdaConfig { vocab_size: 20, ..small };
+        let padded: Vec<Vec<f64>> = narrow
+            .lambda()
+            .iter()
+            .map(|row| {
+                let mut r = row.clone();
+                r.resize(20, wide_config.eta);
+                r
+            })
+            .collect();
+        let mut sparse = OnlineLda::new(wide_config.clone());
+        let mut dense = DenseOnlineLda::new(wide_config);
+        sparse.set_lambda(padded.clone());
+        dense.set_lambda(padded);
+
+        let wide_docs: Vec<Vec<(usize, u32)>> = corpus_wide
+            .iter()
+            .map(|d| d.iter().map(|&(id, c)| (id + 8, c)).collect())
+            .collect();
+        let mut ws = LdaWorkspace::new();
+        let sm = sparse.fit_window_with(&wide_docs, passes, 1e-2, &mut ws);
+        let dm = dense.fit_window(&wide_docs, passes, 1e-2);
+        prop_assert_eq!(sparse.updates(), dense.updates());
+        prop_assert_eq!(&sm, &dm, "post-growth window mixtures diverged");
+        prop_assert_eq!(sparse.lambda(), dense.lambda(), "post-growth λ diverged");
+    }
+
+    /// The prepared (entropy-hoisted) JS form agrees with the plain form
+    /// to round-off everywhere the emergence scan uses it, zero-padded
+    /// columns included.
+    #[test]
+    fn js_prepared_agrees_with_plain(
+        p in prop::collection::vec(0.0f64..1.0, 8),
+        q in prop::collection::vec(0.0f64..1.0, 8),
+        pad in 0usize..4,
+    ) {
+        let mut p = p;
+        let mut q = q;
+        normalize_in_place(&mut p);
+        normalize_in_place(&mut q);
+        // Vocabulary growth pads history topics with zero columns.
+        p.resize(p.len() + pad, 0.0);
+        q.resize(q.len() + pad, 0.0);
+        let plain = js_divergence(&p, &q);
+        let prepared = js_divergence_prepared(&p, neg_entropy(&p), &q, neg_entropy(&q));
+        prop_assert!(
+            (plain - prepared).abs() < 1e-9,
+            "prepared {} vs plain {}", prepared, plain
+        );
+    }
+
+    /// The digamma memo is exact: any eval sequence returns the same bits
+    /// as the uncached function, hits and misses alike.
+    #[test]
+    fn cached_digamma_is_bit_identical(
+        xs in prop::collection::vec(0.001f64..500.0, 1..40),
+        repeat in 1usize..4,
+    ) {
+        let mut cache = DigammaCache::new();
+        for _ in 0..repeat {
+            for &x in &xs {
+                prop_assert_eq!(cache.eval(x).to_bits(), digamma(x).to_bits());
+            }
+        }
+    }
+
+    /// The batched sparse Dirichlet expectation equals the dense
+    /// per-row sweep on the cells it touches.
+    #[test]
+    fn sparse_dirichlet_expectation_matches_dense(
+        row in prop::collection::vec(0.01f64..50.0, 4..24),
+        picks in prop::collection::vec(0usize..24, 1..12),
+    ) {
+        let mut ids: Vec<usize> = picks.into_iter().filter(|&i| i < row.len()).collect();
+        if ids.is_empty() {
+            ids.push(0); // row.len() >= 4, so id 0 always exists
+        }
+        let row_sum: f64 = row.iter().sum();
+        let dense: Vec<f64> = dirichlet_expectation(&row).iter().map(|e| e.exp()).collect();
+        let mut out = Vec::new();
+        dirichlet_expectation_sparse(&row, row_sum, &ids, &mut out);
+        for (slot, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(out[slot].to_bits(), dense[id].to_bits());
+        }
     }
 }

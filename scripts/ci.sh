@@ -53,6 +53,27 @@ cargo test -q --test emerging_streaming
 cargo test -q -p alertops-react emerging
 cargo test -q -p alertops-topics grow_vocab
 
+# Emerging-perf gate: the sparse/dense differential properties (sparse
+# fit_window bit-identical to the dense oracle, cached digamma exact,
+# grow-vocab-then-update equivalence), the criterion group over the
+# observe path, and a fresh BENCH_streaming.json. The bench binary
+# asserts its own differentials (governor local pass == standalone
+# detector, budget seed-replayability) before timing anything, and the
+# grep makes a silent `outputs_identical: false` regression impossible
+# to commit.
+echo "==> emerging perf: sparse differentials + bench regeneration"
+cargo test -q -p alertops-topics --test properties
+cargo bench -q -p alertops-bench --bench emerging
+cargo run --release -q -p alertops-bench --bin streaming_bench
+if grep -q '"outputs_identical": false' BENCH_streaming.json; then
+    echo "BENCH_streaming.json reports non-identical outputs" >&2
+    exit 1
+fi
+if grep -q '"budget_replayable": false' BENCH_streaming.json; then
+    echo "BENCH_streaming.json reports a non-replayable budget run" >&2
+    exit 1
+fi
+
 # Cluster gate: the topology differential (4-node == 2-node == 1-node
 # == batch oracle), WAL crash-replay (in-process kill/rejoin plus the
 # real binary under SIGKILL), live range handoff, node-fault chaos

@@ -52,7 +52,7 @@ fn usage() -> ExitCode {
          [--json FILE] [--top N] [--threshold N] \
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
          [--listen ADDR] [--status ADDR] [--chaos] [--no-metrics] [--emerging] \
-         [--nodes N] [--wal DIR] \
+         [--emerging-budget TOKENS] [--nodes N] [--wal DIR] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
@@ -75,6 +75,9 @@ struct Args {
     chaos: bool,
     metrics: bool,
     emerging: bool,
+    /// Per-window token cap for the emerging channel (storm-load
+    /// sampling); `None` keeps AO-LDA exact.
+    emerging_budget: Option<usize>,
     // ingestd --wal / cluster
     wal: Option<String>,
     nodes: usize,
@@ -104,6 +107,7 @@ fn parse_args() -> Option<Args> {
         chaos: false,
         metrics: true,
         emerging: false,
+        emerging_budget: None,
         wal: None,
         nodes: 3,
         connect: "127.0.0.1:4501".to_owned(),
@@ -132,6 +136,7 @@ fn parse_args() -> Option<Args> {
         match flag.as_str() {
             "--scenario" => args.scenario = value()?,
             "--seed" => args.seed = value()?.parse().ok()?,
+            "--emerging-budget" => args.emerging_budget = Some(value()?.parse().ok()?),
             "--json" => args.json = Some(value()?),
             "--top" => args.top = value()?.parse().ok()?,
             "--threshold" => args.threshold = value()?.parse().ok()?,
@@ -365,6 +370,9 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         // Shards only forward documents; the coordinator runs the one
         // sequential AO-LDA pass so shard count cannot change output.
         streaming.emerging.mode = EmergingMode::Forward;
+        if let Some(cap) = args.emerging_budget {
+            streaming.emerging.config.budget = Some(EmergingBudget::new(cap, args.seed));
+        }
     }
     let config = IngestdConfig {
         shards: args.shards,
@@ -460,7 +468,13 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         println!("chaos mode: panic/stall/resume control frames accepted");
     }
     if args.emerging {
-        println!("emerging channel on: AO-LDA report published per window close");
+        match args.emerging_budget {
+            Some(cap) => println!(
+                "emerging channel on: AO-LDA report published per window close \
+                 (token budget {cap}/window, seeded sampling under storm load)"
+            ),
+            None => println!("emerging channel on: AO-LDA report published per window close"),
+        }
     }
     handle.wait_for_shutdown_request();
     let counters = handle.counters();
@@ -483,6 +497,9 @@ fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
     let mut streaming = StreamingConfig::default();
     if args.emerging {
         streaming.emerging.mode = EmergingMode::Forward;
+        if let Some(cap) = args.emerging_budget {
+            streaming.emerging.config.budget = Some(EmergingBudget::new(cap, args.seed));
+        }
     }
     let node = IngestdConfig {
         shards: args.shards,

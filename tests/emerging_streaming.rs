@@ -156,6 +156,99 @@ fn streaming_with_preagreed_vocab_reproduces_the_offline_run() {
     );
 }
 
+/// The opt-in [`EmergingBudget`] regression wall, end to end through the
+/// public detector and governor paths:
+///
+/// 1. a cap the trace never reaches leaves the whole run byte-identical
+///    to a budget-free run (the adaptive fast path is exact);
+/// 2. an engaged cap is seed-replayable — two runs with the same cap and
+///    seed emit byte-identical reports;
+/// 3. a different seed samples differently, so replays genuinely depend
+///    on the recorded seed;
+/// 4. the cap trims tokens, never documents: per-window alert counts are
+///    unchanged;
+/// 5. the budget survives the governor plumbing: a Local-mode streaming
+///    governor with the same budgeted config matches the standalone
+///    detector window for window.
+#[test]
+fn emerging_budget_is_seed_replayable_and_exact_under_the_cap() {
+    let chunks = hourly_chunks();
+    let run = |budget: Option<EmergingBudget>| -> Vec<EmergingReport> {
+        let mut detector = EmergingAlertDetector::new(EmergingConfig {
+            budget,
+            ..emerging_config()
+        });
+        chunks
+            .iter()
+            .map(|chunk| {
+                let mut docs: Vec<EmergingDoc> =
+                    chunk.iter().map(EmergingDoc::from_alert).collect();
+                docs.sort_by_key(|d| d.alert);
+                detector.observe_docs(&docs)
+            })
+            .collect()
+    };
+    let wire = |reports: &Vec<EmergingReport>| -> String {
+        serde_json::to_string(reports).expect("reports serialize")
+    };
+
+    let free = run(None);
+    let slack = run(Some(EmergingBudget::new(1_000_000, 7)));
+    assert_eq!(
+        wire(&free),
+        wire(&slack),
+        "a cap the trace never reaches must leave the run byte-identical"
+    );
+
+    let tight = Some(EmergingBudget::new(40, 7));
+    let tight_a = run(tight);
+    let tight_b = run(tight);
+    assert_eq!(
+        wire(&tight_a),
+        wire(&tight_b),
+        "the same cap and seed must replay byte-identically"
+    );
+    assert_ne!(
+        wire(&tight_a),
+        wire(&free),
+        "a 40-token cap on ~70-token windows must actually engage"
+    );
+    assert_ne!(
+        wire(&tight_a),
+        wire(&run(Some(EmergingBudget::new(40, 8)))),
+        "a different seed must sample (and report) differently"
+    );
+    for (budgeted, full) in tight_a.iter().zip(&free) {
+        assert_eq!(
+            budgeted.alert_count, full.alert_count,
+            "the budget drops tokens, never documents"
+        );
+    }
+
+    // Same budgeted config through the streaming governor's local pass.
+    let mut governor = StreamingGovernor::new(
+        AlertGovernor::new(catalog(), GovernorConfig::default()),
+        StreamingConfig {
+            emerging: EmergingChannel {
+                mode: EmergingMode::Local,
+                config: EmergingConfig {
+                    budget: tight,
+                    ..emerging_config()
+                },
+            },
+            ..StreamingConfig::default()
+        },
+    );
+    for (chunk, expected) in chunks.iter().zip(&tight_a) {
+        let delta = governor.ingest(chunk, &[]);
+        assert_eq!(
+            serde_json::to_string(&delta.emerging).expect("delta serializes"),
+            serde_json::to_string(&Some(expected)).expect("report serializes"),
+            "governor's budgeted local pass diverged from the standalone detector"
+        );
+    }
+}
+
 /// Drives one in-process daemon over the hourly chunks (the silent hour
 /// is a flush with nothing routed) and returns each window's emerging
 /// report and degraded-shard list. With `panic_shard` set, that worker
