@@ -266,6 +266,11 @@ pub struct WalReplay {
     /// discards the rest of its segment (everything after a torn
     /// record is untrustworthy).
     pub torn_records: u64,
+    /// Boundary records whose window sequence was already sealed
+    /// earlier in the log (a re-append bug or a replayed-then-crashed
+    /// restart). Their alerts are merged into the first occurrence —
+    /// counted, never dropped, never duplicated as windows.
+    pub duplicate_boundaries: u64,
     /// Total alerts recovered (windows plus tail).
     pub recovered_alerts: u64,
 }
@@ -279,9 +284,10 @@ pub struct WalReplay {
 ///
 /// Filesystem errors other than a missing directory pass through.
 pub fn replay(dir: &Path) -> io::Result<WalReplay> {
-    let mut windows = Vec::new();
+    let mut windows: Vec<(u64, Vec<Alert>)> = Vec::new();
     let mut current: Vec<Alert> = Vec::new();
     let mut torn_records = 0u64;
+    let mut duplicate_boundaries = 0u64;
     for index in segment_indices(dir)? {
         let bytes = fs::read(segment_path(dir, index))?;
         for line in bytes.split(|&b| b == b'\n') {
@@ -291,7 +297,15 @@ pub fn replay(dir: &Path) -> io::Result<WalReplay> {
             match unframe(line) {
                 Some(WalRecord::Alert(alert)) => current.push(alert),
                 Some(WalRecord::Boundary { window }) => {
-                    windows.push((window, std::mem::take(&mut current)));
+                    let alerts = std::mem::take(&mut current);
+                    if let Some((_, existing)) = windows.iter_mut().find(|(w, _)| *w == window) {
+                        // A window seq sealed twice: keep one window,
+                        // keep every alert, count the anomaly.
+                        duplicate_boundaries += 1;
+                        existing.extend(alerts);
+                    } else {
+                        windows.push((window, alerts));
+                    }
                 }
                 None => {
                     torn_records += 1;
@@ -306,6 +320,7 @@ pub fn replay(dir: &Path) -> io::Result<WalReplay> {
         windows,
         tail: current,
         torn_records,
+        duplicate_boundaries,
         recovered_alerts,
     })
 }

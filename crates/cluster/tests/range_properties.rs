@@ -1,0 +1,196 @@
+//! Property tests for [`RangeMap`] routing edge cases: empty node
+//! ranges (more nodes than strategies), single-strategy ranges, ids
+//! sitting exactly on the `partition_point` seams between spans, and
+//! ids above the top catalog id. Routing must stay total, stable, and
+//! gapless through all of them — an unroutable or double-owned
+//! strategy id would silently break the cluster's merge-is-exact
+//! argument.
+
+use alertops_cluster::{node_catalog, RangeMap, StrategyRange};
+use alertops_model::{AlertStrategy, LogRule, SimDuration, StrategyId, StrategyKind};
+use proptest::prelude::*;
+
+fn strategy(id: u64) -> AlertStrategy {
+    AlertStrategy::builder(StrategyId(id))
+        .title_template("Instance x is abnormal")
+        .kind(StrategyKind::Log(LogRule {
+            keyword: "E".into(),
+            min_count: 1,
+            window: SimDuration::from_mins(5),
+        }))
+        .build()
+        .expect("test strategy is well-formed")
+}
+
+fn catalog_of(ids: &[u64]) -> Vec<AlertStrategy> {
+    ids.iter().copied().map(strategy).collect()
+}
+
+/// Spans must tile `[0, u64::MAX]` with no gap, no overlap, ascending.
+fn assert_tiles_the_id_space(map: &RangeMap) {
+    let spans = map.spans();
+    assert!(!spans.is_empty());
+    assert_eq!(spans[0].0.start, 0, "first span must start at 0");
+    for pair in spans.windows(2) {
+        assert_eq!(
+            pair[0].0.end.saturating_add(1),
+            pair[1].0.start,
+            "spans must be gapless and non-overlapping: {pair:?}"
+        );
+    }
+    assert_eq!(
+        spans.last().expect("non-empty").0.end,
+        u64::MAX,
+        "last span must reach the top of the id space"
+    );
+}
+
+/// Scaled-down case counts by default; `ALERTOPS_TEST_FULL=1` restores
+/// the deep run.
+fn cases(full: u32) -> u32 {
+    if std::env::var("ALERTOPS_TEST_FULL").as_deref() == Ok("1") {
+        full
+    } else {
+        full / 4
+    }
+}
+
+#[test]
+fn empty_node_ranges_still_route_every_id() {
+    // More nodes than distinct strategies: some nodes own nothing.
+    for (ids, nodes) in [
+        (vec![5u64], 4usize),
+        (vec![0, 1], 5),
+        (vec![100, 200, 300], 8),
+    ] {
+        let catalog = catalog_of(&ids);
+        let map = RangeMap::partition(&catalog, nodes);
+        assert_tiles_the_id_space(&map);
+        // Every catalog id routes, and each routed node actually holds
+        // that strategy in its node catalog.
+        for id in &ids {
+            let node = map.node_of(StrategyId(*id));
+            assert!(node < nodes);
+            assert!(
+                node_catalog(&catalog, &map, node)
+                    .iter()
+                    .any(|s| s.id().0 == *id),
+                "id {id} routed to node {node} but is not in its catalog"
+            );
+        }
+        // Nodes with no span own no strategies and stay out of routing.
+        let owning: Vec<usize> = map.spans().iter().map(|(_, n)| *n).collect();
+        for node in 0..nodes {
+            if !owning.contains(&node) {
+                assert!(node_catalog(&catalog, &map, node).is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn single_strategy_ranges_route_exactly_their_id() {
+    let catalog = catalog_of(&[10, 20, 30, 40]);
+    let mut map = RangeMap::partition(&catalog, 2);
+    // Carve a single-id range out of the middle and hand it over.
+    let sliver = StrategyRange::new(20, 20);
+    map.reassign(sliver, 1);
+    assert_tiles_the_id_space(&map);
+    assert_eq!(map.node_of(StrategyId(20)), 1);
+    // Its immediate neighbours keep their pre-reassign owner.
+    let map_before = RangeMap::partition(&catalog, 2);
+    for id in [19u64, 21] {
+        assert_eq!(
+            map.node_of(StrategyId(id)),
+            map_before.node_of(StrategyId(id)),
+            "id {id} must not move with the sliver"
+        );
+    }
+}
+
+#[test]
+fn ids_above_the_top_range_route_to_the_last_owner() {
+    let catalog = catalog_of(&[1, 2, 3]);
+    let map = RangeMap::partition(&catalog, 2);
+    let top_owner = map.spans().last().expect("non-empty").1;
+    assert_eq!(map.node_of(StrategyId(u64::MAX)), top_owner);
+    assert_eq!(map.node_of(StrategyId(u64::MAX - 1)), top_owner);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    /// Totality + seam exactness over random catalogs and node counts:
+    /// every span boundary id (start, end, and the ids one off either
+    /// side) routes to the span that claims it.
+    #[test]
+    fn partition_point_seams_are_exact(
+        ids in proptest::collection::vec(0u64..5_000, 1..80),
+        nodes in 1usize..9,
+    ) {
+        let mut ids = ids;
+        ids.sort_unstable();
+        ids.dedup();
+        let catalog = catalog_of(&ids);
+        let map = RangeMap::partition(&catalog, nodes);
+        assert_tiles_the_id_space(&map);
+        for &(range, node) in map.spans() {
+            // Exactly on the seam, both ends.
+            prop_assert_eq!(map.node_of(StrategyId(range.start)), node);
+            prop_assert_eq!(map.node_of(StrategyId(range.end)), node);
+            // One inside each end (may coincide with the seams for a
+            // single-id range; still must stay in-span).
+            let mid = range.start + (range.end - range.start) / 2;
+            prop_assert_eq!(map.node_of(StrategyId(mid)), node);
+        }
+    }
+
+    /// `node_of` is a partition: each catalog strategy lands on exactly
+    /// one node, and the union of node catalogs is the catalog.
+    #[test]
+    fn node_catalogs_partition_the_catalog(
+        ids in proptest::collection::vec(0u64..100_000, 1..120),
+        nodes in 1usize..7,
+    ) {
+        let mut ids = ids;
+        ids.sort_unstable();
+        ids.dedup();
+        let catalog = catalog_of(&ids);
+        let map = RangeMap::partition(&catalog, nodes);
+        let mut seen = 0usize;
+        for node in 0..nodes {
+            let owned = node_catalog(&catalog, &map, node);
+            for s in &owned {
+                prop_assert_eq!(map.node_of(s.id()), node);
+            }
+            seen += owned.len();
+        }
+        prop_assert_eq!(seen, catalog.len(), "strategies double-owned or lost");
+    }
+
+    /// Reassigning a random range preserves tiling and moves exactly
+    /// the ids inside the range.
+    #[test]
+    fn reassign_preserves_tiling_at_every_seam(
+        ids in proptest::collection::vec(0u64..2_000, 2..60),
+        nodes in 2usize..6,
+        lo in 0u64..2_000,
+        span in 0u64..500,
+        to_pick in 0usize..6,
+    ) {
+        let mut ids = ids;
+        ids.sort_unstable();
+        ids.dedup();
+        let catalog = catalog_of(&ids);
+        let mut map = RangeMap::partition(&catalog, nodes);
+        let before: Vec<usize> = ids.iter().map(|&i| map.node_of(StrategyId(i))).collect();
+        let to = to_pick % nodes;
+        let range = StrategyRange::new(lo, lo.saturating_add(span));
+        map.reassign(range, to);
+        assert_tiles_the_id_space(&map);
+        for (i, &id) in ids.iter().enumerate() {
+            let expect = if range.contains(StrategyId(id)) { to } else { before[i] };
+            prop_assert_eq!(map.node_of(StrategyId(id)), expect, "id {}", id);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Negative-path WAL replay: corruption that is *not* the clean torn
+//! tail the happy-path suite already covers. Replay must quarantine and
+//! count each anomaly deterministically — never panic, never parse
+//! garbage, never silently drop a countable record:
+//!
+//! * a CRC mismatch in the middle of a sealed segment (bit rot, not a
+//!   crash) discards the rest of that segment only;
+//! * a zero-length frame (valid header, empty payload) is counted as
+//!   torn, not parsed as an empty record;
+//! * a duplicate window sequence number is counted and merged, not
+//!   replayed as two windows.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+
+use alertops_cluster::{crc32, replay, Wal, WalRecord};
+use alertops_model::{Alert, AlertId, SimTime, StrategyId};
+
+fn alert(id: u64) -> Alert {
+    Alert::builder(AlertId(id), StrategyId(id % 5))
+        .raised_at(SimTime::from_secs(id * 60))
+        .build()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "alertops-wal-negative-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Frames a record exactly as the WAL writer does (the wire format is
+/// public contract: `<len:08x> <crc32:08x> <json>`).
+fn frame(record: &WalRecord) -> String {
+    let json = serde_json::to_string(record).expect("record serializes");
+    format!("{:08x} {:08x} {json}", json.len(), crc32(json.as_bytes()))
+}
+
+/// Writes a raw segment file from pre-framed lines.
+fn write_segment(dir: &PathBuf, index: u64, lines: &[String]) {
+    fs::create_dir_all(dir).expect("create wal dir");
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(dir.join(format!("seg-{index:010}.wal")))
+        .expect("create segment");
+    for line in lines {
+        writeln!(file, "{line}").expect("write record");
+    }
+}
+
+/// Bit rot in the middle of a *sealed* segment: the corrupt record and
+/// everything after it in that segment (including its boundary) are
+/// discarded and counted; the segments before and after replay intact.
+#[test]
+fn crc_mismatch_mid_segment_quarantines_only_that_segment() {
+    let dir = temp_dir("crc-mid");
+    let wal = Wal::open(&dir, 8).expect("wal opens");
+    for id in 0..3 {
+        wal.append(&alert(id)).expect("append");
+    }
+    wal.boundary(0).expect("boundary");
+    for id in 3..5 {
+        wal.append(&alert(id)).expect("append");
+    }
+    wal.boundary(1).expect("boundary");
+    wal.append(&alert(5)).expect("append");
+    drop(wal);
+
+    // Flip one payload byte of the SECOND record of segment 0 — a
+    // mid-segment corruption, not a torn tail.
+    let seg0 = dir.join(format!("seg-{:010}.wal", 0));
+    let bytes = fs::read(&seg0).expect("read segment");
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let second_start = lines[0].len() + 1;
+    let mut corrupted = bytes.clone();
+    let target = second_start + lines[1].len() - 1; // last payload byte
+    corrupted[target] ^= 0x01;
+    fs::write(&seg0, corrupted).expect("write corrupted segment");
+
+    let replayed = replay(&dir).expect("replay never errors on corruption");
+    assert_eq!(replayed.torn_records, 1, "exactly the flipped record");
+    // Window 0's boundary died with its segment; the surviving leading
+    // record flows into the next sealed window. Nothing readable is
+    // lost, nothing corrupt is parsed.
+    assert_eq!(replayed.windows.len(), 1);
+    assert_eq!(replayed.windows[0].0, 1);
+    assert_eq!(
+        replayed.windows[0].1,
+        vec![alert(0), alert(3), alert(4)],
+        "segment-0 survivor plus the intact window-1 records"
+    );
+    assert_eq!(replayed.tail, vec![alert(5)], "open segment is untouched");
+    assert_eq!(replayed.duplicate_boundaries, 0);
+    assert_eq!(replayed.recovered_alerts, 4);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A zero-length frame has a self-consistent header (`len 0`, the CRC
+/// of the empty string) but no payload to parse. It must be counted as
+/// torn — an empty JSON document is not a record — and end trust in its
+/// segment deterministically.
+#[test]
+fn zero_length_frame_is_torn_not_parsed() {
+    let dir = temp_dir("zero-len");
+    write_segment(
+        &dir,
+        0,
+        &[
+            frame(&WalRecord::Alert(alert(1))),
+            format!("{:08x} {:08x} ", 0, crc32(b"")), // zero-length frame
+            frame(&WalRecord::Alert(alert(2))),       // untrusted from here on
+        ],
+    );
+    write_segment(
+        &dir,
+        1,
+        &[
+            frame(&WalRecord::Alert(alert(3))),
+            frame(&WalRecord::Boundary { window: 0 }),
+        ],
+    );
+
+    let replayed = replay(&dir).expect("replay never errors");
+    assert_eq!(replayed.torn_records, 1, "the zero-length frame");
+    assert_eq!(replayed.windows.len(), 1);
+    assert_eq!(
+        replayed.windows[0].1,
+        vec![alert(1), alert(3)],
+        "pre-corruption record survives; post-corruption record does not"
+    );
+    assert!(replayed.tail.is_empty());
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A header too short to frame anything (fewer than 18 bytes) is the
+/// same class: torn, counted, no panic.
+#[test]
+fn truncated_header_is_torn_not_parsed() {
+    let dir = temp_dir("short-header");
+    write_segment(
+        &dir,
+        0,
+        &[frame(&WalRecord::Alert(alert(9))), "00000000".to_owned()],
+    );
+    let replayed = replay(&dir).expect("replay never errors");
+    assert_eq!(replayed.torn_records, 1);
+    assert_eq!(replayed.tail, vec![alert(9)]);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The same window sequence sealed twice (a re-append bug or a
+/// replay-then-crash restart): replay keeps one window, merges the
+/// alerts in log order, and counts the anomaly — it must never present
+/// the same window seq twice to the governor.
+#[test]
+fn duplicate_window_seq_is_counted_and_merged() {
+    let dir = temp_dir("dup-seq");
+    write_segment(
+        &dir,
+        0,
+        &[
+            frame(&WalRecord::Alert(alert(1))),
+            frame(&WalRecord::Boundary { window: 7 }),
+        ],
+    );
+    write_segment(
+        &dir,
+        1,
+        &[
+            frame(&WalRecord::Alert(alert(2))),
+            frame(&WalRecord::Boundary { window: 7 }), // duplicate seq
+        ],
+    );
+    write_segment(&dir, 2, &[frame(&WalRecord::Alert(alert(3)))]);
+
+    let replayed = replay(&dir).expect("replay never errors");
+    assert_eq!(replayed.duplicate_boundaries, 1);
+    assert_eq!(replayed.torn_records, 0);
+    assert_eq!(
+        replayed.windows,
+        vec![(7, vec![alert(1), alert(2)])],
+        "one window, every alert, log order"
+    );
+    assert_eq!(replayed.tail, vec![alert(3)]);
+    assert_eq!(replayed.recovered_alerts, 3);
+
+    // Deterministic: a second replay of the same log is identical.
+    assert_eq!(replay(&dir).expect("replay"), replayed);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}

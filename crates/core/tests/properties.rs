@@ -50,8 +50,18 @@ fn arb_strategy() -> impl Strategy<Value = AlertStrategy> {
         })
 }
 
+/// Deep sweep under `ALERTOPS_TEST_FULL=1`; a faster default keeps the
+/// tier-1 wall clock flat.
+fn cases(full: u32, quick: u32) -> u32 {
+    if std::env::var("ALERTOPS_TEST_FULL").as_deref() == Ok("1") {
+        full
+    } else {
+        quick
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(cases(128, 32)))]
 
     #[test]
     fn linter_is_deterministic_and_well_formed(strategy in arb_strategy()) {

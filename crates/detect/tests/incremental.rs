@@ -113,8 +113,18 @@ fn fresh(windows: &[Vec<Alert>], graph: &DependencyGraph) -> IncrementalState {
     engine
 }
 
+/// Deep sweep under `ALERTOPS_TEST_FULL=1`; a faster default keeps the
+/// tier-1 wall clock flat.
+fn cases(full: u32, quick: u32) -> u32 {
+    if std::env::var("ALERTOPS_TEST_FULL").as_deref() == Ok("1") {
+        full
+    } else {
+        quick
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(cases(48, 24)))]
 
     /// observe(all) + evict(k) == observe(survivors), for every k —
     /// state, storm histogram, and reported findings alike.

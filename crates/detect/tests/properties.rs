@@ -58,8 +58,18 @@ fn arb_alerts(max: usize) -> impl Strategy<Value = Vec<Alert>> {
     })
 }
 
+/// Deep sweep under `ALERTOPS_TEST_FULL=1`; a faster default keeps the
+/// tier-1 wall clock flat.
+fn cases(full: u32, quick: u32) -> u32 {
+    if std::env::var("ALERTOPS_TEST_FULL").as_deref() == Ok("1") {
+        full
+    } else {
+        quick
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases(64, 24)))]
 
     #[test]
     fn storms_are_disjoint_ordered_and_over_threshold(

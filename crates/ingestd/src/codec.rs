@@ -215,6 +215,18 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
     if line.is_empty() {
         return Err(FrameError::Empty);
     }
+    // Hot path: alert frames vastly outnumber controls, and a line
+    // without the byte sequence `"ctrl"` cannot be a control frame (an
+    // embedded quote inside a JSON string would be escaped as `\"`),
+    // so it parses straight to an `Alert` — one parse instead of the
+    // generic-`Value`-then-`Alert` double parse. Any failure falls
+    // through to the classifying slow path, which reproduces the exact
+    // quarantine reasons (`invalid_json` vs `invalid_alert`).
+    if !line.contains("\"ctrl\"") {
+        if let Ok(alert) = serde_json::from_str::<Alert>(line) {
+            return Ok(Frame::Alert(Box::new(alert)));
+        }
+    }
     let value: serde_json::Value = serde_json::from_str(line)
         .map_err(|e| FrameError::malformed(QuarantineReason::InvalidJson, e.to_string()))?;
     if value.get("ctrl").is_some() {
@@ -250,6 +262,16 @@ impl FrameDecoder {
     /// here, so [`FrameError::Empty`] is never returned.
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<Result<Frame, FrameError>> {
         let mut out = Vec::new();
+        self.feed_into(bytes, &mut out);
+        out
+    }
+
+    /// [`feed`](Self::feed) into a caller-owned scratch vector, so a
+    /// read loop reuses one allocation for its whole connection
+    /// instead of allocating a fresh `Vec` per socket read. `out` is
+    /// cleared first.
+    pub fn feed_into(&mut self, bytes: &[u8], out: &mut Vec<Result<Frame, FrameError>>) {
+        out.clear();
         let mut rest = bytes;
         while !rest.is_empty() {
             match rest.iter().position(|&b| b == b'\n') {
@@ -261,7 +283,7 @@ impl FrameDecoder {
                         // was already quarantined; its newline ends it.
                         self.skipping = false;
                     } else {
-                        self.extend_checked(line_end, &mut out);
+                        self.extend_checked(line_end, out);
                         if self.skipping {
                             self.skipping = false;
                         } else if let Some(item) = decode_line(&self.buf) {
@@ -272,13 +294,12 @@ impl FrameDecoder {
                 }
                 None => {
                     if !self.skipping {
-                        self.extend_checked(rest, &mut out);
+                        self.extend_checked(rest, out);
                     }
                     rest = &[];
                 }
             }
         }
-        out
     }
 
     /// Flushes the trailing unterminated line at end of stream, if
@@ -431,6 +452,43 @@ mod tests {
             reason_of(parse_frame(r#"{"ctrl":"panic"}"#)),
             QuarantineReason::UnknownControl
         );
+    }
+
+    #[test]
+    fn ctrl_text_in_titles_does_not_divert_the_fast_path() {
+        // Titles may contain the word ctrl (even quoted in the source
+        // string — JSON escapes the quotes on the wire); the
+        // single-parse fast path and the classifying slow path must
+        // agree these are alerts.
+        for title in ["ctrl", "the \"ctrl\" key", "ctrl-c ctrl-v"] {
+            let alert = Alert::builder(AlertId(1), StrategyId(2))
+                .title(title)
+                .raised_at(SimTime::from_secs(5))
+                .build();
+            match parse_frame(&encode_alert(&alert)).unwrap() {
+                Frame::Alert(back) => assert_eq!(*back, alert),
+                other => panic!("expected alert frame, got {other:?}"),
+            }
+        }
+        // A non-string ctrl value skips the fast path and still
+        // classifies as an unknown control, exactly as before.
+        assert_eq!(
+            reason_of(parse_frame(r#"{"ctrl":123}"#)),
+            QuarantineReason::UnknownControl
+        );
+    }
+
+    #[test]
+    fn feed_into_reuses_scratch_and_matches_feed() {
+        let alert = sample_alert();
+        let wire = format!("{}\nnot json\n{}\n", encode_alert(&alert), FLUSH_FRAME);
+        let mut baseline = FrameDecoder::new();
+        let expect = baseline.feed(wire.as_bytes());
+
+        let mut decoder = FrameDecoder::new();
+        let mut scratch = vec![Ok(Frame::Sync)]; // stale content must be cleared
+        decoder.feed_into(wire.as_bytes(), &mut scratch);
+        assert_eq!(scratch, expect);
     }
 
     #[test]

@@ -579,12 +579,16 @@ fn serve_ingress(stream: &TcpStream, router: &Arc<Router>) {
     let mut writer = stream;
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 8192];
+    // One scratch vec per connection, reused for every read: the decode
+    // loop allocates nothing in steady state.
+    let mut frames = Vec::new();
     loop {
         let n = match read_half.read(&mut buf) {
             Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
-        for item in decoder.feed(&buf[..n]) {
+        decoder.feed_into(&buf[..n], &mut frames);
+        for item in frames.drain(..) {
             if !handle_frame(item, router, &mut writer) {
                 return;
             }

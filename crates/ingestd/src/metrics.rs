@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use alertops_core::EmergingMetrics;
-use alertops_obs::{render_sample, Counter, Histogram, MetricsRegistry};
+use alertops_obs::{render_sample, Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::codec::QuarantineReason;
 use crate::counters::{CounterSnapshot, Counters};
@@ -48,6 +48,9 @@ pub struct IngestdMetrics {
     pub(crate) emerging: EmergingMetrics,
     /// Per-shard window close (sort + detection + checkpoint).
     shard_close_micros: Vec<Arc<Histogram>>,
+    /// Process resident set size, sampled at each window close (0 on
+    /// platforms without a procfs).
+    rss_bytes: Arc<Gauge>,
 }
 
 impl IngestdMetrics {
@@ -91,6 +94,7 @@ impl IngestdMetrics {
                 )
             })
             .collect();
+        let rss_bytes = alertops_obs::process::rss_gauge(&registry);
         Self {
             registry,
             frames_decoded,
@@ -100,7 +104,15 @@ impl IngestdMetrics {
             merge_micros,
             emerging,
             shard_close_micros,
+            rss_bytes,
         }
+    }
+
+    /// Samples the process RSS into the
+    /// [`alertops_obs::process::RSS_GAUGE_NAME`] gauge; a no-op where
+    /// the platform has no procfs.
+    pub(crate) fn sample_rss(&self) {
+        alertops_obs::process::sample_rss(&self.rss_bytes);
     }
 
     /// The registry behind these handles — per-shard governors register

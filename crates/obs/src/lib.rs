@@ -50,6 +50,7 @@
 mod encode;
 mod histogram;
 mod metrics;
+pub mod process;
 mod registry;
 mod span;
 

@@ -4,8 +4,18 @@ use proptest::prelude::*;
 
 use alertops_qoa::{auc, BinaryMetrics, LogisticRegression, TrainConfig};
 
+/// Deep sweep under `ALERTOPS_TEST_FULL=1`; a faster default keeps the
+/// tier-1 wall clock flat.
+fn cases(full: u32, quick: u32) -> u32 {
+    if std::env::var("ALERTOPS_TEST_FULL").as_deref() == Ok("1") {
+        full
+    } else {
+        quick
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases(64, 24)))]
 
     #[test]
     fn logistic_outputs_are_probabilities(

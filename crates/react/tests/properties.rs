@@ -51,8 +51,18 @@ fn arb_rules() -> impl Strategy<Value = Vec<BlockRule>> {
     )
 }
 
+/// Deep sweep under `ALERTOPS_TEST_FULL=1`; a faster default keeps the
+/// tier-1 wall clock flat.
+fn cases(full: u32, quick: u32) -> u32 {
+    if std::env::var("ALERTOPS_TEST_FULL").as_deref() == Ok("1") {
+        full
+    } else {
+        quick
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases(64, 24)))]
 
     #[test]
     fn blocking_partitions_the_input(alerts in arb_alerts(150), rules in arb_rules()) {

@@ -50,6 +50,7 @@ pub mod scenarios;
 pub mod strategies;
 pub mod telemetry;
 pub mod topology;
+pub mod workload;
 
 mod rng;
 
@@ -59,3 +60,4 @@ pub use ocesim::{OceTeam, ProcessingModel};
 pub use scenarios::{Scenario, SimOutput};
 pub use strategies::{InjectedProfile, StrategyCatalog, StrategyCatalogConfig};
 pub use topology::{Microservice, Service, Topology, TopologyConfig};
+pub use workload::{LoadShape, StatisticalStream};

@@ -18,9 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use alertops_model::{
-    Alert, AlertId, Clearance, Incident, Location, MicroserviceId, SimDuration, SimTime, TimeRange,
-};
+use alertops_model::{Alert, Incident, MicroserviceId, SimDuration, SimTime, TimeRange};
 
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::monitor::{MonitorConfig, MonitoringSystem};
@@ -29,6 +27,7 @@ use crate::rng;
 use crate::strategies::{StrategyCatalog, StrategyCatalogConfig};
 use crate::telemetry::Telemetry;
 use crate::topology::{Topology, TopologyConfig};
+use crate::workload::{self, LoadShape};
 
 /// Which engine generates the alert stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,6 +60,10 @@ pub struct Scenario {
     pub background_faults_per_day: f64,
     /// Statistical engine: storm injections every N hours (0 = none).
     pub storm_every_hours: u64,
+    /// Statistical engine: production-traffic shaping (diurnal curve,
+    /// deploy waves, gray cascades, multi-tenant labels). The default
+    /// is neutral — see [`LoadShape`].
+    pub load: LoadShape,
     /// Signal engine: add one dominant WARNING-level repeater (the
     /// Fig. 3 "haproxy process number warning"): `(cooldown, fault
     /// magnitude)`. The strategy fires at most once per cooldown; a
@@ -217,7 +220,9 @@ impl Scenario {
                 )
                 .run()
             }
-            Engine::Statistical => statistical_alerts(self, &topology, &catalog, &mut faults),
+            Engine::Statistical => {
+                workload::statistical_alerts(self, &topology, &catalog, &mut faults)
+            }
         };
 
         let team = OceTeam::survey_team();
@@ -237,218 +242,6 @@ impl Scenario {
             team,
         }
     }
-}
-
-/// Statistical engine: samples per-strategy hourly Poisson counts with
-/// profile-dependent rates, plus periodic region-localized storms.
-fn statistical_alerts(
-    scenario: &Scenario,
-    topology: &Topology,
-    catalog: &StrategyCatalog,
-    faults: &mut FaultPlan,
-) -> Vec<Alert> {
-    let seed = scenario.seed ^ 0x57A7;
-    let start_hour = scenario.range.start().hour_bucket();
-    let end_hour = scenario.range.end().hour_bucket();
-    let n_regions = topology.regions().len().max(1);
-
-    // Storm schedule: (hour, region index, service of the storm's root
-    // fault — its strategies participate heavily, mirroring a cascade
-    // inside one service stack).
-    let mut storm_hours: Vec<(u64, usize, alertops_model::ServiceId)> = Vec::new();
-    if scenario.storm_every_hours > 0 {
-        let mut h = start_hour + scenario.storm_every_hours / 2;
-        while h < end_hour {
-            let region_ix = (rng::hash3(seed, 91, h, 0) % n_regions as u64) as usize;
-            // Storms last 1–3 hours (consecutive hours merge, per §III-A2).
-            let span = 1 + rng::hash3(seed, 92, h, 0) % 3;
-            // A storm is backed by a real sustained fault so incidents
-            // derive; pick an exposed microservice in that region, varying
-            // the pick across storms.
-            let candidates: Vec<&crate::topology::Microservice> = topology
-                .microservices()
-                .iter()
-                .filter(|m| !m.fault_tolerant && m.region == topology.regions()[region_ix])
-                .collect();
-            let root = candidates
-                .get((rng::hash3(seed, 90, h, 1) % candidates.len().max(1) as u64) as usize)
-                .copied();
-            let root_service = root.map_or(alertops_model::ServiceId(0), |m| m.service);
-            for s in 0..span {
-                if h + s < end_hour {
-                    storm_hours.push((h + s, region_ix, root_service));
-                }
-            }
-            if let Some(ms) = root {
-                faults.push(FaultEvent {
-                    microservice: ms.id,
-                    kind: FaultKind::CascadeSource,
-                    start: SimTime::from_hours(h),
-                    duration: SimDuration::from_hours(span),
-                    magnitude: 0.9,
-                    cascade_origin: None,
-                });
-            }
-            h += scenario.storm_every_hours
-                + rng::hash3(seed, 93, h, 0) % (scenario.storm_every_hours / 2 + 1);
-        }
-    }
-
-    let mut alerts: Vec<Alert> = Vec::new();
-    for hour in start_hour..end_hour {
-        let storm: Option<(usize, alertops_model::ServiceId)> = storm_hours
-            .iter()
-            .find(|&&(h, _, _)| h == hour)
-            .map(|&(_, r, svc)| (r, svc));
-        for strategy in catalog.strategies() {
-            let profile = catalog.profile(strategy.id());
-            let ms = topology
-                .microservice(strategy.microservice())
-                .expect("strategy references a known microservice");
-            let region_ix = topology
-                .regions()
-                .iter()
-                .position(|r| *r == ms.region)
-                .unwrap_or(0);
-
-            let is_probe = matches!(strategy.kind(), alertops_model::StrategyKind::Probe(_));
-            // Base hourly rate by injected profile. Probes only fire on
-            // real unresponsiveness, so their background is far quieter.
-            let mut rate: f64 = if profile.chatty {
-                1.5
-            } else if profile.oversensitive {
-                0.5
-            } else if profile.improper_rule {
-                0.12
-            } else if is_probe {
-                0.008
-            } else {
-                0.04
-            };
-            // Storm amplification in the storm's region: the failing
-            // service's own strategies participate heavily (the cascade
-            // inside its stack), plus a thin random tail of dependents.
-            // Probe alerts amplify less — hosts go down far more rarely
-            // than metrics spike.
-            if let Some((storm_region_ix, storm_service)) = storm {
-                if storm_region_ix == region_ix {
-                    let in_blast = strategy.service() == storm_service
-                        || rng::hash3(seed, 94, strategy.id().0, hour / 24).is_multiple_of(25);
-                    if in_blast {
-                        rate = if is_probe {
-                            rate.max(0.2) * 4.0
-                        } else {
-                            rate.max(0.8) * 12.0
-                        };
-                    } else {
-                        rate *= 2.0;
-                    }
-                }
-            }
-            let count = rng::poisson(seed, 95, strategy.id().0, hour, rate);
-            for k in 0..count {
-                let offset =
-                    rng::hash3(seed, 96, strategy.id().0 * 131 + u64::from(k), hour) % 3_600;
-                let raised_at = SimTime::from_secs(hour * 3_600 + offset);
-                let mut alert = make_statistical_alert(
-                    seed,
-                    topology,
-                    strategy,
-                    ms,
-                    raised_at,
-                    alerts.len() as u64,
-                );
-                // Lifecycle: over-sensitive metric alerts always auto-clear
-                // fast (transient); other probe/metric alerts auto-clear
-                // only when the anomaly subsides on its own (~55%) —
-                // the rest wait for the OCE, like real sustained
-                // degradations. Log alerts always wait for the OCE.
-                if strategy.kind().supports_auto_clear() {
-                    if profile.oversensitive {
-                        let secs = 20 + rng::hash3(seed, 97, alerts.len() as u64, 0) % 220;
-                        alert
-                            .clear(
-                                raised_at.saturating_add(SimDuration::from_secs(secs)),
-                                Clearance::Auto,
-                            )
-                            .expect("fresh alert is clearable");
-                    } else if rng::uniform(seed, 103, alerts.len() as u64, 0) < 0.55 {
-                        let secs = 600 + rng::hash3(seed, 97, alerts.len() as u64, 0) % 5_400;
-                        alert
-                            .clear(
-                                raised_at.saturating_add(SimDuration::from_secs(secs)),
-                                Clearance::Auto,
-                            )
-                            .expect("fresh alert is clearable");
-                    }
-                }
-                alerts.push(alert);
-
-                // Over-sensitive strategies toggle: append a quick
-                // fire/clear burst after the initial alert.
-                if profile.oversensitive
-                    && rng::uniform(seed, 98, strategy.id().0, hour ^ u64::from(k)) < 0.35
-                {
-                    let burst = 2 + rng::hash3(seed, 99, strategy.id().0, hour) % 4;
-                    let mut t = raised_at;
-                    for b in 0..burst {
-                        t = t.saturating_add(SimDuration::from_secs(
-                            120 + rng::hash3(seed, 100, b, t.as_secs()) % 180,
-                        ));
-                        if !scenario.range.contains(t) {
-                            break;
-                        }
-                        let mut toggled = make_statistical_alert(
-                            seed,
-                            topology,
-                            strategy,
-                            ms,
-                            t,
-                            alerts.len() as u64,
-                        );
-                        toggled
-                            .clear(
-                                t.saturating_add(SimDuration::from_secs(
-                                    20 + rng::hash3(seed, 101, b, t.as_secs()) % 120,
-                                )),
-                                Clearance::Auto,
-                            )
-                            .expect("fresh alert is clearable");
-                        alerts.push(toggled);
-                    }
-                }
-            }
-        }
-    }
-
-    alerts.sort_by_key(|a| (a.raised_at(), a.strategy()));
-    alerts
-        .into_iter()
-        .enumerate()
-        .map(|(i, a)| a.with_id(AlertId(i as u64)))
-        .collect()
-}
-
-fn make_statistical_alert(
-    seed: u64,
-    topology: &Topology,
-    strategy: &alertops_model::AlertStrategy,
-    ms: &crate::topology::Microservice,
-    raised_at: SimTime,
-    entropy: u64,
-) -> Alert {
-    let instance = format!(
-        "vm-{}",
-        rng::hash3(seed, 102, entropy, raised_at.as_secs()) % 64
-    );
-    Alert::builder(AlertId(0), strategy.id())
-        .title(strategy.title_template())
-        .severity(strategy.severity())
-        .service(topology.service_name_of(ms.id))
-        .microservice(ms.id)
-        .location(Location::new(ms.region.clone(), ms.dc.clone()).with_instance(instance))
-        .raised_at(raised_at)
-        .build()
 }
 
 /// A small 6-hour world for first contact with the API: 24 microservices,
@@ -474,6 +267,7 @@ pub fn quickstart(seed: u64) -> Scenario {
         cascades: vec![(SimTime::from_hours(3), SimDuration::from_mins(40), 0.9)],
         background_faults_per_day: 20.0,
         storm_every_hours: 0,
+        load: LoadShape::default(),
         dominant_repeater: None,
         seed,
     }
@@ -508,6 +302,7 @@ pub fn cascade_table2(seed: u64) -> Scenario {
         )],
         background_faults_per_day: 2.0,
         storm_every_hours: 0,
+        load: LoadShape::default(),
         dominant_repeater: None,
         seed,
     }
@@ -557,6 +352,7 @@ pub fn storm_fig3(seed: u64) -> Scenario {
         ],
         background_faults_per_day: 60.0,
         storm_every_hours: 0,
+        load: LoadShape::default(),
         dominant_repeater: Some((SimDuration::from_secs(40), 0.5)),
         seed,
     }
@@ -585,6 +381,7 @@ pub fn study(seed: u64) -> Scenario {
         cascades: Vec::new(),
         background_faults_per_day: 6.0,
         storm_every_hours: 48,
+        load: LoadShape::default(),
         dominant_repeater: None,
         seed,
     }
@@ -614,6 +411,89 @@ pub fn mini_study(seed: u64) -> Scenario {
         cascades: Vec::new(),
         background_faults_per_day: 6.0,
         storm_every_hours: 24,
+        load: LoadShape::default(),
+        dominant_repeater: None,
+        seed,
+    }
+}
+
+/// Production-scale soak world: a multi-tenant fleet of 32 services /
+/// 1024 microservices monitored by 8000 strategies over three days,
+/// with a diurnal load curve, eight deployments a day, daily gray
+/// cascades, and storms every ~12 hours. Drive it through
+/// [`crate::workload::StatisticalStream`] (hour-at-a-time, bounded
+/// memory) rather than [`Scenario::run`] — materializing the whole
+/// range at once is exactly what the soak harness exists to avoid.
+#[must_use]
+pub fn soak(seed: u64) -> Scenario {
+    Scenario {
+        name: "soak".to_owned(),
+        topology: TopologyConfig {
+            services: 32,
+            microservices: 1024,
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            total_strategies: 8000,
+            seed: seed ^ 1,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::EPOCH, SimTime::from_days(3)),
+        tick: SimDuration::from_secs(60),
+        engine: Engine::Statistical,
+        cascades: Vec::new(),
+        background_faults_per_day: 12.0,
+        storm_every_hours: 12,
+        load: LoadShape {
+            diurnal_amplitude: 0.5,
+            diurnal_peak_hour: 14,
+            deploys_per_day: 8,
+            deploy_wave_boost: 6.0,
+            gray_cascades_per_week: 7,
+            tenants: 6,
+            rate_multiplier: 1.5,
+        },
+        dominant_repeater: None,
+        seed,
+    }
+}
+
+/// The soak world shrunk to smoke-test size (8 services, 96
+/// microservices, 800 strategies, one day) with every [`LoadShape`]
+/// phenomenon still active — same code paths as [`soak`], seconds of
+/// wall clock. This is what the CI `soak-smoke` gate and
+/// `tests/soak_smoke.rs` drive.
+#[must_use]
+pub fn soak_smoke(seed: u64) -> Scenario {
+    Scenario {
+        name: "soak-smoke".to_owned(),
+        topology: TopologyConfig {
+            services: 8,
+            microservices: 96,
+            seed,
+            ..TopologyConfig::default()
+        },
+        catalog: StrategyCatalogConfig {
+            total_strategies: 800,
+            seed: seed ^ 1,
+            ..StrategyCatalogConfig::default()
+        },
+        range: TimeRange::new(SimTime::EPOCH, SimTime::from_days(1)),
+        tick: SimDuration::from_secs(60),
+        engine: Engine::Statistical,
+        cascades: Vec::new(),
+        background_faults_per_day: 12.0,
+        storm_every_hours: 8,
+        load: LoadShape {
+            diurnal_amplitude: 0.5,
+            diurnal_peak_hour: 14,
+            deploys_per_day: 8,
+            deploy_wave_boost: 6.0,
+            gray_cascades_per_week: 7,
+            tenants: 4,
+            rate_multiplier: 2.0,
+        },
         dominant_repeater: None,
         seed,
     }
@@ -622,6 +502,7 @@ pub fn mini_study(seed: u64) -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alertops_model::AlertId;
 
     #[test]
     fn quickstart_runs_and_is_deterministic() {

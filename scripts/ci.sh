@@ -85,4 +85,32 @@ cargo test -q --test cluster
 cargo test -q -p alertops-cluster
 cargo test -q --test determinism merge_monoid
 
+# Soak gate: a short deterministic slice of the million-alert soak —
+# seeded production-shaped traffic (diurnal curve, deploy waves, gray
+# cascades, multi-tenant catalogs) streamed over real TCP into a live
+# 4-shard ingestd while the harness scrapes the metrics socket for
+# latency quantiles, queue depths, and RSS. The bench binary asserts
+# its own gates (sampled-prefix byte-identity vs 1- and 4-shard batch
+# oracles, conservation, zero drops, RSS ceiling, >= 1M alerts/hour)
+# before exiting, and the greps make a silent regression in the
+# emitted JSON impossible to commit. The hours-long production soak is
+# opt-in: ALERTOPS_SOAK_FULL=1 scripts/ci.sh (or run soak_bench
+# directly). Deep property-test sweeps are likewise opt-in via
+# ALERTOPS_TEST_FULL=1.
+echo "==> soak smoke: TCP load harness + BENCH_soak.json regeneration"
+cargo test -q -p alertops-load
+cargo run --release -q -p alertops-bench --bin soak_bench
+if grep -q '"outputs_identical": false' BENCH_soak.json; then
+    echo "BENCH_soak.json reports soak outputs diverging from the batch oracle" >&2
+    exit 1
+fi
+if grep -q '"ceiling_ok": false' BENCH_soak.json; then
+    echo "BENCH_soak.json reports a memory-ceiling breach" >&2
+    exit 1
+fi
+if grep -q '"conservation_ok": false' BENCH_soak.json; then
+    echo "BENCH_soak.json reports a conservation-law violation" >&2
+    exit 1
+fi
+
 echo "CI green."

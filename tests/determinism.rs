@@ -454,3 +454,41 @@ fn metrics_are_observer_only_under_chaos() {
     const SEED: u64 = 0x0DD5_EED5;
     assert_eq!(chaos_run(SEED, true), chaos_run(SEED, false));
 }
+
+/// Static determinism audit: no source file outside `vendor/` may reach
+/// for wall-clock time or an unseeded RNG. Every schedule, workload,
+/// and shuffle in this repo takes an injected seed or clock — the
+/// property that makes every figure and every soak replayable. The
+/// banned tokens are assembled at runtime so this file does not trip
+/// its own tripwire.
+#[test]
+fn no_wall_clocks_or_unseeded_rngs_outside_vendor() {
+    let banned = [
+        format!("{}::now", "SystemTime"),
+        format!("{}_rng()", "thread"),
+        format!("{}_entropy()", "from"),
+    ];
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
+    let mut offenders = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable source tree") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).expect("readable source file");
+                for token in &banned {
+                    if text.contains(token.as_str()) {
+                        offenders.push(format!("{}: {token}", path.display()));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "nondeterminism leaked into the source tree:\n{}",
+        offenders.join("\n")
+    );
+}
