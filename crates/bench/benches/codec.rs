@@ -1,0 +1,131 @@
+//! Criterion benches: the wire codec — what the binary frame format
+//! buys over NDJSON, measured at the two places the representation
+//! travels.
+//!
+//! * `codec` — per-alert encode and decode throughput of the full
+//!   mini-study trace, NDJSON lines (serde text, the compatibility
+//!   oracle) vs `alertops-wire` binary frames (varints, CRC32, interned
+//!   string back-references). Decode feeds one contiguous byte stream
+//!   through the respective streaming decoder, exactly as the ingress
+//!   path does.
+//! * `wal` — append + replay of the same trace through a real on-disk
+//!   WAL in both segment formats (v1 hex-framed JSON lines vs v2 binary
+//!   frames), window boundaries included — the journaling tax the
+//!   cluster's 1-node row pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use alertops_cluster::{replay, Wal, WalFormat};
+use alertops_ingestd::codec::encode_alert;
+use alertops_ingestd::FrameDecoder;
+use alertops_sim::scenarios;
+use alertops_wire::{WireDecoder, WireEncoder};
+
+fn bench_codec(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let alerts = &out.alerts;
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(alerts.len() as u64));
+
+    group.bench_function("encode_ndjson", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for alert in alerts {
+                bytes += encode_alert(alert).len() + 1;
+            }
+            black_box(bytes)
+        });
+    });
+    group.bench_function("encode_binary", |b| {
+        b.iter(|| {
+            // One encoder per stream, as a connection would hold it —
+            // later alerts hit the string table, not the literal path.
+            let mut encoder = WireEncoder::new();
+            let mut buf = Vec::new();
+            for alert in alerts {
+                encoder.encode_alert_into(alert, &mut buf);
+            }
+            black_box(buf.len())
+        });
+    });
+
+    // Pre-encoded streams for the decode side.
+    let mut ndjson = Vec::new();
+    for alert in alerts {
+        ndjson.extend_from_slice(encode_alert(alert).as_bytes());
+        ndjson.push(b'\n');
+    }
+    let mut binary = Vec::new();
+    let mut encoder = WireEncoder::new();
+    for alert in alerts {
+        encoder.encode_alert_into(alert, &mut binary);
+    }
+
+    group.bench_function("decode_ndjson", |b| {
+        b.iter(|| {
+            let mut decoder = FrameDecoder::new();
+            let frames = decoder.feed(&ndjson);
+            assert_eq!(frames.len(), alerts.len());
+            black_box(frames)
+        });
+    });
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| {
+            let mut decoder = WireDecoder::new();
+            let frames = decoder.feed(&binary);
+            assert_eq!(frames.len(), alerts.len());
+            black_box(frames)
+        });
+    });
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let out = scenarios::mini_study(2022).run();
+    let alerts = &out.alerts;
+    let per_window = alerts.len().div_ceil(4).max(1);
+
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(alerts.len() as u64));
+    for format in [WalFormat::V2Binary, WalFormat::V1Json] {
+        let root = std::env::temp_dir().join(format!(
+            "alertops-codec-bench-{}-{}",
+            format.label(),
+            std::process::id()
+        ));
+        group.bench_function(format!("append_{}", format.label()), |b| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&root);
+                let wal = Wal::open_with_format(&root, 8, format).expect("wal opens");
+                let mut window = 0u64;
+                for (i, alert) in alerts.iter().enumerate() {
+                    wal.append(alert).expect("append succeeds");
+                    if (i + 1) % per_window == 0 {
+                        wal.boundary(window).expect("boundary succeeds");
+                        window += 1;
+                    }
+                }
+                black_box(window)
+            });
+        });
+
+        // One final log left by the append bench above, replayed as
+        // recovery would.
+        group.bench_function(format!("replay_{}", format.label()), |b| {
+            b.iter(|| {
+                let replayed = replay(&root).expect("replay succeeds");
+                assert_eq!(replayed.torn_records, 0);
+                black_box(replayed.recovered_alerts)
+            });
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_wal);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use alertops_chaos::silence_panics_containing;
-use alertops_cluster::{AlertCluster, ClusterConfig};
+use alertops_cluster::{AlertCluster, ClusterConfig, WalFormat};
 use alertops_core::{AlertGovernor, GovernorConfig, StreamingConfig, StreamingGovernor};
 use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, CHAOS_PANIC_MSG};
 use alertops_sim::scenarios;
@@ -176,6 +176,7 @@ fn bench_cluster(c: &mut Criterion) {
                 ..IngestdConfig::default()
             },
             wal_root: root.clone(),
+            wal_format: WalFormat::default(),
         };
         let mut cluster = AlertCluster::spawn(
             config,

@@ -17,7 +17,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use alertops_bench::{header, HARNESS_SEED};
-use alertops_cluster::{AlertCluster, ClusterConfig, GovernorFactory};
+use alertops_cluster::{AlertCluster, ClusterConfig, GovernorFactory, WalFormat};
 use alertops_core::{
     AlertGovernor, GovernanceSnapshot, GovernorConfig, StreamingConfig, StreamingGovernor,
 };
@@ -32,6 +32,14 @@ const HANDOFFS: usize = 8;
 #[derive(Serialize)]
 struct NodeRow {
     nodes: usize,
+    alerts_per_sec: f64,
+    micros_per_window: f64,
+    outputs_identical: bool,
+}
+
+#[derive(Serialize)]
+struct WalFormatRow {
+    wal_format: &'static str,
     alerts_per_sec: f64,
     micros_per_window: f64,
     outputs_identical: bool,
@@ -54,6 +62,9 @@ struct Summary {
     window_len: usize,
     shards_per_node: usize,
     results: Vec<NodeRow>,
+    /// 1-node journaling tax by WAL segment format: the binary (v2)
+    /// codec against the pre-v2 JSON framing over the same stream.
+    wal_formats: Vec<WalFormatRow>,
     handoff: HandoffStats,
 }
 
@@ -73,7 +84,12 @@ fn wal_root(tag: &str) -> PathBuf {
     ))
 }
 
-fn spawn(nodes: usize, tag: &str, catalog: &[AlertStrategy]) -> (AlertCluster, PathBuf) {
+fn spawn(
+    nodes: usize,
+    tag: &str,
+    catalog: &[AlertStrategy],
+    wal_format: WalFormat,
+) -> (AlertCluster, PathBuf) {
     let root = wal_root(tag);
     let _ = std::fs::remove_dir_all(&root);
     let config = ClusterConfig {
@@ -84,6 +100,7 @@ fn spawn(nodes: usize, tag: &str, catalog: &[AlertStrategy]) -> (AlertCluster, P
             ..IngestdConfig::default()
         },
         wal_root: root.clone(),
+        wal_format,
     };
     let cluster = AlertCluster::spawn(config, catalog.to_vec(), factory()).expect("cluster spawns");
     (cluster, root)
@@ -101,8 +118,14 @@ fn comparable(snapshot: &GovernanceSnapshot) -> String {
     serde_json::to_string(&stripped).expect("snapshot serializes")
 }
 
-fn run(nodes: usize, tag: &str, catalog: &[AlertStrategy], windows: &[Vec<Alert>]) -> Vec<String> {
-    let (mut cluster, root) = spawn(nodes, tag, catalog);
+fn run(
+    nodes: usize,
+    tag: &str,
+    catalog: &[AlertStrategy],
+    windows: &[Vec<Alert>],
+    wal_format: WalFormat,
+) -> Vec<String> {
+    let (mut cluster, root) = spawn(nodes, tag, catalog, wal_format);
     let mut outputs = Vec::with_capacity(windows.len());
     for window in windows {
         for alert in window {
@@ -116,6 +139,41 @@ fn run(nodes: usize, tag: &str, catalog: &[AlertStrategy], windows: &[Vec<Alert>
     outputs
 }
 
+/// Times one full 1-node run (route → journal → close every window)
+/// and returns the throughput row for `wal_format`.
+fn time_wal_format(
+    catalog: &[AlertStrategy],
+    windows: &[Vec<Alert>],
+    alerts: usize,
+    baseline: &[String],
+    wal_format: WalFormat,
+) -> WalFormatRow {
+    let tag = format!("wal-{}", wal_format.label());
+    let outputs_identical = run(1, &tag, catalog, windows, wal_format) == baseline;
+    assert!(
+        outputs_identical,
+        "{} WAL output diverged from the baseline",
+        wal_format.label()
+    );
+    let (mut cluster, root) = spawn(1, &format!("{tag}-time"), catalog, wal_format);
+    let start = Instant::now();
+    for window in windows {
+        for alert in window {
+            cluster.route(alert.clone()).expect("route succeeds");
+        }
+        std::hint::black_box(cluster.close_window().expect("window closes"));
+    }
+    let elapsed = start.elapsed();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    WalFormatRow {
+        wal_format: wal_format.label(),
+        alerts_per_sec: alerts as f64 / elapsed.as_secs_f64(),
+        micros_per_window: elapsed.as_micros() as f64 / windows.len() as f64,
+        outputs_identical,
+    }
+}
+
 fn main() {
     header("cluster: route → journal → merge → publish at 1/2/4 nodes");
     let out = scenarios::mini_study(HARNESS_SEED).run();
@@ -126,17 +184,27 @@ fn main() {
 
     // Differential first: identical output across node counts, or no
     // benchmark.
-    let baseline = run(1, "oracle-1", &catalog, &windows);
+    let baseline = run(1, "oracle-1", &catalog, &windows, WalFormat::default());
     let mut results = Vec::new();
     for nodes in [1usize, 2, 4] {
-        let outputs_identical =
-            run(nodes, &format!("check-{nodes}"), &catalog, &windows) == baseline;
+        let outputs_identical = run(
+            nodes,
+            &format!("check-{nodes}"),
+            &catalog,
+            &windows,
+            WalFormat::default(),
+        ) == baseline;
         assert!(
             outputs_identical,
             "{nodes}-node output diverged from the 1-node baseline"
         );
 
-        let (mut cluster, root) = spawn(nodes, &format!("time-{nodes}"), &catalog);
+        let (mut cluster, root) = spawn(
+            nodes,
+            &format!("time-{nodes}"),
+            &catalog,
+            WalFormat::default(),
+        );
         let start = Instant::now();
         for window in &windows {
             for alert in window {
@@ -161,10 +229,23 @@ fn main() {
         results.push(row);
     }
 
+    // Journaling tax by WAL format: the same 1-node run with binary
+    // (default) and JSON segments.
+    let mut wal_formats = Vec::new();
+    for wal_format in [WalFormat::V2Binary, WalFormat::V1Json] {
+        let row = time_wal_format(&catalog, &windows, trace.len(), &baseline, wal_format);
+        println!(
+            "  1 node, {:>9} WAL: {:>9.0} alerts/s, {:>7.0}µs per window",
+            row.wal_format, row.alerts_per_sec, row.micros_per_window
+        );
+        wal_formats.push(row);
+    }
+
     // Live handoff latency: a 4-node cluster mid-stream, repeatedly
     // moving the lowest strategy range to the next node — each handoff
-    // seals both ends, ships the range's history as JSON, and respawns.
-    let (mut cluster, root) = spawn(4, "handoff", &catalog);
+    // seals both ends, ships the range's history as one binary frame,
+    // and respawns.
+    let (mut cluster, root) = spawn(4, "handoff", &catalog, WalFormat::default());
     let mut reports = Vec::with_capacity(HANDOFFS);
     for (index, window) in windows.iter().enumerate() {
         for alert in window {
@@ -205,6 +286,7 @@ fn main() {
         window_len: WINDOW_LEN,
         shards_per_node: SHARDS_PER_NODE,
         results,
+        wal_formats,
         handoff,
     };
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");

@@ -1,7 +1,9 @@
 //! Regenerates `BENCH_soak.json`: the sustained soak/load run — a
-//! statistical scenario streamed as NDJSON over real TCP into a live
-//! `alertops-ingestd`, observed from the outside through the status
-//! socket's Prometheus exposition, and gated on:
+//! statistical scenario streamed over real TCP (NDJSON lines or
+//! `alertops-wire` binary frames, per `--wire` /
+//! `ALERTOPS_SOAK_WIRE`) into a live `alertops-ingestd`, observed from
+//! the outside through the status socket's Prometheus exposition, and
+//! gated on:
 //!
 //! * sustained throughput (≥ 1M alerts/hour wall-clock equivalent),
 //! * peak RSS under the asserted ceiling,
@@ -21,17 +23,37 @@
 
 use alertops_bench::{compare, header, HARNESS_SEED};
 use alertops_load::{run_soak, SoakConfig};
+use alertops_wire::WireFormat;
+
+/// `--wire ndjson|binary` from argv, else `ALERTOPS_SOAK_WIRE`, else
+/// the NDJSON default.
+fn wire_format() -> WireFormat {
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--wire" {
+            let value = argv.next().expect("--wire takes a value");
+            return value.parse().expect("--wire is ndjson|binary");
+        }
+    }
+    std::env::var("ALERTOPS_SOAK_WIRE").map_or_else(
+        |_| WireFormat::default(),
+        |v| v.parse().expect("ALERTOPS_SOAK_WIRE is ndjson|binary"),
+    )
+}
 
 fn main() {
     let full = std::env::var("ALERTOPS_SOAK_FULL").is_ok_and(|v| v == "1");
-    let config = if full {
+    let mut config = if full {
         SoakConfig::full(HARNESS_SEED)
     } else {
         SoakConfig::smoke(HARNESS_SEED)
     };
+    config.wire = wire_format();
     header(&format!(
-        "soak: {} over TCP into a live {}-shard ingestd",
-        config.scenario.name, config.shards
+        "soak: {} over TCP ({} wire) into a live {}-shard ingestd",
+        config.scenario.name,
+        config.wire.label(),
+        config.shards
     ));
 
     let report = run_soak(&config).expect("soak completes");
@@ -40,10 +62,11 @@ fn main() {
         "sustained rate (alerts/hour equivalent)",
         ">= 1M/h",
         &format!(
-            "{:.2}M/h ({:.0}/s over {} alerts)",
+            "{:.2}M/h ({:.0}/s over {} alerts, {} wire)",
             report.alerts_per_hour_equiv / 1e6,
             report.alerts_per_sec,
-            report.alerts_sent
+            report.alerts_sent,
+            report.wire
         ),
     );
     compare(

@@ -76,11 +76,11 @@ use alertops_core::{EmergingMode, GovernanceSnapshot, StreamingGovernor, WindowD
 use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, IngestdHandle};
 use alertops_model::{Alert, AlertStrategy, StrategyId};
 use alertops_react::EmergingAlertDetector;
-use serde::{Deserialize, Serialize};
+use alertops_wire::{Frame, WireDecoder, WireEncoder};
 
 use crate::metrics::ClusterMetrics;
 use crate::range::{node_catalog, RangeMap, StrategyRange};
-use crate::wal::{self, Wal};
+use crate::wal::{self, Wal, WalFormat};
 
 /// Builds one node's per-shard streaming governor from that shard's
 /// sub-catalog. Shared by spawn, rejoin, and handoff respawns.
@@ -105,6 +105,10 @@ pub struct ClusterConfig {
     /// (`<wal_root>/node-<i>/`). Created if missing; existing logs are
     /// replayed on spawn (lossless restart).
     pub wal_root: PathBuf,
+    /// Segment format new WAL appends use (binary by default). Replay
+    /// reads both formats regardless, so logs written under either
+    /// setting restart losslessly.
+    pub wal_format: WalFormat,
 }
 
 impl ClusterConfig {
@@ -151,18 +155,11 @@ struct NodeSlot {
 }
 
 /// The checkpoint a range handoff ships from source to target,
-/// serialized through `serde_json` — the protocol is wire-shaped even
-/// though both ends live in this process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HandoffShipment {
-    /// Cluster window sequence numbers of the shipped sealed windows,
-    /// aligned with `checkpoint.windows`.
-    pub window_seqs: Vec<u64>,
-    /// The moved strategies' slice of the source's rolling history.
-    pub checkpoint: alertops_core::StreamingCheckpoint,
-    /// The moved strategies' slice of the source's in-flight window.
-    pub tail: Vec<Alert>,
-}
+/// serialized through the `alertops-wire` binary frame codec — the
+/// protocol is wire-shaped even though both ends live in this
+/// process. This is [`alertops_wire::HandoffFrame`] under its
+/// cluster-side name.
+pub use alertops_wire::HandoffFrame as HandoffShipment;
 
 /// What a completed handoff did, for callers and benches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -299,7 +296,11 @@ impl AlertCluster {
         let mut slots = Vec::with_capacity(config.nodes);
         for node in 0..config.nodes {
             let dir = config.wal_root.join(format!("node-{node}"));
-            let wal = Arc::new(Wal::open(&dir, config.wal_retain())?);
+            let wal = Arc::new(Wal::open_with_format(
+                &dir,
+                config.wal_retain(),
+                config.wal_format,
+            )?);
             let node_cat = node_catalog(&catalog, &map, node);
             let handle = spawn_node(&config.node, &node_cat, &make_governor)?;
             slots.push(NodeSlot {
@@ -493,7 +494,11 @@ impl AlertCluster {
         let node_cat = node_catalog(&self.catalog, &self.map, node);
         let handle = spawn_node(&self.config.node, &node_cat, &self.make_governor)?;
         Wal::wipe(&self.slots[node].dir)?;
-        let wal = Arc::new(Wal::open(&self.slots[node].dir, self.config.wal_retain())?);
+        let wal = Arc::new(Wal::open_with_format(
+            &self.slots[node].dir,
+            self.config.wal_retain(),
+            self.config.wal_format,
+        )?);
 
         for (seq, alerts) in &replayed.windows {
             for alert in alerts {
@@ -541,8 +546,8 @@ impl AlertCluster {
     ///
     /// # Panics
     ///
-    /// Panics if the shipped checkpoint fails JSON round-tripping —
-    /// a serialization bug, not an operational state.
+    /// Panics if the shipped checkpoint fails binary-frame
+    /// round-tripping — a codec bug, not an operational state.
     pub fn handoff(&mut self, range: StrategyRange, to: usize) -> io::Result<HandoffReport> {
         let from = self.map.node_of(StrategyId(range.start));
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
@@ -611,8 +616,15 @@ impl AlertCluster {
             window_seqs,
             tail: moved_tail,
         };
-        let wire = serde_json::to_string(&shipment).expect("shipment serializes");
-        let shipment: HandoffShipment = serde_json::from_str(&wire).expect("shipment round-trips");
+        // A handoff frame carries whole windows, so it is exempt from
+        // the ingress frame bound — trust stays with the CRC.
+        let wire = WireEncoder::new().encode(&Frame::Handoff(Box::new(shipment)));
+        let mut decoder = WireDecoder::with_max_frame_len(usize::MAX);
+        let mut frames = decoder.feed(&wire);
+        let shipment = match (frames.pop(), frames.is_empty(), decoder.finish()) {
+            (Some(Ok(Frame::Handoff(shipment))), true, None) => *shipment,
+            other => panic!("shipment round-trips as one handoff frame, got {other:?}"),
+        };
         let moved_alerts = shipment.checkpoint.alert_count() as u64 + shipment.tail.len() as u64;
 
         self.map.reassign(range, to);
@@ -682,7 +694,11 @@ impl AlertCluster {
         let node_cat = node_catalog(&self.catalog, &self.map, node);
         let handle = spawn_node(&self.config.node, &node_cat, &self.make_governor)?;
         Wal::wipe(&self.slots[node].dir)?;
-        let wal = Arc::new(Wal::open(&self.slots[node].dir, self.config.wal_retain())?);
+        let wal = Arc::new(Wal::open_with_format(
+            &self.slots[node].dir,
+            self.config.wal_retain(),
+            self.config.wal_format,
+        )?);
         for (seq, alerts) in &windows {
             for alert in alerts {
                 wal.append(alert)?;

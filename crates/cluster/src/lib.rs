@@ -16,9 +16,10 @@
 //! Three mechanisms make the topology survivable:
 //!
 //! - **Write-ahead log** ([`wal`]): every accepted alert is journaled
-//!   to its owner's length+CRC-framed NDJSON log before it is routed;
-//!   window boundaries seal segments with an `fsync`. A killed node
-//!   loses its memory, never its log.
+//!   to its owner's length+CRC-framed log (binary `alertops-wire`
+//!   frames by default, the pre-v2 NDJSON layout still replayable)
+//!   before it is routed; window boundaries seal segments with an
+//!   `fsync`. A killed node loses its memory, never its log.
 //! - **Rejoin replay** ([`AlertCluster::rejoin`],
 //!   [`AlertCluster::spawn`]): sealed windows rebuild the rolling
 //!   detection history, the in-flight tail comes back as pending work,
@@ -26,8 +27,9 @@
 //!   end-to-end — lossless with no live peer.
 //! - **Range handoff** ([`AlertCluster::handoff`]): a source node
 //!   seals, ships the moving range's slice of its checkpoint as a
-//!   [`HandoffShipment`] (JSON on the wire), and both ends respawn
-//!   mid-stream without dropping or double-counting a window.
+//!   [`HandoffShipment`] (an `alertops-wire` binary frame on the
+//!   wire), and both ends respawn mid-stream without dropping or
+//!   double-counting a window.
 //!
 //! Everything is accounted: the cluster-level conservation law
 //! `ingested == delivered + dropped + quarantined + in_flight`
@@ -45,6 +47,7 @@ mod cluster;
 pub mod journal;
 pub mod range;
 pub mod wal;
+pub(crate) mod wal_v1;
 
 mod metrics;
 
@@ -54,4 +57,4 @@ pub use cluster::{
 pub use journal::WalJournal;
 pub use metrics::ClusterMetrics;
 pub use range::{node_catalog, RangeMap, StrategyRange};
-pub use wal::{crc32, replay, Wal, WalDepth, WalRecord, WalReplay};
+pub use wal::{crc32, replay, Wal, WalDepth, WalFormat, WalRecord, WalReplay};

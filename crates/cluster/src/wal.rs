@@ -1,22 +1,28 @@
-//! The durable write-ahead log: length+CRC-framed NDJSON segments.
+//! The durable write-ahead log: length+CRC-framed segments, binary by
+//! default.
 //!
 //! One log per node, one directory per log, one segment file per
-//! window. Every record is a single line:
+//! window. Two segment layouts exist ([`WalFormat`]):
 //!
-//! ```text
-//! <len:08x> <crc32:08x> <json>\n
-//! ```
+//! * **v2 (binary, the default)** — the segment starts with the magic
+//!   header `AOWL` + version byte `0x02`
+//!   ([`alertops_wire::WAL_MAGIC`], [`alertops_wire::WAL_VERSION`])
+//!   and then speaks the `alertops-wire` frame codec: every record is
+//!   a `[len varint][crc32][payload]` frame (an alert, or the window
+//!   boundary that seals the segment), with the segment's own string
+//!   table turning repeated titles/services/locations into varint
+//!   back-references. The table resets at every rotation, so each
+//!   segment is self-contained and pruning stays a file unlink.
+//! * **v1 (NDJSON)** — one `<len:08x> <crc32:08x> <json>` line per
+//!   record (see [`crate::wal_v1`]). Kept for replay compatibility
+//!   and as the benchmark baseline; opt in with
+//!   [`Wal::open_with_format`].
 //!
-//! where `len` is the byte length of `<json>` and `crc32` its IEEE
-//! CRC-32 — so a torn tail (crash mid-write) or flipped bytes are
-//! detected, never silently parsed. Records are either an
-//! [`Alert`](alertops_model::Alert) (appended *before* the alert is
-//! routed anywhere — write-ahead) or a window `boundary` carrying the
-//! cluster's window sequence number. A boundary seals the current
-//! segment: the writer flushes, `fsync`s, rotates to a fresh segment,
-//! and prunes sealed segments beyond the rolling history the governor
-//! retains. The segment cadence makes replay trivial and pruning a
-//! file unlink.
+//! [`replay`] sniffs the format **per segment** (the v2 magic has a
+//! non-hex byte where a v1 length field has hex digits, so the two can
+//! never be confused), which is what lets a log written by a
+//! pre-binary incarnation — or a mixed log from an upgrade
+//! mid-history — replay byte-identically.
 //!
 //! Durability model: appends are flushed to the OS on every record, so
 //! a **process** crash (`kill -9` included) loses nothing; the
@@ -32,7 +38,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use alertops_model::Alert;
+pub use alertops_wire::crc32;
+use alertops_wire::{Frame, WireDecoder, WireEncoder, WAL_MAGIC, WAL_VERSION};
 use serde::{Deserialize, Serialize};
+
+use crate::wal_v1;
 
 /// One journaled record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,44 +58,28 @@ pub enum WalRecord {
     },
 }
 
-/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the ubiquitous
-/// zlib/PNG variant, implemented here because the workspace is
-/// std-only.
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in bytes {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = 0u32.wrapping_sub(crc & 1);
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+/// Which segment layout a [`Wal`] appends in. Replay reads both
+/// regardless — this only selects what new segments speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WalFormat {
+    /// Length+CRC-framed NDJSON lines (the pre-binary layout; see
+    /// [`crate::wal_v1`]). The benchmark baseline.
+    V1Json,
+    /// `alertops-wire` binary frames behind the `AOWL` magic header.
+    #[default]
+    V2Binary,
+}
+
+impl WalFormat {
+    /// Stable label for bench rows and reports (`v1-json` /
+    /// `v2-binary`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WalFormat::V1Json => "v1-json",
+            WalFormat::V2Binary => "v2-binary",
         }
     }
-    !crc
-}
-
-/// Frames one record as its wire line (without trailing newline).
-fn frame(record: &WalRecord) -> String {
-    let json = serde_json::to_string(record).expect("WAL records always serialize");
-    format!("{:08x} {:08x} {json}", json.len(), crc32(json.as_bytes()))
-}
-
-/// Parses one wire line back into a record. `None` means the line is
-/// torn or corrupt (bad framing, length mismatch, CRC mismatch, or
-/// invalid JSON).
-fn unframe(line: &[u8]) -> Option<WalRecord> {
-    // "llllllll cccccccc j..." — header is fixed-width ASCII.
-    if line.len() < 18 || line[8] != b' ' || line[17] != b' ' {
-        return None;
-    }
-    let header = std::str::from_utf8(&line[..17]).ok()?;
-    let len = usize::from_str_radix(&header[..8], 16).ok()?;
-    let crc = u32::from_str_radix(&header[9..17], 16).ok()?;
-    let json = &line[18..];
-    if json.len() != len || crc32(json) != crc {
-        return None;
-    }
-    serde_json::from_str(std::str::from_utf8(json).ok()?).ok()
 }
 
 /// Mutable writer state behind the [`Wal`]'s lock.
@@ -98,6 +92,12 @@ struct WalState {
     pending_records: u64,
     /// Sealed segments currently on disk.
     sealed: Vec<u64>,
+    /// v2: the open segment's frame encoder; its string table resets at
+    /// every rotation, keeping segments self-contained.
+    encoder: WireEncoder,
+    /// v2: reusable frame buffer, so appends allocate nothing steady
+    /// state.
+    scratch: Vec<u8>,
 }
 
 /// Point-in-time depth of a log, for gauges.
@@ -116,6 +116,7 @@ pub struct WalDepth {
 pub struct Wal {
     dir: PathBuf,
     retain: usize,
+    format: WalFormat,
     state: Mutex<WalState>,
 }
 
@@ -148,34 +149,66 @@ fn segment_indices(dir: &Path) -> io::Result<Vec<u64>> {
     Ok(indices)
 }
 
+/// Creates a fresh segment file, writing the v2 header when the log
+/// speaks binary.
+fn create_segment(dir: &Path, index: u64, format: WalFormat) -> io::Result<BufWriter<File>> {
+    let file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(segment_path(dir, index))?;
+    let mut writer = BufWriter::new(file);
+    if format == WalFormat::V2Binary {
+        writer.write_all(&WAL_MAGIC)?;
+        writer.write_all(&[WAL_VERSION])?;
+        writer.flush()?;
+    }
+    Ok(writer)
+}
+
 impl Wal {
-    /// Opens (creating if needed) the log in `dir`, retaining at most
-    /// `retain` sealed window segments. Existing segments are left in
-    /// place and a fresh open segment is started after them — replay
-    /// first ([`replay`]), then open, then re-append what the replay
-    /// handed back, is the restart protocol (see
-    /// `AlertCluster`).
+    /// Opens (creating if needed) the log in `dir` in the default
+    /// (binary) append format, retaining at most `retain` sealed
+    /// window segments. Existing segments are left in place and a
+    /// fresh open segment is started after them — replay first
+    /// ([`replay`]), then open, then re-append what the replay handed
+    /// back, is the restart protocol (see `AlertCluster`).
     ///
     /// # Errors
     ///
     /// Filesystem errors pass through.
     pub fn open(dir: impl Into<PathBuf>, retain: usize) -> io::Result<Self> {
+        Self::open_with_format(dir, retain, WalFormat::default())
+    }
+
+    /// [`open`](Self::open) with an explicit append format. Replay is
+    /// format-agnostic either way; this only selects what *new*
+    /// segments speak (the v1 option exists for the format-comparison
+    /// bench and the compat tests).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through.
+    pub fn open_with_format(
+        dir: impl Into<PathBuf>,
+        retain: usize,
+        format: WalFormat,
+    ) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let existing = segment_indices(&dir)?;
         let segment = existing.last().map_or(0, |last| last + 1);
-        let file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(segment_path(&dir, segment))?;
+        let writer = create_segment(&dir, segment, format)?;
         Ok(Self {
             dir,
             retain,
+            format,
             state: Mutex::new(WalState {
-                writer: BufWriter::new(file),
+                writer,
                 segment,
                 pending_records: 0,
                 sealed: existing,
+                encoder: WireEncoder::new(),
+                scratch: Vec::new(),
             }),
         })
     }
@@ -199,6 +232,12 @@ impl Wal {
         &self.dir
     }
 
+    /// The format new segments are appended in.
+    #[must_use]
+    pub fn format(&self) -> WalFormat {
+        self.format
+    }
+
     /// Appends one alert record and flushes it to the OS.
     ///
     /// # Errors
@@ -207,34 +246,60 @@ impl Wal {
     /// unjournaled if this fails.
     pub fn append(&self, alert: &Alert) -> io::Result<()> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        writeln!(state.writer, "{}", frame(&WalRecord::Alert(alert.clone())))?;
+        match self.format {
+            WalFormat::V1Json => {
+                let line = wal_v1::frame(&WalRecord::Alert(alert.clone()));
+                writeln!(state.writer, "{line}")?;
+            }
+            WalFormat::V2Binary => {
+                let mut scratch = std::mem::take(&mut state.scratch);
+                scratch.clear();
+                state.encoder.encode_alert_into(alert, &mut scratch);
+                let result = state.writer.write_all(&scratch);
+                state.scratch = scratch;
+                result?;
+            }
+        }
         state.writer.flush()?;
         state.pending_records += 1;
         Ok(())
     }
 
     /// Seals the in-flight window: appends the boundary record,
-    /// flushes, `fsync`s, rotates to a fresh segment, and prunes
-    /// sealed segments beyond the retained history.
+    /// flushes, `fsync`s, rotates to a fresh segment (resetting the
+    /// binary format's string table), and prunes sealed segments
+    /// beyond the retained history.
     ///
     /// # Errors
     ///
     /// Filesystem errors pass through.
     pub fn boundary(&self, window: u64) -> io::Result<()> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        writeln!(state.writer, "{}", frame(&WalRecord::Boundary { window }))?;
+        match self.format {
+            WalFormat::V1Json => {
+                let line = wal_v1::frame(&WalRecord::Boundary { window });
+                writeln!(state.writer, "{line}")?;
+            }
+            WalFormat::V2Binary => {
+                let mut scratch = std::mem::take(&mut state.scratch);
+                scratch.clear();
+                state
+                    .encoder
+                    .encode_into(&Frame::Boundary { window }, &mut scratch);
+                let result = state.writer.write_all(&scratch);
+                state.scratch = scratch;
+                result?;
+            }
+        }
         state.writer.flush()?;
         state.writer.get_ref().sync_data()?;
 
         let sealed = state.segment;
         let next = sealed + 1;
-        let file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(segment_path(&self.dir, next))?;
-        state.writer = BufWriter::new(file);
+        state.writer = create_segment(&self.dir, next, self.format)?;
         state.segment = next;
         state.pending_records = 0;
+        state.encoder = WireEncoder::new();
         state.sealed.push(sealed);
         while state.sealed.len() > self.retain {
             let oldest = state.sealed.remove(0);
@@ -262,8 +327,8 @@ pub struct WalReplay {
     /// Alerts journaled after the last boundary — the in-flight window
     /// at crash time.
     pub tail: Vec<Alert>,
-    /// Lines that failed framing/CRC/JSON validation. Each one also
-    /// discards the rest of its segment (everything after a torn
+    /// Records that failed framing/CRC/decode validation. Each one
+    /// also discards the rest of its segment (everything after a torn
     /// record is untrustworthy).
     pub torn_records: u64,
     /// Boundary records whose window sequence was already sealed
@@ -275,52 +340,112 @@ pub struct WalReplay {
     pub recovered_alerts: u64,
 }
 
+/// The accumulating replay state shared by the v1 and v2 segment
+/// readers.
+struct ReplayState {
+    windows: Vec<(u64, Vec<Alert>)>,
+    current: Vec<Alert>,
+    torn_records: u64,
+    duplicate_boundaries: u64,
+}
+
+impl ReplayState {
+    fn seal(&mut self, window: u64) {
+        let alerts = std::mem::take(&mut self.current);
+        if let Some((_, existing)) = self.windows.iter_mut().find(|(w, _)| *w == window) {
+            // A window seq sealed twice: keep one window, keep every
+            // alert, count the anomaly.
+            self.duplicate_boundaries += 1;
+            existing.extend(alerts);
+        } else {
+            self.windows.push((window, alerts));
+        }
+    }
+
+    /// Reads one v1 (NDJSON-line) segment.
+    fn replay_v1_segment(&mut self, bytes: &[u8]) {
+        for line in bytes.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            match wal_v1::unframe(line) {
+                Some(WalRecord::Alert(alert)) => self.current.push(alert),
+                Some(WalRecord::Boundary { window }) => self.seal(window),
+                None => {
+                    self.torn_records += 1;
+                    return; // rest of this segment is untrustworthy
+                }
+            }
+        }
+    }
+
+    /// Reads one v2 (binary) segment; `bytes` excludes the 5-byte
+    /// header.
+    fn replay_v2_segment(&mut self, bytes: &[u8]) {
+        let mut decoder = WireDecoder::new();
+        for item in decoder.feed(bytes) {
+            match item {
+                Ok(Frame::Alert(alert)) => self.current.push(*alert),
+                Ok(Frame::Boundary { window }) => self.seal(window),
+                // Any other frame kind has no business in a WAL
+                // segment; treat it exactly like corruption.
+                Ok(_) | Err(_) => {
+                    self.torn_records += 1;
+                    return;
+                }
+            }
+        }
+        // A partial frame at end of file is the torn tail of a crash
+        // mid-write.
+        if decoder.finish().is_some() {
+            self.torn_records += 1;
+        }
+    }
+}
+
 /// Reads every segment in `dir` and reconstructs the journaled
-/// windows. Tolerant by design: a missing directory is an empty log; a
-/// torn or corrupt record ends trust in its segment (counted, the rest
-/// of that segment skipped) but later segments are still read.
+/// windows, sniffing each segment's format from its header — v1 and
+/// v2 segments can coexist in one log (an upgrade mid-history).
+/// Tolerant by design: a missing directory is an empty log; a torn or
+/// corrupt record ends trust in its segment (counted, the rest of that
+/// segment skipped) but later segments are still read.
 ///
 /// # Errors
 ///
 /// Filesystem errors other than a missing directory pass through.
 pub fn replay(dir: &Path) -> io::Result<WalReplay> {
-    let mut windows: Vec<(u64, Vec<Alert>)> = Vec::new();
-    let mut current: Vec<Alert> = Vec::new();
-    let mut torn_records = 0u64;
-    let mut duplicate_boundaries = 0u64;
+    let mut state = ReplayState {
+        windows: Vec::new(),
+        current: Vec::new(),
+        torn_records: 0,
+        duplicate_boundaries: 0,
+    };
     for index in segment_indices(dir)? {
         let bytes = fs::read(segment_path(dir, index))?;
-        for line in bytes.split(|&b| b == b'\n') {
-            if line.is_empty() {
-                continue;
+        if bytes.starts_with(&WAL_MAGIC) {
+            if bytes.get(WAL_MAGIC.len()) == Some(&WAL_VERSION) {
+                state.replay_v2_segment(&bytes[WAL_MAGIC.len() + 1..]);
+            } else {
+                // A magic header with an unknown (or missing) version
+                // byte: written by a future incarnation or torn inside
+                // the header — either way, untrustworthy.
+                state.torn_records += 1;
             }
-            match unframe(line) {
-                Some(WalRecord::Alert(alert)) => current.push(alert),
-                Some(WalRecord::Boundary { window }) => {
-                    let alerts = std::mem::take(&mut current);
-                    if let Some((_, existing)) = windows.iter_mut().find(|(w, _)| *w == window) {
-                        // A window seq sealed twice: keep one window,
-                        // keep every alert, count the anomaly.
-                        duplicate_boundaries += 1;
-                        existing.extend(alerts);
-                    } else {
-                        windows.push((window, alerts));
-                    }
-                }
-                None => {
-                    torn_records += 1;
-                    break; // rest of this segment is untrustworthy
-                }
-            }
+        } else {
+            state.replay_v1_segment(&bytes);
         }
     }
-    let recovered_alerts =
-        windows.iter().map(|(_, w)| w.len() as u64).sum::<u64>() + current.len() as u64;
+    let recovered_alerts = state
+        .windows
+        .iter()
+        .map(|(_, w)| w.len() as u64)
+        .sum::<u64>()
+        + state.current.len() as u64;
     Ok(WalReplay {
-        windows,
-        tail: current,
-        torn_records,
-        duplicate_boundaries,
+        windows: state.windows,
+        tail: state.current,
+        torn_records: state.torn_records,
+        duplicate_boundaries: state.duplicate_boundaries,
         recovered_alerts,
     })
 }
@@ -332,6 +457,8 @@ mod tests {
 
     fn alert(id: u64) -> Alert {
         Alert::builder(AlertId(id), StrategyId(id % 5))
+            .title("haproxy process number warning")
+            .service("Block Storage")
             .raised_at(SimTime::from_secs(id * 60))
             .build()
     }
@@ -349,24 +476,10 @@ mod tests {
         assert_eq!(crc32(b""), 0);
     }
 
-    #[test]
-    fn frames_roundtrip_and_reject_corruption() {
-        let record = WalRecord::Alert(alert(7));
-        let line = frame(&record);
-        assert_eq!(unframe(line.as_bytes()), Some(record));
-        // Flip one payload byte: CRC must catch it.
-        let mut bad = line.clone().into_bytes();
-        let last = bad.len() - 1;
-        bad[last] ^= 0x20;
-        assert_eq!(unframe(&bad), None);
-        // Truncate: length must catch it.
-        assert_eq!(unframe(&line.as_bytes()[..line.len() - 1]), None);
-    }
-
-    #[test]
-    fn append_boundary_replay_roundtrips() {
-        let dir = temp_dir("roundtrip");
-        let wal = Wal::open(&dir, 8).unwrap();
+    fn roundtrip_in(format: WalFormat) {
+        let dir = temp_dir(&format!("roundtrip-{}", format.label()));
+        let wal = Wal::open_with_format(&dir, 8, format).unwrap();
+        assert_eq!(wal.format(), format);
         for id in 0..4 {
             wal.append(&alert(id)).unwrap();
         }
@@ -388,6 +501,52 @@ mod tests {
         assert_eq!(replayed.tail, vec![alert(6)]);
         assert_eq!(replayed.torn_records, 0);
         assert_eq!(replayed.recovered_alerts, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_boundary_replay_roundtrips_in_both_formats() {
+        roundtrip_in(WalFormat::V2Binary);
+        roundtrip_in(WalFormat::V1Json);
+    }
+
+    #[test]
+    fn v2_segments_carry_the_magic_header() {
+        let dir = temp_dir("magic");
+        let wal = Wal::open(&dir, 8).unwrap();
+        wal.append(&alert(1)).unwrap();
+        drop(wal);
+        let bytes = fs::read(segment_path(&dir, 0)).unwrap();
+        assert_eq!(&bytes[..4], b"AOWL");
+        assert_eq!(bytes[4], 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_format_logs_replay_as_one_history() {
+        let dir = temp_dir("mixed");
+        // A pre-binary incarnation seals window 0...
+        {
+            let wal = Wal::open_with_format(&dir, 8, WalFormat::V1Json).unwrap();
+            wal.append(&alert(1)).unwrap();
+            wal.boundary(0).unwrap();
+        }
+        // ...then the upgraded incarnation continues in binary. (Each
+        // open starts a fresh segment after the existing ones, so the
+        // v1 leftovers are untouched.)
+        {
+            let wal = Wal::open(&dir, 8).unwrap();
+            wal.append(&alert(2)).unwrap();
+            wal.boundary(1).unwrap();
+            wal.append(&alert(3)).unwrap();
+        }
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.torn_records, 0);
+        assert_eq!(
+            replayed.windows,
+            vec![(0, vec![alert(1)]), (1, vec![alert(2)])]
+        );
+        assert_eq!(replayed.tail, vec![alert(3)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -425,6 +584,20 @@ mod tests {
         assert_eq!(replayed.windows.len(), 1, "sealed window survives");
         assert_eq!(replayed.tail, vec![alert(2)], "intact tail record survives");
         assert_eq!(replayed.torn_records, 1, "the chopped record is counted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_future_version_is_quarantined_whole() {
+        let dir = temp_dir("future");
+        fs::create_dir_all(&dir).unwrap();
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.push(WAL_VERSION + 1);
+        bytes.extend_from_slice(b"whatever a future format writes");
+        fs::write(segment_path(&dir, 0), bytes).unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.torn_records, 1);
+        assert_eq!(replayed.recovered_alerts, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -4,9 +4,12 @@
 //! garbage, never silently drop a countable record:
 //!
 //! * a CRC mismatch in the middle of a sealed segment (bit rot, not a
-//!   crash) discards the rest of that segment only;
+//!   crash) discards the rest of that segment only — in both the v1
+//!   text and v2 binary segment formats;
 //! * a zero-length frame (valid header, empty payload) is counted as
 //!   torn, not parsed as an empty record;
+//! * a frame kind that is valid on the ingress wire but meaningless in
+//!   a journal (a `Flush`) ends trust in its v2 segment;
 //! * a duplicate window sequence number is counted and merged, not
 //!   replayed as two windows.
 
@@ -14,8 +17,9 @@ use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
 
-use alertops_cluster::{crc32, replay, Wal, WalRecord};
+use alertops_cluster::{crc32, replay, Wal, WalFormat, WalRecord};
 use alertops_model::{Alert, AlertId, SimTime, StrategyId};
+use alertops_wire::{Frame, WireEncoder, WAL_MAGIC, WAL_VERSION};
 
 fn alert(id: u64) -> Alert {
     Alert::builder(AlertId(id), StrategyId(id % 5))
@@ -58,7 +62,9 @@ fn write_segment(dir: &PathBuf, index: u64, lines: &[String]) {
 #[test]
 fn crc_mismatch_mid_segment_quarantines_only_that_segment() {
     let dir = temp_dir("crc-mid");
-    let wal = Wal::open(&dir, 8).expect("wal opens");
+    // The line-oriented corruption below splits on newlines, so this
+    // test pins the v1 text format explicitly.
+    let wal = Wal::open_with_format(&dir, 8, WalFormat::V1Json).expect("wal opens");
     for id in 0..3 {
         wal.append(&alert(id)).expect("append");
     }
@@ -190,5 +196,134 @@ fn duplicate_window_seq_is_counted_and_merged() {
 
     // Deterministic: a second replay of the same log is identical.
     assert_eq!(replay(&dir).expect("replay"), replayed);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Writes a raw v2 binary segment from pre-encoded frame bytes.
+fn write_v2_segment(dir: &PathBuf, index: u64, frames: &[Vec<u8>]) {
+    fs::create_dir_all(dir).expect("create wal dir");
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(dir.join(format!("seg-{index:010}.wal")))
+        .expect("create segment");
+    file.write_all(&WAL_MAGIC).expect("write magic");
+    file.write_all(&[WAL_VERSION]).expect("write version");
+    for frame in frames {
+        file.write_all(frame).expect("write frame");
+    }
+}
+
+/// Encodes a run of frames with one segment-scoped encoder (string
+/// table shared, as a real segment's would be), returning per-frame
+/// byte runs so tests can corrupt one frame surgically.
+fn encode_v2_frames(frames: &[Frame]) -> Vec<Vec<u8>> {
+    let mut encoder = WireEncoder::new();
+    frames
+        .iter()
+        .map(|frame| {
+            let mut buf = Vec::new();
+            encoder.encode_into(frame, &mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// Bit rot mid-segment in the v2 binary format: the CRC catches the
+/// flip, the rest of that segment is untrusted (binary streams cannot
+/// resync), and neighbouring segments replay intact — the same
+/// blast-radius contract the v1 test above pins.
+#[test]
+fn crc_mismatch_mid_v2_segment_quarantines_the_rest() {
+    let dir = temp_dir("crc-mid-v2");
+    let mut seg0 = encode_v2_frames(&[
+        Frame::Alert(Box::new(alert(1))),
+        Frame::Alert(Box::new(alert(2))),
+        Frame::Alert(Box::new(alert(3))),
+    ]);
+    // Flip one payload byte of the SECOND frame (last byte is payload:
+    // the frame tail is body bytes, not header).
+    let last = seg0[1].len() - 1;
+    seg0[1][last] ^= 0x01;
+    write_v2_segment(&dir, 0, &seg0);
+    write_v2_segment(
+        &dir,
+        1,
+        &encode_v2_frames(&[
+            Frame::Alert(Box::new(alert(4))),
+            Frame::Boundary { window: 0 },
+        ]),
+    );
+
+    let replayed = replay(&dir).expect("replay never errors on corruption");
+    assert_eq!(
+        replayed.torn_records, 1,
+        "one torn count for the corrupt frame and its untrusted tail"
+    );
+    assert_eq!(replayed.windows.len(), 1);
+    assert_eq!(
+        replayed.windows[0].1,
+        vec![alert(1), alert(4)],
+        "segment-0 survivor plus the intact segment-1 record"
+    );
+    assert!(replayed.tail.is_empty());
+    assert_eq!(replayed.recovered_alerts, 2);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A frame kind that is valid wire traffic but meaningless in a
+/// journal — here a `Flush` — ends trust in its v2 segment: whatever
+/// wrote it was not this WAL's writer, so nothing after it is safe to
+/// believe either.
+#[test]
+fn non_journal_frame_kind_is_torn_not_replayed() {
+    let dir = temp_dir("flush-in-wal");
+    write_v2_segment(
+        &dir,
+        0,
+        &encode_v2_frames(&[
+            Frame::Alert(Box::new(alert(1))),
+            Frame::Flush,
+            Frame::Alert(Box::new(alert(2))),
+        ]),
+    );
+
+    let replayed = replay(&dir).expect("replay never errors");
+    assert_eq!(replayed.torn_records, 1, "the stray flush frame");
+    assert_eq!(replayed.tail, vec![alert(1)]);
+    assert_eq!(replayed.recovered_alerts, 1);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A v1 incarnation followed by a v2 one (the upgrade path): replay
+/// stitches both into one history, and corruption inside the v2 part
+/// never bleeds back into the v1 windows.
+#[test]
+fn v1_then_corrupt_v2_replays_the_v1_history_intact() {
+    let dir = temp_dir("v1-then-v2");
+    write_segment(
+        &dir,
+        0,
+        &[
+            frame(&WalRecord::Alert(alert(1))),
+            frame(&WalRecord::Boundary { window: 0 }),
+        ],
+    );
+    let mut seg1 = encode_v2_frames(&[
+        Frame::Alert(Box::new(alert(2))),
+        Frame::Boundary { window: 1 },
+    ]);
+    let last = seg1[0].len() - 1;
+    seg1[0][last] ^= 0x40;
+    write_v2_segment(&dir, 1, &seg1);
+
+    let replayed = replay(&dir).expect("replay never errors");
+    assert_eq!(replayed.torn_records, 1);
+    assert_eq!(
+        replayed.windows,
+        vec![(0, vec![alert(1)])],
+        "the v1 window survives; the corrupt v2 segment contributes nothing"
+    );
+    assert_eq!(replayed.recovered_alerts, 1);
     fs::remove_dir_all(&dir).expect("cleanup");
 }

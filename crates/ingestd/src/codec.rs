@@ -103,16 +103,22 @@ pub enum QuarantineReason {
     InvalidAlert,
     /// The line exceeded [`MAX_FRAME_LEN`].
     Oversized,
+    /// A binary-ingress frame failed CRC or framing validation
+    /// (`--wire binary` connections only). Terminal for its
+    /// connection: a binary stream cannot resync past a bad length
+    /// prefix, so the daemon quarantines the frame and closes.
+    CorruptFrame,
 }
 
 impl QuarantineReason {
     /// All reasons, in counter order.
-    pub const ALL: [QuarantineReason; 5] = [
+    pub const ALL: [QuarantineReason; 6] = [
         QuarantineReason::InvalidJson,
         QuarantineReason::InvalidUtf8,
         QuarantineReason::UnknownControl,
         QuarantineReason::InvalidAlert,
         QuarantineReason::Oversized,
+        QuarantineReason::CorruptFrame,
     ];
 
     /// The stable snake_case label used in counter names.
@@ -124,6 +130,7 @@ impl QuarantineReason {
             QuarantineReason::UnknownControl => "unknown_control",
             QuarantineReason::InvalidAlert => "invalid_alert",
             QuarantineReason::Oversized => "oversized",
+            QuarantineReason::CorruptFrame => "corrupt_frame",
         }
     }
 }

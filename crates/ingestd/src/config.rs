@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use alertops_core::StreamingConfig;
+use alertops_wire::WireFormat;
 
 /// What the router does when a shard's bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,11 +40,18 @@ pub struct IngestdConfig {
     /// merge, and the report is published in
     /// [`alertops_core::GovernanceSnapshot::emerging`].
     pub streaming: StreamingConfig,
-    /// `host:port` to accept NDJSON alert ingress on. `None` disables
-    /// the TCP listener (alerts arrive via
-    /// [`crate::IngestdHandle::route`] or stdin instead). Use port 0
-    /// to let the OS pick.
+    /// `host:port` to accept alert ingress on. `None` disables the TCP
+    /// listener (alerts arrive via [`crate::IngestdHandle::route`] or
+    /// stdin instead). Use port 0 to let the OS pick.
     pub listen: Option<String>,
+    /// Ingress wire format (`--wire`): NDJSON lines (the default and
+    /// the compatibility oracle) or `alertops-wire` binary frames.
+    /// Either way acks are JSON text lines, and the governed output is
+    /// byte-identical — the format only changes how alerts travel in.
+    /// A corrupt binary frame is quarantined as
+    /// [`crate::codec::QuarantineReason::CorruptFrame`] and closes its
+    /// connection (a binary stream cannot resync).
+    pub wire: WireFormat,
     /// `host:port` for the JSON status socket; `None` disables it.
     pub status: Option<String>,
     /// Register and record stage metrics (latency histograms, frame
@@ -88,6 +96,7 @@ impl Default for IngestdConfig {
             overflow: OverflowPolicy::Block,
             streaming: StreamingConfig::default(),
             listen: None,
+            wire: WireFormat::default(),
             status: None,
             metrics: true,
             chaos: false,

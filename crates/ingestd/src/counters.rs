@@ -52,6 +52,9 @@ pub struct Counters {
     pub quarantined_invalid_alert: AtomicU64,
     /// Quarantined: line exceeded [`crate::codec::MAX_FRAME_LEN`].
     pub quarantined_oversized: AtomicU64,
+    /// Quarantined: binary-ingress frame failed CRC/framing validation
+    /// (terminal for its connection).
+    pub quarantined_corrupt_frame: AtomicU64,
     /// Windows closed and merged so far.
     pub windows_closed: AtomicU64,
     /// Windows whose merged snapshot carried at least one degraded
@@ -63,9 +66,19 @@ pub struct Counters {
     /// the coordinator issuing the close to the merged snapshot being
     /// published (includes every shard's detection pass).
     pub last_window_micros: AtomicU64,
-    /// Per-shard gauge of alerts queued but not yet processed.
+    /// Per-shard packed enqueue/dequeue tallies: producers add
+    /// `1 << 32` (high half) per enqueue, workers add `1` (low half)
+    /// per dequeue, and the queue depth is read as the saturating
+    /// difference of the halves — one atomic, so a racing reader can
+    /// never observe an enqueue-without-dequeue ordering artifact.
+    /// Read through [`Counters::queue_depth`]; the raw cell is public
+    /// only for the producer/worker increments.
     pub queue_depths: Vec<AtomicU64>,
 }
+
+/// Producers add this per enqueue (the high half of the packed
+/// per-shard queue gauge); workers add plain `1` per dequeue.
+pub(crate) const QUEUE_ENQUEUED: u64 = 1 << 32;
 
 impl Counters {
     /// Creates counters for `shards` shards.
@@ -98,7 +111,24 @@ impl Counters {
             QuarantineReason::UnknownControl => &self.quarantined_unknown_control,
             QuarantineReason::InvalidAlert => &self.quarantined_invalid_alert,
             QuarantineReason::Oversized => &self.quarantined_oversized,
+            QuarantineReason::CorruptFrame => &self.quarantined_corrupt_frame,
         }
+    }
+
+    /// Current depth of `shard`'s queue: enqueued minus dequeued,
+    /// saturating at zero. Both tallies live in one packed atomic, so
+    /// the difference is taken from a single load — a mid-handoff race
+    /// (worker consumed, producer not yet counted) reads as briefly
+    /// zero, never as a garbage depth.
+    #[must_use]
+    pub fn queue_depth(&self, shard: usize) -> u64 {
+        let packed = self.queue_depths[shard].load(Ordering::Relaxed);
+        let enqueued = (packed >> 32) as u32;
+        let dequeued = packed as u32;
+        // Signed difference: a worker that counted its dequeue before
+        // the producer counted the enqueue reads negative → clamp to 0.
+        let depth = enqueued.wrapping_sub(dequeued) as i32;
+        u64::from(depth.max(0).unsigned_abs())
     }
 
     /// A consistent-enough point-in-time copy for reporting.
@@ -115,14 +145,13 @@ impl Counters {
             quarantined_unknown_control: self.quarantined_unknown_control.load(Ordering::Relaxed),
             quarantined_invalid_alert: self.quarantined_invalid_alert.load(Ordering::Relaxed),
             quarantined_oversized: self.quarantined_oversized.load(Ordering::Relaxed),
+            quarantined_corrupt_frame: self.quarantined_corrupt_frame.load(Ordering::Relaxed),
             windows_closed: self.windows_closed.load(Ordering::Relaxed),
             degraded_windows: self.degraded_windows.load(Ordering::Relaxed),
             shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
             last_window_micros: self.last_window_micros.load(Ordering::Relaxed),
-            queue_depths: self
-                .queue_depths
-                .iter()
-                .map(|d| d.load(Ordering::Relaxed))
+            queue_depths: (0..self.queue_depths.len())
+                .map(|shard| self.queue_depth(shard))
                 .collect(),
         }
     }
@@ -143,6 +172,7 @@ pub struct CounterSnapshot {
     pub quarantined_unknown_control: u64,
     pub quarantined_invalid_alert: u64,
     pub quarantined_oversized: u64,
+    pub quarantined_corrupt_frame: u64,
     pub windows_closed: u64,
     pub degraded_windows: u64,
     pub shard_restarts: u64,
@@ -176,13 +206,27 @@ mod tests {
     fn snapshot_reflects_counts() {
         let counters = Counters::new(2);
         counters.ingested.fetch_add(5, Ordering::Relaxed);
-        counters.queue_depths[1].store(3, Ordering::Relaxed);
+        // Five enqueues, two dequeues: depth 3.
+        counters.queue_depths[1].store(5 * QUEUE_ENQUEUED + 2, Ordering::Relaxed);
         let snap = counters.snapshot();
         assert_eq!(snap.ingested, 5);
         assert_eq!(snap.queue_depths, vec![0, 3]);
         let json = serde_json::to_string(&snap).unwrap();
         let back: CounterSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn queue_depth_clamps_the_handoff_race_to_zero() {
+        // A worker can count its dequeue before the producer counts the
+        // enqueue; the reader must see 0, never a wrapped garbage depth.
+        let counters = Counters::new(1);
+        counters.queue_depths[0].fetch_add(1, Ordering::Relaxed);
+        assert_eq!(counters.queue_depth(0), 0);
+        counters.queue_depths[0].fetch_add(QUEUE_ENQUEUED, Ordering::Relaxed);
+        assert_eq!(counters.queue_depth(0), 0);
+        counters.queue_depths[0].fetch_add(QUEUE_ENQUEUED, Ordering::Relaxed);
+        assert_eq!(counters.queue_depth(0), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::{io, thread};
 use alertops_core::{EmergingMode, GovernanceSnapshot, GovernorMetrics, StreamingGovernor};
 use alertops_model::Alert;
 use alertops_react::EmergingAlertDetector;
+use alertops_wire::{ChaosCmd, WireDecoder, WireError, WireFormat};
 
 use crate::codec::{
     encode_flush_ack, encode_shutdown_ack, encode_stall_ack, encode_sync_ack, Frame, FrameDecoder,
@@ -27,7 +28,7 @@ use crate::codec::{
 };
 use crate::config::{IngestdConfig, OverflowPolicy};
 use crate::coordinator::{run_coordinator, ClosedWindow, CoordMsg};
-use crate::counters::{CounterSnapshot, Counters};
+use crate::counters::{CounterSnapshot, Counters, QUEUE_ENQUEUED};
 use crate::journal::WindowJournal;
 use crate::metrics::{render_exposition, IngestdMetrics};
 use crate::shard::shard_of;
@@ -82,6 +83,8 @@ struct Router {
     metrics: Option<Arc<IngestdMetrics>>,
     /// Write-ahead journal, recorded before any enqueue.
     journal: Option<Arc<dyn WindowJournal>>,
+    /// Ingress wire format every connection speaks.
+    wire: WireFormat,
 }
 
 impl Router {
@@ -101,10 +104,12 @@ impl Router {
         }
         self.counters.ingested.fetch_add(1, Ordering::Relaxed);
         let shard = shard_of(alert.strategy(), self.shard_txs.len());
+        // Enqueue tally: high half of the packed gauge (see
+        // `Counters::queue_depths`).
         let queue_depth = &self.counters.queue_depths[shard];
         match self.shard_txs[shard].try_send(WorkerMsg::Alert(alert)) {
             Ok(()) => {
-                queue_depth.fetch_add(1, Ordering::Relaxed);
+                queue_depth.fetch_add(QUEUE_ENQUEUED, Ordering::Relaxed);
             }
             Err(TrySendError::Full(msg)) => match self.overflow {
                 OverflowPolicy::Block => {
@@ -112,7 +117,7 @@ impl Router {
                         .backpressure_waits
                         .fetch_add(1, Ordering::Relaxed);
                     if self.shard_txs[shard].send(msg).is_ok() {
-                        queue_depth.fetch_add(1, Ordering::Relaxed);
+                        queue_depth.fetch_add(QUEUE_ENQUEUED, Ordering::Relaxed);
                     } else {
                         self.counters.dropped.fetch_add(1, Ordering::Relaxed);
                     }
@@ -353,6 +358,7 @@ impl Ingestd {
             shutdown: Arc::clone(&shutdown),
             metrics: metrics.clone(),
             journal,
+            wire: config.wire,
         });
 
         // Ingress listener.
@@ -569,10 +575,19 @@ fn accept_ingress(listener: &TcpListener, running: &Arc<AtomicBool>, router: &Ar
     }
 }
 
-/// One ingress connection: NDJSON frames in, acks out. Framing goes
-/// through [`FrameDecoder`], so a connection dropped mid-frame
-/// quarantines its partial line instead of losing it silently.
+/// One ingress connection, in the daemon's configured wire format.
+/// Acks are JSON text lines in both formats.
 fn serve_ingress(stream: &TcpStream, router: &Arc<Router>) {
+    match router.wire {
+        WireFormat::Ndjson => serve_ingress_ndjson(stream, router),
+        WireFormat::Binary => serve_ingress_binary(stream, router),
+    }
+}
+
+/// NDJSON ingress: one frame per line. Framing goes through
+/// [`FrameDecoder`], so a connection dropped mid-frame quarantines its
+/// partial line instead of losing it silently.
+fn serve_ingress_ndjson(stream: &TcpStream, router: &Arc<Router>) {
     let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
@@ -597,6 +612,119 @@ fn serve_ingress(stream: &TcpStream, router: &Arc<Router>) {
     if let Some(item) = decoder.finish() {
         let _ = handle_frame(item, router, &mut writer);
     }
+}
+
+/// Binary ingress: length+CRC `alertops-wire` frames. The first
+/// decode error is terminal — the length prefix can no longer be
+/// trusted and the string table may be desynced, so the frame is
+/// quarantined ([`QuarantineReason::CorruptFrame`], or `Oversized`
+/// for a declared length past the frame bound) and the connection
+/// closed. A stream cut mid-frame quarantines the torn tail the same
+/// way NDJSON quarantines a partial line.
+fn serve_ingress_binary(stream: &TcpStream, router: &Arc<Router>) {
+    let Ok(mut read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut decoder = WireDecoder::new();
+    let mut buf = [0u8; 8192];
+    let mut frames = Vec::new();
+    loop {
+        let n = match read_half.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        decoder.feed_into(&buf[..n], &mut frames);
+        for item in frames.drain(..) {
+            match item {
+                Ok(frame) => {
+                    if let Some(metrics) = &router.metrics {
+                        metrics.frames_decoded.inc();
+                    }
+                    if !handle_wire_frame(frame, router, &mut writer) {
+                        return;
+                    }
+                }
+                Err(err) => {
+                    quarantine_wire_error(&err, router);
+                    return;
+                }
+            }
+        }
+    }
+    if let Some(err) = decoder.finish() {
+        quarantine_wire_error(&err, router);
+    }
+}
+
+/// Counts one terminal binary-ingress decode failure.
+fn quarantine_wire_error(err: &WireError, router: &Arc<Router>) {
+    if let Some(metrics) = &router.metrics {
+        metrics.frames_rejected.inc();
+    }
+    let reason = if err.is_oversized() {
+        QuarantineReason::Oversized
+    } else {
+        QuarantineReason::CorruptFrame
+    };
+    router.counters.quarantine(reason);
+}
+
+/// Applies one decoded binary frame; `false` ends the connection.
+/// Control semantics (and acks) match the NDJSON equivalents; frame
+/// kinds that only exist for WAL segments or handoff shipments are
+/// quarantined as unknown controls.
+fn handle_wire_frame(
+    frame: alertops_wire::Frame,
+    router: &Arc<Router>,
+    writer: &mut impl Write,
+) -> bool {
+    use alertops_wire::Frame as WireFrame;
+    match frame {
+        WireFrame::Alert(alert) => router.route(alert),
+        WireFrame::Flush => {
+            if let Some(closed) = router.flush() {
+                let snapshot = closed.snapshot;
+                let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
+                if writeln!(writer, "{ack}").is_err() {
+                    return false;
+                }
+            }
+        }
+        WireFrame::Sync => {
+            router.sync();
+            if writeln!(writer, "{}", encode_sync_ack()).is_err() {
+                return false;
+            }
+        }
+        WireFrame::Shutdown => {
+            let _ = writeln!(writer, "{}", encode_shutdown_ack());
+            router.shutdown.request();
+            return false;
+        }
+        WireFrame::Chaos(ChaosCmd::Panic { shard, on_close }) => {
+            if chaos_target(router, shard) {
+                router.inject_panic(shard, on_close);
+            }
+        }
+        WireFrame::Chaos(ChaosCmd::Stall { shard }) => {
+            if chaos_target(router, shard) {
+                router.stall(shard);
+                if writeln!(writer, "{}", encode_stall_ack(shard)).is_err() {
+                    return false;
+                }
+            }
+        }
+        WireFrame::Chaos(ChaosCmd::Resume { shard }) => {
+            if chaos_target(router, shard) {
+                router.resume(shard);
+            }
+        }
+        WireFrame::Boundary { .. } | WireFrame::Handoff(_) => {
+            router.counters.quarantine(QuarantineReason::UnknownControl);
+        }
+    }
+    true
 }
 
 /// Applies one decoded ingress item; `false` ends the connection.

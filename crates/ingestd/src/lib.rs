@@ -78,3 +78,5 @@ pub use metrics::{render_exposition, IngestdMetrics};
 pub use shard::{shard_catalog, shard_of};
 pub use status::{StatusReport, StatusRequest};
 pub use worker::CHAOS_PANIC_MSG;
+
+pub use alertops_wire::WireFormat;

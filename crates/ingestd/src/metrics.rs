@@ -201,6 +201,7 @@ pub fn render_counter_snapshot(snap: &CounterSnapshot) -> String {
             QuarantineReason::UnknownControl => snap.quarantined_unknown_control,
             QuarantineReason::InvalidAlert => snap.quarantined_invalid_alert,
             QuarantineReason::Oversized => snap.quarantined_oversized,
+            QuarantineReason::CorruptFrame => snap.quarantined_corrupt_frame,
         };
         out.push_str(&render_sample(
             "alertops_quarantined_total",

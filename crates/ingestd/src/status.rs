@@ -93,6 +93,7 @@ mod tests {
                 quarantined_unknown_control: 0,
                 quarantined_invalid_alert: 1,
                 quarantined_oversized: 0,
+                quarantined_corrupt_frame: 0,
                 windows_closed: 3,
                 degraded_windows: 1,
                 shard_restarts: 1,

@@ -196,7 +196,9 @@ fn drain(
     while let Ok(msg) = ingest.recv() {
         match msg {
             WorkerMsg::Alert(alert) => {
-                counters.queue_depths[shard].fetch_sub(1, Ordering::Relaxed);
+                // Dequeue tally: low half of the packed gauge (see
+                // `Counters::queue_depths`).
+                counters.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
                 state.window.push(*alert);
             }
             WorkerMsg::Close { seq } => {

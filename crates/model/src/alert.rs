@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{AlertId, Location, MicroserviceId, Severity, SimDuration, SimTime, StrategyId};
+use crate::{AlertId, IStr, Location, MicroserviceId, Severity, SimDuration, SimTime, StrategyId};
 
 /// How an alert was cleared.
 ///
@@ -60,9 +60,9 @@ pub enum AlertState {
 pub struct Alert {
     id: AlertId,
     strategy: StrategyId,
-    title: String,
+    title: IStr,
     severity: Severity,
-    service_name: String,
+    service_name: IStr,
     microservice: MicroserviceId,
     location: Location,
     raised_at: SimTime,
@@ -78,9 +78,9 @@ impl Alert {
             alert: Alert {
                 id,
                 strategy,
-                title: String::new(),
+                title: IStr::default(),
                 severity: Severity::Warning,
-                service_name: String::new(),
+                service_name: IStr::default(),
                 microservice: MicroserviceId(0),
                 location: Location::default(),
                 raised_at: SimTime::EPOCH,
@@ -108,6 +108,14 @@ impl Alert {
         &self.title
     }
 
+    /// The title as its interned handle — clone this instead of the
+    /// text when the destination stores an [`IStr`] (refcount bump, no
+    /// allocation).
+    #[must_use]
+    pub fn title_interned(&self) -> &IStr {
+        &self.title
+    }
+
     /// The severity level.
     #[must_use]
     pub fn severity(&self) -> Severity {
@@ -117,6 +125,12 @@ impl Alert {
     /// The affected cloud service, by name (as shown to the OCE).
     #[must_use]
     pub fn service_name(&self) -> &str {
+        &self.service_name
+    }
+
+    /// The service name as its interned handle.
+    #[must_use]
+    pub fn service_name_interned(&self) -> &IStr {
         &self.service_name
     }
 
@@ -252,9 +266,10 @@ pub struct AlertBuilder {
 }
 
 impl AlertBuilder {
-    /// Sets the title.
+    /// Sets the title. Interned: pass an existing [`IStr`] (e.g. a
+    /// strategy's cached template) to skip the intern lookup entirely.
     #[must_use]
-    pub fn title(mut self, title: impl Into<String>) -> Self {
+    pub fn title(mut self, title: impl Into<IStr>) -> Self {
         self.alert.title = title.into();
         self
     }
@@ -268,7 +283,7 @@ impl AlertBuilder {
 
     /// Sets the affected service name.
     #[must_use]
-    pub fn service(mut self, name: impl Into<String>) -> Self {
+    pub fn service(mut self, name: impl Into<IStr>) -> Self {
         self.alert.service_name = name.into();
         self
     }

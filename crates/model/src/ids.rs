@@ -7,6 +7,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::IStr;
+
 macro_rules! numeric_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
@@ -85,13 +87,18 @@ numeric_id!(
 /// Regions are the grouping key for collective anti-pattern mining: the
 /// paper counts alerts *per hour per region* when selecting candidates of
 /// collective anti-patterns and when detecting alert storms.
+///
+/// The name is interned ([`IStr`]): a region id appears on every alert
+/// and in every region-hour histogram key, so cloning one is a refcount
+/// bump, not a heap allocation. Serde stays transparent — the JSON form
+/// is still a plain string.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct RegionId(pub String);
+pub struct RegionId(pub IStr);
 
 impl RegionId {
     /// Creates a region id from anything string-like.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<IStr>) -> Self {
         Self(name.into())
     }
 
@@ -110,12 +117,18 @@ impl fmt::Display for RegionId {
 
 impl From<&str> for RegionId {
     fn from(value: &str) -> Self {
-        Self(value.to_owned())
+        Self(value.into())
     }
 }
 
 impl From<String> for RegionId {
     fn from(value: String) -> Self {
+        Self(value.into())
+    }
+}
+
+impl From<IStr> for RegionId {
+    fn from(value: IStr) -> Self {
         Self(value)
     }
 }

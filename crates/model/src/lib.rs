@@ -55,6 +55,7 @@ mod error;
 mod graph;
 mod ids;
 mod incident;
+mod intern;
 mod location;
 mod oce;
 mod severity;
@@ -67,6 +68,7 @@ pub use error::ModelError;
 pub use graph::DependencyGraph;
 pub use ids::{AlertId, IncidentId, MicroserviceId, OceId, RegionId, ServiceId, StrategyId};
 pub use incident::{Incident, IncidentStatus};
+pub use intern::{intern, IStr, StrTable, DEFAULT_TABLE_CAP};
 pub use location::Location;
 pub use oce::{ExperienceBand, Oce};
 pub use severity::Severity;

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::RegionId;
+use crate::{IStr, RegionId};
 
 /// The location information of an alert: the information necessary to
 /// locate the anomalous service or microservice.
@@ -23,13 +23,13 @@ use crate::RegionId;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Location {
     region: RegionId,
-    dc: String,
-    instance: Option<String>,
+    dc: IStr,
+    instance: Option<IStr>,
 }
 
 impl Location {
     /// Creates a location from a region and a data-center name.
-    pub fn new(region: impl Into<RegionId>, dc: impl Into<String>) -> Self {
+    pub fn new(region: impl Into<RegionId>, dc: impl Into<IStr>) -> Self {
         Self {
             region: region.into(),
             dc: dc.into(),
@@ -40,7 +40,7 @@ impl Location {
     /// Attaches an instance name (e.g. the VM or container the alert
     /// fired on). Consuming builder-style setter.
     #[must_use]
-    pub fn with_instance(mut self, instance: impl Into<String>) -> Self {
+    pub fn with_instance(mut self, instance: impl Into<IStr>) -> Self {
         self.instance = Some(instance.into());
         self
     }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{MicroserviceId, ModelError, ServiceId, Severity, SimDuration, StrategyId};
+use crate::{IStr, MicroserviceId, ModelError, ServiceId, Severity, SimDuration, StrategyId};
 
 /// The kind of performance metric a metric rule watches.
 ///
@@ -219,7 +219,7 @@ impl StrategyKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AlertStrategy {
     id: StrategyId,
-    title_template: String,
+    title_template: IStr,
     severity: Severity,
     service: ServiceId,
     microservice: MicroserviceId,
@@ -253,6 +253,14 @@ impl AlertStrategy {
     /// The free-text title template used for alerts of this strategy.
     #[must_use]
     pub fn title_template(&self) -> &str {
+        &self.title_template
+    }
+
+    /// The title template as its interned handle. Alert producers
+    /// clone this straight into [`crate::AlertBuilder::title`] — a
+    /// refcount bump per alert instead of a fresh `String`.
+    #[must_use]
+    pub fn title_template_interned(&self) -> &IStr {
         &self.title_template
     }
 
@@ -310,7 +318,7 @@ impl AlertStrategy {
     /// Used by governance when a title lint (A1 mitigation) rewrites an
     /// unclear title.
     #[must_use]
-    pub fn with_title_template(mut self, template: impl Into<String>) -> Self {
+    pub fn with_title_template(mut self, template: impl Into<IStr>) -> Self {
         self.title_template = template.into();
         self
     }
@@ -337,7 +345,7 @@ impl AlertStrategy {
 #[derive(Debug, Clone)]
 pub struct AlertStrategyBuilder {
     id: StrategyId,
-    title_template: Option<String>,
+    title_template: Option<IStr>,
     severity: Severity,
     service: ServiceId,
     microservice: MicroserviceId,
@@ -349,7 +357,7 @@ pub struct AlertStrategyBuilder {
 impl AlertStrategyBuilder {
     /// Sets the title template (required, must be non-empty).
     #[must_use]
-    pub fn title_template(mut self, template: impl Into<String>) -> Self {
+    pub fn title_template(mut self, template: impl Into<IStr>) -> Self {
         self.title_template = Some(template.into());
         self
     }

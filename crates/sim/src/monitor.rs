@@ -200,7 +200,7 @@ impl<'a> MonitoringSystem<'a> {
         let ms_id = strategy.microservice();
         let topo = self.telemetry.topology();
         let (region, dc) = topo.microservice(ms_id).map_or_else(
-            || ("unknown".into(), "dc-0".to_owned()),
+            || ("unknown".into(), "dc-0".into()),
             |m| (m.region.clone(), m.dc.clone()),
         );
         let instance = format!(

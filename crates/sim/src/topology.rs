@@ -11,7 +11,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use alertops_model::{MicroserviceId, RegionId, ServiceId};
+use alertops_model::{IStr, MicroserviceId, RegionId, ServiceId};
 
 use crate::rng;
 
@@ -90,8 +90,9 @@ impl Default for TopologyConfig {
 pub struct Service {
     /// The service id.
     pub id: ServiceId,
-    /// The display name ("Block Storage", ...).
-    pub name: String,
+    /// The display name ("Block Storage", ...). Interned: every alert
+    /// of every strategy of this service shares the one allocation.
+    pub name: IStr,
 }
 
 /// A microservice: the unit of deployment, monitoring, and failure.
@@ -105,8 +106,9 @@ pub struct Microservice {
     pub name: String,
     /// Home region.
     pub region: RegionId,
-    /// Data center within the region.
-    pub dc: String,
+    /// Data center within the region. Interned — cloned into every
+    /// alert location this microservice raises.
+    pub dc: IStr,
     /// Topological layer (0 = foundation; higher layers depend on lower).
     pub layer: usize,
     /// Whether fault-tolerance shields service quality from this
@@ -148,7 +150,7 @@ impl Topology {
         let services: Vec<Service> = (0..config.services)
             .map(|i| Service {
                 id: ServiceId(i as u64),
-                name: SERVICE_NAMES[i % SERVICE_NAMES.len()].to_owned(),
+                name: SERVICE_NAMES[i % SERVICE_NAMES.len()].into(),
             })
             .collect();
 
@@ -168,7 +170,7 @@ impl Topology {
             let region_ix =
                 (rng::hash3(seed, 12, i as u64, 0) % config.regions.len() as u64) as usize;
             let region = RegionId::new(config.regions[region_ix].clone());
-            let dc = format!("dc-{}", 1 + rng::hash3(seed, 13, i as u64, 0) % 3);
+            let dc = IStr::from(format!("dc-{}", 1 + rng::hash3(seed, 13, i as u64, 0) % 3));
             let role =
                 MS_ROLES[(rng::hash3(seed, 14, i as u64, 0) % MS_ROLES.len() as u64) as usize];
             let service_slug = services[service.0 as usize]
@@ -282,6 +284,16 @@ impl Topology {
         self.microservice(id)
             .and_then(|ms| self.service(ms.service))
             .map_or("", |s| s.name.as_str())
+    }
+
+    /// The interned display name of the service owning microservice
+    /// `id` — alert producers clone this handle per alert instead of
+    /// re-interning the text.
+    #[must_use]
+    pub fn service_name_interned_of(&self, id: MicroserviceId) -> Option<&IStr> {
+        self.microservice(id)
+            .and_then(|ms| self.service(ms.service))
+            .map(|s| &s.name)
     }
 
     /// Microservices that `id` depends on (its callees).

@@ -165,6 +165,10 @@ pub struct StatisticalStream {
     generated: u64,
     /// Next dense [`AlertId`] to stamp on emission.
     next_id: u64,
+    /// Reused format buffer for per-alert instance names: the text is
+    /// rendered here then interned, so the steady state (bounded
+    /// instance vocabulary) allocates nothing per alert.
+    scratch: String,
 }
 
 impl StatisticalStream {
@@ -329,6 +333,7 @@ impl StatisticalStream {
             next_hour: start_hour,
             generated: 0,
             next_id: 0,
+            scratch: String::new(),
         }
     }
 
@@ -463,6 +468,7 @@ impl StatisticalStream {
 
         let mut generated = self.generated;
         let mut pending = std::mem::take(&mut self.pending);
+        let mut scratch = std::mem::take(&mut self.scratch);
         for strategy in self.catalog.strategies() {
             let profile = self.catalog.profile(strategy.id());
             let ms = self
@@ -546,6 +552,7 @@ impl StatisticalStream {
                     raised_at,
                     generated,
                     shape.tenants,
+                    &mut scratch,
                 );
                 // Lifecycle: over-sensitive metric alerts always auto-clear
                 // fast (transient); other probe/metric alerts auto-clear
@@ -596,6 +603,7 @@ impl StatisticalStream {
                             t,
                             generated,
                             shape.tenants,
+                            &mut scratch,
                         );
                         toggled
                             .clear(
@@ -613,6 +621,7 @@ impl StatisticalStream {
         }
         self.pending = pending;
         self.generated = generated;
+        self.scratch = scratch;
     }
 }
 
@@ -637,6 +646,7 @@ pub(crate) fn statistical_alerts(
     alerts
 }
 
+#[allow(clippy::too_many_arguments)]
 fn make_statistical_alert(
     seed: u64,
     topology: &Topology,
@@ -645,17 +655,28 @@ fn make_statistical_alert(
     raised_at: SimTime,
     entropy: u64,
     tenants: u64,
+    scratch: &mut String,
 ) -> Alert {
+    use std::fmt::Write;
     let vm = rng::hash3(seed, 102, entropy, raised_at.as_secs()) % 64;
-    let instance = if tenants > 1 {
-        format!("t{}-vm-{}", strategy.id().0 % tenants, vm)
+    // Render the instance name into the reused buffer and intern it:
+    // the instance vocabulary is bounded (64 VM slots per tenant
+    // slice), so after warm-up this allocates nothing.
+    scratch.clear();
+    if tenants > 1 {
+        let _ = write!(scratch, "t{}-vm-{}", strategy.id().0 % tenants, vm);
     } else {
-        format!("vm-{vm}")
-    };
+        let _ = write!(scratch, "vm-{vm}");
+    }
+    let instance = alertops_model::intern(scratch);
+    let service = topology
+        .service_name_interned_of(ms.id)
+        .cloned()
+        .unwrap_or_default();
     Alert::builder(AlertId(0), strategy.id())
-        .title(strategy.title_template())
+        .title(strategy.title_template_interned().clone())
         .severity(strategy.severity())
-        .service(topology.service_name_of(ms.id))
+        .service(service)
         .microservice(ms.id)
         .location(Location::new(ms.region.clone(), ms.dc.clone()).with_instance(instance))
         .raised_at(raised_at)

@@ -1,0 +1,89 @@
+//! LEB128 variable-length integers.
+//!
+//! Alert ids, strategy ids, timestamps, and counts are all small most
+//! of the time; a varint spends one byte on them instead of eight.
+//! Encoding is the standard little-endian base-128 scheme: seven
+//! payload bits per byte, high bit set on every byte but the last. A
+//! `u64` never needs more than [`MAX_LEN`] bytes.
+
+/// Longest possible encoding of a `u64` (ten 7-bit groups).
+pub const MAX_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+pub fn encode(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 integer from the front of `bytes`, returning the
+/// value and the bytes consumed. `None` when `bytes` ends mid-varint,
+/// when the encoding runs past [`MAX_LEN`] bytes, or when the final
+/// byte overflows 64 bits.
+#[must_use]
+pub fn decode(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    for (i, &byte) in bytes.iter().enumerate().take(MAX_LEN) {
+        let group = u64::from(byte & 0x7f);
+        // The tenth byte may only carry the single remaining bit.
+        if i == MAX_LEN - 1 && byte > 0x01 {
+            return None;
+        }
+        value |= group << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: u64) -> usize {
+        let mut buf = Vec::new();
+        encode(value, &mut buf);
+        let (back, used) = decode(&buf).expect("decodes");
+        assert_eq!(back, value);
+        assert_eq!(used, buf.len());
+        used
+    }
+
+    #[test]
+    fn known_boundaries_roundtrip() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(127), 1);
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(16_383), 2);
+        assert_eq!(roundtrip(16_384), 3);
+        assert_eq!(roundtrip(u64::MAX), MAX_LEN);
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_alone() {
+        let mut buf = Vec::new();
+        encode(300, &mut buf);
+        buf.extend_from_slice(b"tail");
+        let (value, used) = decode(&buf).unwrap();
+        assert_eq!(value, 300);
+        assert_eq!(&buf[used..], b"tail");
+    }
+
+    #[test]
+    fn truncated_and_overlong_encodings_are_rejected() {
+        assert_eq!(decode(&[]), None);
+        assert_eq!(decode(&[0x80]), None, "continuation bit with no tail");
+        assert_eq!(decode(&[0x80; MAX_LEN]), None, "never terminates");
+        // Ten bytes whose last would shift in more than one bit.
+        let mut overflow = [0x80u8; MAX_LEN];
+        overflow[MAX_LEN - 1] = 0x02;
+        assert_eq!(decode(&overflow), None);
+    }
+}

@@ -113,4 +113,23 @@ if grep -q '"conservation_ok": false' BENCH_soak.json; then
     exit 1
 fi
 
+# Wire gate: the binary codec's adversarial property tests (round-trip,
+# truncation at every offset, bit flips, byte soup — the decoder never
+# fabricates a frame), the mixed-version WAL replay suite (v1 text and
+# v2 binary segments stitched into one history, corrupt/unknown-version
+# segments quarantined whole), the end-to-end wire differential
+# (NDJSON == binary byte-for-byte across 1-shard, 4-shard, and 4-node
+# topologies), and the cluster bench's per-WAL-format journaling-tax
+# rows — regenerated, differential-gated, and grepped so a silent
+# "binary changed the answer" regression is impossible to commit.
+echo "==> wire: codec properties + mixed-version replay + format differential"
+cargo test -q -p alertops-wire
+cargo test -q -p alertops-cluster --test wal_negative
+cargo test -q --test wire
+cargo run --release -q -p alertops-bench --bin cluster_bench
+if grep -q '"outputs_identical": false' BENCH_cluster.json; then
+    echo "BENCH_cluster.json reports a WAL format changing cluster outputs" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use alertops::core::prelude::*;
 use alertops::ingestd::codec::encode_alert;
 use alertops::ingestd::{
-    shard_catalog, Ingestd, IngestdConfig, OverflowPolicy, FLUSH_FRAME, SHUTDOWN_FRAME,
+    shard_catalog, Ingestd, IngestdConfig, OverflowPolicy, WireFormat, FLUSH_FRAME, SHUTDOWN_FRAME,
 };
 use alertops::react::{audit_blocker_with, review_queue, AuditConfig};
 use alertops::sim::scenarios::{self, Scenario};
@@ -51,7 +51,8 @@ fn usage() -> ExitCode {
          [--scenario quickstart|mini-study|storm|cascade|study] [--seed N] \
          [--json FILE] [--top N] [--threshold N] \
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
-         [--listen ADDR] [--status ADDR] [--chaos] [--no-metrics] [--emerging] \
+         [--listen ADDR] [--status ADDR] [--wire ndjson|binary] [--chaos] \
+         [--no-metrics] [--emerging] \
          [--emerging-budget TOKENS] [--nodes N] [--wal DIR] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
@@ -72,6 +73,8 @@ struct Args {
     overflow: OverflowPolicy,
     listen: String,
     status: String,
+    /// Ingress wire format (`--wire`): NDJSON lines or binary frames.
+    wire: WireFormat,
     chaos: bool,
     metrics: bool,
     emerging: bool,
@@ -104,6 +107,7 @@ fn parse_args() -> Option<Args> {
         overflow: OverflowPolicy::Block,
         listen: "127.0.0.1:4501".to_owned(),
         status: "127.0.0.1:4502".to_owned(),
+        wire: WireFormat::default(),
         chaos: false,
         metrics: true,
         emerging: false,
@@ -152,6 +156,7 @@ fn parse_args() -> Option<Args> {
             }
             "--listen" => args.listen = value()?,
             "--status" => args.status = value()?,
+            "--wire" => args.wire = value()?.parse().ok()?,
             "--wal" => args.wal = Some(value()?),
             "--nodes" => args.nodes = value()?.parse().ok()?,
             "--connect" => args.connect = value()?,
@@ -381,6 +386,7 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         overflow: args.overflow,
         streaming,
         listen: Some(args.listen.clone()),
+        wire: args.wire,
         status: Some(args.status.clone()),
         metrics: args.metrics,
         chaos: args.chaos,
@@ -463,7 +469,14 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         addr(handle.ingest_addr()),
         addr(handle.status_addr()),
     );
-    println!("frames: NDJSON alerts | {FLUSH_FRAME} | {SHUTDOWN_FRAME}");
+    match args.wire {
+        WireFormat::Ndjson => {
+            println!("frames: NDJSON alerts | {FLUSH_FRAME} | {SHUTDOWN_FRAME}");
+        }
+        WireFormat::Binary => {
+            println!("frames: binary alertops-wire (acks are JSON text lines)");
+        }
+    }
     if args.chaos {
         println!("chaos mode: panic/stall/resume control frames accepted");
     }
@@ -508,6 +521,7 @@ fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
         overflow: args.overflow,
         streaming,
         listen: None,
+        wire: WireFormat::default(),
         status: None,
         metrics: false,
         chaos: false,
@@ -521,6 +535,7 @@ fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
         nodes: args.nodes,
         node,
         wal_root: wal_root.clone(),
+        wal_format: alertops::cluster::WalFormat::default(),
     };
 
     let factory_out = std::sync::Arc::new(out.clone());

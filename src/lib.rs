@@ -63,3 +63,4 @@ pub use alertops_sim as sim;
 pub use alertops_survey as survey;
 pub use alertops_text as text;
 pub use alertops_topics as topics;
+pub use alertops_wire as wire;

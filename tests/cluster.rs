@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use alertops::chaos::{seed_from_env, ChaosConfig, ChaosKind, ChaosSchedule};
-use alertops::cluster::{AlertCluster, ClusterConfig, GovernorFactory};
+use alertops::cluster::{AlertCluster, ClusterConfig, GovernorFactory, WalFormat};
 use alertops::core::prelude::*;
 use alertops::detect::StormConfig;
 use alertops::ingestd::IngestdConfig;
@@ -66,6 +66,7 @@ fn cluster_config(nodes: usize, shards: usize, wal_root: PathBuf) -> ClusterConf
             ..IngestdConfig::default()
         },
         wal_root,
+        wal_format: WalFormat::default(),
     }
 }
 

@@ -492,3 +492,36 @@ fn no_wall_clocks_or_unseeded_rngs_outside_vendor() {
         offenders.join("\n")
     );
 }
+
+/// Static wire audit: the cluster's WAL/handoff path is binary-framed;
+/// the only module allowed to build a JSON record is the v1
+/// compatibility shim (`wal_v1.rs`), which exists solely so
+/// pre-binary logs replay. A `serde_json::to_string` anywhere else in
+/// `crates/cluster/src` means a JSON copy crept back onto the hot
+/// path. The banned token is assembled at runtime so this file does
+/// not trip its own tripwire.
+#[test]
+fn cluster_wal_path_stays_binary_outside_the_v1_shim() {
+    let banned = format!("serde_json::{}", "to_string");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src = root.join("crates/cluster/src");
+    let mut offenders = Vec::new();
+    for entry in std::fs::read_dir(&src).expect("readable cluster src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        if path.file_name().is_some_and(|n| n == "wal_v1.rs") {
+            continue; // the one sanctioned JSON framer
+        }
+        let text = std::fs::read_to_string(&path).expect("readable source file");
+        if text.contains(banned.as_str()) {
+            offenders.push(path.display().to_string());
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "JSON serialization crept back onto the cluster WAL/handoff path:\n{}",
+        offenders.join("\n")
+    );
+}
