@@ -7,7 +7,9 @@
 //! compared as serialized JSON — the speedup is only reported for
 //! provably identical output. The emerging rows likewise first prove
 //! the governor's local pass identical to a standalone fit-free
-//! detector fed the same id-sorted windows.
+//! detector fed the same id-sorted windows, and the QoA rows prove the
+//! governor's local feedback loop identical to a standalone online
+//! model fed the samples a Forward-mode governor emits.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -17,12 +19,12 @@ use serde::Serialize;
 use alertops_bench::oracle::BatchRecomputeGovernor;
 use alertops_bench::{header, HARNESS_SEED};
 use alertops_core::{
-    AlertGovernor, EmergingChannel, EmergingMode, GovernorConfig, StreamingConfig,
-    StreamingGovernor,
+    AlertGovernor, EmergingChannel, EmergingMode, GovernorConfig, OnlineQoaModel, QoaChannel,
+    QoaFeedbackConfig, QoaMode, StreamingConfig, StreamingGovernor,
 };
-use alertops_model::{Alert, AlertStrategy};
+use alertops_model::{Alert, AlertStrategy, QoaLabel};
 use alertops_react::{EmergingAlertDetector, EmergingBudget, EmergingConfig, EmergingDoc};
-use alertops_sim::scenarios;
+use alertops_sim::{scenarios, FeedbackOracle, SimOutput};
 
 const WINDOW_LEN: usize = 64;
 const HISTORY_DEPTHS: [usize; 2] = [24, 96];
@@ -63,6 +65,23 @@ struct EmergingSummary {
 }
 
 #[derive(Serialize)]
+struct QoaRow {
+    mode: &'static str,
+    micros_per_window: f64,
+}
+
+#[derive(Serialize)]
+struct QoaSummary {
+    /// Added feedback-loop cost per window: local minus off.
+    qoa_micros_per_window: f64,
+    /// The governor's local loop matches a standalone online model fed
+    /// the samples a Forward-mode governor emits — the same
+    /// shard-to-coordinator contract the daemon differentials pin.
+    outputs_identical: bool,
+    results: Vec<QoaRow>,
+}
+
+#[derive(Serialize)]
 struct Summary {
     seed: u64,
     windows: usize,
@@ -70,6 +89,7 @@ struct Summary {
     alerts: usize,
     results: Vec<HistoryRow>,
     emerging: EmergingSummary,
+    qoa: QoaSummary,
 }
 
 fn config(history_windows: usize) -> StreamingConfig {
@@ -172,11 +192,80 @@ fn bench_emerging(strategies: &[AlertStrategy], windows: &[Vec<Alert>]) -> Emerg
     }
 }
 
+fn qoa_config(mode: QoaMode) -> StreamingConfig {
+    StreamingConfig {
+        qoa: QoaChannel {
+            mode,
+            config: QoaFeedbackConfig::default(),
+        },
+        ..StreamingConfig::default()
+    }
+}
+
+/// Times the ingest loop with the QoA feedback loop off, forwarding
+/// samples, and updating the model locally; the off/local gap is the
+/// loop's per-window latency. Differential first: the local loop must
+/// match a standalone [`OnlineQoaModel`] fed the samples a
+/// Forward-mode governor emits for the same windows and labels.
+fn bench_qoa(out: &SimOutput, windows: &[Vec<Alert>]) -> QoaSummary {
+    let strategies = out.catalog.strategies().to_vec();
+    let oracle = FeedbackOracle::new(HARNESS_SEED, 0.0);
+    let labels: Vec<Vec<QoaLabel>> = windows
+        .iter()
+        .enumerate()
+        .map(|(seq, w)| oracle.label_window(seq as u64, &out.catalog, w, &out.incidents))
+        .collect();
+
+    let mut local = StreamingGovernor::new(governor(&strategies), qoa_config(QoaMode::Local));
+    let mut forward = StreamingGovernor::new(governor(&strategies), qoa_config(QoaMode::Forward));
+    let mut model = OnlineQoaModel::new(QoaFeedbackConfig::default());
+    let outputs_identical = windows.iter().zip(&labels).all(|(w, labels)| {
+        let local_report = local.ingest_labeled(w, &[], labels).qoa;
+        let samples = forward.ingest(w, &[]).qoa_samples;
+        let report = model.observe_window(&samples, labels);
+        serde_json::to_string(&local_report).unwrap()
+            == serde_json::to_string(&Some(report)).unwrap()
+    });
+    assert!(
+        outputs_identical,
+        "governor local QoA loop diverged from the standalone model"
+    );
+
+    let modes = [
+        ("off", QoaMode::Off),
+        ("forward", QoaMode::Forward),
+        ("local", QoaMode::Local),
+    ];
+    let mut per_window = Vec::new();
+    let mut results = Vec::new();
+    for (mode_name, mode) in modes {
+        let mut s = StreamingGovernor::new(governor(&strategies), qoa_config(mode));
+        let start = Instant::now();
+        for (w, labels) in windows.iter().zip(&labels) {
+            black_box(s.ingest_labeled(w, &[], labels));
+        }
+        let micros = start.elapsed().as_micros() as f64 / windows.len() as f64;
+        per_window.push(micros);
+        results.push(QoaRow {
+            mode: mode_name,
+            micros_per_window: micros,
+        });
+        println!("  per-window ingest, qoa={mode_name:<8} {micros:>7.0}µs");
+    }
+    let qoa_micros_per_window = (per_window[2] - per_window[0]).max(0.0);
+    println!("  QoA loop added latency: {qoa_micros_per_window:>7.0}µs per window");
+    QoaSummary {
+        qoa_micros_per_window,
+        outputs_identical,
+        results,
+    }
+}
+
 fn main() {
     header("streaming ingest: incremental engine vs batch recompute");
     let out = scenarios::mini_study(HARNESS_SEED).run();
     let strategies = out.catalog.strategies().to_vec();
-    let mut trace = out.alerts;
+    let mut trace = out.alerts.clone();
     trace.sort_by_key(|a| (a.raised_at(), a.id()));
     let windows: Vec<Vec<Alert>> = trace.chunks(WINDOW_LEN).map(<[Alert]>::to_vec).collect();
 
@@ -231,6 +320,7 @@ fn main() {
     }
 
     let emerging = bench_emerging(&strategies, &windows);
+    let qoa = bench_qoa(&out, &windows);
     let summary = Summary {
         seed: HARNESS_SEED,
         windows: windows.len(),
@@ -238,6 +328,7 @@ fn main() {
         alerts: trace.len(),
         results,
         emerging,
+        qoa,
     };
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
     std::fs::write("BENCH_streaming.json", format!("{json}\n"))

@@ -118,6 +118,9 @@ impl BatchRecomputeGovernor {
             triage: pipeline.triage,
             emerging_docs: Vec::new(),
             emerging: None,
+            qoa_samples: Vec::new(),
+            escalated: Vec::new(),
+            qoa: None,
         };
         self.windows_ingested += 1;
         delta

@@ -65,6 +65,12 @@
 //!   whole-cluster restart rebuilds it from the retained window
 //!   history only (the trade documented in
 //!   [`alertops_core::StreamingGovernor::restore`]).
+//! - The online QoA model is coordinator state of the same shape, but
+//!   it takes the other side of that trade: its checkpoint is
+//!   journaled into every alive node's WAL just before each boundary
+//!   (`Frame::QoaState`), so a whole-cluster restart restores the
+//!   exact weights and EMAs instead of relearning — labels are not
+//!   journaled, so the replayed windows could not reproduce them.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -72,9 +78,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use alertops_core::{EmergingMode, GovernanceSnapshot, StreamingGovernor, WindowDelta};
+use alertops_core::{
+    EmergingMode, GovernanceSnapshot, OnlineQoaModel, QoaCheckpoint, QoaMode, StreamingGovernor,
+    WindowDelta,
+};
 use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, IngestdHandle};
-use alertops_model::{Alert, AlertStrategy, StrategyId};
+use alertops_model::{Alert, AlertStrategy, QoaLabel, StrategyId};
 use alertops_react::EmergingAlertDetector;
 use alertops_wire::{Frame, WireDecoder, WireEncoder};
 
@@ -99,7 +108,11 @@ pub struct ClusterConfig {
     /// sequential AO-LDA pass. That includes any storm-load token
     /// budget (`streaming.emerging.config.budget`): it is applied once,
     /// by the coordinator, after the cross-node merge, so node count
-    /// cannot change the sampled token set.
+    /// cannot change the sampled token set. `streaming.qoa.mode` works
+    /// the same way: nodes are forced into the forward-samples role
+    /// (`defer_qoa`) and the cluster coordinator owns the one
+    /// sequential `partial_fit` pass, journaling its checkpoint into
+    /// every alive node's WAL at each boundary.
     pub node: IngestdConfig,
     /// Directory holding one WAL subdirectory per node
     /// (`<wal_root>/node-<i>/`). Created if missing; existing logs are
@@ -219,6 +232,9 @@ pub struct AlertCluster {
     seq: u64,
     latest: Option<GovernanceSnapshot>,
     emerging: Option<EmergingAlertDetector>,
+    /// The one sequential online-QoA model, when the loop is on.
+    /// Checkpointed into every alive node's WAL at each boundary.
+    qoa: Option<OnlineQoaModel>,
     metrics: ClusterMetrics,
 }
 
@@ -243,6 +259,13 @@ fn spawn_node(
     if config.streaming.emerging.mode != EmergingMode::Off {
         config.streaming.emerging.mode = EmergingMode::Forward;
         config.defer_emerging = true;
+    }
+    // Same for the QoA feedback loop: nodes extract and forward
+    // per-strategy samples; the cluster coordinator owns the one
+    // sequential model and pushes verdicts back down.
+    if config.streaming.qoa.mode != QoaMode::Off {
+        config.streaming.qoa.mode = QoaMode::Forward;
+        config.defer_qoa = true;
     }
     Ingestd::spawn(&config, |shard, shards| {
         make_governor(&shard_catalog(node_cat, shards, shard))
@@ -279,6 +302,11 @@ impl AlertCluster {
         // recovery survives topology changes between runs.
         let mut recovered_windows: BTreeMap<u64, Vec<Alert>> = BTreeMap::new();
         let mut recovered_tail: Vec<Alert> = Vec::new();
+        // The newest decodable QoA checkpoint across every node's log.
+        // Every alive node journals the same bytes at each boundary,
+        // but a node killed mid-history carries stale ones — the
+        // checkpoint's own absorbed-window count disambiguates.
+        let mut recovered_qoa: Option<QoaCheckpoint> = None;
         for node in 0..config.nodes {
             let dir = config.wal_root.join(format!("node-{node}"));
             let replayed = wal::replay(&dir)?;
@@ -288,6 +316,21 @@ impl AlertCluster {
                 recovered_windows.entry(seq).or_default().extend(alerts);
             }
             recovered_tail.extend(replayed.tail);
+            for bytes in replayed
+                .qoa_states
+                .iter()
+                .map(|(_, bytes)| bytes)
+                .chain(replayed.tail_qoa.iter())
+            {
+                if let Some(ckpt) = QoaCheckpoint::from_bytes(bytes) {
+                    if recovered_qoa
+                        .as_ref()
+                        .is_none_or(|best| best.windows_absorbed <= ckpt.windows_absorbed)
+                    {
+                        recovered_qoa = Some(ckpt);
+                    }
+                }
+            }
             Wal::wipe(&dir)?;
         }
 
@@ -326,6 +369,10 @@ impl AlertCluster {
             seq: 0,
             latest: None,
             emerging,
+            // Parked during the replay below: the labels that trained
+            // the model were never journaled, so re-closing the
+            // retained windows must not relearn from empty ones.
+            qoa: None,
             metrics,
         };
 
@@ -344,6 +391,28 @@ impl AlertCluster {
         recovered_tail.sort_by_key(|a| (a.raised_at(), a.id()));
         for alert in recovered_tail {
             cluster.route(alert)?;
+        }
+
+        // Bring the feedback loop back: restore the journaled model
+        // (exact weights, not a relearn), push its current verdicts
+        // down so the next close is governed identically to an
+        // uninterrupted run, and re-journal the checkpoint into each
+        // fresh open segment so even a restart before the next close
+        // still finds it.
+        if cluster.config.node.streaming.qoa.mode != QoaMode::Off {
+            let qoa_config = cluster.config.node.streaming.qoa.config;
+            let model = recovered_qoa
+                .and_then(|ckpt| OnlineQoaModel::from_checkpoint(qoa_config, &ckpt))
+                .unwrap_or_else(|| OnlineQoaModel::new(qoa_config));
+            let verdicts = model.verdicts();
+            let bytes = model.checkpoint().to_bytes();
+            for slot in &cluster.slots {
+                if let Some(handle) = &slot.handle {
+                    handle.push_qoa_verdicts(&verdicts);
+                }
+                slot.wal.qoa_state(&bytes)?;
+            }
+            cluster.qoa = Some(model);
         }
         Ok(cluster)
     }
@@ -410,12 +479,33 @@ impl AlertCluster {
     ///
     /// WAL boundary failures pass through.
     pub fn close_window(&mut self) -> io::Result<GovernanceSnapshot> {
+        self.close_window_labeled(Vec::new())
+    }
+
+    /// [`close_window`](Self::close_window) with the window's OCE
+    /// feedback labels attached. When the QoA loop is on, the
+    /// coordinator joins the labels with the merged per-node feature
+    /// samples, runs the one sequential `partial_fit` pass, embeds the
+    /// [`alertops_core::QoaWindowReport`] in the snapshot, pushes the
+    /// updated verdicts down every alive node (to govern from the
+    /// *next* close — the one-window feedback lag that keeps cluster
+    /// == 1-node == batch byte-identical), and journals the model
+    /// checkpoint into each alive node's sealing WAL segment.
+    ///
+    /// # Errors
+    ///
+    /// WAL checkpoint/boundary failures pass through.
+    pub fn close_window_labeled(
+        &mut self,
+        labels: Vec<QoaLabel>,
+    ) -> io::Result<GovernanceSnapshot> {
         let seq = self.seq;
         self.seq += 1;
         let shards = self.config.node.shards;
 
         let mut deltas = Vec::with_capacity(self.slots.len());
         let mut degraded = Vec::new();
+        let mut closed_nodes = Vec::with_capacity(self.slots.len());
         for (node, slot) in self.slots.iter_mut().enumerate() {
             let Some(handle) = &slot.handle else {
                 degraded.extend((0..shards).map(|s| node * shards + s));
@@ -433,9 +523,7 @@ impl AlertCluster {
             let shed = node_dropped.saturating_sub(slot.last_dropped);
             slot.last_dropped = node_dropped;
             self.metrics.dropped.add(shed);
-
-            slot.wal.boundary(seq)?;
-            slot.pending = 0;
+            closed_nodes.push(node);
         }
         degraded.sort_unstable();
 
@@ -446,6 +534,32 @@ impl AlertCluster {
         snapshot.degraded = degraded;
         if let Some(detector) = self.emerging.as_mut() {
             snapshot.emerging = Some(detector.observe_docs(&merged.emerging_docs));
+        }
+        if let Some(model) = self.qoa.as_mut() {
+            let report = {
+                let _span = self.metrics.qoa.update_timer();
+                model.observe_window(&merged.qoa_samples, &labels)
+            };
+            self.metrics.qoa.record_report(&report);
+            let verdicts = model.verdicts();
+            let bytes = model.checkpoint().to_bytes();
+            for &node in &closed_nodes {
+                let slot = &self.slots[node];
+                if let Some(handle) = &slot.handle {
+                    handle.push_qoa_verdicts(&verdicts);
+                }
+                // Journaled before the boundary below, so the sealing
+                // segment carries the model state as of this close.
+                slot.wal.qoa_state(&bytes)?;
+            }
+            snapshot.qoa = Some(report);
+        }
+
+        // Seal every alive node's log at this sequence number.
+        for &node in &closed_nodes {
+            let slot = &mut self.slots[node];
+            slot.wal.boundary(seq)?;
+            slot.pending = 0;
         }
 
         self.metrics.delivered.add(snapshot.alert_count as u64);
@@ -507,6 +621,14 @@ impl AlertCluster {
             }
             let _ = handle.flush_window();
             wal.boundary(*seq)?;
+        }
+        // A rejoining node governs its next close with the
+        // coordinator's current verdicts, exactly like its peers; the
+        // fresh log is re-seeded with the model checkpoint so a
+        // whole-cluster restart right after this rejoin still finds it.
+        if let Some(model) = &self.qoa {
+            handle.push_qoa_verdicts(&model.verdicts());
+            wal.qoa_state(&model.checkpoint().to_bytes())?;
         }
         // Shedding during history replay re-routes alerts that were
         // already accounted at their original close; don't re-count.
@@ -707,6 +829,12 @@ impl AlertCluster {
             let _ = handle.flush_window();
             wal.boundary(*seq)?;
         }
+        // Same protocol as rejoin: current verdicts down, checkpoint
+        // into the fresh log.
+        if let Some(model) = &self.qoa {
+            handle.push_qoa_verdicts(&model.verdicts());
+            wal.qoa_state(&model.checkpoint().to_bytes())?;
+        }
         let slot = &mut self.slots[node];
         slot.last_dropped = handle.counters().dropped;
         for alert in &tail {
@@ -749,6 +877,23 @@ impl AlertCluster {
     #[must_use]
     pub fn latest_snapshot(&self) -> Option<GovernanceSnapshot> {
         self.latest.clone()
+    }
+
+    /// FNV-1a digest of the online QoA model (weights, biases, EMAs,
+    /// absorbed-window count), or `None` with the loop off. Equal
+    /// digests mean bit-identical models — what the restart suite
+    /// compares across a shutdown/spawn cycle.
+    #[must_use]
+    pub fn qoa_model_digest(&self) -> Option<u64> {
+        self.qoa.as_ref().map(OnlineQoaModel::digest)
+    }
+
+    /// The sequence number the next window close will publish under —
+    /// what a feedback oracle should label the in-flight window as.
+    /// Starts past any windows recovered from WAL replay at spawn.
+    #[must_use]
+    pub fn next_window_seq(&self) -> u64 {
+        self.seq
     }
 
     /// Point-in-time conservation counters.

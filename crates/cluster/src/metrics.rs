@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use alertops_core::QoaMetrics;
 use alertops_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Per-node WAL depth gauges.
@@ -55,6 +56,10 @@ pub struct ClusterMetrics {
     pub handoffs: Arc<Counter>,
     /// End-to-end handoff latency (seal, ship, respawn both ends), µs.
     pub handoff_micros: Arc<Histogram>,
+    /// The coordinator's online-QoA model update, when the feedback
+    /// loop is on — the same `alertops_qoa_*` families a local-mode
+    /// governor or standalone daemon records into.
+    pub qoa: QoaMetrics,
     pub(crate) wal: Vec<NodeWalGauges>,
 }
 
@@ -146,6 +151,7 @@ impl ClusterMetrics {
                 "End-to-end range handoff latency in microseconds.",
                 &[],
             ),
+            qoa: QoaMetrics::register(&registry),
             wal,
             registry,
         }

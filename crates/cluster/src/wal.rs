@@ -265,6 +265,37 @@ impl Wal {
         Ok(())
     }
 
+    /// Journals an opaque online-QoA model checkpoint
+    /// (`alertops_core::QoaCheckpoint::to_bytes`) into the open
+    /// segment, so the boundary that seals it carries the model state
+    /// as of that window's close and a whole-cluster restart can
+    /// resume the feedback loop at identical weights.
+    ///
+    /// Binary-only: the v1 NDJSON layout predates the QoA loop and its
+    /// record schema is frozen, so a v1 log silently skips the
+    /// checkpoint (restart then restarts the model from scratch — the
+    /// documented v1 limitation).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through.
+    pub fn qoa_state(&self, bytes: &[u8]) -> io::Result<()> {
+        if self.format == WalFormat::V1Json {
+            return Ok(());
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut scratch = std::mem::take(&mut state.scratch);
+        scratch.clear();
+        state
+            .encoder
+            .encode_into(&Frame::QoaState(bytes.to_vec()), &mut scratch);
+        let result = state.writer.write_all(&scratch);
+        state.scratch = scratch;
+        result?;
+        state.writer.flush()?;
+        Ok(())
+    }
+
     /// Seals the in-flight window: appends the boundary record,
     /// flushes, `fsync`s, rotates to a fresh segment (resetting the
     /// binary format's string table), and prunes sealed segments
@@ -338,6 +369,17 @@ pub struct WalReplay {
     pub duplicate_boundaries: u64,
     /// Total alerts recovered (windows plus tail).
     pub recovered_alerts: u64,
+    /// Online-QoA model checkpoints recovered, in log order:
+    /// `(window sequence, opaque checkpoint bytes)` — the bytes the
+    /// coordinator journaled via [`Wal::qoa_state`] just before the
+    /// boundary that sealed that window. Empty for v1 logs and for
+    /// clusters with the feedback loop off. Restart restores from the
+    /// last entry (the newest model).
+    pub qoa_states: Vec<(u64, Vec<u8>)>,
+    /// A checkpoint journaled after the last boundary — the restart
+    /// protocol re-journals the restored model into the fresh open
+    /// segment, so a second restart before any close still finds it.
+    pub tail_qoa: Option<Vec<u8>>,
 }
 
 /// The accumulating replay state shared by the v1 and v2 segment
@@ -345,6 +387,10 @@ pub struct WalReplay {
 struct ReplayState {
     windows: Vec<(u64, Vec<Alert>)>,
     current: Vec<Alert>,
+    /// A QoA checkpoint seen since the last boundary; attached to the
+    /// window that seals it.
+    pending_qoa: Option<Vec<u8>>,
+    qoa_states: Vec<(u64, Vec<u8>)>,
     torn_records: u64,
     duplicate_boundaries: u64,
 }
@@ -352,6 +398,9 @@ struct ReplayState {
 impl ReplayState {
     fn seal(&mut self, window: u64) {
         let alerts = std::mem::take(&mut self.current);
+        if let Some(bytes) = self.pending_qoa.take() {
+            self.qoa_states.push((window, bytes));
+        }
         if let Some((_, existing)) = self.windows.iter_mut().find(|(w, _)| *w == window) {
             // A window seq sealed twice: keep one window, keep every
             // alert, count the anomaly.
@@ -387,6 +436,10 @@ impl ReplayState {
             match item {
                 Ok(Frame::Alert(alert)) => self.current.push(*alert),
                 Ok(Frame::Boundary { window }) => self.seal(window),
+                // The coordinator journals the online-QoA model just
+                // before the sealing boundary; the checkpoint belongs
+                // to whichever window seals next.
+                Ok(Frame::QoaState(bytes)) => self.pending_qoa = Some(bytes),
                 // Any other frame kind has no business in a WAL
                 // segment; treat it exactly like corruption.
                 Ok(_) | Err(_) => {
@@ -417,6 +470,8 @@ pub fn replay(dir: &Path) -> io::Result<WalReplay> {
     let mut state = ReplayState {
         windows: Vec::new(),
         current: Vec::new(),
+        pending_qoa: None,
+        qoa_states: Vec::new(),
         torn_records: 0,
         duplicate_boundaries: 0,
     };
@@ -447,6 +502,8 @@ pub fn replay(dir: &Path) -> io::Result<WalReplay> {
         torn_records: state.torn_records,
         duplicate_boundaries: state.duplicate_boundaries,
         recovered_alerts,
+        qoa_states: state.qoa_states,
+        tail_qoa: state.pending_qoa,
     })
 }
 
@@ -547,6 +604,48 @@ mod tests {
             vec![(0, vec![alert(1)]), (1, vec![alert(2)])]
         );
         assert_eq!(replayed.tail, vec![alert(3)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn qoa_checkpoints_ride_the_sealing_boundary() {
+        let dir = temp_dir("qoa-state");
+        let wal = Wal::open(&dir, 8).unwrap();
+        wal.append(&alert(1)).unwrap();
+        wal.qoa_state(&[9, 8, 7]).unwrap();
+        wal.boundary(0).unwrap();
+        wal.append(&alert(2)).unwrap();
+        wal.boundary(1).unwrap();
+        wal.qoa_state(&[1, 2]).unwrap();
+        wal.boundary(2).unwrap();
+        // A checkpoint in the open (unsealed) segment is never
+        // attributed to a window; it surfaces as the tail checkpoint.
+        wal.qoa_state(&[5]).unwrap();
+
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.torn_records, 0);
+        assert_eq!(
+            replayed.qoa_states,
+            vec![(0, vec![9, 8, 7]), (2, vec![1, 2])]
+        );
+        assert_eq!(replayed.tail_qoa, Some(vec![5]));
+        assert_eq!(replayed.windows.len(), 3);
+        assert_eq!(replayed.recovered_alerts, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_logs_skip_qoa_checkpoints() {
+        let dir = temp_dir("qoa-v1");
+        let wal = Wal::open_with_format(&dir, 8, WalFormat::V1Json).unwrap();
+        wal.append(&alert(1)).unwrap();
+        wal.qoa_state(&[1, 2, 3]).unwrap();
+        wal.boundary(0).unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.torn_records, 0, "v1 segment stays well-formed");
+        assert_eq!(replayed.windows, vec![(0, vec![alert(1)])]);
+        assert!(replayed.qoa_states.is_empty());
+        assert_eq!(replayed.tail_qoa, None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use alertops_detect::{AntiPattern, AntiPatternReport, IncrementalState};
 use alertops_model::{Alert, AlertStrategy, DependencyGraph, Incident, Sop, StrategyId};
-use alertops_qoa::QoaScorer;
+use alertops_qoa::{QoaScorer, QoaVerdicts};
 use alertops_react::blocking::{AlertBlocker, BlockRule};
 use alertops_react::correlation::AlertCorrelator;
 use alertops_react::{AggregationConfig, ReactionPipeline};
@@ -40,6 +40,9 @@ pub struct AlertGovernor {
     graph: Option<DependencyGraph>,
     config: GovernorConfig,
     metrics: Option<GovernorMetrics>,
+    /// The streaming QoA loop's current per-strategy verdicts; empty
+    /// until feedback arrives. Both lists are sorted by strategy id.
+    qoa_verdicts: QoaVerdicts,
 }
 
 impl AlertGovernor {
@@ -52,6 +55,7 @@ impl AlertGovernor {
             graph: None,
             config,
             metrics: None,
+            qoa_verdicts: QoaVerdicts::default(),
         }
     }
 
@@ -112,6 +116,20 @@ impl AlertGovernor {
         self.sops.get(&id)
     }
 
+    /// The streaming QoA loop's current verdicts.
+    #[must_use]
+    pub fn qoa_verdicts(&self) -> &QoaVerdicts {
+        &self.qoa_verdicts
+    }
+
+    /// Installs the verdicts the QoA loop derived at the previous
+    /// window boundary. [`derive_blocker`](Self::derive_blocker) then
+    /// blocks demoted strategies and spares promoted ones — the
+    /// "scores drive governance" half of the feedback loop.
+    pub fn set_qoa_verdicts(&mut self, verdicts: QoaVerdicts) {
+        self.qoa_verdicts = verdicts;
+    }
+
     /// Stage 1 (Avoid): lints every strategy against the preventative
     /// guidelines.
     #[must_use]
@@ -137,19 +155,37 @@ impl AlertGovernor {
     }
 
     /// Derives R1 blocking rules from transient/toggling (A4) and
-    /// repeating (A5) findings — the paper's reaction to noise.
+    /// repeating (A5) findings — the paper's reaction to noise — and
+    /// auto-tunes them with the QoA verdicts: strategies the feedback
+    /// loop *promoted* (consistently high quality) are spared the
+    /// A4/A5 rules, and strategies it *demoted* (consistently low
+    /// quality) are blocked outright even without a finding.
     #[must_use]
     pub fn derive_blocker(&self, report: &AntiPatternReport) -> AlertBlocker {
         let mut blocker = AlertBlocker::new();
         for pattern in [AntiPattern::TransientToggling, AntiPattern::Repeating] {
             if let Some(findings) = report.findings.get(&pattern) {
                 for finding in findings {
+                    if self
+                        .qoa_verdicts
+                        .promoted
+                        .binary_search(&finding.strategy)
+                        .is_ok()
+                    {
+                        continue;
+                    }
                     blocker.add_rule(BlockRule::for_strategy(
                         format!("{} per {}", finding.strategy, pattern.code()),
                         finding.strategy,
                     ));
                 }
             }
+        }
+        for &strategy in &self.qoa_verdicts.demoted {
+            blocker.add_rule(BlockRule::for_strategy(
+                format!("{strategy} per qoa-demotion"),
+                strategy,
+            ));
         }
         blocker
     }
@@ -330,6 +366,32 @@ mod tests {
             .iter()
             .all(|a| a.strategy() == StrategyId(1)));
         assert!(outcome.passed.iter().any(|a| a.strategy() == StrategyId(2)));
+    }
+
+    #[test]
+    fn qoa_verdicts_tune_the_blocker() {
+        let mut gov = governor();
+        let report = gov.detect(&history(), &[]);
+        // Baseline: A4 blocks the noisy strategy.
+        assert!(!gov.derive_blocker(&report).rules().is_empty());
+        // Promotion spares it despite the finding.
+        gov.set_qoa_verdicts(QoaVerdicts {
+            demoted: Vec::new(),
+            promoted: vec![StrategyId(1)],
+        });
+        assert!(gov.derive_blocker(&report).rules().is_empty());
+        // Demotion blocks the clean strategy even without a finding.
+        gov.set_qoa_verdicts(QoaVerdicts {
+            demoted: vec![StrategyId(2)],
+            promoted: Vec::new(),
+        });
+        let blocker = gov.derive_blocker(&report);
+        let alerts = history();
+        let outcome = blocker.apply(&alerts);
+        assert!(outcome
+            .blocked
+            .iter()
+            .any(|a| a.strategy() == StrategyId(2)));
     }
 
     #[test]

@@ -66,11 +66,18 @@ pub mod prelude;
 
 pub use governor::{AlertGovernor, GovernorConfig};
 pub use guidelines::{GuidelineAspect, GuidelineContext, GuidelineLinter, GuidelineViolation};
-pub use metrics::{EmergingMetrics, GovernorMetrics};
+pub use metrics::{EmergingMetrics, GovernorMetrics, QoaMetrics};
 pub use postmortem::{render_postmortem, PostmortemInput};
 pub use remediation::{apply_fixes, suggest_fixes, FixAction, RemediationConfig, StrategyFix};
 pub use reports::GovernanceReport;
 pub use streaming::{
-    merge_emerging_docs, EmergingChannel, EmergingMode, GovernanceSnapshot, StreamingCheckpoint,
-    StreamingConfig, StreamingGovernor, WindowDelta,
+    merge_emerging_docs, EmergingChannel, EmergingMode, GovernanceSnapshot, QoaChannel, QoaMode,
+    StreamingCheckpoint, StreamingConfig, StreamingGovernor, WindowDelta,
+};
+
+// Downstream layers (ingestd, cluster) speak the QoA loop's vocabulary
+// through this crate, mirroring how they consume the emerging channel.
+pub use alertops_qoa::{
+    OnlineQoaModel, QoaCheckpoint, QoaFeedbackConfig, QoaSample, QoaVerdicts, QoaWindowReport,
+    StrategyQoa,
 };

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use alertops_detect::DetectMetrics;
-use alertops_obs::{Counter, Histogram, MetricsRegistry, Span};
+use alertops_obs::{milli, Counter, Gauge, Histogram, MetricsRegistry, Span};
+use alertops_qoa::QoaWindowReport;
 use alertops_react::{EmergingReport, ReactMetrics};
 
 /// Metric handles for the emerging-alert (R4) channel: AO-LDA
@@ -58,6 +59,82 @@ impl EmergingMetrics {
     }
 }
 
+/// Metric handles for the streaming QoA feedback channel: model
+/// update wall time, windows and samples absorbed, and the current
+/// verdict counts. Shared by every place the sequential `partial_fit`
+/// pass can run — a local-mode [`StreamingGovernor`]
+/// (crate::StreamingGovernor), the ingestd coordinator, or the
+/// cluster coordinator — with the same idempotent-registration rule
+/// as [`EmergingMetrics`].
+#[derive(Debug, Clone)]
+pub struct QoaMetrics {
+    update_micros: Arc<Histogram>,
+    windows_total: Arc<Counter>,
+    samples_total: Arc<Counter>,
+    demoted: Arc<Gauge>,
+    promoted: Arc<Gauge>,
+    mean_ema_milli: Arc<Gauge>,
+}
+
+impl QoaMetrics {
+    /// Registers (or re-attaches to) the QoA feedback families.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            update_micros: registry.histogram(
+                "alertops_qoa_update_micros",
+                "Wall time of one online QoA model update (join + partial_fit + scoring).",
+                &[],
+            ),
+            windows_total: registry.counter(
+                "alertops_qoa_windows_total",
+                "Windows absorbed by the online QoA model.",
+                &[],
+            ),
+            samples_total: registry.counter(
+                "alertops_qoa_samples_total",
+                "Per-strategy feature samples scored by the online QoA model.",
+                &[],
+            ),
+            demoted: registry.gauge(
+                "alertops_qoa_demoted_strategies",
+                "Strategies currently demoted (blocked) by QoA feedback.",
+                &[],
+            ),
+            promoted: registry.gauge(
+                "alertops_qoa_promoted_strategies",
+                "Strategies currently promoted (escalated) by QoA feedback.",
+                &[],
+            ),
+            mean_ema_milli: registry.gauge(
+                "alertops_qoa_mean_ema_milli",
+                "Mean per-strategy QoA EMA over the last window, in thousandths.",
+                &[],
+            ),
+        }
+    }
+
+    /// Starts a wall-time span for one model update.
+    #[must_use]
+    pub fn update_timer(&self) -> Span<'_> {
+        self.update_micros.time()
+    }
+
+    /// Records one window's QoA report into the counters and gauges.
+    pub fn record_report(&self, report: &QoaWindowReport) {
+        self.windows_total.inc();
+        self.samples_total.add(report.absorbed as u64);
+        self.demoted.set(report.demoted.len() as u64);
+        self.promoted.set(report.promoted.len() as u64);
+        let mean = if report.scored.is_empty() {
+            0.0
+        } else {
+            report.scored.iter().map(|s| s.ema).sum::<f64>() / report.scored.len() as f64
+        };
+        self.mean_ema_milli.set(milli(mean));
+    }
+}
+
 /// The full metric bundle an instrumented [`AlertGovernor`] records
 /// into: the detect and react handles plus a streaming-ingest wall-time
 /// histogram.
@@ -76,6 +153,8 @@ pub struct GovernorMetrics {
     pub react: ReactMetrics,
     /// Emerging-channel (R4) handles.
     pub emerging: EmergingMetrics,
+    /// Streaming QoA feedback-channel handles.
+    pub qoa: QoaMetrics,
     /// Wall time of one full streaming-window ingest (detection over
     /// the rolling history + reaction over the window).
     ingest_micros: Arc<Histogram>,
@@ -89,6 +168,7 @@ impl GovernorMetrics {
             detect: DetectMetrics::register(registry),
             react: ReactMetrics::register(registry),
             emerging: EmergingMetrics::register(registry),
+            qoa: QoaMetrics::register(registry),
             ingest_micros: registry.histogram(
                 "alertops_streaming_ingest_micros",
                 "Wall time of one streaming-window ingest (detect + react).",
@@ -118,6 +198,39 @@ mod tests {
         assert!(text.contains("alertops_detector_micros"));
         assert!(text.contains("alertops_react_stage_micros"));
         assert!(text.contains("alertops_emerging_window_micros"));
+        assert!(text.contains("alertops_qoa_update_micros"));
+        alertops_obs::lint_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn qoa_metrics_record_reports() {
+        let registry = MetricsRegistry::new();
+        let metrics = QoaMetrics::register(&registry);
+        drop(metrics.update_timer());
+        metrics.record_report(&QoaWindowReport {
+            absorbed: 4,
+            scored: vec![
+                alertops_qoa::StrategyQoa {
+                    strategy: alertops_model::StrategyId(1),
+                    scores: [0.5, 0.5, 0.5],
+                    ema: 0.25,
+                },
+                alertops_qoa::StrategyQoa {
+                    strategy: alertops_model::StrategyId(2),
+                    scores: [0.5, 0.5, 0.5],
+                    ema: 0.75,
+                },
+            ],
+            demoted: vec![alertops_model::StrategyId(1)],
+            promoted: Vec::new(),
+            model_digest: 7,
+        });
+        let text = registry.render();
+        assert!(text.contains("alertops_qoa_windows_total 1"));
+        assert!(text.contains("alertops_qoa_samples_total 4"));
+        assert!(text.contains("alertops_qoa_demoted_strategies 1"));
+        assert!(text.contains("alertops_qoa_mean_ema_milli 500"));
+        assert!(text.contains("alertops_qoa_update_micros_count 1"));
         alertops_obs::lint_exposition(&text).unwrap();
     }
 

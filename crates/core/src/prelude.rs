@@ -4,7 +4,8 @@
 pub use crate::{
     merge_emerging_docs, AlertGovernor, EmergingChannel, EmergingMode, GovernanceReport,
     GovernanceSnapshot, GovernorConfig, GovernorMetrics, GuidelineAspect, GuidelineContext,
-    GuidelineLinter, GuidelineViolation, StreamingConfig, StreamingGovernor, WindowDelta,
+    GuidelineLinter, GuidelineViolation, QoaChannel, QoaMode, StreamingConfig, StreamingGovernor,
+    WindowDelta,
 };
 
 pub use alertops_detect::{
@@ -14,10 +15,13 @@ pub use alertops_detect::{
 };
 pub use alertops_model::{
     Alert, AlertId, AlertStrategy, Clearance, DependencyGraph, Incident, Location, MetricKind,
-    MicroserviceId, RegionId, ServiceId, Severity, SimDuration, SimTime, Sop, StrategyId,
+    MicroserviceId, QoaLabel, RegionId, ServiceId, Severity, SimDuration, SimTime, Sop, StrategyId,
     StrategyKind, TimeRange,
 };
-pub use alertops_qoa::{Criterion, QoaModel, QoaReport, QoaScorer, QoaScores};
+pub use alertops_qoa::{
+    Criterion, OnlineQoaModel, QoaCheckpoint, QoaFeedbackConfig, QoaModel, QoaReport, QoaSample,
+    QoaScorer, QoaScores, QoaVerdicts, QoaWindowReport, StrategyQoa,
+};
 pub use alertops_react::{
     aggregate, AggregationConfig, AlertBlocker, AlertCorrelator, BlockRule, EmergingAlertDetector,
     EmergingBudget, EmergingConfig, EmergingDoc, EmergingReport, ReactionPipeline,

@@ -18,7 +18,11 @@ use serde::{Deserialize, Serialize};
 
 use alertops_detect::storm::storms_from_histogram;
 use alertops_detect::{AlertStorm, AntiPattern, IncrementalState, StormConfig, StrategyFinding};
-use alertops_model::{Alert, AlertId, Incident, RegionId, StrategyId};
+use alertops_model::{Alert, AlertId, Incident, QoaLabel, RegionId, StrategyId};
+use alertops_qoa::{
+    FeatureExtractor, OnlineQoaModel, QoaCheckpoint, QoaFeedbackConfig, QoaSample, QoaVerdicts,
+    QoaWindowReport,
+};
 use alertops_react::{EmergingAlertDetector, EmergingConfig, EmergingDoc, EmergingReport};
 
 use crate::governor::AlertGovernor;
@@ -58,6 +62,40 @@ pub struct EmergingChannel {
     pub config: EmergingConfig,
 }
 
+/// How the streaming QoA feedback loop runs. The same
+/// Forward-to-the-coordinator arrangement as [`EmergingMode`], and for
+/// the same reason: `partial_fit` is order-sensitive, so the single
+/// sequential model update must run at the topmost merge point for
+/// N-shard output to reproduce the 1-shard output byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QoaMode {
+    /// The loop is off: no samples extracted, no scores, no verdicts.
+    #[default]
+    Off,
+    /// Extract this window's per-strategy feature vectors into
+    /// [`WindowDelta::qoa_samples`] but do not update a model locally;
+    /// a downstream coordinator merges the forwards, runs the single
+    /// `partial_fit` pass against the window's labels, and pushes the
+    /// resulting [`QoaVerdicts`] back down before the next close.
+    Forward,
+    /// Run the online model locally: absorb labels, score, and embed
+    /// the [`QoaWindowReport`] in [`WindowDelta::qoa`]
+    /// (single-process deployments).
+    Local,
+}
+
+/// QoA-feedback configuration carried by [`StreamingConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct QoaChannel {
+    /// Whether and where the online model update runs.
+    pub mode: QoaMode,
+    /// Loop hyperparameters (learning rate, EMA smoothing, demotion /
+    /// escalation thresholds). Rides through ingestd and cluster
+    /// unchanged — whichever process owns the sequential model applies
+    /// it.
+    pub config: QoaFeedbackConfig,
+}
+
 /// Configuration for [`StreamingGovernor`].
 #[derive(Debug, Clone)]
 pub struct StreamingConfig {
@@ -69,6 +107,8 @@ pub struct StreamingConfig {
     pub storm: StormConfig,
     /// The emerging-alert (R4) channel.
     pub emerging: EmergingChannel,
+    /// The streaming QoA feedback loop.
+    pub qoa: QoaChannel,
 }
 
 impl Default for StreamingConfig {
@@ -77,6 +117,7 @@ impl Default for StreamingConfig {
             history_windows: 24,
             storm: StormConfig::default(),
             emerging: EmergingChannel::default(),
+            qoa: QoaChannel::default(),
         }
     }
 }
@@ -118,6 +159,20 @@ pub struct WindowDelta {
     /// This window's emerging report when the governor runs AO-LDA
     /// itself ([`EmergingMode::Local`]); `None` otherwise.
     pub emerging: Option<EmergingReport>,
+    /// Per-strategy QoA feature vectors extracted from this window's
+    /// alerts, sorted by strategy id, when the governor runs in
+    /// [`QoaMode::Forward`]. Empty otherwise. Strategies are sharded
+    /// disjointly, so merged forwards sort back to one canonical
+    /// sample list with unique keys.
+    pub qoa_samples: Vec<QoaSample>,
+    /// Alerts of QoA-promoted strategies escalated past storm
+    /// suppression this window, sorted by alert id. The explicit lane
+    /// keeps the conservation law balanced: escalated alerts are a
+    /// subset of the delivered ones, never an extra count.
+    pub escalated: Vec<AlertId>,
+    /// This window's QoA report when the governor runs the online
+    /// model itself ([`QoaMode::Local`]); `None` otherwise.
+    pub qoa: Option<QoaWindowReport>,
 }
 
 impl WindowDelta {
@@ -139,6 +194,9 @@ impl WindowDelta {
             triage: Vec::new(),
             emerging_docs: Vec::new(),
             emerging: None,
+            qoa_samples: Vec::new(),
+            escalated: Vec::new(),
+            qoa: None,
         }
     }
 
@@ -218,6 +276,38 @@ impl WindowDelta {
             _ => None,
         };
 
+        // Canonical sample order: by strategy id, ties broken by the
+        // raw feature bits so the sort is total (shards never produce
+        // duplicate strategies, but the monoid laws must hold for any
+        // input).
+        let mut qoa_samples: Vec<QoaSample> = deltas
+            .iter()
+            .flat_map(|d| d.qoa_samples.iter().cloned())
+            .collect();
+        qoa_samples.sort_by(|a, b| {
+            a.strategy.cmp(&b.strategy).then_with(|| {
+                a.features
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .cmp(b.features.iter().map(|f| f.to_bits()))
+            })
+        });
+
+        let mut escalated: Vec<AlertId> = deltas
+            .iter()
+            .flat_map(|d| d.escalated.iter().copied())
+            .collect();
+        escalated.sort_unstable();
+
+        // Like `emerging`: a local QoA report is the output of an
+        // inherently sequential pass, so it survives a merge only when
+        // exactly one operand carries one.
+        let mut qoa_reports = deltas.iter().filter_map(|d| d.qoa.as_ref());
+        let qoa = match (qoa_reports.next(), qoa_reports.next()) {
+            (Some(report), None) => Some(report.clone()),
+            _ => None,
+        };
+
         WindowDelta {
             window_index,
             alert_count,
@@ -229,6 +319,9 @@ impl WindowDelta {
             triage,
             emerging_docs,
             emerging,
+            qoa_samples,
+            escalated,
+            qoa,
         }
     }
 }
@@ -276,6 +369,17 @@ pub struct GovernanceSnapshot {
     /// [`WindowDelta::emerging_docs`] *after* merging and fills this
     /// in, keeping 1-shard and N-shard output byte-identical.
     pub emerging: Option<EmergingReport>,
+    /// Alerts escalated past storm suppression because their strategy
+    /// is QoA-promoted, sorted by alert id. Exact under sharding:
+    /// promotion is per strategy and each strategy lives on one shard.
+    pub escalated: Vec<AlertId>,
+    /// The QoA window report, when the feedback loop is enabled.
+    /// [`GovernanceSnapshot::from_delta`] passes a report already
+    /// embedded in the delta through ([`QoaMode::Local`]); in sharded
+    /// deployments the deltas carry only forwarded samples, and the
+    /// coordinator runs the single sequential model update *after*
+    /// merging and fills this in — same contract as `emerging`.
+    pub qoa: Option<QoaWindowReport>,
 }
 
 /// Collects the emerging-channel documents forwarded in one closed
@@ -331,6 +435,8 @@ impl GovernanceSnapshot {
         resolved.sort_unstable();
         let mut triage = delta.triage.clone();
         triage.sort_unstable();
+        let mut escalated = delta.escalated.clone();
+        escalated.sort_unstable();
 
         Self {
             window_index: delta.window_index,
@@ -342,6 +448,8 @@ impl GovernanceSnapshot {
             triage,
             degraded: Vec::new(),
             emerging: None,
+            escalated,
+            qoa: delta.qoa.clone(),
         }
     }
 }
@@ -385,6 +493,12 @@ pub struct StreamingGovernor {
     /// The local AO-LDA detector, present iff the emerging channel
     /// runs in [`EmergingMode::Local`].
     emerging: Option<EmergingAlertDetector>,
+    /// The QoA feature extractor, present iff the feedback loop is on
+    /// (either mode — Forward shards extract, too).
+    qoa_extractor: Option<FeatureExtractor>,
+    /// The online QoA model, present iff the loop runs in
+    /// [`QoaMode::Local`].
+    qoa_model: Option<OnlineQoaModel>,
 }
 
 impl StreamingGovernor {
@@ -395,6 +509,14 @@ impl StreamingGovernor {
             EmergingMode::Local => Some(EmergingAlertDetector::new(config.emerging.config.clone())),
             EmergingMode::Off | EmergingMode::Forward => None,
         };
+        let qoa_extractor = match config.qoa.mode {
+            QoaMode::Off => None,
+            QoaMode::Forward | QoaMode::Local => Some(FeatureExtractor::new()),
+        };
+        let qoa_model = match config.qoa.mode {
+            QoaMode::Local => Some(OnlineQoaModel::new(config.qoa.config)),
+            QoaMode::Off | QoaMode::Forward => None,
+        };
         Self {
             governor,
             config,
@@ -403,6 +525,8 @@ impl StreamingGovernor {
             previous_flags: BTreeSet::new(),
             windows_ingested: 0,
             emerging,
+            qoa_extractor,
+            qoa_model,
         }
     }
 
@@ -430,6 +554,72 @@ impl StreamingGovernor {
             )),
             EmergingMode::Off | EmergingMode::Forward => None,
         };
+    }
+
+    /// The QoA-loop mode this governor runs in.
+    #[must_use]
+    pub fn qoa_mode(&self) -> QoaMode {
+        self.config.qoa.mode
+    }
+
+    /// Overrides the QoA-loop mode. The ingestd daemon uses this the
+    /// same way it uses [`set_emerging_mode`](Self::set_emerging_mode):
+    /// shard governors are normalized to *forward* samples (or stay
+    /// off), because a per-shard `partial_fit` would make the model
+    /// depend on the shard count. Switching into [`QoaMode::Local`]
+    /// (re)creates a fresh model; any other switch drops it.
+    pub fn set_qoa_mode(&mut self, mode: QoaMode) {
+        if mode == self.config.qoa.mode {
+            return;
+        }
+        self.config.qoa.mode = mode;
+        self.qoa_extractor = match mode {
+            QoaMode::Off => None,
+            QoaMode::Forward | QoaMode::Local => Some(FeatureExtractor::new()),
+        };
+        self.qoa_model = match mode {
+            QoaMode::Local => Some(OnlineQoaModel::new(self.config.qoa.config)),
+            QoaMode::Off | QoaMode::Forward => None,
+        };
+    }
+
+    /// Installs QoA verdicts on the wrapped governor — how a
+    /// coordinator pushes the model's conclusions back down to
+    /// [`QoaMode::Forward`] shards between window closes.
+    pub fn set_qoa_verdicts(&mut self, verdicts: QoaVerdicts) {
+        self.governor.set_qoa_verdicts(verdicts);
+    }
+
+    /// The local online QoA model, when this governor owns one
+    /// ([`QoaMode::Local`]).
+    #[must_use]
+    pub fn qoa_model(&self) -> Option<&OnlineQoaModel> {
+        self.qoa_model.as_ref()
+    }
+
+    /// Captures the local QoA model's state for journaling, when this
+    /// governor owns one.
+    #[must_use]
+    pub fn qoa_checkpoint(&self) -> Option<QoaCheckpoint> {
+        self.qoa_model.as_ref().map(OnlineQoaModel::checkpoint)
+    }
+
+    /// Restores the local QoA model from a checkpoint (switching the
+    /// loop into [`QoaMode::Local`] if needed) and installs the
+    /// restored verdicts on the governor. Returns `false` when the
+    /// checkpoint is malformed, leaving the current model untouched.
+    pub fn restore_qoa(&mut self, checkpoint: &QoaCheckpoint) -> bool {
+        let Some(model) = OnlineQoaModel::from_checkpoint(self.config.qoa.config, checkpoint)
+        else {
+            return false;
+        };
+        self.config.qoa.mode = QoaMode::Local;
+        if self.qoa_extractor.is_none() {
+            self.qoa_extractor = Some(FeatureExtractor::new());
+        }
+        self.governor.set_qoa_verdicts(model.verdicts());
+        self.qoa_model = Some(model);
+        true
     }
 
     /// The wrapped governor.
@@ -466,7 +656,7 @@ impl StreamingGovernor {
     /// detection engine (evicting windows that slide out of the rolling
     /// scope), and returns the delta.
     pub fn ingest(&mut self, window: &[Alert], incidents: &[Incident]) -> WindowDelta {
-        self.ingest_inner(window, incidents)
+        self.ingest_inner(window, incidents, &[])
     }
 
     /// Owned-window variant of [`ingest`](Self::ingest) for callers
@@ -476,12 +666,45 @@ impl StreamingGovernor {
     /// implementation, and with the digest-based engine neither copies
     /// the alerts internally.
     pub fn ingest_owned(&mut self, window: Vec<Alert>, incidents: &[Incident]) -> WindowDelta {
-        self.ingest_inner(&window, incidents)
+        self.ingest_inner(&window, incidents, &[])
     }
 
-    fn ingest_inner(&mut self, window: &[Alert], incidents: &[Incident]) -> WindowDelta {
-        let _span = self.governor.metrics().map(|m| m.ingest_timer());
-        let detect_metrics = self.governor.metrics().map(|m| &m.detect);
+    /// [`ingest`](Self::ingest) plus this window's OCE feedback
+    /// labels, sorted by strategy id. Labels feed the online QoA model
+    /// when the loop runs in [`QoaMode::Local`]; in the other modes
+    /// they are ignored here (a Forward shard's labels travel to its
+    /// coordinator out of band, alongside the window close).
+    pub fn ingest_labeled(
+        &mut self,
+        window: &[Alert],
+        incidents: &[Incident],
+        labels: &[QoaLabel],
+    ) -> WindowDelta {
+        self.ingest_inner(window, incidents, labels)
+    }
+
+    /// Owned-window variant of [`ingest_labeled`](Self::ingest_labeled).
+    pub fn ingest_owned_labeled(
+        &mut self,
+        window: Vec<Alert>,
+        incidents: &[Incident],
+        labels: &[QoaLabel],
+    ) -> WindowDelta {
+        self.ingest_inner(&window, incidents, labels)
+    }
+
+    fn ingest_inner(
+        &mut self,
+        window: &[Alert],
+        incidents: &[Incident],
+        labels: &[QoaLabel],
+    ) -> WindowDelta {
+        // Clone the (Arc-backed) metric handles so the ingest-latency
+        // span does not pin a borrow of the governor for the whole
+        // window — the QoA block below mutates it (verdict install).
+        let metrics = self.governor.metrics().cloned();
+        let _span = metrics.as_ref().map(|m| m.ingest_timer());
+        let detect_metrics = metrics.as_ref().map(|m| &m.detect);
 
         self.engine
             .observe_window(window, self.governor.dependency_graph(), detect_metrics);
@@ -554,6 +777,67 @@ impl StreamingGovernor {
         let blocker = self.governor.derive_blocker(&report);
         let pipeline = self.governor.react(window, blocker);
 
+        // The escalation lane: alerts of QoA-promoted strategies that
+        // the reaction pipeline did NOT surface in triage ride past
+        // storm suppression explicitly. Uses the verdicts installed at
+        // the previous window boundary — like the blocker above, so
+        // window N is governed entirely by what window N-1 taught the
+        // model. Escalated alerts are a subset of this window's
+        // delivered alerts, so the conservation law is untouched.
+        let promoted = &self.governor.qoa_verdicts().promoted;
+        let escalated: Vec<AlertId> = if promoted.is_empty() {
+            Vec::new()
+        } else {
+            let triaged: BTreeSet<AlertId> = pipeline.triage.iter().copied().collect();
+            let mut escalated: Vec<AlertId> = window
+                .iter()
+                .filter(|a| promoted.binary_search(&a.strategy()).is_ok())
+                .map(Alert::id)
+                .filter(|id| !triaged.contains(id))
+                .collect();
+            escalated.sort_unstable();
+            escalated.dedup();
+            escalated
+        };
+
+        // The QoA loop: extract one feature vector per strategy that
+        // alerted (canonically sorted by strategy id), then either
+        // forward the samples for a coordinator's sequential model
+        // update or run the update locally. Runs after the reaction
+        // stage so this window's verdicts only govern window N+1.
+        let (qoa_samples, qoa) = match self.qoa_extractor.as_ref() {
+            None => (Vec::new(), None),
+            Some(extractor) => {
+                let mut by_strategy: BTreeMap<StrategyId, Vec<&Alert>> = BTreeMap::new();
+                for alert in window {
+                    by_strategy.entry(alert.strategy()).or_default().push(alert);
+                }
+                let samples: Vec<QoaSample> = by_strategy
+                    .iter()
+                    .filter_map(|(&id, alerts)| {
+                        let strategy = self.governor.strategies().iter().find(|s| s.id() == id)?;
+                        Some(QoaSample {
+                            strategy: id,
+                            features: extractor.extract(
+                                strategy,
+                                self.governor.sop(id),
+                                alerts,
+                                &self.incidents,
+                            ),
+                        })
+                    })
+                    .collect();
+                match self.qoa_model.as_mut() {
+                    Some(model) => {
+                        let report = model.observe_window(&samples, labels);
+                        self.governor.set_qoa_verdicts(model.verdicts());
+                        (Vec::new(), Some(report))
+                    }
+                    None => (samples, None),
+                }
+            }
+        };
+
         // R4 — the emerging channel. The document list is canonically
         // sorted by alert id so a local pass, a coordinator pass over
         // merged forwards, and any shard count all see the same order
@@ -593,6 +877,9 @@ impl StreamingGovernor {
             triage: pipeline.triage,
             emerging_docs,
             emerging,
+            qoa_samples,
+            escalated,
+            qoa,
         };
         self.windows_ingested += 1;
         delta
@@ -683,7 +970,11 @@ impl StreamingGovernor {
     /// original's. [`EmergingMode::Local`] is *not* restorable this
     /// way — AO-LDA's adaptive prior depends on the full preceding
     /// stream, not just the retained tail — which is one more reason
-    /// clusters defer the emerging pass to their coordinator.
+    /// clusters defer the emerging pass to their coordinator. The same
+    /// caveat applies to [`QoaMode::Local`]: the online model's
+    /// weights depend on every label since stream start, so they are
+    /// restored separately via [`restore_qoa`](Self::restore_qoa) from
+    /// a journaled [`QoaCheckpoint`], not by window replay.
     #[must_use]
     pub fn restore(
         governor: AlertGovernor,
@@ -1026,6 +1317,140 @@ mod tests {
         assert_eq!(WindowDelta::identity().merged(&da), da);
         assert_eq!(da.merged(&db), db.merged(&da));
         assert_eq!(da.merged(&db), WindowDelta::merge_all(&[da, db]));
+    }
+
+    fn streaming_with_qoa(mode: QoaMode) -> StreamingGovernor {
+        let governor = AlertGovernor::new(
+            vec![noisy_strategy(1), noisy_strategy(2)],
+            GovernorConfig::default(),
+        );
+        StreamingGovernor::new(
+            governor,
+            StreamingConfig {
+                qoa: QoaChannel {
+                    mode,
+                    config: QoaFeedbackConfig::default(),
+                },
+                ..StreamingConfig::default()
+            },
+        )
+    }
+
+    fn labels_for(window: &[Alert], high: bool) -> Vec<QoaLabel> {
+        let ids: BTreeSet<StrategyId> = window.iter().map(Alert::strategy).collect();
+        ids.into_iter()
+            .map(|id| QoaLabel::new(id, [high; 3]))
+            .collect()
+    }
+
+    #[test]
+    fn qoa_off_emits_nothing() {
+        let mut s = streaming(24);
+        assert_eq!(s.qoa_mode(), QoaMode::Off);
+        let d = s.ingest(&transient_window(0, 1, 0, 5), &[]);
+        assert!(d.qoa_samples.is_empty());
+        assert!(d.qoa.is_none());
+        assert!(d.escalated.is_empty());
+    }
+
+    #[test]
+    fn forward_mode_extracts_one_sample_per_strategy() {
+        let mut s = streaming_with_qoa(QoaMode::Forward);
+        let mut window = transient_window(0, 1, 0, 5);
+        window.extend(transient_window(100, 2, 0, 3));
+        window.sort_by_key(|a| (a.raised_at(), a.id()));
+        let d = s.ingest(&window, &[]);
+        assert_eq!(d.qoa_samples.len(), 2);
+        assert!(d
+            .qoa_samples
+            .windows(2)
+            .all(|w| w[0].strategy < w[1].strategy));
+        assert!(d.qoa.is_none(), "forward mode defers the model update");
+        for sample in &d.qoa_samples {
+            assert_eq!(sample.features.len(), alertops_qoa::FEATURE_NAMES.len());
+        }
+    }
+
+    #[test]
+    fn local_mode_equals_coordinator_pass_over_merged_sample_forwards() {
+        let mut local = streaming_with_qoa(QoaMode::Local);
+        let mut shard_a = streaming_with_qoa(QoaMode::Forward);
+        let mut shard_b = streaming_with_qoa(QoaMode::Forward);
+        let mut coordinator = OnlineQoaModel::new(QoaFeedbackConfig::default());
+        for hour in 0..4u64 {
+            let mut window = transient_window(hour * 1_000, 1, hour, 6);
+            window.extend(transient_window(hour * 1_000 + 500, 2, hour, 4));
+            window.sort_by_key(|a| (a.raised_at(), a.id()));
+            let labels = labels_for(&window, hour % 2 == 0);
+            let local_report = local
+                .ingest_labeled(&window, &[], &labels)
+                .qoa
+                .expect("local mode embeds a report");
+            // Shard by strategy id — the daemon's partitioning.
+            let (wa, wb): (Vec<Alert>, Vec<Alert>) = window
+                .iter()
+                .cloned()
+                .partition(|a| a.strategy() == StrategyId(1));
+            let da = shard_a.ingest(&wa, &[]);
+            let db = shard_b.ingest(&wb, &[]);
+            let merged = da.merged(&db);
+            let merged_report = coordinator.observe_window(&merged.qoa_samples, &labels);
+            assert_eq!(local_report, merged_report, "diverged at window {hour}");
+            // Push the verdicts back down, as the daemon coordinator
+            // does between closes.
+            shard_a.set_qoa_verdicts(coordinator.verdicts());
+            shard_b.set_qoa_verdicts(coordinator.verdicts());
+        }
+        assert_eq!(
+            local.qoa_model().expect("local model").digest(),
+            coordinator.digest()
+        );
+    }
+
+    #[test]
+    fn promoted_strategies_escalate_untriaged_alerts() {
+        let mut s = streaming_with_qoa(QoaMode::Forward);
+        s.set_qoa_verdicts(QoaVerdicts {
+            demoted: Vec::new(),
+            promoted: vec![StrategyId(2)],
+        });
+        let mut window = transient_window(0, 1, 0, 5);
+        window.extend(transient_window(100, 2, 0, 4));
+        window.sort_by_key(|a| (a.raised_at(), a.id()));
+        let d = s.ingest(&window, &[]);
+        assert!(!d.escalated.is_empty());
+        let triaged: BTreeSet<AlertId> = d.triage.iter().copied().collect();
+        for id in &d.escalated {
+            let alert = window.iter().find(|a| a.id() == *id).expect("window alert");
+            assert_eq!(alert.strategy(), StrategyId(2));
+            assert!(!triaged.contains(id), "escalated lane excludes triage");
+        }
+    }
+
+    #[test]
+    fn qoa_restore_from_checkpoint_is_exact() {
+        let mut original = streaming_with_qoa(QoaMode::Local);
+        for hour in 0..5u64 {
+            let window = transient_window(hour * 100, 1 + hour % 2, hour, 5);
+            let labels = labels_for(&window, hour % 2 == 0);
+            original.ingest_labeled(&window, &[], &labels);
+        }
+        let checkpoint = original.qoa_checkpoint().expect("local model checkpoints");
+        let mut restored = streaming_with_qoa(QoaMode::Off);
+        assert!(restored.restore_qoa(&checkpoint));
+        assert_eq!(restored.qoa_mode(), QoaMode::Local);
+        assert_eq!(
+            original.qoa_model().expect("model").digest(),
+            restored.qoa_model().expect("model").digest()
+        );
+        // Malformed checkpoints are rejected without clobbering state.
+        let mut bad = checkpoint;
+        bad.models.pop();
+        assert!(!restored.restore_qoa(&bad));
+        assert_eq!(
+            original.qoa_model().expect("model").digest(),
+            restored.qoa_model().expect("model").digest()
+        );
     }
 
     #[test]

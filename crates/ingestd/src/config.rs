@@ -46,8 +46,11 @@ pub struct IngestdConfig {
     pub listen: Option<String>,
     /// Ingress wire format (`--wire`): NDJSON lines (the default and
     /// the compatibility oracle) or `alertops-wire` binary frames.
-    /// Either way acks are JSON text lines, and the governed output is
-    /// byte-identical — the format only changes how alerts travel in.
+    /// The connection speaks one protocol in *both* directions: NDJSON
+    /// connections get JSON ack lines, binary connections get
+    /// [`alertops_wire::AckFrame`] frames. The governed output is
+    /// byte-identical either way — the format only changes how bytes
+    /// travel.
     /// A corrupt binary frame is quarantined as
     /// [`crate::codec::QuarantineReason::CorruptFrame`] and closes its
     /// connection (a binary stream cannot resync).
@@ -85,6 +88,22 @@ pub struct IngestdConfig {
     /// because sampling happens after the merge, over the same merged
     /// document stream.
     pub defer_emerging: bool,
+    /// Node role for the QoA feedback channel, mirroring
+    /// [`defer_emerging`](Self::defer_emerging): the online QoA model's
+    /// `partial_fit` is a single sequential pass, so exactly one
+    /// process may run it. With `false` (standalone) and
+    /// `streaming.qoa.mode` enabled, this daemon's coordinator owns
+    /// the model: shards forward per-strategy feature samples, the
+    /// coordinator updates the model with the labels handed to
+    /// [`crate::IngestdHandle::flush_labeled`] at each close, and the
+    /// resulting verdicts are pushed back down every shard queue
+    /// before the next close. With `true` (cluster node role) the
+    /// merged samples stay in the published window's
+    /// [`alertops_core::WindowDelta::qoa_samples`] for the cluster
+    /// coordinator, which pushes verdicts back via
+    /// [`crate::IngestdHandle::push_qoa_verdicts`]. Irrelevant when
+    /// the QoA channel is off.
+    pub defer_qoa: bool,
 }
 
 impl Default for IngestdConfig {
@@ -101,6 +120,7 @@ impl Default for IngestdConfig {
             metrics: true,
             chaos: false,
             defer_emerging: false,
+            defer_qoa: false,
         }
     }
 }

@@ -6,8 +6,9 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use alertops_core::{GovernanceSnapshot, WindowDelta};
+use alertops_core::{GovernanceSnapshot, OnlineQoaModel, WindowDelta};
 use alertops_detect::StormConfig;
+use alertops_model::QoaLabel;
 use alertops_react::EmergingAlertDetector;
 
 use crate::counters::Counters;
@@ -35,9 +36,12 @@ pub struct ClosedWindow {
 /// Control messages for the coordinator.
 pub(crate) enum CoordMsg {
     /// Close the current window now. If `ack` is set, the close result
-    /// is sent once published (this is the flush path).
+    /// is sent once published (this is the flush path). `labels` is
+    /// the window's OCE feedback for the online QoA model — empty when
+    /// the caller has none (plain flushes, tick closes).
     CloseNow {
         ack: Option<SyncSender<ClosedWindow>>,
+        labels: Vec<QoaLabel>,
     },
     /// Stop coordinating; acked when the loop is about to exit.
     Shutdown { ack: SyncSender<()> },
@@ -70,6 +74,17 @@ pub(crate) enum CoordMsg {
 /// the topmost merge point, so it forwards the merged documents in
 /// its published [`ClosedWindow::delta`] instead.
 ///
+/// The QoA feedback channel follows the same single-sequential-pass
+/// argument: `qoa` (when `Some`) is the one [`OnlineQoaModel`], fed
+/// the merged window's forwarded samples joined with the labels the
+/// flush carried. The model updates *after* the window's governance —
+/// window `N` is governed entirely by what window `N - 1` taught —
+/// and the fresh verdicts are pushed down every shard queue before
+/// the next close can be broadcast, so their application point is
+/// exact for any shard count. In the deferred node role
+/// (`defer_qoa`) the merged samples ride out in the published delta
+/// instead.
+///
 /// With a journal attached, [`WindowJournal::window_closed`] fires
 /// after the merge is published — the write-ahead log's cue to seal
 /// the window's records and prune beyond the rolling history.
@@ -81,6 +96,7 @@ pub(crate) fn run_coordinator(
     tick: Option<Duration>,
     storm: &StormConfig,
     mut emerging: Option<EmergingAlertDetector>,
+    mut qoa: Option<OnlineQoaModel>,
     journal: Option<Arc<dyn WindowJournal>>,
     snapshot_slot: &Arc<RwLock<Option<GovernanceSnapshot>>>,
     counters: &Arc<Counters>,
@@ -100,13 +116,13 @@ pub(crate) fn run_coordinator(
             },
         };
 
-        let ack = match msg {
-            Some(CoordMsg::CloseNow { ack }) => ack,
+        let (ack, labels) = match msg {
+            Some(CoordMsg::CloseNow { ack, labels }) => (ack, labels),
             Some(CoordMsg::Shutdown { ack }) => {
                 let _ = ack.send(());
                 return;
             }
-            None => None,
+            None => (None, Vec::new()),
         };
 
         let started = Instant::now();
@@ -151,6 +167,24 @@ pub(crate) fn run_coordinator(
                 m.emerging.record_report(&report);
             }
             snapshot.emerging = Some(report);
+        }
+        if let Some(model) = qoa.as_mut() {
+            let report = {
+                let _span = metrics.map(|m| m.qoa_update_timer());
+                model.observe_window(&node_delta.qoa_samples, &labels)
+            };
+            if let Some(m) = metrics {
+                m.record_qoa(&report);
+            }
+            // Push the post-update verdicts down every shard queue
+            // *before* this loop can broadcast the next close: the
+            // per-shard queues are FIFO, so the verdicts are applied
+            // ahead of whatever window `seq + 1` governs.
+            let verdicts = model.verdicts();
+            for tx in shard_txs {
+                let _ = tx.send(WorkerMsg::Qoa(verdicts.clone()));
+            }
+            snapshot.qoa = Some(report);
         }
         degraded.sort_unstable();
         if !degraded.is_empty() {

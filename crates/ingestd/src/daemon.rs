@@ -17,10 +17,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use std::{io, thread};
 
-use alertops_core::{EmergingMode, GovernanceSnapshot, GovernorMetrics, StreamingGovernor};
-use alertops_model::Alert;
+use alertops_core::{
+    EmergingMode, GovernanceSnapshot, GovernorMetrics, OnlineQoaModel, QoaMode, QoaVerdicts,
+    StreamingGovernor,
+};
+use alertops_model::{Alert, QoaLabel};
 use alertops_react::EmergingAlertDetector;
-use alertops_wire::{ChaosCmd, WireDecoder, WireError, WireFormat};
+use alertops_wire::{AckFrame, ChaosCmd, WireDecoder, WireEncoder, WireError, WireFormat};
 
 use crate::codec::{
     encode_flush_ack, encode_shutdown_ack, encode_stall_ack, encode_sync_ack, Frame, FrameDecoder,
@@ -133,13 +136,27 @@ impl Router {
     }
 
     /// Closes the window on every shard and returns the close result,
-    /// or `None` if the coordinator is gone (shutdown race).
-    fn flush(&self) -> Option<ClosedWindow> {
+    /// or `None` if the coordinator is gone (shutdown race). `labels`
+    /// is the window's OCE feedback for the online QoA model (empty
+    /// when the caller has none).
+    fn flush(&self, labels: Vec<QoaLabel>) -> Option<ClosedWindow> {
         let (ack_tx, ack_rx) = mpsc::sync_channel(1);
         self.coord_tx
-            .send(CoordMsg::CloseNow { ack: Some(ack_tx) })
+            .send(CoordMsg::CloseNow {
+                ack: Some(ack_tx),
+                labels,
+            })
             .ok()?;
         ack_rx.recv().ok()
+    }
+
+    /// Pushes QoA verdicts down every shard queue — the cluster
+    /// coordinator's lever when this daemon runs the deferred node
+    /// role and the model lives a level up.
+    fn push_qoa_verdicts(&self, verdicts: &QoaVerdicts) {
+        for tx in &self.shard_txs {
+            let _ = tx.send(WorkerMsg::Qoa(verdicts.clone()));
+        }
     }
 
     /// Drain barrier: returns once every message enqueued on any shard
@@ -284,6 +301,14 @@ impl Ingestd {
                 EmergingMode::Off => EmergingMode::Off,
                 EmergingMode::Forward | EmergingMode::Local => EmergingMode::Forward,
             });
+            // Same rule for the QoA channel: the online model's
+            // sequential partial_fit belongs to the (daemon or
+            // cluster) coordinator; shards only forward feature
+            // samples and apply pushed verdicts.
+            governor.set_qoa_mode(match config.streaming.qoa.mode {
+                QoaMode::Off => QoaMode::Off,
+                QoaMode::Forward | QoaMode::Local => QoaMode::Forward,
+            });
             if let Some(metrics) = &metrics {
                 // Shards share detect/react series: the registry hands
                 // every shard the same aggregate instruments.
@@ -323,6 +348,10 @@ impl Ingestd {
             let emerging = (config.streaming.emerging.mode != EmergingMode::Off
                 && !config.defer_emerging)
                 .then(|| EmergingAlertDetector::new(config.streaming.emerging.config.clone()));
+            // Likewise the one online QoA model — unless a cluster
+            // coordinator owns it (`defer_qoa`).
+            let qoa = (config.streaming.qoa.mode != QoaMode::Off && !config.defer_qoa)
+                .then(|| OnlineQoaModel::new(config.streaming.qoa.config));
             let snapshot = Arc::clone(&snapshot);
             let coord_counters = Arc::clone(&counters);
             let coord_metrics = metrics.clone();
@@ -338,6 +367,7 @@ impl Ingestd {
                             tick,
                             &storm,
                             emerging,
+                            qoa,
                             coord_journal,
                             &snapshot,
                             &coord_counters,
@@ -442,7 +472,15 @@ impl IngestdHandle {
     /// Closes the current window on every shard and returns the merged
     /// snapshot (`None` only during shutdown races).
     pub fn flush(&self) -> Option<GovernanceSnapshot> {
-        self.router.flush().map(|closed| closed.snapshot)
+        self.router.flush(Vec::new()).map(|closed| closed.snapshot)
+    }
+
+    /// [`flush`](Self::flush) with the window's OCE feedback labels:
+    /// the coordinator joins them with the merged per-strategy feature
+    /// samples and updates the online QoA model (standalone role), or
+    /// leaves both for the cluster coordinator (`defer_qoa`).
+    pub fn flush_labeled(&self, labels: Vec<QoaLabel>) -> Option<GovernanceSnapshot> {
+        self.router.flush(labels).map(|closed| closed.snapshot)
     }
 
     /// Like [`flush`](Self::flush), but returns the full
@@ -450,7 +488,21 @@ impl IngestdHandle {
     /// [`alertops_core::WindowDelta`] a cluster coordinator merges
     /// with this node's peers.
     pub fn flush_window(&self) -> Option<ClosedWindow> {
-        self.router.flush()
+        self.router.flush(Vec::new())
+    }
+
+    /// [`flush_window`](Self::flush_window) with OCE feedback labels
+    /// attached; see [`flush_labeled`](Self::flush_labeled).
+    pub fn flush_window_labeled(&self, labels: Vec<QoaLabel>) -> Option<ClosedWindow> {
+        self.router.flush(labels)
+    }
+
+    /// Pushes QoA verdicts down every shard queue, to apply before the
+    /// next window close. Cluster coordinators call this after their
+    /// own model update when this daemon runs with
+    /// [`IngestdConfig::defer_qoa`](crate::IngestdConfig::defer_qoa).
+    pub fn push_qoa_verdicts(&self, verdicts: &QoaVerdicts) {
+        self.router.push_qoa_verdicts(verdicts);
     }
 
     /// Drain barrier: returns once every shard has consumed everything
@@ -576,7 +628,9 @@ fn accept_ingress(listener: &TcpListener, running: &Arc<AtomicBool>, router: &Ar
 }
 
 /// One ingress connection, in the daemon's configured wire format.
-/// Acks are JSON text lines in both formats.
+/// The connection speaks one protocol in both directions: NDJSON
+/// connections are acked with JSON text lines, binary connections
+/// with [`AckFrame`] frames.
 fn serve_ingress(stream: &TcpStream, router: &Arc<Router>) {
     match router.wire {
         WireFormat::Ndjson => serve_ingress_ndjson(stream, router),
@@ -627,6 +681,10 @@ fn serve_ingress_binary(stream: &TcpStream, router: &Arc<Router>) {
     };
     let mut writer = stream;
     let mut decoder = WireDecoder::new();
+    // The write half gets its own encoder: acks are binary frames on a
+    // binary connection, and the ack stream's string table is
+    // independent of the ingress stream's.
+    let mut ack_encoder = WireEncoder::new();
     let mut buf = [0u8; 8192];
     let mut frames = Vec::new();
     loop {
@@ -641,7 +699,7 @@ fn serve_ingress_binary(stream: &TcpStream, router: &Arc<Router>) {
                     if let Some(metrics) = &router.metrics {
                         metrics.frames_decoded.inc();
                     }
-                    if !handle_wire_frame(frame, router, &mut writer) {
+                    if !handle_wire_frame(frame, router, &mut writer, &mut ack_encoder) {
                         return;
                     }
                 }
@@ -670,35 +728,46 @@ fn quarantine_wire_error(err: &WireError, router: &Arc<Router>) {
     router.counters.quarantine(reason);
 }
 
+/// Writes one binary ack frame; `false` means the peer is gone.
+fn write_wire_ack(ack: AckFrame, encoder: &mut WireEncoder, writer: &mut impl Write) -> bool {
+    let bytes = encoder.encode(&alertops_wire::Frame::Ack(ack));
+    writer.write_all(&bytes).is_ok()
+}
+
 /// Applies one decoded binary frame; `false` ends the connection.
-/// Control semantics (and acks) match the NDJSON equivalents; frame
-/// kinds that only exist for WAL segments or handoff shipments are
-/// quarantined as unknown controls.
+/// Control semantics match the NDJSON equivalents, but acks go back
+/// as binary [`AckFrame`] frames through `ack_encoder` — the protocol
+/// is binary in both directions. Frame kinds that only exist for WAL
+/// segments or handoff shipments are quarantined as unknown controls.
 fn handle_wire_frame(
     frame: alertops_wire::Frame,
     router: &Arc<Router>,
     writer: &mut impl Write,
+    ack_encoder: &mut WireEncoder,
 ) -> bool {
     use alertops_wire::Frame as WireFrame;
     match frame {
         WireFrame::Alert(alert) => router.route(alert),
         WireFrame::Flush => {
-            if let Some(closed) = router.flush() {
+            if let Some(closed) = router.flush(Vec::new()) {
                 let snapshot = closed.snapshot;
-                let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
-                if writeln!(writer, "{ack}").is_err() {
+                let ack = AckFrame::Flush {
+                    window: snapshot.window_index,
+                    alerts: snapshot.alert_count as u64,
+                };
+                if !write_wire_ack(ack, ack_encoder, writer) {
                     return false;
                 }
             }
         }
         WireFrame::Sync => {
             router.sync();
-            if writeln!(writer, "{}", encode_sync_ack()).is_err() {
+            if !write_wire_ack(AckFrame::Sync, ack_encoder, writer) {
                 return false;
             }
         }
         WireFrame::Shutdown => {
-            let _ = writeln!(writer, "{}", encode_shutdown_ack());
+            let _ = write_wire_ack(AckFrame::Shutdown, ack_encoder, writer);
             router.shutdown.request();
             return false;
         }
@@ -710,7 +779,7 @@ fn handle_wire_frame(
         WireFrame::Chaos(ChaosCmd::Stall { shard }) => {
             if chaos_target(router, shard) {
                 router.stall(shard);
-                if writeln!(writer, "{}", encode_stall_ack(shard)).is_err() {
+                if !write_wire_ack(AckFrame::Stall { shard }, ack_encoder, writer) {
                     return false;
                 }
             }
@@ -720,7 +789,10 @@ fn handle_wire_frame(
                 router.resume(shard);
             }
         }
-        WireFrame::Boundary { .. } | WireFrame::Handoff(_) => {
+        WireFrame::Boundary { .. }
+        | WireFrame::Handoff(_)
+        | WireFrame::Ack(_)
+        | WireFrame::QoaState(_) => {
             router.counters.quarantine(QuarantineReason::UnknownControl);
         }
     }
@@ -743,7 +815,7 @@ fn handle_frame(
     match item {
         Ok(Frame::Alert(alert)) => router.route(alert),
         Ok(Frame::Flush) => {
-            if let Some(closed) = router.flush() {
+            if let Some(closed) = router.flush(Vec::new()) {
                 let snapshot = closed.snapshot;
                 let ack = encode_flush_ack(snapshot.window_index, snapshot.alert_count);
                 if writeln!(writer, "{ack}").is_err() {

@@ -21,8 +21,8 @@
 
 use std::sync::Arc;
 
-use alertops_core::EmergingMetrics;
-use alertops_obs::{render_sample, Counter, Gauge, Histogram, MetricsRegistry};
+use alertops_core::{EmergingMetrics, QoaMetrics, QoaWindowReport};
+use alertops_obs::{render_sample, Counter, Gauge, Histogram, MetricsRegistry, Span};
 
 use crate::codec::QuarantineReason;
 use crate::counters::{CounterSnapshot, Counters};
@@ -46,6 +46,10 @@ pub struct IngestdMetrics {
     /// merged window documents. Same families a local-mode governor
     /// records into (the registry dedups by name + labels).
     pub(crate) emerging: EmergingMetrics,
+    /// Coordinator: the streaming QoA feedback channel's model update
+    /// over the merged samples and flush-carried labels. Same families
+    /// a local-mode governor records into.
+    qoa: QoaMetrics,
     /// Per-shard window close (sort + detection + checkpoint).
     shard_close_micros: Vec<Arc<Histogram>>,
     /// Process resident set size, sampled at each window close (0 on
@@ -85,6 +89,7 @@ impl IngestdMetrics {
             &[],
         );
         let emerging = EmergingMetrics::register(&registry);
+        let qoa = QoaMetrics::register(&registry);
         let shard_close_micros = (0..shards)
             .map(|shard| {
                 registry.histogram(
@@ -103,9 +108,20 @@ impl IngestdMetrics {
             barrier_wait_micros,
             merge_micros,
             emerging,
+            qoa,
             shard_close_micros,
             rss_bytes,
         }
+    }
+
+    /// Starts a wall-time span for one online QoA model update.
+    pub(crate) fn qoa_update_timer(&self) -> Span<'_> {
+        self.qoa.update_timer()
+    }
+
+    /// Records one window's QoA report.
+    pub(crate) fn record_qoa(&self, report: &QoaWindowReport) {
+        self.qoa.record_report(report);
     }
 
     /// Samples the process RSS into the

@@ -17,7 +17,7 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 
-use alertops_core::{StreamingGovernor, WindowDelta};
+use alertops_core::{QoaVerdicts, StreamingGovernor, WindowDelta};
 use alertops_model::Alert;
 
 use crate::counters::Counters;
@@ -53,6 +53,13 @@ pub(crate) enum WorkerMsg {
         /// Defer the panic into the next `Close`.
         on_close: bool,
     },
+    /// Fresh QoA verdicts from whichever coordinator runs the online
+    /// model. Rides the ingest queue so ordering against `Close` is
+    /// exact: verdicts pushed after close `N` apply to everything the
+    /// shard governs from window `N + 1` on — the same cadence a
+    /// local-mode governor gets by updating its own model at each
+    /// window boundary.
+    Qoa(QoaVerdicts),
     /// Chaos: park the worker. `entered` is acked once parked (the
     /// queue ahead of this message is fully drained by then); the
     /// worker then blocks until `resume` yields or disconnects.
@@ -88,6 +95,11 @@ struct ShardState {
     pending_close: Option<u64>,
     /// Armed by `WorkerMsg::Panic { on_close: true }`.
     poison_next_close: bool,
+    /// The latest coordinator-pushed QoA verdicts. Kept outside the
+    /// governor so a post-panic restore from `checkpoint` (taken at
+    /// the last close, possibly *before* a verdict push) can re-apply
+    /// them — a restart must not regress the shard's governance.
+    qoa_verdicts: QoaVerdicts,
 }
 
 /// The worker loop. Buffers routed alerts; on `Close`, feeds the
@@ -109,6 +121,7 @@ pub(crate) fn run_worker(
         degraded: false,
         pending_close: None,
         poison_next_close: false,
+        qoa_verdicts: QoaVerdicts::default(),
     };
     loop {
         let finished = catch_unwind(AssertUnwindSafe(|| {
@@ -123,6 +136,7 @@ pub(crate) fn run_worker(
                     .fetch_add(state.window.len() as u64, Ordering::Relaxed);
                 state.window.clear();
                 state.governor = state.checkpoint.clone();
+                state.governor.set_qoa_verdicts(state.qoa_verdicts.clone());
                 state.degraded = true;
                 state.poison_next_close = false;
                 if let Some(seq) = state.pending_close.take() {
@@ -209,6 +223,10 @@ fn drain(
             }
             WorkerMsg::Sync(ack) => {
                 let _ = ack.send(());
+            }
+            WorkerMsg::Qoa(verdicts) => {
+                state.governor.set_qoa_verdicts(verdicts.clone());
+                state.qoa_verdicts = verdicts;
             }
             WorkerMsg::Panic { on_close } => {
                 if on_close {

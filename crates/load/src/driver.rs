@@ -42,7 +42,7 @@ use alertops_ingestd::{shard_catalog, Ingestd, IngestdConfig, FLUSH_FRAME};
 use alertops_model::{Alert, AlertStrategy};
 use alertops_sim::scenarios::{self, Scenario};
 use alertops_sim::StatisticalStream;
-use alertops_wire::{Frame, WireEncoder, WireFormat};
+use alertops_wire::{AckFrame, Frame, WireDecoder, WireEncoder, WireFormat};
 
 use crate::scrape::Exposition;
 
@@ -271,14 +271,18 @@ fn oracle_snapshots(
 }
 
 /// The TCP half of a soak: the open connection into the live daemon,
-/// speaking whichever wire format the daemon was spawned with. Acks
-/// come back as JSON text lines in both formats.
+/// speaking whichever wire format the daemon was spawned with — in
+/// both directions. Acks come back as JSON text lines on NDJSON
+/// connections and as [`Frame::Ack`] binary frames on binary ones.
 struct Connection {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     wire: WireFormat,
     /// Binary mode only: the connection-scoped string table.
     encoder: WireEncoder,
+    /// Binary mode only: decodes the daemon's binary ack frames (its
+    /// write half runs an independent encoder).
+    decoder: WireDecoder,
     /// Binary mode only: reusable frame scratch.
     scratch: Vec<u8>,
     ack: String,
@@ -293,9 +297,31 @@ impl Connection {
             writer: BufWriter::new(stream),
             wire,
             encoder: WireEncoder::new(),
+            decoder: WireDecoder::new(),
             scratch: Vec::new(),
             ack: String::new(),
         })
+    }
+
+    /// Reads the next binary frame off the connection. The ingest
+    /// protocol is lock-step (one ack per flush, nothing unsolicited),
+    /// so at most one frame is ever in flight toward the client.
+    fn read_binary_frame(&mut self) -> io::Result<Frame> {
+        loop {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before the ack frame",
+                ));
+            }
+            let consumed = buf.len();
+            let frames = self.decoder.feed(buf);
+            self.reader.consume(consumed);
+            if let Some(first) = frames.into_iter().next() {
+                return first.map_err(|e| io::Error::other(format!("bad ack frame: {e:?}")));
+            }
+        }
     }
 
     /// Streams one window of alerts (buffered; flushed to the socket at
@@ -319,26 +345,35 @@ impl Connection {
     }
 
     /// Sends the flush control frame and waits for its ack — the
-    /// window-close barrier.
+    /// window-close barrier — in the connection's own format.
     fn flush_window(&mut self) -> io::Result<()> {
         match self.wire {
-            WireFormat::Ndjson => writeln!(self.writer, "{FLUSH_FRAME}")?,
+            WireFormat::Ndjson => {
+                writeln!(self.writer, "{FLUSH_FRAME}")?;
+                self.writer.flush()?;
+                self.ack.clear();
+                self.reader.read_line(&mut self.ack)?;
+                if self.ack.contains(r#""ack":"flush""#) {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(format!(
+                        "expected a flush ack, got {:?}",
+                        self.ack
+                    )))
+                }
+            }
             WireFormat::Binary => {
                 self.scratch.clear();
                 self.encoder.encode_into(&Frame::Flush, &mut self.scratch);
                 self.writer.write_all(&self.scratch)?;
+                self.writer.flush()?;
+                match self.read_binary_frame()? {
+                    Frame::Ack(AckFrame::Flush { .. }) => Ok(()),
+                    other => Err(io::Error::other(format!(
+                        "expected a binary flush ack, got {other:?}"
+                    ))),
+                }
             }
-        }
-        self.writer.flush()?;
-        self.ack.clear();
-        self.reader.read_line(&mut self.ack)?;
-        if self.ack.contains(r#""ack":"flush""#) {
-            Ok(())
-        } else {
-            Err(io::Error::other(format!(
-                "expected a flush ack, got {:?}",
-                self.ack
-            )))
         }
     }
 }

@@ -52,6 +52,7 @@
 
 mod alert;
 mod error;
+mod feedback;
 mod graph;
 mod ids;
 mod incident;
@@ -65,6 +66,7 @@ mod time;
 
 pub use alert::{Alert, AlertBuilder, AlertState, Clearance};
 pub use error::ModelError;
+pub use feedback::{QoaLabel, QOA_CRITERIA};
 pub use graph::DependencyGraph;
 pub use ids::{AlertId, IncidentId, MicroserviceId, OceId, RegionId, ServiceId, StrategyId};
 pub use incident::{Incident, IncidentStatus};

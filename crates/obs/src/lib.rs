@@ -56,6 +56,6 @@ mod span;
 
 pub use encode::{lint_exposition, render_sample};
 pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_SUB_BUCKETS};
-pub use metrics::{Counter, Gauge};
+pub use metrics::{milli, Counter, Gauge};
 pub use registry::MetricsRegistry;
 pub use span::Span;

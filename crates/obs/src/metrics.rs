@@ -34,6 +34,18 @@ impl Counter {
     }
 }
 
+/// Scales a unit-interval score into thousandths for an integer
+/// [`Gauge`] (`0.0..=1.0` → `0..=1000`), clamping anything outside
+/// the interval (including NaN, which maps to 0). The convention for
+/// exposing QoA scores and EMAs — name such gauges `*_milli`.
+#[must_use]
+pub fn milli(score: f64) -> u64 {
+    if score.is_nan() {
+        return 0;
+    }
+    (score.clamp(0.0, 1.0) * 1000.0).round() as u64
+}
+
 /// A gauge: a value that can move both ways (queue depth, history
 /// size). Stored as `u64` because every gauge in this workspace is a
 /// non-negative count; [`Gauge::sub`] saturates at zero rather than
@@ -85,6 +97,19 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn milli_clamps_and_rounds() {
+        assert_eq!(milli(0.0), 0);
+        assert_eq!(milli(1.0), 1000);
+        assert_eq!(milli(0.5), 500);
+        assert_eq!(milli(0.0004), 0);
+        assert_eq!(milli(0.0006), 1);
+        assert_eq!(milli(-3.0), 0);
+        assert_eq!(milli(17.0), 1000);
+        assert_eq!(milli(f64::NAN), 0);
+        assert_eq!(milli(f64::INFINITY), 1000);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod eval;
 pub mod features;
 pub mod labels;
 pub mod logreg;
+pub mod online;
 
 mod model;
 
@@ -52,3 +53,7 @@ pub use features::{FeatureExtractor, FEATURE_NAMES};
 pub use labels::flip_labels;
 pub use logreg::{LogisticRegression, TrainConfig};
 pub use model::{Criterion, QoaModel};
+pub use online::{
+    OnlineQoaModel, QoaCheckpoint, QoaFeedbackConfig, QoaSample, QoaVerdicts, QoaWindowReport,
+    StrategyQoa,
+};

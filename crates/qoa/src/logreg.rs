@@ -56,6 +56,20 @@ impl LogisticRegression {
         }
     }
 
+    /// Rebuilds a model from checkpointed state — the inverse of
+    /// [`weights`](Self::weights) + [`bias`](Self::bias). Used by the
+    /// online QoA checkpoint codec, so restoration is bit-exact by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    #[must_use]
+    pub fn from_parts(weights: Vec<f64>, bias: f64) -> Self {
+        assert!(!weights.is_empty(), "feature dimension must be positive");
+        Self { weights, bias }
+    }
+
     /// The learned weights (index-aligned with the feature vector).
     #[must_use]
     pub fn weights(&self) -> &[f64] {
@@ -286,5 +300,47 @@ mod tests {
     fn empty_log_loss_is_zero() {
         let model = LogisticRegression::new(2);
         assert_eq!(model.log_loss(&[], &[]), 0.0);
+    }
+
+    mod serde_bit_exact {
+        use proptest::prelude::*;
+
+        use super::*;
+
+        /// Any u64 bit pattern, coerced to a *finite* f64 by zeroing
+        /// the exponent when it encodes an inf/NaN (keeps sign and
+        /// mantissa, lands on a subnormal).
+        fn finite(bits: u64) -> f64 {
+            let v = f64::from_bits(bits);
+            if v.is_finite() {
+                v
+            } else {
+                f64::from_bits(bits & 0x800F_FFFF_FFFF_FFFF)
+            }
+        }
+
+        proptest! {
+            /// Model state is checkpointed into WAL segments and
+            /// snapshots; a JSON round trip must preserve every weight
+            /// bit-for-bit (serde_json prints the shortest f64
+            /// representation that parses back to the same value, so
+            /// this holds for all finite doubles — this test is the
+            /// fence around that assumption).
+            #[test]
+            fn json_roundtrip_is_bit_exact(
+                weight_bits in proptest::collection::vec(0u64..u64::MAX, 1..16),
+                bias_bits in 0u64..u64::MAX,
+            ) {
+                let weights: Vec<f64> = weight_bits.iter().copied().map(finite).collect();
+                let model = LogisticRegression::from_parts(weights, finite(bias_bits));
+                let json = serde_json::to_string(&model).expect("serializes");
+                let back: LogisticRegression =
+                    serde_json::from_str(&json).expect("deserializes");
+                for (a, b) in model.weights().iter().zip(back.weights()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                prop_assert_eq!(model.bias().to_bits(), back.bias().to_bits());
+            }
+        }
     }
 }

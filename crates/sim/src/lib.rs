@@ -44,6 +44,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod faults;
+pub mod feedback;
 pub mod monitor;
 pub mod ocesim;
 pub mod scenarios;
@@ -55,6 +56,7 @@ pub mod workload;
 mod rng;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use feedback::FeedbackOracle;
 pub use monitor::{MonitorConfig, MonitoringSystem};
 pub use ocesim::{OceTeam, ProcessingModel};
 pub use scenarios::{Scenario, SimOutput};

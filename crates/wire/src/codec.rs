@@ -315,7 +315,7 @@ impl WireDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::{ChaosCmd, HandoffFrame};
+    use crate::frame::{AckFrame, ChaosCmd, HandoffFrame};
     use alertops_core::StreamingCheckpoint;
     use alertops_model::{
         Alert, AlertId, Clearance, Location, Severity, SimDuration, SimTime, StrategyId,
@@ -363,6 +363,15 @@ mod tests {
         frames.push(Frame::Flush);
         frames.push(Frame::Shutdown);
         frames.push(Frame::Sync);
+        frames.push(Frame::Ack(AckFrame::Flush {
+            window: 17,
+            alerts: 40,
+        }));
+        frames.push(Frame::Ack(AckFrame::Sync));
+        frames.push(Frame::Ack(AckFrame::Shutdown));
+        frames.push(Frame::Ack(AckFrame::Stall { shard: 1 }));
+        frames.push(Frame::QoaState(vec![1, 0, 0, 254, 255, 7]));
+        frames.push(Frame::QoaState(Vec::new()));
         frames
     }
 

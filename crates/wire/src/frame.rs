@@ -31,6 +31,10 @@ pub(crate) const TAG_FLUSH: u8 = 5;
 pub(crate) const TAG_SHUTDOWN: u8 = 6;
 /// Payload tag: drain barrier.
 pub(crate) const TAG_SYNC: u8 = 7;
+/// Payload tag: a daemon→client acknowledgement.
+pub(crate) const TAG_ACK: u8 = 8;
+/// Payload tag: an opaque QoA model checkpoint (journaled in the WAL).
+pub(crate) const TAG_QOA_STATE: u8 = 9;
 
 /// String marker: literal, registered in the table (assigns the next
 /// dense id on both ends).
@@ -66,6 +70,36 @@ pub enum Frame {
     Shutdown,
     /// Drain every shard queue, then ack.
     Sync,
+    /// A daemon→client acknowledgement. On a binary connection acks
+    /// travel as frames, mirroring the NDJSON `{"ack":...}` lines.
+    Ack(AckFrame),
+    /// An opaque QoA model checkpoint (`QoaCheckpoint::to_bytes`
+    /// bytes). The wire layer does not interpret the body — the
+    /// cluster WAL journals it at window boundaries so a restart can
+    /// replay the online model to identical weights.
+    QoaState(Vec<u8>),
+}
+
+/// The body of a daemon→client [`Frame::Ack`]. Each variant mirrors
+/// one NDJSON ack line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckFrame {
+    /// `{"ack":"flush","window":N,"alerts":M}` — a window closed.
+    Flush {
+        /// Index of the window that closed.
+        window: u64,
+        /// Alerts governed in that window.
+        alerts: u64,
+    },
+    /// `{"ack":"sync"}` — every shard queue drained.
+    Sync,
+    /// `{"ack":"shutdown"}` — daemon is stopping.
+    Shutdown,
+    /// `{"ack":"stall","shard":N}` — chaos stall took effect.
+    Stall {
+        /// The stalled shard.
+        shard: usize,
+    },
 }
 
 /// A chaos fault-injection command.
@@ -314,6 +348,39 @@ fn encode_chaos_body(cmd: &ChaosCmd, out: &mut Vec<u8>) {
     }
 }
 
+fn encode_ack_body(ack: &AckFrame, out: &mut Vec<u8>) {
+    match *ack {
+        AckFrame::Flush { window, alerts } => {
+            out.push(1);
+            varint::encode(window, out);
+            varint::encode(alerts, out);
+        }
+        AckFrame::Sync => out.push(2),
+        AckFrame::Shutdown => out.push(3),
+        AckFrame::Stall { shard } => {
+            out.push(4);
+            varint::encode(shard as u64, out);
+        }
+    }
+}
+
+fn decode_ack_body(cursor: &mut Cursor<'_>) -> Result<AckFrame, WireError> {
+    match cursor.u8()? {
+        1 => Ok(AckFrame::Flush {
+            window: cursor.varint()?,
+            alerts: cursor.varint()?,
+        }),
+        2 => Ok(AckFrame::Sync),
+        3 => Ok(AckFrame::Shutdown),
+        4 => Ok(AckFrame::Stall {
+            shard: cursor.usize()?,
+        }),
+        other => Err(WireError::malformed(format!(
+            "bad ack sub-tag {other:#04x}"
+        ))),
+    }
+}
+
 fn decode_chaos_body(cursor: &mut Cursor<'_>) -> Result<ChaosCmd, WireError> {
     let sub = cursor.u8()?;
     let shard = cursor.usize()?;
@@ -418,6 +485,15 @@ pub(crate) fn encode_payload(frame: &Frame, table: &mut StrTable, out: &mut Vec<
         Frame::Flush => out.push(TAG_FLUSH),
         Frame::Shutdown => out.push(TAG_SHUTDOWN),
         Frame::Sync => out.push(TAG_SYNC),
+        Frame::Ack(ack) => {
+            out.push(TAG_ACK);
+            encode_ack_body(ack, out);
+        }
+        Frame::QoaState(bytes) => {
+            out.push(TAG_QOA_STATE);
+            varint::encode(bytes.len() as u64, out);
+            out.extend_from_slice(bytes);
+        }
     }
 }
 
@@ -435,6 +511,11 @@ pub(crate) fn decode_payload(bytes: &[u8], table: &mut StrTable) -> Result<Frame
         TAG_FLUSH => Frame::Flush,
         TAG_SHUTDOWN => Frame::Shutdown,
         TAG_SYNC => Frame::Sync,
+        TAG_ACK => Frame::Ack(decode_ack_body(&mut cursor)?),
+        TAG_QOA_STATE => {
+            let len = cursor.usize()?;
+            Frame::QoaState(cursor.take(len)?.to_vec())
+        }
         other => return Err(WireError::malformed(format!("bad frame tag {other:#04x}"))),
     };
     if cursor.remaining() != 0 {

@@ -30,6 +30,8 @@
 //! | 5   | [`Frame::Flush`]                          |
 //! | 6   | [`Frame::Shutdown`]                       |
 //! | 7   | [`Frame::Sync`]                           |
+//! | 8   | [`Frame::Ack`] ([`AckFrame`] sub-tag)     |
+//! | 9   | [`Frame::QoaState`] (opaque checkpoint)   |
 //!
 //! Integers are LEB128 varints ([`varint`]). Strings ride the
 //! stream's [`StrTable`](alertops_model::StrTable): the first
@@ -57,7 +59,7 @@ pub mod frame;
 pub mod varint;
 
 pub use codec::{crc32, WireDecoder, WireEncoder, WireError, MAX_FRAME_LEN, WIRE_TABLE_CAP};
-pub use frame::{ChaosCmd, Frame, HandoffFrame};
+pub use frame::{AckFrame, ChaosCmd, Frame, HandoffFrame};
 
 /// Magic prefix of a binary (v2) WAL segment.
 pub const WAL_MAGIC: [u8; 4] = *b"AOWL";

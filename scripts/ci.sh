@@ -132,4 +132,23 @@ if grep -q '"outputs_identical": false' BENCH_cluster.json; then
     exit 1
 fi
 
+# QoA-loop gate: the streaming feedback differential suite (batch ==
+# 1-shard == 4-shard byte-identity on every published QoA report and
+# escalation lane, seed-replayable label noise, escalated ⊆ delivered,
+# cluster restart restoring the journaled model bit-for-bit), the
+# qoa-crate property tests (partial_fit order/stream invariance,
+# bit-exact checkpoint round-trips), and the bench's qoa rows — the
+# bench asserts local-loop == standalone-model identity before timing,
+# and the outputs_identical grep above already covers its row in
+# BENCH_streaming.json. A change that makes the feedback loop depend
+# on topology, or relearn instead of replay after a crash, fails here
+# by name.
+echo "==> qoa loop: feedback differential + model properties"
+cargo test -q --test qoa_loop
+cargo test -q -p alertops-qoa
+if grep -q '"outputs_identical": false' BENCH_streaming.json; then
+    echo "BENCH_streaming.json reports a QoA/emerging differential failure" >&2
+    exit 1
+fi
+
 echo "CI green."

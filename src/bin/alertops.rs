@@ -53,7 +53,8 @@ fn usage() -> ExitCode {
          [--shards N] [--queue N] [--tick-ms N] [--overflow block|drop] \
          [--listen ADDR] [--status ADDR] [--wire ndjson|binary] [--chaos] \
          [--no-metrics] [--emerging] \
-         [--emerging-budget TOKENS] [--nodes N] [--wal DIR] \
+         [--emerging-budget TOKENS] [--qoa] [--qoa-noise P] \
+         [--nodes N] [--wal DIR] \
          [--connect ADDR] [--rate N] [--flush-every N] [--shutdown]"
     );
     ExitCode::FAILURE
@@ -81,6 +82,12 @@ struct Args {
     /// Per-window token cap for the emerging channel (storm-load
     /// sampling); `None` keeps AO-LDA exact.
     emerging_budget: Option<usize>,
+    /// `--qoa`: turn the streaming QoA feedback loop on. The daemon
+    /// scores forwarded samples at every close; the cluster also
+    /// labels each window with the simulator's seeded feedback oracle.
+    qoa: bool,
+    /// `--qoa-noise P`: the oracle's per-verdict flip probability.
+    qoa_noise: f64,
     // ingestd --wal / cluster
     wal: Option<String>,
     nodes: usize,
@@ -112,6 +119,8 @@ fn parse_args() -> Option<Args> {
         metrics: true,
         emerging: false,
         emerging_budget: None,
+        qoa: false,
+        qoa_noise: 0.0,
         wal: None,
         nodes: 3,
         connect: "127.0.0.1:4501".to_owned(),
@@ -136,11 +145,21 @@ fn parse_args() -> Option<Args> {
             args.emerging = true;
             continue;
         }
+        if flag == "--qoa" {
+            args.qoa = true;
+            continue;
+        }
         let mut value = || argv.next();
         match flag.as_str() {
             "--scenario" => args.scenario = value()?,
             "--seed" => args.seed = value()?.parse().ok()?,
             "--emerging-budget" => args.emerging_budget = Some(value()?.parse().ok()?),
+            "--qoa-noise" => {
+                args.qoa_noise = value()?.parse().ok()?;
+                if !(0.0..=1.0).contains(&args.qoa_noise) {
+                    return None;
+                }
+            }
             "--json" => args.json = Some(value()?),
             "--top" => args.top = value()?.parse().ok()?,
             "--threshold" => args.threshold = value()?.parse().ok()?,
@@ -379,6 +398,12 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
             streaming.emerging.config.budget = Some(EmergingBudget::new(cap, args.seed));
         }
     }
+    if args.qoa {
+        // Same split as the emerging channel: shards forward QoA
+        // samples, the coordinator runs the one sequential model
+        // update so shard count cannot change output.
+        streaming.qoa.mode = QoaMode::Forward;
+    }
     let config = IngestdConfig {
         shards: args.shards,
         queue_capacity: args.queue,
@@ -391,6 +416,7 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
         metrics: args.metrics,
         chaos: args.chaos,
         defer_emerging: false,
+        defer_qoa: false,
     };
 
     // Recover and re-arm the write-ahead log before the daemon exists.
@@ -474,7 +500,7 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
             println!("frames: NDJSON alerts | {FLUSH_FRAME} | {SHUTDOWN_FRAME}");
         }
         WireFormat::Binary => {
-            println!("frames: binary alertops-wire (acks are JSON text lines)");
+            println!("frames: binary alertops-wire (acks are binary ack frames)");
         }
     }
     if args.chaos {
@@ -488,6 +514,12 @@ fn run_ingestd(args: &Args, out: &SimOutput) -> ExitCode {
             ),
             None => println!("emerging channel on: AO-LDA report published per window close"),
         }
+    }
+    if args.qoa {
+        println!(
+            "qoa feedback loop on: online model updates per window close \
+             (labels arrive with labeled flushes; unlabeled windows still score)"
+        );
     }
     handle.wait_for_shutdown_request();
     let counters = handle.counters();
@@ -514,6 +546,12 @@ fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
             streaming.emerging.config.budget = Some(EmergingBudget::new(cap, args.seed));
         }
     }
+    if args.qoa {
+        // spawn_node forces Forward + defer_qoa per node; the cluster
+        // coordinator owns the one model and labels come from the
+        // simulator's seeded feedback oracle below.
+        streaming.qoa.mode = QoaMode::Forward;
+    }
     let node = IngestdConfig {
         shards: args.shards,
         queue_capacity: args.queue,
@@ -526,6 +564,7 @@ fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
         metrics: false,
         chaos: false,
         defer_emerging: false,
+        defer_qoa: false,
     };
     let wal_root = args.wal.clone().map_or_else(
         || std::env::temp_dir().join(format!("alertops-cluster-{}", std::process::id())),
@@ -565,32 +604,67 @@ fn run_cluster(args: &Args, out: &SimOutput) -> ExitCode {
         println!("  node {node}: strategies {}..={}", range.start, range.end);
     }
 
+    let oracle = args
+        .qoa
+        .then(|| alertops::sim::FeedbackOracle::new(args.seed, args.qoa_noise));
+    if oracle.is_some() {
+        println!(
+            "qoa feedback loop on: seeded oracle labels every window (noise {})",
+            args.qoa_noise
+        );
+    }
+    let label = |cluster: &AlertCluster, window: &[Alert]| -> Vec<QoaLabel> {
+        oracle.as_ref().map_or_else(Vec::new, |oracle| {
+            oracle.label_window(
+                cluster.next_window_seq(),
+                &out.catalog,
+                window,
+                &out.incidents,
+            )
+        })
+    };
+
     let per_window = if args.flush_every > 0 {
         args.flush_every
     } else {
         500
     };
+    let mut window_start = 0;
     for (index, alert) in out.alerts.iter().enumerate() {
         if let Err(err) = cluster.route(alert.clone()) {
             eprintln!("route failed at alert {index}: {err}");
             return ExitCode::FAILURE;
         }
         if (index + 1) % per_window == 0 {
-            if let Err(err) = cluster.close_window() {
+            let labels = label(&cluster, &out.alerts[window_start..=index]);
+            window_start = index + 1;
+            if let Err(err) = cluster.close_window_labeled(labels) {
                 eprintln!("window close failed: {err}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    match cluster.close_window() {
-        Ok(snapshot) => println!(
-            "final window {}: {} alert(s), {} finding(s) flagged, {} storm(s), triage depth {}",
-            snapshot.window_index,
-            snapshot.alert_count,
-            snapshot.new_findings.len(),
-            snapshot.storms.len(),
-            snapshot.triage.len()
-        ),
+    let labels = label(&cluster, &out.alerts[window_start..]);
+    match cluster.close_window_labeled(labels) {
+        Ok(snapshot) => {
+            println!(
+                "final window {}: {} alert(s), {} finding(s) flagged, {} storm(s), triage depth {}",
+                snapshot.window_index,
+                snapshot.alert_count,
+                snapshot.new_findings.len(),
+                snapshot.storms.len(),
+                snapshot.triage.len()
+            );
+            if let Some(qoa) = &snapshot.qoa {
+                println!(
+                    "  qoa: {} sample(s) absorbed, {} strategy(ies) scored, {} demoted, {} promoted",
+                    qoa.absorbed,
+                    qoa.scored.len(),
+                    qoa.demoted.len(),
+                    qoa.promoted.len()
+                );
+            }
+        }
         Err(err) => {
             eprintln!("final window close failed: {err}");
             return ExitCode::FAILURE;

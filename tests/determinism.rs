@@ -471,7 +471,9 @@ fn no_wall_clocks_or_unseeded_rngs_outside_vendor() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
     let mut offenders = Vec::new();
+    let mut audited = Vec::new();
     while let Some(dir) = stack.pop() {
+        audited.push(dir.clone());
         for entry in std::fs::read_dir(&dir).expect("readable source tree") {
             let path = entry.expect("dir entry").path();
             if path.is_dir() {
@@ -491,6 +493,18 @@ fn no_wall_clocks_or_unseeded_rngs_outside_vendor() {
         "nondeterminism leaked into the source tree:\n{}",
         offenders.join("\n")
     );
+    // The audit is only as good as its coverage: the crates whose
+    // determinism the differential suites lean on hardest — the online
+    // QoA model and the load driver — must provably have been walked,
+    // so a future layout change cannot silently exempt them.
+    for crate_dir in ["qoa", "load", "sim", "cluster"] {
+        let dir = root.join("crates").join(crate_dir);
+        assert!(
+            audited.contains(&dir),
+            "determinism audit never visited {}",
+            dir.display()
+        );
+    }
 }
 
 /// Static wire audit: the cluster's WAL/handoff path is binary-framed;

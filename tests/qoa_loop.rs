@@ -1,0 +1,375 @@
+//! Differential tests for the streaming QoA feedback loop: the seeded
+//! oracle's label stream drives one online model to the same bits no
+//! matter how the pipeline is partitioned.
+//!
+//! - A Local-mode streaming governor, a 1-shard daemon, and a 4-shard
+//!   daemon fed the same windows and labels publish byte-identical QoA
+//!   reports (weights, scores, EMAs, verdicts via `model_digest`).
+//! - The verdicts actually govern: low-quality strategies demote into
+//!   the blocker, high-quality strategies' alerts ride the escalation
+//!   lane, and escalated alerts stay a subset of the delivered window
+//!   (the conservation law is untouched).
+//! - A cluster restart from the WALs restores the model bit-for-bit
+//!   (checkpoint replay, not relearning) and the post-restart stream
+//!   matches an uninterrupted run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use alertops::cluster::{AlertCluster, ClusterConfig, GovernorFactory, WalFormat};
+use alertops::core::prelude::*;
+use alertops::ingestd::{shard_catalog, Ingestd, IngestdConfig};
+use alertops::sim::{scenarios, FeedbackOracle, SimOutput};
+
+const ORACLE_SEED: u64 = 7;
+const WINDOW_LEN: usize = 300;
+
+/// An aggressive config — fast learning, heavy EMA weight, tight
+/// thresholds — so the short quickstart trace pushes strategies
+/// through both governance lanes (demotion and escalation) within a
+/// handful of windows. Production defaults move far more slowly; the
+/// differentials only need the lanes to *engage*.
+fn qoa_feedback_config() -> QoaFeedbackConfig {
+    QoaFeedbackConfig {
+        learning_rate: 0.5,
+        ema_alpha: 0.5,
+        demote_below: 0.45,
+        escalate_above: 0.55,
+        ..QoaFeedbackConfig::default()
+    }
+}
+
+fn streaming(mode: QoaMode) -> StreamingConfig {
+    StreamingConfig {
+        qoa: QoaChannel {
+            mode,
+            config: qoa_feedback_config(),
+        },
+        ..StreamingConfig::default()
+    }
+}
+
+/// The mini-study trace chopped into fixed, time-sorted windows, plus
+/// a trailing empty window (a close with no samples must not move the
+/// model). Mini-study (not quickstart) because its anti-pattern mix
+/// spans enough windows for bad strategies' EMAs to actually sink.
+fn windowed_trace(seed: u64) -> (SimOutput, Vec<Vec<Alert>>) {
+    let out = scenarios::mini_study(seed).run();
+    let mut trace = out.alerts.clone();
+    trace.sort_by_key(|a| (a.raised_at(), a.id()));
+    let mut windows: Vec<Vec<Alert>> = trace.chunks(WINDOW_LEN).map(<[Alert]>::to_vec).collect();
+    windows.push(Vec::new());
+    (out, windows)
+}
+
+/// The label stream every topology in a test replays: one sorted
+/// `QoaLabel` batch per window, a pure function of the oracle seed.
+fn label_stream(out: &SimOutput, windows: &[Vec<Alert>], noise: f64) -> Vec<Vec<QoaLabel>> {
+    let oracle = FeedbackOracle::new(ORACLE_SEED, noise);
+    windows
+        .iter()
+        .enumerate()
+        .map(|(seq, window)| oracle.label_window(seq as u64, &out.catalog, window, &out.incidents))
+        .collect()
+}
+
+/// What the differentials compare per window: the published QoA report
+/// (its `model_digest` pins every weight bit) and the escalation lane.
+type QoaWindow = (Option<QoaWindowReport>, Vec<AlertId>);
+
+fn wire(windows: &[QoaWindow]) -> String {
+    serde_json::to_string(&windows).expect("qoa windows serialize")
+}
+
+/// The batch baseline: one full-catalog governor running the model
+/// locally, fed the same windows and labels the daemons get.
+fn local_windows(
+    out: &SimOutput,
+    windows: &[Vec<Alert>],
+    labels: &[Vec<QoaLabel>],
+) -> Vec<QoaWindow> {
+    let mut governor = StreamingGovernor::new(
+        AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default()),
+        streaming(QoaMode::Local),
+    );
+    windows
+        .iter()
+        .zip(labels)
+        .map(|(window, labels)| {
+            let delta = governor.ingest_labeled(window, &[], labels);
+            (delta.qoa, delta.escalated)
+        })
+        .collect()
+}
+
+/// An N-shard daemon in the standalone role: shards forward samples,
+/// the coordinator joins them with the labels handed to each flush and
+/// runs the one sequential model update.
+fn daemon_windows(
+    out: &SimOutput,
+    windows: &[Vec<Alert>],
+    labels: &[Vec<QoaLabel>],
+    shards: usize,
+) -> Vec<QoaWindow> {
+    let strategies = out.catalog.strategies().to_vec();
+    let config = IngestdConfig {
+        shards,
+        streaming: streaming(QoaMode::Forward),
+        ..IngestdConfig::default()
+    };
+    let handle = Ingestd::spawn(&config, |shard, shards| {
+        StreamingGovernor::new(
+            AlertGovernor::new(
+                shard_catalog(&strategies, shards, shard),
+                GovernorConfig::default(),
+            ),
+            streaming(QoaMode::Forward),
+        )
+    })
+    .expect("daemon starts");
+    let mut published = Vec::with_capacity(windows.len());
+    for (window, labels) in windows.iter().zip(labels) {
+        for alert in window {
+            handle.route(alert.clone());
+        }
+        let snapshot = handle
+            .flush_labeled(labels.clone())
+            .expect("flush yields a snapshot");
+        published.push((snapshot.qoa, snapshot.escalated));
+    }
+    handle.shutdown();
+    published
+}
+
+/// The tentpole differential: batch == 1 shard == 4 shards, byte for
+/// byte, on every published QoA report and every escalation lane —
+/// and the loop is *live*, not decorative: the model moves, strategies
+/// demote, and alerts escalate within the trace.
+#[test]
+fn batch_one_shard_and_many_shards_publish_identical_qoa_streams() {
+    let (out, windows) = windowed_trace(7);
+    let labels = label_stream(&out, &windows, 0.0);
+
+    let local = local_windows(&out, &windows, &labels);
+    let single = daemon_windows(&out, &windows, &labels, 1);
+    let sharded = daemon_windows(&out, &windows, &labels, 4);
+
+    assert_eq!(
+        wire(&local),
+        wire(&single),
+        "1-shard daemon diverged from the local-mode baseline"
+    );
+    assert_eq!(
+        wire(&single),
+        wire(&sharded),
+        "4-shard daemon diverged from the 1-shard daemon"
+    );
+
+    // The loop actually closed: labels were absorbed, the model left
+    // its initial state, and both governance lanes engaged somewhere.
+    let reports: Vec<&QoaWindowReport> = local
+        .iter()
+        .filter_map(|(report, _)| report.as_ref())
+        .collect();
+    assert_eq!(
+        reports.len(),
+        windows.len(),
+        "every close publishes a report"
+    );
+    assert!(
+        reports.iter().any(|r| r.absorbed > 0),
+        "the oracle's labels never matched a sample"
+    );
+    let fresh = OnlineQoaModel::new(qoa_feedback_config());
+    assert_ne!(
+        reports.last().expect("nonempty").model_digest,
+        fresh.digest(),
+        "the model never learned anything"
+    );
+    assert!(
+        reports.iter().any(|r| !r.demoted.is_empty()),
+        "no strategy ever demoted — the loop is decorative"
+    );
+    assert!(
+        local.iter().any(|(_, escalated)| !escalated.is_empty()),
+        "no alert ever escalated — the loop is decorative"
+    );
+
+    // The trailing empty window absorbs nothing and leaves the
+    // verdicts exactly where the previous close put them (the digest
+    // itself moves — it pins the absorbed-window counter too).
+    let last = reports.last().expect("nonempty");
+    let prior = reports[reports.len() - 2];
+    assert_eq!(last.absorbed, 0);
+    assert!(last.scored.is_empty(), "an empty window scored strategies");
+    assert_eq!(last.demoted, prior.demoted, "an empty close moved verdicts");
+    assert_eq!(
+        last.promoted, prior.promoted,
+        "an empty close moved verdicts"
+    );
+}
+
+/// Label noise is seeded per `(oracle seed, window index)`: the same
+/// noisy stream replays to identical bits, a different seed diverges.
+#[test]
+fn noisy_label_streams_are_seed_replayable() {
+    let (out, windows) = windowed_trace(7);
+    let noisy = label_stream(&out, &windows, 0.25);
+    let replay = label_stream(&out, &windows, 0.25);
+    assert_eq!(noisy, replay, "same (seed, noise) must replay identically");
+
+    let a = local_windows(&out, &windows, &noisy);
+    let b = local_windows(&out, &windows, &replay);
+    assert_eq!(wire(&a), wire(&b), "noisy runs with one seed must agree");
+
+    let clean = local_windows(&out, &windows, &label_stream(&out, &windows, 0.0));
+    assert_ne!(
+        wire(&a),
+        wire(&clean),
+        "25% label noise must actually perturb the model"
+    );
+}
+
+/// Escalation is a lane, not a source: escalated alerts are drawn from
+/// the window that was already delivered, never overlap triage, and
+/// only carry strategies the previous window's verdicts promoted.
+#[test]
+fn escalated_alerts_are_a_subset_of_the_delivered_window() {
+    let (out, windows) = windowed_trace(7);
+    let labels = label_stream(&out, &windows, 0.0);
+
+    let mut governor = StreamingGovernor::new(
+        AlertGovernor::new(out.catalog.strategies().to_vec(), GovernorConfig::default()),
+        streaming(QoaMode::Local),
+    );
+    let mut escalated_total = 0usize;
+    for (window, labels) in windows.iter().zip(&labels) {
+        let delta = governor.ingest_labeled(window, &[], labels);
+        let window_ids: std::collections::BTreeSet<AlertId> =
+            window.iter().map(Alert::id).collect();
+        for id in &delta.escalated {
+            assert!(
+                window_ids.contains(id),
+                "escalated alert {id:?} is not in this window"
+            );
+            assert!(
+                !delta.triage.contains(id),
+                "escalated alert {id:?} was already triaged"
+            );
+        }
+        escalated_total += delta.escalated.len();
+    }
+    assert!(escalated_total > 0, "the escalation lane never engaged");
+}
+
+// ---------------------------------------------------------------------
+// Cluster: the model is journaled state, not relearned state.
+// ---------------------------------------------------------------------
+
+fn wal_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("alertops-qoa-test-{tag}-{}", std::process::id()))
+}
+
+fn spawn_cluster(nodes: usize, root: PathBuf, out: &SimOutput) -> AlertCluster {
+    let config = ClusterConfig {
+        nodes,
+        node: IngestdConfig {
+            shards: 2,
+            queue_capacity: 8192,
+            streaming: streaming(QoaMode::Forward),
+            ..IngestdConfig::default()
+        },
+        wal_root: root,
+        wal_format: WalFormat::default(),
+    };
+    let factory: GovernorFactory = Arc::new(|catalog: &[AlertStrategy]| {
+        StreamingGovernor::new(
+            AlertGovernor::new(catalog.to_vec(), GovernorConfig::default()),
+            streaming(QoaMode::Forward),
+        )
+    });
+    AlertCluster::spawn(config, out.catalog.strategies().to_vec(), factory).expect("cluster spawns")
+}
+
+fn close_labeled(
+    cluster: &mut AlertCluster,
+    out: &SimOutput,
+    window: &[Alert],
+    noise: f64,
+) -> GovernanceSnapshot {
+    for alert in window {
+        cluster.route(alert.clone()).expect("route succeeds");
+    }
+    let labels = FeedbackOracle::new(ORACLE_SEED, noise).label_window(
+        cluster.next_window_seq(),
+        &out.catalog,
+        window,
+        &out.incidents,
+    );
+    cluster.close_window_labeled(labels).expect("window closes")
+}
+
+/// `kill -9` the whole cluster, respawn from the WALs: the model comes
+/// back bit-identical (from its journaled checkpoint — labels are not
+/// journaled, so relearning is impossible by construction) and the
+/// windows closed *after* the restart match an uninterrupted run byte
+/// for byte.
+#[test]
+fn cluster_restart_restores_the_model_from_its_checkpoint() {
+    let (out, windows) = windowed_trace(7);
+    let split = windows.len() / 2;
+
+    // The uninterrupted control run.
+    let control_root = wal_root("qoa-control");
+    let _ = std::fs::remove_dir_all(&control_root);
+    let mut control = spawn_cluster(2, control_root.clone(), &out);
+    let control_snapshots: Vec<GovernanceSnapshot> = windows
+        .iter()
+        .map(|window| close_labeled(&mut control, &out, window, 0.0))
+        .collect();
+    let control_digest = control.qoa_model_digest().expect("qoa loop is on");
+    assert!(control.counters().is_conserved());
+    control.shutdown();
+    let _ = std::fs::remove_dir_all(&control_root);
+
+    // The faulted run: same stream, torn down mid-way.
+    let root = wal_root("qoa-restart");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cluster = spawn_cluster(2, root.clone(), &out);
+    for window in &windows[..split] {
+        close_labeled(&mut cluster, &out, window, 0.0);
+    }
+    let pre_restart = cluster.qoa_model_digest().expect("qoa loop is on");
+    cluster.shutdown();
+
+    let mut cluster = spawn_cluster(2, root.clone(), &out);
+    assert_eq!(
+        cluster.qoa_model_digest(),
+        Some(pre_restart),
+        "restart must restore the journaled model bit-for-bit"
+    );
+    assert_eq!(
+        cluster.next_window_seq(),
+        split as u64,
+        "replay must resume the window sequence where the crash left it"
+    );
+    let resumed: Vec<GovernanceSnapshot> = windows[split..]
+        .iter()
+        .map(|window| close_labeled(&mut cluster, &out, window, 0.0))
+        .collect();
+    for (snapshot, want) in resumed.iter().zip(&control_snapshots[split..]) {
+        assert_eq!(
+            serde_json::to_string(snapshot).expect("snapshot serializes"),
+            serde_json::to_string(want).expect("snapshot serializes"),
+            "post-restart window diverged from the uninterrupted run"
+        );
+    }
+    assert_eq!(
+        cluster.qoa_model_digest(),
+        Some(control_digest),
+        "the restarted run must land on the control run's final model"
+    );
+    assert!(cluster.counters().is_conserved());
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -20,7 +20,7 @@ use alertops::core::prelude::*;
 use alertops::ingestd::codec::encode_alert;
 use alertops::ingestd::{shard_catalog, Ingestd, IngestdConfig, IngestdHandle, FLUSH_FRAME};
 use alertops::sim::scenarios;
-use alertops::wire::{WireEncoder, WireFormat};
+use alertops::wire::{AckFrame, Frame, WireDecoder, WireEncoder, WireFormat};
 
 /// The quickstart trace chopped into time-sorted windows, with a
 /// trailing empty window so the differential also covers detection
@@ -60,6 +60,22 @@ fn daemon(
     .expect("daemon starts")
 }
 
+/// Reads the next binary frame off the daemon's ack lane. The ingest
+/// protocol is lock-step (one ack per flush), so nothing else is ever
+/// in flight toward the client.
+fn read_binary_frame(reader: &mut BufReader<TcpStream>, decoder: &mut WireDecoder) -> Frame {
+    loop {
+        let buf = reader.fill_buf().expect("read ack bytes");
+        assert!(!buf.is_empty(), "connection closed before the ack frame");
+        let consumed = buf.len();
+        let frames = decoder.feed(buf);
+        reader.consume(consumed);
+        if let Some(frame) = frames.into_iter().next() {
+            return frame.expect("well-formed ack frame");
+        }
+    }
+}
+
 /// Streams the windows over a real TCP connection in `wire` format and
 /// returns the per-window published snapshots.
 fn run_over_tcp(
@@ -74,29 +90,48 @@ fn run_over_tcp(
     let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
     let mut writer = stream;
     let mut encoder = WireEncoder::new();
+    let mut decoder = WireDecoder::new();
     let mut buf = Vec::new();
     let mut snapshots = Vec::with_capacity(windows.len());
-    for window in windows {
+    for (seq, window) in windows.iter().enumerate() {
+        // Acks come back in the connection's own format: a JSON text
+        // line on NDJSON connections, a binary `AckFrame` on binary
+        // ones — never a text line mid-binary-stream.
         match wire {
             WireFormat::Ndjson => {
                 for alert in window {
                     writeln!(writer, "{}", encode_alert(alert)).expect("write alert");
                 }
                 writeln!(writer, "{FLUSH_FRAME}").expect("write flush");
+                writer.flush().expect("flush socket");
+                let mut ack = String::new();
+                reader.read_line(&mut ack).expect("read flush ack");
+                assert!(ack.contains(r#""ack":"flush""#), "unexpected ack: {ack:?}");
             }
             WireFormat::Binary => {
                 buf.clear();
                 for alert in window {
                     encoder.encode_alert_into(alert, &mut buf);
                 }
-                encoder.encode_into(&alertops::wire::Frame::Flush, &mut buf);
+                encoder.encode_into(&Frame::Flush, &mut buf);
                 writer.write_all(&buf).expect("write window");
+                writer.flush().expect("flush socket");
+                match read_binary_frame(&mut reader, &mut decoder) {
+                    Frame::Ack(AckFrame::Flush {
+                        window: acked,
+                        alerts,
+                    }) => {
+                        assert_eq!(acked, seq as u64, "ack carries the window seq");
+                        assert_eq!(
+                            alerts,
+                            window.len() as u64,
+                            "ack carries the window's alert count"
+                        );
+                    }
+                    other => panic!("expected a binary flush ack, got {other:?}"),
+                }
             }
         }
-        writer.flush().expect("flush socket");
-        let mut ack = String::new();
-        reader.read_line(&mut ack).expect("read flush ack");
-        assert!(ack.contains(r#""ack":"flush""#), "unexpected ack: {ack:?}");
         snapshots.push(handle.latest_snapshot().expect("snapshot published"));
     }
     let counters = handle.counters();
@@ -243,17 +278,24 @@ fn corrupt_binary_frame_is_quarantined_and_closes_the_connection() {
     let mut rest = Vec::new();
     let _ = std::io::Read::read_to_end(&mut writer, &mut rest);
 
-    // A fresh connection still works — poisoning is per-stream.
+    // A fresh connection still works — poisoning is per-stream. Its
+    // ack comes back as a binary frame, like everything else on a
+    // binary connection.
     let stream = TcpStream::connect(addr).expect("reconnect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
     let mut writer = stream;
     let mut flush = Vec::new();
-    WireEncoder::new().encode_into(&alertops::wire::Frame::Flush, &mut flush);
+    WireEncoder::new().encode_into(&Frame::Flush, &mut flush);
     writer.write_all(&flush).expect("write flush");
     writer.flush().expect("flush socket");
-    let mut ack = String::new();
-    reader.read_line(&mut ack).expect("read flush ack");
-    assert!(ack.contains(r#""ack":"flush""#), "unexpected ack: {ack:?}");
+    let mut decoder = WireDecoder::new();
+    assert!(
+        matches!(
+            read_binary_frame(&mut reader, &mut decoder),
+            Frame::Ack(AckFrame::Flush { .. })
+        ),
+        "binary connection acks with a binary flush frame"
+    );
 
     let counters = handle.counters();
     assert_eq!(
